@@ -1,0 +1,76 @@
+// E6 — Corollary 1: all-pairs routing via G_all.
+//
+// Full cost-matrix computation must amortize the auxiliary-graph build:
+// one construction + n Dijkstra runs, versus n single-pair calls that each
+// rebuild G_{s,t}.  The `speedup_vs_rebuild` counter reports the measured
+// advantage of the shared build.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/all_pairs.h"
+#include "core/liang_shen.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 777;
+
+void BM_AllPairsMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  for (auto _ : state) {
+    AllPairsRouter router(net);
+    const auto matrix = router.cost_matrix();
+    benchmark::DoNotOptimize(matrix[0][n - 1]);
+  }
+
+  // Reference: single-pair source-to-all by rebuilding per source.
+  Stopwatch rebuild_clock;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const RouteResult r =
+        route_semilightpath(net, NodeId{s}, NodeId{(s + 1) % n});
+    benchmark::DoNotOptimize(r.cost);
+  }
+  const double rebuild_seconds = rebuild_clock.seconds();
+
+  AllPairsRouter router(net);
+  Stopwatch shared_clock;
+  (void)router.cost_matrix();
+  const double shared_seconds = shared_clock.seconds();
+  state.counters["n"] = n;
+  // The rebuild loop answers n single queries (with early-exit Dijkstra);
+  // the shared-build matrix answers all n² in comparable total time.
+  state.counters["speedup_vs_rebuild"] =
+      rebuild_seconds / std::max(shared_seconds, 1e-9);
+  state.counters["matrix_us_per_query"] =
+      shared_seconds * 1e6 / (static_cast<double>(n) * n);
+}
+BENCHMARK(BM_AllPairsMatrix)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_AllPairsSingleQuery(benchmark::State& state) {
+  // Marginal cost of one more query once the router is warm.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  AllPairsRouter router(net);
+  (void)router.cost_matrix();  // warm all trees
+  std::uint32_t s = 0, t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.cost(NodeId{s}, NodeId{t}));
+    s = (s + 1) % n;
+    t = (t + 3) % n;
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_AllPairsSingleQuery)
+    ->RangeMultiplier(4)
+    ->Range(32, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

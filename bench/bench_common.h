@@ -1,0 +1,59 @@
+// Shared workload builders for the experiment benches (E2–E9).
+//
+// Every bench builds its networks deterministically from (experiment seed,
+// sweep point) so runs are reproducible and LS/CFZ/distributed series see
+// identical inputs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+#include "wdm/network.h"
+
+namespace lumen::bench {
+
+/// The Section III-C regime: sparse WAN with m = 4n links and
+/// k = ceil(log2 n) wavelengths, k0 <= min(k, 4), uniform conversion.
+inline WdmNetwork comparison_network(std::uint32_t n, std::uint64_t seed) {
+  const auto k = static_cast<std::uint32_t>(std::ceil(std::log2(n)));
+  Rng rng(seed + n);
+  const Topology topo = random_sparse_topology(n, 3 * n, rng);
+  const Availability avail = uniform_availability(
+      topo, k, 1, std::min(k, 4u), CostSpec::uniform(1.0, 3.0), rng);
+  return assemble_network(topo, k, avail,
+                          std::make_shared<UniformConversion>(0.3));
+}
+
+/// The Section IV regime: n and k0 fixed, universe size k sweeping — the
+/// in-use wavelengths are spread uniformly over [0, k).
+inline WdmNetwork restricted_network(std::uint32_t n, std::uint32_t k,
+                                     std::uint32_t k0, std::uint64_t seed) {
+  Rng rng(seed);
+  const Topology topo = random_sparse_topology(n, 2 * n, rng);
+  WdmNetwork net(topo.num_nodes, k,
+                 std::make_shared<RangeLimitedConversion>(k, 0.2, 0.0));
+  Rng lambda_rng(seed ^ 0x5555ULL);
+  for (const auto& [u, v] : topo.links) {
+    const LinkId e = net.add_link(u, v);
+    for (const std::uint32_t l : lambda_rng.sample_without_replacement(k, k0))
+      net.set_wavelength(e, Wavelength{l}, lambda_rng.next_double_in(1, 2));
+  }
+  return net;
+}
+
+/// Theorem 3/5 regime: Waxman WAN with distance costs and range-limited
+/// conversion; full availability up to k0 per link.
+inline WdmNetwork distributed_network(std::uint32_t n, std::uint32_t k,
+                                      std::uint32_t k0, std::uint64_t seed) {
+  Rng rng(seed + n);
+  const Topology topo = waxman_topology(n, 0.4, 0.2, rng);
+  const Availability avail = uniform_availability(
+      topo, k, 1, k0, CostSpec::distance(10.0), rng);
+  return assemble_network(
+      topo, k, avail, std::make_shared<RangeLimitedConversion>(3, 0.2, 0.1));
+}
+
+}  // namespace lumen::bench

@@ -1,0 +1,98 @@
+// E3 — Theorem 1 / Observations 1–3: auxiliary-graph construction cost and
+// size versus the paper's bounds.
+//
+// Counters on every row report the realized |V'|, |E'| against the
+// Observation 2 ceilings 2kn and k²n + km; construction time should scale
+// linearly with |E'| (the O(k²n + km) claim).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/aux_graph.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 31337;
+
+WdmNetwork dense_availability_network(std::uint32_t n, std::uint32_t k) {
+  Rng rng(kSeed + n * 131 + k);
+  const Topology topo = random_sparse_topology(n, 3 * n, rng);
+  const Availability avail =
+      full_availability(topo, k, CostSpec::uniform(1.0, 2.0), rng);
+  return assemble_network(topo, k, avail,
+                          std::make_shared<UniformConversion>(0.2));
+}
+
+/// Sweep n at fixed k: build time should grow linearly in n.
+void BM_BuildAuxGraph_SweepN(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t k = 8;
+  const WdmNetwork net = dense_availability_network(n, k);
+  std::uint64_t nodes = 0, links = 0;
+  for (auto _ : state) {
+    const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0},
+                                                       NodeId{n - 1});
+    nodes = aux.stats().total_nodes();
+    links = aux.stats().total_links();
+    benchmark::DoNotOptimize(aux.graph().num_links());
+  }
+  const double m = net.num_links();
+  state.counters["aux_nodes"] = static_cast<double>(nodes);
+  state.counters["bound_2kn"] = 2.0 * k * n + 2;
+  state.counters["aux_links"] = static_cast<double>(links);
+  state.counters["bound_k2n_km"] = static_cast<double>(k) * k * n + k * m;
+}
+BENCHMARK(BM_BuildAuxGraph_SweepN)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sweep k at fixed n: with full availability, build time grows ~k².
+void BM_BuildAuxGraph_SweepK(benchmark::State& state) {
+  const std::uint32_t n = 256;
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = dense_availability_network(n, k);
+  std::uint64_t nodes = 0, links = 0;
+  for (auto _ : state) {
+    const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0},
+                                                       NodeId{n - 1});
+    nodes = aux.stats().total_nodes();
+    links = aux.stats().total_links();
+    benchmark::DoNotOptimize(aux.graph().num_links());
+  }
+  state.counters["aux_nodes"] = static_cast<double>(nodes);
+  state.counters["aux_links"] = static_cast<double>(links);
+  state.counters["bound_k2n_km"] =
+      static_cast<double>(k) * k * n + static_cast<double>(k) * net.num_links();
+}
+BENCHMARK(BM_BuildAuxGraph_SweepK)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Unit(benchmark::kMillisecond);
+
+/// All-pairs variant (Corollary 1): G_all adds only 2n terminals and ≤2kn
+/// tie links on top of G'.
+void BM_BuildGAll(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto aux = AuxiliaryGraph::build_all_pairs(net);
+    nodes = aux.stats().total_nodes();
+    benchmark::DoNotOptimize(aux.graph().num_links());
+  }
+  const double k = net.num_wavelengths();
+  state.counters["aux_nodes"] = static_cast<double>(nodes);
+  state.counters["bound_2n_k_plus_1"] = 2.0 * n * (k + 1);
+}
+BENCHMARK(BM_BuildGAll)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

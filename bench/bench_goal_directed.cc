@@ -1,0 +1,73 @@
+// E11 (extension) — goal-directed search ablation.
+//
+// Theorem 1 is a single-pair query answered by an SSSP run that settles
+// the whole auxiliary graph.  The A* variant (core/goal_directed) prunes
+// with a physical-distance potential; this bench reports the measured
+// speedup and the pop reduction across network sizes.  Both routers are
+// verified in-bench to return the same optimum.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/goal_directed.h"
+#include "core/liang_shen.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 13579;
+
+void BM_PlainDijkstraRoute(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  std::uint64_t pops = 0;
+  for (auto _ : state) {
+    const RouteResult r = route_semilightpath(net, NodeId{0}, NodeId{n / 2});
+    pops = r.stats.search_pops;
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["search_pops"] = static_cast<double>(pops);
+}
+BENCHMARK(BM_PlainDijkstraRoute)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AStarRoute(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+
+  // Verify equality once per size.
+  const RouteResult plain = route_semilightpath(net, NodeId{0}, NodeId{n / 2});
+  const RouteResult astar =
+      route_semilightpath_astar(net, NodeId{0}, NodeId{n / 2});
+  if (plain.found != astar.found ||
+      (plain.found && std::abs(plain.cost - astar.cost) > 1e-6)) {
+    state.SkipWithError("A* optimum disagrees with Dijkstra");
+    return;
+  }
+
+  std::uint64_t pops = 0;
+  for (auto _ : state) {
+    const RouteResult r =
+        route_semilightpath_astar(net, NodeId{0}, NodeId{n / 2});
+    pops = r.stats.search_pops;
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["search_pops"] = static_cast<double>(pops);
+  state.counters["pop_reduction_pct"] =
+      plain.stats.search_pops == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(astar.stats.search_pops) /
+                               static_cast<double>(plain.stats.search_pops));
+}
+BENCHMARK(BM_AStarRoute)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

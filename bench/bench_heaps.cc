@@ -1,0 +1,101 @@
+// E8 — heap ablation: the Theorem 1 proof plugs a Fibonacci heap into
+// Dijkstra for the O(m' + n' log n') bound.  This bench measures all four
+// in-tree heaps on the same auxiliary graphs to show the asymptotic choice
+// versus practical constants (array heaps usually win at these sizes).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/aux_graph.h"
+#include "graph/binary_heap.h"
+#include "graph/dijkstra.h"
+#include "graph/pairing_heap.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 5150;
+
+template <class Heap>
+void BM_DijkstraOnAux(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  const auto aux =
+      AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{n / 2});
+  for (auto _ : state) {
+    const auto tree =
+        dijkstra_with<Heap>(aux.graph(), aux.source_terminal());
+    benchmark::DoNotOptimize(tree.dist.back());
+  }
+  state.counters["aux_nodes"] = static_cast<double>(aux.graph().num_nodes());
+  state.counters["aux_links"] = static_cast<double>(aux.graph().num_links());
+}
+BENCHMARK(BM_DijkstraOnAux<FibHeap>)
+    ->Name("BM_DijkstraOnAux/Fibonacci")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DijkstraOnAux<BinaryHeap>)
+    ->Name("BM_DijkstraOnAux/Binary")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DijkstraOnAux<QuaternaryHeap>)
+    ->Name("BM_DijkstraOnAux/Quaternary")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DijkstraOnAux<PairingHeap>)
+    ->Name("BM_DijkstraOnAux/Pairing")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw heap micro-bench: a Dijkstra-shaped push/decrease/pop mix.
+template <class Heap>
+void BM_HeapMixedOps(benchmark::State& state) {
+  const auto ops = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Heap heap;
+    Rng rng(kSeed);
+    std::vector<typename Heap::Handle> handles;
+    std::vector<double> keys;
+    handles.reserve(ops);
+    for (std::uint32_t i = 0; i < ops; ++i) {
+      const double key = rng.next_double_in(0, 1e6);
+      handles.push_back(heap.push(key, i));
+      keys.push_back(key);
+      if (i % 3 == 0 && i > 0) {
+        const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+        // decrease_key on a possibly-stale handle is guarded by key check.
+        if (keys[j] > 0) {
+          heap.decrease_key(handles[j], keys[j] * 0.5);
+          keys[j] *= 0.5;
+        }
+      }
+      if (i % 4 == 0 && !heap.empty()) {
+        const auto [key_popped, item] = heap.pop_min();
+        keys[item] = -1;  // mark dead
+        benchmark::DoNotOptimize(key_popped);
+      }
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * ops);
+}
+BENCHMARK(BM_HeapMixedOps<FibHeap>)
+    ->Name("BM_HeapMixedOps/Fibonacci")
+    ->Arg(100000);
+BENCHMARK(BM_HeapMixedOps<BinaryHeap>)
+    ->Name("BM_HeapMixedOps/Binary")
+    ->Arg(100000);
+BENCHMARK(BM_HeapMixedOps<QuaternaryHeap>)
+    ->Name("BM_HeapMixedOps/Quaternary")
+    ->Arg(100000);
+BENCHMARK(BM_HeapMixedOps<PairingHeap>)
+    ->Name("BM_HeapMixedOps/Pairing")
+    ->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// E13 (extension) — protection-pair quality and cost ablation.
+//
+// Three ways to get a working/backup pair:
+//   greedy     — optimal working path, backup on the remainder (2 routes)
+//   iterated   — best pair over the K cheapest working paths (~K·2 routes)
+//   Suurballe  — exact optimum, single-wavelength/no-conversion regime
+// Counters report each method's success rate and its mean total cost as a
+// multiple of the exact optimum across a demand batch, so the
+// quality/effort trade-off is visible.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/protection.h"
+#include "graph/suurballe.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+#include "wdm/network.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 97531;
+
+struct Instance {
+  WdmNetwork net;
+  Digraph bare;
+};
+
+/// Purely-directed single-wavelength instance (span == link), where
+/// Suurballe is the exact optimum for comparison.
+Instance directed_instance(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst{WdmNetwork(n, 1, std::make_shared<NoConversion>()),
+                Digraph(n)};
+  const std::uint32_t links = 5 * n;
+  std::uint32_t added = 0;
+  while (added < links) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (u == v) continue;
+    const double w = rng.next_double_in(0.5, 3.0);
+    const LinkId e = inst.net.add_link(NodeId{u}, NodeId{v});
+    inst.net.set_wavelength(e, Wavelength{0}, w);
+    inst.bare.add_link(NodeId{u}, NodeId{v}, w);
+    ++added;
+  }
+  return inst;
+}
+
+enum class Method { kGreedy, kIterated, kSuurballe };
+
+void run_method(benchmark::State& state, Method method) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Instance inst = directed_instance(n, kSeed);
+
+  // Demand set shared by all methods.
+  Rng demand_rng(kSeed ^ n);
+  std::vector<std::pair<NodeId, NodeId>> demands;
+  for (int i = 0; i < 20; ++i) {
+    const auto s = static_cast<std::uint32_t>(demand_rng.next_below(n));
+    auto t = static_cast<std::uint32_t>(demand_rng.next_below(n));
+    if (s == t) t = (t + 1) % n;
+    demands.emplace_back(NodeId{s}, NodeId{t});
+  }
+
+  std::uint32_t solved = 0, exact_solved = 0;
+  double cost_sum = 0.0, exact_sum = 0.0;
+  for (auto _ : state) {
+    solved = exact_solved = 0;
+    cost_sum = exact_sum = 0.0;
+    for (const auto& [s, t] : demands) {
+      const auto exact = suurballe_disjoint_pair(inst.bare, s, t);
+      if (exact) {
+        ++exact_solved;
+        exact_sum += exact->total_cost;
+      }
+      double cost = 0.0;
+      bool ok = false;
+      switch (method) {
+        case Method::kGreedy: {
+          const auto pair = route_protected_pair(inst.net, s, t);
+          ok = pair.has_value();
+          if (ok) cost = pair->total_cost();
+          break;
+        }
+        case Method::kIterated: {
+          const auto pair =
+              route_protected_pair_iterated(inst.net, s, t, 5);
+          ok = pair.has_value();
+          if (ok) cost = pair->total_cost();
+          break;
+        }
+        case Method::kSuurballe: {
+          ok = exact.has_value();
+          if (ok) cost = exact->total_cost;
+          break;
+        }
+      }
+      if (ok) {
+        ++solved;
+        cost_sum += cost;
+      }
+      benchmark::DoNotOptimize(cost);
+    }
+  }
+  state.counters["solved_of_20"] = solved;
+  state.counters["exact_solvable"] = exact_solved;
+  if (solved > 0 && exact_solved > 0) {
+    state.counters["cost_vs_exact"] =
+        (cost_sum / solved) / (exact_sum / exact_solved);
+  }
+}
+
+void BM_Protection_Greedy(benchmark::State& state) {
+  run_method(state, Method::kGreedy);
+}
+void BM_Protection_Iterated(benchmark::State& state) {
+  run_method(state, Method::kIterated);
+}
+void BM_Protection_Suurballe(benchmark::State& state) {
+  run_method(state, Method::kSuurballe);
+}
+BENCHMARK(BM_Protection_Greedy)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Protection_Iterated)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Protection_Suurballe)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E12 (extension) — graph representation ablation: adjacency-list Digraph
+// vs packed CSR for the Dijkstra phase of Theorem 1.
+//
+// The auxiliary graph is built once per query but searched hot; CSR packs
+// the out-links contiguously.  Counters report the conversion cost and
+// the speedup so the trade-off (snapshot cost vs traversal locality) is
+// visible per size.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/aux_graph.h"
+#include "graph/csr.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 86420;
+
+void BM_DijkstraAdjList(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  const auto aux =
+      AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{n / 2});
+  for (auto _ : state) {
+    const auto tree = dijkstra(aux.graph(), aux.source_terminal());
+    benchmark::DoNotOptimize(tree.dist.back());
+  }
+  state.counters["aux_links"] = aux.graph().num_links();
+}
+BENCHMARK(BM_DijkstraAdjList)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraCsr(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kSeed);
+  const auto aux =
+      AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{n / 2});
+
+  Stopwatch snapshot_clock;
+  const CsrDigraph csr(aux.graph());
+  const double snapshot_ms = snapshot_clock.millis();
+
+  // Verify equivalence once.
+  {
+    const auto a = dijkstra(aux.graph(), aux.source_terminal());
+    const auto b = dijkstra_csr(csr, aux.source_terminal());
+    for (std::uint32_t v = 0; v < csr.num_nodes(); ++v) {
+      if (a.dist[v] != b.dist[v]) {
+        state.SkipWithError("CSR Dijkstra disagrees with adjacency-list");
+        return;
+      }
+    }
+  }
+
+  for (auto _ : state) {
+    const auto tree = dijkstra_csr(csr, aux.source_terminal());
+    benchmark::DoNotOptimize(tree.dist.back());
+  }
+  state.counters["snapshot_ms"] = snapshot_ms;
+}
+BENCHMARK(BM_DijkstraCsr)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Command-line semilightpath router over the lumen-wdm text format.
+//
+//   $ ./lumen_route <network-file> <src> <dst>           # one query
+//   $ ./lumen_route <network-file> --all-pairs           # cost matrix
+//   $ ./lumen_route --demo                               # emit a sample file
+//
+// The scriptable face of the library: networks come from wdm/io's text
+// format (see src/wdm/io.h for the grammar), answers go to stdout as a
+// human-readable route plus the switch settings an operator would program.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "core/all_pairs.h"
+#include "core/liang_shen.h"
+#include "wdm/io.h"
+
+using namespace lumen;
+
+namespace {
+
+int emit_demo() {
+  WdmNetwork net(4, 3, std::make_shared<UniformConversion>(0.25));
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  net.set_wavelength(a, Wavelength{1}, 1.5);
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(b, Wavelength{1}, 1.0);
+  const LinkId c = net.add_link(NodeId{2}, NodeId{3});
+  net.set_wavelength(c, Wavelength{2}, 2.0);
+  const LinkId d = net.add_link(NodeId{0}, NodeId{3});
+  net.set_wavelength(d, Wavelength{0}, 9.0);
+  std::printf("%s", network_to_string(net).c_str());
+  return 0;
+}
+
+int run_all_pairs(const WdmNetwork& net) {
+  AllPairsRouter router(net);
+  const auto matrix = router.cost_matrix();
+  std::printf("optimal semilightpath cost matrix (%u x %u):\n",
+              net.num_nodes(), net.num_nodes());
+  for (std::uint32_t s = 0; s < net.num_nodes(); ++s) {
+    for (std::uint32_t t = 0; t < net.num_nodes(); ++t) {
+      if (matrix[s][t] == kInfiniteCost) {
+        std::printf("%8s", "-");
+      } else {
+        std::printf("%8.3f", matrix[s][t]);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int run_query(const WdmNetwork& net, std::uint32_t s, std::uint32_t t) {
+  if (s >= net.num_nodes() || t >= net.num_nodes()) {
+    std::fprintf(stderr, "error: node ids must be < %u\n", net.num_nodes());
+    return 2;
+  }
+  const RouteResult r = route_semilightpath(net, NodeId{s}, NodeId{t});
+  if (!r.found) {
+    std::printf("no semilightpath from %u to %u\n", s, t);
+    return 1;
+  }
+  std::printf("cost %.6f\nroute %s\n", r.cost, r.path.to_string(net).c_str());
+  for (const SwitchSetting& sw : r.switches) {
+    std::printf("switch node=%u %u->%u\n", sw.node.value(), sw.from.value(),
+                sw.to.value());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) return emit_demo();
+  if (argc != 3 && argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s <network-file> <src> <dst>\n"
+                 "       %s <network-file> --all-pairs\n"
+                 "       %s --demo    # print a sample network file\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  try {
+    const WdmNetwork net = read_network(file);
+    if (argc == 3) {
+      if (std::strcmp(argv[2], "--all-pairs") != 0) {
+        std::fprintf(stderr, "error: expected --all-pairs or <src> <dst>\n");
+        return 2;
+      }
+      return run_all_pairs(net);
+    }
+    return run_query(net, static_cast<std::uint32_t>(std::atoi(argv[2])),
+                     static_cast<std::uint32_t>(std::atoi(argv[3])));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,234 @@
+#include "core/aux_graph.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace lumen {
+
+NodeId AuxiliaryGraph::add_aux_node(AuxNodeInfo info) {
+  const NodeId id = graph_.add_node();
+  node_info_.push_back(info);
+  return id;
+}
+
+LinkId AuxiliaryGraph::add_aux_link(NodeId from, NodeId to, double weight,
+                                    AuxLinkInfo info) {
+  const LinkId id = graph_.add_link(from, to, weight);
+  link_info_.push_back(info);
+  return id;
+}
+
+NodeId AuxiliaryGraph::lookup(const LambdaIndex& index, Wavelength lambda) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), lambda,
+      [](const auto& entry, Wavelength l) { return entry.first < l; });
+  if (it != index.end() && it->first == lambda) return it->second;
+  return NodeId::invalid();
+}
+
+AuxiliaryGraph AuxiliaryGraph::build_common(const WdmNetwork& net) {
+  Stopwatch timer;
+  AuxiliaryGraph aux;
+  const std::uint32_t n = net.num_nodes();
+  aux.x_index_.resize(n);
+  aux.y_index_.resize(n);
+
+  // --- Gadget nodes: X_v from Λ_in(G_M, v), Y_v from Λ_out(G_M, v). ----
+  //
+  // We enumerate wavelengths from the incident links only (never the whole
+  // universe Λ), so construction cost is independent of k as Section IV
+  // requires.  The per-node index is deduplicated via sort+unique.
+  std::vector<Wavelength> scratch;
+  for (std::uint32_t vi = 0; vi < n; ++vi) {
+    const NodeId v{vi};
+
+    scratch.clear();
+    for (const LinkId e : net.in_links(v))
+      for (const auto& lw : net.available(e)) scratch.push_back(lw.lambda);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    for (const Wavelength lambda : scratch) {
+      const NodeId x = aux.add_aux_node({AuxNodeKind::kIn, v, lambda});
+      aux.x_index_[vi].emplace_back(lambda, x);
+    }
+
+    scratch.clear();
+    for (const LinkId e : net.out_links(v))
+      for (const auto& lw : net.available(e)) scratch.push_back(lw.lambda);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    for (const Wavelength lambda : scratch) {
+      const NodeId y = aux.add_aux_node({AuxNodeKind::kOut, v, lambda});
+      aux.y_index_[vi].emplace_back(lambda, y);
+    }
+
+    aux.stats_.gadget_nodes +=
+        aux.x_index_[vi].size() + aux.y_index_[vi].size();
+  }
+
+  // --- Gadget links E_v: x_v(λ) -> y_v(λ') whenever allowed. -----------
+  const ConversionModel& conv = net.conversion();
+  for (std::uint32_t vi = 0; vi < n; ++vi) {
+    const NodeId v{vi};
+    for (const auto& [lambda, x] : aux.x_index_[vi]) {
+      for (const auto& [lambda_out, y] : aux.y_index_[vi]) {
+        const double c = conv.cost(v, lambda, lambda_out);
+        if (c == kInfiniteCost) continue;
+        aux.add_aux_link(
+            x, y, c,
+            {AuxLinkKind::kConversion, LinkId::invalid(), v, lambda,
+             lambda_out});
+        ++aux.stats_.gadget_links;
+      }
+    }
+  }
+
+  // --- E_org: each G_M parallel link becomes y_u(λ) -> x_v(λ). ---------
+  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+    const LinkId e{ei};
+    const NodeId u = net.tail(e);
+    const NodeId v = net.head(e);
+    for (const auto& lw : net.available(e)) {
+      ++aux.stats_.multigraph_links;
+      const NodeId y = lookup(aux.y_index_[u.value()], lw.lambda);
+      const NodeId x = lookup(aux.x_index_[v.value()], lw.lambda);
+      LUMEN_ASSERT(y.valid() && x.valid());
+      aux.add_aux_link(y, x, lw.cost,
+                       {AuxLinkKind::kTransmission, e, NodeId::invalid(),
+                        lw.lambda, lw.lambda});
+      ++aux.stats_.transmission_links;
+    }
+  }
+  aux.stats_.build_seconds = timer.seconds();
+  return aux;
+}
+
+AuxiliaryGraph AuxiliaryGraph::build_single_pair(const WdmNetwork& net,
+                                                 NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  LUMEN_REQUIRE_MSG(s != t, "single-pair auxiliary graph requires s != t");
+  Stopwatch timer;
+  AuxiliaryGraph aux = build_common(net);
+  aux.all_pairs_ = false;
+
+  aux.single_source_terminal_ = aux.add_aux_node(
+      {AuxNodeKind::kSourceTerminal, s, Wavelength::invalid()});
+  aux.single_sink_terminal_ = aux.add_aux_node(
+      {AuxNodeKind::kSinkTerminal, t, Wavelength::invalid()});
+  aux.stats_.terminal_nodes = 2;
+
+  for (const auto& [lambda, y] : aux.y_index_[s.value()]) {
+    aux.add_aux_link(aux.single_source_terminal_, y, 0.0,
+                     {AuxLinkKind::kSourceTie, LinkId::invalid(), s,
+                      Wavelength::invalid(), lambda});
+    ++aux.stats_.terminal_links;
+  }
+  for (const auto& [lambda, x] : aux.x_index_[t.value()]) {
+    aux.add_aux_link(x, aux.single_sink_terminal_, 0.0,
+                     {AuxLinkKind::kSinkTie, LinkId::invalid(), t, lambda,
+                      Wavelength::invalid()});
+    ++aux.stats_.terminal_links;
+  }
+  aux.stats_.build_seconds += timer.seconds();
+  return aux;
+}
+
+AuxiliaryGraph AuxiliaryGraph::build_all_pairs(const WdmNetwork& net) {
+  Stopwatch timer;
+  AuxiliaryGraph aux = build_common(net);
+  aux.all_pairs_ = true;
+  const std::uint32_t n = net.num_nodes();
+  aux.source_terminals_.resize(n);
+  aux.sink_terminals_.resize(n);
+
+  for (std::uint32_t vi = 0; vi < n; ++vi) {
+    const NodeId v{vi};
+    aux.source_terminals_[vi] = aux.add_aux_node(
+        {AuxNodeKind::kSourceTerminal, v, Wavelength::invalid()});
+    aux.sink_terminals_[vi] = aux.add_aux_node(
+        {AuxNodeKind::kSinkTerminal, v, Wavelength::invalid()});
+    aux.stats_.terminal_nodes += 2;
+    for (const auto& [lambda, y] : aux.y_index_[vi]) {
+      aux.add_aux_link(aux.source_terminals_[vi], y, 0.0,
+                       {AuxLinkKind::kSourceTie, LinkId::invalid(), v,
+                        Wavelength::invalid(), lambda});
+      ++aux.stats_.terminal_links;
+    }
+    for (const auto& [lambda, x] : aux.x_index_[vi]) {
+      aux.add_aux_link(x, aux.sink_terminals_[vi], 0.0,
+                       {AuxLinkKind::kSinkTie, LinkId::invalid(), v, lambda,
+                        Wavelength::invalid()});
+      ++aux.stats_.terminal_links;
+    }
+  }
+  aux.stats_.build_seconds += timer.seconds();
+  return aux;
+}
+
+NodeId AuxiliaryGraph::source_terminal() const {
+  LUMEN_REQUIRE_MSG(!all_pairs_, "single-pair accessor on all-pairs graph");
+  return single_source_terminal_;
+}
+
+NodeId AuxiliaryGraph::sink_terminal() const {
+  LUMEN_REQUIRE_MSG(!all_pairs_, "single-pair accessor on all-pairs graph");
+  return single_sink_terminal_;
+}
+
+NodeId AuxiliaryGraph::source_terminal(NodeId v) const {
+  LUMEN_REQUIRE_MSG(all_pairs_, "all-pairs accessor on single-pair graph");
+  LUMEN_REQUIRE(v.value() < source_terminals_.size());
+  return source_terminals_[v.value()];
+}
+
+NodeId AuxiliaryGraph::sink_terminal(NodeId v) const {
+  LUMEN_REQUIRE_MSG(all_pairs_, "all-pairs accessor on single-pair graph");
+  LUMEN_REQUIRE(v.value() < sink_terminals_.size());
+  return sink_terminals_[v.value()];
+}
+
+const AuxNodeInfo& AuxiliaryGraph::node_info(NodeId aux) const {
+  LUMEN_REQUIRE(aux.value() < node_info_.size());
+  return node_info_[aux.value()];
+}
+
+const AuxLinkInfo& AuxiliaryGraph::link_info(LinkId aux) const {
+  LUMEN_REQUIRE(aux.value() < link_info_.size());
+  return link_info_[aux.value()];
+}
+
+NodeId AuxiliaryGraph::x_node(NodeId v, Wavelength lambda) const {
+  LUMEN_REQUIRE(v.value() < x_index_.size());
+  return lookup(x_index_[v.value()], lambda);
+}
+
+NodeId AuxiliaryGraph::y_node(NodeId v, Wavelength lambda) const {
+  LUMEN_REQUIRE(v.value() < y_index_.size());
+  return lookup(y_index_[v.value()], lambda);
+}
+
+std::uint32_t AuxiliaryGraph::x_size(NodeId v) const {
+  LUMEN_REQUIRE(v.value() < x_index_.size());
+  return static_cast<std::uint32_t>(x_index_[v.value()].size());
+}
+
+std::uint32_t AuxiliaryGraph::y_size(NodeId v) const {
+  LUMEN_REQUIRE(v.value() < y_index_.size());
+  return static_cast<std::uint32_t>(y_index_[v.value()].size());
+}
+
+Semilightpath AuxiliaryGraph::to_semilightpath(
+    std::span<const LinkId> aux_path) const {
+  Semilightpath path;
+  for (const LinkId aux_link : aux_path) {
+    const AuxLinkInfo& info = link_info(aux_link);
+    if (info.kind == AuxLinkKind::kTransmission) {
+      path.append(Hop{info.physical_link, info.from});
+    }
+  }
+  return path;
+}
+
+}  // namespace lumen

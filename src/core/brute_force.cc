@@ -1,0 +1,85 @@
+#include "core/brute_force.h"
+
+#include <vector>
+
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "util/stopwatch.h"
+
+namespace lumen {
+
+namespace {
+
+struct SearchContext {
+  const WdmNetwork& net;
+  NodeId target;
+  std::uint32_t max_hops;
+  std::vector<Hop> current;
+  double current_cost = 0.0;
+  double best_cost = kInfiniteCost;
+  std::vector<Hop> best;
+  std::uint64_t expansions = 0;
+};
+
+void explore(SearchContext& ctx, NodeId at, Wavelength in_lambda) {
+  if (at == ctx.target && !ctx.current.empty()) {
+    if (ctx.current_cost < ctx.best_cost) {
+      ctx.best_cost = ctx.current_cost;
+      ctx.best = ctx.current;
+    }
+    // Do not return: a longer walk through t could not be cheaper for
+    // reaching t itself (costs are non-negative), so stopping here is safe.
+    return;
+  }
+  if (ctx.current.size() >= ctx.max_hops) return;
+
+  for (const LinkId e : ctx.net.out_links(at)) {
+    for (const auto& lw : ctx.net.available(e)) {
+      double step = lw.cost;
+      if (in_lambda.valid()) {
+        const double conv = ctx.net.conversion_cost(at, in_lambda, lw.lambda);
+        if (conv == kInfiniteCost) continue;
+        step += conv;
+      }
+      if (ctx.current_cost + step >= ctx.best_cost) continue;  // prune
+      ++ctx.expansions;
+      ctx.current.push_back(Hop{e, lw.lambda});
+      ctx.current_cost += step;
+      explore(ctx, ctx.net.head(e), lw.lambda);
+      ctx.current_cost -= step;
+      ctx.current.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+RouteResult brute_force_route(const WdmNetwork& net, NodeId s, NodeId t,
+                              std::uint32_t max_hops) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  RouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+
+  Stopwatch timer;
+  SearchContext ctx{net, t, max_hops, {}, 0.0, kInfiniteCost, {}, 0};
+  explore(ctx, s, Wavelength::invalid());
+  result.stats.search_seconds = timer.seconds();
+  result.stats.search_pops = ctx.expansions;
+
+  if (ctx.best_cost == kInfiniteCost) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+  result.found = true;
+  result.cost = ctx.best_cost;
+  result.path = Semilightpath(std::move(ctx.best));
+  result.switches = result.path.switch_settings(net);
+  return result;
+}
+
+}  // namespace lumen

@@ -1,0 +1,24 @@
+// Exhaustive-search oracle for tiny networks.
+//
+// Enumerates every walk from s to t up to a hop limit, choosing every
+// admissible wavelength on every link, and returns the cheapest per
+// Equation (1).  Exponential — intended for n <= ~6, k <= ~4 in tests,
+// where it provides a fully independent ground truth (it shares no graph
+// machinery with the real routers).
+#pragma once
+
+#include <cstdint>
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Optimal semilightpath from s to t among walks of at most `max_hops`
+/// links.  Note a true optimum may revisit nodes (Fig. 5), so max_hops
+/// should comfortably exceed n for exactness on adversarial instances.
+[[nodiscard]] RouteResult brute_force_route(const WdmNetwork& net, NodeId s,
+                                            NodeId t,
+                                            std::uint32_t max_hops = 10);
+
+}  // namespace lumen

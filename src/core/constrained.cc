@@ -1,0 +1,162 @@
+#include "core/constrained.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/aux_graph.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "util/stopwatch.h"
+
+namespace lumen {
+
+namespace {
+
+/// Product-graph search state: (auxiliary node, conversions used so far).
+struct Search {
+  const AuxiliaryGraph& aux;
+  std::uint32_t layers;  // max_conversions + 1
+  std::vector<double> dist;
+  std::vector<LinkId> parent_link;    // aux link taken into the state
+  std::vector<std::uint32_t> parent;  // predecessor state index
+  std::uint64_t pops = 0;
+  std::uint64_t relaxations = 0;
+
+  Search(const AuxiliaryGraph& aux_graph, std::uint32_t max_conversions)
+      : aux(aux_graph),
+        layers(max_conversions + 1),
+        dist(static_cast<std::size_t>(aux_graph.graph().num_nodes()) * layers,
+             kInfiniteCost),
+        parent_link(dist.size(), LinkId::invalid()),
+        parent(dist.size(), std::numeric_limits<std::uint32_t>::max()) {}
+
+  [[nodiscard]] std::uint32_t state(NodeId aux_node,
+                                    std::uint32_t used) const {
+    return aux_node.value() * layers + used;
+  }
+
+  void run(NodeId source) {
+    using Entry = std::pair<double, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    const std::uint32_t start = state(source, 0);
+    dist[start] = 0.0;
+    heap.push({0.0, start});
+    const Digraph& g = aux.graph();
+
+    while (!heap.empty()) {
+      const auto [d, cur] = heap.top();
+      heap.pop();
+      if (d > dist[cur]) continue;  // stale
+      ++pops;
+      const NodeId aux_node{cur / layers};
+      const std::uint32_t used = cur % layers;
+      for (const LinkId e : g.out_links(aux_node)) {
+        const double w = g.weight(e);
+        if (w == kInfiniteCost) continue;
+        const AuxLinkInfo& info = aux.link_info(e);
+        std::uint32_t next_used = used;
+        if (info.kind == AuxLinkKind::kConversion && info.from != info.to) {
+          if (used + 1 >= layers) continue;  // budget exhausted
+          next_used = used + 1;
+        }
+        const std::uint32_t next = state(g.head(e), next_used);
+        if (d + w < dist[next]) {
+          dist[next] = d + w;
+          parent_link[next] = e;
+          parent[next] = cur;
+          ++relaxations;
+          heap.push({d + w, next});
+        }
+      }
+    }
+  }
+
+  /// Cheapest sink state with used <= budget; invalid when infeasible.
+  [[nodiscard]] std::uint32_t best_sink_state(NodeId sink,
+                                              std::uint32_t budget) const {
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t used = 0; used <= budget && used < layers; ++used) {
+      const std::uint32_t s = state(sink, used);
+      if (dist[s] == kInfiniteCost) continue;
+      if (best == std::numeric_limits<std::uint32_t>::max() ||
+          dist[s] < dist[best]) {
+        best = s;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+RouteResult route_semilightpath_bounded(const WdmNetwork& net, NodeId s,
+                                        NodeId t,
+                                        std::uint32_t max_conversions) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  RouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+
+  Stopwatch build_clock;
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
+  result.stats.build_seconds = build_clock.seconds();
+  result.stats.aux_nodes =
+      aux.stats().total_nodes() * (max_conversions + 1ULL);
+  result.stats.aux_links = aux.stats().total_links();
+
+  Stopwatch search_clock;
+  Search search(aux, max_conversions);
+  search.run(aux.source_terminal());
+  result.stats.search_seconds = search_clock.seconds();
+  result.stats.search_pops = search.pops;
+  result.stats.search_relaxations = search.relaxations;
+
+  const std::uint32_t best =
+      search.best_sink_state(aux.sink_terminal(), max_conversions);
+  if (best == std::numeric_limits<std::uint32_t>::max()) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+  result.found = true;
+  result.cost = search.dist[best];
+
+  std::vector<LinkId> aux_path;
+  for (std::uint32_t cur = best;
+       search.parent[cur] != std::numeric_limits<std::uint32_t>::max();
+       cur = search.parent[cur]) {
+    aux_path.push_back(search.parent_link[cur]);
+  }
+  std::reverse(aux_path.begin(), aux_path.end());
+  result.path = aux.to_semilightpath(aux_path);
+  result.switches = result.path.switch_settings(net);
+  LUMEN_ASSERT(result.path.num_conversions() <= max_conversions);
+  return result;
+}
+
+std::vector<double> conversion_cost_profile(const WdmNetwork& net, NodeId s,
+                                            NodeId t,
+                                            std::uint32_t max_conversions) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  std::vector<double> profile(max_conversions + 1, kInfiniteCost);
+  if (s == t) {
+    std::fill(profile.begin(), profile.end(), 0.0);
+    return profile;
+  }
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
+  Search search(aux, max_conversions);
+  search.run(aux.source_terminal());
+  const NodeId sink = aux.sink_terminal();
+  for (std::uint32_t c = 0; c <= max_conversions; ++c) {
+    const std::uint32_t best = search.best_sink_state(sink, c);
+    if (best != std::numeric_limits<std::uint32_t>::max())
+      profile[c] = search.dist[best];
+  }
+  return profile;
+}
+
+}  // namespace lumen

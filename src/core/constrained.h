@@ -1,0 +1,39 @@
+// Conversion-budget-constrained semilightpath routing (extension).
+//
+// The paper motivates semilightpaths with physical limits — lightwave
+// dispersion, limited transceivers — and the same physics bounds how many
+// opto-electronic conversions a signal tolerates end-to-end.  This router
+// finds the cheapest semilightpath using at most `max_conversions`
+// wavelength switches: Dijkstra over the product of the auxiliary graph
+// with the conversion budget (layers 0..C), which multiplies Theorem 1's
+// cost by (C+1).
+//
+//   budget 0   == optimal pure lightpath
+//   budget ≥ n·k == the unconstrained Theorem 1 optimum
+//
+// The full cost profile (optimal cost per budget) is also exposed; its
+// marginal improvements quantify what each additional converter stage
+// buys — an ablation DESIGN.md tracks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Optimal semilightpath from s to t with at most `max_conversions`
+/// wavelength switches.  Result contract matches route_semilightpath;
+/// found == false also covers "reachable, but not within budget".
+[[nodiscard]] RouteResult route_semilightpath_bounded(
+    const WdmNetwork& net, NodeId s, NodeId t, std::uint32_t max_conversions);
+
+/// profile[c] = optimal cost using at most c conversions, for
+/// c = 0..max_conversions (kInfiniteCost where infeasible).  Computed in
+/// one constrained Dijkstra, not max_conversions+1 separate runs.
+[[nodiscard]] std::vector<double> conversion_cost_profile(
+    const WdmNetwork& net, NodeId s, NodeId t, std::uint32_t max_conversions);
+
+}  // namespace lumen

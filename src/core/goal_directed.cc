@@ -1,0 +1,128 @@
+#include "core/goal_directed.h"
+
+#include <algorithm>
+
+#include "core/aux_graph.h"
+#include "graph/dijkstra.h"
+#include "util/stopwatch.h"
+
+namespace lumen {
+
+namespace {
+
+/// Lower bound on the cost of reaching t from every physical node:
+/// reverse Dijkstra on the physical topology with each link weighted by
+/// its cheapest available wavelength.
+std::vector<double> physical_lower_bounds(const WdmNetwork& net, NodeId t) {
+  // Build the reverse physical graph once.
+  Digraph reversed(net.num_nodes());
+  reversed.reserve_links(net.num_links());
+  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+    const LinkId e{ei};
+    reversed.add_link(net.head(e), net.tail(e), net.min_link_cost(e));
+  }
+  return dijkstra(reversed, t).dist;
+}
+
+}  // namespace
+
+RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
+                                      NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  RouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+
+  Stopwatch build_clock;
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
+  const std::vector<double> lb = physical_lower_bounds(net, t);
+  result.stats.build_seconds = build_clock.seconds();
+  result.stats.aux_nodes = aux.stats().total_nodes();
+  result.stats.aux_links = aux.stats().total_links();
+
+  const Digraph& g = aux.graph();
+  const NodeId source = aux.source_terminal();
+  const NodeId sink = aux.sink_terminal();
+
+  // Potential of an auxiliary node = physical lower bound of its node;
+  // terminals sit on s / t themselves.  Unreachable-in-reverse physical
+  // nodes get +inf potential: they provably cannot reach t, so A* never
+  // expands their auxiliary nodes at all.
+  auto potential = [&](NodeId aux_node) {
+    return lb[aux.node_info(aux_node).node.value()];
+  };
+
+  Stopwatch search_clock;
+  std::vector<double> dist(g.num_nodes(), kInfiniteCost);  // true g-costs
+  std::vector<LinkId> parent(g.num_nodes(), LinkId::invalid());
+  std::vector<char> settled(g.num_nodes(), 0);
+  std::vector<char> in_heap(g.num_nodes(), 0);
+  std::vector<FibHeap::Handle> handle(g.num_nodes());
+
+  FibHeap heap;  // keyed by f = g + h
+  const double h0 = potential(source);
+  dist[source.value()] = 0.0;
+  if (h0 < kInfiniteCost) {
+    handle[source.value()] = heap.push(h0, source.value());
+    in_heap[source.value()] = 1;
+  }
+
+  while (!heap.empty()) {
+    const auto [f, u_raw] = heap.pop_min();
+    (void)f;
+    ++result.stats.search_pops;
+    in_heap[u_raw] = 0;
+    settled[u_raw] = 1;
+    const NodeId u{u_raw};
+    if (u == sink) break;
+    const double du = dist[u_raw];
+    for (const LinkId e : g.out_links(u)) {
+      const double w = g.weight(e);
+      if (w == kInfiniteCost) continue;
+      const NodeId v = g.head(e);
+      if (settled[v.value()]) continue;  // consistent h: safe to skip
+      const double hv = potential(v);
+      if (hv == kInfiniteCost) continue;  // cannot reach t physically
+      const double candidate = du + w;
+      if (candidate < dist[v.value()]) {
+        dist[v.value()] = candidate;
+        parent[v.value()] = e;
+        ++result.stats.search_relaxations;
+        const double fv = candidate + hv;
+        if (in_heap[v.value()]) {
+          heap.decrease_key(handle[v.value()], fv);
+        } else {
+          handle[v.value()] = heap.push(fv, v.value());
+          in_heap[v.value()] = 1;
+        }
+      }
+    }
+  }
+  result.stats.search_seconds = search_clock.seconds();
+
+  if (dist[sink.value()] == kInfiniteCost) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+  result.found = true;
+  result.cost = dist[sink.value()];
+
+  std::vector<LinkId> aux_path;
+  for (NodeId v = sink; v != source;) {
+    const LinkId e = parent[v.value()];
+    LUMEN_ASSERT(e.valid());
+    aux_path.push_back(e);
+    v = g.tail(e);
+  }
+  std::reverse(aux_path.begin(), aux_path.end());
+  result.path = aux.to_semilightpath(aux_path);
+  result.switches = result.path.switch_settings(net);
+  return result;
+}
+
+}  // namespace lumen

@@ -1,0 +1,26 @@
+// Goal-directed (A*) semilightpath search (extension).
+//
+// Theorem 1's Dijkstra explores the auxiliary graph uniformly.  For
+// single-pair queries on large WANs, an admissible potential prunes most
+// of that work: we run one reverse Dijkstra on the *physical* topology
+// weighted by each link's cheapest wavelength cost; the resulting
+// distance-to-t lower bound is a consistent heuristic for every auxiliary
+// node of the corresponding physical node (conversion costs are >= 0 and
+// every semilightpath suffix pays at least the cheapest-wavelength cost of
+// each physical link it crosses).  A* with this potential returns the same
+// optimum with strictly fewer heap pops — the `bench_goal_directed`
+// ablation quantifies the savings.
+#pragma once
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Optimal semilightpath from s to t via goal-directed A* over G_{s,t}.
+/// Result contract identical to route_semilightpath (same optimum; the
+/// stats reflect the reduced search).
+[[nodiscard]] RouteResult route_semilightpath_astar(const WdmNetwork& net,
+                                                    NodeId s, NodeId t);
+
+}  // namespace lumen

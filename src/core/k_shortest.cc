@@ -1,0 +1,32 @@
+#include "core/k_shortest.h"
+
+#include "core/aux_graph.h"
+#include "graph/yen_ksp.h"
+
+namespace lumen {
+
+std::vector<RankedRoute> k_shortest_semilightpaths(const WdmNetwork& net,
+                                                   NodeId s, NodeId t,
+                                                   std::uint32_t K) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  LUMEN_REQUIRE_MSG(s != t, "alternatives are defined for distinct endpoints");
+  LUMEN_REQUIRE(K >= 1);
+
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
+  const auto ranked = yen_k_shortest_paths(
+      aux.graph(), aux.source_terminal(), aux.sink_terminal(), K);
+
+  std::vector<RankedRoute> routes;
+  routes.reserve(ranked.size());
+  for (const RankedPath& p : ranked) {
+    RankedRoute route;
+    route.cost = p.cost;
+    route.path = aux.to_semilightpath(p.links);
+    route.switches = route.path.switch_settings(net);
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+}  // namespace lumen

@@ -1,0 +1,37 @@
+// K cheapest alternative semilightpaths (extension).
+//
+// Protection and restoration routing — the online setting the paper's
+// introduction motivates — needs ranked alternatives, not just the single
+// optimum: if the best route cannot be provisioned (a resource race, a
+// failed switch), the next-cheapest is tried.  We run Yen's algorithm on
+// the auxiliary graph G_{s,t}; every loopless auxiliary path maps to a
+// distinct semilightpath, ranked by Equation (1) cost.
+//
+// Note on distinctness: two different auxiliary paths always differ in
+// some (link, wavelength) hop or switch setting, so the returned
+// semilightpaths are pairwise distinct as routing decisions, even when
+// their link sequences coincide (same links, different wavelengths).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// One ranked alternative.
+struct RankedRoute {
+  double cost = 0.0;
+  Semilightpath path;
+  std::vector<SwitchSetting> switches;
+};
+
+/// The K cheapest distinct semilightpaths from s to t in non-decreasing
+/// cost order (fewer than K when the network does not admit that many
+/// loopless auxiliary routes).  Requires s != t and K >= 1.
+[[nodiscard]] std::vector<RankedRoute> k_shortest_semilightpaths(
+    const WdmNetwork& net, NodeId s, NodeId t, std::uint32_t K);
+
+}  // namespace lumen

@@ -1,0 +1,116 @@
+#include "core/liang_shen.h"
+
+#include "graph/binary_heap.h"
+#include "graph/dijkstra.h"
+#include "graph/pairing_heap.h"
+#include "util/stopwatch.h"
+
+namespace lumen {
+
+namespace {
+
+ShortestPathTree run_dijkstra(const Digraph& g, NodeId source, NodeId target,
+                              HeapKind heap) {
+  switch (heap) {
+    case HeapKind::kFibonacci:
+      return dijkstra_with<FibHeap>(g, source, target);
+    case HeapKind::kBinary:
+      return dijkstra_with<BinaryHeap>(g, source, target);
+    case HeapKind::kQuaternary:
+      return dijkstra_with<QuaternaryHeap>(g, source, target);
+    case HeapKind::kPairing:
+      return dijkstra_with<PairingHeap>(g, source, target);
+  }
+  LUMEN_ASSERT(false);
+}
+
+RouteResult trivial_self_route() {
+  RouteResult result;
+  result.found = true;
+  result.cost = 0.0;
+  return result;
+}
+
+}  // namespace
+
+RouteResult route_on_aux(const WdmNetwork& net, const AuxiliaryGraph& aux,
+                         HeapKind heap) {
+  RouteResult result;
+  result.stats.aux_nodes = aux.stats().total_nodes();
+  result.stats.aux_links = aux.stats().total_links();
+  result.stats.build_seconds = aux.stats().build_seconds;
+
+  Stopwatch timer;
+  const NodeId source = aux.source_terminal();
+  const NodeId sink = aux.sink_terminal();
+  const ShortestPathTree tree = run_dijkstra(aux.graph(), source, sink, heap);
+  result.stats.search_seconds = timer.seconds();
+  result.stats.search_pops = tree.pops;
+  result.stats.search_relaxations = tree.relaxations;
+
+  if (!tree.reached(sink)) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+  result.found = true;
+  result.cost = tree.dist[sink.value()];
+  const auto aux_path = extract_path(aux.graph(), tree, sink);
+  LUMEN_ASSERT(aux_path.has_value());
+  result.path = aux.to_semilightpath(*aux_path);
+  result.switches = result.path.switch_settings(net);
+  return result;
+}
+
+RouteResult route_semilightpath(const WdmNetwork& net, NodeId s, NodeId t,
+                                HeapKind heap) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  if (s == t) return trivial_self_route();
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
+  return route_on_aux(net, aux, heap);
+}
+
+RouteResult route_lightpath(const WdmNetwork& net, NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  if (s == t) return trivial_self_route();
+
+  RouteResult best;
+  best.found = false;
+  best.cost = kInfiniteCost;
+  Stopwatch timer;
+
+  // One Dijkstra per wavelength on the λ-subnetwork.  The subnetwork
+  // reuses the physical topology with weights w(e,λ) (+inf when λ ∉ Λ(e)),
+  // so links outside Λ(e) are skipped by the search.
+  for (std::uint32_t li = 0; li < net.num_wavelengths(); ++li) {
+    const Wavelength lambda{li};
+    Digraph sub(net.num_nodes());
+    sub.reserve_links(net.num_links());
+    // sub's link ids coincide with physical link ids by construction order.
+    for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+      const LinkId e{ei};
+      sub.add_link(net.tail(e), net.head(e), net.link_cost(e, lambda));
+    }
+    const ShortestPathTree tree = dijkstra(sub, s, t);
+    best.stats.search_pops += tree.pops;
+    best.stats.search_relaxations += tree.relaxations;
+    best.stats.aux_nodes += sub.num_nodes();
+    best.stats.aux_links += sub.num_links();
+    if (!tree.reached(t) || tree.dist[t.value()] >= best.cost) continue;
+
+    const auto links = extract_path(sub, tree, t);
+    LUMEN_ASSERT(links.has_value());
+    Semilightpath path;
+    for (const LinkId e : *links) path.append(Hop{e, lambda});
+    best.found = true;
+    best.cost = tree.dist[t.value()];
+    best.path = std::move(path);
+  }
+  best.switches.clear();  // lightpaths never convert
+  best.stats.search_seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace lumen

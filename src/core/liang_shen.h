@@ -1,0 +1,48 @@
+// The Liang–Shen optimal semilightpath algorithm (Theorem 1).
+//
+// Builds the layered auxiliary graph G_{s,t} and runs Dijkstra (Fibonacci
+// heap by default) from s' to t''.  Total cost
+// O(k^2 n + k m + k n log(kn)); for networks with |Λ(e)| <= k_0 the same
+// code meets Theorem 4's O(d^2 n k_0^2 + m k_0 log n) — independent of the
+// universe size k — because construction never enumerates Λ itself.
+#pragma once
+
+#include "core/aux_graph.h"
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Heap used inside the Dijkstra phase (the bench E8 ablation axis).
+enum class HeapKind {
+  kFibonacci,   ///< Fredman–Tarjan heap: the paper's choice
+  kBinary,      ///< classic 2-ary array heap
+  kQuaternary,  ///< cache-friendlier 4-ary array heap
+  kPairing,     ///< self-adjusting pairing heap
+};
+
+/// Finds the optimal semilightpath from s to t (Theorem 1).
+///
+/// Returns found=false when no semilightpath exists.  s == t yields an
+/// empty path of cost 0.  The result carries the wavelength assignment on
+/// every hop and the switch settings at conversion nodes.
+[[nodiscard]] RouteResult route_semilightpath(
+    const WdmNetwork& net, NodeId s, NodeId t,
+    HeapKind heap = HeapKind::kFibonacci);
+
+/// As route_semilightpath, but reuses a prebuilt single-pair auxiliary
+/// graph (the caller owns the build cost; useful for benches that separate
+/// construction from search).
+[[nodiscard]] RouteResult route_on_aux(const WdmNetwork& net,
+                                       const AuxiliaryGraph& aux,
+                                       HeapKind heap = HeapKind::kFibonacci);
+
+/// Finds the optimal *lightpath* (single wavelength end-to-end, no
+/// conversion) from s to t: one Dijkstra per wavelength on the subnetwork
+/// where that wavelength is available.  Returns found=false when every
+/// wavelength is blocked.  This is the classic wavelength-continuity
+/// routing the semilightpath model generalizes.
+[[nodiscard]] RouteResult route_lightpath(const WdmNetwork& net, NodeId s,
+                                          NodeId t);
+
+}  // namespace lumen

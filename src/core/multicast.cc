@@ -1,0 +1,64 @@
+#include "core/multicast.h"
+
+#include <unordered_set>
+
+#include "core/aux_graph.h"
+#include "graph/dijkstra.h"
+
+namespace lumen {
+
+MulticastResult route_multicast(const WdmNetwork& net, NodeId s,
+                                std::span<const NodeId> destinations) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE_MSG(!destinations.empty(), "multicast needs destinations");
+  for (const NodeId d : destinations)
+    LUMEN_REQUIRE(d.value() < net.num_nodes());
+
+  MulticastResult result;
+  result.legs.reserve(destinations.size());
+
+  // One tree over G_all rooted at s' answers every destination; shared
+  // tree prefixes are the light-tree sharing we account for.
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_all_pairs(net);
+  const ShortestPathTree tree = dijkstra(aux.graph(), aux.source_terminal(s));
+
+  // Distinct (link, λ) pairs across the forest, keyed by the auxiliary
+  // transmission link id (one aux link == one (physical link, λ) pair).
+  std::unordered_set<std::uint32_t> used_aux_links;
+
+  bool all = true;
+  for (const NodeId d : destinations) {
+    MulticastLeg leg;
+    leg.destination = d;
+    if (d == s) {
+      leg.reached = true;
+      leg.cost = 0.0;
+      result.legs.push_back(std::move(leg));
+      continue;
+    }
+    const NodeId sink = aux.sink_terminal(d);
+    if (!tree.reached(sink)) {
+      leg.reached = false;
+      leg.cost = kInfiniteCost;
+      all = false;
+      result.legs.push_back(std::move(leg));
+      continue;
+    }
+    leg.reached = true;
+    leg.cost = tree.dist[sink.value()];
+    const auto aux_path = extract_path(aux.graph(), tree, sink);
+    LUMEN_ASSERT(aux_path.has_value());
+    for (const LinkId aux_link : *aux_path) {
+      if (aux.link_info(aux_link).kind == AuxLinkKind::kTransmission)
+        used_aux_links.insert(aux_link.value());
+    }
+    leg.path = aux.to_semilightpath(*aux_path);
+    result.unicast_resources += leg.path.length();
+    result.legs.push_back(std::move(leg));
+  }
+  result.all_reached = all;
+  result.tree_resources = used_aux_links.size();
+  return result;
+}
+
+}  // namespace lumen

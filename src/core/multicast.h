@@ -1,0 +1,54 @@
+// Multicast semilightpath routing: a light-forest from one source to many
+// destinations (extension).
+//
+// Video distribution and data replication — applications the paper's
+// introduction cites — need one-to-many connections.  We route the whole
+// group on a single shortest-path tree of the auxiliary graph rooted at
+// s', so per-destination routes are individually optimal AND overlapping
+// routes share resources: where two destinations' auxiliary paths share a
+// prefix they use the same physical links *on the same wavelengths*, so
+// one transmitted copy serves both (the defining property of a light-
+// tree).  Resource accounting reports exactly that sharing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Per-destination leg of a multicast group.
+struct MulticastLeg {
+  NodeId destination;
+  bool reached = false;
+  double cost = 0.0;  ///< optimal single-pair cost (kInfiniteCost if not)
+  Semilightpath path;
+};
+
+/// Result of a multicast routing query.
+struct MulticastResult {
+  std::vector<MulticastLeg> legs;
+  /// True when every destination was reached.
+  bool all_reached = false;
+  /// Distinct (link, wavelength) pairs used by the whole forest — what
+  /// the network actually provisions.
+  std::uint64_t tree_resources = 0;
+  /// Σ per-leg hop counts — what independent unicasts would provision.
+  std::uint64_t unicast_resources = 0;
+
+  /// unicast_resources - tree_resources: links saved by sharing.
+  [[nodiscard]] std::uint64_t sharing() const noexcept {
+    return unicast_resources - tree_resources;
+  }
+};
+
+/// Routes s to every destination on one auxiliary shortest-path tree.
+/// Each leg's cost equals the single-pair optimum (Theorem 1 applied
+/// per destination).  Destinations equal to s are reported reached with
+/// an empty path.  Requires at least one destination.
+[[nodiscard]] MulticastResult route_multicast(
+    const WdmNetwork& net, NodeId s, std::span<const NodeId> destinations);
+
+}  // namespace lumen

@@ -1,0 +1,106 @@
+#include "core/protection.h"
+
+#include <unordered_set>
+
+#include "core/k_shortest.h"
+#include "core/liang_shen.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen {
+
+namespace {
+
+/// Unordered endpoint key: a fiber cut takes out both directions of a
+/// span, so protection must be span-disjoint, not merely directed-link-
+/// disjoint.
+[[nodiscard]] std::uint64_t span_key(const WdmNetwork& net, LinkId e) {
+  std::uint32_t a = net.tail(e).value();
+  std::uint32_t b = net.head(e).value();
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// The network with every link sharing a span with `working` removed.
+/// `reduced_to_original[i]` maps the copy's link i back to the input net.
+WdmNetwork without_working_spans(const WdmNetwork& net,
+                                 const Semilightpath& working,
+                                 std::vector<LinkId>& reduced_to_original) {
+  std::unordered_set<std::uint64_t> blocked;
+  for (const Hop& hop : working.hops()) blocked.insert(span_key(net, hop.link));
+
+  WdmNetwork reduced(net.num_nodes(), net.num_wavelengths(),
+                     net.conversion_ptr());
+  reduced_to_original.clear();
+  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+    const LinkId e{ei};
+    if (blocked.contains(span_key(net, e))) continue;
+    const LinkId copy = reduced.add_link(net.tail(e), net.head(e));
+    for (const LinkWavelength& lw : net.available(e))
+      reduced.set_wavelength(copy, lw.lambda, lw.cost);
+    reduced_to_original.push_back(e);
+  }
+  return reduced;
+}
+
+/// Remaps a path routed on the reduced copy back onto original link ids.
+Semilightpath remap(const Semilightpath& path,
+                    const std::vector<LinkId>& reduced_to_original) {
+  Semilightpath out;
+  for (const Hop& hop : path.hops()) {
+    LUMEN_ASSERT(hop.link.value() < reduced_to_original.size());
+    out.append(Hop{reduced_to_original[hop.link.value()], hop.wavelength});
+  }
+  return out;
+}
+
+/// Completes a pair given a concrete working path; nullopt when the
+/// remainder cannot carry a backup.
+std::optional<ProtectedPair> complete_pair(const WdmNetwork& net, NodeId s,
+                                           NodeId t,
+                                           const Semilightpath& working,
+                                           double working_cost) {
+  std::vector<LinkId> reduced_to_original;
+  const WdmNetwork reduced =
+      without_working_spans(net, working, reduced_to_original);
+  const RouteResult backup = route_semilightpath(reduced, s, t);
+  if (!backup.found) return std::nullopt;
+  ProtectedPair pair;
+  pair.working = working;
+  pair.working_cost = working_cost;
+  pair.backup = remap(backup.path, reduced_to_original);
+  pair.backup_cost = backup.cost;
+  return pair;
+}
+
+}  // namespace
+
+std::optional<ProtectedPair> route_protected_pair(const WdmNetwork& net,
+                                                  NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  LUMEN_REQUIRE_MSG(s != t, "protection needs distinct endpoints");
+  const RouteResult working = route_semilightpath(net, s, t);
+  if (!working.found) return std::nullopt;
+  return complete_pair(net, s, t, working.path, working.cost);
+}
+
+std::optional<ProtectedPair> route_protected_pair_iterated(
+    const WdmNetwork& net, NodeId s, NodeId t, std::uint32_t num_candidates) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  LUMEN_REQUIRE_MSG(s != t, "protection needs distinct endpoints");
+  LUMEN_REQUIRE(num_candidates >= 1);
+
+  std::optional<ProtectedPair> best;
+  for (const RankedRoute& candidate :
+       k_shortest_semilightpaths(net, s, t, num_candidates)) {
+    const auto pair =
+        complete_pair(net, s, t, candidate.path, candidate.cost);
+    if (pair && (!best || pair->total_cost() < best->total_cost())) {
+      best = pair;
+    }
+  }
+  return best;
+}
+
+}  // namespace lumen

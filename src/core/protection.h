@@ -1,0 +1,50 @@
+// Dedicated-protection routing: a working/backup semilightpath pair on
+// link-disjoint physical routes (extension).
+//
+// 1+1 protection provisions two semilightpaths that share no physical
+// link, so any single span cut leaves the backup intact.  With wavelength
+// conversion in play the jointly-cheapest disjoint pair is not a pure
+// min-cost-flow problem (Suurballe's transformation does not carry the
+// per-junction conversion terms), so we use the standard two-step
+// heuristic — route the working path optimally, erase its physical links,
+// route the backup on the remainder — plus an iterated variant that also
+// tries each of the K cheapest working paths and keeps the best pair.
+// The two-step heuristic can fail on "trap topologies" where the optimal
+// working path blocks every backup; the iterated variant escapes any trap
+// that some top-K working path avoids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// A working/backup pair of link-disjoint semilightpaths.
+struct ProtectedPair {
+  Semilightpath working;
+  double working_cost = 0.0;
+  Semilightpath backup;
+  double backup_cost = 0.0;
+
+  [[nodiscard]] double total_cost() const noexcept {
+    return working_cost + backup_cost;
+  }
+};
+
+/// Two-step heuristic: optimal working path, then optimal backup on the
+/// network minus the working path's physical links.  Returns std::nullopt
+/// when no link-disjoint pair is found this way.
+[[nodiscard]] std::optional<ProtectedPair> route_protected_pair(
+    const WdmNetwork& net, NodeId s, NodeId t);
+
+/// Iterated variant: tries each of the `num_candidates` cheapest working
+/// paths and returns the pair with the smallest total cost (still a
+/// heuristic, but escapes trap topologies the plain two-step falls into).
+[[nodiscard]] std::optional<ProtectedPair> route_protected_pair_iterated(
+    const WdmNetwork& net, NodeId s, NodeId t,
+    std::uint32_t num_candidates = 4);
+
+}  // namespace lumen

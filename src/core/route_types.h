@@ -1,0 +1,47 @@
+// Result and instrumentation types shared by all routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wdm/semilightpath.h"
+
+namespace lumen {
+
+/// Size and effort instrumentation for one routing run.  The size fields
+/// let tests check the paper's Observations 1–5 and benches expose the
+/// structural difference between the Liang–Shen and CFZ constructions.
+struct RouteStats {
+  /// Nodes in the auxiliary graph actually searched.
+  std::uint64_t aux_nodes = 0;
+  /// Links in the auxiliary graph actually searched.
+  std::uint64_t aux_links = 0;
+  /// Heap pops during the shortest-path search.
+  std::uint64_t search_pops = 0;
+  /// Successful relaxations during the search.
+  std::uint64_t search_relaxations = 0;
+  /// Seconds spent building the auxiliary graph.
+  double build_seconds = 0.0;
+  /// Seconds spent in the shortest-path search.
+  double search_seconds = 0.0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return build_seconds + search_seconds;
+  }
+};
+
+/// The outcome of a single-pair routing query.
+struct RouteResult {
+  /// True when a semilightpath from s to t exists.
+  bool found = false;
+  /// C(P) of the optimal semilightpath (kInfiniteCost when !found).
+  double cost = 0.0;
+  /// The optimal semilightpath (empty when !found, or when s == t).
+  Semilightpath path;
+  /// Wavelength-conversion switch settings along the path.
+  std::vector<SwitchSetting> switches;
+  /// Instrumentation.
+  RouteStats stats;
+};
+
+}  // namespace lumen

@@ -1,0 +1,123 @@
+#include "core/state_dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "util/stopwatch.h"
+
+namespace lumen {
+
+namespace {
+
+/// States are encoded as v * k + λ; the extra state n*k is the start
+/// (standing at s with no incoming wavelength).
+using State = std::uint64_t;
+
+struct Arrival {
+  State prev = ~State{0};
+  LinkId link;  // physical link taken to enter this state
+};
+
+}  // namespace
+
+RouteResult state_dijkstra_route(const WdmNetwork& net, NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  RouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+
+  Stopwatch timer;
+  const std::uint64_t n = net.num_nodes();
+  const std::uint64_t k = net.num_wavelengths();
+  const State start = n * k;
+  const std::uint64_t num_states = n * k + 1;
+  result.stats.aux_nodes = num_states;
+
+  std::vector<double> dist(num_states, kInfiniteCost);
+  std::vector<Arrival> arrival(num_states);
+  std::vector<char> settled(num_states, 0);
+
+  using Entry = std::pair<double, State>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[start] = 0.0;
+  heap.push({0.0, start});
+
+  auto relax = [&](State to, double candidate, State from, LinkId via) {
+    if (candidate < dist[to]) {
+      dist[to] = candidate;
+      arrival[to] = Arrival{from, via};
+      heap.push({candidate, to});
+      ++result.stats.search_relaxations;
+    }
+  };
+
+  double best_cost = kInfiniteCost;
+  State best_state = ~State{0};
+
+  while (!heap.empty()) {
+    const auto [d, state] = heap.top();
+    heap.pop();
+    if (settled[state] || d > dist[state]) continue;  // stale entry
+    settled[state] = 1;
+    ++result.stats.search_pops;
+    if (d >= best_cost) break;  // nothing cheaper can still be found
+
+    NodeId v;
+    Wavelength in_lambda;
+    if (state == start) {
+      v = s;
+      in_lambda = Wavelength::invalid();
+    } else {
+      v = NodeId{static_cast<std::uint32_t>(state / k)};
+      in_lambda = Wavelength{static_cast<std::uint32_t>(state % k)};
+      if (v == t && d < best_cost) {
+        best_cost = d;
+        best_state = state;
+        break;  // Dijkstra: first settled target state is optimal
+      }
+    }
+
+    for (const LinkId e : net.out_links(v)) {
+      for (const auto& lw : net.available(e)) {
+        double step = lw.cost;
+        if (state != start) {
+          const double conv = net.conversion_cost(v, in_lambda, lw.lambda);
+          if (conv == kInfiniteCost) continue;
+          step += conv;
+        }
+        const State next =
+            static_cast<std::uint64_t>(net.head(e).value()) * k +
+            lw.lambda.value();
+        relax(next, d + step, state, e);
+      }
+    }
+  }
+
+  result.stats.search_seconds = timer.seconds();
+  if (best_state == ~State{0}) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+
+  result.found = true;
+  result.cost = best_cost;
+  std::vector<Hop> hops;
+  for (State cur = best_state; cur != start; cur = arrival[cur].prev) {
+    hops.push_back(Hop{arrival[cur].link,
+                       Wavelength{static_cast<std::uint32_t>(cur % k)}});
+  }
+  std::reverse(hops.begin(), hops.end());
+  result.path = Semilightpath(std::move(hops));
+  result.switches = result.path.switch_settings(net);
+  return result;
+}
+
+}  // namespace lumen

@@ -1,0 +1,23 @@
+// Independent test oracle: Dijkstra over the implicit (node, wavelength)
+// state space.
+//
+// State (v, λ) means "standing at node v, having arrived on wavelength λ";
+// a transition takes an outgoing link e with some λ' ∈ Λ(e) at cost
+// c_v(λ, λ') + w(e, λ').  This solves exactly Equation (1) — one conversion
+// per junction — without materializing any auxiliary graph, so it shares no
+// code with the Liang–Shen or CFZ implementations and serves as a
+// correctness oracle in randomized tests.  O(nk) states, lazy-deletion
+// binary heap; asymptotically slower than Theorem 1 but simple and exact.
+#pragma once
+
+#include "core/route_types.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Optimal semilightpath from s to t via state-space Dijkstra.
+/// Result contract identical to route_semilightpath.
+[[nodiscard]] RouteResult state_dijkstra_route(const WdmNetwork& net, NodeId s,
+                                               NodeId t);
+
+}  // namespace lumen

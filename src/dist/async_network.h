@@ -1,0 +1,99 @@
+// Event-driven asynchronous network simulator.
+//
+// Chandy–Misra's actual model: no rounds, every message experiences its
+// own (bounded, random) delay, and nodes react to messages one at a time
+// in delivery order.  The async router uses this to show the Theorem 3
+// protocol is schedule-independent: the converged labels (and hence the
+// optimum) match the synchronous execution for every delay assignment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// An asynchronous network over a fixed physical topology.  Each send
+/// schedules one delivery at now + U[min_delay, max_delay); deliveries
+/// are processed in global time order (FIFO per link is NOT guaranteed,
+/// which is the harsher model).
+template <class Payload>
+class AsyncNetwork {
+ public:
+  /// One delivered message.
+  struct Delivery {
+    double time;
+    LinkId link;
+    Payload payload;
+  };
+
+  /// The topology must outlive the simulator.  Delays are uniform in
+  /// [min_delay, max_delay); both must be > 0 and min <= max.
+  AsyncNetwork(const Digraph& topology, Rng rng, double min_delay = 0.5,
+               double max_delay = 1.5)
+      : topology_(&topology),
+        rng_(rng),
+        min_delay_(min_delay),
+        max_delay_(max_delay) {
+    LUMEN_REQUIRE(min_delay > 0.0 && min_delay <= max_delay);
+  }
+
+  /// Sends a message on `link`; it will be delivered after a random delay.
+  void send(LinkId link, Payload payload) {
+    LUMEN_REQUIRE(link.value() < topology_->num_links());
+    const double at =
+        now_ + rng_.next_double_in(min_delay_, max_delay_);
+    queue_.push(Event{at, sequence_++, link, std::move(payload)});
+  }
+
+  /// Pops the earliest in-flight message and advances the clock to its
+  /// delivery time; std::nullopt when the network is quiescent.
+  std::optional<Delivery> next() {
+    if (queue_.empty()) return std::nullopt;
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++messages_;
+    return Delivery{event.time, event.link, std::move(event.payload)};
+  }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  /// Messages delivered so far.
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] bool quiescent() const noexcept { return queue_.empty(); }
+  [[nodiscard]] const Digraph& topology() const noexcept {
+    return *topology_;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;  // deterministic tie-break
+    LinkId link;
+    Payload payload;
+
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  const Digraph* topology_;
+  Rng rng_;
+  double min_delay_;
+  double max_delay_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace lumen

@@ -1,0 +1,96 @@
+#include "dist/async_router.h"
+
+#include "dist/async_network.h"
+#include "dist/protocol_state.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen {
+
+namespace {
+
+using dist_detail::GadgetState;
+using dist_detail::kNoParent;
+using dist_detail::kSourceParent;
+using dist_detail::Offer;
+
+}  // namespace
+
+AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
+                                           NodeId t, std::uint64_t seed,
+                                           double min_delay,
+                                           double max_delay) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  AsyncRouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+
+  std::vector<GadgetState> gadgets = dist_detail::make_gadgets(net);
+  AsyncNetwork<Offer> sim(net.topology(), Rng(seed), min_delay, max_delay);
+  const ConversionModel& conv = net.conversion();
+
+  auto broadcast_y = [&](NodeId v, std::uint32_t y_index) {
+    const GadgetState& gadget = gadgets[v.value()];
+    const Wavelength lambda = gadget.out_lambdas[y_index];
+    const double dy = gadget.dist_y[y_index];
+    for (const LinkId e : net.out_links(v)) {
+      const double w = net.link_cost(e, lambda);
+      if (w == kInfiniteCost) continue;
+      sim.send(e, Offer{lambda, dy + w});
+    }
+  };
+
+  // Source seeding: s' -> Y_s ties at distance 0.
+  {
+    GadgetState& source_gadget = gadgets[s.value()];
+    for (std::uint32_t y = 0; y < source_gadget.out_lambdas.size(); ++y) {
+      source_gadget.dist_y[y] = 0.0;
+      source_gadget.parent_y[y] = kSourceParent;
+      broadcast_y(s, y);
+    }
+  }
+
+  // Event loop: one delivery at a time, in global time order.  Each
+  // delivery may improve one arrival label, whose gadget relaxation may
+  // improve departure labels, each of which re-broadcasts.
+  while (auto delivery = sim.next()) {
+    const NodeId v = net.head(delivery->link);
+    GadgetState& gadget = gadgets[v.value()];
+    const Offer& offer = delivery->payload;
+    const std::uint32_t x = GadgetState::find(gadget.in_lambdas, offer.lambda);
+    LUMEN_ASSERT(x != kNoParent);
+    if (offer.dist >= gadget.dist_x[x]) continue;  // stale offer
+    gadget.dist_x[x] = offer.dist;
+    gadget.parent_x[x] = delivery->link;
+
+    const Wavelength from = gadget.in_lambdas[x];
+    for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
+      const double c = conv.cost(v, from, gadget.out_lambdas[y]);
+      if (c == kInfiniteCost) continue;
+      if (offer.dist + c < gadget.dist_y[y]) {
+        gadget.dist_y[y] = offer.dist + c;
+        gadget.parent_y[y] = x;
+        broadcast_y(v, y);
+      }
+    }
+  }
+  result.messages = sim.total_messages();
+  result.virtual_time = sim.now();
+
+  const GadgetState& sink = gadgets[t.value()];
+  const std::uint32_t best_x = dist_detail::best_arrival(sink);
+  if (best_x == kNoParent) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+  result.found = true;
+  result.cost = sink.dist_x[best_x];
+  result.path = dist_detail::trace_path(net, gadgets, s, t, best_x);
+  return result;
+}
+
+}  // namespace lumen

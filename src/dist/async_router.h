@@ -1,0 +1,36 @@
+// Asynchronous distributed semilightpath routing (extension).
+//
+// The same Theorem 3 protocol as dist_router, but executed on the
+// event-driven AsyncNetwork: every message has its own random delay and
+// nodes process deliveries one at a time, exactly Chandy–Misra's setting.
+// Distributed Bellman–Ford is self-stabilizing under arbitrary schedules,
+// so the converged optimum must be independent of the delay assignment —
+// tests sweep seeds to confirm.  Message totals are generally higher than
+// the synchronous schedule's (no per-round batching of offers).
+#pragma once
+
+#include <cstdint>
+
+#include "dist/dist_router.h"  // DistRouteResult
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Result of an asynchronous execution; `rounds` is repurposed as the
+/// number of deliveries processed (there are no rounds), and
+/// `virtual_time` is the simulated clock at quiescence.
+struct AsyncRouteResult {
+  bool found = false;
+  double cost = 0.0;
+  Semilightpath path;
+  std::uint64_t messages = 0;
+  double virtual_time = 0.0;
+};
+
+/// Routes s -> t on the asynchronous model with per-message delays drawn
+/// uniformly from [min_delay, max_delay) using `seed`.
+[[nodiscard]] AsyncRouteResult async_route_semilightpath(
+    const WdmNetwork& net, NodeId s, NodeId t, std::uint64_t seed,
+    double min_delay = 0.5, double max_delay = 1.5);
+
+}  // namespace lumen

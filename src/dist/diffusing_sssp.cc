@@ -1,0 +1,149 @@
+#include "dist/diffusing_sssp.h"
+
+#include <queue>
+#include <vector>
+
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lumen {
+
+namespace {
+
+/// One in-flight message: a basic distance offer traveling along `link`,
+/// or its acknowledgement traveling back against it.
+struct Event {
+  double time;
+  std::uint64_t seq;  // deterministic tie-break
+  bool is_ack;
+  LinkId link;
+  double offer;  // basic messages only
+
+  bool operator>(const Event& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct ProcessState {
+  double dist = kInfiniteCost;
+  LinkId parent;
+  /// Outstanding basic messages this node has sent and not yet had acked.
+  std::uint64_t deficit = 0;
+  /// The deferred-ack engager link (valid while in the engager tree).
+  LinkId engager;
+};
+
+}  // namespace
+
+DiffusingSsspResult diffusing_sssp(const Digraph& g, NodeId source,
+                                   std::uint64_t seed, double min_delay,
+                                   double max_delay) {
+  LUMEN_REQUIRE(source.value() < g.num_nodes());
+  LUMEN_REQUIRE(min_delay > 0.0 && min_delay <= max_delay);
+
+  DiffusingSsspResult result;
+  std::vector<ProcessState> state(g.num_nodes());
+  state[source.value()].dist = 0.0;
+
+  Rng rng(seed);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  std::uint64_t seq = 0;
+  double now = 0.0;
+
+  auto send_basic = [&](LinkId e, double offer) {
+    queue.push(Event{now + rng.next_double_in(min_delay, max_delay), seq++,
+                     false, e, offer});
+    ++state[g.tail(e).value()].deficit;
+  };
+  auto send_ack = [&](LinkId e) {
+    queue.push(Event{now + rng.next_double_in(min_delay, max_delay), seq++,
+                     true, e, 0.0});
+  };
+
+  /// Broadcast improved distance over all usable out-links of v.
+  auto broadcast = [&](NodeId v) {
+    const double dv = state[v.value()].dist;
+    for (const LinkId e : g.out_links(v)) {
+      const double w = g.weight(e);
+      if (w == kInfiniteCost) continue;
+      send_basic(e, dv + w);
+    }
+  };
+
+  /// Deficit of v dropped to zero: release the deferred engager ack (or,
+  /// at the source, declare termination).
+  auto maybe_collapse = [&](NodeId v) {
+    ProcessState& ps = state[v.value()];
+    if (ps.deficit != 0) return;
+    if (v == source) {
+      result.detected = true;
+      result.detection_time = now;
+      return;
+    }
+    if (ps.engager.valid()) {
+      send_ack(ps.engager);
+      ps.engager = LinkId::invalid();
+    }
+  };
+
+  // The source engages itself and diffuses the first wave.
+  broadcast(source);
+  maybe_collapse(source);  // isolated source terminates immediately
+
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    queue.pop();
+    now = event.time;
+
+    if (event.is_ack) {
+      ++result.ack_messages;
+      const NodeId u = g.tail(event.link);
+      ProcessState& ps = state[u.value()];
+      LUMEN_ASSERT(ps.deficit > 0);
+      --ps.deficit;
+      maybe_collapse(u);
+      continue;
+    }
+
+    ++result.basic_messages;
+    result.quiescence_time = now;  // last basic delivery seen so far
+    const NodeId v = g.head(event.link);
+    ProcessState& ps = state[v.value()];
+
+    const bool was_idle = !ps.engager.valid() && ps.deficit == 0;
+    if (event.offer < ps.dist) {
+      ps.dist = event.offer;
+      ps.parent = event.link;
+      broadcast(v);
+    }
+
+    if (v == source) {
+      // The source never defers: it is the root of the engager tree.
+      send_ack(event.link);
+    } else if (was_idle) {
+      // First engagement since idle: defer this ack until collapse.
+      ps.engager = event.link;
+      maybe_collapse(v);  // nothing sent -> ack right back
+    } else {
+      // Already active: acknowledge immediately (DS rule).
+      send_ack(event.link);
+    }
+  }
+
+  LUMEN_ASSERT(result.detected || g.out_links(source).empty());
+  // DS guarantee: the source detects termination only after every basic
+  // message has been delivered and acknowledged.
+  LUMEN_ASSERT(result.detection_time >= result.quiescence_time);
+
+  result.dist.reserve(g.num_nodes());
+  result.parent_link.reserve(g.num_nodes());
+  for (const ProcessState& ps : state) {
+    result.dist.push_back(ps.dist);
+    result.parent_link.push_back(ps.parent);
+  }
+  return result;
+}
+
+}  // namespace lumen

@@ -1,0 +1,58 @@
+// Distributed SSSP with Dijkstra–Scholten diffusing-computation
+// termination detection.
+//
+// The synchronous simulator (distributed_sssp) detects quiescence by
+// omniscience — it can see that no message is in flight.  A real
+// asynchronous network cannot; Chandy–Misra's algorithm [3] pairs the
+// Bellman–Ford relaxation with Dijkstra–Scholten termination: every basic
+// message is acknowledged, each process remembers its *engager* and holds
+// that ack until its own deficit (sent-but-unacked count) drains to zero,
+// and the source declares termination exactly when its deficit hits zero.
+//
+// This module implements that faithfully on the event-driven AsyncNetwork:
+//   - basic messages carry distance offers (one per link crossing),
+//   - ack messages travel on a control overlay (counted separately),
+//   - the engager tree grows and shrinks as the computation diffuses,
+//   - termination is *detected by the source*, not by the simulator.
+// Tests assert the detection fires exactly at true quiescence and that
+// ack traffic equals basic traffic (every offer is acked exactly once).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// Result of a diffusing-computation SSSP execution.
+struct DiffusingSsspResult {
+  /// dist[v]: shortest distance from the source (+inf when unreachable).
+  std::vector<double> dist;
+  /// parent_link[v]: tree link into v (invalid at source/unreached nodes).
+  std::vector<LinkId> parent_link;
+  /// Basic (distance-offer) messages delivered.
+  std::uint64_t basic_messages = 0;
+  /// Acknowledgement messages delivered (== basic_messages on success).
+  std::uint64_t ack_messages = 0;
+  /// Virtual time at which the *source* detected termination.
+  double detection_time = 0.0;
+  /// Virtual time at which the network actually went quiescent (the
+  /// simulator's ground truth; detection_time >= quiescence_time).
+  double quiescence_time = 0.0;
+  /// True when the source's detection coincided with real quiescence of
+  /// basic traffic (sanity flag; always true unless the run was aborted).
+  bool detected = false;
+};
+
+/// Runs Chandy–Misra-style SSSP with Dijkstra–Scholten termination from
+/// `source` on `g` (non-negative weights; +inf = absent link), with
+/// per-message delays uniform in [min_delay, max_delay) from `seed`.
+[[nodiscard]] DiffusingSsspResult diffusing_sssp(const Digraph& g,
+                                                 NodeId source,
+                                                 std::uint64_t seed,
+                                                 double min_delay = 0.5,
+                                                 double max_delay = 1.5);
+
+}  // namespace lumen

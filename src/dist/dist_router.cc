@@ -1,0 +1,151 @@
+#include "dist/dist_router.h"
+
+#include <algorithm>
+
+#include "dist/protocol_state.h"
+#include "dist/sync_network.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen {
+
+namespace {
+
+using dist_detail::GadgetState;
+using dist_detail::kNoParent;
+using dist_detail::kSourceParent;
+using dist_detail::Offer;
+
+/// The converged global state of one protocol execution from source s.
+struct ProtocolRun {
+  std::vector<GadgetState> gadgets;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Executes the synchronous protocol from source s until quiescence.
+ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
+  ProtocolRun run;
+  run.gadgets = dist_detail::make_gadgets(net);
+
+  SyncNetwork<Offer> sim(net.topology());
+  const ConversionModel& conv = net.conversion();
+
+  // Broadcasts the improved departure label y_v(λ') over every out-link
+  // carrying λ'.  One message per (link, λ') — the E_org embedding.
+  auto broadcast_y = [&](NodeId v, std::uint32_t y_index) {
+    const GadgetState& gadget = run.gadgets[v.value()];
+    const Wavelength lambda = gadget.out_lambdas[y_index];
+    const double dy = gadget.dist_y[y_index];
+    for (const LinkId e : net.out_links(v)) {
+      const double w = net.link_cost(e, lambda);
+      if (w == kInfiniteCost) continue;
+      sim.send(e, Offer{lambda, dy + w});
+    }
+  };
+
+  // Source seeding: s' -> Y_s ties at distance 0.
+  {
+    GadgetState& source_gadget = run.gadgets[s.value()];
+    for (std::uint32_t y = 0; y < source_gadget.out_lambdas.size(); ++y) {
+      source_gadget.dist_y[y] = 0.0;
+      source_gadget.parent_y[y] = kSourceParent;
+      broadcast_y(s, y);
+    }
+  }
+
+  std::vector<std::uint32_t> dirty_x;
+  while (sim.advance()) {
+    for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+      const NodeId v{vi};
+      const auto inbox = sim.inbox(v);
+      if (inbox.empty()) continue;
+      GadgetState& gadget = run.gadgets[vi];
+
+      // 1. Fold all offers of this round into the arrival labels X_v.
+      dirty_x.clear();
+      for (const auto& delivery : inbox) {
+        const Offer& offer = delivery.payload;
+        const std::uint32_t x =
+            GadgetState::find(gadget.in_lambdas, offer.lambda);
+        LUMEN_ASSERT(x != kNoParent);
+        if (offer.dist < gadget.dist_x[x]) {
+          if (std::find(dirty_x.begin(), dirty_x.end(), x) == dirty_x.end())
+            dirty_x.push_back(x);
+          gadget.dist_x[x] = offer.dist;
+          gadget.parent_x[x] = delivery.link;
+        }
+      }
+
+      // 2. Local gadget relaxation X_v -> Y_v (free computation), then
+      //    broadcast each improved departure label once.
+      for (const std::uint32_t x : dirty_x) {
+        const Wavelength from = gadget.in_lambdas[x];
+        const double dx = gadget.dist_x[x];
+        for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
+          const double c = conv.cost(v, from, gadget.out_lambdas[y]);
+          if (c == kInfiniteCost) continue;
+          if (dx + c < gadget.dist_y[y]) {
+            gadget.dist_y[y] = dx + c;
+            gadget.parent_y[y] = x;
+            broadcast_y(v, y);
+          }
+        }
+      }
+    }
+  }
+  run.messages = sim.total_messages();
+  run.rounds = sim.rounds();
+  return run;
+}
+
+}  // namespace
+
+DistRouteResult distributed_route_semilightpath(const WdmNetwork& net,
+                                                NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  DistRouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+
+  const ProtocolRun run = run_protocol(net, s);
+  result.messages = run.messages;
+  result.rounds = run.rounds;
+
+  const GadgetState& sink = run.gadgets[t.value()];
+  const std::uint32_t best_x = dist_detail::best_arrival(sink);
+  if (best_x == kNoParent) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    return result;
+  }
+  result.found = true;
+  result.cost = sink.dist_x[best_x];
+  result.path = dist_detail::trace_path(net, run.gadgets, s, t, best_x);
+  return result;
+}
+
+DistAllPairsResult distributed_all_pairs(const WdmNetwork& net) {
+  const std::uint32_t n = net.num_nodes();
+  DistAllPairsResult result;
+  result.cost.assign(n, std::vector<double>(n, 0.0));
+  for (std::uint32_t si = 0; si < n; ++si) {
+    // One protocol execution per source computes every destination's label.
+    const ProtocolRun run = run_protocol(net, NodeId{si});
+    result.messages += run.messages;
+    result.rounds += run.rounds;
+    for (std::uint32_t ti = 0; ti < n; ++ti) {
+      if (ti == si) continue;
+      const GadgetState& sink = run.gadgets[ti];
+      const std::uint32_t best_x = dist_detail::best_arrival(sink);
+      result.cost[si][ti] =
+          best_x == kNoParent ? kInfiniteCost : sink.dist_x[best_x];
+    }
+  }
+  return result;
+}
+
+}  // namespace lumen

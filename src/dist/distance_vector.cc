@@ -1,0 +1,91 @@
+#include "dist/distance_vector.h"
+
+#include <utility>
+
+#include "dist/sync_network.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen {
+
+namespace {
+
+/// One improved entry: "I can reach `destination` at cost `dist`".
+struct VectorUpdate {
+  std::vector<std::pair<NodeId, double>> improved;
+};
+
+}  // namespace
+
+DistanceVectorResult distance_vector_apsp(const Digraph& g) {
+  const std::uint32_t n = g.num_nodes();
+  DistanceVectorResult result;
+  result.dist.assign(n, std::vector<double>(n, kInfiniteCost));
+  result.next_link.assign(n, std::vector<LinkId>(n, LinkId::invalid()));
+  for (std::uint32_t v = 0; v < n; ++v) result.dist[v][v] = 0.0;
+
+  // Distance information flows *against* link direction (a node's
+  // distances depend on its out-neighbors'), while SyncNetwork delivers
+  // along it.  Run the simulator on the reversed topology; reversed link
+  // i corresponds to original link i (same index), so message accounting
+  // still charges the same physical wire.
+  Digraph reversed(n);
+  reversed.reserve_links(g.num_links());
+  for (std::uint32_t ei = 0; ei < g.num_links(); ++ei) {
+    const LinkId e{ei};
+    reversed.add_link(g.head(e), g.tail(e), g.weight(e));
+  }
+  SyncNetwork<VectorUpdate> sim(reversed);
+
+  auto broadcast = [&](NodeId v,
+                       std::vector<std::pair<NodeId, double>> improved) {
+    if (improved.empty()) return;
+    for (const LinkId e : reversed.out_links(v)) {
+      if (reversed.weight(e) == kInfiniteCost) continue;
+      sim.send(e, VectorUpdate{improved});
+      result.entries += improved.size();
+    }
+  };
+
+  // Round 0: every node announces itself.
+  for (std::uint32_t v = 0; v < n; ++v)
+    broadcast(NodeId{v}, {{NodeId{v}, 0.0}});
+
+  while (sim.advance()) {
+    for (std::uint32_t ui = 0; ui < n; ++ui) {
+      const NodeId u{ui};
+      const auto inbox = sim.inbox(u);
+      if (inbox.empty()) continue;
+      std::vector<std::pair<NodeId, double>> improved;
+      for (const auto& delivery : inbox) {
+        // The reversed link corresponds to the original link with the
+        // same index: original tail is u, original head is the sender.
+        const LinkId original{delivery.link.value()};
+        const double w = g.weight(original);
+        for (const auto& [destination, dist_from_sender] :
+             delivery.payload.improved) {
+          const double candidate = w + dist_from_sender;
+          if (candidate < result.dist[ui][destination.value()]) {
+            result.dist[ui][destination.value()] = candidate;
+            result.next_link[ui][destination.value()] = original;
+            // Coalesce: one improved entry per destination per round.
+            bool merged = false;
+            for (auto& entry : improved) {
+              if (entry.first == destination) {
+                entry.second = candidate;
+                merged = true;
+                break;
+              }
+            }
+            if (!merged) improved.emplace_back(destination, candidate);
+          }
+        }
+      }
+      broadcast(u, std::move(improved));
+    }
+  }
+  result.messages = sim.total_messages();
+  result.rounds = sim.rounds();
+  return result;
+}
+
+}  // namespace lumen

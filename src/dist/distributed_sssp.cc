@@ -1,0 +1,51 @@
+#include "dist/distributed_sssp.h"
+
+#include "dist/sync_network.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen {
+
+DistributedSsspResult distributed_sssp(const Digraph& g, NodeId source) {
+  LUMEN_REQUIRE(source.value() < g.num_nodes());
+  DistributedSsspResult result;
+  result.dist.assign(g.num_nodes(), kInfiniteCost);
+  result.parent_link.assign(g.num_nodes(), LinkId::invalid());
+  result.dist[source.value()] = 0.0;
+
+  SyncNetwork<double> net(g);
+
+  // A node whose distance improved broadcasts dist + w(e) on out-links.
+  auto broadcast = [&](NodeId u) {
+    const double du = result.dist[u.value()];
+    for (const LinkId e : g.out_links(u)) {
+      const double w = g.weight(e);
+      if (w == kInfiniteCost) continue;
+      net.send(e, du + w);
+    }
+  };
+
+  broadcast(source);
+  while (net.advance()) {
+    for (std::uint32_t vi = 0; vi < g.num_nodes(); ++vi) {
+      const NodeId v{vi};
+      const auto inbox = net.inbox(v);
+      if (inbox.empty()) continue;
+      // Local computation: fold all offers of this round, then broadcast
+      // at most once (message economy; does not change correctness).
+      bool improved = false;
+      for (const auto& delivery : inbox) {
+        if (delivery.payload < result.dist[vi]) {
+          result.dist[vi] = delivery.payload;
+          result.parent_link[vi] = delivery.link;
+          improved = true;
+        }
+      }
+      if (improved) broadcast(v);
+    }
+  }
+  result.messages = net.total_messages();
+  result.rounds = net.rounds();
+  return result;
+}
+
+}  // namespace lumen

@@ -1,0 +1,39 @@
+// Distributed single-source shortest paths (Chandy–Misra style).
+//
+// Synchronous distributed Bellman–Ford: each node keeps a tentative
+// distance, and whenever it improves, offers dist + w(e) to every
+// out-neighbor next round.  Termination is global quiescence (no message
+// in flight), the simulator-level equivalent of Chandy–Misra's diffusing
+// termination detection.  Time is O(n) rounds on non-negative weights;
+// message count is measured and reported (Θ(m) per relaxation wave).
+//
+// This is the building block the Theorem 3 router specializes; it is also
+// exposed on plain digraphs for tests and the distributed benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// Result of a distributed SSSP execution.
+struct DistributedSsspResult {
+  /// dist[v]: shortest distance from the source (+inf when unreachable).
+  std::vector<double> dist;
+  /// parent_link[v]: tree link into v (invalid at source/unreached nodes).
+  std::vector<LinkId> parent_link;
+  /// Messages exchanged (communication complexity).
+  std::uint64_t messages = 0;
+  /// Rounds until quiescence (time complexity).
+  std::uint64_t rounds = 0;
+};
+
+/// Runs the distributed SSSP from `source` on `g` (non-negative weights;
+/// +inf weights are treated as absent links).
+[[nodiscard]] DistributedSsspResult distributed_sssp(const Digraph& g,
+                                                     NodeId source);
+
+}  // namespace lumen

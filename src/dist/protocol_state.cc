@@ -1,0 +1,60 @@
+#include "dist/protocol_state.h"
+
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen::dist_detail {
+
+std::vector<GadgetState> make_gadgets(const WdmNetwork& net) {
+  std::vector<GadgetState> gadgets(net.num_nodes());
+  for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+    const NodeId v{vi};
+    GadgetState& gadget = gadgets[vi];
+    gadget.in_lambdas = net.lambda_in(v).to_vector();
+    gadget.out_lambdas = net.lambda_out(v).to_vector();
+    gadget.dist_x.assign(gadget.in_lambdas.size(), kInfiniteCost);
+    gadget.parent_x.assign(gadget.in_lambdas.size(), LinkId::invalid());
+    gadget.dist_y.assign(gadget.out_lambdas.size(), kInfiniteCost);
+    gadget.parent_y.assign(gadget.out_lambdas.size(), kNoParent);
+  }
+  return gadgets;
+}
+
+std::uint32_t best_arrival(const GadgetState& sink) {
+  std::uint32_t best = kNoParent;
+  for (std::uint32_t x = 0; x < sink.in_lambdas.size(); ++x) {
+    if (sink.dist_x[x] == kInfiniteCost) continue;
+    if (best == kNoParent || sink.dist_x[x] < sink.dist_x[best]) best = x;
+  }
+  return best;
+}
+
+Semilightpath trace_path(const WdmNetwork& net,
+                         const std::vector<GadgetState>& gadgets, NodeId s,
+                         NodeId t, std::uint32_t best_x) {
+  std::vector<Hop> hops;
+  NodeId at = t;
+  std::uint32_t x = best_x;
+  while (true) {
+    const GadgetState& gadget = gadgets[at.value()];
+    const LinkId e = gadget.parent_x[x];
+    LUMEN_ASSERT(e.valid());
+    const Wavelength lambda = gadget.in_lambdas[x];
+    hops.push_back(Hop{e, lambda});
+    const NodeId u = net.tail(e);
+    const GadgetState& up = gadgets[u.value()];
+    const std::uint32_t y = GadgetState::find(up.out_lambdas, lambda);
+    LUMEN_ASSERT(y != kNoParent);
+    const std::uint32_t parent = up.parent_y[y];
+    LUMEN_ASSERT(parent != kNoParent);
+    if (parent == kSourceParent) {
+      LUMEN_ASSERT(u == s);
+      break;
+    }
+    at = u;
+    x = parent;
+  }
+  std::reverse(hops.begin(), hops.end());
+  return Semilightpath(std::move(hops));
+}
+
+}  // namespace lumen::dist_detail

@@ -1,0 +1,62 @@
+// Shared per-node state of the distributed semilightpath protocol.
+//
+// Both schedules of the Theorem 3 protocol — the synchronous round-based
+// one (dist_router) and the event-driven asynchronous one (async_router,
+// matching Chandy–Misra's actual model) — relax the same embedded gadget
+// labels; this header holds that common state and the traceback.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "wdm/network.h"
+#include "wdm/semilightpath.h"
+
+namespace lumen::dist_detail {
+
+/// An offer crossing a physical link: "you can arrive here on `lambda`
+/// with accumulated cost `dist`" (link traversal already included).
+struct Offer {
+  Wavelength lambda;
+  double dist;
+};
+
+inline constexpr std::uint32_t kNoParent =
+    std::numeric_limits<std::uint32_t>::max();
+/// parent_y value marking "seeded by the source terminal s'".
+inline constexpr std::uint32_t kSourceParent = kNoParent - 1;
+
+/// Per-physical-node gadget state: the embedded X_v / Y_v labels.
+struct GadgetState {
+  std::vector<Wavelength> in_lambdas;   // sorted Λ_in(v)
+  std::vector<Wavelength> out_lambdas;  // sorted Λ_out(v)
+  std::vector<double> dist_x;           // parallel to in_lambdas
+  std::vector<LinkId> parent_x;         // physical link of the best offer
+  std::vector<double> dist_y;           // parallel to out_lambdas
+  std::vector<std::uint32_t> parent_y;  // index into in_lambdas, or sentinel
+
+  [[nodiscard]] static std::uint32_t find(
+      const std::vector<Wavelength>& sorted, Wavelength lambda) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), lambda);
+    if (it != sorted.end() && *it == lambda)
+      return static_cast<std::uint32_t>(it - sorted.begin());
+    return kNoParent;
+  }
+};
+
+/// Initializes one gadget per physical node with +inf labels.
+[[nodiscard]] std::vector<GadgetState> make_gadgets(const WdmNetwork& net);
+
+/// Sink readout at t: index of the cheapest arrival label, or kNoParent
+/// when every label is +inf.
+[[nodiscard]] std::uint32_t best_arrival(const GadgetState& sink);
+
+/// Traceback over converged parent state (a deployment would run a
+/// |P|-message traceback; asymptotically irrelevant).
+[[nodiscard]] Semilightpath trace_path(
+    const WdmNetwork& net, const std::vector<GadgetState>& gadgets, NodeId s,
+    NodeId t, std::uint32_t best_x);
+
+}  // namespace lumen::dist_detail

@@ -1,0 +1,92 @@
+// Synchronous message-passing network simulator.
+//
+// Realizes the "distributed computational model" Theorems 3/5 assume:
+// computation proceeds in rounds; a message sent on a physical link in
+// round r is delivered to the link's head in round r+1; local computation
+// is free; the two measured quantities are messages (communication
+// complexity) and rounds (time complexity).  Gadget links of the embedded
+// G_{s,t} live inside physical nodes, so traffic on them is local and is
+// deliberately NOT counted — exactly the accounting in the proof of
+// Theorem 3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/error.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// A synchronous network over a fixed physical topology.  Payload is the
+/// algorithm's message type (kept small and trivially copyable in all
+/// in-tree algorithms).
+template <class Payload>
+class SyncNetwork {
+ public:
+  /// One delivered message: the physical link it arrived on + payload.
+  struct Delivery {
+    LinkId link;
+    Payload payload;
+  };
+
+  /// The topology must outlive the simulator.
+  explicit SyncNetwork(const Digraph& topology)
+      : topology_(&topology),
+        inbox_(topology.num_nodes()),
+        outbox_(topology.num_nodes()) {}
+
+  /// Queues a message on `link` for delivery next round.
+  void send(LinkId link, Payload payload) {
+    LUMEN_REQUIRE(link.value() < topology_->num_links());
+    outbox_[topology_->head(link).value()].push_back(
+        Delivery{link, std::move(payload)});
+    ++pending_;
+  }
+
+  /// Advances one round: everything sent since the previous advance() is
+  /// delivered.  Returns false (and delivers nothing) when no messages
+  /// were in flight — the global quiescence that terminates the in-tree
+  /// algorithms.
+  bool advance() {
+    if (pending_ == 0) return false;
+    ++rounds_;
+    messages_ += pending_;
+    pending_ = 0;
+    for (std::size_t v = 0; v < inbox_.size(); ++v) {
+      inbox_[v].clear();
+      std::swap(inbox_[v], outbox_[v]);
+    }
+    return true;
+  }
+
+  /// Messages delivered to node v in the current round.
+  [[nodiscard]] std::span<const Delivery> inbox(NodeId v) const {
+    LUMEN_REQUIRE(v.value() < inbox_.size());
+    return inbox_[v.value()];
+  }
+
+  /// Total messages delivered so far (the communication complexity).
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return messages_;
+  }
+  /// Rounds executed so far (the time complexity).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  [[nodiscard]] const Digraph& topology() const noexcept {
+    return *topology_;
+  }
+
+ private:
+  const Digraph* topology_;
+  std::vector<std::vector<Delivery>> inbox_;
+  std::vector<std::vector<Delivery>> outbox_;
+  std::uint64_t pending_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace lumen

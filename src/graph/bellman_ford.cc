@@ -1,0 +1,46 @@
+#include "graph/bellman_ford.h"
+
+namespace lumen {
+
+ShortestPathTree bellman_ford(const Digraph& g, NodeId source) {
+  LUMEN_REQUIRE(source.value() < g.num_nodes());
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.assign(g.num_nodes(), kInfiniteCost);
+  tree.parent_link.assign(g.num_nodes(), LinkId::invalid());
+  tree.dist[source.value()] = 0.0;
+
+  // Queue-based Bellman–Ford (SPFA): relax only out-links of nodes whose
+  // distance changed in the previous sweep.
+  std::vector<char> pending(g.num_nodes(), 0);
+  std::vector<NodeId> frontier{source};
+  pending[source.value()] = 1;
+
+  while (!frontier.empty()) {
+    ++tree.pops;  // one sweep
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      pending[u.value()] = 0;
+      const double du = tree.dist[u.value()];
+      for (const LinkId e : g.out_links(u)) {
+        const double w = g.weight(e);
+        if (w == kInfiniteCost) continue;
+        const NodeId v = g.head(e);
+        const double candidate = du + w;
+        if (candidate < tree.dist[v.value()]) {
+          tree.dist[v.value()] = candidate;
+          tree.parent_link[v.value()] = e;
+          ++tree.relaxations;
+          if (!pending[v.value()]) {
+            pending[v.value()] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+}  // namespace lumen

@@ -1,0 +1,18 @@
+// Bellman–Ford single-source shortest paths.
+//
+// Serves two roles: an independent oracle for randomized Dijkstra testing,
+// and the relaxation schedule the synchronous distributed algorithm
+// (src/dist) follows — one Bellman–Ford sweep corresponds to one
+// communication round.
+#pragma once
+
+#include "graph/dijkstra.h"  // ShortestPathTree, kInfiniteCost
+
+namespace lumen {
+
+/// Runs Bellman–Ford from `source`.  Weights may be any non-negative value
+/// including +infinity (skipped).  Returns the same tree structure as
+/// dijkstra(); `pops` counts full relaxation sweeps performed.
+[[nodiscard]] ShortestPathTree bellman_ford(const Digraph& g, NodeId source);
+
+}  // namespace lumen

@@ -1,0 +1,93 @@
+#include "graph/betweenness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "graph/fib_heap.h"
+
+namespace lumen {
+
+std::vector<double> betweenness_centrality(const Digraph& g) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+
+  // Workspaces reused across sources.
+  std::vector<double> dist(n);
+  std::vector<double> sigma(n);       // number of shortest paths
+  std::vector<double> delta(n);       // dependency accumulator
+  std::vector<std::vector<std::uint32_t>> predecessors(n);
+  std::vector<std::uint32_t> order;   // settle order
+  order.reserve(n);
+  std::vector<FibHeap::Handle> handle(n);
+  std::vector<char> in_heap(n);
+  std::vector<char> settled(n);
+
+  // Relative tolerance for "equally short" alternate predecessors.
+  constexpr double kTieTolerance = 1e-12;
+
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kInfiniteCost);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    std::fill(in_heap.begin(), in_heap.end(), 0);
+    std::fill(settled.begin(), settled.end(), 0);
+    for (auto& preds : predecessors) preds.clear();
+    order.clear();
+
+    FibHeap heap;
+    dist[s] = 0.0;
+    sigma[s] = 1.0;
+    handle[s] = heap.push(0.0, s);
+    in_heap[s] = 1;
+
+    while (!heap.empty()) {
+      const auto [d, u] = heap.pop_min();
+      if (d == kInfiniteCost) break;
+      in_heap[u] = 0;
+      settled[u] = 1;
+      order.push_back(u);
+      for (const LinkId e : g.out_links(NodeId{u})) {
+        const double w = g.weight(e);
+        if (w == kInfiniteCost) continue;
+        const std::uint32_t v = g.head(e).value();
+        if (settled[v]) continue;
+        const double candidate = d + w;
+        // Unreached nodes have dist = +inf; an infinite tolerance would
+        // poison both comparisons, so treat first contact separately.
+        const double tolerance =
+            dist[v] == kInfiniteCost
+                ? 0.0
+                : kTieTolerance * std::max(1.0, std::abs(dist[v]));
+        if (candidate < dist[v] - tolerance) {
+          dist[v] = candidate;
+          sigma[v] = sigma[u];
+          predecessors[v].assign(1, u);
+          if (in_heap[v]) {
+            heap.decrease_key(handle[v], candidate);
+          } else {
+            handle[v] = heap.push(candidate, v);
+            in_heap[v] = 1;
+          }
+        } else if (candidate <= dist[v] + tolerance) {
+          // Another shortest path to v via u.
+          sigma[v] += sigma[u];
+          predecessors[v].push_back(u);
+        }
+      }
+    }
+
+    // Back-accumulate dependencies in reverse settle order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::uint32_t w = *it;
+      for (const std::uint32_t u : predecessors[w]) {
+        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  return centrality;
+}
+
+}  // namespace lumen

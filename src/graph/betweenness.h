@@ -1,0 +1,24 @@
+// Brandes' betweenness centrality.
+//
+// Betweenness — the fraction of shortest paths passing through a node —
+// is the standard criterion for placing scarce shared infrastructure
+// (here: wavelength converters, see rwa/placement.h) at the nodes most
+// traffic transits.  This is the exact O(nm + n² log n) weighted Brandes
+// algorithm: one Dijkstra per source with predecessor sets, followed by
+// the dependency back-accumulation.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// Exact betweenness centrality of every node for the directed graph `g`
+/// (non-negative weights; +inf links ignored).  Endpoints are excluded
+/// (the classic definition); parallel shortest paths split credit.
+/// Returns raw (unnormalized) scores.
+[[nodiscard]] std::vector<double> betweenness_centrality(const Digraph& g);
+
+}  // namespace lumen

@@ -1,0 +1,143 @@
+// Indexed d-ary min-heap with decrease-key.
+//
+// The classic array heap: O(log n) push/pop, O(log n) decrease_key.  Used as
+// the ablation baseline against the Fibonacci heap (bench E8) and as a
+// simple, cache-friendly default for small graphs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lumen {
+
+/// Min-ordered d-ary heap (default 4-ary).  Handles are stable slot indices
+/// valid until the entry is popped.
+template <unsigned Arity = 4>
+class DaryHeap {
+  static_assert(Arity >= 2, "heap arity must be at least 2");
+
+ public:
+  using Handle = std::uint32_t;
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Inserts (key, item); returns a handle usable with decrease_key.
+  Handle push(double key, std::uint32_t item) {
+    Handle slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = Slot{key, item, static_cast<std::uint32_t>(heap_.size())};
+    } else {
+      slot = static_cast<Handle>(slots_.size());
+      slots_.push_back(Slot{key, item, static_cast<std::uint32_t>(heap_.size())});
+    }
+    heap_.push_back(slot);
+    sift_up(heap_.size() - 1);
+    return slot;
+  }
+
+  [[nodiscard]] double min_key() const {
+    LUMEN_REQUIRE(!heap_.empty());
+    return slots_[heap_[0]].key;
+  }
+  [[nodiscard]] std::uint32_t min_item() const {
+    LUMEN_REQUIRE(!heap_.empty());
+    return slots_[heap_[0]].item;
+  }
+
+  /// Removes and returns the minimum (key, item).  Requires non-empty.
+  std::pair<double, std::uint32_t> pop_min() {
+    LUMEN_REQUIRE(!heap_.empty());
+    const Handle top = heap_[0];
+    const std::pair<double, std::uint32_t> result{slots_[top].key,
+                                                  slots_[top].item};
+    const Handle last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      slots_[last].pos = 0;
+      sift_down(0);
+    }
+    free_slots_.push_back(top);
+    return result;
+  }
+
+  /// Lowers the key of a live entry to `new_key` (<= current key).
+  void decrease_key(Handle h, double new_key) {
+    LUMEN_REQUIRE(h < slots_.size());
+    LUMEN_REQUIRE_MSG(new_key <= slots_[h].key,
+                      "decrease_key must not increase the key");
+    slots_[h].key = new_key;
+    sift_up(slots_[h].pos);
+  }
+
+  /// Removes all entries (storage retained).
+  void clear() {
+    heap_.clear();
+    slots_.clear();
+    free_slots_.clear();
+  }
+
+ private:
+  struct Slot {
+    double key;
+    std::uint32_t item;
+    std::uint32_t pos;  // index into heap_
+  };
+
+  void sift_up(std::size_t i) noexcept {
+    const Handle moving = heap_[i];
+    const double key = slots_[moving].key;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (slots_[heap_[parent]].key <= key) break;
+      heap_[i] = heap_[parent];
+      slots_[heap_[i]].pos = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = moving;
+    slots_[moving].pos = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const Handle moving = heap_[i];
+    const double key = slots_[moving].key;
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      double best_key = slots_[heap_[first_child]].key;
+      const std::size_t end = std::min(first_child + Arity, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        const double ck = slots_[heap_[c]].key;
+        if (ck < best_key) {
+          best = c;
+          best_key = ck;
+        }
+      }
+      if (best_key >= key) break;
+      heap_[i] = heap_[best];
+      slots_[heap_[i]].pos = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = moving;
+    slots_[moving].pos = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Handle> heap_;       // heap order -> slot
+  std::vector<Slot> slots_;        // handle -> entry
+  std::vector<Handle> free_slots_; // recycled handles
+};
+
+/// The conventional binary heap.
+using BinaryHeap = DaryHeap<2>;
+/// Cache-friendlier 4-ary variant.
+using QuaternaryHeap = DaryHeap<4>;
+
+}  // namespace lumen

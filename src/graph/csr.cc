@@ -1,0 +1,69 @@
+#include "graph/csr.h"
+
+#include "graph/fib_heap.h"
+
+namespace lumen {
+
+CsrDigraph::CsrDigraph(const Digraph& g) {
+  offsets_.resize(g.num_nodes() + 1);
+  links_.reserve(g.num_links());
+  std::size_t cursor = 0;
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    offsets_[v] = cursor;
+    for (const LinkId e : g.out_links(NodeId{v})) {
+      links_.push_back(OutLink{g.head(e), g.weight(e), e});
+      ++cursor;
+    }
+  }
+  offsets_[g.num_nodes()] = cursor;
+}
+
+ShortestPathTree dijkstra_csr(const CsrDigraph& g, NodeId source,
+                              std::optional<NodeId> target) {
+  LUMEN_REQUIRE(source.value() < g.num_nodes());
+  if (target) LUMEN_REQUIRE(target->value() < g.num_nodes());
+
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.assign(g.num_nodes(), kInfiniteCost);
+  tree.parent_link.assign(g.num_nodes(), LinkId::invalid());
+
+  std::vector<FibHeap::Handle> handle(g.num_nodes());
+  std::vector<char> in_heap(g.num_nodes(), 0);
+  std::vector<char> settled(g.num_nodes(), 0);
+
+  FibHeap heap;
+  tree.dist[source.value()] = 0.0;
+  handle[source.value()] = heap.push(0.0, source.value());
+  in_heap[source.value()] = 1;
+
+  while (!heap.empty()) {
+    const auto [d, u_raw] = heap.pop_min();
+    ++tree.pops;
+    in_heap[u_raw] = 0;
+    settled[u_raw] = 1;
+    if (target && NodeId{u_raw} == *target) break;
+    if (d == kInfiniteCost) break;
+
+    for (const CsrDigraph::OutLink& link : g.out(NodeId{u_raw})) {
+      if (link.weight == kInfiniteCost) continue;
+      const std::uint32_t v = link.head.value();
+      if (settled[v]) continue;
+      const double candidate = d + link.weight;
+      if (candidate < tree.dist[v]) {
+        tree.dist[v] = candidate;
+        tree.parent_link[v] = link.original;
+        ++tree.relaxations;
+        if (in_heap[v]) {
+          heap.decrease_key(handle[v], candidate);
+        } else {
+          handle[v] = heap.push(candidate, v);
+          in_heap[v] = 1;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace lumen

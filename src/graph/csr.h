@@ -1,0 +1,59 @@
+// Compressed-sparse-row (CSR) immutable digraph view.
+//
+// The mutable Digraph stores per-node link vectors — convenient while
+// building, but each adjacency list is its own heap allocation.  CSR packs
+// all out-links into one contiguous array for cache-friendly traversal;
+// the Dijkstra inner loop on large auxiliary graphs is memory-bound, so
+// this is the representation ablation bench_csr measures.  Link identity
+// is preserved: every CSR out-link carries the original LinkId so results
+// (parent links, extracted paths) remain expressed in Digraph terms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.h"  // ShortestPathTree, kInfiniteCost
+
+namespace lumen {
+
+/// Immutable CSR snapshot of a Digraph's out-adjacency.
+class CsrDigraph {
+ public:
+  /// One packed out-link.
+  struct OutLink {
+    NodeId head;
+    double weight;
+    LinkId original;  ///< id of the corresponding Digraph link
+  };
+
+  /// Snapshots `g` (O(n + m)).
+  explicit CsrDigraph(const Digraph& g);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+
+  /// Out-links of v, contiguous.
+  [[nodiscard]] std::span<const OutLink> out(NodeId v) const {
+    LUMEN_REQUIRE(v.value() < num_nodes());
+    return {links_.data() + offsets_[v.value()],
+            offsets_[v.value() + 1] - offsets_[v.value()]};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<OutLink> links_;
+};
+
+/// Dijkstra over the CSR view (Fibonacci heap).  Semantics identical to
+/// dijkstra() on the originating Digraph — parent links are original ids.
+[[nodiscard]] ShortestPathTree dijkstra_csr(
+    const CsrDigraph& g, NodeId source,
+    std::optional<NodeId> target = std::nullopt);
+
+}  // namespace lumen

@@ -1,0 +1,122 @@
+// Directed weighted multigraph with adjacency lists.
+//
+// This is the shared graph substrate: the physical WDM topology, the layered
+// auxiliary graphs of the Liang–Shen algorithm, and the CFZ wavelength graph
+// are all Digraph instances.  Parallel links and self-loops are permitted
+// (the multigraph G_M in the paper relies on parallel links).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// A directed weighted multigraph.  Nodes and links are dense 0-based ids.
+/// Link weights are non-negative doubles; +infinity is a legal weight
+/// meaning "unusable" (such links are skipped by the shortest-path codes).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates a graph with `num_nodes` nodes and no links.
+  explicit Digraph(std::uint32_t num_nodes)
+      : out_(num_nodes), in_(num_nodes) {}
+
+  /// Adds an isolated node and returns its id.
+  NodeId add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return NodeId{static_cast<std::uint32_t>(out_.size() - 1)};
+  }
+
+  /// Adds a directed link tail -> head with the given weight (>= 0, may be
+  /// +infinity).  Returns the new link's id.
+  LinkId add_link(NodeId tail, NodeId head, double weight) {
+    LUMEN_REQUIRE(tail.value() < num_nodes());
+    LUMEN_REQUIRE(head.value() < num_nodes());
+    LUMEN_REQUIRE_MSG(weight >= 0.0, "link weights must be non-negative");
+    const LinkId id{static_cast<std::uint32_t>(tails_.size())};
+    tails_.push_back(tail);
+    heads_.push_back(head);
+    weights_.push_back(weight);
+    out_[tail.value()].push_back(id);
+    in_[head.value()].push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(out_.size());
+  }
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(tails_.size());
+  }
+
+  [[nodiscard]] NodeId tail(LinkId e) const {
+    LUMEN_REQUIRE(e.value() < num_links());
+    return tails_[e.value()];
+  }
+  [[nodiscard]] NodeId head(LinkId e) const {
+    LUMEN_REQUIRE(e.value() < num_links());
+    return heads_[e.value()];
+  }
+  [[nodiscard]] double weight(LinkId e) const {
+    LUMEN_REQUIRE(e.value() < num_links());
+    return weights_[e.value()];
+  }
+
+  /// Replaces the weight of an existing link.
+  void set_weight(LinkId e, double weight) {
+    LUMEN_REQUIRE(e.value() < num_links());
+    LUMEN_REQUIRE_MSG(weight >= 0.0, "link weights must be non-negative");
+    weights_[e.value()] = weight;
+  }
+
+  /// Outgoing links of `v`, in insertion order.
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId v) const {
+    LUMEN_REQUIRE(v.value() < num_nodes());
+    return out_[v.value()];
+  }
+
+  /// Incoming links of `v`, in insertion order.
+  [[nodiscard]] std::span<const LinkId> in_links(NodeId v) const {
+    LUMEN_REQUIRE(v.value() < num_nodes());
+    return in_[v.value()];
+  }
+
+  [[nodiscard]] std::uint32_t out_degree(NodeId v) const {
+    return static_cast<std::uint32_t>(out_links(v).size());
+  }
+  [[nodiscard]] std::uint32_t in_degree(NodeId v) const {
+    return static_cast<std::uint32_t>(in_links(v).size());
+  }
+
+  /// max over nodes of max(in-degree, out-degree): the paper's `d`.
+  [[nodiscard]] std::uint32_t max_degree() const noexcept {
+    std::uint32_t d = 0;
+    for (std::uint32_t v = 0; v < num_nodes(); ++v) {
+      d = std::max({d, static_cast<std::uint32_t>(out_[v].size()),
+                    static_cast<std::uint32_t>(in_[v].size())});
+    }
+    return d;
+  }
+
+  /// Reserves storage for an expected number of links (performance hint).
+  void reserve_links(std::size_t expected) {
+    tails_.reserve(expected);
+    heads_.reserve(expected);
+    weights_.reserve(expected);
+  }
+
+ private:
+  std::vector<NodeId> tails_;
+  std::vector<NodeId> heads_;
+  std::vector<double> weights_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<std::vector<LinkId>> in_;
+};
+
+}  // namespace lumen

@@ -1,0 +1,29 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+
+namespace lumen {
+
+ShortestPathTree dijkstra(const Digraph& g, NodeId source,
+                          std::optional<NodeId> target) {
+  return dijkstra_with<FibHeap>(g, source, target);
+}
+
+std::optional<std::vector<LinkId>> extract_path(const Digraph& g,
+                                                const ShortestPathTree& tree,
+                                                NodeId target) {
+  LUMEN_REQUIRE(target.value() < tree.dist.size());
+  if (!tree.reached(target)) return std::nullopt;
+  std::vector<LinkId> path;
+  NodeId v = target;
+  while (v != tree.source) {
+    const LinkId e = tree.parent_link[v.value()];
+    LUMEN_ASSERT(e.valid());
+    path.push_back(e);
+    v = g.tail(e);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace lumen

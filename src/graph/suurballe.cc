@@ -1,0 +1,108 @@
+#include "graph/suurballe.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/dijkstra.h"
+
+namespace lumen {
+
+namespace {
+
+/// Splits the union of two link-disjoint s→t paths into the two paths.
+/// `pool[v]` holds the union's outgoing links at v (original ids).
+std::vector<LinkId> walk_off_one_path(
+    const Digraph& g, std::unordered_map<std::uint32_t,
+                                         std::vector<LinkId>>& pool,
+    NodeId s, NodeId t) {
+  std::vector<LinkId> path;
+  NodeId at = s;
+  while (at != t) {
+    auto it = pool.find(at.value());
+    LUMEN_ASSERT(it != pool.end() && !it->second.empty());
+    const LinkId e = it->second.back();
+    it->second.pop_back();
+    path.push_back(e);
+    at = g.head(e);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::optional<DisjointPair> suurballe_disjoint_pair(const Digraph& g,
+                                                    NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < g.num_nodes());
+  LUMEN_REQUIRE(t.value() < g.num_nodes());
+  LUMEN_REQUIRE_MSG(s != t, "Suurballe requires distinct endpoints");
+
+  // 1. Shortest-path tree from s and the first path.
+  const ShortestPathTree tree = dijkstra(g, s);
+  if (!tree.reached(t)) return std::nullopt;
+  const auto first_path = extract_path(g, tree, t);
+  LUMEN_ASSERT(first_path.has_value());
+  std::unordered_set<std::uint32_t> on_first;
+  for (const LinkId e : *first_path) on_first.insert(e.value());
+
+  // 2. Residual graph with reduced weights; first-path links reversed.
+  //    residual link i maps back to (original id, reversed?).
+  Digraph residual(g.num_nodes());
+  std::vector<std::pair<LinkId, bool>> origin;
+  residual.reserve_links(g.num_links());
+  origin.reserve(g.num_links());
+  for (std::uint32_t ei = 0; ei < g.num_links(); ++ei) {
+    const LinkId e{ei};
+    const double w = g.weight(e);
+    if (w == kInfiniteCost) continue;
+    const double du = tree.dist[g.tail(e).value()];
+    const double dv = tree.dist[g.head(e).value()];
+    if (du == kInfiniteCost || dv == kInfiniteCost) continue;
+    const double reduced = std::max(0.0, w + du - dv);  // clamp FP noise
+    if (on_first.contains(ei)) {
+      // Reversed, weight 0 (the link lies on a shortest path).
+      residual.add_link(g.head(e), g.tail(e), 0.0);
+      origin.emplace_back(e, true);
+    } else {
+      residual.add_link(g.tail(e), g.head(e), reduced);
+      origin.emplace_back(e, false);
+    }
+  }
+
+  // 3. Shortest path in the residual.
+  const ShortestPathTree residual_tree = dijkstra(residual, s, t);
+  if (!residual_tree.reached(t)) return std::nullopt;
+  const auto second_path = extract_path(residual, residual_tree, t);
+  LUMEN_ASSERT(second_path.has_value());
+
+  // 4. Union with cancellation of opposite pairs.
+  std::unordered_set<std::uint32_t> union_links(on_first);
+  for (const LinkId r : *second_path) {
+    const auto& [original, reversed] = origin[r.value()];
+    if (reversed) {
+      // Traversing a first-path link backwards cancels it.
+      const auto erased = union_links.erase(original.value());
+      LUMEN_ASSERT(erased == 1);
+    } else {
+      // The two paths are link-disjoint, so no duplicates arise.
+      const bool inserted = union_links.insert(original.value()).second;
+      LUMEN_ASSERT(inserted);
+    }
+  }
+
+  // 5. Decompose the union into the two disjoint paths.
+  std::unordered_map<std::uint32_t, std::vector<LinkId>> pool;
+  double total = 0.0;
+  for (const std::uint32_t ei : union_links) {
+    const LinkId e{ei};
+    pool[g.tail(e).value()].push_back(e);
+    total += g.weight(e);
+  }
+  DisjointPair pair;
+  pair.first = walk_off_one_path(g, pool, s, t);
+  pair.second = walk_off_one_path(g, pool, s, t);
+  pair.total_cost = total;
+  return pair;
+}
+
+}  // namespace lumen

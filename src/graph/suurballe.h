@@ -1,0 +1,40 @@
+// Suurballe's algorithm: a link-disjoint pair of paths with minimum
+// total cost.
+//
+// The exact counterpart of the protection heuristics in core/protection:
+// for plain weighted digraphs (equivalently: WDM routing restricted to a
+// single wavelength layer with no conversion) Suurballe finds the
+// cheapest pair of link-disjoint s→t paths in two Dijkstra runs —
+// including instances where the single-path optimum must be abandoned
+// (trap topologies).  Tests use it as ground truth for the two-step
+// heuristic's gap.
+//
+// Method: Dijkstra from s; reduce weights w'(e) = w(e) + d(tail) - d(head)
+// (non-negative, zero along shortest paths); reverse the links of one
+// shortest path; Dijkstra again in the residual; union the two paths and
+// cancel opposite link pairs; split the union into two disjoint paths.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// A link-disjoint pair of s→t paths with minimal total cost.
+struct DisjointPair {
+  std::vector<LinkId> first;   ///< link sequence of one path
+  std::vector<LinkId> second;  ///< link sequence of the other
+  double total_cost = 0.0;     ///< sum of both paths' weights
+};
+
+/// The cheapest pair of link-disjoint paths s→t (links may not repeat
+/// across the pair; nodes may).  std::nullopt when fewer than two
+/// link-disjoint paths exist.  Weights must be non-negative (+inf links
+/// ignored).  Requires s != t.
+[[nodiscard]] std::optional<DisjointPair> suurballe_disjoint_pair(
+    const Digraph& g, NodeId s, NodeId t);
+
+}  // namespace lumen

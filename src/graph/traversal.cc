@@ -1,0 +1,106 @@
+#include "graph/traversal.h"
+
+#include <queue>
+
+namespace lumen {
+
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId source) {
+  LUMEN_REQUIRE(source.value() < g.num_nodes());
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  std::queue<NodeId> queue;
+  queue.push(source);
+  seen[source.value()] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (const LinkId e : g.out_links(u)) {
+      const NodeId v = g.head(e);
+      if (!seen[v.value()]) {
+        seen[v.value()] = 1;
+        queue.push(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<bool> reachable_from(const Digraph& g, NodeId source) {
+  std::vector<bool> reachable(g.num_nodes(), false);
+  for (const NodeId v : bfs_order(g, source)) reachable[v.value()] = true;
+  return reachable;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.num_nodes() == 0) return true;
+  // Forward BFS from node 0 must reach everything...
+  if (bfs_order(g, NodeId{0}).size() != g.num_nodes()) return false;
+  // ...and backward BFS (following in-links) must as well.
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::queue<NodeId> queue;
+  queue.push(NodeId{0});
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const LinkId e : g.in_links(u)) {
+      const NodeId v = g.tail(e);
+      if (!seen[v.value()]) {
+        seen[v.value()] = 1;
+        ++count;
+        queue.push(v);
+      }
+    }
+  }
+  return count == g.num_nodes();
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  if (g.num_nodes() == 0) return true;
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::queue<NodeId> queue;
+  queue.push(NodeId{0});
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    auto visit = [&](NodeId v) {
+      if (!seen[v.value()]) {
+        seen[v.value()] = 1;
+        ++count;
+        queue.push(v);
+      }
+    };
+    for (const LinkId e : g.out_links(u)) visit(g.head(e));
+    for (const LinkId e : g.in_links(u)) visit(g.tail(e));
+  }
+  return count == g.num_nodes();
+}
+
+int bfs_hops(const Digraph& g, NodeId source, NodeId target) {
+  LUMEN_REQUIRE(source.value() < g.num_nodes());
+  LUMEN_REQUIRE(target.value() < g.num_nodes());
+  std::vector<int> hops(g.num_nodes(), -1);
+  std::queue<NodeId> queue;
+  queue.push(source);
+  hops[source.value()] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    if (u == target) return hops[u.value()];
+    for (const LinkId e : g.out_links(u)) {
+      const NodeId v = g.head(e);
+      if (hops[v.value()] < 0) {
+        hops[v.value()] = hops[u.value()] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return hops[target.value()];
+}
+
+}  // namespace lumen

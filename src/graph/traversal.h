@@ -1,0 +1,32 @@
+// Basic graph traversals: BFS, reachability, connectivity checks.
+//
+// Used by topology generators to certify that generated networks are
+// strongly connected, and by tests as simple structural oracles.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// Nodes reachable from `source` following link directions (including the
+/// source itself), in BFS order.
+[[nodiscard]] std::vector<NodeId> bfs_order(const Digraph& g, NodeId source);
+
+/// reachable[v] == true iff v is reachable from source.
+[[nodiscard]] std::vector<bool> reachable_from(const Digraph& g,
+                                               NodeId source);
+
+/// True iff every node reaches every other node following link directions.
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+/// True iff the underlying undirected graph is connected.
+[[nodiscard]] bool is_weakly_connected(const Digraph& g);
+
+/// Number of hops of the shortest unweighted path source -> target, or -1
+/// when unreachable.
+[[nodiscard]] int bfs_hops(const Digraph& g, NodeId source, NodeId target);
+
+}  // namespace lumen

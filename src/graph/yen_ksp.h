@@ -1,0 +1,37 @@
+// Yen's K-shortest loopless paths.
+//
+// Generic substrate used by core/k_shortest to enumerate alternative
+// semilightpaths (the standard building block for protection/restoration
+// routing, which the paper's introduction motivates).  Paths are loopless
+// in the *searched* graph; when the searched graph is an auxiliary graph,
+// the corresponding physical walks may still legitimately revisit physical
+// nodes (the Fig. 5 phenomenon).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// One ranked path: its links in order and its total weight.
+struct RankedPath {
+  std::vector<LinkId> links;
+  double cost = 0.0;
+
+  friend bool operator==(const RankedPath&, const RankedPath&) = default;
+};
+
+/// The K cheapest loopless paths from `source` to `target`, sorted by
+/// non-decreasing cost (fewer than K when the graph has fewer distinct
+/// loopless paths).  Weights must be non-negative; +inf links are ignored.
+/// Requires source != target and K >= 1.
+///
+/// Complexity: O(K · n · (m + n log n)) — Yen's bound with Dijkstra as the
+/// spur-path engine.
+[[nodiscard]] std::vector<RankedPath> yen_k_shortest_paths(
+    const Digraph& g, NodeId source, NodeId target, std::uint32_t K);
+
+}  // namespace lumen

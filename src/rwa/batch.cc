@@ -1,0 +1,61 @@
+#include "rwa/batch.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lumen {
+
+BatchResult provision_batch(
+    SessionManager& manager,
+    std::span<const std::pair<NodeId, NodeId>> demands, DemandOrder order,
+    Rng* rng) {
+  std::vector<std::pair<NodeId, NodeId>> ordered(demands.begin(),
+                                                 demands.end());
+  switch (order) {
+    case DemandOrder::kGiven:
+      break;
+    case DemandOrder::kShortestFirst:
+    case DemandOrder::kLongestFirst: {
+      // Hop distance on the base topology (availability-agnostic: the
+      // heuristic ranks demand "size", not current feasibility).
+      const Digraph& topo = manager.residual().topology();
+      std::vector<int> hops(ordered.size());
+      for (std::size_t i = 0; i < ordered.size(); ++i)
+        hops[i] = bfs_hops(topo, ordered[i].first, ordered[i].second);
+      std::vector<std::size_t> index(ordered.size());
+      for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+      std::stable_sort(index.begin(), index.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return order == DemandOrder::kShortestFirst
+                                    ? hops[a] < hops[b]
+                                    : hops[a] > hops[b];
+                       });
+      std::vector<std::pair<NodeId, NodeId>> sorted;
+      sorted.reserve(ordered.size());
+      for (const std::size_t i : index) sorted.push_back(ordered[i]);
+      ordered = std::move(sorted);
+      break;
+    }
+    case DemandOrder::kRandom:
+      LUMEN_REQUIRE_MSG(rng != nullptr, "kRandom needs an Rng");
+      rng->shuffle(ordered);
+      break;
+  }
+
+  BatchResult result;
+  for (const auto& [s, t] : ordered) {
+    const auto id = manager.open(s, t);
+    if (id.has_value()) {
+      ++result.carried;
+      result.total_cost += manager.find(*id)->cost;
+      result.sessions.push_back(*id);
+    } else {
+      ++result.blocked;
+    }
+  }
+  return result;
+}
+
+}  // namespace lumen

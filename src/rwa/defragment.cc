@@ -1,0 +1,26 @@
+#include "rwa/defragment.h"
+
+#include <algorithm>
+
+namespace lumen {
+
+DefragReport defragment(SessionManager& manager) {
+  DefragReport report;
+  std::vector<SessionId> ids = manager.active_session_ids();
+  // Most-expensive-first: those have the most to gain, and moving them
+  // frees contiguous resources for the rest of the pass.
+  std::sort(ids.begin(), ids.end(), [&](SessionId a, SessionId b) {
+    return manager.find(a)->cost > manager.find(b)->cost;
+  });
+  for (const SessionId id : ids) {
+    const double before = manager.find(id)->cost;
+    ++report.considered;
+    if (manager.reoptimize(id)) {
+      ++report.improved;
+      report.cost_saved += before - manager.find(id)->cost;
+    }
+  }
+  return report;
+}
+
+}  // namespace lumen

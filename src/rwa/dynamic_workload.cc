@@ -1,0 +1,88 @@
+#include "rwa/dynamic_workload.h"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lumen {
+
+namespace {
+
+/// Exponential variate with the given mean.
+double exponential(Rng& rng, double mean) {
+  // -mean * ln(1 - U) with U in [0,1); 1-U in (0,1] so log is finite.
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+}  // namespace
+
+DynamicWorkloadResult run_dynamic_workload(
+    SessionManager& manager, const DynamicWorkloadConfig& config) {
+  LUMEN_REQUIRE(config.arrival_rate > 0.0);
+  LUMEN_REQUIRE(config.mean_holding_time > 0.0);
+  const std::uint32_t n = manager.residual().num_nodes();
+  LUMEN_REQUIRE(n >= 2);
+
+  Rng rng(config.seed);
+  const SessionStats before = manager.stats();
+
+  // Departure events: (time, session).
+  using Departure = std::pair<double, SessionId>;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  DynamicWorkloadResult result;
+  double now = 0.0;
+  double active_sum = 0.0;
+  double utilization_sum = 0.0;
+
+  for (std::uint32_t arrival = 0; arrival < config.num_arrivals; ++arrival) {
+    now += exponential(rng, 1.0 / config.arrival_rate);
+
+    // Process departures due before this arrival.
+    while (!departures.empty() && departures.top().first <= now) {
+      manager.close(departures.top().second);
+      departures.pop();
+    }
+
+    // Sample occupancy as seen by the arriving request (PASTA).
+    active_sum += static_cast<double>(manager.active_sessions());
+    utilization_sum += manager.wavelength_utilization();
+
+    const auto s = static_cast<std::uint32_t>(rng.next_below(n));
+    auto t = static_cast<std::uint32_t>(rng.next_below(n));
+    while (t == s) t = static_cast<std::uint32_t>(rng.next_below(n));
+
+    const auto session = manager.open(NodeId{s}, NodeId{t});
+    if (session.has_value()) {
+      departures.emplace(now + exponential(rng, config.mean_holding_time),
+                         *session);
+    }
+  }
+
+  // Drain remaining departures so the manager ends idle.
+  while (!departures.empty()) {
+    now = std::max(now, departures.top().first);
+    manager.close(departures.top().second);
+    departures.pop();
+  }
+
+  const SessionStats after = manager.stats();
+  result.stats.offered = after.offered - before.offered;
+  result.stats.carried = after.carried - before.carried;
+  result.stats.blocked = after.blocked - before.blocked;
+  result.stats.released = after.released - before.released;
+  result.stats.carried_cost_sum =
+      after.carried_cost_sum - before.carried_cost_sum;
+  result.mean_active_sessions =
+      active_sum / static_cast<double>(config.num_arrivals);
+  result.mean_utilization =
+      utilization_sum / static_cast<double>(config.num_arrivals);
+  result.horizon = now;
+  return result;
+}
+
+}  // namespace lumen

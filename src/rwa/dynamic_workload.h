@@ -1,0 +1,51 @@
+// Dynamic (Poisson) traffic driver for the RWA session engine.
+//
+// The standard WDM evaluation loop: sessions arrive as a Poisson process
+// of rate λ_a, hold for exponential time with mean 1/μ, and depart;
+// offered load is λ_a/μ Erlang.  The driver runs the event loop against a
+// SessionManager and reports blocking and utilization — the curves
+// bench_rwa sweeps across load and conversion density.
+#pragma once
+
+#include <cstdint>
+
+#include "rwa/session_manager.h"
+#include "util/rng.h"
+
+namespace lumen {
+
+/// Parameters of one dynamic-traffic run.
+struct DynamicWorkloadConfig {
+  /// Session arrival rate (arrivals per unit time).  Must be > 0.
+  double arrival_rate = 1.0;
+  /// Mean holding time (units of time).  Must be > 0.
+  double mean_holding_time = 1.0;
+  /// Total arrivals to offer.
+  std::uint32_t num_arrivals = 1000;
+  /// RNG seed (arrivals, endpoints, and holding times all derive from it).
+  std::uint64_t seed = 1;
+
+  /// Offered load in Erlang.
+  [[nodiscard]] double offered_load() const noexcept {
+    return arrival_rate * mean_holding_time;
+  }
+};
+
+/// Outcome of a run (the manager's cumulative stats plus occupancy
+/// telemetry sampled at arrival instants).
+struct DynamicWorkloadResult {
+  SessionStats stats;
+  /// Time-average of active sessions sampled at arrival epochs.
+  double mean_active_sessions = 0.0;
+  /// Mean wavelength utilization sampled at arrival epochs.
+  double mean_utilization = 0.0;
+  /// Simulated time horizon covered.
+  double horizon = 0.0;
+};
+
+/// Runs the arrival/departure event loop against `manager` (which keeps
+/// its state, so successive runs continue from the left-over occupancy).
+[[nodiscard]] DynamicWorkloadResult run_dynamic_workload(
+    SessionManager& manager, const DynamicWorkloadConfig& config);
+
+}  // namespace lumen

@@ -1,0 +1,49 @@
+#include "rwa/placement.h"
+
+#include <algorithm>
+
+#include "graph/betweenness.h"
+#include "util/error.h"
+
+namespace lumen {
+
+std::vector<NodeId> rank_converter_sites(const WdmNetwork& net,
+                                         PlacementStrategy strategy) {
+  const std::uint32_t n = net.num_nodes();
+  std::vector<double> score(n, 0.0);
+  switch (strategy) {
+    case PlacementStrategy::kBetweenness:
+      score = betweenness_centrality(net.topology());
+      break;
+    case PlacementStrategy::kDegree:
+      for (std::uint32_t v = 0; v < n; ++v) {
+        score[v] = std::max(net.topology().in_degree(NodeId{v}),
+                            net.topology().out_degree(NodeId{v}));
+      }
+      break;
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) order.push_back(NodeId{v});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (score[a.value()] != score[b.value()])
+      return score[a.value()] > score[b.value()];
+    return a < b;
+  });
+  return order;
+}
+
+std::shared_ptr<const ConversionModel> place_converters(
+    const WdmNetwork& net, std::uint32_t budget,
+    std::shared_ptr<const ConversionModel> inner,
+    PlacementStrategy strategy) {
+  LUMEN_REQUIRE(inner != nullptr);
+  const auto ranked = rank_converter_sites(net, strategy);
+  const auto installed =
+      std::min<std::size_t>(budget, ranked.size());
+  std::vector<NodeId> sites(ranked.begin(), ranked.begin() + installed);
+  return std::make_shared<SparseConversion>(std::move(sites),
+                                            std::move(inner));
+}
+
+}  // namespace lumen

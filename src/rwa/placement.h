@@ -1,0 +1,40 @@
+// Converter placement: choosing which nodes get wavelength converters.
+//
+// Sparse conversion (SparseConversion in wdm/conversion.h) asks the
+// planning question this module answers: with a budget of B converter
+// installations, which nodes?  The standard answer is "where traffic
+// transits" — rank nodes by betweenness centrality of the physical
+// topology and install top-down (bench_rwa's density ablation shows why
+// this works: blocking falls steeply over the first installations).
+// A degree-ranked fallback and an evaluation hook are provided so
+// placements can be compared empirically on any workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Ranking criterion for converter sites.
+enum class PlacementStrategy {
+  kBetweenness,  ///< Brandes centrality of the physical topology
+  kDegree,       ///< max(in, out) degree (cheap proxy)
+};
+
+/// Nodes ranked best-first as converter sites under the strategy
+/// (deterministic: ties break by node id).
+[[nodiscard]] std::vector<NodeId> rank_converter_sites(
+    const WdmNetwork& net, PlacementStrategy strategy);
+
+/// A SparseConversion model with converters at the `budget` best-ranked
+/// sites, delegating to `inner` there.  budget >= num_nodes() degenerates
+/// to `inner` everywhere.
+[[nodiscard]] std::shared_ptr<const ConversionModel> place_converters(
+    const WdmNetwork& net, std::uint32_t budget,
+    std::shared_ptr<const ConversionModel> inner,
+    PlacementStrategy strategy = PlacementStrategy::kBetweenness);
+
+}  // namespace lumen

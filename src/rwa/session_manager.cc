@@ -1,0 +1,291 @@
+#include "rwa/session_manager.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/liang_shen.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+
+namespace lumen {
+
+SessionManager::SessionManager(WdmNetwork network, RoutingPolicy policy)
+    : net_(std::move(network)),
+      policy_(policy),
+      base_pairs_(net_.total_link_wavelengths()),
+      link_failed_(net_.num_links(), 0) {
+  base_availability_.reserve(net_.num_links());
+  for (std::uint32_t e = 0; e < net_.num_links(); ++e) {
+    const auto list = net_.available(LinkId{e});
+    base_availability_.emplace_back(list.begin(), list.end());
+  }
+}
+
+RouteResult SessionManager::first_fit_route(NodeId source,
+                                            NodeId target) const {
+  // Classic first-fit: BFS a hop-shortest route over links that still
+  // carry at least one wavelength, then take the smallest wavelength free
+  // on every link of that route.  One route attempt only.
+  RouteResult result;
+  result.found = false;
+  result.cost = kInfiniteCost;
+
+  std::vector<LinkId> parent(net_.num_nodes(), LinkId::invalid());
+  std::vector<char> seen(net_.num_nodes(), 0);
+  std::queue<NodeId> queue;
+  queue.push(source);
+  seen[source.value()] = 1;
+  while (!queue.empty() && !seen[target.value()]) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const LinkId e : net_.out_links(u)) {
+      if (net_.num_available(e) == 0) continue;
+      const NodeId v = net_.head(e);
+      if (!seen[v.value()]) {
+        seen[v.value()] = 1;
+        parent[v.value()] = e;
+        queue.push(v);
+      }
+    }
+  }
+  if (!seen[target.value()]) return result;
+
+  std::vector<LinkId> route;
+  for (NodeId v = target; v != source;) {
+    const LinkId e = parent[v.value()];
+    route.push_back(e);
+    v = net_.tail(e);
+  }
+  std::reverse(route.begin(), route.end());
+
+  // First fit: smallest λ available on every link of the route.
+  for (std::uint32_t l = 0; l < net_.num_wavelengths(); ++l) {
+    const Wavelength lambda{l};
+    const bool free = std::all_of(
+        route.begin(), route.end(),
+        [&](LinkId e) { return net_.is_available(e, lambda); });
+    if (!free) continue;
+    Semilightpath path;
+    double cost = 0.0;
+    for (const LinkId e : route) {
+      path.append(Hop{e, lambda});
+      cost += net_.link_cost(e, lambda);
+    }
+    result.found = true;
+    result.cost = cost;
+    result.path = std::move(path);
+    return result;
+  }
+  return result;  // route exists but no common wavelength: blocked
+}
+
+RouteResult SessionManager::route_request(NodeId source, NodeId target) const {
+  switch (policy_) {
+    case RoutingPolicy::kLightpathFirstFit:
+      return first_fit_route(source, target);
+    case RoutingPolicy::kLightpathBestCost:
+      return route_lightpath(net_, source, target);
+    case RoutingPolicy::kSemilightpath:
+      return route_semilightpath(net_, source, target);
+  }
+  LUMEN_ASSERT(false);
+}
+
+std::optional<SessionId> SessionManager::open(NodeId source, NodeId target) {
+  LUMEN_REQUIRE(source.value() < net_.num_nodes());
+  LUMEN_REQUIRE(target.value() < net_.num_nodes());
+  LUMEN_REQUIRE_MSG(source != target, "a session needs distinct endpoints");
+  ++stats_.offered;
+
+  const RouteResult route = route_request(source, target);
+  if (!route.found) {
+    ++stats_.blocked;
+    return std::nullopt;
+  }
+
+  SessionRecord record;
+  record.id = SessionId{static_cast<std::uint32_t>(next_id_++)};
+  record.source = source;
+  record.target = target;
+  record.active = true;
+  reserve(record, route);
+
+  ++stats_.carried;
+  stats_.carried_cost_sum += route.cost;
+  ++active_;
+  const SessionId id = record.id;
+  sessions_.emplace(id, std::move(record));
+  return id;
+}
+
+void SessionManager::reserve(SessionRecord& record,
+                             const RouteResult& route) {
+  record.path = route.path;
+  record.cost = route.cost;
+  record.reserved_costs.clear();
+  record.reserved_costs.reserve(route.path.hops().size());
+  for (const Hop& hop : route.path.hops()) {
+    const double cost = net_.link_cost(hop.link, hop.wavelength);
+    LUMEN_ASSERT(cost < kInfiniteCost);
+    record.reserved_costs.push_back(LinkWavelength{hop.wavelength, cost});
+    const bool removed = net_.clear_wavelength(hop.link, hop.wavelength);
+    LUMEN_ASSERT(removed);
+    ++reserved_pairs_;
+  }
+}
+
+void SessionManager::release_resources(SessionRecord& record) {
+  const auto& hops = record.path.hops();
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    // A failed link's capacity stays down until the span is repaired.
+    if (!link_failed_[hops[i].link.value()]) {
+      net_.set_wavelength(hops[i].link, record.reserved_costs[i].lambda,
+                          record.reserved_costs[i].cost);
+    }
+    --reserved_pairs_;
+  }
+  record.reserved_costs.clear();
+}
+
+bool SessionManager::close(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second.active) return false;
+  SessionRecord& record = it->second;
+  release_resources(record);
+  record.active = false;
+  --active_;
+  ++stats_.released;
+  return true;
+}
+
+bool SessionManager::is_failed(LinkId e) const {
+  LUMEN_REQUIRE(e.value() < net_.num_links());
+  return link_failed_[e.value()] != 0;
+}
+
+SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
+  LUMEN_REQUIRE(a.value() < net_.num_nodes());
+  LUMEN_REQUIRE(b.value() < net_.num_nodes());
+  FailureReport report;
+
+  // 1. Take the span's links down (both directions).
+  std::vector<char> failing(net_.num_links(), 0);
+  for (std::uint32_t ei = 0; ei < net_.num_links(); ++ei) {
+    const LinkId e{ei};
+    const bool on_span = (net_.tail(e) == a && net_.head(e) == b) ||
+                         (net_.tail(e) == b && net_.head(e) == a);
+    if (!on_span || link_failed_[ei]) continue;
+    failing[ei] = 1;
+    link_failed_[ei] = 1;
+    ++report.links_failed;
+    // Strip any still-free wavelengths from the residual network.
+    for (const LinkWavelength& lw : base_availability_[ei])
+      (void)net_.clear_wavelength(e, lw.lambda);
+  }
+  if (report.links_failed == 0) return report;
+
+  // 2. Restore or drop the sessions that crossed it.
+  for (auto& [id, record] : sessions_) {
+    if (!record.active) continue;
+    const bool hit = std::any_of(
+        record.path.hops().begin(), record.path.hops().end(),
+        [&](const Hop& hop) { return failing[hop.link.value()] != 0; });
+    if (!hit) continue;
+    ++report.affected;
+    release_resources(record);
+    const RouteResult reroute = route_request(record.source, record.target);
+    if (reroute.found) {
+      reserve(record, reroute);
+      ++report.rerouted;
+      ++stats_.rerouted;
+    } else {
+      record.active = false;
+      --active_;
+      ++report.dropped;
+      ++stats_.dropped;
+    }
+  }
+  return report;
+}
+
+void SessionManager::repair_span(NodeId a, NodeId b) {
+  LUMEN_REQUIRE(a.value() < net_.num_nodes());
+  LUMEN_REQUIRE(b.value() < net_.num_nodes());
+
+  // Wavelengths still reserved by active sessions must stay unavailable.
+  std::vector<std::unordered_map<std::uint32_t, bool>> reserved(
+      net_.num_links());
+  for (const auto& [id, record] : sessions_) {
+    if (!record.active) continue;
+    for (const Hop& hop : record.path.hops())
+      reserved[hop.link.value()][hop.wavelength.value()] = true;
+  }
+
+  for (std::uint32_t ei = 0; ei < net_.num_links(); ++ei) {
+    const LinkId e{ei};
+    const bool on_span = (net_.tail(e) == a && net_.head(e) == b) ||
+                         (net_.tail(e) == b && net_.head(e) == a);
+    if (!on_span || !link_failed_[ei]) continue;
+    link_failed_[ei] = 0;
+    for (const LinkWavelength& lw : base_availability_[ei]) {
+      if (!reserved[ei].contains(lw.lambda.value()))
+        net_.set_wavelength(e, lw.lambda, lw.cost);
+    }
+  }
+}
+
+bool SessionManager::reoptimize(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second.active) return false;
+  SessionRecord& record = it->second;
+
+  // Free this session's resources so the search can reuse them...
+  const Semilightpath old_path = record.path;
+  const double old_cost = record.cost;
+  const std::vector<LinkWavelength> old_costs = record.reserved_costs;
+  release_resources(record);
+
+  const RouteResult better = route_request(record.source, record.target);
+  if (better.found && better.cost < old_cost - 1e-12) {
+    reserve(record, better);
+    return true;
+  }
+
+  // ...otherwise put the old route back exactly (always possible: we just
+  // released it and nothing else ran in between).
+  record.path = old_path;
+  record.cost = old_cost;
+  record.reserved_costs = old_costs;
+  for (std::size_t i = 0; i < old_path.hops().size(); ++i) {
+    // Re-set availability then immediately re-claim it, restoring the
+    // reservation bookkeeping.
+    const Hop& hop = old_path.hops()[i];
+    const bool removed = net_.clear_wavelength(hop.link, hop.wavelength);
+    // clear fails only if release above didn't restore it (failed link —
+    // impossible for an active session's healthy route).
+    LUMEN_ASSERT(removed);
+    ++reserved_pairs_;
+  }
+  return false;
+}
+
+std::vector<SessionId> SessionManager::active_session_ids() const {
+  std::vector<SessionId> ids;
+  ids.reserve(active_);
+  for (const auto& [id, record] : sessions_) {
+    if (record.active) ids.push_back(id);
+  }
+  return ids;
+}
+
+const SessionRecord* SessionManager::find(SessionId id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+double SessionManager::wavelength_utilization() const noexcept {
+  return base_pairs_ == 0 ? 0.0
+                          : static_cast<double>(reserved_pairs_) /
+                                static_cast<double>(base_pairs_);
+}
+
+}  // namespace lumen

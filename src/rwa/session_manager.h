@@ -1,0 +1,162 @@
+// Online routing and wavelength assignment (RWA) session engine.
+//
+// The paper's setting: connection requests arrive online; each carried
+// request claims one wavelength on every fiber link of its route (and a
+// converter setting at switch nodes) until it departs.  SessionManager
+// tracks the residual availability, routes each request with a pluggable
+// policy, reserves/releases (link, wavelength) resources, and accounts
+// blocking — the standard WDM evaluation loop built on the Liang–Shen
+// router.
+//
+// Policies, weakest to strongest:
+//   kLightpathFirstFit  — classic greedy: hop-shortest route on links with
+//                         any free wavelength, then the first wavelength
+//                         free along the whole route (blocked otherwise).
+//   kLightpathBestCost  — optimal wavelength-continuous route (one
+//                         Dijkstra per wavelength).
+//   kSemilightpath      — the paper's router: optimal with conversion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/route_types.h"
+#include "util/strong_id.h"
+#include "wdm/network.h"
+#include "wdm/semilightpath.h"
+
+namespace lumen {
+
+struct SessionTag {};
+/// Identifier of an accepted (possibly since-closed) session.
+using SessionId = StrongId<SessionTag>;
+
+/// Routing policy used for each arriving request.
+enum class RoutingPolicy {
+  kLightpathFirstFit,
+  kLightpathBestCost,
+  kSemilightpath,
+};
+
+/// One carried connection.
+struct SessionRecord {
+  SessionId id;
+  NodeId source;
+  NodeId target;
+  Semilightpath path;
+  double cost = 0.0;
+  bool active = false;
+  /// Reserved resources with their original costs (for release).
+  std::vector<LinkWavelength> reserved_costs;  // parallel to path.hops()
+};
+
+/// Aggregate acceptance accounting.
+struct SessionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t carried = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t released = 0;
+  /// Sessions moved to a new route after a span failure.
+  std::uint64_t rerouted = 0;
+  /// Sessions lost to a span failure (no restoration route existed).
+  std::uint64_t dropped = 0;
+  double carried_cost_sum = 0.0;
+
+  [[nodiscard]] double blocking_rate() const noexcept {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(blocked) /
+                              static_cast<double>(offered);
+  }
+  [[nodiscard]] double mean_carried_cost() const noexcept {
+    return carried == 0 ? 0.0
+                        : carried_cost_sum / static_cast<double>(carried);
+  }
+};
+
+/// Owns the residual network state and the session table.
+class SessionManager {
+ public:
+  /// Takes the base network by value (the manager mutates its copy's
+  /// availability as sessions come and go).
+  SessionManager(WdmNetwork network, RoutingPolicy policy);
+
+  /// Routes a request on the residual availability.  On success the
+  /// returned session holds its resources until close().  On blocking
+  /// returns std::nullopt (and counts it).
+  std::optional<SessionId> open(NodeId source, NodeId target);
+
+  /// Releases a session's resources.  Returns false when the id is
+  /// unknown or already closed.
+  bool close(SessionId id);
+
+  /// Outcome of a span failure.
+  struct FailureReport {
+    std::uint32_t links_failed = 0;   ///< directed links taken down
+    std::uint32_t affected = 0;       ///< active sessions that crossed them
+    std::uint32_t rerouted = 0;       ///< restored on an alternate route
+    std::uint32_t dropped = 0;        ///< lost (no restoration route)
+  };
+
+  /// Fails every directed link between `a` and `b` (a fiber cut takes the
+  /// whole span).  Active sessions crossing the span are restored on an
+  /// alternate route when one exists under the current policy, otherwise
+  /// dropped.  Idempotent for an already-failed span.
+  FailureReport fail_span(NodeId a, NodeId b);
+
+  /// Repairs the span: its links regain every base wavelength not
+  /// currently reserved by an active session.  Sessions dropped earlier
+  /// are NOT resurrected.  No-op for a healthy span.
+  void repair_span(NodeId a, NodeId b);
+
+  /// True when the directed link is currently failed.
+  [[nodiscard]] bool is_failed(LinkId e) const;
+
+  /// Re-routes an active session against the current residual state (its
+  /// own resources are released during the search, so the old route is
+  /// always re-acquirable).  Keeps the new route only when strictly
+  /// cheaper; otherwise restores the old one.  Returns true when the
+  /// session moved.  False (no-op) for unknown/closed ids.
+  bool reoptimize(SessionId id);
+
+  /// Ids of all currently active sessions (unspecified order).
+  [[nodiscard]] std::vector<SessionId> active_session_ids() const;
+
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t active_sessions() const noexcept {
+    return active_;
+  }
+  /// The network as currently seen by new requests.
+  [[nodiscard]] const WdmNetwork& residual() const noexcept { return net_; }
+  [[nodiscard]] RoutingPolicy policy() const noexcept { return policy_; }
+
+  /// The session record, or nullptr when unknown.
+  [[nodiscard]] const SessionRecord* find(SessionId id) const;
+
+  /// Fraction of the base network's (link, λ) pairs currently reserved.
+  [[nodiscard]] double wavelength_utilization() const noexcept;
+
+ private:
+  [[nodiscard]] RouteResult route_request(NodeId source, NodeId target) const;
+  [[nodiscard]] RouteResult first_fit_route(NodeId source,
+                                            NodeId target) const;
+  /// Reserves the hops of `route` for `record` (updates path bookkeeping).
+  void reserve(SessionRecord& record, const RouteResult& route);
+  /// Returns a session's resources to the pool, skipping failed links.
+  void release_resources(SessionRecord& record);
+
+  WdmNetwork net_;  // residual availability (mutated)
+  RoutingPolicy policy_;
+  SessionStats stats_;
+  std::unordered_map<SessionId, SessionRecord> sessions_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t active_ = 0;
+  std::uint64_t base_pairs_;  // Σ|Λ(e)| of the pristine network
+  std::uint64_t reserved_pairs_ = 0;
+  /// Pristine Λ(e) with costs, captured at construction (repair source).
+  std::vector<std::vector<LinkWavelength>> base_availability_;
+  std::vector<char> link_failed_;
+};
+
+}  // namespace lumen

@@ -1,0 +1,63 @@
+// Static wavelength assignment: coloring routed paths so that paths
+// sharing a fiber link get distinct wavelengths.
+//
+// The complementary half of the classic RWA decomposition: routes are
+// chosen first (here: any path set, e.g. shortest paths for a traffic
+// matrix), then wavelengths are assigned — minimizing how many distinct
+// wavelengths the network needs.  Equivalent to vertex coloring of the
+// *path conflict graph* (paths adjacent iff they share a directed link),
+// NP-hard in general; we provide the two standard heuristics plus the
+// exact conflict-graph machinery for tests and analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// One request routed over a fixed link sequence (no wavelengths yet).
+struct RoutedPath {
+  std::vector<LinkId> links;
+};
+
+/// The conflict graph of a path set: node i = path i, undirected edge
+/// between paths sharing at least one directed link.  Returned as an
+/// adjacency list (each edge appears in both endpoint lists).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> build_conflict_graph(
+    const std::vector<RoutedPath>& paths);
+
+/// Assignment heuristics.
+enum class AssignmentHeuristic {
+  kFirstFit,  ///< paths in given order, smallest non-conflicting wavelength
+  kDsatur,    ///< highest-saturation-first (usually fewer wavelengths)
+};
+
+/// Result of a wavelength assignment.
+struct AssignmentResult {
+  /// wavelength[i] = color of path i (dense, 0-based).
+  std::vector<Wavelength> wavelength;
+  /// Number of distinct wavelengths used (the quantity to minimize).
+  std::uint32_t wavelengths_used = 0;
+};
+
+/// Assigns wavelengths so conflicting paths differ.  Always succeeds (the
+/// wavelength pool is unbounded); callers compare wavelengths_used to
+/// their hardware budget k.
+[[nodiscard]] AssignmentResult assign_wavelengths(
+    const std::vector<RoutedPath>& paths,
+    AssignmentHeuristic heuristic = AssignmentHeuristic::kDsatur);
+
+/// True when the assignment gives distinct wavelengths to every pair of
+/// link-sharing paths (the validity predicate tests use).
+[[nodiscard]] bool assignment_is_valid(const std::vector<RoutedPath>& paths,
+                                       const std::vector<Wavelength>& colors);
+
+/// Lower bound on the wavelengths any assignment needs: the maximum
+/// number of paths crossing a single directed link (link congestion).
+[[nodiscard]] std::uint32_t congestion_lower_bound(
+    const std::vector<RoutedPath>& paths);
+
+}  // namespace lumen

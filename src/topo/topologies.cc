@@ -1,0 +1,302 @@
+#include "topo/topologies.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace lumen {
+
+namespace {
+
+/// Hash key for a directed node pair (deduplication in random generators).
+[[nodiscard]] std::uint64_t pair_key(std::uint32_t u, std::uint32_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+void add_span(Topology& topo, std::uint32_t u, std::uint32_t v) {
+  topo.links.emplace_back(NodeId{u}, NodeId{v});
+  topo.links.emplace_back(NodeId{v}, NodeId{u});
+}
+
+/// Adds a random directed Hamiltonian cycle; returns the permutation used.
+std::vector<std::uint32_t> add_random_cycle(
+    Topology& topo, Rng& rng, std::unordered_set<std::uint64_t>& used) {
+  std::vector<std::uint32_t> perm(topo.num_nodes);
+  for (std::uint32_t i = 0; i < topo.num_nodes; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  for (std::uint32_t i = 0; i < topo.num_nodes; ++i) {
+    const std::uint32_t u = perm[i];
+    const std::uint32_t v = perm[(i + 1) % topo.num_nodes];
+    topo.links.emplace_back(NodeId{u}, NodeId{v});
+    used.insert(pair_key(u, v));
+  }
+  return perm;
+}
+
+}  // namespace
+
+Digraph Topology::to_digraph() const {
+  Digraph g(num_nodes);
+  g.reserve_links(links.size());
+  for (const auto& [u, v] : links) g.add_link(u, v, 1.0);
+  return g;
+}
+
+double Topology::link_distance(std::size_t i) const {
+  LUMEN_REQUIRE(i < links.size());
+  if (coords.empty()) return 1.0;
+  const auto& [u, v] = links[i];
+  const auto& [ux, uy] = coords[u.value()];
+  const auto& [vx, vy] = coords[v.value()];
+  return std::hypot(ux - vx, uy - vy);
+}
+
+Topology line_topology(std::uint32_t n) {
+  LUMEN_REQUIRE(n >= 2);
+  Topology topo;
+  topo.num_nodes = n;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) add_span(topo, i, i + 1);
+  return topo;
+}
+
+Topology ring_topology(std::uint32_t n, bool bidirectional) {
+  LUMEN_REQUIRE(bidirectional ? n >= 2 : n >= 3);
+  Topology topo;
+  topo.num_nodes = n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t next = (i + 1) % n;
+    topo.links.emplace_back(NodeId{i}, NodeId{next});
+    if (bidirectional) topo.links.emplace_back(NodeId{next}, NodeId{i});
+  }
+  return topo;
+}
+
+Topology grid_topology(std::uint32_t rows, std::uint32_t cols) {
+  LUMEN_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Topology topo;
+  topo.num_nodes = rows * cols;
+  topo.coords.resize(topo.num_nodes);
+  const double dr = rows > 1 ? 1.0 / (rows - 1) : 0.0;
+  const double dc = cols > 1 ? 1.0 / (cols - 1) : 0.0;
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      topo.coords[id(r, c)] = {c * dc, r * dr};
+      if (c + 1 < cols) add_span(topo, id(r, c), id(r, c + 1));
+      if (r + 1 < rows) add_span(topo, id(r, c), id(r + 1, c));
+    }
+  }
+  return topo;
+}
+
+Topology torus_topology(std::uint32_t rows, std::uint32_t cols) {
+  LUMEN_REQUIRE(rows >= 2 && cols >= 2);
+  Topology topo;
+  topo.num_nodes = rows * cols;
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      add_span(topo, id(r, c), id(r, (c + 1) % cols));
+      add_span(topo, id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return topo;
+}
+
+Topology nsfnet_topology() {
+  // Nodes: 0 Seattle, 1 Palo Alto, 2 San Diego, 3 Salt Lake City,
+  // 4 Boulder, 5 Houston, 6 Lincoln, 7 Champaign, 8 Ann Arbor,
+  // 9 Pittsburgh, 10 Atlanta, 11 Ithaca, 12 College Park, 13 Princeton.
+  Topology topo;
+  topo.num_nodes = 14;
+  topo.coords = {
+      {0.05, 0.95}, {0.02, 0.55}, {0.08, 0.15}, {0.25, 0.60},
+      {0.35, 0.55}, {0.45, 0.10}, {0.50, 0.55}, {0.62, 0.55},
+      {0.70, 0.70}, {0.78, 0.55}, {0.72, 0.20}, {0.85, 0.75},
+      {0.88, 0.45}, {0.95, 0.60},
+  };
+  // The 21 spans of the classic NSFNET T1 backbone.
+  static constexpr std::pair<std::uint32_t, std::uint32_t> kSpans[] = {
+      {0, 1},  {0, 3},  {0, 8},   {1, 2},  {1, 3},  {2, 5},  {3, 6},
+      {4, 5},  {4, 6},  {4, 9},   {5, 10}, {6, 7},  {7, 8},  {7, 12},
+      {8, 11}, {9, 11}, {9, 12},  {10, 12}, {10, 13}, {11, 13}, {12, 13},
+  };
+  for (const auto& [u, v] : kSpans) add_span(topo, u, v);
+  return topo;
+}
+
+Topology arpanet_topology() {
+  // The 20-node ARPANET-2 style backbone commonly used in optical-network
+  // studies; coordinates are approximate west-to-east placements.
+  Topology topo;
+  topo.num_nodes = 20;
+  topo.coords = {
+      {0.03, 0.80}, {0.05, 0.35}, {0.12, 0.60}, {0.20, 0.20},
+      {0.25, 0.75}, {0.32, 0.45}, {0.38, 0.15}, {0.45, 0.65},
+      {0.50, 0.40}, {0.55, 0.85}, {0.58, 0.12}, {0.65, 0.55},
+      {0.70, 0.30}, {0.75, 0.78}, {0.80, 0.10}, {0.85, 0.48},
+      {0.88, 0.70}, {0.92, 0.25}, {0.95, 0.55}, {0.98, 0.82},
+  };
+  static constexpr std::pair<std::uint32_t, std::uint32_t> kSpans[] = {
+      {0, 1},   {0, 2},   {0, 4},   {1, 2},   {1, 3},   {2, 4},
+      {2, 5},   {3, 5},   {3, 6},   {4, 7},   {4, 9},   {5, 6},
+      {5, 8},   {6, 10},  {7, 8},   {7, 9},   {8, 11},  {8, 12},
+      {9, 13},  {10, 12}, {10, 14}, {11, 13}, {11, 15}, {12, 15},
+      {12, 17}, {13, 16}, {14, 17}, {15, 16}, {15, 18}, {16, 19},
+      {17, 18}, {18, 19},
+  };
+  for (const auto& [u, v] : kSpans) add_span(topo, u, v);
+  return topo;
+}
+
+Topology random_sparse_topology(std::uint32_t n, std::uint32_t extra_links,
+                                Rng& rng) {
+  LUMEN_REQUIRE(n >= 2);
+  // Each node has at most n-1 out-neighbors; the cycle consumes one.
+  LUMEN_REQUIRE_MSG(
+      static_cast<std::uint64_t>(extra_links) <=
+          static_cast<std::uint64_t>(n) * (n - 1) - n,
+      "too many links requested for a simple digraph");
+  Topology topo;
+  topo.num_nodes = n;
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(n + extra_links);
+  add_random_cycle(topo, rng, used);
+  std::uint32_t added = 0;
+  while (added < extra_links) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (!used.insert(pair_key(u, v)).second) continue;
+    topo.links.emplace_back(NodeId{u}, NodeId{v});
+    ++added;
+  }
+  return topo;
+}
+
+Topology waxman_topology(std::uint32_t n, double alpha, double beta,
+                         Rng& rng) {
+  LUMEN_REQUIRE(n >= 2);
+  LUMEN_REQUIRE(alpha > 0.0 && alpha <= 1.0 && beta > 0.0);
+  Topology topo;
+  topo.num_nodes = n;
+  topo.coords.resize(n);
+  for (auto& [x, y] : topo.coords) {
+    x = rng.next_double();
+    y = rng.next_double();
+  }
+  std::unordered_set<std::uint64_t> used;
+  add_random_cycle(topo, rng, used);
+  // Make the seed cycle bidirectional so it behaves like fiber spans.
+  {
+    const auto cycle_links = topo.links;  // cycle only, added above
+    for (const auto& [u, v] : cycle_links) {
+      if (used.insert(pair_key(v.value(), u.value())).second) {
+        topo.links.emplace_back(v, u);
+      }
+    }
+  }
+  const double scale = std::sqrt(2.0);  // L: max distance on the unit square
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      const double dist = std::hypot(topo.coords[u].first - topo.coords[v].first,
+                                     topo.coords[u].second - topo.coords[v].second);
+      const double p = alpha * std::exp(-dist / (beta * scale));
+      if (!rng.next_bool(p)) continue;
+      if (used.insert(pair_key(u, v)).second)
+        topo.links.emplace_back(NodeId{u}, NodeId{v});
+      if (used.insert(pair_key(v, u)).second)
+        topo.links.emplace_back(NodeId{v}, NodeId{u});
+    }
+  }
+  return topo;
+}
+
+Topology random_regular_topology(std::uint32_t n, std::uint32_t d, Rng& rng) {
+  LUMEN_REQUIRE(n >= 2);
+  LUMEN_REQUIRE(d >= 1 && d < n);
+  Topology topo;
+  topo.num_nodes = n;
+  std::unordered_set<std::uint64_t> used;
+  const std::vector<std::uint32_t> perm = add_random_cycle(topo, rng, used);
+  (void)perm;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t have = 0;
+    // The cycle gave u exactly one out-link already.
+    have = 1;
+    while (have < d) {
+      const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+      if (v == u) continue;
+      if (!used.insert(pair_key(u, v)).second) continue;
+      topo.links.emplace_back(NodeId{u}, NodeId{v});
+      ++have;
+    }
+  }
+  return topo;
+}
+
+
+Topology hierarchical_topology(std::uint32_t hubs, std::uint32_t ring_size,
+                               std::uint32_t hub_chords, Rng& rng) {
+  LUMEN_REQUIRE(hubs >= 3);
+  LUMEN_REQUIRE(ring_size >= 2);
+  Topology topo;
+  topo.num_nodes = hubs * (1 + ring_size);
+  topo.coords.resize(topo.num_nodes);
+
+  // Node layout: hub h is node h; its metro nodes are
+  // hubs + h*ring_size .. hubs + (h+1)*ring_size - 1.
+  const double pi = 3.14159265358979323846;
+  auto metro = [&](std::uint32_t h, std::uint32_t i) {
+    return hubs + h * ring_size + i;
+  };
+
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    const double angle = 2.0 * pi * h / hubs;
+    const double hx = 0.5 + 0.3 * std::cos(angle);
+    const double hy = 0.5 + 0.3 * std::sin(angle);
+    topo.coords[h] = {hx, hy};
+    for (std::uint32_t i = 0; i < ring_size; ++i) {
+      const double metro_angle = 2.0 * pi * i / ring_size;
+      topo.coords[metro(h, i)] = {hx + 0.08 * std::cos(metro_angle),
+                                  hy + 0.08 * std::sin(metro_angle)};
+    }
+  }
+
+  // Backbone ring over the hubs.
+  for (std::uint32_t h = 0; h < hubs; ++h) add_span(topo, h, (h + 1) % hubs);
+
+  // Random backbone chords (skip duplicates and ring neighbors).
+  std::unordered_set<std::uint64_t> used;
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    used.insert(pair_key(h, (h + 1) % hubs));
+    used.insert(pair_key((h + 1) % hubs, h));
+  }
+  std::uint32_t added = 0;
+  std::uint32_t attempts = 0;
+  while (added < hub_chords && attempts < 50 * (hub_chords + 1)) {
+    ++attempts;
+    const auto a = static_cast<std::uint32_t>(rng.next_below(hubs));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(hubs));
+    if (a == b) continue;
+    if (!used.insert(pair_key(a, b)).second) continue;
+    used.insert(pair_key(b, a));
+    add_span(topo, a, b);
+    ++added;
+  }
+
+  // Metro rings, dual-homed onto their hub (entry at metro 0, exit at the
+  // ring's midpoint) so a single span cut never isolates a metro node.
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    // A 2-node "ring" is a single span; larger rings close the cycle.
+    const std::uint32_t ring_spans = ring_size == 2 ? 1 : ring_size;
+    for (std::uint32_t i = 0; i < ring_spans; ++i)
+      add_span(topo, metro(h, i), metro(h, (i + 1) % ring_size));
+    add_span(topo, h, metro(h, 0));
+    add_span(topo, h, metro(h, ring_size / 2));
+  }
+  return topo;
+}
+
+}  // namespace lumen

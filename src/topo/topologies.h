@@ -1,0 +1,97 @@
+// Synthetic and reference WAN topologies.
+//
+// The paper's setting is a large, sparse wide-area network: m = O(n) and
+// bounded (or slowly growing) degree d.  Generators here produce exactly
+// that regime, plus the NSFNET reference backbone for realistic examples.
+// Every generator returns a Topology that is strongly connected by
+// construction (bidirectional generators trivially; random generators seed
+// a directed Hamiltonian cycle first).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// A bare directed topology: node count, directed links, optional planar
+/// coordinates (unit square) used by distance-based cost policies.
+struct Topology {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::pair<NodeId, NodeId>> links;
+  /// Either empty or one (x, y) per node.
+  std::vector<std::pair<double, double>> coords;
+
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(links.size());
+  }
+
+  /// Materializes the unit-weight digraph (for connectivity checks etc.).
+  [[nodiscard]] Digraph to_digraph() const;
+
+  /// Euclidean distance between the endpoints of link index `i`
+  /// (requires coords; returns 1.0 when absent).
+  [[nodiscard]] double link_distance(std::size_t i) const;
+};
+
+/// Bidirectional path 0 - 1 - ... - (n-1).  Requires n >= 2.
+[[nodiscard]] Topology line_topology(std::uint32_t n);
+
+/// Cycle on n nodes; bidirectional adds both directions.  Requires n >= 2
+/// (n >= 3 for the unidirectional ring to be strongly connected — enforced).
+[[nodiscard]] Topology ring_topology(std::uint32_t n,
+                                     bool bidirectional = true);
+
+/// Bidirectional rows×cols grid with planar coordinates.
+/// Requires rows, cols >= 1 and rows*cols >= 2.
+[[nodiscard]] Topology grid_topology(std::uint32_t rows, std::uint32_t cols);
+
+/// Bidirectional rows×cols torus (wrap-around grid).  Requires rows,cols>=2.
+[[nodiscard]] Topology torus_topology(std::uint32_t rows, std::uint32_t cols);
+
+/// The 14-node, 21-span NSFNET T1 backbone (each span = 2 directed links),
+/// with approximate geographic coordinates normalized to the unit square.
+[[nodiscard]] Topology nsfnet_topology();
+
+/// A 20-node, 32-span ARPANET-like continental backbone (each span = 2
+/// directed links), with approximate coordinates on the unit square.  The
+/// second stock reference WAN: larger and meshier than NSFNET.
+[[nodiscard]] Topology arpanet_topology();
+
+/// Random sparse strongly connected digraph: a random directed Hamiltonian
+/// cycle plus `extra_links` random non-duplicate directed links.
+/// Total m = n + extra_links; choose extra_links = c·n for the paper's
+/// m = O(n) regime.
+[[nodiscard]] Topology random_sparse_topology(std::uint32_t n,
+                                              std::uint32_t extra_links,
+                                              Rng& rng);
+
+/// Waxman geometric graph on the unit square: nodes uniform at random;
+/// span probability alpha·exp(-dist/(beta·L)); both directions added per
+/// accepted span; a random Hamiltonian cycle guarantees strong
+/// connectivity.  Classic WAN model (alpha≈0.4, beta≈0.14).
+[[nodiscard]] Topology waxman_topology(std::uint32_t n, double alpha,
+                                       double beta, Rng& rng);
+
+/// Random d-out-regular digraph: every node gets exactly `d` distinct
+/// random out-neighbors (no self-loops); one of them is the cycle
+/// successor, guaranteeing strong connectivity.  Requires 1 <= d < n.
+[[nodiscard]] Topology random_regular_topology(std::uint32_t n,
+                                               std::uint32_t d, Rng& rng);
+
+/// Hierarchical metro/backbone WAN: `hubs` backbone nodes on a
+/// bidirectional ring (plus `hub_chords` random backbone chords), each
+/// serving its own bidirectional access ring of `ring_size` metro nodes
+/// attached to the hub at two points (ring entry/exit) for survivability.
+/// Total n = hubs * (1 + ring_size).  Coordinates place hubs on a circle
+/// and metro rings around them.  Requires hubs >= 3, ring_size >= 2.
+[[nodiscard]] Topology hierarchical_topology(std::uint32_t hubs,
+                                             std::uint32_t ring_size,
+                                             std::uint32_t hub_chords,
+                                             Rng& rng);
+
+}  // namespace lumen

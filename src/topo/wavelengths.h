@@ -1,0 +1,97 @@
+// Wavelength-availability and cost workload generators.
+//
+// A workload assigns each directed link its available wavelength set Λ(e)
+// and the per-wavelength traversal costs w(e, λ); assemble_network() then
+// packages a Topology + availability + conversion model into a WdmNetwork.
+// The occupancy generator reproduces the paper's motivation for sparse
+// Λ(e): wavelengths already claimed by existing lightpaths are unavailable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topo/topologies.h"
+#include "util/rng.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Per-link availability lists: availability[i] belongs to topology link i.
+using Availability = std::vector<std::vector<LinkWavelength>>;
+
+/// How w(e, λ) is chosen for an available wavelength.
+struct CostSpec {
+  enum class Kind {
+    kUnit,      ///< w = 1 everywhere
+    kUniform,   ///< w ~ Uniform[lo, hi) per (link, wavelength)
+    kDistance,  ///< w = scale * euclidean link length (same for all λ)
+  };
+  Kind kind = Kind::kUnit;
+  double lo = 1.0;
+  double hi = 2.0;
+  double scale = 10.0;
+
+  [[nodiscard]] static CostSpec unit() { return {}; }
+  [[nodiscard]] static CostSpec uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi, 0.0};
+  }
+  [[nodiscard]] static CostSpec distance(double scale) {
+    return {Kind::kDistance, 0.0, 0.0, scale};
+  }
+};
+
+/// Every wavelength available on every link.
+[[nodiscard]] Availability full_availability(const Topology& topo,
+                                             std::uint32_t k,
+                                             const CostSpec& costs, Rng& rng);
+
+/// Each link gets a uniformly random subset of Λ with size drawn uniformly
+/// from [k0_min, k0_max] (so k0(e) <= k0_max; the paper's Section IV
+/// regime).  Requires 1 <= k0_min <= k0_max <= k.
+[[nodiscard]] Availability uniform_availability(const Topology& topo,
+                                                std::uint32_t k,
+                                                std::uint32_t k0_min,
+                                                std::uint32_t k0_max,
+                                                const CostSpec& costs,
+                                                Rng& rng);
+
+/// Each link gets a contiguous band of `band` wavelengths starting at a
+/// random offset (models colored/banded transceivers).  Requires
+/// 1 <= band <= k.
+[[nodiscard]] Availability banded_availability(const Topology& topo,
+                                               std::uint32_t k,
+                                               std::uint32_t band,
+                                               const CostSpec& costs,
+                                               Rng& rng);
+
+/// Starts from full availability, then routes `num_demands` random
+/// single-wavelength lightpath demands (shortest hop path, first-fit
+/// wavelength) and removes the consumed (link, λ) pairs.  Demands that
+/// cannot be carried are skipped.  Reproduces "network conditions" where
+/// existing traffic blocks wavelengths.
+[[nodiscard]] Availability occupancy_availability(const Topology& topo,
+                                                  std::uint32_t k,
+                                                  std::uint32_t num_demands,
+                                                  const CostSpec& costs,
+                                                  Rng& rng);
+
+/// Packages everything into a routable WdmNetwork.
+/// Requires availability.size() == topo.num_links().
+[[nodiscard]] WdmNetwork assemble_network(
+    const Topology& topo, std::uint32_t k, const Availability& availability,
+    std::shared_ptr<const ConversionModel> conversion);
+
+/// Random distinct (s, t) demand pairs with s != t.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> random_demands(
+    std::uint32_t num_nodes, std::uint32_t count, Rng& rng);
+
+/// Gravity-model demands: each node gets a random "population" mass
+/// p_v ~ U[0.5, 2); pair (s, t) is drawn with probability proportional to
+/// p_s·p_t / max(dist(s,t), d_min)² (Euclidean over topo.coords; hop = 1
+/// when coords are absent, degenerating to population-weighted uniform).
+/// The classic WAN traffic model: nearby large cities exchange the most.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> gravity_demands(
+    const Topology& topo, std::uint32_t count, Rng& rng);
+
+}  // namespace lumen

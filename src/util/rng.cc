@@ -1,0 +1,34 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace lumen {
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(
+    std::uint32_t universe, std::uint32_t count) {
+  LUMEN_REQUIRE(count <= universe);
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  if (count * 3ULL >= universe) {
+    // Dense case: partial Fisher–Yates over the whole universe.
+    std::vector<std::uint32_t> all(universe);
+    for (std::uint32_t i = 0; i < universe; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto j =
+          i + static_cast<std::uint32_t>(next_below(universe - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling.
+    std::unordered_set<std::uint32_t> seen;
+    seen.reserve(count * 2);
+    while (out.size() < count) {
+      const auto x = static_cast<std::uint32_t>(next_below(universe));
+      if (seen.insert(x).second) out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace lumen

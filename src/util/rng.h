@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in lumen takes an explicit Rng so that tests,
+// benchmarks, and examples are reproducible bit-for-bit from a seed.  The
+// generator is xoshiro256++ seeded through splitmix64, which is fast,
+// high-quality, and trivially portable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lumen {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ deterministic pseudo-random generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x1234abcd5678ef01ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Requires bound > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    LUMEN_REQUIRE(bound > 0);
+    // Lemire's multiply-shift rejection method: unbiased.
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const unsigned __int128 wide =
+          static_cast<unsigned __int128>(x) * bound;
+      const std::uint64_t low = static_cast<std::uint64_t>(wide);
+      if (low >= bound || low >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(wide >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].  Requires lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    LUMEN_REQUIRE(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 on full range
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  [[nodiscard]] double next_double_in(double lo, double hi) {
+    LUMEN_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  [[nodiscard]] bool next_bool(double p) {
+    LUMEN_REQUIRE(p >= 0.0 && p <= 1.0);
+    return next_double() < p;
+  }
+
+  /// An independent generator derived from this one (for splitting streams).
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
+
+  /// Fisher–Yates shuffle of a vector.
+  template <class T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[next_below(i)]);
+    }
+  }
+
+  /// A uniformly random sample of `count` distinct values from [0, universe).
+  /// Requires count <= universe.  Output is in selection order (not sorted).
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+      std::uint32_t universe, std::uint32_t count);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lumen

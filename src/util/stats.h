@@ -1,0 +1,57 @@
+// Small statistics helpers used by benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumen {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The q-th quantile (0 <= q <= 1) of a sample, with linear interpolation.
+/// Copies and sorts the input; requires a non-empty sample.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Median shorthand for quantile(sample, 0.5).
+[[nodiscard]] double median(std::vector<double> sample);
+
+/// Ordinary least-squares fit of y = a + b*x.  Returns {a, b, r_squared}.
+/// Requires xs.size() == ys.size() and at least two points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& xs,
+                                 const std::vector<double>& ys);
+
+}  // namespace lumen

@@ -1,0 +1,67 @@
+// Strongly typed integer identifiers.
+//
+// Node, link, and wavelength indices are all plain integers at runtime, but
+// mixing them up is a classic source of silent bugs in graph code.  StrongId
+// wraps a 32-bit index in a distinct type per tag so that the compiler
+// rejects cross-assignment (Core Guidelines I.4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace lumen {
+
+/// A strongly typed, totally ordered 32-bit index.  `Tag` is an empty struct
+/// used only to make distinct instantiations incompatible.
+template <class Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel meaning "no such entity".
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() noexcept : value_(kInvalidValue) {}
+  constexpr explicit StrongId(value_type value) noexcept : value_(value) {}
+
+  /// Underlying index value.
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+
+  /// True when this id refers to an actual entity.
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalidValue;
+  }
+
+  /// The invalid sentinel id.
+  [[nodiscard]] static constexpr StrongId invalid() noexcept {
+    return StrongId{};
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  value_type value_;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct WavelengthTag {};
+
+/// Index of a physical network node.
+using NodeId = StrongId<NodeTag>;
+/// Index of a directed physical link.
+using LinkId = StrongId<LinkTag>;
+/// Index of a wavelength (0-based position of lambda_i in the universe).
+using Wavelength = StrongId<WavelengthTag>;
+
+}  // namespace lumen
+
+template <class Tag>
+struct std::hash<lumen::StrongId<Tag>> {
+  std::size_t operator()(lumen::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace lumen {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LUMEN_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LUMEN_REQUIRE_MSG(cells.size() == headers_.size(),
+                    "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = emit_row(headers_);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += std::string(widths[c] + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += ",";
+      line += row[c];
+    }
+    return line + "\n";
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << to_markdown(); }
+
+std::string fmt_double(double x, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, x);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(x));
+  return buf;
+}
+
+std::string fmt_sci(double x, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", decimals, x);
+  return buf;
+}
+
+}  // namespace lumen

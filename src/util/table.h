@@ -1,0 +1,49 @@
+// Minimal table formatter for benchmark and example output.
+//
+// Benches print GitHub-flavoured markdown tables so EXPERIMENTS.md can quote
+// their output verbatim; the same rows can be exported as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lumen {
+
+/// Collects rows of string cells and renders them as markdown or CSV.
+/// Column count is fixed by the header; add_row checks arity.
+class Table {
+ public:
+  /// Creates a table with the given column headers (must be non-empty).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept {
+    return headers_.size();
+  }
+
+  /// Renders as a markdown table with aligned columns.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Renders as CSV (no quoting; cells must not contain commas or newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints the markdown rendering to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting helpers used by bench output.
+[[nodiscard]] std::string fmt_double(double x, int decimals = 3);
+[[nodiscard]] std::string fmt_int(std::int64_t x);
+/// Scientific-ish compact formatting, e.g. "1.25e+06".
+[[nodiscard]] std::string fmt_sci(double x, int decimals = 2);
+
+}  // namespace lumen

@@ -1,0 +1,169 @@
+// Wavelength-conversion cost models c_v(λ_p, λ_q).
+//
+// The paper's cost structure: c_v(λ, λ) = 0 always; c_v(λ_p, λ_q) ≥ 0 is the
+// cost of switching an optical signal from λ_p to λ_q at node v, and is
+// +infinity when node v cannot perform that conversion.  Different physical
+// node designs correspond to different models below.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "util/error.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// Interface: per-node wavelength conversion cost function.
+///
+/// Contract for every implementation: cost(v, λ, λ) == 0 for all v and λ,
+/// and cost(...) ≥ 0 (may be +infinity = conversion not supported).
+class ConversionModel {
+ public:
+  virtual ~ConversionModel() = default;
+
+  /// Cost of converting from `from` to `to` at node `v`.
+  [[nodiscard]] virtual double cost(NodeId v, Wavelength from,
+                                    Wavelength to) const = 0;
+
+  /// True when node `v` can convert `from` to `to` at finite cost.
+  [[nodiscard]] bool allowed(NodeId v, Wavelength from, Wavelength to) const {
+    return cost(v, from, to) < kInfiniteCost;
+  }
+};
+
+/// No node can convert: only lightpaths are feasible.
+class NoConversion final : public ConversionModel {
+ public:
+  [[nodiscard]] double cost(NodeId, Wavelength from,
+                            Wavelength to) const override {
+    return from == to ? 0.0 : kInfiniteCost;
+  }
+};
+
+/// Every node converts any wavelength to any other at one flat cost.
+class UniformConversion final : public ConversionModel {
+ public:
+  /// `conversion_cost` must be ≥ 0 (0 models free full conversion).
+  explicit UniformConversion(double conversion_cost)
+      : conversion_cost_(conversion_cost) {
+    LUMEN_REQUIRE(conversion_cost >= 0.0);
+  }
+
+  [[nodiscard]] double cost(NodeId, Wavelength from,
+                            Wavelength to) const override {
+    return from == to ? 0.0 : conversion_cost_;
+  }
+
+ private:
+  double conversion_cost_;
+};
+
+/// Limited-range converters: λ_p -> λ_q is possible only when
+/// |p - q| <= radius; the cost grows linearly with the distance.
+/// Models the common "adjacent-channel" converter hardware.
+class RangeLimitedConversion final : public ConversionModel {
+ public:
+  /// cost = base + per_step * |p - q| when |p - q| <= radius.
+  RangeLimitedConversion(std::uint32_t radius, double base, double per_step)
+      : radius_(radius), base_(base), per_step_(per_step) {
+    LUMEN_REQUIRE(base >= 0.0 && per_step >= 0.0);
+  }
+
+  [[nodiscard]] double cost(NodeId, Wavelength from,
+                            Wavelength to) const override {
+    if (from == to) return 0.0;
+    const std::uint32_t gap = from.value() > to.value()
+                                  ? from.value() - to.value()
+                                  : to.value() - from.value();
+    if (gap > radius_) return kInfiniteCost;
+    return base_ + per_step_ * static_cast<double>(gap);
+  }
+
+  [[nodiscard]] std::uint32_t radius() const noexcept { return radius_; }
+  [[nodiscard]] double base() const noexcept { return base_; }
+  [[nodiscard]] double per_step() const noexcept { return per_step_; }
+
+ private:
+  std::uint32_t radius_;
+  double base_;
+  double per_step_;
+};
+
+/// Sparse wavelength conversion: only the listed nodes carry converters
+/// (delegating to an inner model there); all other nodes cannot convert.
+class SparseConversion final : public ConversionModel {
+ public:
+  SparseConversion(std::vector<NodeId> converter_nodes,
+                   std::shared_ptr<const ConversionModel> inner)
+      : converters_(converter_nodes.begin(), converter_nodes.end()),
+        inner_(std::move(inner)) {
+    LUMEN_REQUIRE(inner_ != nullptr);
+  }
+
+  [[nodiscard]] double cost(NodeId v, Wavelength from,
+                            Wavelength to) const override {
+    if (from == to) return 0.0;
+    if (!converters_.contains(v)) return kInfiniteCost;
+    return inner_->cost(v, from, to);
+  }
+
+  [[nodiscard]] bool is_converter(NodeId v) const {
+    return converters_.contains(v);
+  }
+
+ private:
+  std::unordered_set<NodeId> converters_;
+  std::shared_ptr<const ConversionModel> inner_;
+};
+
+/// Fully general model: an explicit k×k cost matrix per node, default
+/// "no conversion".  Used for the paper's worked example and for
+/// adversarial instances (Fig. 5).
+class MatrixConversion final : public ConversionModel {
+ public:
+  /// All off-diagonal entries start at +infinity (disallowed).
+  MatrixConversion(std::uint32_t num_nodes, std::uint32_t num_wavelengths)
+      : k_(num_wavelengths),
+        costs_(static_cast<std::size_t>(num_nodes) * num_wavelengths *
+                   num_wavelengths,
+               kInfiniteCost) {}
+
+  /// Sets c_v(from, to) = c.  Requires from != to and c ≥ 0 (may be
+  /// +infinity to re-disallow).
+  void set(NodeId v, Wavelength from, Wavelength to, double c) {
+    LUMEN_REQUIRE_MSG(from != to, "the diagonal is fixed at zero");
+    LUMEN_REQUIRE(c >= 0.0);
+    costs_[index(v, from, to)] = c;
+  }
+
+  /// Allows every ordered pair at node v with one flat cost.
+  void set_all_pairs(NodeId v, double c) {
+    for (std::uint32_t p = 0; p < k_; ++p)
+      for (std::uint32_t q = 0; q < k_; ++q)
+        if (p != q) set(v, Wavelength{p}, Wavelength{q}, c);
+  }
+
+  [[nodiscard]] double cost(NodeId v, Wavelength from,
+                            Wavelength to) const override {
+    if (from == to) return 0.0;
+    return costs_[index(v, from, to)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId v, Wavelength from,
+                                  Wavelength to) const {
+    LUMEN_REQUIRE(from.value() < k_ && to.value() < k_);
+    const std::size_t base = static_cast<std::size_t>(v.value()) * k_ * k_;
+    LUMEN_REQUIRE(base + from.value() * k_ + to.value() < costs_.size());
+    return base + static_cast<std::size_t>(from.value()) * k_ + to.value();
+  }
+
+  std::uint32_t k_;
+  std::vector<double> costs_;
+};
+
+}  // namespace lumen

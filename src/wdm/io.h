@@ -1,0 +1,42 @@
+// Plain-text serialization of WDM networks.
+//
+// A small line-oriented format so that test fixtures, example scenarios,
+// and externally generated topologies can be stored and exchanged:
+//
+//   lumen-wdm 1
+//   nodes 7
+//   wavelengths 4
+//   conversion uniform 0.25        # none | uniform c | range r base step
+//                                  # | matrix
+//   link 0 1 2  0 1.0  2 1.0       # tail head count  (λ cost)...
+//   conv 2 1 2 0.4                 # matrix mode only: v from to cost
+//   end
+//
+// Writing recognizes the stock conversion models (none / uniform / range)
+// and emits them compactly; any other model — including SparseConversion
+// and MatrixConversion — is materialized behaviour-exactly as `matrix`
+// lines (every finite off-diagonal c_v(λp, λq)).  Reading therefore
+// round-trips the *behaviour* of every model, not its C++ type.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Writes `net` in the format above.
+void write_network(const WdmNetwork& net, std::ostream& os);
+
+/// Convenience: the serialized form as a string.
+[[nodiscard]] std::string network_to_string(const WdmNetwork& net);
+
+/// Parses a network; throws lumen::Error with a line number on malformed
+/// input.
+[[nodiscard]] WdmNetwork read_network(std::istream& is);
+
+/// Convenience: parse from a string.
+[[nodiscard]] WdmNetwork network_from_string(const std::string& text);
+
+}  // namespace lumen

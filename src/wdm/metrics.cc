@@ -1,0 +1,59 @@
+#include "wdm/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumen {
+
+NetworkMetrics compute_metrics(const WdmNetwork& net) {
+  NetworkMetrics metrics;
+
+  // Occupancy.
+  std::vector<std::uint64_t> per_lambda(net.num_wavelengths(), 0);
+  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+    const LinkId e{ei};
+    const auto list = net.available(e);
+    metrics.free_pairs += list.size();
+    if (list.empty()) ++metrics.dead_links;
+    for (const LinkWavelength& lw : list) ++per_lambda[lw.lambda.value()];
+  }
+
+  // Continuity alignment over adjacent link pairs.
+  double alignment_sum = 0.0;
+  std::uint64_t pairs = 0;
+  for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+    const NodeId v{vi};
+    for (const LinkId in : net.in_links(v)) {
+      const WavelengthSet in_set = net.lambda_set(in);
+      if (in_set.empty()) continue;
+      for (const LinkId out : net.out_links(v)) {
+        WavelengthSet common = net.lambda_set(out);
+        if (common.empty()) continue;
+        const std::uint32_t smaller =
+            std::min(in_set.size(), common.size());
+        common &= in_set;
+        alignment_sum += static_cast<double>(common.size()) /
+                         static_cast<double>(std::max(1u, smaller));
+        ++pairs;
+      }
+    }
+  }
+  metrics.continuity_alignment = pairs ? alignment_sum / pairs : 1.0;
+
+  // Per-wavelength imbalance (coefficient of variation).
+  double mean = 0.0;
+  for (const std::uint64_t count : per_lambda) mean += count;
+  mean /= static_cast<double>(per_lambda.size());
+  if (mean > 0.0) {
+    double var = 0.0;
+    for (const std::uint64_t count : per_lambda) {
+      const double d = static_cast<double>(count) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(per_lambda.size());
+    metrics.wavelength_imbalance = std::sqrt(var) / mean;
+  }
+  return metrics;
+}
+
+}  // namespace lumen

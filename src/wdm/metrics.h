@@ -1,0 +1,36 @@
+// Network-state metrics: utilization and wavelength fragmentation.
+//
+// Operational dashboards for a WDM network.  Fragmentation matters
+// because wavelength-continuity blocking is driven not by how much
+// capacity is free but by how *misaligned* the free wavelengths are
+// across consecutive links; the metrics below quantify that and feed the
+// defragmentation pass in rwa/defragment.h.
+#pragma once
+
+#include <cstdint>
+
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Aggregate occupancy/alignment metrics of a network state.
+struct NetworkMetrics {
+  /// Σ_e |Λ(e)| currently available.
+  std::uint64_t free_pairs = 0;
+  /// Links with empty Λ(e).
+  std::uint32_t dead_links = 0;
+  /// Mean over adjacent link pairs (e into v, e' out of v) of
+  /// |Λ(e) ∩ Λ(e')| / max(1, min(|Λ(e)|, |Λ(e')|)) — the continuity
+  /// alignment in [0, 1]; low values mean a wavelength-continuous path
+  /// rarely exists even though capacity is free (fragmentation).
+  double continuity_alignment = 1.0;
+  /// Mean per-wavelength availability imbalance: population stddev of
+  /// "number of links carrying λ" across λ, normalized by the mean
+  /// (coefficient of variation; 0 = perfectly even).
+  double wavelength_imbalance = 0.0;
+};
+
+/// Computes the metrics for the network's current availability state.
+[[nodiscard]] NetworkMetrics compute_metrics(const WdmNetwork& net);
+
+}  // namespace lumen

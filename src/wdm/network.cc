@@ -1,0 +1,126 @@
+#include "wdm/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumen {
+
+WdmNetwork::WdmNetwork(std::uint32_t num_nodes, std::uint32_t num_wavelengths,
+                       std::shared_ptr<const ConversionModel> conversion)
+    : topology_(num_nodes),
+      k_(num_wavelengths),
+      conversion_(std::move(conversion)) {
+  LUMEN_REQUIRE_MSG(num_wavelengths > 0, "need at least one wavelength");
+  LUMEN_REQUIRE(conversion_ != nullptr);
+}
+
+LinkId WdmNetwork::add_link(NodeId tail, NodeId head) {
+  const LinkId e = topology_.add_link(tail, head, 1.0);
+  link_wavelengths_.emplace_back();
+  return e;
+}
+
+void WdmNetwork::set_wavelength(LinkId e, Wavelength lambda, double cost) {
+  LUMEN_REQUIRE(e.value() < num_links());
+  LUMEN_REQUIRE_MSG(lambda.valid() && lambda.value() < k_,
+                    "wavelength outside universe");
+  LUMEN_REQUIRE_MSG(cost >= 0.0 && std::isfinite(cost),
+                    "available wavelengths need a finite non-negative cost");
+  auto& list = link_wavelengths_[e.value()];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), lambda,
+      [](const LinkWavelength& lw, Wavelength l) { return lw.lambda < l; });
+  if (it != list.end() && it->lambda == lambda) {
+    it->cost = cost;
+  } else {
+    list.insert(it, LinkWavelength{lambda, cost});
+  }
+}
+
+bool WdmNetwork::clear_wavelength(LinkId e, Wavelength lambda) {
+  LUMEN_REQUIRE(e.value() < num_links());
+  LUMEN_REQUIRE_MSG(lambda.valid() && lambda.value() < k_,
+                    "wavelength outside universe");
+  auto& list = link_wavelengths_[e.value()];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), lambda,
+      [](const LinkWavelength& lw, Wavelength l) { return lw.lambda < l; });
+  if (it != list.end() && it->lambda == lambda) {
+    list.erase(it);
+    return true;
+  }
+  return false;
+}
+
+LinkId WdmNetwork::add_link(NodeId tail, NodeId head,
+                            std::span<const LinkWavelength> wavelengths) {
+  const LinkId e = add_link(tail, head);
+  for (const auto& lw : wavelengths) set_wavelength(e, lw.lambda, lw.cost);
+  return e;
+}
+
+std::span<const LinkWavelength> WdmNetwork::available(LinkId e) const {
+  LUMEN_REQUIRE(e.value() < num_links());
+  return link_wavelengths_[e.value()];
+}
+
+double WdmNetwork::link_cost(LinkId e, Wavelength lambda) const {
+  LUMEN_REQUIRE(e.value() < num_links());
+  LUMEN_REQUIRE(lambda.valid() && lambda.value() < k_);
+  const auto& list = link_wavelengths_[e.value()];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), lambda,
+      [](const LinkWavelength& lw, Wavelength l) { return lw.lambda < l; });
+  if (it != list.end() && it->lambda == lambda) return it->cost;
+  return kInfiniteCost;
+}
+
+WavelengthSet WdmNetwork::lambda_set(LinkId e) const {
+  WavelengthSet set(k_);
+  for (const auto& lw : available(e)) set.insert(lw.lambda);
+  return set;
+}
+
+WavelengthSet WdmNetwork::lambda_in(NodeId v) const {
+  LUMEN_REQUIRE(v.value() < num_nodes());
+  WavelengthSet set(k_);
+  for (const LinkId e : topology_.in_links(v))
+    for (const auto& lw : available(e)) set.insert(lw.lambda);
+  return set;
+}
+
+WavelengthSet WdmNetwork::lambda_out(NodeId v) const {
+  LUMEN_REQUIRE(v.value() < num_nodes());
+  WavelengthSet set(k_);
+  for (const LinkId e : topology_.out_links(v))
+    for (const auto& lw : available(e)) set.insert(lw.lambda);
+  return set;
+}
+
+std::uint32_t WdmNetwork::k0() const noexcept {
+  std::size_t best = 0;
+  for (const auto& list : link_wavelengths_)
+    best = std::max(best, list.size());
+  return static_cast<std::uint32_t>(best);
+}
+
+std::uint64_t WdmNetwork::total_link_wavelengths() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& list : link_wavelengths_) total += list.size();
+  return total;
+}
+
+double WdmNetwork::min_link_cost(LinkId e) const {
+  double best = kInfiniteCost;
+  for (const auto& lw : available(e)) best = std::min(best, lw.cost);
+  return best;
+}
+
+double WdmNetwork::min_any_link_cost() const {
+  double best = kInfiniteCost;
+  for (std::uint32_t e = 0; e < num_links(); ++e)
+    best = std::min(best, min_link_cost(LinkId{e}));
+  return best;
+}
+
+}  // namespace lumen

@@ -1,0 +1,154 @@
+// The WDM network model G = (V, E) with per-link wavelength availability
+// Λ(e), per-link-per-wavelength costs w(e, λ), and a per-node wavelength
+// conversion cost function c_v(λ_p, λ_q).
+//
+// This is the input type of every routing algorithm in src/core and
+// src/dist.  Construction: create with a node count, a wavelength universe
+// size k, and a conversion model; then add links and their available
+// wavelengths.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "wdm/conversion.h"
+#include "wdm/wavelength_set.h"
+
+namespace lumen {
+
+/// One available wavelength on a link, with its traversal cost w(e, λ).
+struct LinkWavelength {
+  Wavelength lambda;
+  double cost;
+
+  friend bool operator==(const LinkWavelength&,
+                         const LinkWavelength&) = default;
+};
+
+/// A directed WDM network (see file comment).  Nodes are fixed at
+/// construction; links and their wavelengths are added incrementally.
+class WdmNetwork {
+ public:
+  /// A network on `num_nodes` nodes with wavelength universe
+  /// Λ = {λ_0 .. λ_{num_wavelengths-1}} and the given conversion model.
+  WdmNetwork(std::uint32_t num_nodes, std::uint32_t num_wavelengths,
+             std::shared_ptr<const ConversionModel> conversion);
+
+  // --- construction ---------------------------------------------------
+
+  /// Adds a directed link tail -> head with no wavelengths yet.
+  LinkId add_link(NodeId tail, NodeId head);
+
+  /// Makes wavelength λ available on link e at traversal cost w(e,λ) = cost.
+  /// cost must be finite and ≥ 0.  Re-adding a wavelength updates its cost.
+  void set_wavelength(LinkId e, Wavelength lambda, double cost);
+
+  /// Convenience: adds a link with the given available wavelengths at once.
+  LinkId add_link(NodeId tail, NodeId head,
+                  std::span<const LinkWavelength> wavelengths);
+
+  /// Removes λ from Λ(e) (e.g. a lightpath claimed it).  No-op when the
+  /// wavelength was not available.  Returns true when something was
+  /// removed.  Used by the online RWA session engine.
+  bool clear_wavelength(LinkId e, Wavelength lambda);
+
+  // --- topology -------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return topology_.num_nodes();
+  }
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return topology_.num_links();
+  }
+  /// k: size of the wavelength universe.
+  [[nodiscard]] std::uint32_t num_wavelengths() const noexcept { return k_; }
+
+  [[nodiscard]] NodeId tail(LinkId e) const { return topology_.tail(e); }
+  [[nodiscard]] NodeId head(LinkId e) const { return topology_.head(e); }
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId v) const {
+    return topology_.out_links(v);
+  }
+  [[nodiscard]] std::span<const LinkId> in_links(NodeId v) const {
+    return topology_.in_links(v);
+  }
+
+  /// The bare topology (unit weights), e.g. for connectivity checks.
+  [[nodiscard]] const Digraph& topology() const noexcept { return topology_; }
+
+  /// d: max over nodes of max(in-degree, out-degree).
+  [[nodiscard]] std::uint32_t max_degree() const noexcept {
+    return topology_.max_degree();
+  }
+
+  // --- wavelengths & costs ---------------------------------------------
+
+  /// The available wavelengths on link e with their costs, sorted by
+  /// increasing wavelength.  This is Λ(e) with w(e, ·).
+  [[nodiscard]] std::span<const LinkWavelength> available(LinkId e) const;
+
+  /// |Λ(e)|.
+  [[nodiscard]] std::uint32_t num_available(LinkId e) const {
+    return static_cast<std::uint32_t>(available(e).size());
+  }
+
+  /// w(e, λ): traversal cost, or kInfiniteCost when λ ∉ Λ(e).
+  [[nodiscard]] double link_cost(LinkId e, Wavelength lambda) const;
+
+  /// True when λ ∈ Λ(e).
+  [[nodiscard]] bool is_available(LinkId e, Wavelength lambda) const {
+    return link_cost(e, lambda) < kInfiniteCost;
+  }
+
+  /// Λ(e) as a set.
+  [[nodiscard]] WavelengthSet lambda_set(LinkId e) const;
+
+  /// Λ_in(G, v): union of Λ(e) over incoming links of v.
+  [[nodiscard]] WavelengthSet lambda_in(NodeId v) const;
+
+  /// Λ_out(G, v): union of Λ(e) over outgoing links of v.
+  [[nodiscard]] WavelengthSet lambda_out(NodeId v) const;
+
+  /// k_0: max over links of |Λ(e)| (Section IV's restriction parameter).
+  [[nodiscard]] std::uint32_t k0() const noexcept;
+
+  /// Total number of (link, wavelength) pairs: Σ_e |Λ(e)| = |E_M|.
+  [[nodiscard]] std::uint64_t total_link_wavelengths() const noexcept;
+
+  // --- conversion -------------------------------------------------------
+
+  [[nodiscard]] const ConversionModel& conversion() const noexcept {
+    return *conversion_;
+  }
+  [[nodiscard]] std::shared_ptr<const ConversionModel> conversion_ptr()
+      const noexcept {
+    return conversion_;
+  }
+
+  /// c_v(from, to).
+  [[nodiscard]] double conversion_cost(NodeId v, Wavelength from,
+                                       Wavelength to) const {
+    LUMEN_REQUIRE(v.value() < num_nodes());
+    LUMEN_REQUIRE(from.value() < k_ && to.value() < k_);
+    return conversion_->cost(v, from, to);
+  }
+
+  /// Cheapest traversal cost over all wavelengths of link e
+  /// (kInfiniteCost when Λ(e) is empty).  Used by lower-bound heuristics.
+  [[nodiscard]] double min_link_cost(LinkId e) const;
+
+  /// Smallest w(e,λ) over the whole network, +inf when no wavelengths.
+  /// (Right-hand side of Restriction 2.)
+  [[nodiscard]] double min_any_link_cost() const;
+
+ private:
+  Digraph topology_;
+  std::uint32_t k_;
+  std::shared_ptr<const ConversionModel> conversion_;
+  /// per link: available wavelengths sorted by wavelength index
+  std::vector<std::vector<LinkWavelength>> link_wavelengths_;
+};
+
+}  // namespace lumen

@@ -1,0 +1,96 @@
+#include "wdm/semilightpath.h"
+
+#include <unordered_set>
+
+namespace lumen {
+
+NodeId Semilightpath::source(const WdmNetwork& net) const {
+  LUMEN_REQUIRE(!hops_.empty());
+  return net.tail(hops_.front().link);
+}
+
+NodeId Semilightpath::destination(const WdmNetwork& net) const {
+  LUMEN_REQUIRE(!hops_.empty());
+  return net.head(hops_.back().link);
+}
+
+bool Semilightpath::is_valid(const WdmNetwork& net) const {
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    const Hop& hop = hops_[i];
+    if (hop.link.value() >= net.num_links()) return false;
+    if (!net.is_available(hop.link, hop.wavelength)) return false;
+    if (i + 1 < hops_.size() &&
+        net.head(hop.link) != net.tail(hops_[i + 1].link)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Semilightpath::cost(const WdmNetwork& net) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    const Hop& hop = hops_[i];
+    LUMEN_REQUIRE_MSG(
+        i + 1 >= hops_.size() ||
+            net.head(hop.link) == net.tail(hops_[i + 1].link),
+        "hops must form a connected walk");
+    const double w = net.link_cost(hop.link, hop.wavelength);
+    if (w == kInfiniteCost) return kInfiniteCost;
+    total += w;
+    if (i + 1 < hops_.size()) {
+      const double c =
+          net.conversion_cost(net.head(hop.link), hop.wavelength,
+                              hops_[i + 1].wavelength);
+      if (c == kInfiniteCost) return kInfiniteCost;
+      total += c;
+    }
+  }
+  return total;
+}
+
+std::uint32_t Semilightpath::num_conversions() const noexcept {
+  std::uint32_t conversions = 0;
+  for (std::size_t i = 0; i + 1 < hops_.size(); ++i)
+    if (hops_[i].wavelength != hops_[i + 1].wavelength) ++conversions;
+  return conversions;
+}
+
+std::vector<SwitchSetting> Semilightpath::switch_settings(
+    const WdmNetwork& net) const {
+  std::vector<SwitchSetting> settings;
+  for (std::size_t i = 0; i + 1 < hops_.size(); ++i) {
+    if (hops_[i].wavelength != hops_[i + 1].wavelength) {
+      settings.push_back(SwitchSetting{net.head(hops_[i].link),
+                                       hops_[i].wavelength,
+                                       hops_[i + 1].wavelength});
+    }
+  }
+  return settings;
+}
+
+bool Semilightpath::revisits_node(const WdmNetwork& net) const {
+  if (hops_.empty()) return false;
+  std::unordered_set<NodeId> seen;
+  seen.insert(source(net));
+  for (const Hop& hop : hops_) {
+    if (!seen.insert(net.head(hop.link)).second) return true;
+  }
+  return false;
+}
+
+std::string Semilightpath::to_string(const WdmNetwork& net) const {
+  if (hops_.empty()) return "(empty path)";
+  std::string out = std::to_string(source(net).value());
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0 && hops_[i - 1].wavelength != hops_[i].wavelength) {
+      out += " [switch λ" + std::to_string(hops_[i - 1].wavelength.value()) +
+             "→λ" + std::to_string(hops_[i].wavelength.value()) + "]";
+    }
+    out += " -λ" + std::to_string(hops_[i].wavelength.value()) + "-> " +
+           std::to_string(net.head(hops_[i].link).value());
+  }
+  return out;
+}
+
+}  // namespace lumen

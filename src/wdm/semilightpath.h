@@ -1,0 +1,88 @@
+// Semilightpaths: transmission paths with a wavelength chosen per link.
+//
+// A semilightpath P = e_1..e_l with wavelengths λ_{j_1}..λ_{j_l} has cost
+//
+//   C(P) = Σ_i w(e_i, λ_{j_i}) + Σ_{i<l} c_{head(e_i)}(λ_{j_i}, λ_{j_{i+1}})
+//
+// (Equation 1 of the paper).  A lightpath is the zero-conversion special
+// case.  This type is the output of every router and the currency of the
+// test oracles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// One hop of a semilightpath: a physical link and the wavelength used on it.
+struct Hop {
+  LinkId link;
+  Wavelength wavelength;
+
+  friend auto operator<=>(const Hop&, const Hop&) = default;
+};
+
+/// A wavelength-conversion switch setting at an intermediate node: when the
+/// signal arrives at `node` on `from`, retransmit it on `to`.
+struct SwitchSetting {
+  NodeId node;
+  Wavelength from;
+  Wavelength to;
+
+  friend bool operator==(const SwitchSetting&, const SwitchSetting&) = default;
+};
+
+/// A semilightpath through a specific WdmNetwork.
+class Semilightpath {
+ public:
+  Semilightpath() = default;
+  explicit Semilightpath(std::vector<Hop> hops) : hops_(std::move(hops)) {}
+
+  [[nodiscard]] const std::vector<Hop>& hops() const noexcept { return hops_; }
+  [[nodiscard]] bool empty() const noexcept { return hops_.empty(); }
+  [[nodiscard]] std::size_t length() const noexcept { return hops_.size(); }
+
+  void append(Hop hop) { hops_.push_back(hop); }
+
+  /// First node of the path.  Requires a non-empty path.
+  [[nodiscard]] NodeId source(const WdmNetwork& net) const;
+  /// Last node of the path.  Requires a non-empty path.
+  [[nodiscard]] NodeId destination(const WdmNetwork& net) const;
+
+  /// True iff the hops form a connected walk (head(e_i) == tail(e_{i+1}))
+  /// and every hop's wavelength is available on its link.
+  [[nodiscard]] bool is_valid(const WdmNetwork& net) const;
+
+  /// C(P) per Equation (1).  Returns kInfiniteCost when the path uses an
+  /// unavailable wavelength or a forbidden conversion.  Requires is_valid
+  /// continuity (checked).
+  [[nodiscard]] double cost(const WdmNetwork& net) const;
+
+  /// Number of junctions where the wavelength changes.
+  [[nodiscard]] std::uint32_t num_conversions() const noexcept;
+
+  /// True when every hop uses the same wavelength (a pure lightpath).
+  [[nodiscard]] bool is_lightpath() const noexcept {
+    return num_conversions() == 0;
+  }
+
+  /// The switch settings at conversion junctions, in path order.
+  [[nodiscard]] std::vector<SwitchSetting> switch_settings(
+      const WdmNetwork& net) const;
+
+  /// True when some node appears more than once on the walk (the Fig. 5
+  /// situation that Theorem 2's restrictions rule out).  Endpoints count.
+  [[nodiscard]] bool revisits_node(const WdmNetwork& net) const;
+
+  /// Human-readable rendering, e.g. "0 -λ2-> 3 -λ2-> 5 [switch λ2→λ4] -λ4-> 6".
+  [[nodiscard]] std::string to_string(const WdmNetwork& net) const;
+
+  friend bool operator==(const Semilightpath&, const Semilightpath&) = default;
+
+ private:
+  std::vector<Hop> hops_;
+};
+
+}  // namespace lumen

@@ -1,0 +1,103 @@
+// Dynamic bitset over the wavelength universe Λ = {λ_0 .. λ_{k-1}}.
+//
+// Λ(e), Λ_in(v), and Λ_out(v) from the paper are all WavelengthSet values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// A set of wavelengths drawn from a fixed universe of size k.
+class WavelengthSet {
+ public:
+  WavelengthSet() = default;
+
+  /// Empty set over a universe of `universe_size` wavelengths.
+  explicit WavelengthSet(std::uint32_t universe_size)
+      : universe_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::uint32_t universe_size() const noexcept {
+    return universe_;
+  }
+
+  /// Number of wavelengths in the set.
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    std::uint32_t total = 0;
+    for (const auto word : words_)
+      total += static_cast<std::uint32_t>(__builtin_popcountll(word));
+    return total;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (const auto word : words_)
+      if (word != 0) return false;
+    return true;
+  }
+
+  void insert(Wavelength lambda) {
+    check(lambda);
+    words_[lambda.value() >> 6] |= bit(lambda);
+  }
+
+  void erase(Wavelength lambda) {
+    check(lambda);
+    words_[lambda.value() >> 6] &= ~bit(lambda);
+  }
+
+  [[nodiscard]] bool contains(Wavelength lambda) const {
+    check(lambda);
+    return (words_[lambda.value() >> 6] & bit(lambda)) != 0;
+  }
+
+  /// In-place union with another set over the same universe.
+  WavelengthSet& operator|=(const WavelengthSet& other) {
+    LUMEN_REQUIRE(universe_ == other.universe_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection with another set over the same universe.
+  WavelengthSet& operator&=(const WavelengthSet& other) {
+    LUMEN_REQUIRE(universe_ == other.universe_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const WavelengthSet&, const WavelengthSet&) = default;
+
+  /// Members in increasing wavelength order.
+  [[nodiscard]] std::vector<Wavelength> to_vector() const {
+    std::vector<Wavelength> out;
+    out.reserve(size());
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int b = __builtin_ctzll(word);
+        out.push_back(
+            Wavelength{static_cast<std::uint32_t>((w << 6) + b)});
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  void check(Wavelength lambda) const {
+    LUMEN_REQUIRE_MSG(lambda.valid() && lambda.value() < universe_,
+                      "wavelength outside universe");
+  }
+  static std::uint64_t bit(Wavelength lambda) noexcept {
+    return std::uint64_t{1} << (lambda.value() & 63);
+  }
+
+  std::uint32_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lumen

@@ -1,0 +1,131 @@
+// Corollary 1: the all-pairs router over G_all must agree with n
+// independent single-pair runs, at one construction cost.
+#include "core/all_pairs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/liang_shen.h"
+#include "core/state_dijkstra.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+TEST(AllPairsTest, MatchesSinglePairOnPaperExample) {
+  const auto net = testing::paper_example_network();
+  AllPairsRouter router(net);
+  for (std::uint32_t s = 0; s < 7; ++s) {
+    for (std::uint32_t t = 0; t < 7; ++t) {
+      const double expected =
+          s == t ? 0.0 : route_semilightpath(net, NodeId{s}, NodeId{t}).cost;
+      if (expected == kInfiniteCost) {
+        EXPECT_EQ(router.cost(NodeId{s}, NodeId{t}), kInfiniteCost)
+            << s << "->" << t;
+      } else {
+        EXPECT_NEAR(router.cost(NodeId{s}, NodeId{t}), expected, 1e-9)
+            << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(AllPairsTest, LazyTreeComputation) {
+  const auto net = testing::paper_example_network();
+  AllPairsRouter router(net);
+  EXPECT_EQ(router.trees_computed(), 0u);
+  (void)router.cost(NodeId{0}, NodeId{3});
+  EXPECT_EQ(router.trees_computed(), 1u);
+  (void)router.cost(NodeId{0}, NodeId{5});  // same source: cached
+  EXPECT_EQ(router.trees_computed(), 1u);
+  (void)router.cost(NodeId{2}, NodeId{5});
+  EXPECT_EQ(router.trees_computed(), 2u);
+  (void)router.cost(NodeId{4}, NodeId{4});  // trivial: no tree needed
+  EXPECT_EQ(router.trees_computed(), 2u);
+}
+
+TEST(AllPairsTest, RouteProducesValidPaths) {
+  Rng rng(301);
+  const auto net = random_network(20, 40, 5, 3, ConvKind::kUniform, rng);
+  AllPairsRouter router(net);
+  for (std::uint32_t s = 0; s < 20; s += 4) {
+    for (std::uint32_t t = 0; t < 20; t += 3) {
+      const auto r = router.route(NodeId{s}, NodeId{t});
+      if (s == t) {
+        EXPECT_TRUE(r.found);
+        EXPECT_TRUE(r.path.empty());
+        continue;
+      }
+      const auto single = route_semilightpath(net, NodeId{s}, NodeId{t});
+      ASSERT_EQ(r.found, single.found) << s << "->" << t;
+      if (!r.found) continue;
+      EXPECT_NEAR(r.cost, single.cost, 1e-9);
+      EXPECT_TRUE(r.path.is_valid(net));
+      EXPECT_NEAR(r.path.cost(net), r.cost, 1e-9);
+      EXPECT_EQ(r.path.source(net), NodeId{s});
+      EXPECT_EQ(r.path.destination(net), NodeId{t});
+    }
+  }
+}
+
+TEST(AllPairsTest, CostMatrixConsistent) {
+  Rng rng(302);
+  const auto net = random_network(12, 24, 4, 2, ConvKind::kRange, rng);
+  AllPairsRouter router(net);
+  const auto matrix = router.cost_matrix();
+  EXPECT_EQ(router.trees_computed(), 12u);
+  ASSERT_EQ(matrix.size(), 12u);
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    EXPECT_DOUBLE_EQ(matrix[s][s], 0.0);
+    for (std::uint32_t t = 0; t < 12; ++t) {
+      if (s == t) continue;
+      const auto oracle = state_dijkstra_route(net, NodeId{s}, NodeId{t});
+      if (oracle.found) {
+        EXPECT_NEAR(matrix[s][t], oracle.cost, 1e-9) << s << "->" << t;
+      } else {
+        EXPECT_EQ(matrix[s][t], kInfiniteCost) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(AllPairsTest, GAllSizeBounds) {
+  // Corollary 1: |V_all| <= 2n(k+1), |E_all| <= k²n + km + 2kn.
+  Rng rng(303);
+  const auto net = random_network(30, 60, 6, 4, ConvKind::kUniform, rng);
+  AllPairsRouter router(net);
+  const auto& stats = router.aux_stats();
+  const std::uint64_t n = net.num_nodes(), k = net.num_wavelengths(),
+                      m = net.num_links();
+  EXPECT_LE(stats.total_nodes(), 2 * n * (k + 1));
+  EXPECT_LE(stats.total_links(), k * k * n + k * m + 2 * k * n);
+}
+
+TEST(AllPairsTest, TriangleInequalityOfOptima) {
+  // Optimal semilightpath costs obey cost(s,t) <= cost(s,v) + cost(v,t)
+  // whenever v's arrival/departure wavelengths can be stitched... in
+  // general stitching adds a conversion, so we check the weaker relation
+  // with the conversion ceiling added.
+  Rng rng(304);
+  const Topology topo = random_sparse_topology(15, 30, rng);
+  const Availability avail =
+      uniform_availability(topo, 5, 2, 4, CostSpec::uniform(1.0, 2.0), rng);
+  const double conv_cost = 0.5;
+  const auto net = assemble_network(
+      topo, 5, avail, std::make_shared<UniformConversion>(conv_cost));
+  AllPairsRouter router(net);
+  const auto matrix = router.cost_matrix();
+  for (std::uint32_t s = 0; s < 15; ++s)
+    for (std::uint32_t v = 0; v < 15; ++v)
+      for (std::uint32_t t = 0; t < 15; ++t) {
+        if (matrix[s][v] == kInfiniteCost || matrix[v][t] == kInfiniteCost)
+          continue;
+        EXPECT_LE(matrix[s][t], matrix[s][v] + matrix[v][t] + conv_cost + 1e-9)
+            << s << "->" << v << "->" << t;
+      }
+}
+
+}  // namespace
+}  // namespace lumen

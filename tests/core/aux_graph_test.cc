@@ -1,0 +1,200 @@
+// Structural tests of the layered auxiliary-graph construction, including
+// randomized verification of the paper's Observations 1–5.
+#include "core/aux_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+WdmNetwork two_link_chain() {
+  // 0 -e0-> 1 -e1-> 2; λ0 on both, λ1 only on e1.
+  WdmNetwork net(3, 2, std::make_shared<UniformConversion>(0.5));
+  const LinkId e0 = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e0, Wavelength{0}, 1.0);
+  const LinkId e1 = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(e1, Wavelength{0}, 2.0);
+  net.set_wavelength(e1, Wavelength{1}, 3.0);
+  return net;
+}
+
+TEST(AuxGraphTest, SinglePairShape) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  // X/Y sizes: node0 X={} Y={λ0}; node1 X={λ0} Y={λ0,λ1}; node2 X={λ0,λ1} Y={}.
+  EXPECT_EQ(aux.x_size(NodeId{0}), 0u);
+  EXPECT_EQ(aux.y_size(NodeId{0}), 1u);
+  EXPECT_EQ(aux.x_size(NodeId{1}), 1u);
+  EXPECT_EQ(aux.y_size(NodeId{1}), 2u);
+  EXPECT_EQ(aux.x_size(NodeId{2}), 2u);
+  EXPECT_EQ(aux.y_size(NodeId{2}), 0u);
+  // Gadget nodes = 6, terminals = 2.
+  EXPECT_EQ(aux.stats().gadget_nodes, 6u);
+  EXPECT_EQ(aux.stats().terminal_nodes, 2u);
+  EXPECT_EQ(aux.graph().num_nodes(), 8u);
+  // E_org = |E_M| = 3.
+  EXPECT_EQ(aux.stats().multigraph_links, 3u);
+  EXPECT_EQ(aux.stats().transmission_links, 3u);
+  // Gadget links: node1 X={λ0} × Y={λ0,λ1}, both allowed = 2.
+  EXPECT_EQ(aux.stats().gadget_links, 2u);
+  // Terminal ties: s'=0' -> Y_0 (1 link); X_2 -> t'' (2 links).
+  EXPECT_EQ(aux.stats().terminal_links, 3u);
+}
+
+TEST(AuxGraphTest, NodeInfoRoundTrips) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  const NodeId x = aux.x_node(NodeId{1}, Wavelength{0});
+  ASSERT_TRUE(x.valid());
+  const auto& info = aux.node_info(x);
+  EXPECT_EQ(info.kind, AuxNodeKind::kIn);
+  EXPECT_EQ(info.node, NodeId{1});
+  EXPECT_EQ(info.lambda, Wavelength{0});
+
+  const auto& src = aux.node_info(aux.source_terminal());
+  EXPECT_EQ(src.kind, AuxNodeKind::kSourceTerminal);
+  EXPECT_EQ(src.node, NodeId{0});
+  const auto& sink = aux.node_info(aux.sink_terminal());
+  EXPECT_EQ(sink.kind, AuxNodeKind::kSinkTerminal);
+  EXPECT_EQ(sink.node, NodeId{2});
+}
+
+TEST(AuxGraphTest, MissingLambdaYieldsInvalid) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  EXPECT_FALSE(aux.x_node(NodeId{0}, Wavelength{0}).valid());
+  EXPECT_FALSE(aux.y_node(NodeId{1}, Wavelength{5} /*out of any Λ*/).valid());
+}
+
+TEST(AuxGraphTest, SelfPairRejected) {
+  const auto net = two_link_chain();
+  EXPECT_THROW(
+      (void)AuxiliaryGraph::build_single_pair(net, NodeId{1}, NodeId{1}),
+      Error);
+}
+
+TEST(AuxGraphTest, TerminalAccessorModeChecked) {
+  const auto net = two_link_chain();
+  const auto single =
+      AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  EXPECT_THROW((void)single.source_terminal(NodeId{0}), Error);
+  const auto all = AuxiliaryGraph::build_all_pairs(net);
+  EXPECT_THROW((void)all.source_terminal(), Error);
+  EXPECT_TRUE(all.is_all_pairs());
+  EXPECT_FALSE(single.is_all_pairs());
+}
+
+TEST(AuxGraphTest, AllPairsTerminalsPerNode) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_all_pairs(net);
+  EXPECT_EQ(aux.stats().terminal_nodes, 6u);  // v', v'' per node
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    EXPECT_TRUE(aux.source_terminal(NodeId{v}).valid());
+    EXPECT_TRUE(aux.sink_terminal(NodeId{v}).valid());
+  }
+  // v' fan-out sizes = |Y_v|; v'' fan-in sizes = |X_v|.
+  EXPECT_EQ(aux.graph().out_degree(aux.source_terminal(NodeId{1})), 2u);
+  EXPECT_EQ(aux.graph().in_degree(aux.sink_terminal(NodeId{2})), 2u);
+}
+
+TEST(AuxGraphTest, ConversionLinkWeightsMatchModel) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  const NodeId x = aux.x_node(NodeId{1}, Wavelength{0});
+  for (const LinkId e : aux.graph().out_links(x)) {
+    const auto& info = aux.link_info(e);
+    if (info.kind != AuxLinkKind::kConversion) continue;
+    const double expected = info.from == info.to ? 0.0 : 0.5;
+    EXPECT_DOUBLE_EQ(aux.graph().weight(e), expected);
+    EXPECT_EQ(info.node, NodeId{1});
+  }
+}
+
+TEST(AuxGraphTest, TransmissionLinkWeightsMatchNetwork) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  std::uint32_t checked = 0;
+  for (std::uint32_t ei = 0; ei < aux.graph().num_links(); ++ei) {
+    const LinkId e{ei};
+    const auto& info = aux.link_info(e);
+    if (info.kind != AuxLinkKind::kTransmission) continue;
+    EXPECT_DOUBLE_EQ(aux.graph().weight(e),
+                     net.link_cost(info.physical_link, info.from));
+    ++checked;
+  }
+  EXPECT_EQ(checked, 3u);
+}
+
+TEST(AuxGraphTest, ToSemilightpathSkipsNonTransmission) {
+  const auto net = two_link_chain();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{2});
+  const auto tree = dijkstra(aux.graph(), aux.source_terminal());
+  const auto aux_path = extract_path(aux.graph(), tree, aux.sink_terminal());
+  ASSERT_TRUE(aux_path.has_value());
+  const auto path = aux.to_semilightpath(*aux_path);
+  EXPECT_EQ(path.length(), 2u);  // two physical hops despite longer aux path
+  EXPECT_GT(aux_path->size(), path.length());
+}
+
+// --- Observation bounds on random networks ----------------------------
+
+class AuxGraphBoundsTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint32_t,
+                     std::uint32_t, ConvKind>> {};
+
+TEST_P(AuxGraphBoundsTest, ObservationsHold) {
+  const auto [seed, n, k, k0, kind] = GetParam();
+  Rng rng(seed);
+  const auto net = random_network(n, 2 * n, k, k0, kind, rng);
+  const auto aux = AuxiliaryGraph::build_all_pairs(net);
+  const auto& stats = aux.stats();
+  const std::uint64_t m = net.num_links();
+  const std::uint64_t d = net.max_degree();
+
+  // Observation 1/2: |X_v|+|Y_v| <= 2k; Σ gadget nodes <= 2kn.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    EXPECT_LE(aux.x_size(NodeId{v}) + aux.y_size(NodeId{v}), 2 * k);
+    // Observation 4 (restricted): <= 2 d k0 as well.
+    EXPECT_LE(aux.x_size(NodeId{v}) + aux.y_size(NodeId{v}), 2 * d * k0);
+  }
+  EXPECT_LE(stats.gadget_nodes, 2ULL * k * n);
+  // Observation 5: Σ gadget nodes <= Σ_e |Λ(e)| * 2... tighter: <= m*k0 per
+  // side is not stated; the paper's |V'| <= m k0 bound counts both sides.
+  EXPECT_LE(stats.gadget_nodes, 2ULL * m * k0);
+
+  // Observation 2: |E'| <= k²n + km.
+  EXPECT_LE(stats.gadget_links + stats.transmission_links,
+            static_cast<std::uint64_t>(k) * k * n + k * m);
+  // Observation 5 (restricted): |E'| <= d²nk0² + mk0.
+  EXPECT_LE(stats.gadget_links + stats.transmission_links,
+            d * d * n * static_cast<std::uint64_t>(k0) * k0 + m * k0);
+
+  // E_org mirrors the multigraph exactly.
+  EXPECT_EQ(stats.transmission_links, stats.multigraph_links);
+  EXPECT_EQ(stats.multigraph_links, net.total_link_wavelengths());
+  EXPECT_LE(stats.multigraph_links, k * m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, AuxGraphBoundsTest,
+    ::testing::Values(
+        std::tuple{1ULL, 12u, 4u, 2u, ConvKind::kUniform},
+        std::tuple{2ULL, 20u, 8u, 3u, ConvKind::kNone},
+        std::tuple{3ULL, 30u, 6u, 6u, ConvKind::kRange},
+        std::tuple{4ULL, 25u, 16u, 4u, ConvKind::kSparse},
+        std::tuple{5ULL, 15u, 5u, 2u, ConvKind::kRandomMatrix},
+        std::tuple{6ULL, 40u, 32u, 3u, ConvKind::kUniform},
+        std::tuple{7ULL, 8u, 3u, 1u, ConvKind::kNone}));
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,142 @@
+#include "core/constrained.h"
+
+#include <gtest/gtest.h>
+
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+TEST(ConstrainedTest, BudgetZeroEqualsLightpathRouter) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(20, 40, 5, 3, ConvKind::kUniform, rng);
+    for (std::uint32_t t = 1; t < 20; t += 4) {
+      const auto bounded =
+          route_semilightpath_bounded(net, NodeId{0}, NodeId{t}, 0);
+      const auto light = route_lightpath(net, NodeId{0}, NodeId{t});
+      ASSERT_EQ(bounded.found, light.found) << "t=" << t << " seed " << seed;
+      if (bounded.found) {
+        EXPECT_NEAR(bounded.cost, light.cost, 1e-9);
+        EXPECT_TRUE(bounded.path.is_lightpath());
+      }
+    }
+  }
+}
+
+TEST(ConstrainedTest, LargeBudgetEqualsUnconstrained) {
+  for (const std::uint64_t seed : {4ULL, 5ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(15, 30, 4, 3, ConvKind::kRange, rng);
+    for (std::uint32_t t = 1; t < 15; t += 3) {
+      const auto bounded =
+          route_semilightpath_bounded(net, NodeId{0}, NodeId{t}, 64);
+      const auto free = route_semilightpath(net, NodeId{0}, NodeId{t});
+      ASSERT_EQ(bounded.found, free.found) << "t=" << t;
+      if (bounded.found) {
+        EXPECT_NEAR(bounded.cost, free.cost, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ConstrainedTest, BudgetEnforcedExactly) {
+  // Chain forcing one conversion per hop boundary: 0-λ0->1-λ1->2-λ2->3.
+  WdmNetwork net(4, 3, std::make_shared<UniformConversion>(0.1));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{i}, 1.0);
+  }
+  EXPECT_FALSE(
+      route_semilightpath_bounded(net, NodeId{0}, NodeId{3}, 0).found);
+  EXPECT_FALSE(
+      route_semilightpath_bounded(net, NodeId{0}, NodeId{3}, 1).found);
+  const auto two = route_semilightpath_bounded(net, NodeId{0}, NodeId{3}, 2);
+  ASSERT_TRUE(two.found);
+  EXPECT_EQ(two.path.num_conversions(), 2u);
+  EXPECT_NEAR(two.cost, 3.0 + 0.2, 1e-9);
+}
+
+TEST(ConstrainedTest, ReturnedPathRespectsBudget) {
+  Rng rng(6);
+  const auto net = random_network(20, 40, 5, 3, ConvKind::kUniform, rng);
+  for (std::uint32_t budget = 0; budget <= 3; ++budget) {
+    for (std::uint32_t t = 1; t < 20; t += 5) {
+      const auto r =
+          route_semilightpath_bounded(net, NodeId{0}, NodeId{t}, budget);
+      if (!r.found) continue;
+      EXPECT_LE(r.path.num_conversions(), budget);
+      EXPECT_TRUE(r.path.is_valid(net));
+      EXPECT_NEAR(r.path.cost(net), r.cost, 1e-9);
+    }
+  }
+}
+
+TEST(ConstrainedTest, ProfileMonotoneAndConsistent) {
+  Rng rng(7);
+  const auto net = random_network(18, 36, 4, 2, ConvKind::kUniform, rng);
+  for (std::uint32_t t = 1; t < 18; t += 4) {
+    const auto profile =
+        conversion_cost_profile(net, NodeId{0}, NodeId{t}, 5);
+    ASSERT_EQ(profile.size(), 6u);
+    for (std::size_t c = 1; c < profile.size(); ++c) {
+      EXPECT_LE(profile[c], profile[c - 1] + 1e-12)
+          << "profile must be non-increasing in the budget";
+    }
+    // Each entry matches the dedicated bounded router.
+    for (std::uint32_t c = 0; c <= 5; ++c) {
+      const auto r =
+          route_semilightpath_bounded(net, NodeId{0}, NodeId{t}, c);
+      if (r.found) {
+        EXPECT_NEAR(profile[c], r.cost, 1e-9) << "c=" << c;
+      } else {
+        EXPECT_EQ(profile[c], kInfiniteCost) << "c=" << c;
+      }
+    }
+    // Unconstrained optimum is the profile's floor (for big enough c).
+    const auto free = route_semilightpath(net, NodeId{0}, NodeId{t});
+    if (free.found) {
+      EXPECT_GE(profile[5] + 1e-9, free.cost);
+    }
+  }
+}
+
+TEST(ConstrainedTest, SelfRouteAndPreconditions) {
+  const auto net = testing::paper_example_network();
+  const auto self = route_semilightpath_bounded(net, NodeId{2}, NodeId{2}, 0);
+  EXPECT_TRUE(self.found);
+  EXPECT_DOUBLE_EQ(self.cost, 0.0);
+  const auto profile = conversion_cost_profile(net, NodeId{2}, NodeId{2}, 3);
+  for (const double c : profile) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_THROW(
+      (void)route_semilightpath_bounded(net, NodeId{9}, NodeId{0}, 1), Error);
+}
+
+TEST(ConstrainedTest, RevisitInstanceNeedsBudgetTwo) {
+  // The Fig. 5 instance needs two conversions at w; budget 1 blocks it.
+  auto conv = std::make_shared<MatrixConversion>(4, 3);
+  conv->set(NodeId{1}, Wavelength{0}, Wavelength{1}, 0.1);
+  conv->set(NodeId{1}, Wavelength{1}, Wavelength{2}, 0.1);
+  WdmNetwork net(4, 3, std::move(conv));
+  const LinkId sw = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(sw, Wavelength{0}, 1.0);
+  const LinkId wa = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(wa, Wavelength{1}, 1.0);
+  const LinkId aw = net.add_link(NodeId{2}, NodeId{1});
+  net.set_wavelength(aw, Wavelength{1}, 1.0);
+  const LinkId wt = net.add_link(NodeId{1}, NodeId{3});
+  net.set_wavelength(wt, Wavelength{2}, 1.0);
+
+  EXPECT_FALSE(
+      route_semilightpath_bounded(net, NodeId{0}, NodeId{3}, 1).found);
+  const auto two = route_semilightpath_bounded(net, NodeId{0}, NodeId{3}, 2);
+  ASSERT_TRUE(two.found);
+  EXPECT_TRUE(two.path.revisits_node(net));
+}
+
+}  // namespace
+}  // namespace lumen

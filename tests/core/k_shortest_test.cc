@@ -1,0 +1,106 @@
+#include "core/k_shortest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::paper_example_network;
+using testing::random_network;
+
+TEST(KShortestTest, FirstAlternativeIsOptimal) {
+  const auto net = paper_example_network();
+  for (std::uint32_t t = 1; t < 7; ++t) {
+    const auto optimal = route_semilightpath(net, NodeId{0}, NodeId{t});
+    const auto ranked =
+        k_shortest_semilightpaths(net, NodeId{0}, NodeId{t}, 1);
+    if (!optimal.found) {
+      EXPECT_TRUE(ranked.empty());
+      continue;
+    }
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_NEAR(ranked[0].cost, optimal.cost, 1e-9);
+  }
+}
+
+TEST(KShortestTest, RankedSortedDistinctAndConsistent) {
+  const auto net = paper_example_network();
+  const auto ranked =
+      k_shortest_semilightpaths(net, NodeId{0}, NodeId{6}, 8);
+  ASSERT_GE(ranked.size(), 3u);  // the example has many alternatives
+  double prev = 0.0;
+  std::set<std::vector<Hop>> seen;
+  for (const auto& route : ranked) {
+    EXPECT_GE(route.cost + 1e-12, prev);
+    prev = route.cost;
+    EXPECT_TRUE(route.path.is_valid(net));
+    EXPECT_NEAR(route.path.cost(net), route.cost, 1e-9);
+    EXPECT_EQ(route.path.source(net), NodeId{0});
+    EXPECT_EQ(route.path.destination(net), NodeId{6});
+    // Distinct as routing decisions (hops carry wavelengths).
+    EXPECT_TRUE(seen.insert(route.path.hops()).second);
+    EXPECT_EQ(route.switches, route.path.switch_settings(net));
+  }
+}
+
+TEST(KShortestTest, AlternativesDifferInWavelengthOrRoute) {
+  // Two parallel wavelengths on one link: the alternatives are the same
+  // physical route on different wavelengths.
+  WdmNetwork net(2, 3, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 1.0);
+  net.set_wavelength(e, Wavelength{1}, 2.0);
+  net.set_wavelength(e, Wavelength{2}, 3.0);
+  const auto ranked = k_shortest_semilightpaths(net, NodeId{0}, NodeId{1}, 5);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranked[0].cost, 1.0);
+  EXPECT_EQ(ranked[0].path.hops()[0].wavelength, Wavelength{0});
+  EXPECT_DOUBLE_EQ(ranked[2].cost, 3.0);
+  EXPECT_EQ(ranked[2].path.hops()[0].wavelength, Wavelength{2});
+}
+
+TEST(KShortestTest, RandomNetworksProduceValidAlternatives) {
+  for (const std::uint64_t seed : {91ULL, 92ULL, 93ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(15, 30, 4, 3, ConvKind::kUniform, rng);
+    const auto ranked =
+        k_shortest_semilightpaths(net, NodeId{0}, NodeId{7}, 6);
+    const auto optimal = route_semilightpath(net, NodeId{0}, NodeId{7});
+    if (!optimal.found) {
+      EXPECT_TRUE(ranked.empty());
+      continue;
+    }
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_NEAR(ranked[0].cost, optimal.cost, 1e-9);
+    for (const auto& route : ranked) {
+      EXPECT_TRUE(route.path.is_valid(net));
+      EXPECT_NEAR(route.path.cost(net), route.cost, 1e-9);
+      EXPECT_GE(route.cost + 1e-9, optimal.cost);
+    }
+  }
+}
+
+TEST(KShortestTest, Preconditions) {
+  const auto net = paper_example_network();
+  EXPECT_THROW(
+      (void)k_shortest_semilightpaths(net, NodeId{0}, NodeId{0}, 3), Error);
+  EXPECT_THROW(
+      (void)k_shortest_semilightpaths(net, NodeId{0}, NodeId{1}, 0), Error);
+  EXPECT_THROW(
+      (void)k_shortest_semilightpaths(net, NodeId{9}, NodeId{1}, 1), Error);
+}
+
+TEST(KShortestTest, UnreachableYieldsEmpty) {
+  const auto net = paper_example_network();
+  // Paper node 7 (id 6) has no out-links.
+  EXPECT_TRUE(k_shortest_semilightpaths(net, NodeId{6}, NodeId{0}, 4).empty());
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,100 @@
+#include "core/multicast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+TEST(MulticastTest, LegsMatchSinglePairOptima) {
+  Rng rng(1);
+  const auto net = random_network(20, 40, 5, 3, ConvKind::kUniform, rng);
+  const std::vector<NodeId> dests = {NodeId{3}, NodeId{7}, NodeId{12},
+                                     NodeId{18}};
+  const auto mc = route_multicast(net, NodeId{0}, dests);
+  ASSERT_EQ(mc.legs.size(), 4u);
+  for (const MulticastLeg& leg : mc.legs) {
+    const auto single = route_semilightpath(net, NodeId{0}, leg.destination);
+    ASSERT_EQ(leg.reached, single.found);
+    if (!leg.reached) continue;
+    EXPECT_NEAR(leg.cost, single.cost, 1e-9);
+    EXPECT_TRUE(leg.path.is_valid(net));
+    EXPECT_NEAR(leg.path.cost(net), leg.cost, 1e-9);
+  }
+}
+
+TEST(MulticastTest, SharingOnLineNetwork) {
+  // 0 -> 1 -> 2 -> 3 single wavelength: the leg to 3 contains the legs to
+  // 1 and 2; the forest uses exactly 3 (link, λ) pairs while unicasts
+  // would use 1 + 2 + 3 = 6.
+  WdmNetwork net(4, 1, std::make_shared<NoConversion>());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{0}, 1.0);
+  }
+  const std::vector<NodeId> dests = {NodeId{1}, NodeId{2}, NodeId{3}};
+  const auto mc = route_multicast(net, NodeId{0}, dests);
+  EXPECT_TRUE(mc.all_reached);
+  EXPECT_EQ(mc.tree_resources, 3u);
+  EXPECT_EQ(mc.unicast_resources, 6u);
+  EXPECT_EQ(mc.sharing(), 3u);
+}
+
+TEST(MulticastTest, TreeNeverUsesMoreThanUnicasts) {
+  for (const std::uint64_t seed : {2ULL, 3ULL, 4ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(25, 50, 4, 3, ConvKind::kRange, rng);
+    std::vector<NodeId> dests;
+    for (std::uint32_t d = 1; d < 25; d += 3) dests.push_back(NodeId{d});
+    const auto mc = route_multicast(net, NodeId{0}, dests);
+    EXPECT_LE(mc.tree_resources, mc.unicast_resources);
+    // Shared prefixes use identical wavelengths: hops of any two legs on
+    // the same physical link within the tree must agree on λ whenever
+    // both legs' auxiliary paths pass the same tree branch.  (Weaker
+    // checkable form: forest resources ≥ longest single leg.)
+    std::uint64_t longest = 0;
+    for (const auto& leg : mc.legs)
+      longest = std::max<std::uint64_t>(longest, leg.path.length());
+    EXPECT_GE(mc.tree_resources, longest);
+  }
+}
+
+TEST(MulticastTest, UnreachableDestinationReported) {
+  const auto net = testing::paper_example_network();
+  // From paper node 7 (id 6) nothing is reachable.
+  const std::vector<NodeId> dests = {NodeId{6}, NodeId{0}};
+  const auto mc = route_multicast(net, NodeId{6}, dests);
+  EXPECT_FALSE(mc.all_reached);
+  ASSERT_EQ(mc.legs.size(), 2u);
+  EXPECT_TRUE(mc.legs[0].reached);  // the source itself
+  EXPECT_TRUE(mc.legs[0].path.empty());
+  EXPECT_FALSE(mc.legs[1].reached);
+  EXPECT_EQ(mc.legs[1].cost, kInfiniteCost);
+}
+
+TEST(MulticastTest, BroadcastFromHub) {
+  // Broadcast (all nodes) from node 0 of the paper example.
+  const auto net = testing::paper_example_network();
+  std::vector<NodeId> everyone;
+  for (std::uint32_t v = 0; v < 7; ++v) everyone.push_back(NodeId{v});
+  const auto mc = route_multicast(net, NodeId{0}, everyone);
+  EXPECT_TRUE(mc.all_reached);  // node 1 (paper) reaches all others
+  EXPECT_GT(mc.sharing(), 0u);  // the example's paths overlap heavily
+}
+
+TEST(MulticastTest, Preconditions) {
+  const auto net = testing::paper_example_network();
+  EXPECT_THROW((void)route_multicast(net, NodeId{0}, {}), Error);
+  const std::vector<NodeId> bad = {NodeId{99}};
+  EXPECT_THROW((void)route_multicast(net, NodeId{0}, bad), Error);
+  const std::vector<NodeId> ok = {NodeId{1}};
+  EXPECT_THROW((void)route_multicast(net, NodeId{9}, ok), Error);
+}
+
+}  // namespace
+}  // namespace lumen

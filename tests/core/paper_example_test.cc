@@ -1,0 +1,227 @@
+// Exact reconstruction of the paper's worked example (Figs. 1–4).
+//
+// The expected Λ_in / Λ_out sets below are transcribed verbatim from the
+// paper's Section III-A listing for the network of Fig. 1 (0-based ids).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/aux_graph.h"
+#include "core/brute_force.h"
+#include "core/cfz.h"
+#include "core/liang_shen.h"
+#include "core/state_dijkstra.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::paper_example_network;
+
+/// λ_i in paper notation (1-based) -> Wavelength (0-based).
+Wavelength L(std::uint32_t paper_index) { return Wavelength{paper_index - 1}; }
+/// Paper node (1-based) -> NodeId (0-based).
+NodeId N(std::uint32_t paper_index) { return NodeId{paper_index - 1}; }
+
+std::set<std::uint32_t> as_paper_set(const WavelengthSet& set) {
+  std::set<std::uint32_t> out;
+  for (const Wavelength l : set.to_vector()) out.insert(l.value() + 1);
+  return out;
+}
+
+TEST(PaperExampleTest, NetworkShapeMatchesFig1) {
+  const auto net = paper_example_network();
+  EXPECT_EQ(net.num_nodes(), 7u);
+  EXPECT_EQ(net.num_links(), 11u);
+  EXPECT_EQ(net.num_wavelengths(), 4u);
+  EXPECT_EQ(net.k0(), 3u);  // largest Λ(e) is {λ2,λ3,λ4} on ⟨6,7⟩
+}
+
+TEST(PaperExampleTest, LambdaInSetsMatchPaperListing) {
+  const auto net = paper_example_network();
+  using S = std::set<std::uint32_t>;
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(1))), (S{2, 3}));
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(2))), (S{1, 3}));
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(3))), (S{1, 2, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(4))), (S{1, 2, 3, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(5))), (S{3}));
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(6))), (S{1, 3}));
+  EXPECT_EQ(as_paper_set(net.lambda_in(N(7))), (S{1, 2, 3, 4}));
+}
+
+TEST(PaperExampleTest, LambdaOutSetsMatchPaperListing) {
+  const auto net = paper_example_network();
+  using S = std::set<std::uint32_t>;
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(1))), (S{1, 2, 3, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(2))), (S{1, 2, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(3))), (S{2, 3, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(4))), (S{3}));
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(5))), (S{1, 2, 3, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(6))), (S{2, 3, 4}));
+  EXPECT_EQ(as_paper_set(net.lambda_out(N(7))), (S{}));
+}
+
+TEST(PaperExampleTest, MultigraphLinkCountMatchesFig2) {
+  // |E_M| = Σ_e |Λ(e)| = 2+3+2+2+2+2+1+2+2+2+3 = 23.
+  const auto net = paper_example_network();
+  EXPECT_EQ(net.total_link_wavelengths(), 23u);
+}
+
+TEST(PaperExampleTest, GadgetG3MatchesFig3) {
+  const auto net = paper_example_network();
+  const auto aux = AuxiliaryGraph::build_all_pairs(net);
+  // X_3 from Λ_in(3) = {λ1, λ2, λ4}; Y_3 from Λ_out(3) = {λ2, λ3, λ4}.
+  EXPECT_EQ(aux.x_size(N(3)), 3u);
+  EXPECT_EQ(aux.y_size(N(3)), 3u);
+  EXPECT_TRUE(aux.x_node(N(3), L(1)).valid());
+  EXPECT_TRUE(aux.x_node(N(3), L(2)).valid());
+  EXPECT_FALSE(aux.x_node(N(3), L(3)).valid());  // λ3 ∉ Λ_in(3)
+  EXPECT_TRUE(aux.x_node(N(3), L(4)).valid());
+  EXPECT_FALSE(aux.y_node(N(3), L(1)).valid());  // λ1 ∉ Λ_out(3)
+
+  // Fig. 3: no gadget link (3,λ2) -> (3,λ3): the conversion is not allowed.
+  const NodeId x = aux.x_node(N(3), L(2));
+  const NodeId y_blocked = aux.y_node(N(3), L(3));
+  bool found_blocked = false;
+  std::uint32_t gadget_links_at_3 = 0;
+  for (const LinkId e : aux.graph().out_links(x)) {
+    if (aux.graph().head(e) == y_blocked) found_blocked = true;
+  }
+  EXPECT_FALSE(found_blocked);
+  // Every other (λ_in, λ_out) pair at node 3 is allowed: |E_3| = 3*3 - 1.
+  // (Count only conversion links; in all-pairs mode each x node also has a
+  // sink-tie link to 3''.)
+  for (std::uint32_t p = 1; p <= 4; ++p) {
+    const NodeId xp = aux.x_node(N(3), L(p));
+    if (!xp.valid()) continue;
+    for (const LinkId e : aux.graph().out_links(xp)) {
+      if (aux.link_info(e).kind == AuxLinkKind::kConversion)
+        ++gadget_links_at_3;
+    }
+  }
+  EXPECT_EQ(gadget_links_at_3, 8u);
+
+  // The identity link (3,λ2) -> (3,λ2) exists with weight 0.
+  const NodeId y_same = aux.y_node(N(3), L(2));
+  bool found_identity = false;
+  for (const LinkId e : aux.graph().out_links(x)) {
+    if (aux.graph().head(e) == y_same) {
+      found_identity = true;
+      EXPECT_DOUBLE_EQ(aux.graph().weight(e), 0.0);
+      EXPECT_EQ(aux.link_info(e).kind, AuxLinkKind::kConversion);
+    }
+  }
+  EXPECT_TRUE(found_identity);
+}
+
+TEST(PaperExampleTest, EOrgLinksG3ToG1MatchFig4) {
+  // The parallel links ⟨3,1⟩ on λ2 and λ3 become
+  // y(3,λ2) -> x(1,λ2) and y(3,λ3) -> x(1,λ3).
+  const auto net = paper_example_network(1.5);
+  const auto aux = AuxiliaryGraph::build_all_pairs(net);
+  for (const std::uint32_t lambda : {2u, 3u}) {
+    const NodeId y = aux.y_node(N(3), L(lambda));
+    const NodeId x = aux.x_node(N(1), L(lambda));
+    ASSERT_TRUE(y.valid());
+    ASSERT_TRUE(x.valid());
+    bool found = false;
+    for (const LinkId e : aux.graph().out_links(y)) {
+      if (aux.graph().head(e) != x) continue;
+      found = true;
+      EXPECT_EQ(aux.link_info(e).kind, AuxLinkKind::kTransmission);
+      EXPECT_DOUBLE_EQ(aux.graph().weight(e), 1.5);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PaperExampleTest, ObservationBoundsHold) {
+  const auto net = paper_example_network();
+  const auto aux = AuxiliaryGraph::build_all_pairs(net);
+  const auto& stats = aux.stats();
+  const std::uint64_t n = net.num_nodes(), k = net.num_wavelengths(),
+                      m = net.num_links();
+  EXPECT_LE(stats.gadget_nodes, 2 * k * n);           // Observation 2
+  EXPECT_LE(stats.gadget_links, k * k * n);           // Observation 2
+  EXPECT_EQ(stats.multigraph_links, 23u);             // |E_M|
+  EXPECT_EQ(stats.transmission_links, stats.multigraph_links);
+  EXPECT_LE(stats.transmission_links, k * m);
+}
+
+TEST(PaperExampleTest, RoutingAgreesWithOracles) {
+  const auto net = paper_example_network();
+  for (std::uint32_t s = 1; s <= 7; ++s) {
+    for (std::uint32_t t = 1; t <= 7; ++t) {
+      if (s == t) continue;
+      const auto ls = route_semilightpath(net, N(s), N(t));
+      const auto oracle = state_dijkstra_route(net, N(s), N(t));
+      EXPECT_EQ(ls.found, oracle.found) << s << "->" << t;
+      if (ls.found) {
+        EXPECT_NEAR(ls.cost, oracle.cost, 1e-9) << s << "->" << t;
+        // The returned path must evaluate to the claimed cost.
+        EXPECT_TRUE(ls.path.is_valid(net));
+        EXPECT_NEAR(ls.path.cost(net), ls.cost, 1e-9);
+        EXPECT_EQ(ls.path.source(net), N(s));
+        EXPECT_EQ(ls.path.destination(net), N(t));
+      }
+    }
+  }
+}
+
+TEST(PaperExampleTest, BruteForceConfirmsSelectedPairs) {
+  const auto net = paper_example_network();
+  for (const auto& [s, t] : {std::pair{1u, 7u}, std::pair{4u, 7u},
+                             std::pair{5u, 1u}, std::pair{2u, 6u}}) {
+    const auto ls = route_semilightpath(net, N(s), N(t));
+    const auto bf = brute_force_route(net, N(s), N(t), 12);
+    EXPECT_EQ(ls.found, bf.found) << s << "->" << t;
+    if (ls.found) {
+      EXPECT_NEAR(ls.cost, bf.cost, 1e-9) << s << "->" << t;
+    }
+  }
+}
+
+TEST(PaperExampleTest, CfzAgreesOnExample) {
+  // The example's conversion costs are uniform (triangle inequality holds),
+  // so CFZ must agree with Liang–Shen everywhere.
+  const auto net = paper_example_network();
+  for (std::uint32_t s = 1; s <= 7; ++s) {
+    for (std::uint32_t t = 1; t <= 7; ++t) {
+      if (s == t) continue;
+      const auto ls = route_semilightpath(net, N(s), N(t));
+      const auto cfz = cfz_route(net, N(s), N(t));
+      EXPECT_EQ(ls.found, cfz.found) << s << "->" << t;
+      if (ls.found) {
+        EXPECT_NEAR(ls.cost, cfz.cost, 1e-9) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(PaperExampleTest, UnreachableFromNode7) {
+  // Node 7 has no outgoing links: nothing (but itself) is reachable.
+  const auto net = paper_example_network();
+  for (std::uint32_t t = 1; t <= 6; ++t) {
+    const auto r = route_semilightpath(net, N(7), N(t));
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.cost, kInfiniteCost);
+  }
+  const auto self = route_semilightpath(net, N(7), N(7));
+  EXPECT_TRUE(self.found);
+  EXPECT_DOUBLE_EQ(self.cost, 0.0);
+}
+
+TEST(PaperExampleTest, BlockedConversionForcesDetourOrAlternative) {
+  // With a huge cost on every conversion except identity, the router
+  // prefers pure lightpaths when one exists.
+  const auto net = paper_example_network(1.0, 100.0);
+  const auto r = route_semilightpath(net, N(1), N(7));
+  ASSERT_TRUE(r.found);
+  // 1 -λ1-> 2 -λ1-> 7 is a pure lightpath of cost 2 (λ1 on ⟨1,2⟩ and ⟨2,7⟩).
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_TRUE(r.path.is_lightpath());
+  EXPECT_TRUE(r.switches.empty());
+}
+
+}  // namespace
+}  // namespace lumen

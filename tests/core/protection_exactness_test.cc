@@ -1,0 +1,94 @@
+// Protection heuristics vs the exact Suurballe optimum.
+//
+// On networks with one wavelength, no conversion, and purely directed
+// links (no reverse twin, so span-disjoint == link-disjoint), the optimal
+// protected pair is exactly Suurballe's disjoint shortest pair on the
+// underlying weighted digraph.  This pins down the heuristics' gap.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/protection.h"
+#include "graph/suurballe.h"
+#include "util/rng.h"
+#include "wdm/network.h"
+
+namespace lumen {
+namespace {
+
+/// A purely-directed single-wavelength network and its bare digraph twin.
+struct Instance {
+  WdmNetwork net;
+  Digraph bare;
+};
+
+Instance directed_instance(std::uint32_t n, std::uint32_t links,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst{WdmNetwork(n, 1, std::make_shared<NoConversion>()),
+                Digraph(n)};
+  std::uint32_t added = 0;
+  while (added < links) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (u == v) continue;
+    const double w = rng.next_double_in(0.5, 3.0);
+    const LinkId e = inst.net.add_link(NodeId{u}, NodeId{v});
+    inst.net.set_wavelength(e, Wavelength{0}, w);
+    inst.bare.add_link(NodeId{u}, NodeId{v}, w);
+    ++added;
+  }
+  return inst;
+}
+
+TEST(ProtectionExactnessTest, HeuristicNeverBeatsSuurballe) {
+  std::uint32_t comparable = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto inst = directed_instance(12, 45, seed);
+    const auto exact = suurballe_disjoint_pair(inst.bare, NodeId{0}, NodeId{7});
+    const auto greedy = route_protected_pair(inst.net, NodeId{0}, NodeId{7});
+    const auto iterated =
+        route_protected_pair_iterated(inst.net, NodeId{0}, NodeId{7}, 6);
+    // Existence: if the heuristic finds a pair, an exact pair exists.
+    if (greedy.has_value()) {
+      ASSERT_TRUE(exact.has_value()) << seed;
+    }
+    if (iterated.has_value()) {
+      ASSERT_TRUE(exact.has_value()) << seed;
+    }
+    if (!exact.has_value()) continue;
+    ++comparable;
+    if (greedy.has_value()) {
+      EXPECT_GE(greedy->total_cost() + 1e-9, exact->total_cost) << seed;
+    }
+    if (iterated.has_value()) {
+      EXPECT_GE(iterated->total_cost() + 1e-9, exact->total_cost) << seed;
+      if (greedy.has_value()) {
+        EXPECT_LE(iterated->total_cost(), greedy->total_cost() + 1e-9);
+      }
+    }
+  }
+  EXPECT_GE(comparable, 6u);  // the sweep must actually compare something
+}
+
+TEST(ProtectionExactnessTest, IteratedOftenMatchesExact) {
+  // Not a theorem — a measured property documenting heuristic quality on
+  // this instance family: the iterated variant hits the exact optimum in
+  // a clear majority of solvable cases.
+  std::uint32_t solvable = 0, matched = 0;
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    const auto inst = directed_instance(10, 35, seed);
+    const auto exact = suurballe_disjoint_pair(inst.bare, NodeId{0}, NodeId{5});
+    if (!exact.has_value()) continue;
+    const auto iterated =
+        route_protected_pair_iterated(inst.net, NodeId{0}, NodeId{5}, 8);
+    if (!iterated.has_value()) continue;  // heuristic may miss trap cases
+    ++solvable;
+    if (iterated->total_cost() <= exact->total_cost + 1e-9) ++matched;
+  }
+  ASSERT_GE(solvable, 10u);
+  EXPECT_GE(matched * 2, solvable);  // >= 50% exact
+}
+
+}  // namespace
+}  // namespace lumen

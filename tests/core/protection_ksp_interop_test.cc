@@ -1,0 +1,77 @@
+// Interoperation of the protection and K-shortest machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/k_shortest.h"
+#include "core/protection.h"
+#include "tests/test_util.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+#include "wdm/io.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+TEST(ProtectionKspInteropTest, IteratedWithOneCandidateEqualsGreedy) {
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(18, 36, 4, 3, ConvKind::kUniform, rng);
+    const auto greedy = route_protected_pair(net, NodeId{0}, NodeId{9});
+    const auto iter1 =
+        route_protected_pair_iterated(net, NodeId{0}, NodeId{9}, 1);
+    ASSERT_EQ(greedy.has_value(), iter1.has_value()) << "seed " << seed;
+    if (greedy) {
+      EXPECT_NEAR(greedy->total_cost(), iter1->total_cost(), 1e-9);
+      EXPECT_EQ(greedy->working.hops(), iter1->working.hops());
+    }
+  }
+}
+
+TEST(ProtectionKspInteropTest, WorkingPathAlwaysAmongKShortest) {
+  Rng rng(24);
+  const auto net = random_network(15, 30, 4, 2, ConvKind::kRange, rng);
+  const auto pair = route_protected_pair_iterated(net, NodeId{0}, NodeId{7}, 5);
+  if (!pair) GTEST_SKIP() << "no disjoint pair on this instance";
+  const auto ranked = k_shortest_semilightpaths(net, NodeId{0}, NodeId{7}, 5);
+  const bool found = std::any_of(
+      ranked.begin(), ranked.end(), [&](const RankedRoute& r) {
+        return r.path.hops() == pair->working.hops();
+      });
+  EXPECT_TRUE(found) << "iterated variant must pick its working path from "
+                        "the candidate set";
+}
+
+TEST(ProtectionKspInteropTest, BackupStrictlyAvoidsWorkingSpans) {
+  // On a ring every backup goes the other way: total hops = ring size.
+  Rng rng(25);
+  const Topology topo = ring_topology(10);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  const auto net = assemble_network(
+      topo, 2, avail, std::make_shared<UniformConversion>(0.05));
+  for (std::uint32_t t = 1; t < 10; t += 2) {
+    const auto pair = route_protected_pair(net, NodeId{0}, NodeId{t});
+    ASSERT_TRUE(pair.has_value()) << t;
+    EXPECT_EQ(pair->working.length() + pair->backup.length(), 10u);
+  }
+}
+
+TEST(ProtectionKspInteropTest, AlternativesSurviveSerialization) {
+  // Round-trip the network through the text format; the ranked
+  // alternatives must be identical (costs and hop structure).
+  const auto net = testing::paper_example_network();
+  const auto reparsed = network_from_string(network_to_string(net));
+  const auto a = k_shortest_semilightpaths(net, NodeId{0}, NodeId{6}, 5);
+  const auto b = k_shortest_semilightpaths(reparsed, NodeId{0}, NodeId{6}, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].cost, b[i].cost, 1e-12) << i;
+    EXPECT_EQ(a[i].path.hops(), b[i].path.hops()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,152 @@
+#include "core/protection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+
+/// Unordered span key of a hop.
+std::pair<std::uint32_t, std::uint32_t> span_of(const WdmNetwork& net,
+                                                const Hop& hop) {
+  auto a = net.tail(hop.link).value();
+  auto b = net.head(hop.link).value();
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+void expect_valid_pair(const WdmNetwork& net, const ProtectedPair& pair,
+                       NodeId s, NodeId t) {
+  EXPECT_TRUE(pair.working.is_valid(net));
+  EXPECT_TRUE(pair.backup.is_valid(net));
+  EXPECT_EQ(pair.working.source(net), s);
+  EXPECT_EQ(pair.working.destination(net), t);
+  EXPECT_EQ(pair.backup.source(net), s);
+  EXPECT_EQ(pair.backup.destination(net), t);
+  EXPECT_NEAR(pair.working.cost(net), pair.working_cost, 1e-9);
+  EXPECT_NEAR(pair.backup.cost(net), pair.backup_cost, 1e-9);
+  // Span-disjointness.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> working_spans;
+  for (const Hop& hop : pair.working.hops())
+    working_spans.insert(span_of(net, hop));
+  for (const Hop& hop : pair.backup.hops())
+    EXPECT_FALSE(working_spans.contains(span_of(net, hop)))
+        << "backup reuses span of working path";
+}
+
+TEST(ProtectionTest, DisjointPairOnNsfnet) {
+  Rng rng(1);
+  const Topology topo = nsfnet_topology();
+  const Availability avail =
+      full_availability(topo, 4, CostSpec::distance(10.0), rng);
+  const auto net = assemble_network(
+      topo, 4, avail, std::make_shared<UniformConversion>(0.3));
+  const auto pair = route_protected_pair(net, NodeId{0}, NodeId{13});
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_pair(net, *pair, NodeId{0}, NodeId{13});
+  // The working path is the unprotected optimum.
+  const auto optimal = route_semilightpath(net, NodeId{0}, NodeId{13});
+  EXPECT_NEAR(pair->working_cost, optimal.cost, 1e-9);
+  EXPECT_GE(pair->backup_cost + 1e-9, pair->working_cost);
+}
+
+TEST(ProtectionTest, NoBackupOnBridgeTopology) {
+  // A line has a single span between its halves: no disjoint pair exists.
+  Rng rng(2);
+  const Topology topo = line_topology(5);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  const auto net =
+      assemble_network(topo, 2, avail, std::make_shared<NoConversion>());
+  EXPECT_FALSE(route_protected_pair(net, NodeId{0}, NodeId{4}).has_value());
+  EXPECT_FALSE(
+      route_protected_pair_iterated(net, NodeId{0}, NodeId{4}).has_value());
+}
+
+TEST(ProtectionTest, RingAlwaysHasDisjointPair) {
+  Rng rng(3);
+  const Topology topo = ring_topology(8);
+  const Availability avail = full_availability(topo, 3, CostSpec::unit(), rng);
+  const auto net = assemble_network(
+      topo, 3, avail, std::make_shared<UniformConversion>(0.1));
+  for (std::uint32_t t = 1; t < 8; ++t) {
+    const auto pair = route_protected_pair(net, NodeId{0}, NodeId{t});
+    ASSERT_TRUE(pair.has_value()) << "t=" << t;
+    expect_valid_pair(net, *pair, NodeId{0}, NodeId{t});
+    // On an 8-ring, working + backup go opposite ways: lengths sum to 8.
+    EXPECT_EQ(pair->working.length() + pair->backup.length(), 8u);
+  }
+}
+
+TEST(ProtectionTest, IteratedEscapesTrapTopology) {
+  // Trap: the cheapest working path uses the only span the backup needs.
+  //      0 --1-- 1 --1-- 3        (cheap middle chain)
+  //      0 --3-- 2 --3-- 3        (expensive detour)
+  //      1 --1-- 2                (cross link making the trap)
+  // Optimal working 0-1-3 blocks nothing vital, so construct the classic
+  // trap shape instead: 0-1(1), 1-3(1), 0-2(3), 2-3(3), and 1-2(0.1):
+  // the optimum 0-1-3 leaves 0-2-3 free — that's fine.  The trap needs
+  // the optimum to *straddle* both alternatives: make 0-1-2-3 cheapest.
+  WdmNetwork net(4, 1, std::make_shared<NoConversion>());
+  auto add = [&](std::uint32_t u, std::uint32_t v, double w) {
+    const LinkId e = net.add_link(NodeId{u}, NodeId{v});
+    net.set_wavelength(e, Wavelength{0}, w);
+    const LinkId r = net.add_link(NodeId{v}, NodeId{u});
+    net.set_wavelength(r, Wavelength{0}, w);
+  };
+  add(0, 1, 1.0);
+  add(1, 2, 0.1);
+  add(2, 3, 1.0);
+  add(0, 2, 3.0);
+  add(1, 3, 3.0);
+  // Optimal working path: 0-1-2-3 (cost 2.1) uses spans of BOTH side
+  // routes; after removing them no backup exists.
+  const auto greedy = route_protected_pair(net, NodeId{0}, NodeId{3});
+  EXPECT_FALSE(greedy.has_value());
+  // The iterated variant finds working 0-1-3 (cost 4.0) + backup 0-2-3.
+  const auto iterated =
+      route_protected_pair_iterated(net, NodeId{0}, NodeId{3}, 6);
+  ASSERT_TRUE(iterated.has_value());
+  expect_valid_pair(net, *iterated, NodeId{0}, NodeId{3});
+  EXPECT_NEAR(iterated->total_cost(), 4.0 + 4.0, 1e-9);
+}
+
+TEST(ProtectionTest, IteratedNeverWorseThanGreedy) {
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL}) {
+    Rng rng(seed);
+    const auto net =
+        testing::random_network(20, 40, 4, 3, ConvKind::kUniform, rng);
+    const auto greedy = route_protected_pair(net, NodeId{0}, NodeId{10});
+    const auto iterated =
+        route_protected_pair_iterated(net, NodeId{0}, NodeId{10}, 5);
+    if (greedy.has_value()) {
+      ASSERT_TRUE(iterated.has_value());
+      EXPECT_LE(iterated->total_cost(), greedy->total_cost() + 1e-9);
+      expect_valid_pair(net, *iterated, NodeId{0}, NodeId{10});
+    }
+  }
+}
+
+TEST(ProtectionTest, Preconditions) {
+  const auto net = testing::paper_example_network();
+  EXPECT_THROW((void)route_protected_pair(net, NodeId{0}, NodeId{0}), Error);
+  EXPECT_THROW(
+      (void)route_protected_pair_iterated(net, NodeId{0}, NodeId{1}, 0),
+      Error);
+  EXPECT_THROW((void)route_protected_pair(net, NodeId{9}, NodeId{0}), Error);
+}
+
+TEST(ProtectionTest, UnroutableSourceYieldsNothing) {
+  const auto net = testing::paper_example_network();
+  EXPECT_FALSE(route_protected_pair(net, NodeId{6}, NodeId{0}).has_value());
+}
+
+}  // namespace
+}  // namespace lumen

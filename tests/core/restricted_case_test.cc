@@ -1,0 +1,121 @@
+// Section IV (Theorem 4): with |Λ(e)| <= k_0 the auxiliary graph — and
+// hence the whole algorithm — is sized independently of the universe k.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/aux_graph.h"
+#include "core/cfz.h"
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+/// A fixed topology/availability with the universe size k varying: the λ
+/// indices in use are remapped to spread across [0, k), but the *number*
+/// of wavelengths per link stays k0.  This isolates pure k-dependence.
+WdmNetwork spread_network(std::uint32_t n, std::uint32_t k, std::uint32_t k0,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  const Topology topo = random_sparse_topology(n, 2 * n, rng);
+  WdmNetwork net(topo.num_nodes, k,
+                 std::make_shared<RangeLimitedConversion>(k, 0.2, 0.0));
+  Rng lambda_rng(seed ^ 0x5555ULL);
+  for (const auto& [u, v] : topo.links) {
+    const LinkId e = net.add_link(u, v);
+    for (const std::uint32_t l :
+         lambda_rng.sample_without_replacement(k, k0)) {
+      net.set_wavelength(e, Wavelength{l},
+                         lambda_rng.next_double_in(1.0, 2.0));
+    }
+  }
+  return net;
+}
+
+TEST(RestrictedCaseTest, AuxSizeIndependentOfUniverse) {
+  // Same n, m, k0; k grows 8 -> 512.  Gadget sizes must track the
+  // Observation 4/5 bounds, which do not involve k at all.
+  constexpr std::uint32_t kN = 40, kK0 = 3;
+  std::uint64_t baseline_nodes = 0;
+  for (const std::uint32_t k : {8u, 32u, 128u, 512u}) {
+    const auto net = spread_network(kN, k, kK0, /*seed=*/7);
+    EXPECT_EQ(net.k0(), kK0);
+    const auto aux = AuxiliaryGraph::build_all_pairs(net);
+    const auto& stats = aux.stats();
+    const std::uint64_t m = net.num_links();
+    const std::uint64_t d = net.max_degree();
+    // Observation 5: |V'| <= m k0 ... per side it is bounded by Σ|Λ(e)|.
+    EXPECT_LE(stats.gadget_nodes, 2 * m * kK0);
+    EXPECT_LE(stats.gadget_links + stats.transmission_links,
+              d * d * kN * static_cast<std::uint64_t>(kK0) * kK0 + m * kK0);
+    // Node count varies only through which λ collide on a node — bounded
+    // variation, never growth proportional to k.
+    if (baseline_nodes == 0) baseline_nodes = stats.gadget_nodes;
+    EXPECT_LE(stats.gadget_nodes, 2 * m * kK0);
+    EXPECT_GE(stats.gadget_nodes, baseline_nodes / 2);
+  }
+}
+
+TEST(RestrictedCaseTest, CfzSizeGrowsWithUniverse) {
+  // The contrast Theorem 4 exploits: CFZ's wavelength graph has k*n nodes
+  // regardless of availability.
+  constexpr std::uint32_t kN = 20, kK0 = 2;
+  std::uint64_t prev_nodes = 0;
+  for (const std::uint32_t k : {4u, 16u, 64u}) {
+    const auto net = spread_network(kN, k, kK0, /*seed=*/9);
+    const auto stats = cfz_graph_stats(net);
+    EXPECT_EQ(stats.nodes, static_cast<std::uint64_t>(k) * kN + 2);
+    EXPECT_GT(stats.nodes, prev_nodes);
+    prev_nodes = stats.nodes;
+    // The n² row scan per wavelength.
+    EXPECT_EQ(stats.pair_scans,
+              static_cast<std::uint64_t>(k) * kN * kN);
+  }
+}
+
+TEST(RestrictedCaseTest, RoutingStillCorrectWithHugeUniverse) {
+  // k = 256 with only 3 wavelengths per link: results must match the
+  // state-space oracle (which is O(nk) and still tractable here).
+  const auto net = spread_network(15, 256, 3, /*seed=*/11);
+  for (std::uint32_t t = 1; t < 15; t += 4) {
+    const auto ls = route_semilightpath(net, NodeId{0}, NodeId{t});
+    // The state oracle would be slow at k=256; use CFZ only for found-ness
+    // and the path self-evaluation for cost correctness.
+    if (ls.found) {
+      EXPECT_TRUE(ls.path.is_valid(net));
+      EXPECT_NEAR(ls.path.cost(net), ls.cost, 1e-9);
+    }
+  }
+}
+
+TEST(RestrictedCaseTest, SearchEffortIndependentOfUniverse) {
+  // Dijkstra pops on G_{s,t} must not scale with k at fixed k0.
+  constexpr std::uint32_t kN = 40, kK0 = 3;
+  std::vector<std::uint64_t> pops;
+  for (const std::uint32_t k : {8u, 64u, 512u}) {
+    const auto net = spread_network(kN, k, kK0, /*seed=*/13);
+    const auto r = route_semilightpath(net, NodeId{0}, NodeId{kN / 2});
+    pops.push_back(r.stats.search_pops + 1);
+  }
+  // Within 2x of each other (the λ collision pattern shifts slightly).
+  const auto [min_it, max_it] = std::minmax_element(pops.begin(), pops.end());
+  EXPECT_LE(*max_it, 2 * *min_it);
+}
+
+TEST(RestrictedCaseTest, K0OneIsPureLightpathRouting) {
+  // k0 = 1: every link carries exactly one wavelength; semilightpaths may
+  // still convert at nodes between differently-colored links.
+  const auto net = spread_network(12, 16, 1, /*seed=*/17);
+  EXPECT_EQ(net.k0(), 1u);
+  for (std::uint32_t t = 1; t < 12; t += 3) {
+    const auto r = route_semilightpath(net, NodeId{0}, NodeId{t});
+    if (r.found) {
+      EXPECT_TRUE(r.path.is_valid(net));
+      EXPECT_NEAR(r.path.cost(net), r.cost, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumen

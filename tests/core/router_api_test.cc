@@ -1,0 +1,117 @@
+// API-surface tests: auxiliary-graph reuse (route_on_aux), heap-kind
+// dispatch, stats plumbing, and lightpath-router specifics not covered by
+// the differential suites.
+#include <gtest/gtest.h>
+
+#include "core/aux_graph.h"
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+#include "util/stopwatch.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::paper_example_network;
+using testing::random_network;
+
+TEST(RouteOnAuxTest, ReusingPrebuiltGraphMatchesOneShot) {
+  const auto net = paper_example_network();
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{6});
+  const auto reused = route_on_aux(net, aux);
+  const auto one_shot = route_semilightpath(net, NodeId{0}, NodeId{6});
+  ASSERT_EQ(reused.found, one_shot.found);
+  EXPECT_DOUBLE_EQ(reused.cost, one_shot.cost);
+  EXPECT_EQ(reused.path, one_shot.path);
+}
+
+TEST(RouteOnAuxTest, RepeatedQueriesAmortizeBuild) {
+  Rng rng(11);
+  const auto net = random_network(40, 80, 6, 3, ConvKind::kUniform, rng);
+  const auto aux = AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{20});
+  // Many reuses, each must give the identical answer.
+  const auto first = route_on_aux(net, aux);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = route_on_aux(net, aux, HeapKind::kBinary);
+    EXPECT_EQ(again.found, first.found);
+    if (first.found) {
+      EXPECT_DOUBLE_EQ(again.cost, first.cost);
+    }
+  }
+}
+
+TEST(RouterApiTest, AllHeapKindsDispatch) {
+  const auto net = paper_example_network();
+  for (const HeapKind heap : {HeapKind::kFibonacci, HeapKind::kBinary,
+                              HeapKind::kQuaternary, HeapKind::kPairing}) {
+    const auto r = route_semilightpath(net, NodeId{0}, NodeId{6}, heap);
+    ASSERT_TRUE(r.found);
+    EXPECT_GT(r.stats.search_pops, 0u);
+  }
+}
+
+TEST(RouterApiTest, StatsTimingsPlausible) {
+  Rng rng(12);
+  const auto net = random_network(50, 100, 6, 3, ConvKind::kUniform, rng);
+  Stopwatch clock;
+  const auto r = route_semilightpath(net, NodeId{0}, NodeId{25});
+  const double wall = clock.seconds();
+  EXPECT_GE(r.stats.build_seconds, 0.0);
+  EXPECT_GE(r.stats.search_seconds, 0.0);
+  // Internal timings cannot exceed the enclosing wall time (generously).
+  EXPECT_LE(r.stats.total_seconds(), wall + 0.05);
+}
+
+TEST(LightpathRouterTest, ReportsWavelengthUniformPath) {
+  const auto net = paper_example_network();
+  const auto r = route_lightpath(net, NodeId{0}, NodeId{6});
+  if (r.found) {
+    ASSERT_FALSE(r.path.hops().empty());
+    const Wavelength lambda = r.path.hops().front().wavelength;
+    for (const Hop& hop : r.path.hops()) EXPECT_EQ(hop.wavelength, lambda);
+    EXPECT_TRUE(r.switches.empty());
+  }
+}
+
+TEST(LightpathRouterTest, PicksCheapestWavelengthNotFirst) {
+  // λ0 route exists but λ1 is cheaper: the router must return λ1.
+  WdmNetwork net(3, 2, std::make_shared<NoConversion>());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{0}, 5.0);
+    net.set_wavelength(e, Wavelength{1}, 1.0);
+  }
+  const auto r = route_lightpath(net, NodeId{0}, NodeId{2});
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_EQ(r.path.hops().front().wavelength, Wavelength{1});
+}
+
+TEST(LightpathRouterTest, MixedWavelengthRouteLength) {
+  // Cheapest λ0 route is long, cheapest λ1 route is short but pricier per
+  // hop: the router optimizes over both jointly.
+  WdmNetwork net(4, 2, std::make_shared<NoConversion>());
+  // Long cheap λ0 chain 0-1-2-3.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{0}, 1.0);
+  }
+  // Direct λ1 link 0-3 at cost 2.5 < 3.0.
+  const LinkId direct = net.add_link(NodeId{0}, NodeId{3});
+  net.set_wavelength(direct, Wavelength{1}, 2.5);
+  const auto r = route_lightpath(net, NodeId{0}, NodeId{3});
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.cost, 2.5);
+  EXPECT_EQ(r.path.length(), 1u);
+}
+
+TEST(RouterApiTest, RouteResultDefaultState) {
+  RouteResult r;
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_TRUE(r.switches.empty());
+  EXPECT_EQ(r.stats.search_pops, 0u);
+}
+
+}  // namespace
+}  // namespace lumen

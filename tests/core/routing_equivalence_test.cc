@@ -1,0 +1,249 @@
+// Randomized differential testing of the routers.
+//
+// Ground truth ladder:
+//   brute force (tiny nets, any conversion model)
+//     = state-space Dijkstra (medium nets, any conversion model)
+//     = Liang–Shen (all nets)
+//     = CFZ (triangle-inequality conversion models only; see core/cfz.h)
+//     = lightpath router (when conversion is disabled).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "core/cfz.h"
+#include "core/liang_shen.h"
+#include "core/state_dijkstra.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::make_conversion;
+using testing::random_network;
+
+class TinyNetworkTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, ConvKind>> {};
+
+TEST_P(TinyNetworkTest, LiangShenMatchesBruteForce) {
+  const auto [seed, kind] = GetParam();
+  Rng rng(seed);
+  const auto net = random_network(5, 6, 3, 3, kind, rng);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    for (std::uint32_t t = 0; t < 5; ++t) {
+      if (s == t) continue;
+      const auto ls = route_semilightpath(net, NodeId{s}, NodeId{t});
+      const auto bf = brute_force_route(net, NodeId{s}, NodeId{t}, 10);
+      ASSERT_EQ(ls.found, bf.found) << s << "->" << t << " seed " << seed;
+      if (ls.found) {
+        EXPECT_NEAR(ls.cost, bf.cost, 1e-9) << s << "->" << t;
+        EXPECT_TRUE(ls.path.is_valid(net));
+        EXPECT_NEAR(ls.path.cost(net), ls.cost, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TinyNetworkTest,
+    ::testing::Combine(::testing::Values(11ULL, 12ULL, 13ULL, 14ULL, 15ULL),
+                       ::testing::Values(ConvKind::kNone, ConvKind::kUniform,
+                                         ConvKind::kRange, ConvKind::kSparse,
+                                         ConvKind::kRandomMatrix)));
+
+class MediumNetworkTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint32_t,
+                     std::uint32_t, ConvKind>> {};
+
+TEST_P(MediumNetworkTest, LiangShenMatchesStateDijkstra) {
+  const auto [seed, n, k, k0, kind] = GetParam();
+  Rng rng(seed);
+  const auto net = random_network(n, 2 * n, k, k0, kind, rng);
+  Rng pick(seed ^ 0xfeedULL);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto s = static_cast<std::uint32_t>(pick.next_below(n));
+    auto t = static_cast<std::uint32_t>(pick.next_below(n));
+    if (s == t) t = (t + 1) % n;
+    const auto ls = route_semilightpath(net, NodeId{s}, NodeId{t});
+    const auto oracle = state_dijkstra_route(net, NodeId{s}, NodeId{t});
+    ASSERT_EQ(ls.found, oracle.found) << s << "->" << t << " seed " << seed;
+    if (!ls.found) continue;
+    EXPECT_NEAR(ls.cost, oracle.cost, 1e-9) << s << "->" << t;
+    EXPECT_TRUE(ls.path.is_valid(net));
+    EXPECT_NEAR(ls.path.cost(net), ls.cost, 1e-9);
+    EXPECT_TRUE(oracle.path.is_valid(net));
+    EXPECT_NEAR(oracle.path.cost(net), oracle.cost, 1e-9);
+  }
+}
+
+TEST_P(MediumNetworkTest, AllHeapsProduceSameOptimum) {
+  const auto [seed, n, k, k0, kind] = GetParam();
+  Rng rng(seed);
+  const auto net = random_network(n, 2 * n, k, k0, kind, rng);
+  const NodeId s{0}, t{n / 2};
+  const auto fib = route_semilightpath(net, s, t, HeapKind::kFibonacci);
+  const auto bin = route_semilightpath(net, s, t, HeapKind::kBinary);
+  const auto quad = route_semilightpath(net, s, t, HeapKind::kQuaternary);
+  const auto pair = route_semilightpath(net, s, t, HeapKind::kPairing);
+  EXPECT_EQ(fib.found, bin.found);
+  EXPECT_EQ(fib.found, quad.found);
+  EXPECT_EQ(fib.found, pair.found);
+  if (fib.found) {
+    EXPECT_DOUBLE_EQ(fib.cost, bin.cost);
+    EXPECT_DOUBLE_EQ(fib.cost, quad.cost);
+    EXPECT_DOUBLE_EQ(fib.cost, pair.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MediumNetworkTest,
+    ::testing::Values(
+        std::tuple{21ULL, 20u, 4u, 2u, ConvKind::kUniform},
+        std::tuple{22ULL, 30u, 8u, 3u, ConvKind::kNone},
+        std::tuple{23ULL, 40u, 6u, 4u, ConvKind::kRange},
+        std::tuple{24ULL, 25u, 10u, 3u, ConvKind::kSparse},
+        std::tuple{25ULL, 35u, 5u, 2u, ConvKind::kRandomMatrix},
+        std::tuple{26ULL, 50u, 12u, 5u, ConvKind::kUniform},
+        std::tuple{27ULL, 60u, 4u, 4u, ConvKind::kRange},
+        std::tuple{28ULL, 15u, 16u, 8u, ConvKind::kSparse}));
+
+class CfzEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint32_t, ConvKind>> {
+};
+
+TEST_P(CfzEquivalenceTest, CfzMatchesLiangShenUnderTriangleModels) {
+  const auto [seed, n, k, kind] = GetParam();
+  Rng rng(seed);
+  const auto net = random_network(n, 2 * n, k, k, kind, rng);
+  Rng pick(seed ^ 0xabcdULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<std::uint32_t>(pick.next_below(n));
+    auto t = static_cast<std::uint32_t>(pick.next_below(n));
+    if (s == t) t = (t + 1) % n;
+    const auto ls = route_semilightpath(net, NodeId{s}, NodeId{t});
+    const auto cfz = cfz_route(net, NodeId{s}, NodeId{t});
+    ASSERT_EQ(ls.found, cfz.found) << s << "->" << t << " seed " << seed;
+    if (ls.found) {
+      EXPECT_NEAR(ls.cost, cfz.cost, 1e-9) << s << "->" << t;
+    }
+  }
+}
+
+// Triangle-inequality models only (kNone / kUniform / kRange / kSparse over
+// uniform): the documented CFZ caveat excludes kRandomMatrix.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CfzEquivalenceTest,
+    ::testing::Values(std::tuple{31ULL, 15u, 4u, ConvKind::kUniform},
+                      std::tuple{32ULL, 20u, 6u, ConvKind::kNone},
+                      std::tuple{33ULL, 25u, 5u, ConvKind::kRange},
+                      std::tuple{34ULL, 18u, 8u, ConvKind::kSparse},
+                      std::tuple{35ULL, 30u, 3u, ConvKind::kUniform}));
+
+TEST(LightpathRouterTest, MatchesSemilightpathUnderNoConversion) {
+  // With conversion disabled the two problems coincide.
+  for (const std::uint64_t seed : {41ULL, 42ULL, 43ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(25, 50, 6, 3, ConvKind::kNone, rng);
+    Rng pick(seed);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto s = static_cast<std::uint32_t>(pick.next_below(25));
+      auto t = static_cast<std::uint32_t>(pick.next_below(25));
+      if (s == t) t = (t + 1) % 25;
+      const auto semi = route_semilightpath(net, NodeId{s}, NodeId{t});
+      const auto light = route_lightpath(net, NodeId{s}, NodeId{t});
+      ASSERT_EQ(semi.found, light.found) << s << "->" << t;
+      if (semi.found) {
+        EXPECT_NEAR(semi.cost, light.cost, 1e-9);
+        EXPECT_TRUE(light.path.is_lightpath());
+      }
+    }
+  }
+}
+
+TEST(LightpathRouterTest, SemilightpathNeverWorseThanLightpath) {
+  for (const std::uint64_t seed : {51ULL, 52ULL}) {
+    Rng rng(seed);
+    const auto net = random_network(20, 40, 5, 3, ConvKind::kUniform, rng);
+    for (std::uint32_t t = 1; t < 20; t += 3) {
+      const auto semi = route_semilightpath(net, NodeId{0}, NodeId{t});
+      const auto light = route_lightpath(net, NodeId{0}, NodeId{t});
+      if (light.found) {
+        ASSERT_TRUE(semi.found);
+        EXPECT_LE(semi.cost, light.cost + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RouterEdgeCasesTest, SourceEqualsTarget) {
+  Rng rng(61);
+  const auto net = random_network(10, 20, 4, 2, ConvKind::kUniform, rng);
+  for (const auto& route : {route_semilightpath(net, NodeId{3}, NodeId{3}),
+                           route_lightpath(net, NodeId{3}, NodeId{3}),
+                           cfz_route(net, NodeId{3}, NodeId{3}),
+                           state_dijkstra_route(net, NodeId{3}, NodeId{3}),
+                           brute_force_route(net, NodeId{3}, NodeId{3})}) {
+    EXPECT_TRUE(route.found);
+    EXPECT_DOUBLE_EQ(route.cost, 0.0);
+    EXPECT_TRUE(route.path.empty());
+  }
+}
+
+TEST(RouterEdgeCasesTest, OutOfRangeNodesRejected) {
+  Rng rng(62);
+  const auto net = random_network(5, 5, 2, 2, ConvKind::kNone, rng);
+  EXPECT_THROW((void)route_semilightpath(net, NodeId{5}, NodeId{0}), Error);
+  EXPECT_THROW((void)route_semilightpath(net, NodeId{0}, NodeId{9}), Error);
+  EXPECT_THROW((void)cfz_route(net, NodeId{7}, NodeId{0}), Error);
+}
+
+TEST(RouterEdgeCasesTest, IsolatedWavelengthlessLinks) {
+  // Links with empty Λ(e) carry nothing: routing must fail gracefully.
+  WdmNetwork net(3, 2, std::make_shared<UniformConversion>(0.1));
+  net.add_link(NodeId{0}, NodeId{1});  // no wavelengths
+  const LinkId e1 = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(e1, Wavelength{0}, 1.0);
+  const auto r = route_semilightpath(net, NodeId{0}, NodeId{2});
+  EXPECT_FALSE(r.found);
+  const auto oracle = state_dijkstra_route(net, NodeId{0}, NodeId{2});
+  EXPECT_FALSE(oracle.found);
+}
+
+TEST(RouterEdgeCasesTest, WavelengthMismatchWithoutConversionBlocks) {
+  // 0 -λ0-> 1 -λ1-> 2 with NoConversion: unreachable.
+  WdmNetwork net(3, 2, std::make_shared<NoConversion>());
+  const LinkId e0 = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e0, Wavelength{0}, 1.0);
+  const LinkId e1 = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(e1, Wavelength{1}, 1.0);
+  EXPECT_FALSE(route_semilightpath(net, NodeId{0}, NodeId{2}).found);
+  EXPECT_FALSE(cfz_route(net, NodeId{0}, NodeId{2}).found);
+  EXPECT_FALSE(state_dijkstra_route(net, NodeId{0}, NodeId{2}).found);
+  EXPECT_FALSE(brute_force_route(net, NodeId{0}, NodeId{2}).found);
+  // Enabling conversion at node 1 unblocks it.
+  WdmNetwork net2(3, 2, std::make_shared<UniformConversion>(0.5));
+  const LinkId f0 = net2.add_link(NodeId{0}, NodeId{1});
+  net2.set_wavelength(f0, Wavelength{0}, 1.0);
+  const LinkId f1 = net2.add_link(NodeId{1}, NodeId{2});
+  net2.set_wavelength(f1, Wavelength{1}, 1.0);
+  const auto r = route_semilightpath(net2, NodeId{0}, NodeId{2});
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.cost, 2.5);
+  ASSERT_EQ(r.switches.size(), 1u);
+  EXPECT_EQ(r.switches[0].node, NodeId{1});
+}
+
+TEST(RouterStatsTest, StatsPopulated) {
+  Rng rng(63);
+  const auto net = random_network(15, 30, 4, 2, ConvKind::kUniform, rng);
+  const auto r = route_semilightpath(net, NodeId{0}, NodeId{7});
+  EXPECT_GT(r.stats.aux_nodes, 0u);
+  EXPECT_GT(r.stats.aux_links, 0u);
+  EXPECT_GT(r.stats.search_pops, 0u);
+}
+
+}  // namespace
+}  // namespace lumen

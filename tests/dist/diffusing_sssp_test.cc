@@ -1,0 +1,111 @@
+#include "dist/diffusing_sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+TEST(DiffusingSsspTest, LineGraphExact) {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 2.0);
+  g.add_link(NodeId{2}, NodeId{3}, 3.0);
+  const auto r = diffusing_sssp(g, NodeId{0}, /*seed=*/1);
+  EXPECT_TRUE(r.detected);
+  EXPECT_DOUBLE_EQ(r.dist[3], 6.0);
+  EXPECT_EQ(r.basic_messages, 3u);
+  // Every basic message is acknowledged exactly once.
+  EXPECT_EQ(r.ack_messages, r.basic_messages);
+  // Detection cannot precede actual quiescence.
+  EXPECT_GE(r.detection_time, r.quiescence_time);
+}
+
+TEST(DiffusingSsspTest, MatchesDijkstraAcrossSchedules) {
+  Rng topo_rng(2);
+  Digraph g(40);
+  for (int i = 0; i < 220; ++i) {
+    const auto u = static_cast<std::uint32_t>(topo_rng.next_below(40));
+    const auto v = static_cast<std::uint32_t>(topo_rng.next_below(40));
+    if (u != v)
+      g.add_link(NodeId{u}, NodeId{v}, topo_rng.next_double_in(0.5, 4.0));
+  }
+  const auto reference = dijkstra(g, NodeId{0});
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto r = diffusing_sssp(g, NodeId{0}, seed);
+    EXPECT_TRUE(r.detected) << "seed " << seed;
+    EXPECT_EQ(r.ack_messages, r.basic_messages) << "seed " << seed;
+    for (std::uint32_t v = 0; v < 40; ++v) {
+      if (reference.dist[v] == kInfiniteCost) {
+        EXPECT_EQ(r.dist[v], kInfiniteCost) << "seed " << seed;
+      } else {
+        EXPECT_NEAR(r.dist[v], reference.dist[v], 1e-9)
+            << "seed " << seed << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(DiffusingSsspTest, IsolatedSourceTerminatesImmediately) {
+  Digraph g(3);
+  g.add_link(NodeId{1}, NodeId{2}, 1.0);
+  const auto r = diffusing_sssp(g, NodeId{0}, 1);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.basic_messages, 0u);
+  EXPECT_EQ(r.ack_messages, 0u);
+  EXPECT_DOUBLE_EQ(r.detection_time, 0.0);
+  EXPECT_EQ(r.dist[1], kInfiniteCost);
+}
+
+TEST(DiffusingSsspTest, ParentTreeConsistent) {
+  Rng rng(5);
+  const Topology topo = random_sparse_topology(30, 60, rng);
+  Digraph g = topo.to_digraph();
+  for (std::uint32_t e = 0; e < g.num_links(); ++e)
+    g.set_weight(LinkId{e}, rng.next_double_in(0.5, 2.0));
+  const auto r = diffusing_sssp(g, NodeId{0}, 7);
+  for (std::uint32_t v = 1; v < 30; ++v) {
+    ASSERT_NE(r.dist[v], kInfiniteCost);
+    const LinkId e = r.parent_link[v];
+    ASSERT_TRUE(e.valid());
+    EXPECT_EQ(g.head(e), NodeId{v});
+    EXPECT_NEAR(r.dist[g.tail(e).value()] + g.weight(e), r.dist[v], 1e-9);
+  }
+}
+
+TEST(DiffusingSsspTest, WideDelaySpreadStillDetects) {
+  Rng rng(6);
+  const Topology topo = ring_topology(15, false);
+  const Digraph g = topo.to_digraph();
+  const auto r = diffusing_sssp(g, NodeId{0}, 11, 0.01, 20.0);
+  EXPECT_TRUE(r.detected);
+  EXPECT_DOUBLE_EQ(r.dist[14], 14.0);
+  EXPECT_EQ(r.ack_messages, r.basic_messages);
+}
+
+TEST(DiffusingSsspTest, MessageOverheadIsExactlyTwofold) {
+  // The cost of self-detected termination: acks double the traffic, no
+  // more (every basic message triggers exactly one ack).
+  Rng rng(8);
+  const Topology topo = grid_topology(5, 5);
+  const Digraph g = topo.to_digraph();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto r = diffusing_sssp(g, NodeId{0}, seed);
+    EXPECT_EQ(r.ack_messages, r.basic_messages);
+    EXPECT_GT(r.basic_messages, 0u);
+  }
+}
+
+TEST(DiffusingSsspTest, Preconditions) {
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  EXPECT_THROW((void)diffusing_sssp(g, NodeId{5}, 1), Error);
+  EXPECT_THROW((void)diffusing_sssp(g, NodeId{0}, 1, 0.0, 1.0), Error);
+  EXPECT_THROW((void)diffusing_sssp(g, NodeId{0}, 1, 2.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace lumen

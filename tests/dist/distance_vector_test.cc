@@ -1,0 +1,121 @@
+#include "dist/distance_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+TEST(DistanceVectorTest, LineGraphExact) {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 2.0);
+  g.add_link(NodeId{2}, NodeId{3}, 4.0);
+  const auto r = distance_vector_apsp(g);
+  EXPECT_DOUBLE_EQ(r.dist[0][3], 7.0);
+  EXPECT_DOUBLE_EQ(r.dist[1][3], 6.0);
+  EXPECT_DOUBLE_EQ(r.dist[0][0], 0.0);
+  // Backward direction unreachable.
+  EXPECT_EQ(r.dist[3][0], kInfiniteCost);
+}
+
+TEST(DistanceVectorTest, MatchesDijkstraOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Rng rng(seed);
+    Digraph g(30);
+    for (int i = 0; i < 160; ++i) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(30));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(30));
+      if (u != v) g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(0.5, 4));
+    }
+    const auto dv = distance_vector_apsp(g);
+    for (std::uint32_t s = 0; s < 30; ++s) {
+      const auto tree = dijkstra(g, NodeId{s});
+      for (std::uint32_t t = 0; t < 30; ++t) {
+        if (tree.dist[t] == kInfiniteCost) {
+          EXPECT_EQ(dv.dist[s][t], kInfiniteCost) << s << "->" << t;
+        } else {
+          EXPECT_NEAR(dv.dist[s][t], tree.dist[t], 1e-9) << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceVectorTest, ForwardingTablesAreConsistent) {
+  Rng rng(7);
+  const Topology topo = random_sparse_topology(25, 50, rng);
+  Digraph g = topo.to_digraph();
+  for (std::uint32_t e = 0; e < g.num_links(); ++e)
+    g.set_weight(LinkId{e}, rng.next_double_in(0.5, 2.0));
+  const auto r = distance_vector_apsp(g);
+  for (std::uint32_t s = 0; s < 25; ++s) {
+    for (std::uint32_t t = 0; t < 25; ++t) {
+      if (s == t) {
+        EXPECT_FALSE(r.next_link[s][t].valid());
+        continue;
+      }
+      const LinkId e = r.next_link[s][t];
+      ASSERT_TRUE(e.valid()) << s << "->" << t;  // strongly connected
+      EXPECT_EQ(g.tail(e), NodeId{s});
+      // Bellman consistency: d(s,t) = w(e) + d(head(e), t).
+      EXPECT_NEAR(r.dist[s][t],
+                  g.weight(e) + r.dist[g.head(e).value()][t], 1e-9)
+          << s << "->" << t;
+    }
+  }
+}
+
+TEST(DistanceVectorTest, FollowingForwardingTablesReachesTarget) {
+  Rng rng(8);
+  const Topology topo = torus_topology(3, 4);
+  Digraph g = topo.to_digraph();
+  for (std::uint32_t e = 0; e < g.num_links(); ++e)
+    g.set_weight(LinkId{e}, rng.next_double_in(1.0, 2.0));
+  const auto r = distance_vector_apsp(g);
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    for (std::uint32_t t = 0; t < 12; ++t) {
+      NodeId at{s};
+      double total = 0.0;
+      int hops = 0;
+      while (at != NodeId{t} && hops <= 24) {
+        const LinkId e = r.next_link[at.value()][t];
+        ASSERT_TRUE(e.valid());
+        total += g.weight(e);
+        at = g.head(e);
+        ++hops;
+      }
+      EXPECT_EQ(at, NodeId{t});
+      EXPECT_NEAR(total, r.dist[s][t], 1e-9);
+    }
+  }
+}
+
+TEST(DistanceVectorTest, AccountingPopulated) {
+  Rng rng(9);
+  const Topology topo = ring_topology(10);
+  const Digraph g = topo.to_digraph();
+  const auto r = distance_vector_apsp(g);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_GE(r.entries, r.messages);  // every message carries >= 1 entry
+  // Rounds bounded by the hop diameter + constant.
+  EXPECT_LE(r.rounds, 10u);
+  // Entry volume is Θ(n·m)-ish on a ring: each of n destinations crosses
+  // each of 2n directed links a bounded number of times.
+  EXPECT_LE(r.entries, 4ULL * g.num_links() * g.num_nodes());
+}
+
+TEST(DistanceVectorTest, EmptyAndSingleton) {
+  const auto empty = distance_vector_apsp(Digraph{});
+  EXPECT_TRUE(empty.dist.empty());
+  const auto one = distance_vector_apsp(Digraph{1});
+  ASSERT_EQ(one.dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.dist[0][0], 0.0);
+  EXPECT_EQ(one.messages, 0u);
+}
+
+}  // namespace
+}  // namespace lumen

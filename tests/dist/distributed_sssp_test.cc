@@ -1,0 +1,94 @@
+#include "dist/distributed_sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+TEST(DistributedSsspTest, LineGraph) {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 2.0);
+  g.add_link(NodeId{2}, NodeId{3}, 3.0);
+  const auto r = distributed_sssp(g, NodeId{0});
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 6.0);
+  EXPECT_EQ(r.rounds, 3u);    // one wave down the line
+  EXPECT_EQ(r.messages, 3u);  // one message per link
+}
+
+TEST(DistributedSsspTest, UnreachableStaysInfinite) {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  const auto r = distributed_sssp(g, NodeId{0});
+  EXPECT_EQ(r.dist[2], kInfiniteCost);
+  EXPECT_EQ(r.parent_link[2], LinkId::invalid());
+}
+
+TEST(DistributedSsspTest, MatchesDijkstraOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    Rng rng(seed);
+    Digraph g(60);
+    for (int i = 0; i < 350; ++i) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(60));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(60));
+      if (u != v) g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(0, 5));
+    }
+    const auto dist_result = distributed_sssp(g, NodeId{0});
+    const auto reference = dijkstra(g, NodeId{0});
+    for (std::uint32_t v = 0; v < 60; ++v) {
+      if (reference.dist[v] == kInfiniteCost) {
+        EXPECT_EQ(dist_result.dist[v], kInfiniteCost);
+      } else {
+        EXPECT_NEAR(dist_result.dist[v], reference.dist[v], 1e-9)
+            << "seed " << seed << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(DistributedSsspTest, ParentLinksFormTree) {
+  Rng rng(9);
+  const auto topo = random_sparse_topology(40, 80, rng);
+  Digraph g = topo.to_digraph();
+  for (std::uint32_t e = 0; e < g.num_links(); ++e)
+    g.set_weight(LinkId{e}, rng.next_double_in(0.5, 2.0));
+  const auto r = distributed_sssp(g, NodeId{0});
+  for (std::uint32_t v = 1; v < 40; ++v) {
+    ASSERT_NE(r.dist[v], kInfiniteCost);  // strongly connected
+    const LinkId e = r.parent_link[v];
+    ASSERT_TRUE(e.valid());
+    EXPECT_EQ(g.head(e), NodeId{v});
+    EXPECT_NEAR(r.dist[g.tail(e).value()] + g.weight(e), r.dist[v], 1e-9);
+  }
+}
+
+TEST(DistributedSsspTest, RoundsBoundedByNodes) {
+  // With non-negative weights, the synchronous protocol settles within n
+  // waves (each round finalizes at least the next shortest-path layer).
+  Rng rng(10);
+  const auto topo = ring_topology(25, false);  // worst case: directed cycle
+  Digraph g = topo.to_digraph();
+  const auto r = distributed_sssp(g, NodeId{0});
+  EXPECT_LE(r.rounds, 25u);
+  EXPECT_DOUBLE_EQ(r.dist[24], 24.0);
+}
+
+TEST(DistributedSsspTest, MessageCountLinearInLinksForUnitWeights) {
+  // Unit weights: distances finalize in BFS order, so each link carries at
+  // most a small constant number of offers.
+  Rng rng(11);
+  const auto topo = random_sparse_topology(80, 160, rng);
+  const Digraph g = topo.to_digraph();
+  const auto r = distributed_sssp(g, NodeId{0});
+  EXPECT_LE(r.messages, 4ULL * g.num_links());
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,104 @@
+#include "dist/sync_network.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+Digraph triangle() {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 1.0);
+  g.add_link(NodeId{2}, NodeId{0}, 1.0);
+  return g;
+}
+
+TEST(SyncNetworkTest, NoTrafficNoRounds) {
+  const auto g = triangle();
+  SyncNetwork<int> net(g);
+  EXPECT_FALSE(net.advance());
+  EXPECT_EQ(net.rounds(), 0u);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(SyncNetworkTest, DeliveryNextRound) {
+  const auto g = triangle();
+  SyncNetwork<int> net(g);
+  net.send(LinkId{0}, 42);
+  // Not delivered until advance().
+  EXPECT_TRUE(net.inbox(NodeId{1}).empty());
+  ASSERT_TRUE(net.advance());
+  const auto inbox = net.inbox(NodeId{1});
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, 42);
+  EXPECT_EQ(inbox[0].link, LinkId{0});
+  EXPECT_EQ(net.rounds(), 1u);
+  EXPECT_EQ(net.total_messages(), 1u);
+}
+
+TEST(SyncNetworkTest, InboxClearedEachRound) {
+  const auto g = triangle();
+  SyncNetwork<int> net(g);
+  net.send(LinkId{0}, 1);
+  ASSERT_TRUE(net.advance());
+  net.send(LinkId{1}, 2);
+  ASSERT_TRUE(net.advance());
+  EXPECT_TRUE(net.inbox(NodeId{1}).empty());
+  ASSERT_EQ(net.inbox(NodeId{2}).size(), 1u);
+  EXPECT_EQ(net.inbox(NodeId{2})[0].payload, 2);
+}
+
+TEST(SyncNetworkTest, MultipleMessagesSameDestination) {
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);  // parallel
+  SyncNetwork<int> net(g);
+  net.send(LinkId{0}, 10);
+  net.send(LinkId{1}, 20);
+  ASSERT_TRUE(net.advance());
+  EXPECT_EQ(net.inbox(NodeId{1}).size(), 2u);
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(SyncNetworkTest, QuiescenceTerminates) {
+  const auto g = triangle();
+  SyncNetwork<int> net(g);
+  net.send(LinkId{0}, 1);
+  int rounds = 0;
+  while (net.advance()) {
+    ++rounds;
+    // Relay once around the triangle then stop.
+    for (std::uint32_t v = 0; v < 3; ++v) {
+      for (const auto& d : net.inbox(NodeId{v})) {
+        if (d.payload < 3) net.send(LinkId{v}, d.payload + 1);
+      }
+    }
+  }
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(SyncNetworkTest, InvalidLinkRejected) {
+  const auto g = triangle();
+  SyncNetwork<int> net(g);
+  EXPECT_THROW(net.send(LinkId{9}, 1), Error);
+  EXPECT_THROW((void)net.inbox(NodeId{5}), Error);
+}
+
+TEST(SyncNetworkTest, MoveOnlyishPayloadsCopyable) {
+  const auto g = triangle();
+  struct Payload {
+    double a;
+    std::uint32_t b;
+  };
+  SyncNetwork<Payload> net(g);
+  net.send(LinkId{2}, Payload{1.5, 7});
+  ASSERT_TRUE(net.advance());
+  ASSERT_EQ(net.inbox(NodeId{0}).size(), 1u);
+  EXPECT_DOUBLE_EQ(net.inbox(NodeId{0})[0].payload.a, 1.5);
+}
+
+}  // namespace
+}  // namespace lumen

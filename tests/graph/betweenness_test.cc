@@ -1,0 +1,141 @@
+#include "graph/betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+/// Bidirectional unit-weight graph from spans.
+Digraph from_spans(std::uint32_t n,
+                   std::initializer_list<std::pair<std::uint32_t,
+                                                   std::uint32_t>> spans) {
+  Digraph g(n);
+  for (const auto& [u, v] : spans) {
+    g.add_link(NodeId{u}, NodeId{v}, 1.0);
+    g.add_link(NodeId{v}, NodeId{u}, 1.0);
+  }
+  return g;
+}
+
+TEST(BetweennessTest, StarCenterDominates) {
+  // Star: center 0, leaves 1..4.  All leaf-to-leaf shortest paths pass
+  // the center: 4*3 = 12 ordered pairs.
+  const auto g = from_spans(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto c = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 12.0);
+  for (int leaf = 1; leaf <= 4; ++leaf) EXPECT_DOUBLE_EQ(c[leaf], 0.0);
+}
+
+TEST(BetweennessTest, PathGraphKnownValues) {
+  // Path 0-1-2-3: node 1 lies on paths {0↔2, 0↔3} = 4 ordered;
+  // node 2 symmetric.
+  const auto g = from_spans(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto c = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 4.0);
+  EXPECT_DOUBLE_EQ(c[2], 4.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+TEST(BetweennessTest, CycleIsUniform) {
+  const auto g = from_spans(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const auto c = betweenness_centrality(g);
+  for (std::uint32_t v = 1; v < 5; ++v) EXPECT_NEAR(c[v], c[0], 1e-9);
+  EXPECT_GT(c[0], 0.0);
+}
+
+TEST(BetweennessTest, EqualPathSplitCredit) {
+  // Bidirectional diamond 0-{1,2}-3, unit weights.  0→3 has two shortest
+  // paths (via 1 or 2: 0.5 credit each per direction), and symmetrically
+  // 1→2 has two (via 0 or 3).  Every node ends up with exactly 1.0.
+  const auto g = from_spans(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto c = betweenness_centrality(g);
+  for (int v = 0; v < 4; ++v) EXPECT_NEAR(c[v], 1.0, 1e-9) << v;
+}
+
+TEST(BetweennessTest, WeightsShiftPaths) {
+  // Same diamond but the 0-1-3 route is cheaper: node 1 takes all credit.
+  Digraph g(4);
+  auto both = [&g](std::uint32_t u, std::uint32_t v, double w) {
+    g.add_link(NodeId{u}, NodeId{v}, w);
+    g.add_link(NodeId{v}, NodeId{u}, w);
+  };
+  both(0, 1, 1.0);
+  both(1, 3, 1.0);
+  both(0, 2, 2.0);
+  both(2, 3, 2.0);
+  const auto c = betweenness_centrality(g);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);  // on 0→3 and 3→0
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(BetweennessTest, DisconnectedContributesNothing) {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{2}, NodeId{3}, 1.0);
+  const auto c = betweenness_centrality(g);
+  for (const double x : c) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(BetweennessTest, EmptyGraph) {
+  EXPECT_TRUE(betweenness_centrality(Digraph{}).empty());
+}
+
+TEST(BetweennessTest, MatchesBruteForceOnRandomGraphs) {
+  // Brute-force: enumerate all shortest paths by DP over Dijkstra dists.
+  for (const std::uint64_t seed : {1ULL, 2ULL}) {
+    Rng rng(seed);
+    Digraph g(12);
+    for (int i = 0; i < 40; ++i) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(12));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(12));
+      // Integer-ish weights avoid FP tie ambiguity between the two
+      // implementations.
+      if (u != v)
+        g.add_link(NodeId{u}, NodeId{v},
+                   static_cast<double>(1 + rng.next_below(4)));
+    }
+    const auto fast = betweenness_centrality(g);
+
+    std::vector<double> slow(12, 0.0);
+    for (std::uint32_t s = 0; s < 12; ++s) {
+      const auto tree = dijkstra(g, NodeId{s});
+      // σ via DP in distance order.
+      std::vector<std::pair<double, std::uint32_t>> by_dist;
+      std::vector<double> sigma(12, 0.0);
+      sigma[s] = 1.0;
+      for (std::uint32_t v = 0; v < 12; ++v)
+        if (tree.dist[v] < kInfiniteCost) by_dist.push_back({tree.dist[v], v});
+      std::sort(by_dist.begin(), by_dist.end());
+      for (const auto& [d, v] : by_dist) {
+        if (v == s) continue;
+        for (const LinkId e : g.in_links(NodeId{v})) {
+          const std::uint32_t u = g.tail(e).value();
+          if (tree.dist[u] + g.weight(e) == tree.dist[v]) sigma[v] += sigma[u];
+        }
+      }
+      // δ back-accumulation.
+      std::vector<double> delta(12, 0.0);
+      for (auto it = by_dist.rbegin(); it != by_dist.rend(); ++it) {
+        const std::uint32_t w = it->second;
+        for (const LinkId e : g.in_links(NodeId{w})) {
+          const std::uint32_t u = g.tail(e).value();
+          if (tree.dist[u] + g.weight(e) == tree.dist[w] && sigma[w] > 0)
+            delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+        }
+        if (w != s) slow[w] += delta[w];
+      }
+    }
+    for (std::uint32_t v = 0; v < 12; ++v)
+      EXPECT_NEAR(fast[v], slow[v], 1e-6) << "seed " << seed << " v " << v;
+  }
+}
+
+}  // namespace
+}  // namespace lumen

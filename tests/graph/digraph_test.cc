@@ -1,0 +1,104 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_links(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(DigraphTest, AddNodesAndLinks) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  const LinkId e = g.add_link(NodeId{0}, NodeId{1}, 2.5);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.tail(e), NodeId{0});
+  EXPECT_EQ(g.head(e), NodeId{1});
+  EXPECT_DOUBLE_EQ(g.weight(e), 2.5);
+}
+
+TEST(DigraphTest, AddNodeGrows) {
+  Digraph g(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, NodeId{1});
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(DigraphTest, AdjacencyLists) {
+  Digraph g(4);
+  const LinkId a = g.add_link(NodeId{0}, NodeId{1}, 1);
+  const LinkId b = g.add_link(NodeId{0}, NodeId{2}, 1);
+  const LinkId c = g.add_link(NodeId{2}, NodeId{0}, 1);
+  ASSERT_EQ(g.out_links(NodeId{0}).size(), 2u);
+  EXPECT_EQ(g.out_links(NodeId{0})[0], a);
+  EXPECT_EQ(g.out_links(NodeId{0})[1], b);
+  ASSERT_EQ(g.in_links(NodeId{0}).size(), 1u);
+  EXPECT_EQ(g.in_links(NodeId{0})[0], c);
+  EXPECT_EQ(g.out_degree(NodeId{0}), 2u);
+  EXPECT_EQ(g.in_degree(NodeId{0}), 1u);
+  EXPECT_EQ(g.out_degree(NodeId{3}), 0u);
+}
+
+TEST(DigraphTest, ParallelLinksAllowed) {
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{0}, NodeId{1}, 2);
+  EXPECT_EQ(g.num_links(), 2u);
+  EXPECT_EQ(g.out_degree(NodeId{0}), 2u);
+}
+
+TEST(DigraphTest, SelfLoopAllowed) {
+  Digraph g(1);
+  const LinkId e = g.add_link(NodeId{0}, NodeId{0}, 1);
+  EXPECT_EQ(g.tail(e), g.head(e));
+  EXPECT_EQ(g.in_degree(NodeId{0}), 1u);
+  EXPECT_EQ(g.out_degree(NodeId{0}), 1u);
+}
+
+TEST(DigraphTest, MaxDegree) {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{0}, NodeId{2}, 1);
+  g.add_link(NodeId{0}, NodeId{3}, 1);
+  g.add_link(NodeId{1}, NodeId{0}, 1);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(DigraphTest, SetWeight) {
+  Digraph g(2);
+  const LinkId e = g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.set_weight(e, 9.0);
+  EXPECT_DOUBLE_EQ(g.weight(e), 9.0);
+}
+
+TEST(DigraphTest, InfiniteWeightAllowed) {
+  Digraph g(2);
+  const LinkId e = g.add_link(NodeId{0}, NodeId{1}, kInfiniteCost);
+  EXPECT_EQ(g.weight(e), kInfiniteCost);
+}
+
+TEST(DigraphTest, NegativeWeightRejected) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_link(NodeId{0}, NodeId{1}, -1.0), Error);
+  const LinkId e = g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  EXPECT_THROW(g.set_weight(e, -0.5), Error);
+}
+
+TEST(DigraphTest, OutOfRangeRejected) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_link(NodeId{0}, NodeId{2}, 1.0), Error);
+  EXPECT_THROW(g.add_link(NodeId{5}, NodeId{0}, 1.0), Error);
+  EXPECT_THROW((void)g.tail(LinkId{0}), Error);
+  EXPECT_THROW((void)g.out_links(NodeId{2}), Error);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,196 @@
+// Typed property tests: every heap implementation must behave like a
+// reference priority queue under random interleavings of push / pop_min /
+// decrease_key.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/binary_heap.h"
+#include "graph/fib_heap.h"
+#include "graph/pairing_heap.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+template <class Heap>
+class HeapTest : public ::testing::Test {};
+
+using HeapTypes =
+    ::testing::Types<FibHeap, BinaryHeap, QuaternaryHeap, PairingHeap>;
+TYPED_TEST_SUITE(HeapTest, HeapTypes);
+
+TYPED_TEST(HeapTest, StartsEmpty) {
+  TypeParam heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+TYPED_TEST(HeapTest, SingleElement) {
+  TypeParam heap;
+  heap.push(3.5, 42);
+  EXPECT_FALSE(heap.empty());
+  EXPECT_EQ(heap.size(), 1u);
+  EXPECT_DOUBLE_EQ(heap.min_key(), 3.5);
+  EXPECT_EQ(heap.min_item(), 42u);
+  const auto [key, item] = heap.pop_min();
+  EXPECT_DOUBLE_EQ(key, 3.5);
+  EXPECT_EQ(item, 42u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TYPED_TEST(HeapTest, PopsInSortedOrder) {
+  TypeParam heap;
+  Rng rng(123);
+  std::vector<double> keys;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const double k = rng.next_double_in(0, 100);
+    keys.push_back(k);
+    heap.push(k, i);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const double expected : keys) {
+    EXPECT_DOUBLE_EQ(heap.pop_min().first, expected);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TYPED_TEST(HeapTest, DuplicateKeys) {
+  TypeParam heap;
+  for (std::uint32_t i = 0; i < 10; ++i) heap.push(1.0, i);
+  std::vector<bool> seen(10, false);
+  for (int i = 0; i < 10; ++i) {
+    const auto [key, item] = heap.pop_min();
+    EXPECT_DOUBLE_EQ(key, 1.0);
+    EXPECT_FALSE(seen[item]);
+    seen[item] = true;
+  }
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyMovesToFront) {
+  TypeParam heap;
+  heap.push(10.0, 1);
+  const auto h = heap.push(20.0, 2);
+  heap.push(15.0, 3);
+  heap.decrease_key(h, 5.0);
+  EXPECT_EQ(heap.pop_min().second, 2u);
+  EXPECT_EQ(heap.pop_min().second, 1u);
+  EXPECT_EQ(heap.pop_min().second, 3u);
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyToSameValueIsNoop) {
+  TypeParam heap;
+  const auto h = heap.push(10.0, 1);
+  heap.decrease_key(h, 10.0);
+  EXPECT_DOUBLE_EQ(heap.min_key(), 10.0);
+}
+
+TYPED_TEST(HeapTest, IncreaseKeyRejected) {
+  TypeParam heap;
+  const auto h = heap.push(10.0, 1);
+  EXPECT_THROW(heap.decrease_key(h, 11.0), Error);
+}
+
+TYPED_TEST(HeapTest, PopOnEmptyRejected) {
+  TypeParam heap;
+  EXPECT_THROW((void)heap.pop_min(), Error);
+  EXPECT_THROW((void)heap.min_key(), Error);
+}
+
+TYPED_TEST(HeapTest, ClearThenReuse) {
+  TypeParam heap;
+  for (std::uint32_t i = 0; i < 20; ++i) heap.push(i, i);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  heap.push(2.0, 7);
+  heap.push(1.0, 8);
+  EXPECT_EQ(heap.pop_min().second, 8u);
+  EXPECT_EQ(heap.pop_min().second, 7u);
+}
+
+// Randomized differential test against a reference multimap, including
+// decrease_key on random live handles.
+TYPED_TEST(HeapTest, RandomOperationsMatchReference) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    TypeParam heap;
+    Rng rng(seed);
+    struct Live {
+      typename TypeParam::Handle handle;
+      double key;
+    };
+    std::map<std::uint32_t, Live> live;  // item -> handle/key
+    std::uint32_t next_item = 0;
+
+    for (int op = 0; op < 4000; ++op) {
+      const auto dice = rng.next_below(10);
+      if (dice < 4 || live.empty()) {
+        const double key = rng.next_double_in(0, 1000);
+        const auto h = heap.push(key, next_item);
+        live.emplace(next_item, Live{h, key});
+        ++next_item;
+      } else if (dice < 7) {
+        // decrease_key on a random live item.
+        auto it = live.begin();
+        std::advance(it, rng.next_below(live.size()));
+        const double new_key = it->second.key * rng.next_double();
+        heap.decrease_key(it->second.handle, new_key);
+        it->second.key = new_key;
+      } else {
+        const auto [key, item] = heap.pop_min();
+        const auto it = live.find(item);
+        ASSERT_NE(it, live.end());
+        EXPECT_DOUBLE_EQ(key, it->second.key);
+        // The popped key must be the minimum over live keys.
+        for (const auto& [other_item, entry] : live) {
+          EXPECT_LE(key, entry.key) << "item " << other_item;
+        }
+        live.erase(it);
+      }
+      EXPECT_EQ(heap.size(), live.size());
+    }
+
+    // Drain and confirm global sortedness.
+    double prev = -1.0;
+    while (!heap.empty()) {
+      const auto [key, item] = heap.pop_min();
+      EXPECT_GE(key, prev);
+      prev = key;
+      EXPECT_EQ(live.erase(item), 1u);
+    }
+    EXPECT_TRUE(live.empty());
+  }
+}
+
+TYPED_TEST(HeapTest, ManyDecreaseKeysOnSameHandle) {
+  TypeParam heap;
+  heap.push(50.0, 0);
+  const auto h = heap.push(100.0, 1);
+  for (int i = 0; i < 50; ++i) {
+    heap.decrease_key(h, 100.0 - 2 * i);
+  }
+  EXPECT_EQ(heap.pop_min().second, 1u);  // ended at key 2.0 < 50
+}
+
+TYPED_TEST(HeapTest, LargeSequentialWorkload) {
+  TypeParam heap;
+  // Dijkstra-like access pattern: monotone pops with interleaved pushes.
+  Rng rng(99);
+  std::vector<typename TypeParam::Handle> handles;
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    handles.push_back(heap.push(1000.0 + i, i));
+  double last = 0.0;
+  std::uint32_t pops = 0;
+  while (!heap.empty() && pops < 5000) {
+    const auto [key, item] = heap.pop_min();
+    EXPECT_GE(key, last);
+    last = key;
+    ++pops;
+    if (pops % 3 == 0) heap.push(key + rng.next_double_in(0, 10), item);
+  }
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,179 @@
+#include "graph/suurballe.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+void expect_valid_pair(const Digraph& g, const DisjointPair& pair, NodeId s,
+                       NodeId t) {
+  std::set<std::uint32_t> used;
+  double total = 0.0;
+  for (const auto* path : {&pair.first, &pair.second}) {
+    ASSERT_FALSE(path->empty());
+    EXPECT_EQ(g.tail(path->front()), s);
+    EXPECT_EQ(g.head(path->back()), t);
+    for (std::size_t i = 0; i < path->size(); ++i) {
+      if (i + 1 < path->size()) {
+        EXPECT_EQ(g.head((*path)[i]), g.tail((*path)[i + 1]));
+      }
+      EXPECT_TRUE(used.insert((*path)[i].value()).second)
+          << "link reused across the pair";
+      total += g.weight((*path)[i]);
+    }
+  }
+  EXPECT_NEAR(total, pair.total_cost, 1e-9);
+}
+
+/// Exhaustive optimum: enumerate all simple paths, try all pairs.
+double brute_force_best_pair(const Digraph& g, NodeId s, NodeId t) {
+  std::vector<std::vector<LinkId>> all_paths;
+  std::vector<LinkId> stack;
+  std::vector<char> visited(g.num_nodes(), 0);
+  auto dfs = [&](auto&& self, NodeId at) -> void {
+    if (at == t) {
+      all_paths.push_back(stack);
+      return;
+    }
+    visited[at.value()] = 1;
+    for (const LinkId e : g.out_links(at)) {
+      if (g.weight(e) == kInfiniteCost) continue;
+      if (visited[g.head(e).value()]) continue;
+      stack.push_back(e);
+      self(self, g.head(e));
+      stack.pop_back();
+    }
+    visited[at.value()] = 0;
+  };
+  dfs(dfs, s);
+
+  double best = kInfiniteCost;
+  for (std::size_t i = 0; i < all_paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < all_paths.size(); ++j) {
+      std::set<std::uint32_t> links;
+      for (const LinkId e : all_paths[i]) links.insert(e.value());
+      bool disjoint = true;
+      for (const LinkId e : all_paths[j]) {
+        if (links.contains(e.value())) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      double total = 0.0;
+      for (const LinkId e : all_paths[i]) total += g.weight(e);
+      for (const LinkId e : all_paths[j]) total += g.weight(e);
+      best = std::min(best, total);
+    }
+  }
+  return best;
+}
+
+TEST(SuurballeTest, SimpleDiamond) {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{1}, NodeId{3}, 1);
+  g.add_link(NodeId{0}, NodeId{2}, 2);
+  g.add_link(NodeId{2}, NodeId{3}, 2);
+  const auto pair = suurballe_disjoint_pair(g, NodeId{0}, NodeId{3});
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_pair(g, *pair, NodeId{0}, NodeId{3});
+  EXPECT_DOUBLE_EQ(pair->total_cost, 6.0);
+}
+
+TEST(SuurballeTest, ClassicTrapTopology) {
+  // The shortest single path uses links both alternatives need; the
+  // optimal PAIR abandons it.  0→1(1) 1→2(0.1) 2→3(1): cheapest path.
+  // Alternatives: 0→2(3), 1→3(3).
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 0.1);
+  g.add_link(NodeId{2}, NodeId{3}, 1.0);
+  g.add_link(NodeId{0}, NodeId{2}, 3.0);
+  g.add_link(NodeId{1}, NodeId{3}, 3.0);
+  const auto pair = suurballe_disjoint_pair(g, NodeId{0}, NodeId{3});
+  ASSERT_TRUE(pair.has_value());
+  expect_valid_pair(g, *pair, NodeId{0}, NodeId{3});
+  // Optimal pair: {0-1-3 (4.0), 0-2-3 (4.0)} = 8.0 — the 2.1 path is gone.
+  EXPECT_NEAR(pair->total_cost, 8.0, 1e-9);
+}
+
+TEST(SuurballeTest, NoSecondPath) {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{1}, NodeId{2}, 1);
+  EXPECT_EQ(suurballe_disjoint_pair(g, NodeId{0}, NodeId{2}), std::nullopt);
+}
+
+TEST(SuurballeTest, UnreachableTarget) {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  EXPECT_EQ(suurballe_disjoint_pair(g, NodeId{0}, NodeId{2}), std::nullopt);
+}
+
+TEST(SuurballeTest, ParallelLinksArePairs) {
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{0}, NodeId{1}, 5);
+  const auto pair = suurballe_disjoint_pair(g, NodeId{0}, NodeId{1});
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_DOUBLE_EQ(pair->total_cost, 6.0);
+}
+
+TEST(SuurballeTest, MatchesBruteForceOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL}) {
+    Rng rng(seed);
+    Digraph g(8);
+    for (int i = 0; i < 20; ++i) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(8));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(8));
+      if (u != v)
+        g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(0.5, 4.0));
+    }
+    const auto pair = suurballe_disjoint_pair(g, NodeId{0}, NodeId{7});
+    const double best = brute_force_best_pair(g, NodeId{0}, NodeId{7});
+    if (best == kInfiniteCost) {
+      // Brute force only enumerates node-simple paths; Suurballe pairs are
+      // link-disjoint but may revisit nodes, so Suurballe can find a pair
+      // brute force misses — but not vice versa.
+      if (pair.has_value()) {
+        expect_valid_pair(g, *pair, NodeId{0}, NodeId{7});
+      }
+      continue;
+    }
+    ASSERT_TRUE(pair.has_value()) << "seed " << seed;
+    expect_valid_pair(g, *pair, NodeId{0}, NodeId{7});
+    EXPECT_LE(pair->total_cost, best + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SuurballeTest, TotalAtLeastTwiceShortestPath) {
+  Rng rng(9);
+  Digraph g(20);
+  for (int i = 0; i < 80; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(20));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(20));
+    if (u != v) g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(1, 3));
+  }
+  const auto tree = dijkstra(g, NodeId{0});
+  const auto pair = suurballe_disjoint_pair(g, NodeId{0}, NodeId{11});
+  if (pair.has_value() && tree.reached(NodeId{11})) {
+    EXPECT_GE(pair->total_cost + 1e-9, 2 * tree.dist[11]);
+  }
+}
+
+TEST(SuurballeTest, Preconditions) {
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  EXPECT_THROW((void)suurballe_disjoint_pair(g, NodeId{0}, NodeId{0}), Error);
+  EXPECT_THROW((void)suurballe_disjoint_pair(g, NodeId{5}, NodeId{1}), Error);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,169 @@
+#include "graph/yen_ksp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+/// The textbook Yen example graph (6 nodes).
+Digraph yen_example() {
+  Digraph g(6);  // C=0 D=1 E=2 F=3 G=4 H=5
+  g.add_link(NodeId{0}, NodeId{1}, 3);  // C->D
+  g.add_link(NodeId{0}, NodeId{2}, 2);  // C->E
+  g.add_link(NodeId{1}, NodeId{3}, 4);  // D->F
+  g.add_link(NodeId{2}, NodeId{1}, 1);  // E->D
+  g.add_link(NodeId{2}, NodeId{3}, 2);  // E->F
+  g.add_link(NodeId{2}, NodeId{4}, 3);  // E->G
+  g.add_link(NodeId{3}, NodeId{4}, 2);  // F->G
+  g.add_link(NodeId{3}, NodeId{5}, 1);  // F->H
+  g.add_link(NodeId{4}, NodeId{5}, 2);  // G->H
+  return g;
+}
+
+TEST(YenTest, TextbookExample) {
+  const auto g = yen_example();
+  const auto paths = yen_k_shortest_paths(g, NodeId{0}, NodeId{5}, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 5.0);  // C-E-F-H
+  EXPECT_DOUBLE_EQ(paths[1].cost, 7.0);  // C-E-G-H
+  EXPECT_DOUBLE_EQ(paths[2].cost, 8.0);  // C-D-F-H or C-E-D-F-H
+}
+
+TEST(YenTest, FirstPathIsDijkstraOptimum) {
+  Rng rng(1);
+  Digraph g(40);
+  for (int i = 0; i < 250; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(40));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(40));
+    if (u != v) g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(0.5, 4));
+  }
+  const auto tree = dijkstra(g, NodeId{0}, NodeId{39});
+  const auto paths = yen_k_shortest_paths(g, NodeId{0}, NodeId{39}, 1);
+  if (!tree.reached(NodeId{39})) {
+    EXPECT_TRUE(paths.empty());
+  } else {
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_NEAR(paths[0].cost, tree.dist[39], 1e-9);
+  }
+}
+
+TEST(YenTest, PathsSortedDistinctAndValid) {
+  Rng rng(2);
+  Digraph g(25);
+  for (int i = 0; i < 150; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(25));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(25));
+    if (u != v) g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(1, 3));
+  }
+  const auto paths = yen_k_shortest_paths(g, NodeId{0}, NodeId{24}, 12);
+  std::set<std::vector<LinkId>> seen;
+  double prev_cost = 0.0;
+  for (const auto& p : paths) {
+    // Sorted by cost.
+    EXPECT_GE(p.cost + 1e-12, prev_cost);
+    prev_cost = p.cost;
+    // Distinct.
+    EXPECT_TRUE(seen.insert(p.links).second);
+    // Connected s -> t walk with matching cost.
+    ASSERT_FALSE(p.links.empty());
+    EXPECT_EQ(g.tail(p.links.front()), NodeId{0});
+    EXPECT_EQ(g.head(p.links.back()), NodeId{24});
+    double cost = 0.0;
+    std::set<std::uint32_t> nodes{0};
+    bool loopless = true;
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+      cost += g.weight(p.links[i]);
+      if (i + 1 < p.links.size()) {
+        EXPECT_EQ(g.head(p.links[i]), g.tail(p.links[i + 1]));
+      }
+      loopless &= nodes.insert(g.head(p.links[i]).value()).second;
+    }
+    EXPECT_NEAR(cost, p.cost, 1e-9);
+    EXPECT_TRUE(loopless);
+  }
+}
+
+TEST(YenTest, ExhaustsSmallGraphs) {
+  // Diamond: exactly two loopless paths 0->3.
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{1}, NodeId{3}, 1);
+  g.add_link(NodeId{0}, NodeId{2}, 2);
+  g.add_link(NodeId{2}, NodeId{3}, 2);
+  const auto paths = yen_k_shortest_paths(g, NodeId{0}, NodeId{3}, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 4.0);
+}
+
+TEST(YenTest, ParallelLinksAreDistinctPaths) {
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  g.add_link(NodeId{0}, NodeId{1}, 2);
+  g.add_link(NodeId{0}, NodeId{1}, 3);
+  const auto paths = yen_k_shortest_paths(g, NodeId{0}, NodeId{1}, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 1.0);
+  EXPECT_DOUBLE_EQ(paths[2].cost, 3.0);
+}
+
+TEST(YenTest, UnreachableTargetEmpty) {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  EXPECT_TRUE(yen_k_shortest_paths(g, NodeId{0}, NodeId{2}, 4).empty());
+}
+
+TEST(YenTest, Preconditions) {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1);
+  EXPECT_THROW((void)yen_k_shortest_paths(g, NodeId{0}, NodeId{0}, 2), Error);
+  EXPECT_THROW((void)yen_k_shortest_paths(g, NodeId{0}, NodeId{1}, 0), Error);
+  EXPECT_THROW((void)yen_k_shortest_paths(g, NodeId{9}, NodeId{1}, 1), Error);
+}
+
+TEST(YenTest, MatchesExhaustiveEnumerationOnTinyGraphs) {
+  // Enumerate every loopless path by DFS and compare the sorted prefix.
+  for (const std::uint64_t seed : {5ULL, 6ULL, 7ULL, 8ULL}) {
+    Rng rng(seed);
+    Digraph g(7);
+    for (int i = 0; i < 16; ++i) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(7));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(7));
+      if (u != v) g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(1, 5));
+    }
+    // DFS enumeration.
+    std::vector<double> all_costs;
+    std::vector<char> visited(7, 0);
+    std::vector<LinkId> stack;
+    auto dfs = [&](auto&& self, NodeId at, double cost) -> void {
+      if (at == NodeId{6}) {
+        all_costs.push_back(cost);
+        return;
+      }
+      visited[at.value()] = 1;
+      for (const LinkId e : g.out_links(at)) {
+        const NodeId v = g.head(e);
+        if (visited[v.value()]) continue;
+        self(self, v, cost + g.weight(e));
+      }
+      visited[at.value()] = 0;
+    };
+    dfs(dfs, NodeId{0}, 0.0);
+    std::sort(all_costs.begin(), all_costs.end());
+
+    const auto paths = yen_k_shortest_paths(g, NodeId{0}, NodeId{6}, 1000);
+    ASSERT_EQ(paths.size(), all_costs.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < paths.size(); ++i)
+      EXPECT_NEAR(paths[i].cost, all_costs[i], 1e-9)
+          << "seed " << seed << " rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lumen

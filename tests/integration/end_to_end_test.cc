@@ -1,0 +1,165 @@
+// End-to-end scenarios across modules: realistic topologies, occupancy
+// workloads, centralized + distributed routing, all-pairs consistency.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/all_pairs.h"
+#include "core/cfz.h"
+#include "core/liang_shen.h"
+#include "core/state_dijkstra.h"
+#include "dist/dist_router.h"
+#include "graph/traversal.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+TEST(EndToEndTest, NsfnetWithOccupancyWorkload) {
+  Rng rng(1001);
+  const Topology topo = nsfnet_topology();
+  const Availability avail =
+      occupancy_availability(topo, 8, 40, CostSpec::distance(10.0), rng);
+  const auto net = assemble_network(
+      topo, 8, avail, std::make_shared<UniformConversion>(0.25));
+
+  std::uint32_t found = 0, demands = 0;
+  Rng pick(1002);
+  for (const auto& [s, t] : random_demands(14, 30, pick)) {
+    ++demands;
+    const auto ls = route_semilightpath(net, s, t);
+    const auto oracle = state_dijkstra_route(net, s, t);
+    ASSERT_EQ(ls.found, oracle.found);
+    if (!ls.found) continue;
+    ++found;
+    EXPECT_NEAR(ls.cost, oracle.cost, 1e-9);
+    EXPECT_TRUE(ls.path.is_valid(net));
+    // Distributed agrees too.
+    const auto dist = distributed_route_semilightpath(net, s, t);
+    ASSERT_TRUE(dist.found);
+    EXPECT_NEAR(dist.cost, ls.cost, 1e-9);
+  }
+  // NSFNET is well connected: most demands should be routable even with
+  // 40 pre-routed interferers on 8 wavelengths.
+  EXPECT_GT(found, demands / 2);
+}
+
+TEST(EndToEndTest, SemilightpathBeatsLightpathUnderContention) {
+  // The paper's motivation: when wavelength continuity cannot be
+  // satisfied, conversion rescues connectivity.  Count blocked demands
+  // under both routing modes on a congested network.
+  Rng rng(1003);
+  const Topology topo = grid_topology(5, 5);
+  const Availability avail =
+      occupancy_availability(topo, 6, 80, CostSpec::unit(), rng);
+  const auto net = assemble_network(
+      topo, 6, avail, std::make_shared<UniformConversion>(0.1));
+
+  std::uint32_t light_blocked = 0, semi_blocked = 0;
+  Rng pick(1004);
+  for (const auto& [s, t] : random_demands(25, 40, pick)) {
+    const auto semi = route_semilightpath(net, s, t);
+    const auto light = route_lightpath(net, s, t);
+    if (!semi.found) ++semi_blocked;
+    if (!light.found) ++light_blocked;
+    if (semi.found && light.found) {
+      EXPECT_LE(semi.cost, light.cost + 1e-9);
+    }
+    // A lightpath is a semilightpath: light.found implies semi.found.
+    if (light.found) {
+      EXPECT_TRUE(semi.found);
+    }
+  }
+  EXPECT_LE(semi_blocked, light_blocked);
+}
+
+TEST(EndToEndTest, TorusAllPairsConsistency) {
+  Rng rng(1005);
+  const Topology topo = torus_topology(3, 4);
+  const Availability avail =
+      uniform_availability(topo, 6, 2, 4, CostSpec::uniform(1.0, 2.0), rng);
+  const auto net = assemble_network(
+      topo, 6, avail,
+      std::make_shared<RangeLimitedConversion>(2, 0.3, 0.1));
+
+  AllPairsRouter router(net);
+  const auto matrix = router.cost_matrix();
+  const auto dist = distributed_all_pairs(net);
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    for (std::uint32_t t = 0; t < 12; ++t) {
+      if (s == t) continue;
+      if (matrix[s][t] == kInfiniteCost) {
+        EXPECT_EQ(dist.cost[s][t], kInfiniteCost);
+      } else {
+        EXPECT_NEAR(matrix[s][t], dist.cost[s][t], 1e-9) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(EndToEndTest, SparseConvertersOnWaxman) {
+  // Sparse wavelength conversion (converters at few nodes) on a Waxman
+  // WAN; routers must agree and paths must only convert at converters.
+  Rng rng(1006);
+  const Topology topo = waxman_topology(40, 0.4, 0.2, rng);
+  const Availability avail =
+      uniform_availability(topo, 8, 2, 4, CostSpec::distance(5.0), rng);
+  std::vector<NodeId> converters;
+  for (std::uint32_t v = 0; v < 40; v += 5) converters.push_back(NodeId{v});
+  auto conv = std::make_shared<SparseConversion>(
+      converters, std::make_shared<UniformConversion>(0.2));
+  const auto net = assemble_network(topo, 8, avail, conv);
+
+  Rng pick(1007);
+  for (const auto& [s, t] : random_demands(40, 20, pick)) {
+    const auto ls = route_semilightpath(net, s, t);
+    const auto oracle = state_dijkstra_route(net, s, t);
+    ASSERT_EQ(ls.found, oracle.found);
+    if (!ls.found) continue;
+    EXPECT_NEAR(ls.cost, oracle.cost, 1e-9);
+    for (const auto& sw : ls.switches) {
+      EXPECT_TRUE(conv->is_converter(sw.node))
+          << "conversion at non-converter node " << sw.node.value();
+    }
+  }
+}
+
+TEST(EndToEndTest, HubTrafficOnRing) {
+  // Unidirectional ring: exactly one route exists per pair; verify costs
+  // add up around the ring.
+  Rng rng(1008);
+  const Topology topo = ring_topology(10, false);
+  const Availability avail = full_availability(topo, 3, CostSpec::unit(), rng);
+  const auto net =
+      assemble_network(topo, 3, avail, std::make_shared<NoConversion>());
+  for (std::uint32_t t = 1; t < 10; ++t) {
+    const auto r = route_semilightpath(net, NodeId{0}, NodeId{t});
+    ASSERT_TRUE(r.found);
+    EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(t));
+    EXPECT_EQ(r.path.length(), t);
+    EXPECT_TRUE(r.path.is_lightpath());
+  }
+}
+
+TEST(EndToEndTest, CfzAndLiangShenAgreeOnRealisticNetwork) {
+  Rng rng(1009);
+  const Topology topo = nsfnet_topology();
+  const Availability avail =
+      uniform_availability(topo, 6, 2, 5, CostSpec::distance(8.0), rng);
+  const auto net = assemble_network(
+      topo, 6, avail, std::make_shared<UniformConversion>(0.15));
+  for (std::uint32_t s = 0; s < 14; s += 2) {
+    for (std::uint32_t t = 1; t < 14; t += 3) {
+      if (s == t) continue;
+      const auto ls = route_semilightpath(net, NodeId{s}, NodeId{t});
+      const auto cfz = cfz_route(net, NodeId{s}, NodeId{t});
+      ASSERT_EQ(ls.found, cfz.found) << s << "->" << t;
+      if (ls.found) {
+        EXPECT_NEAR(ls.cost, cfz.cost, 1e-9) << s << "->" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,162 @@
+// Failure injection: span cuts, restoration, repair.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rwa/session_manager.h"
+#include "tests/test_util.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+/// Bidirectional ring of 6 nodes, 2 wavelengths, full availability.
+SessionManager ring_manager(RoutingPolicy policy) {
+  Rng rng(17);
+  const Topology topo = ring_topology(6);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  return SessionManager(
+      assemble_network(topo, 2, avail,
+                       std::make_shared<UniformConversion>(0.1)),
+      policy);
+}
+
+TEST(FailureTest, CutSpanReroutesAroundRing) {
+  auto manager = ring_manager(RoutingPolicy::kSemilightpath);
+  const auto id = manager.open(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(manager.find(*id)->path.length(), 2u);  // 0-1-2 the short way
+
+  // Cut span 1-2: the session must reroute the long way (0-5-4-3-2).
+  const auto report = manager.fail_span(NodeId{1}, NodeId{2});
+  EXPECT_EQ(report.links_failed, 2u);
+  EXPECT_EQ(report.affected, 1u);
+  EXPECT_EQ(report.rerouted, 1u);
+  EXPECT_EQ(report.dropped, 0u);
+  const SessionRecord* record = manager.find(*id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->active);
+  EXPECT_EQ(record->path.length(), 4u);
+  // The new route avoids the cut span entirely.  (Note: an active path is
+  // never "available" in the residual network — its wavelengths are
+  // reserved — so we check link health, not availability.)
+  for (const Hop& hop : record->path.hops())
+    EXPECT_FALSE(manager.is_failed(hop.link));
+  EXPECT_EQ(manager.stats().rerouted, 1u);
+}
+
+TEST(FailureTest, UnaffectedSessionsUntouched) {
+  auto manager = ring_manager(RoutingPolicy::kSemilightpath);
+  const auto far = manager.open(NodeId{3}, NodeId{5});
+  ASSERT_TRUE(far.has_value());
+  const auto before = manager.find(*far)->path;
+  const auto report = manager.fail_span(NodeId{0}, NodeId{1});
+  EXPECT_EQ(report.affected, 0u);
+  EXPECT_EQ(manager.find(*far)->path, before);
+}
+
+TEST(FailureTest, DropWhenNoAlternateRoute) {
+  // Line topology: cutting the only span in the middle drops the session.
+  Rng rng(18);
+  const Topology topo = line_topology(4);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  SessionManager manager(
+      assemble_network(topo, 2, avail, std::make_shared<NoConversion>()),
+      RoutingPolicy::kSemilightpath);
+  const auto id = manager.open(NodeId{0}, NodeId{3});
+  ASSERT_TRUE(id.has_value());
+  const auto report = manager.fail_span(NodeId{1}, NodeId{2});
+  EXPECT_EQ(report.affected, 1u);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_EQ(report.rerouted, 0u);
+  EXPECT_FALSE(manager.find(*id)->active);
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_EQ(manager.stats().dropped, 1u);
+  // Resources of the dropped session on healthy links are back.
+  EXPECT_DOUBLE_EQ(manager.wavelength_utilization(), 0.0);
+}
+
+TEST(FailureTest, FailedLinksRejectNewSessions) {
+  Rng rng(19);
+  const Topology topo = line_topology(3);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  SessionManager manager(
+      assemble_network(topo, 2, avail, std::make_shared<NoConversion>()),
+      RoutingPolicy::kSemilightpath);
+  (void)manager.fail_span(NodeId{0}, NodeId{1});
+  EXPECT_FALSE(manager.open(NodeId{0}, NodeId{2}).has_value());
+  // But the unaffected half still works.
+  EXPECT_TRUE(manager.open(NodeId{1}, NodeId{2}).has_value());
+}
+
+TEST(FailureTest, RepairRestoresCapacity) {
+  Rng rng(20);
+  const Topology topo = line_topology(3);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  SessionManager manager(
+      assemble_network(topo, 2, avail, std::make_shared<NoConversion>()),
+      RoutingPolicy::kSemilightpath);
+  (void)manager.fail_span(NodeId{0}, NodeId{1});
+  EXPECT_FALSE(manager.open(NodeId{0}, NodeId{2}).has_value());
+  manager.repair_span(NodeId{0}, NodeId{1});
+  EXPECT_TRUE(manager.open(NodeId{0}, NodeId{2}).has_value());
+}
+
+TEST(FailureTest, RepairRespectsActiveReservations) {
+  auto manager = ring_manager(RoutingPolicy::kSemilightpath);
+  // Fill span 0-1 in the 0->1 direction on both wavelengths.
+  const auto a = manager.open(NodeId{0}, NodeId{1});
+  const auto b = manager.open(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Both sessions sit on span 0-1 (direct hop is the optimum both times).
+  ASSERT_EQ(manager.find(*a)->path.length(), 1u);
+  ASSERT_EQ(manager.find(*b)->path.length(), 1u);
+
+  (void)manager.fail_span(NodeId{2}, NodeId{3});  // unrelated span
+  manager.repair_span(NodeId{2}, NodeId{3});
+  // The repair of an unrelated span must not resurrect 0->1 capacity.
+  const auto c = manager.open(NodeId{0}, NodeId{1});
+  if (c.has_value()) {
+    // If carried, it must have gone the long way round.
+    EXPECT_GT(manager.find(*c)->path.length(), 1u);
+  }
+}
+
+TEST(FailureTest, IdempotentFailAndRepair) {
+  auto manager = ring_manager(RoutingPolicy::kSemilightpath);
+  const auto first = manager.fail_span(NodeId{0}, NodeId{1});
+  EXPECT_EQ(first.links_failed, 2u);
+  const auto second = manager.fail_span(NodeId{0}, NodeId{1});
+  EXPECT_EQ(second.links_failed, 0u);  // already down
+  manager.repair_span(NodeId{0}, NodeId{1});
+  manager.repair_span(NodeId{0}, NodeId{1});  // no-op
+  EXPECT_TRUE(manager.open(NodeId{0}, NodeId{1}).has_value());
+}
+
+TEST(FailureTest, IsFailedAccessor) {
+  auto manager = ring_manager(RoutingPolicy::kSemilightpath);
+  (void)manager.fail_span(NodeId{0}, NodeId{1});
+  std::uint32_t failed = 0;
+  for (std::uint32_t e = 0; e < manager.residual().num_links(); ++e)
+    failed += manager.is_failed(LinkId{e});
+  EXPECT_EQ(failed, 2u);
+  EXPECT_THROW((void)manager.is_failed(LinkId{999}), Error);
+}
+
+TEST(FailureTest, MultiFailureCascade) {
+  // Cut spans one by one around the ring; a 0->3 session survives until
+  // the last route dies.
+  auto manager = ring_manager(RoutingPolicy::kSemilightpath);
+  const auto id = manager.open(NodeId{0}, NodeId{3});
+  ASSERT_TRUE(id.has_value());
+  (void)manager.fail_span(NodeId{1}, NodeId{2});   // kills clockwise
+  EXPECT_TRUE(manager.find(*id)->active);
+  (void)manager.fail_span(NodeId{4}, NodeId{5});   // kills counterclockwise
+  EXPECT_FALSE(manager.find(*id)->active);
+  EXPECT_EQ(manager.stats().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace lumen

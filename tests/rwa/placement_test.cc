@@ -1,0 +1,121 @@
+#include "rwa/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+/// Star network: center node 0, leaves 1..5; every leaf-to-leaf route
+/// transits the center.
+WdmNetwork star_network() {
+  WdmNetwork net(6, 2, std::make_shared<NoConversion>());
+  for (std::uint32_t leaf = 1; leaf < 6; ++leaf) {
+    // Wavelengths chosen so leaf-to-leaf needs conversion at the center:
+    // into the center on λ0, out of it on λ1.
+    const LinkId in = net.add_link(NodeId{leaf}, NodeId{0});
+    net.set_wavelength(in, Wavelength{0}, 1.0);
+    const LinkId out = net.add_link(NodeId{0}, NodeId{leaf});
+    net.set_wavelength(out, Wavelength{1}, 1.0);
+  }
+  return net;
+}
+
+TEST(PlacementTest, StarCenterRankedFirst) {
+  const auto net = star_network();
+  for (const auto strategy :
+       {PlacementStrategy::kBetweenness, PlacementStrategy::kDegree}) {
+    const auto ranked = rank_converter_sites(net, strategy);
+    ASSERT_EQ(ranked.size(), 6u);
+    EXPECT_EQ(ranked.front(), NodeId{0});
+  }
+}
+
+TEST(PlacementTest, OneConverterAtTheCenterUnblocksTheStar) {
+  auto base = star_network();
+  // Without converters leaf-to-leaf is infeasible (λ0 in, λ1 out).
+  EXPECT_FALSE(route_semilightpath(base, NodeId{1}, NodeId{2}).found);
+
+  const auto conv = place_converters(
+      base, /*budget=*/1, std::make_shared<UniformConversion>(0.5));
+  WdmNetwork upgraded(6, 2, conv);
+  for (std::uint32_t leaf = 1; leaf < 6; ++leaf) {
+    const LinkId in = upgraded.add_link(NodeId{leaf}, NodeId{0});
+    upgraded.set_wavelength(in, Wavelength{0}, 1.0);
+    const LinkId out = upgraded.add_link(NodeId{0}, NodeId{leaf});
+    upgraded.set_wavelength(out, Wavelength{1}, 1.0);
+  }
+  const auto r = route_semilightpath(upgraded, NodeId{1}, NodeId{2});
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.cost, 2.5);
+  ASSERT_EQ(r.switches.size(), 1u);
+  EXPECT_EQ(r.switches[0].node, NodeId{0});
+}
+
+TEST(PlacementTest, RankingIsDeterministicAndComplete) {
+  Rng rng(81);
+  const Topology topo = waxman_topology(30, 0.4, 0.2, rng);
+  const Availability avail =
+      full_availability(topo, 4, CostSpec::unit(), rng);
+  const auto net =
+      assemble_network(topo, 4, avail, std::make_shared<NoConversion>());
+  const auto a = rank_converter_sites(net, PlacementStrategy::kBetweenness);
+  const auto b = rank_converter_sites(net, PlacementStrategy::kBetweenness);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 30u);
+  std::vector<char> seen(30, 0);
+  for (const NodeId v : a) {
+    EXPECT_FALSE(seen[v.value()]);
+    seen[v.value()] = 1;
+  }
+}
+
+TEST(PlacementTest, BudgetClampsToNetworkSize) {
+  const auto net = star_network();
+  const auto all = place_converters(
+      net, /*budget=*/100, std::make_shared<UniformConversion>(0.1));
+  // Everywhere a converter: behaves like the inner model off-diagonal.
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(all->cost(NodeId{v}, Wavelength{0}, Wavelength{1}), 0.1);
+  }
+  const auto none = place_converters(
+      net, /*budget=*/0, std::make_shared<UniformConversion>(0.1));
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    EXPECT_FALSE(none->allowed(NodeId{v}, Wavelength{0}, Wavelength{1}));
+  }
+}
+
+TEST(PlacementTest, NullInnerRejected) {
+  const auto net = star_network();
+  EXPECT_THROW((void)place_converters(net, 1, nullptr), Error);
+}
+
+TEST(PlacementTest, BetweennessBeatsRandomOnTransitTopology) {
+  // Dumbbell: two cliques joined by a bridge path.  Bridge nodes carry
+  // all inter-clique traffic; betweenness targets them, a bad placement
+  // (leaf nodes) does not.
+  Rng rng(82);
+  const Topology topo = hierarchical_topology(4, 4, 0, rng);
+  const Availability avail =
+      uniform_availability(topo, 6, 2, 3, CostSpec::unit(), rng);
+  const auto probe =
+      assemble_network(topo, 6, avail, std::make_shared<NoConversion>());
+  const auto ranked =
+      rank_converter_sites(probe, PlacementStrategy::kBetweenness);
+  // The four backbone hubs (ids 0..3) must dominate the ranking: check
+  // at least 3 of the top 4 are hubs.
+  std::uint32_t hubs_in_top4 = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (ranked[i].value() < 4) ++hubs_in_top4;
+  }
+  EXPECT_GE(hubs_in_top4, 3u);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,159 @@
+#include "rwa/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/liang_shen.h"
+#include "tests/test_util.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+/// A tiny chain 0 -> 1 -> 2 with two wavelengths everywhere.
+WdmNetwork chain_net(double conversion_cost = 0.25) {
+  WdmNetwork net(3, 2, std::make_shared<UniformConversion>(conversion_cost));
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{0}, 1.0);
+    net.set_wavelength(e, Wavelength{1}, 1.0);
+  }
+  return net;
+}
+
+TEST(SessionManagerTest, OpenReservesResources) {
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  EXPECT_DOUBLE_EQ(manager.wavelength_utilization(), 0.0);
+  const auto id = manager.open(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  EXPECT_DOUBLE_EQ(manager.wavelength_utilization(), 0.5);  // 2 of 4 pairs
+  const SessionRecord* record = manager.find(*id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->active);
+  EXPECT_EQ(record->path.length(), 2u);
+  // The reserved wavelengths are gone from the residual network.
+  for (const Hop& hop : record->path.hops())
+    EXPECT_FALSE(manager.residual().is_available(hop.link, hop.wavelength));
+}
+
+TEST(SessionManagerTest, CapacityExhaustionBlocksThenReleaseRestores) {
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  const auto first = manager.open(NodeId{0}, NodeId{2});
+  const auto second = manager.open(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // Both wavelengths on both links are now taken.
+  const auto third = manager.open(NodeId{0}, NodeId{2});
+  EXPECT_FALSE(third.has_value());
+  EXPECT_EQ(manager.stats().blocked, 1u);
+
+  ASSERT_TRUE(manager.close(*first));
+  const auto fourth = manager.open(NodeId{0}, NodeId{2});
+  EXPECT_TRUE(fourth.has_value());
+  EXPECT_EQ(manager.stats().carried, 3u);
+  EXPECT_EQ(manager.stats().offered, 4u);
+}
+
+TEST(SessionManagerTest, ReleaseRestoresOriginalCosts) {
+  WdmNetwork net(2, 1, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 3.75);
+  SessionManager manager(std::move(net), RoutingPolicy::kSemilightpath);
+  const auto id = manager.open(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(manager.residual().is_available(LinkId{0}, Wavelength{0}));
+  ASSERT_TRUE(manager.close(*id));
+  EXPECT_DOUBLE_EQ(manager.residual().link_cost(LinkId{0}, Wavelength{0}),
+                   3.75);
+  EXPECT_DOUBLE_EQ(manager.wavelength_utilization(), 0.0);
+}
+
+TEST(SessionManagerTest, DoubleCloseAndUnknownIdRejected) {
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  const auto id = manager.open(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(manager.close(*id));
+  EXPECT_FALSE(manager.close(*id));            // already closed
+  EXPECT_FALSE(manager.close(SessionId{99}));  // unknown
+  EXPECT_EQ(manager.stats().released, 1u);
+}
+
+TEST(SessionManagerTest, PolicyLadderBlockingOrder) {
+  // Force a wavelength-continuity conflict: 0->1 only λ0, 1->2 only λ1.
+  auto make_conflict_net = [] {
+    WdmNetwork net(3, 2, std::make_shared<UniformConversion>(0.1));
+    const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+    net.set_wavelength(a, Wavelength{0}, 1.0);
+    const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+    net.set_wavelength(b, Wavelength{1}, 1.0);
+    return net;
+  };
+  SessionManager ff(make_conflict_net(), RoutingPolicy::kLightpathFirstFit);
+  SessionManager best(make_conflict_net(), RoutingPolicy::kLightpathBestCost);
+  SessionManager semi(make_conflict_net(), RoutingPolicy::kSemilightpath);
+  EXPECT_FALSE(ff.open(NodeId{0}, NodeId{2}).has_value());
+  EXPECT_FALSE(best.open(NodeId{0}, NodeId{2}).has_value());
+  EXPECT_TRUE(semi.open(NodeId{0}, NodeId{2}).has_value());
+}
+
+TEST(SessionManagerTest, FirstFitPicksSmallestCommonWavelength) {
+  WdmNetwork net(3, 3, std::make_shared<NoConversion>());
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  // λ0 only on a, λ1 and λ2 on both.
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  for (const LinkId e : {a, b}) {
+    net.set_wavelength(e, Wavelength{1}, 1.0);
+    net.set_wavelength(e, Wavelength{2}, 1.0);
+  }
+  SessionManager manager(std::move(net), RoutingPolicy::kLightpathFirstFit);
+  const auto id = manager.open(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(id.has_value());
+  for (const Hop& hop : manager.find(*id)->path.hops())
+    EXPECT_EQ(hop.wavelength, Wavelength{1});  // smallest common
+}
+
+TEST(SessionManagerTest, SemilightpathPolicyBeatsLightpathOnBlocking) {
+  // Under heavy sequential load on a ring, the conversion-capable policy
+  // must carry at least as many sessions.
+  Rng rng(71);
+  const Topology topo = ring_topology(8);
+  const Availability avail =
+      uniform_availability(topo, 4, 2, 3, CostSpec::unit(), rng);
+  const auto base = assemble_network(
+      topo, 4, avail, std::make_shared<UniformConversion>(0.1));
+
+  SessionManager light(base, RoutingPolicy::kLightpathBestCost);
+  SessionManager semi(base, RoutingPolicy::kSemilightpath);
+  Rng demand_rng(72);
+  for (const auto& [s, t] : random_demands(8, 40, demand_rng)) {
+    (void)light.open(s, t);
+    (void)semi.open(s, t);
+  }
+  EXPECT_GE(semi.stats().carried, light.stats().carried);
+}
+
+TEST(SessionManagerTest, StatsAccounting) {
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  (void)manager.open(NodeId{0}, NodeId{2});
+  (void)manager.open(NodeId{0}, NodeId{2});
+  (void)manager.open(NodeId{0}, NodeId{2});  // blocked
+  const SessionStats& stats = manager.stats();
+  EXPECT_EQ(stats.offered, 3u);
+  EXPECT_EQ(stats.carried, 2u);
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_NEAR(stats.blocking_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_GT(stats.mean_carried_cost(), 0.0);
+}
+
+TEST(SessionManagerTest, Preconditions) {
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  EXPECT_THROW((void)manager.open(NodeId{0}, NodeId{0}), Error);
+  EXPECT_THROW((void)manager.open(NodeId{0}, NodeId{9}), Error);
+}
+
+}  // namespace
+}  // namespace lumen

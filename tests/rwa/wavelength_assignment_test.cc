@@ -1,0 +1,150 @@
+#include "rwa/wavelength_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topologies.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+RoutedPath path_of(std::initializer_list<std::uint32_t> link_ids) {
+  RoutedPath p;
+  for (const std::uint32_t e : link_ids) p.links.push_back(LinkId{e});
+  return p;
+}
+
+TEST(ConflictGraphTest, SharedLinkMeansEdge) {
+  const std::vector<RoutedPath> paths = {
+      path_of({0, 1}), path_of({1, 2}), path_of({3})};
+  const auto conflicts = build_conflict_graph(paths);
+  ASSERT_EQ(conflicts.size(), 3u);
+  EXPECT_EQ(conflicts[0], (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(conflicts[1], (std::vector<std::uint32_t>{0}));
+  EXPECT_TRUE(conflicts[2].empty());
+}
+
+TEST(ConflictGraphTest, EmptyAndSingleton) {
+  EXPECT_TRUE(build_conflict_graph({}).empty());
+  const auto single = build_conflict_graph({path_of({0, 1, 2})});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_TRUE(single[0].empty());
+}
+
+TEST(AssignmentTest, DisjointPathsShareOneWavelength) {
+  const std::vector<RoutedPath> paths = {
+      path_of({0}), path_of({1}), path_of({2})};
+  for (const auto h :
+       {AssignmentHeuristic::kFirstFit, AssignmentHeuristic::kDsatur}) {
+    const auto result = assign_wavelengths(paths, h);
+    EXPECT_EQ(result.wavelengths_used, 1u);
+    EXPECT_TRUE(assignment_is_valid(paths, result.wavelength));
+  }
+}
+
+TEST(AssignmentTest, FullyConflictingNeedOnePerPath) {
+  // All paths cross link 7.
+  const std::vector<RoutedPath> paths = {
+      path_of({7}), path_of({7, 1}), path_of({2, 7}), path_of({7, 3})};
+  for (const auto h :
+       {AssignmentHeuristic::kFirstFit, AssignmentHeuristic::kDsatur}) {
+    const auto result = assign_wavelengths(paths, h);
+    EXPECT_EQ(result.wavelengths_used, 4u);
+    EXPECT_TRUE(assignment_is_valid(paths, result.wavelength));
+  }
+  EXPECT_EQ(congestion_lower_bound(paths), 4u);
+}
+
+TEST(AssignmentTest, ValidityPredicateDetectsClashes) {
+  const std::vector<RoutedPath> paths = {path_of({0, 1}), path_of({1, 2})};
+  EXPECT_FALSE(
+      assignment_is_valid(paths, {Wavelength{0}, Wavelength{0}}));
+  EXPECT_TRUE(assignment_is_valid(paths, {Wavelength{0}, Wavelength{1}}));
+  EXPECT_THROW((void)assignment_is_valid(paths, {Wavelength{0}}), Error);
+}
+
+TEST(AssignmentTest, CongestionBoundsOptimum) {
+  // Random path sets on a ring: congestion <= used; DSATUR <= first-fit
+  // is not guaranteed in general, but both must be >= the bound.
+  Rng rng(31);
+  const Topology topo = ring_topology(10);
+  const Digraph g = topo.to_digraph();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<RoutedPath> paths;
+    const auto count = 4 + rng.next_below(12);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // A random clockwise arc: consecutive even link ids on the ring.
+      const auto start = static_cast<std::uint32_t>(rng.next_below(10));
+      const auto length =
+          1 + static_cast<std::uint32_t>(rng.next_below(6));
+      RoutedPath p;
+      NodeId at{start};
+      for (std::uint32_t hop = 0; hop < length; ++hop) {
+        // Find the clockwise link at -> at+1.
+        for (const LinkId e : g.out_links(at)) {
+          if (g.head(e) == NodeId{(at.value() + 1) % 10}) {
+            p.links.push_back(e);
+            break;
+          }
+        }
+        at = NodeId{(at.value() + 1) % 10};
+      }
+      paths.push_back(std::move(p));
+    }
+    const auto bound = congestion_lower_bound(paths);
+    for (const auto h :
+         {AssignmentHeuristic::kFirstFit, AssignmentHeuristic::kDsatur}) {
+      const auto result = assign_wavelengths(paths, h);
+      EXPECT_TRUE(assignment_is_valid(paths, result.wavelength));
+      EXPECT_GE(result.wavelengths_used, bound);
+      // Greedy coloring never exceeds max-degree+1 of the conflict graph.
+      const auto conflicts = build_conflict_graph(paths);
+      std::size_t max_degree = 0;
+      for (const auto& adj : conflicts)
+        max_degree = std::max(max_degree, adj.size());
+      EXPECT_LE(result.wavelengths_used, max_degree + 1);
+    }
+  }
+}
+
+TEST(AssignmentTest, IntervalPathsFirstFitInOrderIsOptimal) {
+  // Paths on a line are intervals; interval graphs are perfect (chromatic
+  // number = clique number = link congestion), and first-fit coloring in
+  // left-endpoint order is exactly optimal on them.
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<RoutedPath> paths;
+    const auto count = 5 + rng.next_below(15);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto start = static_cast<std::uint32_t>(rng.next_below(12));
+      const auto end =
+          start + 1 + static_cast<std::uint32_t>(rng.next_below(12 - start));
+      RoutedPath p;
+      for (std::uint32_t e = start; e < end; ++e) p.links.push_back(LinkId{e});
+      paths.push_back(std::move(p));
+    }
+    std::sort(paths.begin(), paths.end(),
+              [](const RoutedPath& a, const RoutedPath& b) {
+                return a.links.front() < b.links.front();
+              });
+    const auto result =
+        assign_wavelengths(paths, AssignmentHeuristic::kFirstFit);
+    EXPECT_TRUE(assignment_is_valid(paths, result.wavelength));
+    EXPECT_EQ(result.wavelengths_used, congestion_lower_bound(paths))
+        << "trial " << trial;
+    // DSATUR stays valid and within the greedy ceiling too.
+    const auto dsatur = assign_wavelengths(paths, AssignmentHeuristic::kDsatur);
+    EXPECT_TRUE(assignment_is_valid(paths, dsatur.wavelength));
+    EXPECT_GE(dsatur.wavelengths_used, congestion_lower_bound(paths));
+  }
+}
+
+TEST(AssignmentTest, EmptyInput) {
+  const auto result = assign_wavelengths({});
+  EXPECT_TRUE(result.wavelength.empty());
+  EXPECT_EQ(result.wavelengths_used, 0u);
+  EXPECT_EQ(congestion_lower_bound({}), 0u);
+}
+
+}  // namespace
+}  // namespace lumen

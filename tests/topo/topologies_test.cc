@@ -1,0 +1,216 @@
+#include "topo/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+/// No duplicate directed links (simple digraph check).
+bool is_simple(const Topology& topo) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const auto& [u, v] : topo.links) {
+    if (u == v) return false;
+    if (!seen.insert({u.value(), v.value()}).second) return false;
+  }
+  return true;
+}
+
+TEST(TopologyTest, LineShape) {
+  const auto topo = line_topology(5);
+  EXPECT_EQ(topo.num_nodes, 5u);
+  EXPECT_EQ(topo.num_links(), 8u);  // 4 spans * 2 directions
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+}
+
+TEST(TopologyTest, RingShapes) {
+  const auto bi = ring_topology(6, true);
+  EXPECT_EQ(bi.num_links(), 12u);
+  EXPECT_TRUE(is_strongly_connected(bi.to_digraph()));
+  const auto uni = ring_topology(6, false);
+  EXPECT_EQ(uni.num_links(), 6u);
+  EXPECT_TRUE(is_strongly_connected(uni.to_digraph()));
+}
+
+TEST(TopologyTest, RingPreconditions) {
+  EXPECT_THROW((void)ring_topology(1, true), Error);
+  EXPECT_THROW((void)ring_topology(2, false), Error);
+  EXPECT_NO_THROW((void)ring_topology(2, true));
+}
+
+TEST(TopologyTest, GridShape) {
+  const auto topo = grid_topology(3, 4);
+  EXPECT_EQ(topo.num_nodes, 12u);
+  // Spans: 3*3 horizontal + 2*4 vertical = 17; *2 directions.
+  EXPECT_EQ(topo.num_links(), 34u);
+  EXPECT_EQ(topo.coords.size(), 12u);
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+}
+
+TEST(TopologyTest, GridDegeneratesToLine) {
+  const auto topo = grid_topology(1, 4);
+  EXPECT_EQ(topo.num_links(), 6u);
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+}
+
+TEST(TopologyTest, TorusShape) {
+  const auto topo = torus_topology(3, 3);
+  EXPECT_EQ(topo.num_nodes, 9u);
+  EXPECT_EQ(topo.num_links(), 36u);  // 2 spans per node * 2 directions
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  // Every node has exactly in-degree 4 and out-degree 4.
+  const auto g = topo.to_digraph();
+  for (std::uint32_t v = 0; v < 9; ++v) {
+    EXPECT_EQ(g.out_degree(NodeId{v}), 4u);
+    EXPECT_EQ(g.in_degree(NodeId{v}), 4u);
+  }
+}
+
+TEST(TopologyTest, NsfnetShape) {
+  const auto topo = nsfnet_topology();
+  EXPECT_EQ(topo.num_nodes, 14u);
+  EXPECT_EQ(topo.num_links(), 42u);  // 21 spans
+  EXPECT_EQ(topo.coords.size(), 14u);
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+}
+
+TEST(TopologyTest, ArpanetShape) {
+  const auto topo = arpanet_topology();
+  EXPECT_EQ(topo.num_nodes, 20u);
+  EXPECT_EQ(topo.num_links(), 64u);  // 32 spans
+  EXPECT_EQ(topo.coords.size(), 20u);
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+  // Every node participates in at least two spans (survivable backbone).
+  const auto g = topo.to_digraph();
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    EXPECT_GE(g.out_degree(NodeId{v}), 2u) << v;
+    EXPECT_EQ(g.out_degree(NodeId{v}), g.in_degree(NodeId{v})) << v;
+  }
+}
+
+TEST(TopologyTest, RandomSparseShapeAndConnectivity) {
+  Rng rng(3);
+  const auto topo = random_sparse_topology(50, 100, rng);
+  EXPECT_EQ(topo.num_nodes, 50u);
+  EXPECT_EQ(topo.num_links(), 150u);  // cycle + extras
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+}
+
+TEST(TopologyTest, RandomSparseDeterministic) {
+  Rng a(7), b(7);
+  const auto ta = random_sparse_topology(30, 60, a);
+  const auto tb = random_sparse_topology(30, 60, b);
+  EXPECT_EQ(ta.links, tb.links);
+}
+
+TEST(TopologyTest, RandomSparseTooManyLinksRejected) {
+  Rng rng(1);
+  EXPECT_THROW((void)random_sparse_topology(3, 100, rng), Error);
+}
+
+TEST(TopologyTest, WaxmanConnectivityAndCoords) {
+  Rng rng(11);
+  const auto topo = waxman_topology(60, 0.4, 0.14, rng);
+  EXPECT_EQ(topo.num_nodes, 60u);
+  EXPECT_EQ(topo.coords.size(), 60u);
+  EXPECT_GE(topo.num_links(), 120u);  // at least the bidirectional cycle
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+  for (const auto& [x, y] : topo.coords) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(TopologyTest, WaxmanDensityGrowsWithAlpha) {
+  Rng a(5), b(5);
+  const auto sparse = waxman_topology(80, 0.1, 0.1, a);
+  const auto dense = waxman_topology(80, 0.9, 0.5, b);
+  EXPECT_LT(sparse.num_links(), dense.num_links());
+}
+
+TEST(TopologyTest, RandomRegularDegrees) {
+  Rng rng(13);
+  const auto topo = random_regular_topology(40, 4, rng);
+  EXPECT_EQ(topo.num_links(), 160u);
+  const auto g = topo.to_digraph();
+  for (std::uint32_t v = 0; v < 40; ++v)
+    EXPECT_EQ(g.out_degree(NodeId{v}), 4u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_TRUE(is_simple(topo));
+}
+
+TEST(TopologyTest, RandomRegularPreconditions) {
+  Rng rng(1);
+  EXPECT_THROW((void)random_regular_topology(4, 4, rng), Error);
+  EXPECT_THROW((void)random_regular_topology(4, 0, rng), Error);
+}
+
+TEST(TopologyTest, HierarchicalShape) {
+  Rng rng(21);
+  const auto topo = hierarchical_topology(4, 5, 2, rng);
+  EXPECT_EQ(topo.num_nodes, 4u * 6u);
+  EXPECT_EQ(topo.coords.size(), topo.num_nodes);
+  EXPECT_TRUE(is_strongly_connected(topo.to_digraph()));
+  EXPECT_TRUE(is_simple(topo));
+  // Spans: backbone ring 4 + chords 2 + per hub (metro ring 5 + 2 homing)
+  // = 4 + 2 + 4*7 = 34 spans = 68 directed links.
+  EXPECT_EQ(topo.num_links(), 68u);
+}
+
+TEST(TopologyTest, HierarchicalSurvivesSingleSpanCut) {
+  // Dual homing: removing any one span leaves the graph connected.
+  Rng rng(22);
+  const auto topo = hierarchical_topology(3, 4, 0, rng);
+  const auto g = topo.to_digraph();
+  ASSERT_TRUE(is_strongly_connected(g));
+  // Remove each span (pair of opposite links) in turn and re-check.
+  for (std::size_t i = 0; i < topo.links.size(); i += 2) {
+    Digraph cut(topo.num_nodes);
+    for (std::size_t j = 0; j < topo.links.size(); ++j) {
+      if (j == i || j == i + 1) continue;
+      cut.add_link(topo.links[j].first, topo.links[j].second, 1.0);
+    }
+    EXPECT_TRUE(is_strongly_connected(cut)) << "span " << i / 2;
+  }
+}
+
+TEST(TopologyTest, HierarchicalPreconditions) {
+  Rng rng(23);
+  EXPECT_THROW((void)hierarchical_topology(2, 4, 0, rng), Error);
+  EXPECT_THROW((void)hierarchical_topology(3, 1, 0, rng), Error);
+}
+
+TEST(TopologyTest, LinkDistance) {
+  const auto topo = grid_topology(2, 2);
+  // Unit square corners; adjacent corners are distance 1 apart.
+  for (std::size_t i = 0; i < topo.links.size(); ++i)
+    EXPECT_NEAR(topo.link_distance(i), 1.0, 1e-12);
+  const auto no_coords = ring_topology(4);
+  EXPECT_DOUBLE_EQ(no_coords.link_distance(0), 1.0);
+  EXPECT_THROW((void)no_coords.link_distance(99), Error);
+}
+
+TEST(TopologyTest, ToDigraphPreservesEndpoints) {
+  const auto topo = nsfnet_topology();
+  const auto g = topo.to_digraph();
+  ASSERT_EQ(g.num_links(), topo.num_links());
+  for (std::uint32_t i = 0; i < topo.num_links(); ++i) {
+    EXPECT_EQ(g.tail(LinkId{i}), topo.links[i].first);
+    EXPECT_EQ(g.head(LinkId{i}), topo.links[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace lumen

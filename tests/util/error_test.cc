@@ -1,0 +1,69 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lumen {
+namespace {
+
+TEST(ErrorTest, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(LUMEN_REQUIRE(1 + 1 == 2));
+  EXPECT_NO_THROW(LUMEN_REQUIRE_MSG(true, "never shown"));
+  EXPECT_NO_THROW(LUMEN_ASSERT(42 > 0));
+}
+
+TEST(ErrorTest, RequireThrowsWithExpression) {
+  try {
+    LUMEN_REQUIRE(1 == 2);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequireMsgIncludesMessage) {
+  try {
+    LUMEN_REQUIRE_MSG(false, "wavelength outside universe");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("wavelength outside universe"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, AssertMarksInvariant) {
+  try {
+    LUMEN_ASSERT(false);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, IsARuntimeError) {
+  // Callers may catch std::runtime_error or std::exception generically.
+  try {
+    LUMEN_REQUIRE(false);
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL();
+}
+
+TEST(ErrorTest, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto touch = [&calls]() {
+    ++calls;
+    return true;
+  };
+  LUMEN_REQUIRE(touch());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace lumen

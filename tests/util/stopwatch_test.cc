@@ -1,0 +1,44 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace lumen {
+namespace {
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch clock;
+  const double first = clock.seconds();
+  EXPECT_GE(first, 0.0);
+  const double second = clock.seconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = clock.millis();
+  EXPECT_GE(elapsed, 18.0);   // scheduler may round down slightly
+  EXPECT_LT(elapsed, 2000.0); // but not wildly up
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  clock.reset();
+  EXPECT_LT(clock.millis(), 10.0);
+}
+
+TEST(StopwatchTest, UnitsConsistent) {
+  Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = clock.seconds();
+  const double ms = clock.millis();
+  // millis read slightly later, so ms/1000 >= s.
+  EXPECT_GE(ms / 1000.0, s - 1e-9);
+  EXPECT_NEAR(ms / 1000.0, s, 0.05);
+}
+
+}  // namespace
+}  // namespace lumen

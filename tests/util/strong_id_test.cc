@@ -1,0 +1,53 @@
+#include "util/strong_id.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace lumen {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongIdTest, ConstructedIsValid) {
+  NodeId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_same_v<NodeId, Wavelength>);
+  static_assert(!std::is_convertible_v<NodeId, LinkId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId{2}));
+}
+
+TEST(StrongIdTest, InvalidSentinelIsMax) {
+  EXPECT_EQ(NodeId::invalid().value(), NodeId::kInvalidValue);
+  // A valid id can never collide with the sentinel by construction in the
+  // library (ids are dense and < 2^32-1).
+  EXPECT_FALSE(NodeId{NodeId::kInvalidValue}.valid());
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+TEST(TableTest, MarkdownLayout) {
+  Table t({"n", "time"});
+  t.add_row({"10", "1.5"});
+  t.add_row({"100", "2.25"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| n   | time |"), std::string::npos);
+  EXPECT_NE(md.find("| 10  | 1.5  |"), std::string::npos);
+  EXPECT_NE(md.find("| 100 | 2.25 |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(md.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, CsvLayout) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TableTest, EmptyHeadersRejected) { EXPECT_THROW(Table t({}), Error); }
+
+TEST(TableTest, Counts) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+}
+
+TEST(FormatTest, FmtInt) {
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_int(1234567890123LL), "1234567890123");
+}
+
+TEST(FormatTest, FmtSci) { EXPECT_EQ(fmt_sci(1250000.0, 2), "1.25e+06"); }
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,139 @@
+#include "wdm/conversion.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+TEST(NoConversionTest, OnlyIdentityAllowed) {
+  NoConversion model;
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{1}, Wavelength{1}), 0.0);
+  EXPECT_EQ(model.cost(NodeId{0}, Wavelength{1}, Wavelength{2}),
+            kInfiniteCost);
+  EXPECT_TRUE(model.allowed(NodeId{0}, Wavelength{3}, Wavelength{3}));
+  EXPECT_FALSE(model.allowed(NodeId{0}, Wavelength{3}, Wavelength{4}));
+}
+
+TEST(UniformConversionTest, FlatCost) {
+  UniformConversion model(2.5);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{9}, Wavelength{0}, Wavelength{7}), 2.5);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{9}, Wavelength{7}, Wavelength{0}), 2.5);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{9}, Wavelength{4}, Wavelength{4}), 0.0);
+}
+
+TEST(UniformConversionTest, ZeroCostFullConversion) {
+  UniformConversion model(0.0);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{0}, Wavelength{5}), 0.0);
+}
+
+TEST(UniformConversionTest, NegativeCostRejected) {
+  EXPECT_THROW(UniformConversion{-1.0}, Error);
+}
+
+TEST(RangeLimitedConversionTest, WithinRadius) {
+  RangeLimitedConversion model(2, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{5}, Wavelength{6}), 1.5);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{5}, Wavelength{7}), 2.0);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{5}, Wavelength{3}), 2.0);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{5}, Wavelength{5}), 0.0);
+}
+
+TEST(RangeLimitedConversionTest, BeyondRadiusBlocked) {
+  RangeLimitedConversion model(2, 1.0, 0.5);
+  EXPECT_EQ(model.cost(NodeId{0}, Wavelength{5}, Wavelength{8}),
+            kInfiniteCost);
+  EXPECT_EQ(model.cost(NodeId{0}, Wavelength{0}, Wavelength{3}),
+            kInfiniteCost);
+}
+
+TEST(RangeLimitedConversionTest, SatisfiesTriangleInequality) {
+  // base + per_step * gap is subadditive when base >= 0: required for the
+  // CFZ chained-conversion caveat documented in core/cfz.h.
+  RangeLimitedConversion model(10, 0.7, 0.3);
+  for (std::uint32_t a = 0; a < 8; ++a)
+    for (std::uint32_t b = 0; b < 8; ++b)
+      for (std::uint32_t c = 0; c < 8; ++c) {
+        const double direct =
+            model.cost(NodeId{0}, Wavelength{a}, Wavelength{c});
+        const double via = model.cost(NodeId{0}, Wavelength{a}, Wavelength{b}) +
+                           model.cost(NodeId{0}, Wavelength{b}, Wavelength{c});
+        EXPECT_LE(direct, via + 1e-12);
+      }
+}
+
+TEST(SparseConversionTest, OnlyConverterNodesConvert) {
+  auto inner = std::make_shared<UniformConversion>(1.0);
+  SparseConversion model({NodeId{2}, NodeId{4}}, inner);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{2}, Wavelength{0}, Wavelength{1}), 1.0);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{4}, Wavelength{0}, Wavelength{1}), 1.0);
+  EXPECT_EQ(model.cost(NodeId{3}, Wavelength{0}, Wavelength{1}),
+            kInfiniteCost);
+  // Identity is free everywhere, converter or not.
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{3}, Wavelength{1}, Wavelength{1}), 0.0);
+  EXPECT_TRUE(model.is_converter(NodeId{2}));
+  EXPECT_FALSE(model.is_converter(NodeId{0}));
+}
+
+TEST(SparseConversionTest, NullInnerRejected) {
+  EXPECT_THROW(SparseConversion({NodeId{0}}, nullptr), Error);
+}
+
+TEST(MatrixConversionTest, DefaultsToNoConversion) {
+  MatrixConversion model(3, 4);
+  EXPECT_EQ(model.cost(NodeId{0}, Wavelength{0}, Wavelength{1}),
+            kInfiniteCost);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{2}, Wavelength{2}), 0.0);
+}
+
+TEST(MatrixConversionTest, SetSpecificEntries) {
+  MatrixConversion model(3, 4);
+  model.set(NodeId{1}, Wavelength{0}, Wavelength{3}, 2.0);
+  EXPECT_DOUBLE_EQ(model.cost(NodeId{1}, Wavelength{0}, Wavelength{3}), 2.0);
+  // Asymmetric: the reverse stays blocked.
+  EXPECT_EQ(model.cost(NodeId{1}, Wavelength{3}, Wavelength{0}),
+            kInfiniteCost);
+  // Other nodes unaffected.
+  EXPECT_EQ(model.cost(NodeId{0}, Wavelength{0}, Wavelength{3}),
+            kInfiniteCost);
+}
+
+TEST(MatrixConversionTest, SetAllPairs) {
+  MatrixConversion model(2, 3);
+  model.set_all_pairs(NodeId{0}, 1.5);
+  for (std::uint32_t p = 0; p < 3; ++p)
+    for (std::uint32_t q = 0; q < 3; ++q) {
+      const double expected = p == q ? 0.0 : 1.5;
+      EXPECT_DOUBLE_EQ(model.cost(NodeId{0}, Wavelength{p}, Wavelength{q}),
+                       expected);
+    }
+  EXPECT_EQ(model.cost(NodeId{1}, Wavelength{0}, Wavelength{1}),
+            kInfiniteCost);
+}
+
+TEST(MatrixConversionTest, DiagonalSetRejected) {
+  MatrixConversion model(1, 2);
+  EXPECT_THROW(model.set(NodeId{0}, Wavelength{1}, Wavelength{1}, 1.0),
+               Error);
+}
+
+TEST(MatrixConversionTest, ReDisallowWithInfinity) {
+  MatrixConversion model(1, 2);
+  model.set(NodeId{0}, Wavelength{0}, Wavelength{1}, 1.0);
+  model.set(NodeId{0}, Wavelength{0}, Wavelength{1}, kInfiniteCost);
+  EXPECT_FALSE(model.allowed(NodeId{0}, Wavelength{0}, Wavelength{1}));
+}
+
+TEST(MatrixConversionTest, OutOfRangeRejected) {
+  MatrixConversion model(2, 3);
+  EXPECT_THROW(model.set(NodeId{0}, Wavelength{3}, Wavelength{0}, 1.0),
+               Error);
+  EXPECT_THROW((void)model.cost(NodeId{5}, Wavelength{0}, Wavelength{1}),
+               Error);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,83 @@
+#include "wdm/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+TEST(MetricsTest, FullAvailabilityIsPerfectlyAligned) {
+  Rng rng(1);
+  const Topology topo = ring_topology(6);
+  const Availability avail = full_availability(topo, 4, CostSpec::unit(), rng);
+  const auto net =
+      assemble_network(topo, 4, avail, std::make_shared<NoConversion>());
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.free_pairs, 12u * 4u);
+  EXPECT_EQ(m.dead_links, 0u);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+  EXPECT_DOUBLE_EQ(m.wavelength_imbalance, 0.0);
+}
+
+TEST(MetricsTest, DisjointWavelengthsAreFullyFragmented) {
+  // Chain where consecutive links share no wavelength.
+  WdmNetwork net(3, 2, std::make_shared<NoConversion>());
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(b, Wavelength{1}, 1.0);
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 0.0);
+  EXPECT_EQ(m.free_pairs, 2u);
+}
+
+TEST(MetricsTest, DeadLinksCounted) {
+  WdmNetwork net(3, 2, std::make_shared<NoConversion>());
+  net.add_link(NodeId{0}, NodeId{1});  // no wavelengths
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(b, Wavelength{0}, 1.0);
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.dead_links, 1u);
+  // The dead incoming link contributes no adjacency pair.
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+}
+
+TEST(MetricsTest, ImbalanceDetectsSkew) {
+  // λ0 on every link, λ1 on one link only: strongly imbalanced.
+  WdmNetwork net(4, 2, std::make_shared<NoConversion>());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{0}, 1.0);
+    if (i == 0) net.set_wavelength(e, Wavelength{1}, 1.0);
+  }
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_GT(m.wavelength_imbalance, 0.4);
+}
+
+TEST(MetricsTest, PartialOverlapInBetween) {
+  // Λ(in) = {0,1}, Λ(out) = {1,2}: overlap 1 of min-size 2 -> 0.5.
+  WdmNetwork net(3, 3, std::make_shared<NoConversion>());
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  net.set_wavelength(a, Wavelength{1}, 1.0);
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(b, Wavelength{1}, 1.0);
+  net.set_wavelength(b, Wavelength{2}, 1.0);
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 0.5);
+}
+
+TEST(MetricsTest, EmptyNetwork) {
+  WdmNetwork net(2, 2, std::make_shared<NoConversion>());
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.free_pairs, 0u);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+  EXPECT_DOUBLE_EQ(m.wavelength_imbalance, 0.0);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,139 @@
+#include "wdm/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+WdmNetwork small_net() {
+  WdmNetwork net(3, 4, std::make_shared<UniformConversion>(0.5));
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  net.set_wavelength(a, Wavelength{2}, 2.0);
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(b, Wavelength{2}, 3.0);
+  return net;
+}
+
+TEST(WdmNetworkTest, BasicShape) {
+  const auto net = small_net();
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_links(), 2u);
+  EXPECT_EQ(net.num_wavelengths(), 4u);
+  EXPECT_EQ(net.tail(LinkId{0}), NodeId{0});
+  EXPECT_EQ(net.head(LinkId{0}), NodeId{1});
+}
+
+TEST(WdmNetworkTest, AvailabilitySortedByLambda) {
+  WdmNetwork net(2, 8, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{5}, 5.0);
+  net.set_wavelength(e, Wavelength{1}, 1.0);
+  net.set_wavelength(e, Wavelength{3}, 3.0);
+  const auto list = net.available(e);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].lambda, Wavelength{1});
+  EXPECT_EQ(list[1].lambda, Wavelength{3});
+  EXPECT_EQ(list[2].lambda, Wavelength{5});
+}
+
+TEST(WdmNetworkTest, LinkCostAndAvailability) {
+  const auto net = small_net();
+  EXPECT_DOUBLE_EQ(net.link_cost(LinkId{0}, Wavelength{0}), 1.0);
+  EXPECT_DOUBLE_EQ(net.link_cost(LinkId{0}, Wavelength{2}), 2.0);
+  EXPECT_EQ(net.link_cost(LinkId{0}, Wavelength{1}), kInfiniteCost);
+  EXPECT_TRUE(net.is_available(LinkId{0}, Wavelength{0}));
+  EXPECT_FALSE(net.is_available(LinkId{0}, Wavelength{3}));
+}
+
+TEST(WdmNetworkTest, ResettingWavelengthUpdatesCost) {
+  WdmNetwork net(2, 2, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 1.0);
+  net.set_wavelength(e, Wavelength{0}, 7.0);
+  EXPECT_DOUBLE_EQ(net.link_cost(e, Wavelength{0}), 7.0);
+  EXPECT_EQ(net.num_available(e), 1u);
+}
+
+TEST(WdmNetworkTest, LambdaSets) {
+  const auto net = small_net();
+  const auto set0 = net.lambda_set(LinkId{0});
+  EXPECT_EQ(set0.size(), 2u);
+  EXPECT_TRUE(set0.contains(Wavelength{0}));
+  EXPECT_TRUE(set0.contains(Wavelength{2}));
+
+  // Λ_in(1) = Λ(link 0) = {0, 2}; Λ_out(1) = Λ(link 1) = {2}.
+  const auto in1 = net.lambda_in(NodeId{1});
+  EXPECT_EQ(in1.size(), 2u);
+  const auto out1 = net.lambda_out(NodeId{1});
+  EXPECT_EQ(out1.size(), 1u);
+  EXPECT_TRUE(out1.contains(Wavelength{2}));
+
+  EXPECT_TRUE(net.lambda_in(NodeId{0}).empty());
+  EXPECT_TRUE(net.lambda_out(NodeId{2}).empty());
+}
+
+TEST(WdmNetworkTest, K0AndTotals) {
+  const auto net = small_net();
+  EXPECT_EQ(net.k0(), 2u);
+  EXPECT_EQ(net.total_link_wavelengths(), 3u);
+}
+
+TEST(WdmNetworkTest, MinCosts) {
+  const auto net = small_net();
+  EXPECT_DOUBLE_EQ(net.min_link_cost(LinkId{0}), 1.0);
+  EXPECT_DOUBLE_EQ(net.min_link_cost(LinkId{1}), 3.0);
+  EXPECT_DOUBLE_EQ(net.min_any_link_cost(), 1.0);
+}
+
+TEST(WdmNetworkTest, EmptyLinkHasNoWavelengths) {
+  WdmNetwork net(2, 4, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  EXPECT_EQ(net.num_available(e), 0u);
+  EXPECT_EQ(net.min_link_cost(e), kInfiniteCost);
+}
+
+TEST(WdmNetworkTest, ConversionDelegation) {
+  const auto net = small_net();
+  EXPECT_DOUBLE_EQ(
+      net.conversion_cost(NodeId{1}, Wavelength{0}, Wavelength{2}), 0.5);
+  EXPECT_DOUBLE_EQ(
+      net.conversion_cost(NodeId{1}, Wavelength{2}, Wavelength{2}), 0.0);
+}
+
+TEST(WdmNetworkTest, MaxDegree) {
+  WdmNetwork net(4, 2, std::make_shared<NoConversion>());
+  net.add_link(NodeId{0}, NodeId{1});
+  net.add_link(NodeId{0}, NodeId{2});
+  net.add_link(NodeId{0}, NodeId{3});
+  net.add_link(NodeId{1}, NodeId{0});
+  EXPECT_EQ(net.max_degree(), 3u);
+}
+
+TEST(WdmNetworkTest, AddLinkWithWavelengthSpan) {
+  WdmNetwork net(2, 4, std::make_shared<NoConversion>());
+  const std::vector<LinkWavelength> lws{{Wavelength{1}, 1.5},
+                                        {Wavelength{3}, 2.5}};
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1}, lws);
+  EXPECT_EQ(net.num_available(e), 2u);
+  EXPECT_DOUBLE_EQ(net.link_cost(e, Wavelength{3}), 2.5);
+}
+
+TEST(WdmNetworkTest, PreconditionViolations) {
+  WdmNetwork net(2, 2, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  EXPECT_THROW(net.add_link(NodeId{0}, NodeId{2}), Error);
+  EXPECT_THROW(net.set_wavelength(e, Wavelength{2}, 1.0), Error);
+  EXPECT_THROW(net.set_wavelength(e, Wavelength{0}, -1.0), Error);
+  EXPECT_THROW(net.set_wavelength(e, Wavelength{0}, kInfiniteCost), Error);
+  EXPECT_THROW(net.set_wavelength(LinkId{5}, Wavelength{0}, 1.0), Error);
+  EXPECT_THROW(WdmNetwork(2, 0, std::make_shared<NoConversion>()), Error);
+  EXPECT_THROW(WdmNetwork(2, 2, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,141 @@
+#include "wdm/semilightpath.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+/// 0 -> 1 -> 2 -> 0 triangle, all wavelengths on all links, unit costs,
+/// uniform conversion cost 0.25.
+WdmNetwork triangle() {
+  WdmNetwork net(3, 3, std::make_shared<UniformConversion>(0.25));
+  for (const auto& [u, v] :
+       {std::pair{0u, 1u}, std::pair{1u, 2u}, std::pair{2u, 0u}}) {
+    const LinkId e = net.add_link(NodeId{u}, NodeId{v});
+    for (std::uint32_t l = 0; l < 3; ++l)
+      net.set_wavelength(e, Wavelength{l}, 1.0);
+  }
+  return net;
+}
+
+TEST(SemilightpathTest, EmptyPath) {
+  const auto net = triangle();
+  Semilightpath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_DOUBLE_EQ(p.cost(net), 0.0);
+  EXPECT_TRUE(p.is_valid(net));
+  EXPECT_TRUE(p.is_lightpath());
+  EXPECT_FALSE(p.revisits_node(net));
+  EXPECT_THROW((void)p.source(net), Error);
+}
+
+TEST(SemilightpathTest, SingleHop) {
+  const auto net = triangle();
+  Semilightpath p({Hop{LinkId{0}, Wavelength{1}}});
+  EXPECT_EQ(p.source(net), NodeId{0});
+  EXPECT_EQ(p.destination(net), NodeId{1});
+  EXPECT_DOUBLE_EQ(p.cost(net), 1.0);
+  EXPECT_TRUE(p.is_lightpath());
+  EXPECT_EQ(p.num_conversions(), 0u);
+}
+
+TEST(SemilightpathTest, ConversionCostCounted) {
+  const auto net = triangle();
+  // 0 -(λ0)-> 1 -(λ2)-> 2: two links + one conversion at node 1.
+  Semilightpath p(
+      {Hop{LinkId{0}, Wavelength{0}}, Hop{LinkId{1}, Wavelength{2}}});
+  EXPECT_DOUBLE_EQ(p.cost(net), 1.0 + 0.25 + 1.0);
+  EXPECT_EQ(p.num_conversions(), 1u);
+  EXPECT_FALSE(p.is_lightpath());
+  const auto switches = p.switch_settings(net);
+  ASSERT_EQ(switches.size(), 1u);
+  EXPECT_EQ(switches[0].node, NodeId{1});
+  EXPECT_EQ(switches[0].from, Wavelength{0});
+  EXPECT_EQ(switches[0].to, Wavelength{2});
+}
+
+TEST(SemilightpathTest, SameWavelengthNoConversionCost) {
+  const auto net = triangle();
+  Semilightpath p(
+      {Hop{LinkId{0}, Wavelength{1}}, Hop{LinkId{1}, Wavelength{1}}});
+  EXPECT_DOUBLE_EQ(p.cost(net), 2.0);
+  EXPECT_TRUE(p.switch_settings(net).empty());
+}
+
+TEST(SemilightpathTest, UnavailableWavelengthInvalid) {
+  WdmNetwork net(2, 2, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 1.0);
+  Semilightpath p({Hop{e, Wavelength{1}}});
+  EXPECT_FALSE(p.is_valid(net));
+  EXPECT_EQ(p.cost(net), kInfiniteCost);
+}
+
+TEST(SemilightpathTest, ForbiddenConversionInfiniteCost) {
+  WdmNetwork net(3, 2, std::make_shared<NoConversion>());
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  const LinkId b = net.add_link(NodeId{1}, NodeId{2});
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  net.set_wavelength(b, Wavelength{1}, 1.0);
+  Semilightpath p({Hop{a, Wavelength{0}}, Hop{b, Wavelength{1}}});
+  EXPECT_TRUE(p.is_valid(net));  // structurally fine
+  EXPECT_EQ(p.cost(net), kInfiniteCost);  // but the conversion is forbidden
+}
+
+TEST(SemilightpathTest, DisconnectedWalkInvalid) {
+  const auto net = triangle();
+  // Link 0 is 0->1, link 2 is 2->0: head(0)=1 != tail(2)=2.
+  Semilightpath p(
+      {Hop{LinkId{0}, Wavelength{0}}, Hop{LinkId{2}, Wavelength{0}}});
+  EXPECT_FALSE(p.is_valid(net));
+  EXPECT_THROW((void)p.cost(net), Error);
+}
+
+TEST(SemilightpathTest, RevisitDetection) {
+  const auto net = triangle();
+  // Full cycle 0->1->2->0 revisits node 0.
+  Semilightpath cycle({Hop{LinkId{0}, Wavelength{0}},
+                       Hop{LinkId{1}, Wavelength{0}},
+                       Hop{LinkId{2}, Wavelength{0}}});
+  EXPECT_TRUE(cycle.revisits_node(net));
+  Semilightpath simple(
+      {Hop{LinkId{0}, Wavelength{0}}, Hop{LinkId{1}, Wavelength{0}}});
+  EXPECT_FALSE(simple.revisits_node(net));
+}
+
+TEST(SemilightpathTest, MultipleConversions) {
+  const auto net = triangle();
+  Semilightpath p({Hop{LinkId{0}, Wavelength{0}},
+                   Hop{LinkId{1}, Wavelength{1}},
+                   Hop{LinkId{2}, Wavelength{2}}});
+  EXPECT_EQ(p.num_conversions(), 2u);
+  EXPECT_DOUBLE_EQ(p.cost(net), 3.0 + 2 * 0.25);
+  EXPECT_EQ(p.switch_settings(net).size(), 2u);
+}
+
+TEST(SemilightpathTest, ToStringReadable) {
+  const auto net = triangle();
+  Semilightpath p(
+      {Hop{LinkId{0}, Wavelength{0}}, Hop{LinkId{1}, Wavelength{2}}});
+  const std::string s = p.to_string(net);
+  EXPECT_NE(s.find("0"), std::string::npos);
+  EXPECT_NE(s.find("switch"), std::string::npos);
+  EXPECT_NE(s.find("λ2"), std::string::npos);
+}
+
+TEST(SemilightpathTest, AppendBuildsPath) {
+  const auto net = triangle();
+  Semilightpath p;
+  p.append(Hop{LinkId{0}, Wavelength{0}});
+  p.append(Hop{LinkId{1}, Wavelength{0}});
+  EXPECT_EQ(p.length(), 2u);
+  EXPECT_EQ(p.destination(net), NodeId{2});
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,113 @@
+#include "wdm/wavelength_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+TEST(WavelengthSetTest, EmptySet) {
+  WavelengthSet s(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.universe_size(), 10u);
+  EXPECT_FALSE(s.contains(Wavelength{0}));
+}
+
+TEST(WavelengthSetTest, InsertEraseContains) {
+  WavelengthSet s(8);
+  s.insert(Wavelength{3});
+  EXPECT_TRUE(s.contains(Wavelength{3}));
+  EXPECT_EQ(s.size(), 1u);
+  s.insert(Wavelength{3});  // idempotent
+  EXPECT_EQ(s.size(), 1u);
+  s.erase(Wavelength{3});
+  EXPECT_FALSE(s.contains(Wavelength{3}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(WavelengthSetTest, CrossesWordBoundary) {
+  WavelengthSet s(130);
+  for (const std::uint32_t l : {0u, 63u, 64u, 127u, 128u, 129u})
+    s.insert(Wavelength{l});
+  EXPECT_EQ(s.size(), 6u);
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.front(), Wavelength{0});
+  EXPECT_EQ(v.back(), Wavelength{129});
+}
+
+TEST(WavelengthSetTest, ToVectorSorted) {
+  WavelengthSet s(20);
+  for (const std::uint32_t l : {7u, 2u, 19u, 11u}) s.insert(Wavelength{l});
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], Wavelength{2});
+  EXPECT_EQ(v[1], Wavelength{7});
+  EXPECT_EQ(v[2], Wavelength{11});
+  EXPECT_EQ(v[3], Wavelength{19});
+}
+
+TEST(WavelengthSetTest, UnionAndIntersection) {
+  WavelengthSet a(10), b(10);
+  a.insert(Wavelength{1});
+  a.insert(Wavelength{2});
+  b.insert(Wavelength{2});
+  b.insert(Wavelength{3});
+  auto u = a;
+  u |= b;
+  EXPECT_EQ(u.size(), 3u);
+  auto i = a;
+  i &= b;
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i.contains(Wavelength{2}));
+}
+
+TEST(WavelengthSetTest, MismatchedUniverseRejected) {
+  WavelengthSet a(10), b(11);
+  EXPECT_THROW(a |= b, Error);
+  EXPECT_THROW(a &= b, Error);
+}
+
+TEST(WavelengthSetTest, OutOfUniverseRejected) {
+  WavelengthSet s(4);
+  EXPECT_THROW(s.insert(Wavelength{4}), Error);
+  EXPECT_THROW((void)s.contains(Wavelength{100}), Error);
+  EXPECT_THROW(s.insert(Wavelength::invalid()), Error);
+}
+
+TEST(WavelengthSetTest, Equality) {
+  WavelengthSet a(6), b(6);
+  a.insert(Wavelength{5});
+  b.insert(Wavelength{5});
+  EXPECT_EQ(a, b);
+  b.insert(Wavelength{0});
+  EXPECT_NE(a, b);
+}
+
+TEST(WavelengthSetTest, RandomizedAgainstReference) {
+  Rng rng(55);
+  WavelengthSet s(100);
+  std::vector<bool> ref(100, false);
+  for (int op = 0; op < 2000; ++op) {
+    const auto l = static_cast<std::uint32_t>(rng.next_below(100));
+    if (rng.next_bool(0.5)) {
+      s.insert(Wavelength{l});
+      ref[l] = true;
+    } else {
+      s.erase(Wavelength{l});
+      ref[l] = false;
+    }
+  }
+  std::uint32_t ref_size = 0;
+  for (std::uint32_t l = 0; l < 100; ++l) {
+    EXPECT_EQ(s.contains(Wavelength{l}), ref[l]);
+    ref_size += ref[l];
+  }
+  EXPECT_EQ(s.size(), ref_size);
+}
+
+}  // namespace
+}  // namespace lumen
