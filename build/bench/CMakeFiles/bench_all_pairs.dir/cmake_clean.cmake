@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_all_pairs.dir/bench_all_pairs.cc.o"
+  "CMakeFiles/bench_all_pairs.dir/bench_all_pairs.cc.o.d"
+  "bench_all_pairs"
+  "bench_all_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

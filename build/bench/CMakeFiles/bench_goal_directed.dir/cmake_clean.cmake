@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_goal_directed.dir/bench_goal_directed.cc.o"
+  "CMakeFiles/bench_goal_directed.dir/bench_goal_directed.cc.o.d"
+  "bench_goal_directed"
+  "bench_goal_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_goal_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_goal_directed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heaps.dir/bench_heaps.cc.o"
+  "CMakeFiles/bench_heaps.dir/bench_heaps.cc.o.d"
+  "bench_heaps"
+  "bench_heaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restricted.dir/bench_restricted.cc.o"
+  "CMakeFiles/bench_restricted.dir/bench_restricted.cc.o.d"
+  "bench_restricted"
+  "bench_restricted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

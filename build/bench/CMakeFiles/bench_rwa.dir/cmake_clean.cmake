@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rwa.dir/bench_rwa.cc.o"
+  "CMakeFiles/bench_rwa.dir/bench_rwa.cc.o.d"
+  "bench_rwa"
+  "bench_rwa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

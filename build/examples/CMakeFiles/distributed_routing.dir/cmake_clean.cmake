@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_routing.dir/distributed_routing.cpp.o"
+  "CMakeFiles/distributed_routing.dir/distributed_routing.cpp.o.d"
+  "distributed_routing"
+  "distributed_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

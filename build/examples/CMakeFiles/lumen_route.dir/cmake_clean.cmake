@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_route.dir/lumen_route.cpp.o"
+  "CMakeFiles/lumen_route.dir/lumen_route.cpp.o.d"
+  "lumen_route"
+  "lumen_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_distribution.dir/multicast_distribution.cpp.o"
+  "CMakeFiles/multicast_distribution.dir/multicast_distribution.cpp.o.d"
+  "multicast_distribution"
+  "multicast_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

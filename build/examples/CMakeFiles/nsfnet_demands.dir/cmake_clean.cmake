@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsfnet_demands.dir/nsfnet_demands.cpp.o"
+  "CMakeFiles/nsfnet_demands.dir/nsfnet_demands.cpp.o.d"
+  "nsfnet_demands"
+  "nsfnet_demands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsfnet_demands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

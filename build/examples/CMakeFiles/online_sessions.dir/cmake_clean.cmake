@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_sessions.dir/online_sessions.cpp.o"
+  "CMakeFiles/online_sessions.dir/online_sessions.cpp.o.d"
+  "online_sessions"
+  "online_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_alternatives.dir/protection_alternatives.cpp.o"
+  "CMakeFiles/protection_alternatives.dir/protection_alternatives.cpp.o.d"
+  "protection_alternatives"
+  "protection_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

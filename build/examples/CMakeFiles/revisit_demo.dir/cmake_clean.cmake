@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revisit_demo.dir/revisit_demo.cpp.o"
+  "CMakeFiles/revisit_demo.dir/revisit_demo.cpp.o.d"
+  "revisit_demo"
+  "revisit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revisit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

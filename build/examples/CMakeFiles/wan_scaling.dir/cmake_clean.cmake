@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_scaling.dir/wan_scaling.cpp.o"
+  "CMakeFiles/wan_scaling.dir/wan_scaling.cpp.o.d"
+  "wan_scaling"
+  "wan_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

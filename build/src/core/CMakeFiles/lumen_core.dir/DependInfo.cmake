@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/all_pairs.cc" "src/core/CMakeFiles/lumen_core.dir/all_pairs.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/all_pairs.cc.o.d"
+  "/root/repo/src/core/aux_graph.cc" "src/core/CMakeFiles/lumen_core.dir/aux_graph.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/aux_graph.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/lumen_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/cfz.cc" "src/core/CMakeFiles/lumen_core.dir/cfz.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/cfz.cc.o.d"
+  "/root/repo/src/core/constrained.cc" "src/core/CMakeFiles/lumen_core.dir/constrained.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/constrained.cc.o.d"
+  "/root/repo/src/core/goal_directed.cc" "src/core/CMakeFiles/lumen_core.dir/goal_directed.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/goal_directed.cc.o.d"
+  "/root/repo/src/core/k_shortest.cc" "src/core/CMakeFiles/lumen_core.dir/k_shortest.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/k_shortest.cc.o.d"
+  "/root/repo/src/core/liang_shen.cc" "src/core/CMakeFiles/lumen_core.dir/liang_shen.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/liang_shen.cc.o.d"
+  "/root/repo/src/core/multicast.cc" "src/core/CMakeFiles/lumen_core.dir/multicast.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/multicast.cc.o.d"
+  "/root/repo/src/core/protection.cc" "src/core/CMakeFiles/lumen_core.dir/protection.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/protection.cc.o.d"
+  "/root/repo/src/core/state_dijkstra.cc" "src/core/CMakeFiles/lumen_core.dir/state_dijkstra.cc.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/state_dijkstra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wdm/CMakeFiles/lumen_wdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lumen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

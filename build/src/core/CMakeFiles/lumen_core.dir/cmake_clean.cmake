@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_core.dir/all_pairs.cc.o"
+  "CMakeFiles/lumen_core.dir/all_pairs.cc.o.d"
+  "CMakeFiles/lumen_core.dir/aux_graph.cc.o"
+  "CMakeFiles/lumen_core.dir/aux_graph.cc.o.d"
+  "CMakeFiles/lumen_core.dir/brute_force.cc.o"
+  "CMakeFiles/lumen_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/lumen_core.dir/cfz.cc.o"
+  "CMakeFiles/lumen_core.dir/cfz.cc.o.d"
+  "CMakeFiles/lumen_core.dir/constrained.cc.o"
+  "CMakeFiles/lumen_core.dir/constrained.cc.o.d"
+  "CMakeFiles/lumen_core.dir/goal_directed.cc.o"
+  "CMakeFiles/lumen_core.dir/goal_directed.cc.o.d"
+  "CMakeFiles/lumen_core.dir/k_shortest.cc.o"
+  "CMakeFiles/lumen_core.dir/k_shortest.cc.o.d"
+  "CMakeFiles/lumen_core.dir/liang_shen.cc.o"
+  "CMakeFiles/lumen_core.dir/liang_shen.cc.o.d"
+  "CMakeFiles/lumen_core.dir/multicast.cc.o"
+  "CMakeFiles/lumen_core.dir/multicast.cc.o.d"
+  "CMakeFiles/lumen_core.dir/protection.cc.o"
+  "CMakeFiles/lumen_core.dir/protection.cc.o.d"
+  "CMakeFiles/lumen_core.dir/state_dijkstra.cc.o"
+  "CMakeFiles/lumen_core.dir/state_dijkstra.cc.o.d"
+  "liblumen_core.a"
+  "liblumen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/async_router.cc" "src/dist/CMakeFiles/lumen_dist.dir/async_router.cc.o" "gcc" "src/dist/CMakeFiles/lumen_dist.dir/async_router.cc.o.d"
+  "/root/repo/src/dist/diffusing_sssp.cc" "src/dist/CMakeFiles/lumen_dist.dir/diffusing_sssp.cc.o" "gcc" "src/dist/CMakeFiles/lumen_dist.dir/diffusing_sssp.cc.o.d"
+  "/root/repo/src/dist/dist_router.cc" "src/dist/CMakeFiles/lumen_dist.dir/dist_router.cc.o" "gcc" "src/dist/CMakeFiles/lumen_dist.dir/dist_router.cc.o.d"
+  "/root/repo/src/dist/distance_vector.cc" "src/dist/CMakeFiles/lumen_dist.dir/distance_vector.cc.o" "gcc" "src/dist/CMakeFiles/lumen_dist.dir/distance_vector.cc.o.d"
+  "/root/repo/src/dist/distributed_sssp.cc" "src/dist/CMakeFiles/lumen_dist.dir/distributed_sssp.cc.o" "gcc" "src/dist/CMakeFiles/lumen_dist.dir/distributed_sssp.cc.o.d"
+  "/root/repo/src/dist/protocol_state.cc" "src/dist/CMakeFiles/lumen_dist.dir/protocol_state.cc.o" "gcc" "src/dist/CMakeFiles/lumen_dist.dir/protocol_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wdm/CMakeFiles/lumen_wdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lumen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

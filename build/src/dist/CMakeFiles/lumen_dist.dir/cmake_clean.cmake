@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_dist.dir/async_router.cc.o"
+  "CMakeFiles/lumen_dist.dir/async_router.cc.o.d"
+  "CMakeFiles/lumen_dist.dir/diffusing_sssp.cc.o"
+  "CMakeFiles/lumen_dist.dir/diffusing_sssp.cc.o.d"
+  "CMakeFiles/lumen_dist.dir/dist_router.cc.o"
+  "CMakeFiles/lumen_dist.dir/dist_router.cc.o.d"
+  "CMakeFiles/lumen_dist.dir/distance_vector.cc.o"
+  "CMakeFiles/lumen_dist.dir/distance_vector.cc.o.d"
+  "CMakeFiles/lumen_dist.dir/distributed_sssp.cc.o"
+  "CMakeFiles/lumen_dist.dir/distributed_sssp.cc.o.d"
+  "CMakeFiles/lumen_dist.dir/protocol_state.cc.o"
+  "CMakeFiles/lumen_dist.dir/protocol_state.cc.o.d"
+  "liblumen_dist.a"
+  "liblumen_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

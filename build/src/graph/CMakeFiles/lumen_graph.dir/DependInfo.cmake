@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cc" "src/graph/CMakeFiles/lumen_graph.dir/bellman_ford.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/bellman_ford.cc.o.d"
+  "/root/repo/src/graph/betweenness.cc" "src/graph/CMakeFiles/lumen_graph.dir/betweenness.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/betweenness.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/lumen_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/graph/CMakeFiles/lumen_graph.dir/dijkstra.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/dijkstra.cc.o.d"
+  "/root/repo/src/graph/fib_heap.cc" "src/graph/CMakeFiles/lumen_graph.dir/fib_heap.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/fib_heap.cc.o.d"
+  "/root/repo/src/graph/suurballe.cc" "src/graph/CMakeFiles/lumen_graph.dir/suurballe.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/suurballe.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/graph/CMakeFiles/lumen_graph.dir/traversal.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/traversal.cc.o.d"
+  "/root/repo/src/graph/yen_ksp.cc" "src/graph/CMakeFiles/lumen_graph.dir/yen_ksp.cc.o" "gcc" "src/graph/CMakeFiles/lumen_graph.dir/yen_ksp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_graph.dir/bellman_ford.cc.o"
+  "CMakeFiles/lumen_graph.dir/bellman_ford.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/betweenness.cc.o"
+  "CMakeFiles/lumen_graph.dir/betweenness.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/csr.cc.o"
+  "CMakeFiles/lumen_graph.dir/csr.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/dijkstra.cc.o"
+  "CMakeFiles/lumen_graph.dir/dijkstra.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/fib_heap.cc.o"
+  "CMakeFiles/lumen_graph.dir/fib_heap.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/suurballe.cc.o"
+  "CMakeFiles/lumen_graph.dir/suurballe.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/traversal.cc.o"
+  "CMakeFiles/lumen_graph.dir/traversal.cc.o.d"
+  "CMakeFiles/lumen_graph.dir/yen_ksp.cc.o"
+  "CMakeFiles/lumen_graph.dir/yen_ksp.cc.o.d"
+  "liblumen_graph.a"
+  "liblumen_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rwa/batch.cc" "src/rwa/CMakeFiles/lumen_rwa.dir/batch.cc.o" "gcc" "src/rwa/CMakeFiles/lumen_rwa.dir/batch.cc.o.d"
+  "/root/repo/src/rwa/defragment.cc" "src/rwa/CMakeFiles/lumen_rwa.dir/defragment.cc.o" "gcc" "src/rwa/CMakeFiles/lumen_rwa.dir/defragment.cc.o.d"
+  "/root/repo/src/rwa/dynamic_workload.cc" "src/rwa/CMakeFiles/lumen_rwa.dir/dynamic_workload.cc.o" "gcc" "src/rwa/CMakeFiles/lumen_rwa.dir/dynamic_workload.cc.o.d"
+  "/root/repo/src/rwa/placement.cc" "src/rwa/CMakeFiles/lumen_rwa.dir/placement.cc.o" "gcc" "src/rwa/CMakeFiles/lumen_rwa.dir/placement.cc.o.d"
+  "/root/repo/src/rwa/session_manager.cc" "src/rwa/CMakeFiles/lumen_rwa.dir/session_manager.cc.o" "gcc" "src/rwa/CMakeFiles/lumen_rwa.dir/session_manager.cc.o.d"
+  "/root/repo/src/rwa/wavelength_assignment.cc" "src/rwa/CMakeFiles/lumen_rwa.dir/wavelength_assignment.cc.o" "gcc" "src/rwa/CMakeFiles/lumen_rwa.dir/wavelength_assignment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lumen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdm/CMakeFiles/lumen_wdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lumen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_rwa.dir/batch.cc.o"
+  "CMakeFiles/lumen_rwa.dir/batch.cc.o.d"
+  "CMakeFiles/lumen_rwa.dir/defragment.cc.o"
+  "CMakeFiles/lumen_rwa.dir/defragment.cc.o.d"
+  "CMakeFiles/lumen_rwa.dir/dynamic_workload.cc.o"
+  "CMakeFiles/lumen_rwa.dir/dynamic_workload.cc.o.d"
+  "CMakeFiles/lumen_rwa.dir/placement.cc.o"
+  "CMakeFiles/lumen_rwa.dir/placement.cc.o.d"
+  "CMakeFiles/lumen_rwa.dir/session_manager.cc.o"
+  "CMakeFiles/lumen_rwa.dir/session_manager.cc.o.d"
+  "CMakeFiles/lumen_rwa.dir/wavelength_assignment.cc.o"
+  "CMakeFiles/lumen_rwa.dir/wavelength_assignment.cc.o.d"
+  "liblumen_rwa.a"
+  "liblumen_rwa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_rwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_topo.dir/topologies.cc.o"
+  "CMakeFiles/lumen_topo.dir/topologies.cc.o.d"
+  "CMakeFiles/lumen_topo.dir/wavelengths.cc.o"
+  "CMakeFiles/lumen_topo.dir/wavelengths.cc.o.d"
+  "liblumen_topo.a"
+  "liblumen_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_util.dir/rng.cc.o"
+  "CMakeFiles/lumen_util.dir/rng.cc.o.d"
+  "CMakeFiles/lumen_util.dir/stats.cc.o"
+  "CMakeFiles/lumen_util.dir/stats.cc.o.d"
+  "CMakeFiles/lumen_util.dir/table.cc.o"
+  "CMakeFiles/lumen_util.dir/table.cc.o.d"
+  "liblumen_util.a"
+  "liblumen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wdm/io.cc" "src/wdm/CMakeFiles/lumen_wdm.dir/io.cc.o" "gcc" "src/wdm/CMakeFiles/lumen_wdm.dir/io.cc.o.d"
+  "/root/repo/src/wdm/metrics.cc" "src/wdm/CMakeFiles/lumen_wdm.dir/metrics.cc.o" "gcc" "src/wdm/CMakeFiles/lumen_wdm.dir/metrics.cc.o.d"
+  "/root/repo/src/wdm/network.cc" "src/wdm/CMakeFiles/lumen_wdm.dir/network.cc.o" "gcc" "src/wdm/CMakeFiles/lumen_wdm.dir/network.cc.o.d"
+  "/root/repo/src/wdm/semilightpath.cc" "src/wdm/CMakeFiles/lumen_wdm.dir/semilightpath.cc.o" "gcc" "src/wdm/CMakeFiles/lumen_wdm.dir/semilightpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lumen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_wdm.dir/io.cc.o"
+  "CMakeFiles/lumen_wdm.dir/io.cc.o.d"
+  "CMakeFiles/lumen_wdm.dir/metrics.cc.o"
+  "CMakeFiles/lumen_wdm.dir/metrics.cc.o.d"
+  "CMakeFiles/lumen_wdm.dir/network.cc.o"
+  "CMakeFiles/lumen_wdm.dir/network.cc.o.d"
+  "CMakeFiles/lumen_wdm.dir/semilightpath.cc.o"
+  "CMakeFiles/lumen_wdm.dir/semilightpath.cc.o.d"
+  "liblumen_wdm.a"
+  "liblumen_wdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_wdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/all_pairs_test.cc" "tests/CMakeFiles/core_tests.dir/core/all_pairs_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/all_pairs_test.cc.o.d"
+  "/root/repo/tests/core/aux_graph_test.cc" "tests/CMakeFiles/core_tests.dir/core/aux_graph_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/aux_graph_test.cc.o.d"
+  "/root/repo/tests/core/constrained_test.cc" "tests/CMakeFiles/core_tests.dir/core/constrained_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/constrained_test.cc.o.d"
+  "/root/repo/tests/core/goal_directed_test.cc" "tests/CMakeFiles/core_tests.dir/core/goal_directed_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/goal_directed_test.cc.o.d"
+  "/root/repo/tests/core/k_shortest_test.cc" "tests/CMakeFiles/core_tests.dir/core/k_shortest_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/k_shortest_test.cc.o.d"
+  "/root/repo/tests/core/multicast_test.cc" "tests/CMakeFiles/core_tests.dir/core/multicast_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multicast_test.cc.o.d"
+  "/root/repo/tests/core/node_revisit_test.cc" "tests/CMakeFiles/core_tests.dir/core/node_revisit_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/node_revisit_test.cc.o.d"
+  "/root/repo/tests/core/paper_example_test.cc" "tests/CMakeFiles/core_tests.dir/core/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/paper_example_test.cc.o.d"
+  "/root/repo/tests/core/protection_exactness_test.cc" "tests/CMakeFiles/core_tests.dir/core/protection_exactness_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/protection_exactness_test.cc.o.d"
+  "/root/repo/tests/core/protection_ksp_interop_test.cc" "tests/CMakeFiles/core_tests.dir/core/protection_ksp_interop_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/protection_ksp_interop_test.cc.o.d"
+  "/root/repo/tests/core/protection_test.cc" "tests/CMakeFiles/core_tests.dir/core/protection_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/protection_test.cc.o.d"
+  "/root/repo/tests/core/restricted_case_test.cc" "tests/CMakeFiles/core_tests.dir/core/restricted_case_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/restricted_case_test.cc.o.d"
+  "/root/repo/tests/core/router_api_test.cc" "tests/CMakeFiles/core_tests.dir/core/router_api_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/router_api_test.cc.o.d"
+  "/root/repo/tests/core/routing_equivalence_test.cc" "tests/CMakeFiles/core_tests.dir/core/routing_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/routing_equivalence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lumen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/lumen_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rwa/CMakeFiles/lumen_rwa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lumen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdm/CMakeFiles/lumen_wdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lumen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

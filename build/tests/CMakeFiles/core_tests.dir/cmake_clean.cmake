@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/all_pairs_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/all_pairs_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/aux_graph_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/aux_graph_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/constrained_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/constrained_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/goal_directed_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/goal_directed_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/k_shortest_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/k_shortest_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/multicast_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/multicast_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/node_revisit_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/node_revisit_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/paper_example_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/paper_example_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/protection_exactness_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/protection_exactness_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/protection_ksp_interop_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/protection_ksp_interop_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/protection_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/protection_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/restricted_case_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/restricted_case_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/router_api_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/router_api_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/routing_equivalence_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/routing_equivalence_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

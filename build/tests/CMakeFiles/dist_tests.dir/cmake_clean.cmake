@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_tests.dir/dist/async_router_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/async_router_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/diffusing_sssp_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/diffusing_sssp_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/dist_router_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/dist_router_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/distance_vector_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/distance_vector_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/distributed_sssp_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/distributed_sssp_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/sync_network_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/sync_network_test.cc.o.d"
+  "dist_tests"
+  "dist_tests.pdb"
+  "dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/betweenness_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/betweenness_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/betweenness_test.cc.o.d"
+  "/root/repo/tests/graph/csr_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/csr_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/csr_test.cc.o.d"
+  "/root/repo/tests/graph/digraph_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/digraph_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/digraph_test.cc.o.d"
+  "/root/repo/tests/graph/heap_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/heap_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/heap_test.cc.o.d"
+  "/root/repo/tests/graph/shortest_path_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/shortest_path_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/shortest_path_test.cc.o.d"
+  "/root/repo/tests/graph/suurballe_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/suurballe_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/suurballe_test.cc.o.d"
+  "/root/repo/tests/graph/traversal_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/traversal_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/traversal_test.cc.o.d"
+  "/root/repo/tests/graph/yen_ksp_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/yen_ksp_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/yen_ksp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lumen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/lumen_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rwa/CMakeFiles/lumen_rwa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lumen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdm/CMakeFiles/lumen_wdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lumen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

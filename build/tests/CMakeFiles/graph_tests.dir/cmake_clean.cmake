@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/betweenness_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/betweenness_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/csr_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/csr_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/digraph_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/digraph_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/heap_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/heap_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/shortest_path_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/shortest_path_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/suurballe_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/suurballe_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/traversal_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/traversal_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/yen_ksp_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/yen_ksp_test.cc.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

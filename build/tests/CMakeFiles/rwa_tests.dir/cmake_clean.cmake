@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwa_tests.dir/rwa/batch_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/batch_test.cc.o.d"
+  "CMakeFiles/rwa_tests.dir/rwa/defragment_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/defragment_test.cc.o.d"
+  "CMakeFiles/rwa_tests.dir/rwa/dynamic_workload_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/dynamic_workload_test.cc.o.d"
+  "CMakeFiles/rwa_tests.dir/rwa/failure_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/failure_test.cc.o.d"
+  "CMakeFiles/rwa_tests.dir/rwa/placement_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/placement_test.cc.o.d"
+  "CMakeFiles/rwa_tests.dir/rwa/session_manager_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/session_manager_test.cc.o.d"
+  "CMakeFiles/rwa_tests.dir/rwa/wavelength_assignment_test.cc.o"
+  "CMakeFiles/rwa_tests.dir/rwa/wavelength_assignment_test.cc.o.d"
+  "rwa_tests"
+  "rwa_tests.pdb"
+  "rwa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

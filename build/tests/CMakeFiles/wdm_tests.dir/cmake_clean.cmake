@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_tests.dir/wdm/conversion_test.cc.o"
+  "CMakeFiles/wdm_tests.dir/wdm/conversion_test.cc.o.d"
+  "CMakeFiles/wdm_tests.dir/wdm/io_test.cc.o"
+  "CMakeFiles/wdm_tests.dir/wdm/io_test.cc.o.d"
+  "CMakeFiles/wdm_tests.dir/wdm/metrics_test.cc.o"
+  "CMakeFiles/wdm_tests.dir/wdm/metrics_test.cc.o.d"
+  "CMakeFiles/wdm_tests.dir/wdm/network_test.cc.o"
+  "CMakeFiles/wdm_tests.dir/wdm/network_test.cc.o.d"
+  "CMakeFiles/wdm_tests.dir/wdm/semilightpath_test.cc.o"
+  "CMakeFiles/wdm_tests.dir/wdm/semilightpath_test.cc.o.d"
+  "CMakeFiles/wdm_tests.dir/wdm/wavelength_set_test.cc.o"
+  "CMakeFiles/wdm_tests.dir/wdm/wavelength_set_test.cc.o.d"
+  "wdm_tests"
+  "wdm_tests.pdb"
+  "wdm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
