@@ -73,4 +73,4 @@ BENCHMARK(BM_AllPairsSingleQuery)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -5,13 +5,77 @@
 // identical inputs.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "topo/topologies.h"
 #include "topo/wavelengths.h"
+#include "util/stats.h"
 #include "wdm/network.h"
+
+namespace lumen::bench {
+
+/// Exports p50/p90/p99 of a Percentiles accumulator as benchmark counters
+/// named `<prefix>_p50` etc.  No-op when the accumulator is empty.
+inline void export_percentile_counters(benchmark::State& state,
+                                       const std::string& prefix,
+                                       const Percentiles& sample) {
+  if (sample.count() == 0) return;
+  state.counters[prefix + "_p50"] = sample.p50();
+  state.counters[prefix + "_p90"] = sample.p90();
+  state.counters[prefix + "_p99"] = sample.p99();
+}
+
+/// Rewrites a `--json <file>` (or `--json=<file>`) flag into google
+/// benchmark's --benchmark_out/--benchmark_out_format pair, so every
+/// bench emits a machine-readable trajectory point with
+///
+///   ./bench_comparison --json out.json
+///
+/// Returns the (possibly rewritten) argv; `argc` is updated in place.
+/// The storage behind the returned pointers has static lifetime.
+inline char** apply_json_flag(int& argc, char** argv) {
+  static std::vector<std::string> storage;
+  static std::vector<char*> rewritten;
+  storage.clear();
+  rewritten.clear();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back("--benchmark_out=" + std::string(argv[++i]));
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(7));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  rewritten.reserve(storage.size());
+  for (std::string& s : storage) rewritten.push_back(s.data());
+  argc = static_cast<int>(rewritten.size());
+  return rewritten.data();
+}
+
+}  // namespace lumen::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --json.
+#define LUMEN_BENCH_MAIN()                                               \
+  int main(int argc, char** argv) {                                      \
+    char** lumen_argv = ::lumen::bench::apply_json_flag(argc, argv);     \
+    ::benchmark::Initialize(&argc, lumen_argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, lumen_argv))      \
+      return 1;                                                          \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    return 0;                                                            \
+  }                                                                      \
+  static_assert(true, "require a trailing semicolon")
 
 namespace lumen::bench {
 

@@ -79,4 +79,4 @@ BENCHMARK(BM_CFZ)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -95,4 +95,4 @@ BENCHMARK(BM_BuildGAll)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

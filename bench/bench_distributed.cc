@@ -117,4 +117,4 @@ BENCHMARK(BM_DistributedAllPairs)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -70,4 +70,4 @@ BENCHMARK(BM_AStarRoute)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -98,4 +98,4 @@ BENCHMARK(BM_HeapMixedOps<PairingHeap>)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

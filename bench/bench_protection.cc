@@ -9,6 +9,8 @@
 // quality/effort trade-off is visible.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <memory>
 
 #include "core/protection.h"
@@ -131,4 +133,4 @@ BENCHMARK(BM_Protection_Suurballe)->Arg(32)->Arg(128)->Arg(512)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

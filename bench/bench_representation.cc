@@ -69,4 +69,4 @@ BENCHMARK(BM_DijkstraCsr)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -85,4 +85,4 @@ BENCHMARK(BM_LS_SearchEffort)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -10,8 +10,11 @@
 //      well before every node is upgraded.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <memory>
 
+#include "obs/route_event.h"
 #include "rwa/dynamic_workload.h"
 #include "rwa/placement.h"
 #include "topo/topologies.h"
@@ -45,17 +48,23 @@ DynamicWorkloadConfig config_for(double load) {
 void run_policy(benchmark::State& state, RoutingPolicy policy) {
   const double load = static_cast<double>(state.range(0));
   double blocking = 0.0, utilization = 0.0;
+  Percentiles carried_cost(1024);
   for (auto _ : state) {
+    obs::RouteEventLog events;
     SessionManager manager(
         arpanet_full(std::make_shared<UniformConversion>(0.5)), policy);
+    manager.set_telemetry(&events);
     const auto result = run_dynamic_workload(manager, config_for(load));
     blocking = result.stats.blocking_rate();
     utilization = result.mean_utilization;
+    for (const obs::RouteEvent& e : events.snapshot())
+      if (e.outcome == "carried") carried_cost.add(e.cost);
     benchmark::DoNotOptimize(blocking);
   }
   state.counters["load_erlang"] = load;
   state.counters["blocking_pct"] = 100.0 * blocking;
   state.counters["utilization_pct"] = 100.0 * utilization;
+  bench::export_percentile_counters(state, "carried_cost", carried_cost);
 }
 
 void BM_Blocking_FirstFit(benchmark::State& state) {
@@ -106,4 +115,4 @@ BENCHMARK(BM_Blocking_SparseConverters)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LUMEN_BENCH_MAIN();

@@ -4,6 +4,9 @@
 //   $ ./lumen_route <network-file> --all-pairs           # cost matrix
 //   $ ./lumen_route --demo                               # emit a sample file
 //
+// With --metrics <file> a single-query run also appends one JSONL
+// RouteEvent record (schema: docs/OBSERVABILITY.md) describing the query.
+//
 // The scriptable face of the library: networks come from wdm/io's text
 // format (see src/wdm/io.h for the grammar), answers go to stdout as a
 // human-readable route plus the switch settings an operator would program.
@@ -15,6 +18,7 @@
 
 #include "core/all_pairs.h"
 #include "core/liang_shen.h"
+#include "obs/export.h"
 #include "wdm/io.h"
 
 using namespace lumen;
@@ -54,12 +58,42 @@ int run_all_pairs(const WdmNetwork& net) {
   return 0;
 }
 
-int run_query(const WdmNetwork& net, std::uint32_t s, std::uint32_t t) {
+/// Appends one RouteEvent JSONL record for the query to `metrics_path`.
+void dump_metrics(const char* metrics_path, std::uint32_t s, std::uint32_t t,
+                  const RouteResult& r) {
+  obs::RouteEvent event;
+  event.source = s;
+  event.target = t;
+  event.policy = "semilightpath";
+  event.heap = "fibonacci";
+  event.outcome = r.found ? "found" : "not_found";
+  event.cost = r.found ? r.cost : 0.0;
+  event.hops = static_cast<std::uint32_t>(r.path.length());
+  event.conversions = static_cast<std::uint32_t>(r.path.num_conversions());
+  event.aux_nodes = r.stats.aux_nodes;
+  event.aux_links = r.stats.aux_links;
+  event.relaxations = r.stats.search_relaxations;
+  event.heap_pops = r.stats.search_pops;
+  event.build_seconds = r.stats.build_seconds;
+  event.search_seconds = r.stats.search_seconds;
+  std::ofstream out(metrics_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open metrics file '%s'\n",
+                 metrics_path);
+    return;
+  }
+  const obs::RouteEvent events[] = {event};
+  obs::write_route_events_jsonl(out, events);
+}
+
+int run_query(const WdmNetwork& net, std::uint32_t s, std::uint32_t t,
+              const char* metrics_path) {
   if (s >= net.num_nodes() || t >= net.num_nodes()) {
     std::fprintf(stderr, "error: node ids must be < %u\n", net.num_nodes());
     return 2;
   }
   const RouteResult r = route_semilightpath(net, NodeId{s}, NodeId{t});
+  if (metrics_path != nullptr) dump_metrics(metrics_path, s, t, r);
   if (!r.found) {
     std::printf("no semilightpath from %u to %u\n", s, t);
     return 1;
@@ -76,9 +110,21 @@ int run_query(const WdmNetwork& net, std::uint32_t s, std::uint32_t t) {
 
 int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) return emit_demo();
+
+  // Peel off `--metrics <file>` wherever it appears.
+  const char* metrics_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+
   if (argc != 3 && argc != 4) {
     std::fprintf(stderr,
-                 "usage: %s <network-file> <src> <dst>\n"
+                 "usage: %s <network-file> <src> <dst> [--metrics <file>]\n"
                  "       %s <network-file> --all-pairs\n"
                  "       %s --demo    # print a sample network file\n",
                  argv[0], argv[0], argv[0]);
@@ -100,7 +146,8 @@ int main(int argc, char** argv) {
       return run_all_pairs(net);
     }
     return run_query(net, static_cast<std::uint32_t>(std::atoi(argv[2])),
-                     static_cast<std::uint32_t>(std::atoi(argv[3])));
+                     static_cast<std::uint32_t>(std::atoi(argv[3])),
+                     metrics_path);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

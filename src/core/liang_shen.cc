@@ -3,11 +3,29 @@
 #include "graph/binary_heap.h"
 #include "graph/dijkstra.h"
 #include "graph/pairing_heap.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace lumen {
 
 namespace {
+
+/// Ambient routing telemetry (no-ops under LUMEN_OBS_DISABLED).
+struct RouteInstruments {
+  obs::Counter& requests =
+      obs::Registry::global().counter("lumen.route.requests");
+  obs::Counter& found = obs::Registry::global().counter("lumen.route.found");
+  obs::Counter& not_found =
+      obs::Registry::global().counter("lumen.route.not_found");
+  obs::LatencyHistogram& latency =
+      obs::Registry::global().histogram("lumen.route.latency_ns");
+
+  static RouteInstruments& get() {
+    static RouteInstruments instruments;
+    return instruments;
+  }
+};
 
 ShortestPathTree run_dijkstra(const Digraph& g, NodeId source, NodeId target,
                               HeapKind heap) {
@@ -35,6 +53,9 @@ RouteResult trivial_self_route() {
 
 RouteResult route_on_aux(const WdmNetwork& net, const AuxiliaryGraph& aux,
                          HeapKind heap) {
+  RouteInstruments& instruments = RouteInstruments::get();
+  instruments.requests.add();
+
   RouteResult result;
   result.stats.aux_nodes = aux.stats().total_nodes();
   result.stats.aux_links = aux.stats().total_links();
@@ -43,22 +64,39 @@ RouteResult route_on_aux(const WdmNetwork& net, const AuxiliaryGraph& aux,
   Stopwatch timer;
   const NodeId source = aux.source_terminal();
   const NodeId sink = aux.sink_terminal();
+  obs::TraceSpan dijkstra_span("route.dijkstra");
   const ShortestPathTree tree = run_dijkstra(aux.graph(), source, sink, heap);
+  dijkstra_span.close();
   result.stats.search_seconds = timer.seconds();
   result.stats.search_pops = tree.pops;
   result.stats.search_relaxations = tree.relaxations;
 
+#if LUMEN_OBS_ENABLED
+  result.telemetry.emplace();
+  result.telemetry->aux_build_seconds = aux.stats().build_seconds;
+  result.telemetry->dijkstra_seconds = result.stats.search_seconds;
+#endif
+
   if (!tree.reached(sink)) {
     result.found = false;
     result.cost = kInfiniteCost;
+    instruments.not_found.add();
+    instruments.latency.record_seconds(result.stats.total_seconds());
     return result;
   }
   result.found = true;
   result.cost = tree.dist[sink.value()];
+  obs::TraceSpan extract_span("route.path_extract");
   const auto aux_path = extract_path(aux.graph(), tree, sink);
   LUMEN_ASSERT(aux_path.has_value());
   result.path = aux.to_semilightpath(*aux_path);
   result.switches = result.path.switch_settings(net);
+#if LUMEN_OBS_ENABLED
+  result.telemetry->path_extract_seconds = extract_span.elapsed_seconds();
+#endif
+  extract_span.close();
+  instruments.found.add();
+  instruments.latency.record_seconds(result.stats.total_seconds());
   return result;
 }
 
@@ -67,7 +105,10 @@ RouteResult route_semilightpath(const WdmNetwork& net, NodeId s, NodeId t,
   LUMEN_REQUIRE(s.value() < net.num_nodes());
   LUMEN_REQUIRE(t.value() < net.num_nodes());
   if (s == t) return trivial_self_route();
+  obs::TraceSpan route_span("route.semilightpath");
+  obs::TraceSpan build_span("route.aux_build");
   const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
+  build_span.close();
   return route_on_aux(net, aux, heap);
 }
 
@@ -75,6 +116,10 @@ RouteResult route_lightpath(const WdmNetwork& net, NodeId s, NodeId t) {
   LUMEN_REQUIRE(s.value() < net.num_nodes());
   LUMEN_REQUIRE(t.value() < net.num_nodes());
   if (s == t) return trivial_self_route();
+
+  RouteInstruments& instruments = RouteInstruments::get();
+  instruments.requests.add();
+  obs::TraceSpan route_span("route.lightpath");
 
   RouteResult best;
   best.found = false;
@@ -110,6 +155,12 @@ RouteResult route_lightpath(const WdmNetwork& net, NodeId s, NodeId t) {
   }
   best.switches.clear();  // lightpaths never convert
   best.stats.search_seconds = timer.seconds();
+#if LUMEN_OBS_ENABLED
+  best.telemetry.emplace();
+  best.telemetry->dijkstra_seconds = best.stats.search_seconds;
+#endif
+  (best.found ? instruments.found : instruments.not_found).add();
+  instruments.latency.record_seconds(best.stats.total_seconds());
   return best;
 }
 

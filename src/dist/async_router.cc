@@ -3,6 +3,7 @@
 #include "dist/async_network.h"
 #include "dist/protocol_state.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
+#include "obs/registry.h"
 
 namespace lumen {
 
@@ -79,6 +80,16 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
   }
   result.messages = sim.total_messages();
   result.virtual_time = sim.now();
+
+  static obs::Counter& runs =
+      obs::Registry::global().counter("lumen.dist.async.runs");
+  static obs::Counter& messages =
+      obs::Registry::global().counter("lumen.dist.async.messages");
+  static obs::LatencyHistogram& per_run =
+      obs::Registry::global().histogram("lumen.dist.async.messages_per_run");
+  runs.add();
+  messages.add(result.messages);
+  per_run.record(result.messages);
 
   const GadgetState& sink = gadgets[t.value()];
   const std::uint32_t best_x = dist_detail::best_arrival(sink);

@@ -5,6 +5,7 @@
 #include "dist/protocol_state.h"
 #include "dist/sync_network.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
+#include "obs/registry.h"
 
 namespace lumen {
 
@@ -53,12 +54,16 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
     }
   }
 
+  static obs::LatencyHistogram& queue_depth =
+      obs::Registry::global().histogram("lumen.dist.queue_depth");
+
   std::vector<std::uint32_t> dirty_x;
   while (sim.advance()) {
     for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
       const NodeId v{vi};
       const auto inbox = sim.inbox(v);
       if (inbox.empty()) continue;
+      queue_depth.record(inbox.size());
       GadgetState& gadget = run.gadgets[vi];
 
       // 1. Fold all offers of this round into the arrival labels X_v.
@@ -95,6 +100,15 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
   }
   run.messages = sim.total_messages();
   run.rounds = sim.rounds();
+
+  static obs::Counter& runs = obs::Registry::global().counter("lumen.dist.runs");
+  static obs::Counter& messages =
+      obs::Registry::global().counter("lumen.dist.messages");
+  static obs::Counter& rounds =
+      obs::Registry::global().counter("lumen.dist.rounds");
+  runs.add();
+  messages.add(run.messages);
+  rounds.add(run.rounds);
   return run;
 }
 

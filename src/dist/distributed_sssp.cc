@@ -2,6 +2,7 @@
 
 #include "dist/sync_network.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
+#include "obs/registry.h"
 
 namespace lumen {
 
@@ -24,12 +25,16 @@ DistributedSsspResult distributed_sssp(const Digraph& g, NodeId source) {
     }
   };
 
+  static obs::LatencyHistogram& queue_depth =
+      obs::Registry::global().histogram("lumen.dist.queue_depth");
+
   broadcast(source);
   while (net.advance()) {
     for (std::uint32_t vi = 0; vi < g.num_nodes(); ++vi) {
       const NodeId v{vi};
       const auto inbox = net.inbox(v);
       if (inbox.empty()) continue;
+      queue_depth.record(inbox.size());
       // Local computation: fold all offers of this round, then broadcast
       // at most once (message economy; does not change correctness).
       bool improved = false;
@@ -45,6 +50,13 @@ DistributedSsspResult distributed_sssp(const Digraph& g, NodeId source) {
   }
   result.messages = net.total_messages();
   result.rounds = net.rounds();
+
+  static obs::Counter& messages =
+      obs::Registry::global().counter("lumen.dist.sssp.messages");
+  static obs::Counter& rounds =
+      obs::Registry::global().counter("lumen.dist.sssp.rounds");
+  messages.add(result.messages);
+  rounds.add(result.rounds);
   return result;
 }
 

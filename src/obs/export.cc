@@ -1,0 +1,300 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace lumen::obs {
+
+namespace {
+
+/// Escapes a string for JSON and CSV-in-quotes contexts.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest representation that round-trips a double exactly.
+std::string fmt_double_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+/// Minimal parser for the flat JSON objects this module writes.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  /// Parses `{ "key": value, ... }`, invoking on_field(key, raw_string,
+  /// number, is_string) per pair.
+  template <class Callback>
+  void parse(Callback&& on_field) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '"') {
+        on_field(key, parse_string(), 0.0, true);
+      } else {
+        on_field(key, std::string{}, parse_number(), false);
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw Error("JSONL parse error at line " + std::to_string(line_no_) +
+                " col " + std::to_string(pos_ + 1) + ": " + what);
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+  char next() {
+    if (pos_ >= line_.size()) fail("unexpected end of line");
+    return line_[pos_++];
+  }
+  void expect(char c) {
+    if (next() != c) fail("unexpected character");
+  }
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // Only ASCII \u00xx escapes are ever written by this module.
+          if (pos_ + 4 > line_.size()) fail("truncated \\u escape");
+          const std::string hex = line_.substr(pos_, 4);
+          pos_ += 4;
+          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+  double parse_number() {
+    const char* begin = line_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  const std::string& line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string route_event_to_json(const RouteEvent& e) {
+  std::string out = "{";
+  const auto num = [&out](const char* key, const std::string& value) {
+    out += '"';
+    out += key;
+    out += "\":";
+    out += value;
+    out += ',';
+  };
+  const auto str = [&out](const char* key, const std::string& value) {
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += json_escape(value);
+    out += "\",";
+  };
+  num("sequence", std::to_string(e.sequence));
+  num("source", std::to_string(e.source));
+  num("target", std::to_string(e.target));
+  str("policy", e.policy);
+  str("heap", e.heap);
+  str("outcome", e.outcome);
+  num("cost", fmt_double_exact(e.cost));
+  num("hops", std::to_string(e.hops));
+  num("conversions", std::to_string(e.conversions));
+  num("aux_nodes", std::to_string(e.aux_nodes));
+  num("aux_links", std::to_string(e.aux_links));
+  num("relaxations", std::to_string(e.relaxations));
+  num("heap_pops", std::to_string(e.heap_pops));
+  num("build_seconds", fmt_double_exact(e.build_seconds));
+  num("search_seconds", fmt_double_exact(e.search_seconds));
+  out.back() = '}';
+  return out;
+}
+
+void write_route_events_jsonl(std::ostream& out,
+                              std::span<const RouteEvent> events) {
+  for (const RouteEvent& e : events) out << route_event_to_json(e) << '\n';
+}
+
+std::vector<RouteEvent> read_route_events_jsonl(std::istream& in) {
+  std::vector<RouteEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    RouteEvent e;
+    FlatJsonParser parser(line, line_no);
+    parser.parse([&e](const std::string& key, const std::string& s, double n,
+                      bool is_string) {
+      if (is_string) {
+        if (key == "policy") e.policy = s;
+        else if (key == "heap") e.heap = s;
+        else if (key == "outcome") e.outcome = s;
+        return;
+      }
+      if (key == "sequence") e.sequence = static_cast<std::uint64_t>(n);
+      else if (key == "source") e.source = static_cast<std::uint32_t>(n);
+      else if (key == "target") e.target = static_cast<std::uint32_t>(n);
+      else if (key == "cost") e.cost = n;
+      else if (key == "hops") e.hops = static_cast<std::uint32_t>(n);
+      else if (key == "conversions")
+        e.conversions = static_cast<std::uint32_t>(n);
+      else if (key == "aux_nodes") e.aux_nodes = static_cast<std::uint64_t>(n);
+      else if (key == "aux_links") e.aux_links = static_cast<std::uint64_t>(n);
+      else if (key == "relaxations")
+        e.relaxations = static_cast<std::uint64_t>(n);
+      else if (key == "heap_pops") e.heap_pops = static_cast<std::uint64_t>(n);
+      else if (key == "build_seconds") e.build_seconds = n;
+      else if (key == "search_seconds") e.search_seconds = n;
+    });
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void write_route_events_csv(std::ostream& out,
+                            std::span<const RouteEvent> events) {
+  out << "sequence,source,target,policy,heap,outcome,cost,hops,conversions,"
+         "aux_nodes,aux_links,relaxations,heap_pops,build_seconds,"
+         "search_seconds\n";
+  for (const RouteEvent& e : events) {
+    out << e.sequence << ',' << e.source << ',' << e.target << ','
+        << csv_quote(e.policy) << ',' << csv_quote(e.heap) << ','
+        << csv_quote(e.outcome) << ',' << fmt_double_exact(e.cost) << ','
+        << e.hops << ',' << e.conversions << ',' << e.aux_nodes << ','
+        << e.aux_links << ',' << e.relaxations << ',' << e.heap_pops << ','
+        << fmt_double_exact(e.build_seconds) << ','
+        << fmt_double_exact(e.search_seconds) << '\n';
+  }
+}
+
+#if LUMEN_OBS_ENABLED
+
+namespace {
+
+/// Registry names use dots; Prometheus wants [a-zA-Z0-9_:].
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counter_entries()) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : registry.histogram_entries()) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    int highest = -1;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (histogram->bucket_count(b) != 0) highest = b;
+    }
+    for (int b = 0; b <= highest; ++b) {
+      cumulative += histogram->bucket_count(b);
+      out += metric + "_bucket{le=\"" +
+             std::to_string(LatencyHistogram::bucket_upper_bound(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += metric + "_sum " + std::to_string(histogram->sum()) + "\n";
+    out += metric + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+#endif  // LUMEN_OBS_ENABLED
+
+}  // namespace lumen::obs

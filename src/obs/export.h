@@ -1,0 +1,62 @@
+// Machine-readable telemetry exporters.
+//
+// Three formats:
+//   - JSONL: one flat JSON object per RouteEvent per line.  Lossless —
+//     read_route_events_jsonl() round-trips the writer's output exactly
+//     (doubles are printed with 17 significant digits).
+//   - CSV: the same fields with a header row, for spreadsheet intake.
+//   - Prometheus text exposition: every Registry counter becomes a
+//     `counter` metric, every LatencyHistogram a `histogram` metric with
+//     power-of-two `le` buckets, `_sum`, and `_count`.  Metric names are
+//     the registry names with [.-] mapped to '_'.
+//
+// Field order of the JSONL/CSV schema is documented in
+// docs/OBSERVABILITY.md; tests/obs/export_test.cc pins it.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/route_event.h"
+
+namespace lumen::obs {
+
+/// Serializes one event as a single-line flat JSON object (no newline).
+[[nodiscard]] std::string route_event_to_json(const RouteEvent& event);
+
+/// Writes one JSON object per line.
+void write_route_events_jsonl(std::ostream& out,
+                              std::span<const RouteEvent> events);
+
+/// Parses JSONL as produced by write_route_events_jsonl (flat objects,
+/// string or numeric values).  Unknown keys are ignored; blank lines are
+/// skipped.  Throws lumen::Error on malformed input.
+[[nodiscard]] std::vector<RouteEvent> read_route_events_jsonl(
+    std::istream& in);
+
+/// Writes a header row plus one CSV row per event (RFC-4180 quoting for
+/// the string fields).
+void write_route_events_csv(std::ostream& out,
+                            std::span<const RouteEvent> events);
+
+#if LUMEN_OBS_ENABLED
+
+/// Renders every instrument of `registry` in Prometheus text exposition
+/// format (version 0.0.4).
+[[nodiscard]] std::string prometheus_text(
+    const Registry& registry = Registry::global());
+
+#else
+
+[[nodiscard]] inline std::string prometheus_text() { return {}; }
+[[nodiscard]] inline std::string prometheus_text(const Registry&) {
+  return {};
+}
+
+#endif  // LUMEN_OBS_ENABLED
+
+}  // namespace lumen::obs

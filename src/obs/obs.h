@@ -1,0 +1,19 @@
+// Compile-time switch for the lumen::obs telemetry subsystem.
+//
+// Define LUMEN_OBS_DISABLED (globally via -DLUMEN_OBS_DISABLED=ON at
+// configure time, or per translation unit before including any obs
+// header) and every counter increment, histogram record, and trace span
+// compiles down to nothing: the headers swap in inline no-op stubs with
+// the identical API, so call sites never need #ifdef guards.
+//
+// The enabled and disabled implementations live in distinct inline
+// namespaces (lumen::obs::enabled / lumen::obs::disabled), so a binary
+// may legally mix translation units built both ways — the disabled-mode
+// unit test relies on this.
+#pragma once
+
+#if defined(LUMEN_OBS_DISABLED)
+#define LUMEN_OBS_ENABLED 0
+#else
+#define LUMEN_OBS_ENABLED 1
+#endif

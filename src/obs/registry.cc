@@ -1,0 +1,134 @@
+#include "obs/registry.h"
+
+#if LUMEN_OBS_ENABLED
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_)
+    total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::min() const noexcept {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+std::uint64_t LatencyHistogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::percentile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+
+  // The rank-q observation (nearest-rank, 1-based), then interpolate by
+  // its position within the covering bucket's [lower, upper] tick range.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (cumulative + counts[b] < rank) {
+      cumulative += counts[b];
+      continue;
+    }
+    if (b == 0) return 0.0;
+    const double lower = static_cast<double>(std::uint64_t{1} << (b - 1));
+    const double upper = 2.0 * lower;
+    const double within = static_cast<double>(rank - cumulative - 1) /
+                          static_cast<double>(counts[b]);
+    return lower + (upper - lower) * within;
+  }
+  return static_cast<double>(max());
+}
+
+HistogramSummary LatencyHistogram::summary() const noexcept {
+  HistogramSummary s;
+  s.count = count();
+  s.mean = mean();
+  s.min = static_cast<double>(min());
+  s.max = static_cast<double>(max());
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+              .first->second;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counter_entries()
+    const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    entries.emplace_back(name, counter.get());
+  return entries;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+Registry::histogram_entries() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> entries;
+  entries.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    entries.emplace_back(name, histogram.get());
+  return entries;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

@@ -1,0 +1,251 @@
+// Named telemetry instruments: counters and log-scale latency histograms.
+//
+// Counter and LatencyHistogram increments are lock-free (relaxed atomics)
+// so hot routing paths can be instrumented without serialization.  The
+// Registry maps stable names to instruments; call sites cache the
+// reference once:
+//
+//   static obs::Counter& c = obs::Registry::global().counter("lumen.x");
+//   c.add();
+//
+// which costs one relaxed fetch_add per event.  With LUMEN_OBS_DISABLED
+// the same code compiles to a no-op (see obs.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+#if LUMEN_OBS_ENABLED
+
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+/// Monotonic event counter; increments are lock-free and thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// RunningStats-compatible condensation of a histogram.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed-bucket base-2 log-scale histogram over unsigned ticks.
+///
+/// Bucket 0 holds exact zeros; bucket b >= 1 holds [2^(b-1), 2^b).  For
+/// latencies the convention is ticks = nanoseconds (use record_seconds /
+/// percentile_seconds); unit-less quantities (queue depths, message
+/// counts) record raw ticks.  All mutation is lock-free; percentile reads
+/// interpolate linearly inside the covering bucket, so the relative error
+/// is bounded by the bucket width (a factor of 2).
+class LatencyHistogram {
+ public:
+  /// 0, then 64 powers-of-two ranges: enough for any uint64 tick.
+  static constexpr int kBuckets = 65;
+
+  void record(std::uint64_t ticks) noexcept {
+    buckets_[bucket_of(ticks)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ticks, std::memory_order_relaxed);
+    update_extreme(min_, ticks, /*want_less=*/true);
+    update_extreme(max_, ticks, /*want_less=*/false);
+  }
+  /// Records a duration in seconds as nanosecond ticks (negative -> 0).
+  void record_seconds(double seconds) noexcept {
+    record(seconds <= 0.0 ? 0
+                          : static_cast<std::uint64_t>(seconds * 1e9 + 0.5));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  /// Sum of all recorded ticks.
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+
+  /// The q-th percentile (0 <= q <= 1) in ticks, linearly interpolated
+  /// within the covering bucket.  0 when empty.
+  [[nodiscard]] double percentile(double q) const noexcept;
+  [[nodiscard]] double percentile_seconds(double q) const noexcept {
+    return percentile(q) / 1e9;
+  }
+
+  /// count/mean/min/max like RunningStats, plus p50/p90/p99 (ticks).
+  [[nodiscard]] HistogramSummary summary() const noexcept;
+
+  void reset() noexcept;
+
+  /// Observations in bucket b (for exporters).
+  [[nodiscard]] std::uint64_t bucket_count(int b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket b: 0 for b == 0, else 2^b - 1.
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(int b) noexcept {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+  [[nodiscard]] static int bucket_of(std::uint64_t ticks) noexcept {
+    return ticks == 0 ? 0 : std::bit_width(ticks);
+  }
+
+ private:
+  static void update_extreme(std::atomic<std::uint64_t>& slot,
+                             std::uint64_t ticks, bool want_less) noexcept {
+    std::uint64_t seen = slot.load(std::memory_order_relaxed);
+    while (want_less ? ticks < seen : ticks > seen) {
+      if (slot.compare_exchange_weak(seen, ticks, std::memory_order_relaxed))
+        break;
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name -> instrument map.  Lookup takes a mutex (cache the reference at
+/// call sites); the returned references stay valid for the registry's
+/// lifetime.  A process-wide instance is available via global().
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// The counter/histogram registered under `name`, creating it on first
+  /// use.  Thread-safe.
+  Counter& counter(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  /// Sorted (name, instrument) views for exporters.
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counter_entries() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
+  histogram_entries() const;
+
+  /// Zeroes every instrument (registrations survive).  For tests.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#else  // LUMEN_OBS_ENABLED
+
+namespace lumen::obs {
+inline namespace disabled {
+
+/// No-op stand-in: see the enabled definition for semantics.
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// No-op stand-in: see the enabled definition for semantics.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 65;
+  void record(std::uint64_t) noexcept {}
+  void record_seconds(double) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  [[nodiscard]] double mean() const noexcept { return 0.0; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return 0; }
+  [[nodiscard]] double percentile(double) const noexcept { return 0.0; }
+  [[nodiscard]] double percentile_seconds(double) const noexcept {
+    return 0.0;
+  }
+  [[nodiscard]] HistogramSummary summary() const noexcept { return {}; }
+  void reset() noexcept {}
+  [[nodiscard]] std::uint64_t bucket_count(int) const noexcept { return 0; }
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(int) noexcept {
+    return 0;
+  }
+  [[nodiscard]] static int bucket_of(std::uint64_t) noexcept { return 0; }
+};
+
+/// No-op stand-in: hands out shared dummy instruments.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global() {
+    static Registry instance;
+    return instance;
+  }
+  Counter& counter(std::string_view) {
+    static Counter dummy;
+    return dummy;
+  }
+  LatencyHistogram& histogram(std::string_view) {
+    static LatencyHistogram dummy;
+    return dummy;
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counter_entries() const {
+    return {};
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
+  histogram_entries() const {
+    return {};
+  }
+  void reset() {}
+};
+
+}  // inline namespace disabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

@@ -1,0 +1,99 @@
+// Structured per-request routing records.
+//
+// One RouteEvent is produced per routing request (SessionManager::open,
+// the lumen_route CLI, or any caller that fills one in): what was asked,
+// which policy answered, what it cost, and how hard the engine worked.
+// The schema is flat and numeric on purpose — every field lands verbatim
+// in the JSONL/CSV exporters (obs/export.h), so downstream analysis never
+// parses nested structures.
+//
+// RouteEvent/RouteEventLog are plain passive data (no ambient cost when
+// nobody appends), so they stay available even under LUMEN_OBS_DISABLED;
+// only the ambient instruments (registry, spans) compile away.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace lumen::obs {
+
+/// One routing request, machine-readable.
+struct RouteEvent {
+  /// Monotone per-producer sequence number.
+  std::uint64_t sequence = 0;
+  std::uint32_t source = 0;
+  std::uint32_t target = 0;
+  /// Routing policy that served the request ("first_fit", "lightpath",
+  /// "semilightpath", ...).
+  std::string policy;
+  /// Dijkstra heap used, when applicable ("fibonacci", "binary", ...).
+  std::string heap;
+  /// "carried", "blocked", "rerouted", "dropped", "found", "not_found".
+  std::string outcome;
+  /// C(P) of the chosen route (meaningless unless the outcome carries).
+  double cost = 0.0;
+  std::uint32_t hops = 0;
+  std::uint32_t conversions = 0;
+  /// Auxiliary-graph size searched (paper Observations 1-5 axes).
+  std::uint64_t aux_nodes = 0;
+  std::uint64_t aux_links = 0;
+  /// Search effort.
+  std::uint64_t relaxations = 0;
+  std::uint64_t heap_pops = 0;
+  /// Stage timings.
+  double build_seconds = 0.0;
+  double search_seconds = 0.0;
+
+  friend bool operator==(const RouteEvent&, const RouteEvent&) = default;
+};
+
+/// Append-only, thread-safe event sink.  A capacity of 0 means unbounded;
+/// otherwise the oldest events are discarded once the cap is reached
+/// (bounded memory for long-running processes).
+class RouteEventLog {
+ public:
+  explicit RouteEventLog(std::size_t capacity = 0) : capacity_(capacity) {}
+  RouteEventLog(const RouteEventLog&) = delete;
+  RouteEventLog& operator=(const RouteEventLog&) = delete;
+
+  void append(RouteEvent event) {
+    const std::scoped_lock lock(mutex_);
+    events_.push_back(std::move(event));
+    if (capacity_ != 0 && events_.size() > capacity_) {
+      events_.erase(events_.begin(),
+                    events_.begin() +
+                        static_cast<std::ptrdiff_t>(events_.size() -
+                                                    capacity_));
+      // Erase in bulk (appends outpace the cap by at most 1, but bulk
+      // keeps the invariant obvious).
+    }
+  }
+
+  [[nodiscard]] std::vector<RouteEvent> snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return events_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return events_.size();
+  }
+
+  void clear() {
+    const std::scoped_lock lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RouteEvent> events_;
+};
+
+}  // namespace lumen::obs

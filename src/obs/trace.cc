@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#if LUMEN_OBS_ENABLED
+
+namespace lumen::obs {
+inline namespace enabled {
+
+namespace {
+
+/// Per-thread span nesting depth.
+thread_local std::uint32_t t_depth = 0;
+
+std::uint64_t to_ns(std::chrono::steady_clock::time_point tp) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector instance;
+  return instance;
+}
+
+void TraceCollector::emit(const TraceRecord& record) {
+  const std::scoped_lock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++emitted_;
+}
+
+std::vector<TraceRecord> TraceCollector::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring has wrapped: next_ is the oldest record.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceCollector::total_emitted() const {
+  const std::scoped_lock lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return emitted_ - ring_.size();
+}
+
+void TraceCollector::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  emitted_ = 0;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceCollector* collector)
+    : name_(name), collector_(collector), start_(clock::now()),
+      depth_(t_depth++) {}
+
+TraceSpan::~TraceSpan() { close(); }
+
+double TraceSpan::elapsed_seconds() const noexcept {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+void TraceSpan::close() {
+  if (!open_) return;
+  open_ = false;
+  --t_depth;
+  if (collector_ == nullptr) return;
+  TraceRecord record;
+  record.name = name_;
+  record.start_ns = to_ns(start_);
+  record.duration_ns = to_ns(clock::now()) - record.start_ns;
+  record.depth = depth_;
+  collector_->emit(record);
+}
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

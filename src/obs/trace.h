@@ -1,0 +1,158 @@
+// Scoped stage timing: RAII trace spans + a process-wide ring buffer.
+//
+// A routing call decomposes into named stages by wrapping each stage in a
+// TraceSpan:
+//
+//   {
+//     obs::TraceSpan span("route.dijkstra");
+//     ... run the search ...
+//   }                       // span closes, one TraceRecord lands in the
+//                           // collector's ring buffer
+//
+// Spans nest: each record carries the nesting depth of its thread at open
+// time, so a flame-style decomposition (aux_build -> dijkstra ->
+// path_extract under route.semilightpath) can be reconstructed from the
+// buffer.  The collector is a fixed-capacity ring — old records are
+// overwritten, never reallocated — so tracing is safe to leave on in
+// long-running processes.  With LUMEN_OBS_DISABLED everything here is a
+// no-op (see obs.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace lumen::obs {
+
+/// One closed span.  `name` must point to storage outliving the collector
+/// (string literals in practice).
+struct TraceRecord {
+  const char* name = nullptr;
+  /// Steady-clock timestamp of span open, in ns (monotonic, arbitrary
+  /// epoch — only differences are meaningful).
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Nesting depth of the opening thread at open time (0 = root span).
+  std::uint32_t depth = 0;
+};
+
+}  // namespace lumen::obs
+
+#if LUMEN_OBS_ENABLED
+
+#include <chrono>
+#include <mutex>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+/// Fixed-capacity ring buffer of TraceRecords.  emit() takes a mutex;
+/// span open/close touch only the clock and a thread-local depth counter.
+class TraceCollector {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceCollector(std::size_t capacity = kDefaultCapacity);
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  static TraceCollector& global();
+
+  void emit(const TraceRecord& record);
+
+  /// The retained records, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Records emitted over the collector's lifetime.
+  [[nodiscard]] std::uint64_t total_emitted() const;
+  /// Records overwritten by ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;
+  std::size_t next_ = 0;       // ring write cursor
+  std::uint64_t emitted_ = 0;  // lifetime total
+};
+
+/// RAII stage timer.  Opens on construction, emits one TraceRecord into
+/// the collector on close() or destruction (whichever comes first).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     TraceCollector* collector = &TraceCollector::global());
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Seconds since the span opened (works before and after close()).
+  [[nodiscard]] double elapsed_seconds() const noexcept;
+
+  /// Emits the record now; later close()/destruction is a no-op.
+  void close();
+
+  /// Nesting depth the span opened at (0 = root).
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  const char* name_;
+  TraceCollector* collector_;
+  clock::time_point start_;
+  std::uint32_t depth_;
+  bool open_ = true;
+};
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#else  // LUMEN_OBS_ENABLED
+
+namespace lumen::obs {
+inline namespace disabled {
+
+/// No-op stand-in: see the enabled definition for semantics.
+class TraceCollector {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  explicit TraceCollector(std::size_t = kDefaultCapacity) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+  static TraceCollector& global() {
+    static TraceCollector instance;
+    return instance;
+  }
+  void emit(const TraceRecord&) {}
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const { return {}; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
+  [[nodiscard]] std::size_t size() const { return 0; }
+  [[nodiscard]] std::uint64_t total_emitted() const { return 0; }
+  [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  void clear() {}
+};
+
+/// No-op stand-in: never reads the clock.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*,
+                     TraceCollector* = &TraceCollector::global()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  [[nodiscard]] double elapsed_seconds() const noexcept { return 0.0; }
+  void close() {}
+  [[nodiscard]] std::uint32_t depth() const noexcept { return 0; }
+};
+
+}  // inline namespace disabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

@@ -5,8 +5,23 @@
 
 #include "core/liang_shen.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace lumen {
+
+namespace {
+
+const char* policy_name(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kLightpathFirstFit: return "first_fit";
+    case RoutingPolicy::kLightpathBestCost: return "lightpath";
+    case RoutingPolicy::kSemilightpath: return "semilightpath";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 SessionManager::SessionManager(WdmNetwork network, RoutingPolicy policy)
     : net_(std::move(network)),
@@ -96,11 +111,28 @@ std::optional<SessionId> SessionManager::open(NodeId source, NodeId target) {
   LUMEN_REQUIRE_MSG(source != target, "a session needs distinct endpoints");
   ++stats_.offered;
 
+  static obs::Counter& offered_counter =
+      obs::Registry::global().counter("lumen.rwa.offered");
+  static obs::Counter& carried_counter =
+      obs::Registry::global().counter("lumen.rwa.carried");
+  static obs::Counter& blocked_counter =
+      obs::Registry::global().counter("lumen.rwa.blocked");
+  static obs::LatencyHistogram& open_latency =
+      obs::Registry::global().histogram("lumen.rwa.open_latency_ns");
+  offered_counter.add();
+  obs::TraceSpan open_span("rwa.open");
+
   const RouteResult route = route_request(source, target);
   if (!route.found) {
     ++stats_.blocked;
+    blocked_counter.add();
+    open_latency.record_seconds(open_span.elapsed_seconds());
+    record_event(source, target, route, "blocked");
+    maybe_snapshot_metrics();
     return std::nullopt;
   }
+  carried_counter.add();
+  open_latency.record_seconds(open_span.elapsed_seconds());
 
   SessionRecord record;
   record.id = SessionId{static_cast<std::uint32_t>(next_id_++)};
@@ -114,7 +146,49 @@ std::optional<SessionId> SessionManager::open(NodeId source, NodeId target) {
   ++active_;
   const SessionId id = record.id;
   sessions_.emplace(id, std::move(record));
+  // Telemetry last, so a metrics snapshot sees the post-reservation state.
+  record_event(source, target, route, "carried");
+  maybe_snapshot_metrics();
   return id;
+}
+
+void SessionManager::set_telemetry(obs::RouteEventLog* events,
+                                   std::uint32_t metrics_every) {
+  event_log_ = events;
+  metrics_every_ = metrics_every;
+}
+
+void SessionManager::record_event(NodeId source, NodeId target,
+                                  const RouteResult& route,
+                                  const char* outcome) {
+  if (event_log_ == nullptr) return;
+  obs::RouteEvent event;
+  event.sequence = event_sequence_++;
+  event.source = source.value();
+  event.target = target.value();
+  event.policy = policy_name(policy_);
+  if (policy_ == RoutingPolicy::kSemilightpath) event.heap = "fibonacci";
+  event.outcome = outcome;
+  event.cost = route.cost;
+  event.hops = static_cast<std::uint32_t>(route.path.length());
+  event.conversions = route.path.num_conversions();
+  event.aux_nodes = route.stats.aux_nodes;
+  event.aux_links = route.stats.aux_links;
+  event.relaxations = route.stats.search_relaxations;
+  event.heap_pops = route.stats.search_pops;
+  event.build_seconds = route.stats.build_seconds;
+  event.search_seconds = route.stats.search_seconds;
+  event_log_->append(std::move(event));
+}
+
+void SessionManager::maybe_snapshot_metrics() {
+  if (metrics_every_ == 0 || stats_.offered % metrics_every_ != 0) return;
+  MetricsSnapshot snapshot;
+  snapshot.offered = stats_.offered;
+  snapshot.active = active_;
+  snapshot.utilization = wavelength_utilization();
+  snapshot.metrics = compute_metrics(net_);
+  metrics_series_.push_back(snapshot);
 }
 
 void SessionManager::reserve(SessionRecord& record,
@@ -197,11 +271,13 @@ SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
       reserve(record, reroute);
       ++report.rerouted;
       ++stats_.rerouted;
+      record_event(record.source, record.target, reroute, "rerouted");
     } else {
       record.active = false;
       --active_;
       ++report.dropped;
       ++stats_.dropped;
+      record_event(record.source, record.target, reroute, "dropped");
     }
   }
   return report;

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "core/route_types.h"
+#include "obs/route_event.h"
 #include "util/strong_id.h"
+#include "wdm/metrics.h"
 #include "wdm/network.h"
 #include "wdm/semilightpath.h"
 
@@ -73,6 +75,16 @@ struct SessionStats {
     return carried == 0 ? 0.0
                         : carried_cost_sum / static_cast<double>(carried);
   }
+};
+
+/// One point of the periodic residual-state time series recorded when
+/// telemetry is attached (see SessionManager::set_telemetry).
+struct MetricsSnapshot {
+  /// stats().offered at sample time (the series' x-axis).
+  std::uint64_t offered = 0;
+  std::uint64_t active = 0;
+  double utilization = 0.0;
+  NetworkMetrics metrics;
 };
 
 /// Owns the residual network state and the session table.
@@ -137,6 +149,22 @@ class SessionManager {
   /// Fraction of the base network's (link, λ) pairs currently reserved.
   [[nodiscard]] double wavelength_utilization() const noexcept;
 
+  /// Attaches per-request event logging and (when metrics_every > 0) a
+  /// NetworkMetrics snapshot of the residual state every `metrics_every`
+  /// offered requests.  `events` may be null (snapshots only) and must
+  /// outlive the manager; pass (nullptr, 0) to detach.  One RouteEvent is
+  /// appended per offered request, plus one per reroute/drop decision
+  /// made by fail_span.
+  void set_telemetry(obs::RouteEventLog* events,
+                     std::uint32_t metrics_every = 0);
+
+  /// The recorded residual-state time series (empty until telemetry with
+  /// metrics_every > 0 is attached).
+  [[nodiscard]] const std::vector<MetricsSnapshot>& metrics_series()
+      const noexcept {
+    return metrics_series_;
+  }
+
  private:
   [[nodiscard]] RouteResult route_request(NodeId source, NodeId target) const;
   [[nodiscard]] RouteResult first_fit_route(NodeId source,
@@ -145,6 +173,13 @@ class SessionManager {
   void reserve(SessionRecord& record, const RouteResult& route);
   /// Returns a session's resources to the pool, skipping failed links.
   void release_resources(SessionRecord& record);
+
+  /// Appends one RouteEvent for a routing decision (no-op when no log is
+  /// attached).
+  void record_event(NodeId source, NodeId target, const RouteResult& route,
+                    const char* outcome);
+  /// Samples the residual-state metrics when the period is due.
+  void maybe_snapshot_metrics();
 
   WdmNetwork net_;  // residual availability (mutated)
   RoutingPolicy policy_;
@@ -157,6 +192,11 @@ class SessionManager {
   /// Pristine Λ(e) with costs, captured at construction (repair source).
   std::vector<std::vector<LinkWavelength>> base_availability_;
   std::vector<char> link_failed_;
+  /// Telemetry (inert until set_telemetry is called).
+  obs::RouteEventLog* event_log_ = nullptr;
+  std::uint32_t metrics_every_ = 0;
+  std::uint64_t event_sequence_ = 0;
+  std::vector<MetricsSnapshot> metrics_series_;
 };
 
 }  // namespace lumen

@@ -4,10 +4,34 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace lumen {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Percentiles::Percentiles(std::size_t capacity)
+    : capacity_(capacity), rng_state_(0x0b5e41edULL) {
+  LUMEN_REQUIRE(capacity > 0);
+  reservoir_.reserve(capacity);
+}
+
+void Percentiles::add(double x) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+    return;
+  }
+  // Algorithm R: keep the new observation with probability capacity/seen,
+  // evicting a uniformly random resident.
+  const std::uint64_t slot = splitmix64(rng_state_) % seen_;
+  if (slot < capacity_) reservoir_[slot] = x;
+}
+
+double Percentiles::percentile(double q) const {
+  LUMEN_REQUIRE(seen_ > 0);
+  return quantile(reservoir_, q);
+}
 
 double quantile(std::vector<double> sample, double q) {
   LUMEN_REQUIRE(!sample.empty());

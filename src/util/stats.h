@@ -2,9 +2,19 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace lumen {
+
+/// Point-in-time condensation of a RunningStats accumulator.
+struct StatsSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 class RunningStats {
@@ -29,12 +39,53 @@ class RunningStats {
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
 
+  /// All of the above in one value (for tables and exporters).
+  [[nodiscard]] StatsSummary summary() const noexcept {
+    return {count_, mean_, stddev(), min_, max_};
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Streaming percentile estimator with a fixed memory footprint:
+/// reservoir sampling (Vitter's algorithm R) over a bounded sample, so an
+/// arbitrarily long observation stream yields p50/p90/p99 estimates from
+/// O(capacity) memory.  Deterministic for a given insertion order (the
+/// internal RNG is fix-seeded).  Companion to RunningStats: keep both
+/// when you need mean/stddev *and* tail percentiles.
+class Percentiles {
+ public:
+  explicit Percentiles(std::size_t capacity = 1024);
+
+  /// Adds one observation.
+  void add(double x);
+
+  /// Observations offered so far (not the retained sample size).
+  [[nodiscard]] std::size_t count() const noexcept { return seen_; }
+  /// Observations currently retained (min(count, capacity)).
+  [[nodiscard]] std::size_t sample_size() const noexcept {
+    return reservoir_.size();
+  }
+
+  /// The q-th percentile estimate (0 <= q <= 1), linearly interpolated
+  /// over the retained sample.  Requires count() > 0.  Exact while
+  /// count() <= capacity; an unbiased sample estimate beyond.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p90() const { return percentile(0.90); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<double> reservoir_;
+  std::uint64_t rng_state_;
 };
 
 /// The q-th quantile (0 <= q <= 1) of a sample, with linear interpolation.

@@ -1,0 +1,85 @@
+// Compiles the obs headers with LUMEN_OBS_DISABLED and checks the whole
+// instrumentation surface degrades to inert no-ops.  The inline disabled
+// stubs live in their own inline namespace, so this TU links cleanly into
+// a binary whose other TUs use the enabled implementation.
+#define LUMEN_OBS_DISABLED
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+static_assert(LUMEN_OBS_ENABLED == 0,
+              "LUMEN_OBS_DISABLED must switch the gate off");
+
+namespace lumen::obs {
+namespace {
+
+TEST(DisabledObsTest, CounterIsInert) {
+  Counter c;
+  c.add();
+  c.add(1000);
+  EXPECT_EQ(c.value(), 0u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DisabledObsTest, HistogramIsInert) {
+  LatencyHistogram h;
+  h.record(123);
+  h.record_seconds(4.5);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  EXPECT_EQ(h.summary().count, 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST(DisabledObsTest, RegistryHandsOutDummiesAndStaysEmpty) {
+  Registry& registry = Registry::global();
+  registry.counter("lumen.disabled.a").add(7);
+  registry.histogram("lumen.disabled.b").record(7);
+  EXPECT_TRUE(registry.counter_entries().empty());
+  EXPECT_TRUE(registry.histogram_entries().empty());
+  EXPECT_EQ(registry.counter("lumen.disabled.a").value(), 0u);
+}
+
+TEST(DisabledObsTest, SpansAndCollectorAreInert) {
+  TraceCollector& collector = TraceCollector::global();
+  {
+    TraceSpan outer("outer", &collector);
+    TraceSpan inner("inner", &collector);
+    EXPECT_EQ(inner.depth(), 0u);
+    EXPECT_DOUBLE_EQ(inner.elapsed_seconds(), 0.0);
+    inner.close();
+  }
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_EQ(collector.total_emitted(), 0u);
+  EXPECT_TRUE(collector.snapshot().empty());
+}
+
+TEST(DisabledObsTest, PrometheusExportIsEmpty) {
+  EXPECT_EQ(prometheus_text(Registry::global()), "");
+}
+
+TEST(DisabledObsTest, RouteEventLogStillWorks) {
+  // The structured event log is passive data, not ambient instrumentation:
+  // it stays functional even when the obs gate is off.
+  RouteEventLog log;
+  RouteEvent e;
+  e.sequence = 1;
+  e.outcome = "carried";
+  log.append(e);
+  EXPECT_EQ(log.size(), 1u);
+  std::stringstream stream;
+  write_route_events_jsonl(stream, log.snapshot());
+  EXPECT_EQ(read_route_events_jsonl(stream).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lumen::obs

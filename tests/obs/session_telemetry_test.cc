@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/liang_shen.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/route_event.h"
+#include "rwa/session_manager.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+/// A tiny chain 0 -> 1 -> 2 with two wavelengths everywhere.
+WdmNetwork chain_net() {
+  WdmNetwork net(3, 2, std::make_shared<UniformConversion>(0.25));
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{i + 1});
+    net.set_wavelength(e, Wavelength{0}, 1.0);
+    net.set_wavelength(e, Wavelength{1}, 1.0);
+  }
+  return net;
+}
+
+TEST(SessionTelemetryTest, OneEventPerOfferedRequest) {
+  obs::RouteEventLog log;
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  manager.set_telemetry(&log);
+  ASSERT_TRUE(manager.open(NodeId{0}, NodeId{2}).has_value());
+  ASSERT_TRUE(manager.open(NodeId{0}, NodeId{2}).has_value());
+  EXPECT_FALSE(manager.open(NodeId{0}, NodeId{2}).has_value());  // full
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), manager.stats().offered);
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, i);
+    EXPECT_EQ(events[i].source, 0u);
+    EXPECT_EQ(events[i].target, 2u);
+    EXPECT_EQ(events[i].policy, "semilightpath");
+  }
+  EXPECT_EQ(events[0].outcome, "carried");
+  EXPECT_EQ(events[1].outcome, "carried");
+  EXPECT_EQ(events[2].outcome, "blocked");
+  EXPECT_EQ(events[0].hops, 2u);
+  EXPECT_GT(events[0].cost, 0.0);
+  EXPECT_GT(events[0].aux_nodes, 0u);
+  EXPECT_GT(events[0].relaxations, 0u);
+}
+
+TEST(SessionTelemetryTest, EventsSurviveJsonlRoundTrip) {
+  obs::RouteEventLog log;
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  manager.set_telemetry(&log);
+  (void)manager.open(NodeId{0}, NodeId{2});
+  (void)manager.open(NodeId{0}, NodeId{2});
+  (void)manager.open(NodeId{0}, NodeId{2});
+
+  std::stringstream stream;
+  obs::write_route_events_jsonl(stream, log.snapshot());
+  const auto parsed = obs::read_route_events_jsonl(stream);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed, log.snapshot());
+}
+
+TEST(SessionTelemetryTest, MetricsSeriesSamplesOnPeriod) {
+  obs::RouteEventLog log;
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  manager.set_telemetry(&log, /*metrics_every=*/2);
+  (void)manager.open(NodeId{0}, NodeId{2});  // offered 1: no sample
+  (void)manager.open(NodeId{0}, NodeId{2});  // offered 2: sample
+  (void)manager.open(NodeId{0}, NodeId{2});  // offered 3 (blocked): no sample
+  (void)manager.open(NodeId{0}, NodeId{2});  // offered 4 (blocked): sample
+
+  const auto& series = manager.metrics_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].offered, 2u);
+  EXPECT_EQ(series[1].offered, 4u);
+  EXPECT_EQ(series[0].active, 2u);
+  EXPECT_DOUBLE_EQ(series[0].utilization, 1.0);  // all 4 pairs reserved
+  EXPECT_EQ(series[0].metrics.free_pairs, 0u);
+}
+
+TEST(SessionTelemetryTest, SnapshotsWithoutEventLog) {
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  manager.set_telemetry(nullptr, /*metrics_every=*/1);
+  (void)manager.open(NodeId{0}, NodeId{2});
+  EXPECT_EQ(manager.metrics_series().size(), 1u);
+}
+
+TEST(SessionTelemetryTest, DetachStopsRecording) {
+  obs::RouteEventLog log;
+  SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
+  manager.set_telemetry(&log, 1);
+  (void)manager.open(NodeId{0}, NodeId{2});
+  manager.set_telemetry(nullptr, 0);
+  (void)manager.open(NodeId{0}, NodeId{2});
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(manager.metrics_series().size(), 1u);
+}
+
+TEST(SessionTelemetryTest, FailSpanRecordsRerouteOrDropEvents) {
+  // Ring gives an alternate route, so a span failure reroutes.
+  Rng rng(7);
+  const Topology topo = ring_topology(5);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  WdmNetwork net =
+      assemble_network(topo, 2, avail, std::make_shared<UniformConversion>(0.1));
+  obs::RouteEventLog log;
+  SessionManager manager(std::move(net), RoutingPolicy::kSemilightpath);
+  manager.set_telemetry(&log);
+  const auto id = manager.open(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(id.has_value());
+  const auto report = manager.fail_span(NodeId{0}, NodeId{1});
+  EXPECT_EQ(report.rerouted, 1u);
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].outcome, "rerouted");
+  // Sequence numbers stay strictly increasing across open/fail_span.
+  EXPECT_GT(events[1].sequence, events[0].sequence);
+}
+
+TEST(SessionTelemetryTest, RouteResultCarriesStageTelemetry) {
+  // The router populates RouteResult::telemetry (built with obs enabled).
+  const WdmNetwork net = chain_net();
+  const RouteResult result = route_semilightpath(net, NodeId{0}, NodeId{2});
+  ASSERT_TRUE(result.found);
+#if LUMEN_OBS_ENABLED
+  ASSERT_TRUE(result.telemetry.has_value());
+  EXPECT_GE(result.telemetry->aux_build_seconds, 0.0);
+  EXPECT_GE(result.telemetry->dijkstra_seconds, 0.0);
+  EXPECT_GE(result.telemetry->path_extract_seconds, 0.0);
+  EXPECT_GE(result.telemetry->total_seconds(),
+            result.telemetry->dijkstra_seconds);
+#endif
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lumen::obs {
+namespace {
+
+TEST(TraceSpanTest, EmitsOneRecordOnClose) {
+  TraceCollector collector(16);
+  {
+    TraceSpan span("stage.a", &collector);
+  }
+  const auto records = collector.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_STREQ(records[0].name, "stage.a");
+  EXPECT_EQ(records[0].depth, 0u);
+}
+
+TEST(TraceSpanTest, CloseIsIdempotent) {
+  TraceCollector collector(16);
+  {
+    TraceSpan span("stage.a", &collector);
+    span.close();
+    span.close();  // second close must not double-emit
+  }                // destructor must not re-emit either
+  EXPECT_EQ(collector.size(), 1u);
+}
+
+TEST(TraceSpanTest, NestedSpansCarryDepth) {
+  TraceCollector collector(16);
+  {
+    TraceSpan outer("route.semilightpath", &collector);
+    EXPECT_EQ(outer.depth(), 0u);
+    {
+      TraceSpan build("route.aux_build", &collector);
+      EXPECT_EQ(build.depth(), 1u);
+      TraceSpan inner("route.dijkstra", &collector);
+      EXPECT_EQ(inner.depth(), 2u);
+    }
+    TraceSpan extract("route.path_extract", &collector);
+    EXPECT_EQ(extract.depth(), 1u);
+  }
+  // Records land innermost-first (close order).
+  const auto records = collector.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(std::string(records[0].name), "route.dijkstra");
+  EXPECT_EQ(records[0].depth, 2u);
+  EXPECT_EQ(std::string(records[3].name), "route.semilightpath");
+  EXPECT_EQ(records[3].depth, 0u);
+  // The outer span encloses the inner in time.
+  EXPECT_LE(records[3].start_ns, records[0].start_ns);
+  EXPECT_GE(records[3].start_ns + records[3].duration_ns,
+            records[0].start_ns + records[0].duration_ns);
+}
+
+TEST(TraceSpanTest, ElapsedGrowsAndSurvivesClose) {
+  TraceSpan span("x", nullptr);  // null collector: timing only
+  const double before = span.elapsed_seconds();
+  span.close();
+  EXPECT_GE(span.elapsed_seconds(), before);
+}
+
+TEST(TraceCollectorTest, RingBufferKeepsNewestAndCountsDrops) {
+  TraceCollector collector(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(i % 2 == 0 ? "even" : "odd", &collector);
+  }
+  EXPECT_EQ(collector.size(), 4u);
+  EXPECT_EQ(collector.total_emitted(), 10u);
+  EXPECT_EQ(collector.dropped(), 6u);
+  // Snapshot is oldest-first: spans 6, 7, 8, 9.
+  const auto records = collector.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_STREQ(records[0].name, "even");  // span 6
+  EXPECT_STREQ(records[1].name, "odd");   // span 7
+  for (std::size_t i = 1; i < records.size(); ++i)
+    EXPECT_GE(records[i].start_ns, records[i - 1].start_ns);
+}
+
+TEST(TraceCollectorTest, ClearResets) {
+  TraceCollector collector(4);
+  { TraceSpan span("x", &collector); }
+  collector.clear();
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_EQ(collector.total_emitted(), 0u);
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(TraceCollectorTest, GlobalIsASingleton) {
+  EXPECT_EQ(&TraceCollector::global(), &TraceCollector::global());
+}
+
+}  // namespace
+}  // namespace lumen::obs

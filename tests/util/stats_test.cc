@@ -55,6 +55,54 @@ TEST(RunningStatsTest, MatchesDirectComputation) {
   EXPECT_NEAR(s.variance(), var, 1e-9);
 }
 
+TEST(RunningStatsTest, SummaryMirrorsAccessors) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 6.0}) s.add(x);
+  const StatsSummary sum = s.summary();
+  EXPECT_EQ(sum.count, 3u);
+  EXPECT_DOUBLE_EQ(sum.mean, 4.0);
+  EXPECT_DOUBLE_EQ(sum.stddev, s.stddev());
+  EXPECT_DOUBLE_EQ(sum.min, 2.0);
+  EXPECT_DOUBLE_EQ(sum.max, 6.0);
+}
+
+TEST(PercentilesTest, ExactBelowCapacity) {
+  Percentiles p(100);
+  for (int i = 1; i <= 11; ++i) p.add(i);  // 1..11
+  EXPECT_EQ(p.count(), 11u);
+  EXPECT_EQ(p.sample_size(), 11u);
+  EXPECT_DOUBLE_EQ(p.p50(), 6.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 11.0);
+}
+
+TEST(PercentilesTest, ReservoirApproximatesLargeStream) {
+  // 10k uniform [0, 1) observations through a 512-slot reservoir: the
+  // estimated quantiles should land near the true ones.
+  Rng rng(42);
+  Percentiles p(512);
+  for (int i = 0; i < 10000; ++i) p.add(rng.next_double());
+  EXPECT_EQ(p.count(), 10000u);
+  EXPECT_EQ(p.sample_size(), 512u);
+  EXPECT_NEAR(p.p50(), 0.5, 0.08);
+  EXPECT_NEAR(p.p90(), 0.9, 0.08);
+  EXPECT_NEAR(p.p99(), 0.99, 0.08);
+}
+
+TEST(PercentilesTest, DeterministicForFixedStream) {
+  Percentiles a(16), b(16);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(i % 97);
+    b.add(i % 97);
+  }
+  EXPECT_DOUBLE_EQ(a.p90(), b.p90());
+}
+
+TEST(PercentilesTest, EmptyThrows) {
+  Percentiles p(8);
+  EXPECT_THROW((void)p.p50(), Error);
+}
+
 TEST(QuantileTest, MedianOddAndEven) {
   EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);

@@ -71,6 +71,61 @@ TEST(MetricsTest, PartialOverlapInBetween) {
   EXPECT_DOUBLE_EQ(m.continuity_alignment, 0.5);
 }
 
+TEST(MetricsTest, AllLinksDeadCountsEveryLink) {
+  // Every Λ(e) empty: all links dead, no adjacent pair has wavelengths,
+  // and the imbalance term must not divide by the zero mean.
+  WdmNetwork net(3, 2, std::make_shared<NoConversion>());
+  net.add_link(NodeId{0}, NodeId{1});
+  net.add_link(NodeId{1}, NodeId{2});
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.free_pairs, 0u);
+  EXPECT_EQ(m.dead_links, 2u);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+  EXPECT_DOUBLE_EQ(m.wavelength_imbalance, 0.0);
+}
+
+TEST(MetricsTest, SingleLinkNodeContributesNoAdjacencyPair) {
+  // A two-node network has no node with both an in- and an out-link, so
+  // there is no adjacent pair to score: alignment stays at its neutral 1.
+  WdmNetwork net(2, 2, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 1.0);
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.free_pairs, 1u);
+  EXPECT_EQ(m.dead_links, 0u);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+}
+
+TEST(MetricsTest, DeadMiddleLinkSkippedInAlignment) {
+  // Chain 0→1→2→3 where the middle link has empty Λ: both pairs that
+  // would involve it are skipped, leaving no scored pair at all.
+  WdmNetwork net(4, 2, std::make_shared<NoConversion>());
+  const LinkId a = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(a, Wavelength{0}, 1.0);
+  net.add_link(NodeId{1}, NodeId{2});  // dead
+  const LinkId c = net.add_link(NodeId{2}, NodeId{3});
+  net.set_wavelength(c, Wavelength{0}, 1.0);
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.dead_links, 1u);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+}
+
+TEST(MetricsTest, UniformRingHasZeroImbalance) {
+  // Every wavelength on every link of a ring: perfectly even per-λ
+  // populations, so the coefficient of variation must be exactly 0.
+  WdmNetwork net(4, 3, std::make_shared<NoConversion>());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const LinkId e = net.add_link(NodeId{i}, NodeId{(i + 1) % 4});
+    for (std::uint32_t l = 0; l < 3; ++l)
+      net.set_wavelength(e, Wavelength{l}, 1.0);
+  }
+  const NetworkMetrics m = compute_metrics(net);
+  EXPECT_EQ(m.free_pairs, 4u * 3u);
+  EXPECT_EQ(m.dead_links, 0u);
+  EXPECT_DOUBLE_EQ(m.continuity_alignment, 1.0);
+  EXPECT_DOUBLE_EQ(m.wavelength_imbalance, 0.0);
+}
+
 TEST(MetricsTest, EmptyNetwork) {
   WdmNetwork net(2, 2, std::make_shared<NoConversion>());
   const NetworkMetrics m = compute_metrics(net);
