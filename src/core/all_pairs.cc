@@ -1,5 +1,7 @@
 #include "core/all_pairs.h"
 
+#include "util/thread_pool.h"
+
 namespace lumen {
 
 AllPairsRouter::AllPairsRouter(const WdmNetwork& net)
@@ -60,6 +62,28 @@ std::vector<std::vector<double>> AllPairsRouter::cost_matrix() {
     for (std::uint32_t t = 0; t < n; ++t)
       matrix[s][t] = cost(NodeId{s}, NodeId{t});
   return matrix;
+}
+
+std::vector<std::vector<double>> AllPairsRouter::cost_matrix(
+    unsigned threads) {
+  const std::uint32_t n = net_->num_nodes();
+  // Fill the tree cache in parallel: each worker writes only trees_[s]
+  // for the indices it claims, and G_all is read-only, so no locking is
+  // needed.  The bookkeeping counter is reconciled afterwards.
+  if (threads != 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(n, [&](std::size_t s) {
+      auto& slot = trees_[s];
+      if (!slot.has_value())
+        slot = dijkstra(aux_.graph(), aux_.source_terminal(NodeId{
+                                          static_cast<std::uint32_t>(s)}));
+    });
+    std::uint32_t computed = 0;
+    for (const auto& slot : trees_)
+      if (slot.has_value()) ++computed;
+    trees_computed_ = computed;
+  }
+  return cost_matrix();
 }
 
 }  // namespace lumen

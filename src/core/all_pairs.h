@@ -35,6 +35,12 @@ class AllPairsRouter {
   /// The n×n matrix of optimal costs (row = source); forces all n trees.
   [[nodiscard]] std::vector<std::vector<double>> cost_matrix();
 
+  /// Same matrix, but the not-yet-cached trees are computed concurrently
+  /// on `threads` workers (0 = one per hardware thread).  G_all is shared
+  /// read-only; every tree lands in its own cache slot, so the result is
+  /// identical to the serial overload.
+  [[nodiscard]] std::vector<std::vector<double>> cost_matrix(unsigned threads);
+
   /// Structural stats of G_all (Corollary 1 size checks).
   [[nodiscard]] const AuxGraphStats& aux_stats() const noexcept {
     return aux_.stats();

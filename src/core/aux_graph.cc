@@ -135,6 +135,12 @@ AuxiliaryGraph AuxiliaryGraph::build_single_pair(const WdmNetwork& net,
   return aux;
 }
 
+AuxiliaryGraph AuxiliaryGraph::build_core(const WdmNetwork& net) {
+  AuxiliaryGraph aux = build_common(net);
+  aux.all_pairs_ = false;
+  return aux;
+}
+
 AuxiliaryGraph AuxiliaryGraph::build_all_pairs(const WdmNetwork& net) {
   Stopwatch timer;
   AuxiliaryGraph aux = build_common(net);
@@ -217,6 +223,18 @@ std::uint32_t AuxiliaryGraph::x_size(NodeId v) const {
 std::uint32_t AuxiliaryGraph::y_size(NodeId v) const {
   LUMEN_REQUIRE(v.value() < y_index_.size());
   return static_cast<std::uint32_t>(y_index_[v.value()].size());
+}
+
+std::span<const std::pair<Wavelength, NodeId>> AuxiliaryGraph::x_nodes(
+    NodeId v) const {
+  LUMEN_REQUIRE(v.value() < x_index_.size());
+  return x_index_[v.value()];
+}
+
+std::span<const std::pair<Wavelength, NodeId>> AuxiliaryGraph::y_nodes(
+    NodeId v) const {
+  LUMEN_REQUIRE(v.value() < y_index_.size());
+  return y_index_[v.value()];
 }
 
 Semilightpath AuxiliaryGraph::to_semilightpath(

@@ -87,6 +87,13 @@ class AuxiliaryGraph {
   /// Builds G_all with per-node terminals (Corollary 1).
   [[nodiscard]] static AuxiliaryGraph build_all_pairs(const WdmNetwork& net);
 
+  /// Builds the terminal-free core G' (gadgets + E_org) only.  This is the
+  /// build-once structure the RouteEngine flattens: any (s, t) query can be
+  /// answered on it by seeding a multi-source search at Y_s ("virtual
+  /// terminals") instead of materializing s'/t''.  Terminal accessors are
+  /// invalid on a core graph.
+  [[nodiscard]] static AuxiliaryGraph build_core(const WdmNetwork& net);
+
   /// The underlying weighted digraph to run shortest paths on.
   [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
 
@@ -112,6 +119,12 @@ class AuxiliaryGraph {
   /// |X_v| and |Y_v| (for Observation checks).
   [[nodiscard]] std::uint32_t x_size(NodeId v) const;
   [[nodiscard]] std::uint32_t y_size(NodeId v) const;
+
+  /// All of X_v / Y_v as sorted (λ, aux-node) pairs (engine seed lists).
+  [[nodiscard]] std::span<const std::pair<Wavelength, NodeId>> x_nodes(
+      NodeId v) const;
+  [[nodiscard]] std::span<const std::pair<Wavelength, NodeId>> y_nodes(
+      NodeId v) const;
 
   [[nodiscard]] const AuxGraphStats& stats() const noexcept { return stats_; }
 

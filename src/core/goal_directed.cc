@@ -57,11 +57,28 @@ RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
   };
 
   Stopwatch search_clock;
-  std::vector<double> dist(g.num_nodes(), kInfiniteCost);  // true g-costs
-  std::vector<LinkId> parent(g.num_nodes(), LinkId::invalid());
-  std::vector<char> settled(g.num_nodes(), 0);
-  std::vector<char> in_heap(g.num_nodes(), 0);
-  std::vector<FibHeap::Handle> handle(g.num_nodes());
+  // Per-query buffers are hoisted into a thread-local scratch (like
+  // dijkstra_with's), so repeated queries reuse their capacity instead of
+  // reallocating five arrays per call.
+  struct Scratch {
+    std::vector<double> dist;
+    std::vector<LinkId> parent;
+    std::vector<char> settled;
+    std::vector<char> in_heap;
+    std::vector<FibHeap::Handle> handle;
+  };
+  thread_local Scratch scratch;
+  if (scratch.handle.size() < g.num_nodes())
+    scratch.handle.resize(g.num_nodes());
+  scratch.dist.assign(g.num_nodes(), kInfiniteCost);  // true g-costs
+  scratch.parent.assign(g.num_nodes(), LinkId::invalid());
+  scratch.settled.assign(g.num_nodes(), 0);
+  scratch.in_heap.assign(g.num_nodes(), 0);
+  std::vector<double>& dist = scratch.dist;
+  std::vector<LinkId>& parent = scratch.parent;
+  std::vector<char>& settled = scratch.settled;
+  std::vector<char>& in_heap = scratch.in_heap;
+  std::vector<FibHeap::Handle>& handle = scratch.handle;
 
   FibHeap heap;  // keyed by f = g + h
   const double h0 = potential(source);

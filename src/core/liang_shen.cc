@@ -124,25 +124,34 @@ RouteResult route_lightpath(const WdmNetwork& net, NodeId s, NodeId t) {
   RouteResult best;
   best.found = false;
   best.cost = kInfiniteCost;
+  // One physical topology is searched k times; report its size once and
+  // count the wavelength iterations separately (previously these fields
+  // accumulated to k·n / k·m, overstating the structure by a factor of k).
+  best.stats.aux_nodes = net.num_nodes();
+  best.stats.aux_links = net.num_links();
   Stopwatch timer;
 
   // One Dijkstra per wavelength on the λ-subnetwork.  The subnetwork
   // reuses the physical topology with weights w(e,λ) (+inf when λ ∉ Λ(e)),
-  // so links outside Λ(e) are skipped by the search.
+  // so links outside Λ(e) are skipped by the search.  The Digraph is built
+  // once; between wavelengths only the weights are rewritten in place.
+  Digraph sub(net.num_nodes());
+  sub.reserve_links(net.num_links());
+  // sub's link ids coincide with physical link ids by construction order.
+  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+    const LinkId e{ei};
+    sub.add_link(net.tail(e), net.head(e), kInfiniteCost);
+  }
   for (std::uint32_t li = 0; li < net.num_wavelengths(); ++li) {
     const Wavelength lambda{li};
-    Digraph sub(net.num_nodes());
-    sub.reserve_links(net.num_links());
-    // sub's link ids coincide with physical link ids by construction order.
     for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
       const LinkId e{ei};
-      sub.add_link(net.tail(e), net.head(e), net.link_cost(e, lambda));
+      sub.set_weight(e, net.link_cost(e, lambda));
     }
     const ShortestPathTree tree = dijkstra(sub, s, t);
+    ++best.stats.wavelengths_searched;
     best.stats.search_pops += tree.pops;
     best.stats.search_relaxations += tree.relaxations;
-    best.stats.aux_nodes += sub.num_nodes();
-    best.stats.aux_links += sub.num_links();
     if (!tree.reached(t) || tree.dist[t.value()] >= best.cost) continue;
 
     const auto links = extract_path(sub, tree, t);

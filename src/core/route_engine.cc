@@ -1,0 +1,338 @@
+#include "core/route_engine.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/aux_graph.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace lumen {
+
+namespace {
+
+/// Engine telemetry, separate from the per-request-rebuild routers'
+/// lumen.route.* family so dashboards can compare the two paths.
+struct EngineInstruments {
+  obs::Counter& requests =
+      obs::Registry::global().counter("lumen.route.engine.requests");
+  obs::Counter& found =
+      obs::Registry::global().counter("lumen.route.engine.found");
+  obs::Counter& not_found =
+      obs::Registry::global().counter("lumen.route.engine.not_found");
+  obs::Counter& core_builds =
+      obs::Registry::global().counter("lumen.route.engine.core_builds");
+  obs::Counter& weight_patches =
+      obs::Registry::global().counter("lumen.route.engine.weight_patches");
+  obs::LatencyHistogram& latency =
+      obs::Registry::global().histogram("lumen.route.engine.latency_ns");
+
+  static EngineInstruments& get() {
+    static EngineInstruments instruments;
+    return instruments;
+  }
+};
+
+}  // namespace
+
+RouteEngine::RouteEngine(const WdmNetwork& net)
+    : n_(net.num_nodes()), k_(net.num_wavelengths()) {
+  Stopwatch timer;
+  obs::TraceSpan build_span("route.engine.build");
+
+  // --- semilightpath core: flatten G' into a CSR arena -------------------
+  const AuxiliaryGraph aux = AuxiliaryGraph::build_core(net);
+  core_ = std::make_unique<CsrDigraph>(aux.graph());
+
+  sources_of_.resize(n_);
+  sinks_of_.resize(n_);
+  for (std::uint32_t vi = 0; vi < n_; ++vi) {
+    const NodeId v{vi};
+    for (const auto& [lambda, y] : aux.y_nodes(v)) sources_of_[vi].push_back(y);
+    for (const auto& [lambda, x] : aux.x_nodes(v)) sinks_of_[vi].push_back(x);
+  }
+
+  // --- lightpath cache: one physical CSR, one weight row per λ -----------
+  phys_ = std::make_unique<CsrDigraph>(net.topology());
+  const std::vector<std::uint32_t> phys_slot_of = phys_->slots_by_original();
+  const std::uint32_t m = phys_->num_links();
+  lightpath_weights_.assign(static_cast<std::size_t>(k_) * m, kInfiniteCost);
+  for (std::uint32_t ei = 0; ei < m; ++ei) {
+    const LinkId e{ei};
+    for (const auto& lw : net.available(e)) {
+      lightpath_weights_[static_cast<std::size_t>(lw.lambda.value()) * m +
+                         phys_slot_of[ei]] = lw.cost;
+    }
+  }
+
+  // --- slot metadata + per-link patch tables ------------------------------
+  slot_info_.resize(core_->num_links());
+  trans_slots_.resize(m);
+  for (std::uint32_t slot = 0; slot < core_->num_links(); ++slot) {
+    const AuxLinkInfo& info = aux.link_info(core_->link(slot).original);
+    if (info.kind == AuxLinkKind::kTransmission) {
+      slot_info_[slot] = {info.physical_link, NodeId::invalid(), info.from,
+                          info.to};
+      const std::uint32_t ei = info.physical_link.value();
+      trans_slots_[ei].push_back(
+          {info.from, slot,
+           static_cast<std::uint32_t>(
+               static_cast<std::size_t>(info.from.value()) * m +
+               phys_slot_of[ei])});
+      ++stats_.transmission_slots;
+    } else {
+      LUMEN_ASSERT(info.kind == AuxLinkKind::kConversion);
+      slot_info_[slot] = {LinkId::invalid(), info.node, info.from, info.to};
+    }
+  }
+  for (auto& table : trans_slots_) {
+    std::sort(table.begin(), table.end(),
+              [](const TransSlot& a, const TransSlot& b) {
+                return a.lambda < b.lambda;
+              });
+  }
+
+  stats_.core_nodes = core_->num_nodes();
+  stats_.core_links = core_->num_links();
+  stats_.build_seconds = timer.seconds();
+  EngineInstruments::get().core_builds.add();
+}
+
+RouteResult RouteEngine::trivial_self_route() const {
+  RouteResult result;
+  result.found = true;
+  result.cost = 0.0;
+  result.stats.aux_nodes = core_->num_nodes();
+  result.stats.aux_links = core_->num_links();
+  return result;
+}
+
+RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t) {
+  return route_semilightpath(s, t, scratch_);
+}
+
+RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
+                                             SearchScratch& scratch) const {
+  LUMEN_REQUIRE(s.value() < n_);
+  LUMEN_REQUIRE(t.value() < n_);
+  EngineInstruments& instruments = EngineInstruments::get();
+  instruments.requests.add();
+  if (s == t) {
+    instruments.found.add();
+    return trivial_self_route();
+  }
+  obs::TraceSpan query_span("route.engine.query");
+
+  RouteResult result;
+  result.stats.aux_nodes = core_->num_nodes();
+  result.stats.aux_links = core_->num_links();
+  Stopwatch timer;
+
+  // Virtual terminals: every y_s(λ) is a distance-0 seed (≡ the zero-weight
+  // s' → Y_s ties), every x_t(λ) a sink; the first settled sink is the best
+  // endpoint over all arrival wavelengths (≡ the zero-weight X_t → t''
+  // fan-in), by Dijkstra's settle order.
+  scratch.begin(core_->num_nodes());
+  for (const NodeId x : sinks_of_[t.value()]) scratch.mark_sink(x);
+  CsrRunStats run_stats;
+  const NodeId hit =
+      dijkstra_csr_run(*core_, sources_of_[s.value()], scratch, &run_stats);
+  result.stats.search_pops = run_stats.pops;
+  result.stats.search_relaxations = run_stats.relaxations;
+  result.stats.search_seconds = timer.seconds();
+
+#if LUMEN_OBS_ENABLED
+  result.telemetry.emplace();
+  result.telemetry->dijkstra_seconds = result.stats.search_seconds;
+#endif
+
+  if (!hit.valid()) {
+    result.found = false;
+    result.cost = kInfiniteCost;
+    instruments.not_found.add();
+    instruments.latency.record_seconds(result.stats.total_seconds());
+    return result;
+  }
+
+  result.found = true;
+  result.cost = scratch.dist(hit);
+  // Walk parent slots back to a seed, then translate forward: transmission
+  // slots become hops; conversion slots with from != to become switches.
+  std::vector<std::uint32_t> slots;
+  for (NodeId v = hit;;) {
+    const std::uint32_t slot = scratch.parent_slot(v);
+    if (slot == CsrDigraph::kInvalidSlot) break;
+    slots.push_back(slot);
+    v = core_->tail(slot);
+  }
+  std::reverse(slots.begin(), slots.end());
+  for (const std::uint32_t slot : slots) {
+    const SlotInfo& info = slot_info_[slot];
+    if (info.phys.valid()) {
+      result.path.append(Hop{info.phys, info.from});
+    } else if (info.from != info.to) {
+      result.switches.push_back(SwitchSetting{info.node, info.from, info.to});
+    }
+  }
+
+  instruments.found.add();
+  instruments.latency.record_seconds(result.stats.total_seconds());
+  return result;
+}
+
+RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t) {
+  return route_lightpath(s, t, scratch_);
+}
+
+RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t,
+                                         SearchScratch& scratch) const {
+  LUMEN_REQUIRE(s.value() < n_);
+  LUMEN_REQUIRE(t.value() < n_);
+  EngineInstruments& instruments = EngineInstruments::get();
+  instruments.requests.add();
+  if (s == t) {
+    instruments.found.add();
+    RouteResult result;
+    result.found = true;
+    result.cost = 0.0;
+    result.stats.aux_nodes = n_;
+    result.stats.aux_links = phys_->num_links();
+    return result;
+  }
+  obs::TraceSpan query_span("route.engine.query");
+
+  RouteResult best;
+  best.found = false;
+  best.cost = kInfiniteCost;
+  best.stats.aux_nodes = n_;
+  best.stats.aux_links = phys_->num_links();
+  Stopwatch timer;
+
+  const std::uint32_t m = phys_->num_links();
+  const NodeId sources[1] = {s};
+  for (std::uint32_t li = 0; li < k_; ++li) {
+    const std::span<const double> row{
+        lightpath_weights_.data() + static_cast<std::size_t>(li) * m, m};
+    scratch.begin(phys_->num_nodes());
+    scratch.mark_sink(t);
+    CsrRunStats run_stats;
+    const NodeId hit = dijkstra_csr_run(*phys_, sources, scratch, &run_stats,
+                                        row);
+    ++best.stats.wavelengths_searched;
+    best.stats.search_pops += run_stats.pops;
+    best.stats.search_relaxations += run_stats.relaxations;
+    if (!hit.valid() || scratch.dist(hit) >= best.cost) continue;
+
+    best.found = true;
+    best.cost = scratch.dist(hit);
+    std::vector<std::uint32_t> slots;
+    for (NodeId v = hit;;) {
+      const std::uint32_t slot = scratch.parent_slot(v);
+      if (slot == CsrDigraph::kInvalidSlot) break;
+      slots.push_back(slot);
+      v = phys_->tail(slot);
+    }
+    std::reverse(slots.begin(), slots.end());
+    Semilightpath path;
+    for (const std::uint32_t slot : slots)
+      path.append(Hop{phys_->link(slot).original, Wavelength{li}});
+    best.path = std::move(path);
+  }
+  best.switches.clear();  // lightpaths never convert
+  best.stats.search_seconds = timer.seconds();
+#if LUMEN_OBS_ENABLED
+  best.telemetry.emplace();
+  best.telemetry->dijkstra_seconds = best.stats.search_seconds;
+#endif
+  (best.found ? instruments.found : instruments.not_found).add();
+  instruments.latency.record_seconds(best.stats.total_seconds());
+  return best;
+}
+
+std::vector<RouteResult> RouteEngine::route_many(
+    std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads,
+    QueryKind kind) const {
+  std::vector<RouteResult> results(pairs.size());
+  const auto route_one = [&](std::size_t i, SearchScratch& scratch) {
+    const auto& [s, t] = pairs[i];
+    results[i] = kind == QueryKind::kSemilightpath
+                     ? route_semilightpath(s, t, scratch)
+                     : route_lightpath(s, t, scratch);
+  };
+
+  if (threads == 1 || pairs.size() <= 1) {
+    SearchScratch scratch;
+    for (std::size_t i = 0; i < pairs.size(); ++i) route_one(i, scratch);
+    return results;
+  }
+
+  // One drainer per worker, each owning its scratch; a shared cursor
+  // balances uneven query costs.  Results land in distinct slots, so no
+  // synchronization beyond the pool's own join is needed.
+  ThreadPool pool(threads);
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t drainers =
+      std::min<std::size_t>(pool.size(), pairs.size());
+  for (std::size_t w = 0; w < drainers; ++w) {
+    pool.submit([&] {
+      SearchScratch scratch;
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= pairs.size()) return;
+        route_one(i, scratch);
+      }
+    });
+  }
+  pool.wait();
+  return results;
+}
+
+std::pair<std::uint32_t, std::uint32_t> RouteEngine::locate(
+    LinkId e, Wavelength lambda) const {
+  LUMEN_REQUIRE(e.value() < trans_slots_.size());
+  const auto& table = trans_slots_[e.value()];
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), lambda,
+      [](const TransSlot& entry, Wavelength l) { return entry.lambda < l; });
+  LUMEN_REQUIRE_MSG(it != table.end() && it->lambda == lambda,
+                    "wavelength not in the base availability of this link; "
+                    "structural changes require a new RouteEngine");
+  return {it->core_slot, it->phys_weight_index};
+}
+
+RouteEngine::ReserveHandle RouteEngine::reserve(LinkId e, Wavelength lambda) {
+  const auto [core_slot, weight_index] = locate(e, lambda);
+  ReserveHandle handle{core_slot, weight_index, core_->link(core_slot).weight};
+  core_->set_weight(core_slot, kInfiniteCost);
+  lightpath_weights_[weight_index] = kInfiniteCost;
+  EngineInstruments::get().weight_patches.add();
+  return handle;
+}
+
+void RouteEngine::release(const ReserveHandle& handle) {
+  LUMEN_REQUIRE(handle.core_slot != CsrDigraph::kInvalidSlot);
+  core_->set_weight(handle.core_slot, handle.cost);
+  lightpath_weights_[handle.phys_weight_index] = handle.cost;
+  EngineInstruments::get().weight_patches.add();
+}
+
+void RouteEngine::set_weight(LinkId e, Wavelength lambda, double weight) {
+  const auto [core_slot, weight_index] = locate(e, lambda);
+  core_->set_weight(core_slot, weight);
+  lightpath_weights_[weight_index] = weight;
+  EngineInstruments::get().weight_patches.add();
+}
+
+double RouteEngine::weight(LinkId e, Wavelength lambda) const {
+  LUMEN_REQUIRE(e.value() < trans_slots_.size());
+  const auto& table = trans_slots_[e.value()];
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), lambda,
+      [](const TransSlot& entry, Wavelength l) { return entry.lambda < l; });
+  if (it == table.end() || it->lambda != lambda) return kInfiniteCost;
+  return core_->link(it->core_slot).weight;
+}
+
+}  // namespace lumen

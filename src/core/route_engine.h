@@ -1,0 +1,168 @@
+// Build-once route-many: a reusable flattened auxiliary-graph engine.
+//
+// route_semilightpath() pays the full G_{s,t} construction — O(k²n + km)
+// node/link inserts on an allocation-per-adjacency-list Digraph — on every
+// query, even though only the two terminal nodes depend on (s, t).  The
+// engine hoists everything else out of the hot path:
+//
+//   * The wavelength-gadget core G' (G_M + conversion gadgets, NO
+//     terminals) is built once per network and flattened into a
+//     cache-friendly CSR arena (CsrDigraph).
+//   * A query (s, t) uses *virtual terminals*: a multi-source Dijkstra is
+//     seeded from every y_s(λ) at distance 0 (exactly the zero-weight
+//     s' ties of G_{s,t}) and stops at the first settled x_t(λ) (which,
+//     by settle order, realizes the zero-weight X_t → t'' fan-in).  A
+//     query therefore mutates nothing and — after warm-up — allocates
+//     only its result; the search state lives in a reusable
+//     generation-stamped SearchScratch.
+//   * Residual updates are in-place weight patches: reserving a
+//     (link, λ) flips one transmission slot (and one per-wavelength
+//     subnetwork slot) to +inf in O(log k0); releasing restores it in
+//     O(1) via the ReserveHandle.  The structure never changes, so the
+//     core stays valid for the network's whole lifetime.
+//   * route_lightpath gets the same treatment: one CSR snapshot of the
+//     physical topology shared by all wavelengths, with one weight row
+//     per λ — k searches per query, zero construction.
+//   * route_many() fans a batch of queries over a ThreadPool; the
+//     flattened core is searched concurrently with per-thread scratch.
+//
+// Invalidation rules: weight-only residual changes (reserve/release of a
+// wavelength that exists in the base network, span failure/repair) are
+// O(1) patches.  Structural changes — adding links or nodes, making a
+// wavelength available that was NOT in the base Λ(e), or swapping the
+// conversion model — require constructing a new engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/route_types.h"
+#include "graph/csr.h"
+#include "wdm/network.h"
+
+namespace lumen {
+
+/// Answers repeated (semi)lightpath queries over one network, amortizing
+/// construction.  The engine copies everything it needs at build time, so
+/// the source network need not outlive it; keeping the engine's patched
+/// weights in sync with a mutating residual network is the caller's job
+/// (SessionManager does this for the engine-backed policies).
+class RouteEngine {
+ public:
+  /// Builds the flattened core from the network's current availability
+  /// (one-time O(k²n + km) cost; see stats().build_seconds).
+  explicit RouteEngine(const WdmNetwork& net);
+
+  // --- queries ----------------------------------------------------------
+
+  /// Optimal semilightpath s -> t on the current (patched) weights.
+  /// Result contract identical to route_semilightpath(); stats report the
+  /// prebuilt core size and build_seconds = 0 (construction is amortized).
+  /// The scratch-less overloads use the engine's internal scratch and are
+  /// NOT thread-safe; for concurrent queries pass one SearchScratch per
+  /// thread (the engine itself is then safe to share read-only).
+  [[nodiscard]] RouteResult route_semilightpath(NodeId s, NodeId t);
+  [[nodiscard]] RouteResult route_semilightpath(NodeId s, NodeId t,
+                                                SearchScratch& scratch) const;
+
+  /// Optimal lightpath (single wavelength end-to-end) s -> t: one early-
+  /// exit Dijkstra per wavelength over the shared physical CSR.
+  [[nodiscard]] RouteResult route_lightpath(NodeId s, NodeId t);
+  [[nodiscard]] RouteResult route_lightpath(NodeId s, NodeId t,
+                                            SearchScratch& scratch) const;
+
+  enum class QueryKind { kSemilightpath, kLightpath };
+
+  /// Routes a batch of (s, t) queries concurrently over the immutable
+  /// flattened core (threads = 0 → one per hardware thread; 1 → inline).
+  /// results[i] answers pairs[i].  Weights must not be patched while a
+  /// batch is in flight.
+  [[nodiscard]] std::vector<RouteResult> route_many(
+      std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads = 0,
+      QueryKind kind = QueryKind::kSemilightpath) const;
+
+  // --- in-place residual updates ------------------------------------------
+
+  /// Receipt of a reserve(): releases in O(1), carrying the pre-reserve
+  /// cost.  Valid until released (not idempotent).
+  struct ReserveHandle {
+    std::uint32_t core_slot = CsrDigraph::kInvalidSlot;
+    std::uint32_t phys_weight_index = 0;  ///< into the per-λ weight table
+    double cost = 0.0;                    ///< weight to restore on release
+  };
+
+  /// Claims (e, λ): flips its transmission weight to +inf in both the
+  /// semilightpath core and the per-wavelength subnetwork cache.
+  /// O(log k0) slot lookup.  Requires λ ∈ base Λ(e).
+  ReserveHandle reserve(LinkId e, Wavelength lambda);
+
+  /// Restores the weight recorded in the handle.  O(1).
+  void release(const ReserveHandle& handle);
+
+  /// Sets w(e, λ) to `weight` (may be +inf: link down / λ unavailable).
+  /// Span failure/repair path.  Requires λ ∈ base Λ(e).
+  void set_weight(LinkId e, Wavelength lambda, double weight);
+
+  /// Current (patched) w(e, λ); +inf when λ ∉ base Λ(e) or patched out.
+  [[nodiscard]] double weight(LinkId e, Wavelength lambda) const;
+
+  // --- introspection --------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t core_nodes = 0;          ///< gadget nodes of G'
+    std::uint64_t core_links = 0;          ///< gadget + transmission links
+    std::uint64_t transmission_slots = 0;  ///< patchable (e, λ) slots
+    double build_seconds = 0.0;            ///< one-time flatten cost
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t num_wavelengths() const noexcept { return k_; }
+
+ private:
+  /// What a core CSR slot stands for: a transmission of `phys` on
+  /// `from` (== `to`), or a conversion `from`→`to` at `node`.
+  struct SlotInfo {
+    LinkId phys;  ///< invalid for conversion slots
+    NodeId node;  ///< conversion site (invalid for transmission slots)
+    Wavelength from;
+    Wavelength to;
+  };
+
+  [[nodiscard]] RouteResult trivial_self_route() const;
+  /// Binary-searches the per-link transmission table.  Fails (REQUIRE)
+  /// when λ was not in the base Λ(e) — a structural change needs a rebuild.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> locate(
+      LinkId e, Wavelength lambda) const;
+
+  std::uint32_t n_ = 0;  ///< physical nodes
+  std::uint32_t k_ = 0;  ///< wavelength universe size
+
+  // Semilightpath core: flattened G' plus seed/sink lists and metadata.
+  std::unique_ptr<CsrDigraph> core_;
+  std::vector<SlotInfo> slot_info_;             // per core slot
+  std::vector<std::vector<NodeId>> sources_of_; // Y_v (aux node ids)
+  std::vector<std::vector<NodeId>> sinks_of_;   // X_v (aux node ids)
+
+  // Per-link sorted (λ, core transmission slot) table for O(log k0) patch
+  // lookup; entries parallel a (λ, phys weight index) table.
+  struct TransSlot {
+    Wavelength lambda;
+    std::uint32_t core_slot;
+    std::uint32_t phys_weight_index;
+  };
+  std::vector<std::vector<TransSlot>> trans_slots_;  // per physical link
+
+  // Lightpath cache: one CSR of the physical topology, shared by all
+  // wavelengths; weight rows lw_[λ * phys_links + slot].
+  std::unique_ptr<CsrDigraph> phys_;
+  std::vector<double> lightpath_weights_;
+
+  Stats stats_;
+  SearchScratch scratch_;  // backs the scratch-less query overloads
+};
+
+}  // namespace lumen

@@ -17,6 +17,9 @@ struct RouteStats {
   std::uint64_t aux_nodes = 0;
   /// Links in the auxiliary graph actually searched.
   std::uint64_t aux_links = 0;
+  /// Wavelength subnetworks searched (lightpath routing only: one Dijkstra
+  /// per wavelength; 0 for single-search semilightpath routing).
+  std::uint64_t wavelengths_searched = 0;
   /// Heap pops during the shortest-path search.
   std::uint64_t search_pops = 0;
   /// Successful relaxations during the search.

@@ -1,5 +1,7 @@
 #include "graph/csr.h"
 
+#include <algorithm>
+
 #include "graph/fib_heap.h"
 
 namespace lumen {
@@ -16,6 +18,157 @@ CsrDigraph::CsrDigraph(const Digraph& g) {
     }
   }
   offsets_[g.num_nodes()] = cursor;
+}
+
+NodeId CsrDigraph::tail(std::uint32_t slot) const {
+  LUMEN_REQUIRE(slot < num_links());
+  // offsets_ is non-decreasing with offsets_[v] <= slot < offsets_[v+1]
+  // exactly for the tail v; upper_bound lands one past that entry.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), slot);
+  return NodeId{static_cast<std::uint32_t>(it - offsets_.begin() - 1)};
+}
+
+std::vector<std::uint32_t> CsrDigraph::slots_by_original() const {
+  std::vector<std::uint32_t> slots(num_links(), kInvalidSlot);
+  for (std::uint32_t slot = 0; slot < num_links(); ++slot) {
+    const std::uint32_t original = links_[slot].original.value();
+    LUMEN_ASSERT(original < slots.size());
+    slots[original] = slot;
+  }
+  return slots;
+}
+
+// --- SearchScratch -------------------------------------------------------
+
+void SearchScratch::begin(std::uint32_t num_nodes) {
+  if (stamp_.size() < num_nodes) {
+    stamp_.resize(num_nodes, 0);
+    sink_stamp_.resize(num_nodes, 0);
+    dist_.resize(num_nodes, kInfiniteCost);
+    parent_.resize(num_nodes, CsrDigraph::kInvalidSlot);
+    state_.resize(num_nodes, 0);
+    pos_.resize(num_nodes, 0);
+  }
+  ++generation_;  // O(1) invalidation of all per-node state
+  heap_.clear();
+}
+
+void SearchScratch::mark_sink(NodeId v) {
+  LUMEN_REQUIRE(v.value() < sink_stamp_.size());
+  sink_stamp_[v.value()] = generation_;
+}
+
+void SearchScratch::heap_push(std::uint32_t v) {
+  heap_.push_back(v);
+  pos_[v] = static_cast<std::uint32_t>(heap_.size() - 1);
+  state_[v] = kInHeap;
+  sift_up(heap_.size() - 1);
+}
+
+void SearchScratch::heap_decrease(std::uint32_t v) { sift_up(pos_[v]); }
+
+std::uint32_t SearchScratch::heap_pop_min() {
+  const std::uint32_t top = heap_.front();
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    pos_[last] = 0;
+    sift_down(0);
+  }
+  return top;
+}
+
+void SearchScratch::sift_up(std::size_t i) {
+  const std::uint32_t v = heap_[i];
+  const double key = dist_[v];
+  while (i > 0) {
+    const std::size_t up = (i - 1) / 4;
+    const std::uint32_t u = heap_[up];
+    if (dist_[u] <= key) break;
+    heap_[i] = u;
+    pos_[u] = static_cast<std::uint32_t>(i);
+    i = up;
+  }
+  heap_[i] = v;
+  pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void SearchScratch::sift_down(std::size_t i) {
+  const std::uint32_t v = heap_[i];
+  const double key = dist_[v];
+  const std::size_t size = heap_.size();
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= size) break;
+    const std::size_t last_child = std::min(first_child + 4, size);
+    std::size_t best = first_child;
+    double best_key = dist_[heap_[first_child]];
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      const double ck = dist_[heap_[c]];
+      if (ck < best_key) {
+        best = c;
+        best_key = ck;
+      }
+    }
+    if (best_key >= key) break;
+    const std::uint32_t child = heap_[best];
+    heap_[i] = child;
+    pos_[child] = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+// --- multi-source early-exit search ---------------------------------------
+
+NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
+                        SearchScratch& scratch, CsrRunStats* stats,
+                        std::span<const double> weights) {
+  LUMEN_REQUIRE(weights.empty() || weights.size() == g.num_links());
+  const bool overridden = !weights.empty();
+
+  for (const NodeId s : sources) {
+    LUMEN_REQUIRE(s.value() < g.num_nodes());
+    scratch.touch(s.value());
+    if (scratch.dist_[s.value()] > 0.0) {
+      scratch.dist_[s.value()] = 0.0;
+      scratch.parent_[s.value()] = CsrDigraph::kInvalidSlot;
+      scratch.heap_push(s.value());
+    }
+  }
+
+  while (!scratch.heap_.empty()) {
+    const std::uint32_t u = scratch.heap_pop_min();
+    scratch.state_[u] = SearchScratch::kSettled;
+    if (stats != nullptr) ++stats->pops;
+    if (scratch.sink_stamp_[u] == scratch.generation_) return NodeId{u};
+    const double du = scratch.dist_[u];
+
+    const auto [first, last] = g.out_slot_range(NodeId{u});
+    for (std::uint32_t slot = first; slot < last; ++slot) {
+      const CsrDigraph::OutLink& out = g.link(slot);
+      const double w = overridden ? weights[slot] : out.weight;
+      if (w == kInfiniteCost) continue;
+      const std::uint32_t v = out.head.value();
+      scratch.touch(v);
+      if (scratch.state_[v] == SearchScratch::kSettled) continue;
+      const double candidate = du + w;
+      if (candidate < scratch.dist_[v]) {
+        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
+        scratch.dist_[v] = candidate;
+        scratch.parent_[v] = slot;
+        if (stats != nullptr) ++stats->relaxations;
+        if (queued) {
+          scratch.heap_decrease(v);
+        } else {
+          scratch.heap_push(v);
+        }
+      }
+    }
+  }
+  return NodeId::invalid();
 }
 
 ShortestPathTree dijkstra_csr(const CsrDigraph& g, NodeId source,

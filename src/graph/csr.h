@@ -1,4 +1,4 @@
-// Compressed-sparse-row (CSR) immutable digraph view.
+// Compressed-sparse-row (CSR) digraph view with patchable weights.
 //
 // The mutable Digraph stores per-node link vectors — convenient while
 // building, but each adjacency list is its own heap allocation.  CSR packs
@@ -7,6 +7,11 @@
 // this is the representation ablation bench_csr measures.  Link identity
 // is preserved: every CSR out-link carries the original LinkId so results
 // (parent links, extracted paths) remain expressed in Digraph terms.
+//
+// The structure (offsets, heads) is immutable after construction, but
+// weights may be patched in place via slot indices (set_weight): this is
+// what lets the build-once RouteEngine flip residual availability to/from
+// +inf in O(1) per (link, wavelength) instead of rebuilding the arena.
 #pragma once
 
 #include <cstdint>
@@ -18,15 +23,19 @@
 
 namespace lumen {
 
-/// Immutable CSR snapshot of a Digraph's out-adjacency.
+/// CSR snapshot of a Digraph's out-adjacency.  Structure is fixed;
+/// weights are patchable by slot.
 class CsrDigraph {
  public:
-  /// One packed out-link.
+  /// One packed out-link.  Its index in the packed array is its "slot".
   struct OutLink {
     NodeId head;
     double weight;
     LinkId original;  ///< id of the corresponding Digraph link
   };
+
+  /// Sentinel for "no slot" (e.g. a search seed's parent).
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
 
   /// Snapshots `g` (O(n + m)).
   explicit CsrDigraph(const Digraph& g);
@@ -45,10 +54,134 @@ class CsrDigraph {
             offsets_[v.value() + 1] - offsets_[v.value()]};
   }
 
+  /// Slot range [first, last) of v's out-links in the packed array.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> out_slot_range(
+      NodeId v) const {
+    LUMEN_REQUIRE(v.value() < num_nodes());
+    return {static_cast<std::uint32_t>(offsets_[v.value()]),
+            static_cast<std::uint32_t>(offsets_[v.value() + 1])};
+  }
+
+  /// The packed out-link stored in `slot`.
+  [[nodiscard]] const OutLink& link(std::uint32_t slot) const {
+    LUMEN_REQUIRE(slot < num_links());
+    return links_[slot];
+  }
+
+  /// Tail node of the link stored in `slot` (O(log n) over the offsets).
+  /// Lets parent-slot chains from SearchScratch be walked back to a seed.
+  [[nodiscard]] NodeId tail(std::uint32_t slot) const;
+
+  /// Patches the weight stored in `slot` (>= 0, may be +infinity).  The
+  /// structure is untouched, so views/spans stay valid.
+  void set_weight(std::uint32_t slot, double weight) {
+    LUMEN_REQUIRE(slot < num_links());
+    LUMEN_REQUIRE_MSG(weight >= 0.0, "link weights must be non-negative");
+    links_[slot].weight = weight;
+  }
+
+  /// Reverse index: result[original link id] = slot holding its snapshot.
+  /// Each Digraph link appears in exactly one slot.  O(m).
+  [[nodiscard]] std::vector<std::uint32_t> slots_by_original() const;
+
  private:
   std::vector<std::size_t> offsets_;  // n+1 entries
   std::vector<OutLink> links_;
 };
+
+/// Reusable search state for dijkstra_csr_run.  Buffers are sized to the
+/// graph once and invalidated lazily via generation stamps, so after
+/// warm-up a query allocates nothing and "clearing" is O(1).
+///
+/// Protocol per query: begin(n), mark_sink(v) for each early-exit target
+/// (optional), run, then read dist()/parent_slot() for settled nodes.
+/// One scratch serves one thread; concurrent searches need one scratch
+/// each (the graph itself is safe to share read-only).
+class SearchScratch {
+ public:
+  /// Opens a new query over an `num_nodes`-node graph: grows the buffers
+  /// if needed and invalidates all per-node state from previous queries.
+  void begin(std::uint32_t num_nodes);
+
+  /// Marks v as a sink of the current query (search stops at the first
+  /// settled sink).
+  void mark_sink(NodeId v);
+  [[nodiscard]] bool is_sink(NodeId v) const noexcept {
+    return sink_stamp_[v.value()] == generation_;
+  }
+
+  /// Tentative/final distance of v in the current query (+inf when never
+  /// touched).  Final iff settled(v).
+  [[nodiscard]] double dist(NodeId v) const noexcept {
+    return stamp_[v.value()] == generation_ ? dist_[v.value()] : kInfiniteCost;
+  }
+  [[nodiscard]] bool settled(NodeId v) const noexcept {
+    return stamp_[v.value()] == generation_ && state_[v.value()] == kSettled;
+  }
+  /// Slot of the CSR link that last relaxed v (kInvalidSlot at seeds and
+  /// untouched nodes).
+  [[nodiscard]] std::uint32_t parent_slot(NodeId v) const noexcept {
+    return stamp_[v.value()] == generation_ ? parent_[v.value()]
+                                            : CsrDigraph::kInvalidSlot;
+  }
+
+ private:
+  friend NodeId dijkstra_csr_run(const CsrDigraph&, std::span<const NodeId>,
+                                 SearchScratch&, struct CsrRunStats*,
+                                 std::span<const double>);
+
+  static constexpr std::uint8_t kInHeap = 1;
+  static constexpr std::uint8_t kSettled = 2;
+
+  /// First touch of v in this query: resets its per-query state.
+  void touch(std::uint32_t v) {
+    if (stamp_[v] != generation_) {
+      stamp_[v] = generation_;
+      dist_[v] = kInfiniteCost;
+      parent_[v] = CsrDigraph::kInvalidSlot;
+      state_[v] = 0;
+    }
+  }
+
+  // --- indexed 4-ary heap over node ids, keyed by dist_ -----------------
+  void heap_push(std::uint32_t v);
+  void heap_decrease(std::uint32_t v);
+  std::uint32_t heap_pop_min();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::uint64_t generation_ = 0;
+  std::vector<std::uint64_t> stamp_;       // per node: generation when touched
+  std::vector<std::uint64_t> sink_stamp_;  // per node: generation when marked
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> parent_;  // CSR slot
+  std::vector<std::uint8_t> state_;    // kInHeap / kSettled (stamped)
+  std::vector<std::uint32_t> heap_;    // node ids, min-ordered by dist_
+  std::vector<std::uint32_t> pos_;     // heap position (valid while kInHeap)
+};
+
+/// Per-run effort counters of dijkstra_csr_run.
+struct CsrRunStats {
+  std::uint64_t pops = 0;
+  std::uint64_t relaxations = 0;
+};
+
+/// Multi-source, early-exit Dijkstra over a CSR arena.
+///
+/// Seeds every node of `sources` at distance 0 (this is the RouteEngine's
+/// "virtual terminal": equivalent to a zero-weight tie from an implicit
+/// super-source, without materializing terminal nodes).  When sinks were
+/// marked in `scratch`, the search stops at the first settled sink — which,
+/// by Dijkstra's settle order, is the closest sink — and returns it
+/// (invalid id when no sink is reachable).  With no sinks marked it runs to
+/// exhaustion and returns an invalid id; distances are then a full SSSP.
+///
+/// `weights`, when non-empty, overrides the arena's stored weights
+/// (indexed by slot; size num_links).  This serves structure-sharing
+/// subnetwork caches that keep one weight row per wavelength.
+NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
+                        SearchScratch& scratch, CsrRunStats* stats = nullptr,
+                        std::span<const double> weights = {});
 
 /// Dijkstra over the CSR view (Fibonacci heap).  Semantics identical to
 /// dijkstra() on the originating Digraph — parent links are original ids.

@@ -57,9 +57,22 @@ ShortestPathTree dijkstra_with(const Digraph& g, NodeId source,
   tree.dist.assign(g.num_nodes(), kInfiniteCost);
   tree.parent_link.assign(g.num_nodes(), LinkId::invalid());
 
-  std::vector<typename Heap::Handle> handle(g.num_nodes());
-  std::vector<char> in_heap(g.num_nodes(), 0);
-  std::vector<char> settled(g.num_nodes(), 0);
+  // Per-thread search buffers, reused across calls: repeated queries (the
+  // RouteEngine regime, all-pairs trees, per-wavelength sweeps) stop
+  // paying three O(n) heap allocations each.  assign() recycles capacity.
+  struct Scratch {
+    std::vector<typename Heap::Handle> handle;
+    std::vector<char> in_heap;
+    std::vector<char> settled;
+  };
+  thread_local Scratch scratch;
+  if (scratch.handle.size() < g.num_nodes())
+    scratch.handle.resize(g.num_nodes());
+  scratch.in_heap.assign(g.num_nodes(), 0);
+  scratch.settled.assign(g.num_nodes(), 0);
+  std::vector<typename Heap::Handle>& handle = scratch.handle;
+  std::vector<char>& in_heap = scratch.in_heap;
+  std::vector<char>& settled = scratch.settled;
 
   Heap heap;
   tree.dist[source.value()] = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/route_engine.h"
 #include "graph/traversal.h"
 #include "util/error.h"
 
@@ -10,7 +11,7 @@ namespace lumen {
 BatchResult provision_batch(
     SessionManager& manager,
     std::span<const std::pair<NodeId, NodeId>> demands, DemandOrder order,
-    Rng* rng) {
+    Rng* rng, unsigned route_threads) {
   std::vector<std::pair<NodeId, NodeId>> ordered(demands.begin(),
                                                  demands.end());
   switch (order) {
@@ -42,6 +43,36 @@ BatchResult provision_batch(
       LUMEN_REQUIRE_MSG(rng != nullptr, "kRandom needs an Rng");
       rng->shuffle(ordered);
       break;
+    case DemandOrder::kCheapestFirst:
+    case DemandOrder::kCostliestFirst: {
+      // Rank by optimal semilightpath cost on the pre-batch residual
+      // state.  One engine is built for the whole demand set and queried
+      // as a parallel batch; unroutable demands (cost +inf) sort last
+      // either way, so feasible work is never starved by hopeless demands.
+      RouteEngine engine(manager.residual());
+      const std::vector<RouteResult> routes =
+          engine.route_many(demands, route_threads);
+      std::vector<double> cost(ordered.size());
+      for (std::size_t i = 0; i < ordered.size(); ++i)
+        cost[i] = routes[i].found ? routes[i].cost : kInfiniteCost;
+      std::vector<std::size_t> index(ordered.size());
+      for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+      std::stable_sort(index.begin(), index.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (order == DemandOrder::kCheapestFirst)
+                           return cost[a] < cost[b];
+                         // Costliest first, but +inf (unroutable) still last.
+                         if ((cost[a] == kInfiniteCost) !=
+                             (cost[b] == kInfiniteCost))
+                           return cost[a] != kInfiniteCost;
+                         return cost[a] > cost[b];
+                       });
+      std::vector<std::pair<NodeId, NodeId>> sorted;
+      sorted.reserve(ordered.size());
+      for (const std::size_t i : index) sorted.push_back(ordered[i]);
+      ordered = std::move(sorted);
+      break;
+    }
   }
 
   BatchResult result;

@@ -20,10 +20,12 @@ namespace lumen {
 
 /// Order in which the batch's demands are offered.
 enum class DemandOrder {
-  kGiven,          ///< as provided
-  kShortestFirst,  ///< ascending hop distance (BFS on the base topology)
-  kLongestFirst,   ///< descending hop distance
-  kRandom,         ///< uniformly shuffled (requires an Rng)
+  kGiven,           ///< as provided
+  kShortestFirst,   ///< ascending hop distance (BFS on the base topology)
+  kLongestFirst,    ///< descending hop distance
+  kRandom,          ///< uniformly shuffled (requires an Rng)
+  kCheapestFirst,   ///< ascending optimal semilightpath cost (route engine)
+  kCostliestFirst,  ///< descending optimal semilightpath cost
 };
 
 /// Outcome of one batch run.
@@ -37,9 +39,15 @@ struct BatchResult {
 
 /// Offers every demand to `manager` in the given order.  `rng` is used
 /// only for kRandom (must be non-null then).
+///
+/// The cost-based orderings rank demands by their optimal semilightpath
+/// cost on the manager's pre-batch residual state — one build-once
+/// RouteEngine answers all of them as a parallel batch (`route_threads`
+/// workers; 0 = one per hardware thread).  Demands with no route at all
+/// sort last under both.  `route_threads` is ignored by the other orders.
 [[nodiscard]] BatchResult provision_batch(
     SessionManager& manager,
     std::span<const std::pair<NodeId, NodeId>> demands, DemandOrder order,
-    Rng* rng = nullptr);
+    Rng* rng = nullptr, unsigned route_threads = 0);
 
 }  // namespace lumen

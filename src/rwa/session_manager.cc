@@ -17,6 +17,8 @@ const char* policy_name(RoutingPolicy policy) {
     case RoutingPolicy::kLightpathFirstFit: return "first_fit";
     case RoutingPolicy::kLightpathBestCost: return "lightpath";
     case RoutingPolicy::kSemilightpath: return "semilightpath";
+    case RoutingPolicy::kSemilightpathEngine: return "semilightpath_engine";
+    case RoutingPolicy::kLightpathEngine: return "lightpath_engine";
   }
   return "unknown";
 }
@@ -33,6 +35,10 @@ SessionManager::SessionManager(WdmNetwork network, RoutingPolicy policy)
     const auto list = net_.available(LinkId{e});
     base_availability_.emplace_back(list.begin(), list.end());
   }
+  // Engine policies pay the flatten cost once here; afterwards every net_
+  // availability change below is mirrored into the engine as an O(1)
+  // weight patch, so the two views of the residual state stay equal.
+  if (uses_engine()) engine_ = std::make_unique<RouteEngine>(net_);
 }
 
 RouteResult SessionManager::first_fit_route(NodeId source,
@@ -101,6 +107,10 @@ RouteResult SessionManager::route_request(NodeId source, NodeId target) const {
       return route_lightpath(net_, source, target);
     case RoutingPolicy::kSemilightpath:
       return route_semilightpath(net_, source, target);
+    case RoutingPolicy::kSemilightpathEngine:
+      return engine_->route_semilightpath(source, target);
+    case RoutingPolicy::kLightpathEngine:
+      return engine_->route_lightpath(source, target);
   }
   LUMEN_ASSERT(false);
 }
@@ -169,7 +179,9 @@ void SessionManager::record_event(NodeId source, NodeId target,
   event.policy = policy_name(policy_);
   if (policy_ == RoutingPolicy::kSemilightpath) event.heap = "fibonacci";
   event.outcome = outcome;
-  event.cost = route.cost;
+  // Documented as 0 when no route: kInfiniteCost would serialize as the
+  // JSON-invalid token `inf` in the JSONL export.
+  event.cost = route.found ? route.cost : 0.0;
   event.hops = static_cast<std::uint32_t>(route.path.length());
   event.conversions = route.path.num_conversions();
   event.aux_nodes = route.stats.aux_nodes;
@@ -197,12 +209,17 @@ void SessionManager::reserve(SessionRecord& record,
   record.cost = route.cost;
   record.reserved_costs.clear();
   record.reserved_costs.reserve(route.path.hops().size());
+  record.engine_handles.clear();
   for (const Hop& hop : route.path.hops()) {
     const double cost = net_.link_cost(hop.link, hop.wavelength);
     LUMEN_ASSERT(cost < kInfiniteCost);
     record.reserved_costs.push_back(LinkWavelength{hop.wavelength, cost});
     const bool removed = net_.clear_wavelength(hop.link, hop.wavelength);
     LUMEN_ASSERT(removed);
+    if (engine_) {
+      record.engine_handles.push_back(
+          engine_->reserve(hop.link, hop.wavelength));
+    }
     ++reserved_pairs_;
   }
 }
@@ -210,14 +227,17 @@ void SessionManager::reserve(SessionRecord& record,
 void SessionManager::release_resources(SessionRecord& record) {
   const auto& hops = record.path.hops();
   for (std::size_t i = 0; i < hops.size(); ++i) {
-    // A failed link's capacity stays down until the span is repaired.
+    // A failed link's capacity stays down until the span is repaired
+    // (mirrored in the engine: its weight stays +inf).
     if (!link_failed_[hops[i].link.value()]) {
       net_.set_wavelength(hops[i].link, record.reserved_costs[i].lambda,
                           record.reserved_costs[i].cost);
+      if (engine_) engine_->release(record.engine_handles[i]);
     }
     --reserved_pairs_;
   }
   record.reserved_costs.clear();
+  record.engine_handles.clear();
 }
 
 bool SessionManager::close(SessionId id) {
@@ -251,9 +271,13 @@ SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
     failing[ei] = 1;
     link_failed_[ei] = 1;
     ++report.links_failed;
-    // Strip any still-free wavelengths from the residual network.
-    for (const LinkWavelength& lw : base_availability_[ei])
+    // Strip any still-free wavelengths from the residual network.  The
+    // engine mirrors the whole base set to +inf (idempotent for slots
+    // already reserved, which are +inf already).
+    for (const LinkWavelength& lw : base_availability_[ei]) {
       (void)net_.clear_wavelength(e, lw.lambda);
+      if (engine_) engine_->set_weight(e, lw.lambda, kInfiniteCost);
+    }
   }
   if (report.links_failed == 0) return report;
 
@@ -303,8 +327,10 @@ void SessionManager::repair_span(NodeId a, NodeId b) {
     if (!on_span || !link_failed_[ei]) continue;
     link_failed_[ei] = 0;
     for (const LinkWavelength& lw : base_availability_[ei]) {
-      if (!reserved[ei].contains(lw.lambda.value()))
+      if (!reserved[ei].contains(lw.lambda.value())) {
         net_.set_wavelength(e, lw.lambda, lw.cost);
+        if (engine_) engine_->set_weight(e, lw.lambda, lw.cost);
+      }
     }
   }
 }
@@ -339,6 +365,10 @@ bool SessionManager::reoptimize(SessionId id) {
     // clear fails only if release above didn't restore it (failed link —
     // impossible for an active session's healthy route).
     LUMEN_ASSERT(removed);
+    if (engine_) {
+      record.engine_handles.push_back(
+          engine_->reserve(hop.link, hop.wavelength));
+    }
     ++reserved_pairs_;
   }
   return false;

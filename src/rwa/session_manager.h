@@ -15,13 +15,24 @@
 //   kLightpathBestCost  — optimal wavelength-continuous route (one
 //                         Dijkstra per wavelength).
 //   kSemilightpath      — the paper's router: optimal with conversion.
+//
+// The *Engine variants return the same routes as their per-request
+// counterparts but amortize construction: a RouteEngine is built once per
+// manager and kept in sync with the residual availability by O(1) weight
+// patches on every reserve/release/failure/repair, so each request costs
+// only a search.
+//   kSemilightpathEngine — kSemilightpath served by the build-once engine.
+//   kLightpathEngine     — kLightpathBestCost served by the engine's
+//                          per-wavelength subnetwork cache.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/route_engine.h"
 #include "core/route_types.h"
 #include "obs/route_event.h"
 #include "util/strong_id.h"
@@ -40,6 +51,8 @@ enum class RoutingPolicy {
   kLightpathFirstFit,
   kLightpathBestCost,
   kSemilightpath,
+  kSemilightpathEngine,
+  kLightpathEngine,
 };
 
 /// One carried connection.
@@ -52,6 +65,8 @@ struct SessionRecord {
   bool active = false;
   /// Reserved resources with their original costs (for release).
   std::vector<LinkWavelength> reserved_costs;  // parallel to path.hops()
+  /// Engine patch receipts (engine policies only; parallel to path.hops()).
+  std::vector<RouteEngine::ReserveHandle> engine_handles;
 };
 
 /// Aggregate acceptance accounting.
@@ -181,8 +196,19 @@ class SessionManager {
   /// Samples the residual-state metrics when the period is due.
   void maybe_snapshot_metrics();
 
+  /// True for the build-once engine-backed policies.
+  [[nodiscard]] bool uses_engine() const noexcept {
+    return policy_ == RoutingPolicy::kSemilightpathEngine ||
+           policy_ == RoutingPolicy::kLightpathEngine;
+  }
+
   WdmNetwork net_;  // residual availability (mutated)
   RoutingPolicy policy_;
+  /// Build-once flattened router, kept weight-synchronized with net_ (engine
+  /// policies only; null otherwise).  unique_ptr keeps queries usable from
+  /// const methods — route_request is logically const, the engine scratch is
+  /// not part of the observable state.
+  std::unique_ptr<RouteEngine> engine_;
   SessionStats stats_;
   std::unordered_map<SessionId, SessionRecord> sessions_;
   std::uint64_t next_id_ = 0;

@@ -1,0 +1,68 @@
+// Minimal fixed-size worker pool for data-parallel fan-out.
+//
+// The routing engine's batch API (RouteEngine::route_many) and the
+// all-pairs router's parallel tree construction run many independent
+// Dijkstras over immutable flattened graphs; this pool supplies the
+// workers.  Design goals: no dependencies, bounded threads, exception
+// propagation, and a blocking parallel_for that is trivially correct to
+// call from otherwise single-threaded code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lumen {
+
+/// Fixed-size worker pool.  Tasks are run in FIFO order; wait() blocks
+/// until every submitted task finished.  The destructor waits for the
+/// queue to drain, then joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(unsigned threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task.  Tasks must not submit to the same pool recursively
+  /// and must not block on wait() themselves (deadlock).
+  void submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have completed.  Rethrows the
+  /// first exception a task raised (the remaining tasks still run).
+  void wait();
+
+  /// Runs fn(i) for every i in [0, count) across the pool and blocks until
+  /// done.  Work is claimed dynamically (one index at a time), so uneven
+  /// item costs balance automatically.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency clamped to >= 1.
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lumen

@@ -243,6 +243,21 @@ TEST(RouterStatsTest, StatsPopulated) {
   EXPECT_GT(r.stats.aux_nodes, 0u);
   EXPECT_GT(r.stats.aux_links, 0u);
   EXPECT_GT(r.stats.search_pops, 0u);
+  // Semilightpath routing is a single search, not a per-λ sweep.
+  EXPECT_EQ(r.stats.wavelengths_searched, 0u);
+}
+
+TEST(RouterStatsTest, LightpathStatsReportStructureOnceAndCountSweeps) {
+  Rng rng(64);
+  const auto net = random_network(15, 30, 4, 2, ConvKind::kNone, rng);
+  const auto r = route_lightpath(net, NodeId{0}, NodeId{7});
+  // The k wavelength searches share one physical subnetwork: its size is
+  // reported once (n, m), not accumulated k times; the sweep count is
+  // carried separately.
+  EXPECT_EQ(r.stats.aux_nodes, net.num_nodes());
+  EXPECT_EQ(r.stats.aux_links, net.num_links());
+  EXPECT_EQ(r.stats.wavelengths_searched, net.num_wavelengths());
+  EXPECT_GT(r.stats.search_pops, 0u);
 }
 
 }  // namespace

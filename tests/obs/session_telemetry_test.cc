@@ -46,6 +46,9 @@ TEST(SessionTelemetryTest, OneEventPerOfferedRequest) {
   EXPECT_EQ(events[0].outcome, "carried");
   EXPECT_EQ(events[1].outcome, "carried");
   EXPECT_EQ(events[2].outcome, "blocked");
+  // Blocked events report cost 0, never kInfiniteCost — `inf` is not a
+  // valid JSON token in the JSONL export.
+  EXPECT_DOUBLE_EQ(events[2].cost, 0.0);
   EXPECT_EQ(events[0].hops, 2u);
   EXPECT_GT(events[0].cost, 0.0);
   EXPECT_GT(events[0].aux_nodes, 0u);

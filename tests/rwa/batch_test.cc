@@ -50,7 +50,8 @@ TEST(BatchTest, OrderingsAreValidPermutations) {
   const auto demands = random_demands(14, 30, demand_rng);
   for (const auto order :
        {DemandOrder::kGiven, DemandOrder::kShortestFirst,
-        DemandOrder::kLongestFirst, DemandOrder::kRandom}) {
+        DemandOrder::kLongestFirst, DemandOrder::kRandom,
+        DemandOrder::kCheapestFirst, DemandOrder::kCostliestFirst}) {
     auto manager = nsfnet_manager(8, RoutingPolicy::kSemilightpath);
     Rng shuffle_rng(7);
     const auto result = provision_batch(manager, demands, order, &shuffle_rng);
@@ -67,6 +68,62 @@ TEST(BatchTest, RandomNeedsRng) {
   EXPECT_THROW(
       (void)provision_batch(manager, demands, DemandOrder::kRandom, nullptr),
       Error);
+}
+
+TEST(BatchTest, CostOrderingsOfferCheapestOrCostliestFirst) {
+  // The cost-based orders rank by optimal semilightpath cost on the
+  // pre-batch state (engine-batched), so with a fresh manager the carried
+  // costs of an uncontended prefix must come out sorted.
+  const std::vector<std::pair<NodeId, NodeId>> demands = {
+      {NodeId{0}, NodeId{13}}, {NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{9}},
+      {NodeId{5}, NodeId{6}},  {NodeId{3}, NodeId{12}}};
+
+  auto cheap = nsfnet_manager(8, RoutingPolicy::kSemilightpath);
+  const auto cheap_result =
+      provision_batch(cheap, demands, DemandOrder::kCheapestFirst,
+                      /*rng=*/nullptr, /*route_threads=*/2);
+  ASSERT_EQ(cheap_result.carried, demands.size());
+  for (std::size_t i = 1; i < cheap_result.sessions.size(); ++i) {
+    EXPECT_LE(cheap.find(cheap_result.sessions[i - 1])->cost,
+              cheap.find(cheap_result.sessions[i])->cost + 1e-9);
+  }
+
+  auto costly = nsfnet_manager(8, RoutingPolicy::kSemilightpath);
+  const auto costly_result =
+      provision_batch(costly, demands, DemandOrder::kCostliestFirst);
+  ASSERT_EQ(costly_result.carried, demands.size());
+  for (std::size_t i = 1; i < costly_result.sessions.size(); ++i) {
+    EXPECT_GE(costly.find(costly_result.sessions[i - 1])->cost,
+              costly.find(costly_result.sessions[i])->cost - 1e-9);
+  }
+}
+
+TEST(BatchTest, EnginePolicyCarriesTheBatchLikeThePlainPolicy) {
+  // Continuous random costs keep optimal routes unique (ties are
+  // measure-zero), so both policies must make identical decisions; with
+  // unit costs they could legitimately pick different equal-cost routes
+  // and the residual states would diverge.
+  const auto make_manager = [](RoutingPolicy policy) {
+    Rng rng(41);
+    const Topology topo = nsfnet_topology();
+    const Availability avail =
+        full_availability(topo, 4, CostSpec::uniform(1.0, 2.0), rng);
+    return SessionManager(
+        assemble_network(topo, 4, avail,
+                         std::make_shared<UniformConversion>(0.1)),
+        policy);
+  };
+  Rng demand_rng(45);
+  const auto demands = random_demands(14, 40, demand_rng);
+  auto plain = make_manager(RoutingPolicy::kSemilightpath);
+  auto engine = make_manager(RoutingPolicy::kSemilightpathEngine);
+  const auto plain_result =
+      provision_batch(plain, demands, DemandOrder::kGiven);
+  const auto engine_result =
+      provision_batch(engine, demands, DemandOrder::kGiven);
+  EXPECT_EQ(plain_result.carried, engine_result.carried);
+  EXPECT_EQ(plain_result.blocked, engine_result.blocked);
+  EXPECT_NEAR(plain_result.total_cost, engine_result.total_cost, 1e-6);
 }
 
 TEST(BatchTest, OrderingChangesOutcomeUnderPressure) {

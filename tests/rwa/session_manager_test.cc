@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/liang_shen.h"
 #include "tests/test_util.h"
@@ -153,6 +155,101 @@ TEST(SessionManagerTest, Preconditions) {
   SessionManager manager(chain_net(), RoutingPolicy::kSemilightpath);
   EXPECT_THROW((void)manager.open(NodeId{0}, NodeId{0}), Error);
   EXPECT_THROW((void)manager.open(NodeId{0}, NodeId{9}), Error);
+}
+
+/// Drives `plain` and `engine` through an identical workload of opens,
+/// closes, failures, repairs, and reoptimizations, asserting the engine
+/// policy makes the same decisions at the same costs throughout.  This is
+/// the end-to-end check that the O(1) weight patches keep the flattened
+/// core exactly synchronized with the residual network.
+void run_engine_equivalence_workload(SessionManager& plain,
+                                     SessionManager& engine,
+                                     std::uint64_t seed) {
+  const std::uint32_t n = plain.residual().num_nodes();
+  Rng rng(seed);
+  std::vector<std::pair<SessionId, SessionId>> open_pairs;
+
+  for (int step = 0; step < 120; ++step) {
+    const auto choice = rng.next_below(10);
+    if (choice < 5) {  // open
+      NodeId s{static_cast<std::uint32_t>(rng.next_below(n))};
+      NodeId t{static_cast<std::uint32_t>(rng.next_below(n))};
+      if (s == t) continue;
+      const auto a = plain.open(s, t);
+      const auto b = engine.open(s, t);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+      if (a.has_value()) {
+        EXPECT_NEAR(plain.find(*a)->cost, engine.find(*b)->cost, 1e-9)
+            << "step " << step;
+        open_pairs.emplace_back(*a, *b);
+      }
+    } else if (choice < 7) {  // close
+      if (open_pairs.empty()) continue;
+      const std::size_t i = rng.next_below(open_pairs.size());
+      EXPECT_EQ(plain.close(open_pairs[i].first),
+                engine.close(open_pairs[i].second));
+      open_pairs[i] = open_pairs.back();
+      open_pairs.pop_back();
+    } else if (choice == 7) {  // fail a span
+      const NodeId a{static_cast<std::uint32_t>(rng.next_below(n))};
+      const NodeId b{static_cast<std::uint32_t>(rng.next_below(n))};
+      const auto ra = plain.fail_span(a, b);
+      const auto rb = engine.fail_span(a, b);
+      EXPECT_EQ(ra.links_failed, rb.links_failed) << "step " << step;
+      EXPECT_EQ(ra.affected, rb.affected) << "step " << step;
+      EXPECT_EQ(ra.dropped, rb.dropped) << "step " << step;
+      // Sessions may have been dropped; prune pairs that went inactive.
+      std::erase_if(open_pairs, [&](const auto& pair) {
+        const bool alive_a = plain.find(pair.first)->active;
+        const bool alive_b = engine.find(pair.second)->active;
+        EXPECT_EQ(alive_a, alive_b);
+        return !alive_a;
+      });
+    } else if (choice == 8) {  // repair a span
+      const NodeId a{static_cast<std::uint32_t>(rng.next_below(n))};
+      const NodeId b{static_cast<std::uint32_t>(rng.next_below(n))};
+      plain.repair_span(a, b);
+      engine.repair_span(a, b);
+    } else {  // reoptimize
+      if (open_pairs.empty()) continue;
+      const std::size_t i = rng.next_below(open_pairs.size());
+      const bool moved_a = plain.reoptimize(open_pairs[i].first);
+      const bool moved_b = engine.reoptimize(open_pairs[i].second);
+      EXPECT_EQ(moved_a, moved_b) << "step " << step;
+      EXPECT_NEAR(plain.find(open_pairs[i].first)->cost,
+                  engine.find(open_pairs[i].second)->cost, 1e-9);
+    }
+
+    EXPECT_EQ(plain.active_sessions(), engine.active_sessions());
+    EXPECT_NEAR(plain.wavelength_utilization(),
+                engine.wavelength_utilization(), 1e-12);
+  }
+
+  EXPECT_EQ(plain.stats().carried, engine.stats().carried);
+  EXPECT_EQ(plain.stats().blocked, engine.stats().blocked);
+  EXPECT_EQ(plain.stats().dropped, engine.stats().dropped);
+  EXPECT_NEAR(plain.stats().carried_cost_sum, engine.stats().carried_cost_sum,
+              1e-6);
+}
+
+TEST(SessionManagerTest, EnginePolicyMatchesSemilightpathWorkload) {
+  Rng rng(91);
+  const auto base =
+      testing::random_network(10, 12, 4, 3, testing::ConvKind::kUniform, rng);
+  SessionManager plain(base, RoutingPolicy::kSemilightpath);
+  SessionManager engine(base, RoutingPolicy::kSemilightpathEngine);
+  EXPECT_EQ(plain.policy(), RoutingPolicy::kSemilightpath);
+  EXPECT_EQ(engine.policy(), RoutingPolicy::kSemilightpathEngine);
+  run_engine_equivalence_workload(plain, engine, 92);
+}
+
+TEST(SessionManagerTest, EnginePolicyMatchesLightpathWorkload) {
+  Rng rng(93);
+  const auto base =
+      testing::random_network(10, 12, 4, 3, testing::ConvKind::kNone, rng);
+  SessionManager plain(base, RoutingPolicy::kLightpathBestCost);
+  SessionManager engine(base, RoutingPolicy::kLightpathEngine);
+  run_engine_equivalence_workload(plain, engine, 94);
 }
 
 }  // namespace

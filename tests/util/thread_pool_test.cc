@@ -1,0 +1,80 @@
+// ThreadPool: ordering-independent completion, exception propagation,
+// dynamic work claiming.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lumen {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    pool.submit([&hits, i] { hits[i].fetch_add(1); });
+  pool.wait();
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForOnEmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTheFirstTaskError) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i) pool.submit([&] { completed.fetch_add(1); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The remaining tasks still ran; the pool stays usable.
+  EXPECT_EQ(completed.load(), 8);
+  pool.submit([&] { completed.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) pool.submit([&] { counter.fetch_add(1); });
+    // No wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  ThreadPool defaulted;  // 0 = hardware default
+  EXPECT_GE(defaulted.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lumen
