@@ -1,0 +1,145 @@
+// E15 — fault-injected distributed routing: the price of recovery.
+//
+// Sweeps the random-drop probability on both hardened protocols and
+// reports the overhead against the clean run on the same network:
+//   messages, sweeps          — traffic and retransmission rounds burned
+//   message_overhead          — messages / clean-run messages
+//   rounds (sync) / vtime     — time to the certified post-heal fixpoint
+// The span-flap row drives a SessionManager through a FaultPlan span
+// timeline (fail -> reroute -> repair per event), the end-to-end recovery
+// path the fault suite verifies for correctness.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bench/bench_common.h"
+#include "dist/async_router.h"
+#include "dist/dist_router.h"
+#include "dist/fault_plan.h"
+#include "rwa/session_manager.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 4242;
+constexpr double kHealAt = 8.0;
+
+void BM_SyncRouter_DropSweep(benchmark::State& state) {
+  const double drop_p = static_cast<double>(state.range(0)) / 100.0;
+  const std::uint32_t n = 96, k = 6, k0 = 3;
+  const WdmNetwork net = bench::distributed_network(n, k, k0, kSeed);
+  const auto clean =
+      distributed_route_semilightpath(net, NodeId{0}, NodeId{n / 2});
+  std::uint64_t messages = 0, rounds = 0;
+  std::uint32_t sweeps = 0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    FaultPlan plan(kSeed + run++);
+    plan.drop_messages(drop_p, kHealAt).delay_spikes(0.1, 2.0);
+    const auto r =
+        distributed_route_semilightpath(net, NodeId{0}, NodeId{n / 2}, plan);
+    messages = r.messages;
+    rounds = r.rounds;
+    sweeps = r.retransmit_sweeps;
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["message_overhead"] =
+      static_cast<double>(messages) /
+      static_cast<double>(std::max<std::uint64_t>(clean.messages, 1));
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["sweeps"] = static_cast<double>(sweeps);
+}
+BENCHMARK(BM_SyncRouter_DropSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AsyncRouter_DropSweep(benchmark::State& state) {
+  const double drop_p = static_cast<double>(state.range(0)) / 100.0;
+  const std::uint32_t n = 96, k = 6, k0 = 3;
+  const WdmNetwork net = bench::distributed_network(n, k, k0, kSeed);
+  const auto clean =
+      async_route_semilightpath(net, NodeId{0}, NodeId{n / 2}, kSeed);
+  std::uint64_t messages = 0;
+  std::uint32_t sweeps = 0;
+  double vtime = 0.0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    FaultPlan plan(kSeed + run);
+    plan.drop_messages(drop_p, kHealAt).duplicate_messages(0.1);
+    AsyncOptions options;
+    options.faults = &plan;
+    const auto r = async_route_semilightpath(net, NodeId{0}, NodeId{n / 2},
+                                             kSeed + run, options);
+    ++run;
+    messages = r.messages;
+    sweeps = r.retransmit_sweeps;
+    vtime = r.virtual_time;
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["message_overhead"] =
+      static_cast<double>(messages) /
+      static_cast<double>(std::max<std::uint64_t>(clean.messages, 1));
+  state.counters["vtime"] = vtime;
+  state.counters["sweeps"] = static_cast<double>(sweeps);
+}
+BENCHMARK(BM_AsyncRouter_DropSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SessionManager_SpanFlapTimeline(benchmark::State& state) {
+  // A carried workload hit by a sequence of span cuts and repairs replayed
+  // from a FaultPlan timeline: measures fail_span/repair_span plus the
+  // engine weight-resync per event.
+  const auto flaps = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 64, k = 6, k0 = 4;
+  const WdmNetwork net = bench::distributed_network(n, k, k0, kSeed);
+  Rng workload(kSeed);
+  std::uint64_t rerouted = 0, dropped = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SessionManager manager(net, RoutingPolicy::kSemilightpathEngine);
+    for (std::uint32_t i = 0; i < 3 * n; ++i) {
+      const auto s =
+          NodeId{static_cast<std::uint32_t>(workload.next_below(n))};
+      auto t = NodeId{static_cast<std::uint32_t>(workload.next_below(n))};
+      if (s == t) t = NodeId{(t.value() + 1) % n};
+      (void)manager.open(s, t);
+    }
+    FaultPlan plan(kSeed + flaps);
+    for (std::uint32_t f = 0; f < flaps; ++f) {
+      const LinkId e{
+          static_cast<std::uint32_t>(workload.next_below(net.num_links()))};
+      const double from = static_cast<double>(2 * f);
+      plan.span_down(net.tail(e), net.head(e), from, from + 1.0);
+    }
+    state.ResumeTiming();
+    for (const SpanEvent& event : plan.span_timeline()) {
+      const auto report =
+          manager.apply_span_state(event.a, event.b, event.down);
+      rerouted += report.rerouted;
+      dropped += report.dropped;
+    }
+    benchmark::DoNotOptimize(manager.active_sessions());
+  }
+  state.counters["rerouted"] = static_cast<double>(rerouted);
+  state.counters["dropped"] = static_cast<double>(dropped);
+}
+BENCHMARK(BM_SessionManager_SpanFlapTimeline)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LUMEN_BENCH_MAIN();

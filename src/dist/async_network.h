@@ -5,13 +5,20 @@
 // in delivery order.  The async router uses this to show the Theorem 3
 // protocol is schedule-independent: the converged labels (and hence the
 // optimum) match the synchronous execution for every delay assignment.
+//
+// An optional FaultPlan (set_fault_plan) subjects every send to drops,
+// duplication (each copy draws its own delay), delay spikes, link/span
+// outages, crash windows, and partitions; the happy-path API is unchanged
+// when no plan is attached.  The plan's clock is the virtual time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <queue>
 #include <vector>
 
+#include "dist/fault_plan.h"
 #include "graph/digraph.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -34,22 +41,42 @@ class AsyncNetwork {
   };
 
   /// The topology must outlive the simulator.  Delays are uniform in
-  /// [min_delay, max_delay); both must be > 0 and min <= max.
+  /// [min_delay, max_delay); 0 <= min <= max.  min_delay == 0 is legal
+  /// (and harsher: instant deliveries collapse the schedule's slack);
+  /// min == max == 0 delivers everything at the send timestamp, ordered
+  /// only by the deterministic sequence tie-break.
   AsyncNetwork(const Digraph& topology, Rng rng, double min_delay = 0.5,
                double max_delay = 1.5)
       : topology_(&topology),
         rng_(rng),
         min_delay_(min_delay),
         max_delay_(max_delay) {
-    LUMEN_REQUIRE(min_delay > 0.0 && min_delay <= max_delay);
+    LUMEN_REQUIRE(min_delay >= 0.0 && min_delay <= max_delay);
   }
 
-  /// Sends a message on `link`; it will be delivered after a random delay.
+  /// Attaches (or detaches, with nullptr) a fault plan consulted on every
+  /// subsequent send.  The plan must outlive the simulator.
+  void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// Sends a message on `link`; it will be delivered after a random delay
+  /// (possibly duplicated/spiked/dropped under a fault plan).
   void send(LinkId link, Payload payload) {
     LUMEN_REQUIRE(link.value() < topology_->num_links());
-    const double at =
-        now_ + rng_.next_double_in(min_delay_, max_delay_);
-    queue_.push(Event{at, sequence_++, link, std::move(payload)});
+    if (faults_ == nullptr) {
+      const double at = now_ + rng_.next_double_in(min_delay_, max_delay_);
+      queue_.push(Event{at, sequence_++, link, std::move(payload)});
+      return;
+    }
+    const NodeId head = topology_->head(link);
+    const FaultDecision decision =
+        faults_->decide_send(topology_->tail(link), head, link, now_);
+    if (decision.drop) return;
+    for (std::uint32_t copy = 0; copy < decision.copies; ++copy) {
+      const double at = now_ + decision.extra_delay +
+                        rng_.next_double_in(min_delay_, max_delay_);
+      if (!faults_->deliverable(head, at)) continue;
+      queue_.push(Event{at, sequence_++, link, payload});
+    }
   }
 
   /// Pops the earliest in-flight message and advances the clock to its
@@ -58,10 +85,17 @@ class AsyncNetwork {
     if (queue_.empty()) return std::nullopt;
     Event event = queue_.top();
     queue_.pop();
-    now_ = event.time;
+    // max(): the clock never runs backwards, even if advance_to() jumped
+    // past an in-flight event's delivery time.
+    now_ = std::max(now_, event.time);
     ++messages_;
     return Delivery{event.time, event.link, std::move(event.payload)};
   }
+
+  /// Jumps the clock forward to `t` (no-op when t <= now).  Models a
+  /// retransmission timeout firing on an idle network, letting the clock
+  /// cross fault windows.
+  void advance_to(double t) noexcept { now_ = std::max(now_, t); }
 
   [[nodiscard]] double now() const noexcept { return now_; }
   /// Messages delivered so far.
@@ -91,6 +125,7 @@ class AsyncNetwork {
   double min_delay_;
   double max_delay_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  FaultPlan* faults_ = nullptr;
   double now_ = 0.0;
   std::uint64_t sequence_ = 0;
   std::uint64_t messages_ = 0;

@@ -1,5 +1,8 @@
 #include "dist/async_router.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "dist/async_network.h"
 #include "dist/protocol_state.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
@@ -20,6 +23,15 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
                                            NodeId t, std::uint64_t seed,
                                            double min_delay,
                                            double max_delay) {
+  AsyncOptions options;
+  options.min_delay = min_delay;
+  options.max_delay = max_delay;
+  return async_route_semilightpath(net, s, t, seed, options);
+}
+
+AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
+                                           NodeId t, std::uint64_t seed,
+                                           const AsyncOptions& options) {
   LUMEN_REQUIRE(s.value() < net.num_nodes());
   LUMEN_REQUIRE(t.value() < net.num_nodes());
   AsyncRouteResult result;
@@ -30,8 +42,12 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
   }
 
   std::vector<GadgetState> gadgets = dist_detail::make_gadgets(net);
-  AsyncNetwork<Offer> sim(net.topology(), Rng(seed), min_delay, max_delay);
+  AsyncNetwork<Offer> sim(net.topology(), Rng(seed), options.min_delay,
+                          options.max_delay);
+  FaultPlan* faults = options.faults;
+  if (faults != nullptr) sim.set_fault_plan(faults);
   const ConversionModel& conv = net.conversion();
+  std::uint32_t epoch = 0;
 
   auto broadcast_y = [&](NodeId v, std::uint32_t y_index) {
     const GadgetState& gadget = gadgets[v.value()];
@@ -40,7 +56,7 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
     for (const LinkId e : net.out_links(v)) {
       const double w = net.link_cost(e, lambda);
       if (w == kInfiniteCost) continue;
-      sim.send(e, Offer{lambda, dy + w});
+      sim.send(e, Offer{lambda, dy + w, epoch});
     }
   };
 
@@ -54,30 +70,90 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
     }
   }
 
+  static obs::Counter& stale_offers =
+      obs::Registry::global().counter("lumen.dist.faults.stale_offers");
+  static obs::Counter& redundant_retransmits =
+      obs::Registry::global().counter(
+          "lumen.dist.faults.redundant_retransmits");
+
   // Event loop: one delivery at a time, in global time order.  Each
   // delivery may improve one arrival label, whose gadget relaxation may
-  // improve departure labels, each of which re-broadcasts.
-  while (auto delivery = sim.next()) {
-    const NodeId v = net.head(delivery->link);
-    GadgetState& gadget = gadgets[v.value()];
-    const Offer& offer = delivery->payload;
-    const std::uint32_t x = GadgetState::find(gadget.in_lambdas, offer.lambda);
-    LUMEN_ASSERT(x != kNoParent);
-    if (offer.dist >= gadget.dist_x[x]) continue;  // stale offer
-    gadget.dist_x[x] = offer.dist;
-    gadget.parent_x[x] = delivery->link;
+  // improve departure labels, each of which re-broadcasts.  Returns true
+  // when any arrival label improved.
+  auto drain = [&]() {
+    bool improved = false;
+    while (auto delivery = sim.next()) {
+      const NodeId v = net.head(delivery->link);
+      GadgetState& gadget = gadgets[v.value()];
+      const Offer& offer = delivery->payload;
+      const std::uint32_t x =
+          GadgetState::find(gadget.in_lambdas, offer.lambda);
+      LUMEN_ASSERT(x != kNoParent);
+      if (offer.dist >= gadget.dist_x[x]) {  // stale offer
+        if (faults != nullptr) {
+          stale_offers.add();
+          if (offer.epoch > 0) redundant_retransmits.add();
+        }
+        continue;
+      }
+      improved = true;
+      gadget.dist_x[x] = offer.dist;
+      gadget.parent_x[x] = delivery->link;
 
-    const Wavelength from = gadget.in_lambdas[x];
-    for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
-      const double c = conv.cost(v, from, gadget.out_lambdas[y]);
-      if (c == kInfiniteCost) continue;
-      if (offer.dist + c < gadget.dist_y[y]) {
-        gadget.dist_y[y] = offer.dist + c;
-        gadget.parent_y[y] = x;
-        broadcast_y(v, y);
+      const Wavelength from = gadget.in_lambdas[x];
+      for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
+        const double c = conv.cost(v, from, gadget.out_lambdas[y]);
+        if (c == kInfiniteCost) continue;
+        if (offer.dist + c < gadget.dist_y[y]) {
+          gadget.dist_y[y] = offer.dist + c;
+          gadget.parent_y[y] = x;
+          broadcast_y(v, y);
+        }
       }
     }
+    return improved;
+  };
+
+  (void)drain();
+
+  if (faults != nullptr) {
+    // Timeout-driven retransmission (see dist_router.cc for the scheme):
+    // the timer fires `timeout` after the queue drains, jumps the virtual
+    // clock, and every node re-broadcasts its finite departure labels.
+    const double heal = faults->healed_after();
+    const double timeout = options.retransmit_timeout > 0.0
+                               ? options.retransmit_timeout
+                               : std::max(options.max_delay, 1.0);
+    while (true) {
+      if (result.retransmit_sweeps >= options.max_sweeps) {
+        result.converged = false;
+        break;
+      }
+      if (sim.now() < heal) sim.advance_to(sim.now() + timeout);
+      const double sent_at = sim.now();
+      ++epoch;
+      ++result.retransmit_sweeps;
+      for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+        const GadgetState& gadget = gadgets[vi];
+        for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
+          if (gadget.dist_y[y] < kInfiniteCost) broadcast_y(NodeId{vi}, y);
+        }
+      }
+      const bool sweep_improved = drain();
+      if (!sweep_improved && sent_at >= heal) break;
+    }
+
+    static obs::Counter& sweep_counter = obs::Registry::global().counter(
+        "lumen.dist.faults.retransmit_sweeps");
+    static obs::LatencyHistogram& recovery = obs::Registry::global().histogram(
+        "lumen.dist.faults.recovery_vtime");
+    sweep_counter.add(result.retransmit_sweeps);
+    if (result.converged && heal > 0.0 && std::isfinite(heal)) {
+      // Virtual time units recorded as histogram "seconds".
+      recovery.record_seconds(std::max(0.0, sim.now() - heal));
+    }
   }
+
   result.messages = sim.total_messages();
   result.virtual_time = sim.now();
 
@@ -90,6 +166,14 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
   runs.add();
   messages.add(result.messages);
   per_run.record(result.messages);
+
+  result.node_costs.assign(net.num_nodes(), kInfiniteCost);
+  result.node_costs[s.value()] = 0.0;
+  for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+    if (vi == s.value()) continue;
+    const std::uint32_t best = dist_detail::best_arrival(gadgets[vi]);
+    if (best != kNoParent) result.node_costs[vi] = gadgets[vi].dist_x[best];
+  }
 
   const GadgetState& sink = gadgets[t.value()];
   const std::uint32_t best_x = dist_detail::best_arrival(sink);

@@ -7,24 +7,54 @@
 // so the converged optimum must be independent of the delay assignment —
 // tests sweep seeds to confirm.  Message totals are generally higher than
 // the synchronous schedule's (no per-round batching of offers).
+//
+// With a FaultPlan the router is hardened the same way as the synchronous
+// one: epoch-stamped offers, retransmission sweeps scheduled by a virtual
+// timeout whenever the event queue drains, and termination only on a full
+// sweep sent after the plan's heal horizon that improves no label.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dist/dist_router.h"  // DistRouteResult
+#include "dist/fault_plan.h"
 #include "wdm/network.h"
 
 namespace lumen {
 
-/// Result of an asynchronous execution; `rounds` is repurposed as the
-/// number of deliveries processed (there are no rounds), and
-/// `virtual_time` is the simulated clock at quiescence.
+/// Result of an asynchronous execution; `virtual_time` is the simulated
+/// clock at quiescence (there are no rounds).
 struct AsyncRouteResult {
   bool found = false;
   double cost = 0.0;
   Semilightpath path;
   std::uint64_t messages = 0;
   double virtual_time = 0.0;
+  /// Converged best-arrival label per physical node (0 at the source,
+  /// kInfiniteCost where unreachable) — the full Theorem 3 state, used by
+  /// the schedule-independence tests to compare entire executions, not
+  /// just one (s, t) readout.
+  std::vector<double> node_costs;
+  /// Retransmission sweeps executed (0 for fault-free runs).
+  std::uint32_t retransmit_sweeps = 0;
+  /// False only when a never-healing FaultPlan exhausted the sweep budget.
+  bool converged = true;
+};
+
+/// Tuning knobs of one asynchronous execution.
+struct AsyncOptions {
+  /// Per-message delay is uniform in [min_delay, max_delay); 0 <= min <=
+  /// max (min == 0 is the harsher schedule with zero-latency deliveries).
+  double min_delay = 0.5;
+  double max_delay = 1.5;
+  /// Fault plan to run under (nullptr = pristine network).  Mutated.
+  FaultPlan* faults = nullptr;
+  /// Retransmission-sweep budget for never-healing plans.
+  std::uint32_t max_sweeps = 256;
+  /// Virtual time between timeout-driven sweeps on an idle network;
+  /// 0 picks max(max_delay, 1).
+  double retransmit_timeout = 0.0;
 };
 
 /// Routes s -> t on the asynchronous model with per-message delays drawn
@@ -32,5 +62,10 @@ struct AsyncRouteResult {
 [[nodiscard]] AsyncRouteResult async_route_semilightpath(
     const WdmNetwork& net, NodeId s, NodeId t, std::uint64_t seed,
     double min_delay = 0.5, double max_delay = 1.5);
+
+/// As above with full options (fault plan, delays, sweep budget).
+[[nodiscard]] AsyncRouteResult async_route_semilightpath(
+    const WdmNetwork& net, NodeId s, NodeId t, std::uint64_t seed,
+    const AsyncOptions& options);
 
 }  // namespace lumen

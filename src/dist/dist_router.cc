@@ -1,6 +1,7 @@
 #include "dist/dist_router.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dist/protocol_state.h"
 #include "dist/sync_network.h"
@@ -21,15 +22,23 @@ struct ProtocolRun {
   std::vector<GadgetState> gadgets;
   std::uint64_t messages = 0;
   std::uint64_t rounds = 0;
+  std::uint32_t sweeps = 0;
+  bool converged = true;
 };
 
 /// Executes the synchronous protocol from source s until quiescence.
-ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
+/// With a FaultPlan attached, layers epoch-stamped retransmission sweeps
+/// on top and terminates only on the loss-correct condition: a full sweep
+/// sent at or after the plan's heal horizon that improves no label.
+ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
+                         std::uint32_t max_sweeps) {
   ProtocolRun run;
   run.gadgets = dist_detail::make_gadgets(net);
 
   SyncNetwork<Offer> sim(net.topology());
+  if (faults != nullptr) sim.set_fault_plan(faults);
   const ConversionModel& conv = net.conversion();
+  std::uint32_t epoch = 0;
 
   // Broadcasts the improved departure label y_v(λ') over every out-link
   // carrying λ'.  One message per (link, λ') — the E_org embedding.
@@ -40,7 +49,7 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
     for (const LinkId e : net.out_links(v)) {
       const double w = net.link_cost(e, lambda);
       if (w == kInfiniteCost) continue;
-      sim.send(e, Offer{lambda, dy + w});
+      sim.send(e, Offer{lambda, dy + w, epoch});
     }
   };
 
@@ -56,48 +65,110 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
 
   static obs::LatencyHistogram& queue_depth =
       obs::Registry::global().histogram("lumen.dist.queue_depth");
+  static obs::Counter& stale_offers =
+      obs::Registry::global().counter("lumen.dist.faults.stale_offers");
+  static obs::Counter& redundant_retransmits =
+      obs::Registry::global().counter(
+          "lumen.dist.faults.redundant_retransmits");
 
+  // Delivers until the simulator goes quiescent; true when any arrival
+  // label improved.
   std::vector<std::uint32_t> dirty_x;
-  while (sim.advance()) {
-    for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
-      const NodeId v{vi};
-      const auto inbox = sim.inbox(v);
-      if (inbox.empty()) continue;
-      queue_depth.record(inbox.size());
-      GadgetState& gadget = run.gadgets[vi];
+  auto drain = [&]() {
+    bool improved = false;
+    while (sim.advance()) {
+      for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+        const NodeId v{vi};
+        const auto inbox = sim.inbox(v);
+        if (inbox.empty()) continue;
+        queue_depth.record(inbox.size());
+        GadgetState& gadget = run.gadgets[vi];
 
-      // 1. Fold all offers of this round into the arrival labels X_v.
-      dirty_x.clear();
-      for (const auto& delivery : inbox) {
-        const Offer& offer = delivery.payload;
-        const std::uint32_t x =
-            GadgetState::find(gadget.in_lambdas, offer.lambda);
-        LUMEN_ASSERT(x != kNoParent);
-        if (offer.dist < gadget.dist_x[x]) {
-          if (std::find(dirty_x.begin(), dirty_x.end(), x) == dirty_x.end())
-            dirty_x.push_back(x);
-          gadget.dist_x[x] = offer.dist;
-          gadget.parent_x[x] = delivery.link;
+        // 1. Fold all offers of this round into the arrival labels X_v.
+        dirty_x.clear();
+        for (const auto& delivery : inbox) {
+          const Offer& offer = delivery.payload;
+          const std::uint32_t x =
+              GadgetState::find(gadget.in_lambdas, offer.lambda);
+          LUMEN_ASSERT(x != kNoParent);
+          if (offer.dist < gadget.dist_x[x]) {
+            if (std::find(dirty_x.begin(), dirty_x.end(), x) ==
+                dirty_x.end())
+              dirty_x.push_back(x);
+            gadget.dist_x[x] = offer.dist;
+            gadget.parent_x[x] = delivery.link;
+            improved = true;
+          } else if (faults != nullptr) {
+            // The min-fold discards it either way; the stamps tell the
+            // accounting whether it was duplicated/old traffic or a
+            // retransmission that carried nothing new.
+            stale_offers.add();
+            if (offer.epoch > 0) redundant_retransmits.add();
+          }
         }
-      }
 
-      // 2. Local gadget relaxation X_v -> Y_v (free computation), then
-      //    broadcast each improved departure label once.
-      for (const std::uint32_t x : dirty_x) {
-        const Wavelength from = gadget.in_lambdas[x];
-        const double dx = gadget.dist_x[x];
-        for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
-          const double c = conv.cost(v, from, gadget.out_lambdas[y]);
-          if (c == kInfiniteCost) continue;
-          if (dx + c < gadget.dist_y[y]) {
-            gadget.dist_y[y] = dx + c;
-            gadget.parent_y[y] = x;
-            broadcast_y(v, y);
+        // 2. Local gadget relaxation X_v -> Y_v (free computation), then
+        //    broadcast each improved departure label once.
+        for (const std::uint32_t x : dirty_x) {
+          const Wavelength from = gadget.in_lambdas[x];
+          const double dx = gadget.dist_x[x];
+          for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
+            const double c = conv.cost(v, from, gadget.out_lambdas[y]);
+            if (c == kInfiniteCost) continue;
+            if (dx + c < gadget.dist_y[y]) {
+              gadget.dist_y[y] = dx + c;
+              gadget.parent_y[y] = x;
+              broadcast_y(v, y);
+            }
           }
         }
       }
     }
+    return improved;
+  };
+
+  (void)drain();
+
+  if (faults != nullptr) {
+    // Timeout-driven retransmission: whenever the network drains without a
+    // proof of convergence, every node re-broadcasts all its finite
+    // departure labels (one sweep, <= km messages, stamped with a fresh
+    // epoch).  Sweeps sent before the heal horizon recover what the fault
+    // windows ate; the first post-heal sweep that improves nothing is the
+    // loss-correct termination certificate (a global Bellman fixpoint).
+    const double heal = faults->healed_after();
+    while (true) {
+      if (run.sweeps >= max_sweeps) {
+        run.converged = false;
+        break;
+      }
+      if (static_cast<double>(sim.rounds()) < heal) sim.tick();
+      const double sent_at = static_cast<double>(sim.rounds());
+      ++epoch;
+      ++run.sweeps;
+      for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
+        const GadgetState& gadget = run.gadgets[vi];
+        for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
+          if (gadget.dist_y[y] < kInfiniteCost) broadcast_y(NodeId{vi}, y);
+        }
+      }
+      const bool sweep_improved = drain();
+      if (!sweep_improved && sent_at >= heal) break;
+    }
+
+    static obs::Counter& sweep_counter = obs::Registry::global().counter(
+        "lumen.dist.faults.retransmit_sweeps");
+    static obs::LatencyHistogram& recovery = obs::Registry::global().histogram(
+        "lumen.dist.faults.recovery_rounds");
+    sweep_counter.add(run.sweeps);
+    if (run.converged && heal > 0.0 && std::isfinite(heal)) {
+      const double rounds_now = static_cast<double>(sim.rounds());
+      recovery.record(rounds_now > heal
+                          ? static_cast<std::uint64_t>(rounds_now - heal)
+                          : 0);
+    }
   }
+
   run.messages = sim.total_messages();
   run.rounds = sim.rounds();
 
@@ -112,22 +183,13 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s) {
   return run;
 }
 
-}  // namespace
-
-DistRouteResult distributed_route_semilightpath(const WdmNetwork& net,
-                                                NodeId s, NodeId t) {
-  LUMEN_REQUIRE(s.value() < net.num_nodes());
-  LUMEN_REQUIRE(t.value() < net.num_nodes());
+DistRouteResult readout(const WdmNetwork& net, const ProtocolRun& run,
+                        NodeId s, NodeId t) {
   DistRouteResult result;
-  if (s == t) {
-    result.found = true;
-    result.cost = 0.0;
-    return result;
-  }
-
-  const ProtocolRun run = run_protocol(net, s);
   result.messages = run.messages;
   result.rounds = run.rounds;
+  result.retransmit_sweeps = run.sweeps;
+  result.converged = run.converged;
 
   const GadgetState& sink = run.gadgets[t.value()];
   const std::uint32_t best_x = dist_detail::best_arrival(sink);
@@ -142,13 +204,45 @@ DistRouteResult distributed_route_semilightpath(const WdmNetwork& net,
   return result;
 }
 
+}  // namespace
+
+DistRouteResult distributed_route_semilightpath(const WdmNetwork& net,
+                                                NodeId s, NodeId t) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  DistRouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+  const ProtocolRun run = run_protocol(net, s, nullptr, 0);
+  return readout(net, run, s, t);
+}
+
+DistRouteResult distributed_route_semilightpath(const WdmNetwork& net,
+                                                NodeId s, NodeId t,
+                                                FaultPlan& faults,
+                                                std::uint32_t max_sweeps) {
+  LUMEN_REQUIRE(s.value() < net.num_nodes());
+  LUMEN_REQUIRE(t.value() < net.num_nodes());
+  DistRouteResult result;
+  if (s == t) {
+    result.found = true;
+    result.cost = 0.0;
+    return result;
+  }
+  const ProtocolRun run = run_protocol(net, s, &faults, max_sweeps);
+  return readout(net, run, s, t);
+}
+
 DistAllPairsResult distributed_all_pairs(const WdmNetwork& net) {
   const std::uint32_t n = net.num_nodes();
   DistAllPairsResult result;
   result.cost.assign(n, std::vector<double>(n, 0.0));
   for (std::uint32_t si = 0; si < n; ++si) {
     // One protocol execution per source computes every destination's label.
-    const ProtocolRun run = run_protocol(net, NodeId{si});
+    const ProtocolRun run = run_protocol(net, NodeId{si}, nullptr, 0);
     result.messages += run.messages;
     result.rounds += run.rounds;
     for (std::uint32_t ti = 0; ti < n; ++ti) {

@@ -9,11 +9,20 @@
 // communication complexity is the paper's O(km) — O(m·k_0) when
 // availability is k_0-bounded (Theorem 5) — and the round count is the
 // O(kn) time complexity.
+//
+// The FaultPlan overload runs the same protocol hardened against a hostile
+// network (message loss, duplication, reordering, outages): offers are
+// epoch-stamped, lost information is recovered by timeout-driven
+// retransmission sweeps, and termination is detected by a full sweep sent
+// after the plan's heal horizon that improves no label — the quiescence
+// check that stays correct under message loss (see docs/PROTOCOL.md,
+// "Fault model").
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "dist/fault_plan.h"
 #include "wdm/network.h"
 #include "wdm/semilightpath.h"
 
@@ -30,6 +39,12 @@ struct DistRouteResult {
   std::uint64_t messages = 0;
   /// Synchronous rounds until global quiescence.
   std::uint64_t rounds = 0;
+  /// Retransmission sweeps executed (0 for fault-free runs).
+  std::uint32_t retransmit_sweeps = 0;
+  /// False when the sweep budget ran out before a clean post-heal sweep
+  /// (only possible with a never-healing FaultPlan); labels are then
+  /// best-effort.  Always true for fault-free and healed-plan runs.
+  bool converged = true;
 };
 
 /// Distributed optimal semilightpath from s to t.  Produces the same
@@ -39,6 +54,14 @@ struct DistRouteResult {
 /// change the asymptotic message bound).
 [[nodiscard]] DistRouteResult distributed_route_semilightpath(
     const WdmNetwork& net, NodeId s, NodeId t);
+
+/// The fault-hardened protocol under `faults` (mutated: its RNG and
+/// counters advance).  A plan whose drop-capable rules all heal converges
+/// to the exact optimum; a never-healing plan terminates best-effort after
+/// `max_sweeps` retransmission sweeps with converged == false.
+[[nodiscard]] DistRouteResult distributed_route_semilightpath(
+    const WdmNetwork& net, NodeId s, NodeId t, FaultPlan& faults,
+    std::uint32_t max_sweeps = 256);
 
 /// All-pairs distributed costs (Corollary 2 regime): runs the single-source
 /// protocol from every node and aggregates message/round totals.

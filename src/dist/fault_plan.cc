@@ -1,0 +1,263 @@
+#include "dist/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/registry.h"
+#include "util/error.h"
+
+namespace lumen {
+
+namespace {
+
+void require_probability(double p) { LUMEN_REQUIRE(p >= 0.0 && p <= 1.0); }
+
+void require_window(double from, double until) {
+  LUMEN_REQUIRE(from >= 0.0 && from <= until);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+FaultPlan& FaultPlan::drop_messages(double p, double until) {
+  require_probability(p);
+  LUMEN_REQUIRE(until >= 0.0);
+  drop_p_ = p;
+  drop_until_ = until;
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_messages(double p) {
+  require_probability(p);
+  dup_p_ = p;
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_spikes(double p, double extra) {
+  require_probability(p);
+  LUMEN_REQUIRE(extra >= 0.0);
+  spike_p_ = p;
+  spike_extra_ = extra;
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(LinkId e, double from, double until) {
+  require_window(from, until);
+  link_downs_.push_back(LinkDown{e, Window{from, until}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::span_down(NodeId a, NodeId b, double from,
+                                double until) {
+  require_window(from, until);
+  LUMEN_REQUIRE(a != b);
+  span_downs_.push_back(SpanDown{a, b, Window{from, until}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::node_crash(NodeId v, double from, double until) {
+  require_window(from, until);
+  crashes_.push_back(Crash{v, Window{from, until}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::vector<NodeId> side, double heal_at) {
+  LUMEN_REQUIRE(heal_at >= 0.0);
+  side_.clear();
+  side_.reserve(side.size());
+  for (const NodeId v : side) side_.push_back(v.value());
+  std::sort(side_.begin(), side_.end());
+  side_.erase(std::unique(side_.begin(), side_.end()), side_.end());
+  partition_heal_ = heal_at;
+  return *this;
+}
+
+bool FaultPlan::in_side(NodeId v) const {
+  return std::binary_search(side_.begin(), side_.end(), v.value());
+}
+
+bool FaultPlan::crashed(NodeId v, double t) const {
+  for (const Crash& c : crashes_) {
+    if (c.node == v && c.window.contains(t)) return true;
+  }
+  return false;
+}
+
+FaultDecision FaultPlan::decide_send(NodeId tail, NodeId head, LinkId link,
+                                     double send_time) {
+  static obs::Counter& dropped =
+      obs::Registry::global().counter("lumen.dist.faults.dropped");
+  static obs::Counter& duplicated =
+      obs::Registry::global().counter("lumen.dist.faults.duplicated");
+  static obs::Counter& delayed =
+      obs::Registry::global().counter("lumen.dist.faults.delayed");
+
+  ++stats_.sends;
+  FaultDecision decision;
+
+  for (const LinkDown& d : link_downs_) {
+    if (d.link == link && d.window.contains(send_time)) {
+      ++stats_.dropped_link_down;
+      dropped.add();
+      decision.drop = true;
+      return decision;
+    }
+  }
+  for (const SpanDown& d : span_downs_) {
+    const bool on_span = (tail == d.a && head == d.b) ||
+                         (tail == d.b && head == d.a);
+    if (on_span && d.window.contains(send_time)) {
+      ++stats_.dropped_link_down;
+      dropped.add();
+      decision.drop = true;
+      return decision;
+    }
+  }
+  if (crashed(tail, send_time)) {
+    ++stats_.dropped_crash;
+    dropped.add();
+    decision.drop = true;
+    return decision;
+  }
+  if (!side_.empty() && send_time < partition_heal_ &&
+      in_side(tail) != in_side(head)) {
+    ++stats_.dropped_partition;
+    dropped.add();
+    decision.drop = true;
+    return decision;
+  }
+  if (drop_p_ > 0.0 && send_time < drop_until_ && rng_.next_bool(drop_p_)) {
+    ++stats_.dropped_random;
+    dropped.add();
+    decision.drop = true;
+    return decision;
+  }
+
+  if (dup_p_ > 0.0 && rng_.next_bool(dup_p_)) {
+    decision.copies = 2;
+    ++stats_.duplicated;
+    duplicated.add();
+  }
+  if (spike_p_ > 0.0 && rng_.next_bool(spike_p_)) {
+    decision.extra_delay = spike_extra_;
+    ++stats_.delayed;
+    delayed.add();
+  }
+  return decision;
+}
+
+bool FaultPlan::deliverable(NodeId head, double delivery_time) {
+  if (!crashed(head, delivery_time)) return true;
+  static obs::Counter& dropped =
+      obs::Registry::global().counter("lumen.dist.faults.dropped");
+  ++stats_.dropped_crash;
+  dropped.add();
+  return false;
+}
+
+double FaultPlan::healed_after() const noexcept {
+  double heal = 0.0;
+  if (drop_p_ > 0.0) heal = std::max(heal, drop_until_);
+  for (const LinkDown& d : link_downs_) heal = std::max(heal, d.window.until);
+  for (const SpanDown& d : span_downs_) heal = std::max(heal, d.window.until);
+  for (const Crash& c : crashes_) heal = std::max(heal, c.window.until);
+  if (!side_.empty()) heal = std::max(heal, partition_heal_);
+  return heal;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed_;
+  if (drop_p_ > 0.0) out << " drop(" << drop_p_ << ",<" << drop_until_ << ")";
+  if (dup_p_ > 0.0) out << " dup(" << dup_p_ << ")";
+  if (spike_p_ > 0.0)
+    out << " spike(" << spike_p_ << ",+" << spike_extra_ << ")";
+  for (const LinkDown& d : link_downs_) {
+    out << " link_down(e" << d.link.value() << "@[" << d.window.from << ","
+        << d.window.until << "))";
+  }
+  for (const SpanDown& d : span_downs_) {
+    out << " span(" << d.a.value() << "-" << d.b.value() << "@["
+        << d.window.from << "," << d.window.until << "))";
+  }
+  for (const Crash& c : crashes_) {
+    out << " crash(n" << c.node.value() << "@[" << c.window.from << ","
+        << c.window.until << "))";
+  }
+  if (!side_.empty()) {
+    out << " partition(|side|=" << side_.size() << ",<" << partition_heal_
+        << ")";
+  }
+  return out.str();
+}
+
+std::vector<SpanEvent> FaultPlan::span_timeline() const {
+  std::vector<SpanEvent> events;
+  events.reserve(2 * span_downs_.size());
+  for (const SpanDown& d : span_downs_) {
+    events.push_back(SpanEvent{d.a, d.b, d.window.from, /*down=*/true});
+    events.push_back(SpanEvent{d.a, d.b, d.window.until, /*down=*/false});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& x, const SpanEvent& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     return x.down && !y.down;  // fail before repair on ties
+                   });
+  return events;
+}
+
+FaultPlan FaultPlan::random_plan(std::uint64_t seed, const Digraph& topology,
+                                 double heal_at) {
+  LUMEN_REQUIRE(heal_at > 0.0);
+  // The rule-selection stream is independent of the plan's decision stream
+  // (which is seeded from `seed` directly), so adding a rule kind here
+  // never perturbs how an unrelated rule rolls its dice.
+  Rng pick(seed ^ 0x5bf03635a1ce92d3ULL);
+  FaultPlan plan(seed);
+
+  bool any_drop_rule = false;
+  if (pick.next_bool(0.7)) {
+    plan.drop_messages(pick.next_double_in(0.05, 0.35), heal_at);
+    any_drop_rule = true;
+  }
+  if (pick.next_bool(0.4)) {
+    plan.duplicate_messages(pick.next_double_in(0.05, 0.3));
+  }
+  if (pick.next_bool(0.4)) {
+    plan.delay_spikes(pick.next_double_in(0.1, 0.3),
+                      static_cast<double>(pick.next_in(1, 3)));
+  }
+  if (topology.num_links() > 0 && pick.next_bool(0.5)) {
+    const LinkId e{
+        static_cast<std::uint32_t>(pick.next_below(topology.num_links()))};
+    const double from = pick.next_double_in(0.0, heal_at / 2.0);
+    plan.span_down(topology.tail(e), topology.head(e), from,
+                   pick.next_double_in(from, heal_at));
+    any_drop_rule = true;
+  }
+  if (topology.num_nodes() > 0 && pick.next_bool(0.3)) {
+    const NodeId v{
+        static_cast<std::uint32_t>(pick.next_below(topology.num_nodes()))};
+    const double from = pick.next_double_in(0.0, heal_at / 2.0);
+    plan.node_crash(v, from, pick.next_double_in(from, heal_at));
+    any_drop_rule = true;
+  }
+  if (topology.num_nodes() > 1 && pick.next_bool(0.3)) {
+    std::vector<NodeId> side;
+    for (std::uint32_t v = 0; v < topology.num_nodes(); ++v) {
+      if (pick.next_bool(0.5)) side.push_back(NodeId{v});
+    }
+    if (!side.empty() && side.size() < topology.num_nodes()) {
+      plan.partition(std::move(side), pick.next_double_in(0.0, heal_at));
+      any_drop_rule = true;
+    }
+  }
+  if (!any_drop_rule) {
+    // Never emit a no-op plan: fall back to a light random-drop rule.
+    plan.drop_messages(pick.next_double_in(0.05, 0.2), heal_at);
+  }
+  return plan;
+}
+
+}  // namespace lumen

@@ -1,0 +1,177 @@
+// Deterministic, composable fault injection for the network simulators.
+//
+// A FaultPlan is a seeded set of rules the simulators consult on every
+// send (and on every delivery, for receiver-side crashes):
+//
+//   drop_messages(p, until)   — each message is lost with probability p
+//                               while time < until;
+//   duplicate_messages(p)     — each delivered message grows a second copy
+//                               with probability p (its own delay draw);
+//   delay_spikes(p, extra)    — each message is late by `extra` time units
+//                               (whole rounds on SyncNetwork) with
+//                               probability p;
+//   link_down(e, from, until) — every message sent on e inside the window
+//                               is lost;
+//   span_down(a, b, ...)      — both directions of the a–b span (a fiber
+//                               cut; replayable into SessionManager's
+//                               fail/repair path, see span_timeline());
+//   node_crash(v, from, until)— v neither sends nor receives inside the
+//                               window (fail-stop with persistent state:
+//                               its labels survive the reboot);
+//   partition(side, heal_at)  — messages crossing the (side, V∖side) cut
+//                               are lost while time < heal_at.
+//
+// "Time" is whatever clock the attached simulator runs: the round number
+// for SyncNetwork, virtual time for AsyncNetwork.  All randomness comes
+// from the plan's own xoshiro stream, so a (seed, rule-set) pair replays
+// bit-for-bit — the fuzz suites print exactly that pair on failure.
+//
+// A plan whose drop-capable rules all end by time T is *healed* after T:
+// healed_after() returns T and the hardened routers keep retransmitting
+// until a full sweep sent at or after T improves nothing, which is the
+// loss-correct quiescence check (see docs/PROTOCOL.md, "Fault model").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace lumen {
+
+/// What the plan decided for one send.
+struct FaultDecision {
+  bool drop = false;          ///< message (and all copies) lost
+  std::uint32_t copies = 1;   ///< 1 normally, 2 when duplicated
+  double extra_delay = 0.0;   ///< added latency (whole rounds when sync)
+};
+
+/// Per-cause fault accounting (always on, unlike the obs counters which
+/// compile out under LUMEN_OBS_DISABLED).
+struct FaultStats {
+  std::uint64_t sends = 0;  ///< decide_send calls
+  std::uint64_t dropped_random = 0;
+  std::uint64_t dropped_link_down = 0;
+  std::uint64_t dropped_crash = 0;  ///< sender or receiver crashed
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept {
+    return dropped_random + dropped_link_down + dropped_crash +
+           dropped_partition;
+  }
+};
+
+/// One span-state transition derived from span_down windows, in a shape
+/// SessionManager::apply_span_state can replay (down → fail_span,
+/// up → repair_span).
+struct SpanEvent {
+  NodeId a;
+  NodeId b;
+  double time = 0.0;
+  bool down = false;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0);
+
+  // --- rule builders (chainable; one rule per kind, later calls replace) --
+
+  /// Drops each message with probability `p` while time < `until`.
+  FaultPlan& drop_messages(double p, double until);
+  /// Duplicates each delivered message with probability `p` (harmless to
+  /// the min-fold protocols, so it never needs to heal).
+  FaultPlan& duplicate_messages(double p);
+  /// Delays each message by `extra` additional time units with
+  /// probability `p` (rounded to whole rounds on SyncNetwork).
+  FaultPlan& delay_spikes(double p, double extra);
+  /// Loses every message sent on `e` while from <= time < until.
+  FaultPlan& link_down(LinkId e, double from, double until);
+  /// Loses every message on either direction of the a–b span while
+  /// from <= time < until; also exported through span_timeline().
+  FaultPlan& span_down(NodeId a, NodeId b, double from, double until);
+  /// Fail-stop window: v neither sends nor receives while
+  /// from <= time < until (state persists across the window).
+  FaultPlan& node_crash(NodeId v, double from, double until);
+  /// Loses every message between `side` and its complement while
+  /// time < heal_at.
+  FaultPlan& partition(std::vector<NodeId> side, double heal_at);
+
+  // --- simulator hooks ----------------------------------------------------
+
+  /// Consulted once per send.  Deterministic given the call sequence.
+  FaultDecision decide_send(NodeId tail, NodeId head, LinkId link,
+                            double send_time);
+  /// Consulted once per (copy, delivery): false when the receiver is
+  /// crashed at `delivery_time` (counted as a crash drop).
+  [[nodiscard]] bool deliverable(NodeId head, double delivery_time);
+
+  // --- introspection ------------------------------------------------------
+
+  /// The earliest time from which no rule can drop a message any more;
+  /// +inf for a never-healing plan, 0 when no drop-capable rules exist.
+  [[nodiscard]] double healed_after() const noexcept;
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// One-line replay description, e.g.
+  /// "seed=7 drop(0.2,<8) span(1-2@[0,4)) partition(|side|=3,<8)".
+  [[nodiscard]] std::string describe() const;
+
+  /// The span_down windows flattened into a time-sorted down/up event
+  /// sequence (ties: downs before ups, then builder order).
+  [[nodiscard]] std::vector<SpanEvent> span_timeline() const;
+
+  /// A randomized composition of rules, all healed by `heal_at`, suitable
+  /// for fuzzing: same (seed, topology, heal_at) → identical plan.
+  [[nodiscard]] static FaultPlan random_plan(std::uint64_t seed,
+                                             const Digraph& topology,
+                                             double heal_at);
+
+ private:
+  struct Window {
+    double from = 0.0;
+    double until = 0.0;
+    [[nodiscard]] bool contains(double t) const noexcept {
+      return from <= t && t < until;
+    }
+  };
+  struct LinkDown {
+    LinkId link;
+    Window window;
+  };
+  struct SpanDown {
+    NodeId a;
+    NodeId b;
+    Window window;
+  };
+  struct Crash {
+    NodeId node;
+    Window window;
+  };
+
+  [[nodiscard]] bool in_side(NodeId v) const;
+  [[nodiscard]] bool crashed(NodeId v, double t) const;
+
+  std::uint64_t seed_;
+  Rng rng_;
+  double drop_p_ = 0.0;
+  double drop_until_ = 0.0;
+  double dup_p_ = 0.0;
+  double spike_p_ = 0.0;
+  double spike_extra_ = 0.0;
+  std::vector<LinkDown> link_downs_;
+  std::vector<SpanDown> span_downs_;
+  std::vector<Crash> crashes_;
+  std::vector<std::uint32_t> side_;  ///< sorted node ids of the partition
+  double partition_heal_ = 0.0;
+  FaultStats stats_;
+};
+
+}  // namespace lumen

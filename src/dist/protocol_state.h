@@ -18,9 +18,17 @@ namespace lumen::dist_detail {
 
 /// An offer crossing a physical link: "you can arrive here on `lambda`
 /// with accumulated cost `dist`" (link traversal already included).
+///
+/// `epoch` stamps which retransmission sweep produced the offer: 0 for the
+/// original event-driven transmission, sweep number s >= 1 for the s-th
+/// timeout-driven re-broadcast of the fault-hardened routers.  The min-fold
+/// is idempotent, so stamping is not needed for correctness — it exists so
+/// receivers can tell fresh information from retransmitted/duplicated
+/// traffic, which the fault counters and tests account separately.
 struct Offer {
   Wavelength lambda;
   double dist;
+  std::uint32_t epoch = 0;
 };
 
 inline constexpr std::uint32_t kNoParent =

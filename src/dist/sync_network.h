@@ -8,13 +8,21 @@
 // G_{s,t} live inside physical nodes, so traffic on them is local and is
 // deliberately NOT counted — exactly the accounting in the proof of
 // Theorem 3.
+//
+// An optional FaultPlan (set_fault_plan) subjects every send to drops,
+// duplication, delay spikes (delivery pushed extra whole rounds), link/span
+// outages, crash windows, and partitions; the happy-path API and its
+// message/round accounting are unchanged when no plan is attached.  The
+// plan's clock is the round number.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "dist/fault_plan.h"
 #include "graph/digraph.h"
 #include "util/error.h"
 #include "util/strong_id.h"
@@ -39,28 +47,71 @@ class SyncNetwork {
         inbox_(topology.num_nodes()),
         outbox_(topology.num_nodes()) {}
 
-  /// Queues a message on `link` for delivery next round.
+  /// Attaches (or detaches, with nullptr) a fault plan consulted on every
+  /// subsequent send.  The plan must outlive the simulator.
+  void set_fault_plan(FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// Queues a message on `link` for delivery next round (later, under a
+  /// fault plan with delay spikes; never, when the plan drops it).
   void send(LinkId link, Payload payload) {
     LUMEN_REQUIRE(link.value() < topology_->num_links());
-    outbox_[topology_->head(link).value()].push_back(
-        Delivery{link, std::move(payload)});
-    ++pending_;
+    const NodeId head = topology_->head(link);
+    if (faults_ == nullptr) {
+      outbox_[head.value()].push_back(Delivery{link, std::move(payload)});
+      ++pending_;
+      return;
+    }
+    const double now = static_cast<double>(rounds_);
+    const FaultDecision decision =
+        faults_->decide_send(topology_->tail(link), head, link, now);
+    if (decision.drop) return;
+    const auto extra = static_cast<std::uint64_t>(decision.extra_delay);
+    for (std::uint32_t copy = 0; copy < decision.copies; ++copy) {
+      if (!faults_->deliverable(head, now + 1.0 + static_cast<double>(extra)))
+        continue;
+      if (extra == 0) {
+        outbox_[head.value()].push_back(Delivery{link, payload});
+      } else {
+        delayed_[rounds_ + 1 + extra].push_back(
+            {head.value(), Delivery{link, payload}});
+      }
+      ++pending_;
+    }
   }
 
-  /// Advances one round: everything sent since the previous advance() is
-  /// delivered.  Returns false (and delivers nothing) when no messages
-  /// were in flight — the global quiescence that terminates the in-tree
-  /// algorithms.
+  /// Advances one round: everything sent since the previous advance() —
+  /// plus any fault-delayed messages now due — is delivered.  Returns
+  /// false (and delivers nothing) when no messages are in flight — the
+  /// global quiescence that terminates the in-tree algorithms.  (Under
+  /// message loss this omniscient signal is NOT a correct termination
+  /// proof; the hardened routers layer retransmission sweeps on top.)
   bool advance() {
     if (pending_ == 0) return false;
     ++rounds_;
-    messages_ += pending_;
-    pending_ = 0;
+    std::uint64_t delivered = 0;
     for (std::size_t v = 0; v < inbox_.size(); ++v) {
       inbox_[v].clear();
       std::swap(inbox_[v], outbox_[v]);
+      delivered += inbox_[v].size();
     }
+    while (!delayed_.empty() && delayed_.begin()->first <= rounds_) {
+      for (auto& [node, delivery] : delayed_.begin()->second) {
+        inbox_[node].push_back(std::move(delivery));
+        ++delivered;
+      }
+      delayed_.erase(delayed_.begin());
+    }
+    messages_ += delivered;
+    pending_ -= delivered;
     return true;
+  }
+
+  /// An idle round: time passes, nothing is delivered.  Models a
+  /// retransmission timer firing while the network is quiescent, letting
+  /// the clock cross fault windows.  Only legal when nothing is in flight.
+  void tick() {
+    LUMEN_REQUIRE(pending_ == 0);
+    ++rounds_;
   }
 
   /// Messages delivered to node v in the current round.
@@ -84,6 +135,10 @@ class SyncNetwork {
   const Digraph* topology_;
   std::vector<std::vector<Delivery>> inbox_;
   std::vector<std::vector<Delivery>> outbox_;
+  /// Fault-delayed deliveries keyed by due round (head node, message).
+  std::map<std::uint64_t, std::vector<std::pair<std::uint32_t, Delivery>>>
+      delayed_;
+  FaultPlan* faults_ = nullptr;
   std::uint64_t pending_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t rounds_ = 0;

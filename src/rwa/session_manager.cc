@@ -335,6 +335,17 @@ void SessionManager::repair_span(NodeId a, NodeId b) {
   }
 }
 
+SessionManager::FailureReport SessionManager::apply_span_state(NodeId a,
+                                                               NodeId b,
+                                                               bool down) {
+  static obs::Counter& span_events =
+      obs::Registry::global().counter("lumen.rwa.span_events");
+  span_events.add();
+  if (down) return fail_span(a, b);
+  repair_span(a, b);
+  return FailureReport{};
+}
+
 bool SessionManager::reoptimize(SessionId id) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end() || !it->second.active) return false;

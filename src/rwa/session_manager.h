@@ -137,6 +137,15 @@ class SessionManager {
   /// are NOT resurrected.  No-op for a healthy span.
   void repair_span(NodeId a, NodeId b);
 
+  /// Applies one span-state transition: down → fail_span (restoring or
+  /// dropping crossing sessions), up → repair_span.  This is the replay
+  /// hook for fault-injection timelines (FaultPlan::span_timeline() in
+  /// src/dist emits events in exactly this shape), so simulator-level
+  /// link-down windows drive the same fail/repair + engine weight-sync
+  /// path as operator-initiated cuts.  Returns the failure report (empty
+  /// for repairs).
+  FailureReport apply_span_state(NodeId a, NodeId b, bool down);
+
   /// True when the directed link is currently failed.
   [[nodiscard]] bool is_failed(LinkId e) const;
 
@@ -160,6 +169,13 @@ class SessionManager {
 
   /// The session record, or nullptr when unknown.
   [[nodiscard]] const SessionRecord* find(SessionId id) const;
+
+  /// The build-once engine kept weight-synchronized with residual(), or
+  /// nullptr for non-engine policies.  Exposed so tests can check the
+  /// patched weights against a rebuilt-from-scratch oracle.
+  [[nodiscard]] const RouteEngine* engine() const noexcept {
+    return engine_.get();
+  }
 
   /// Fraction of the base network's (link, λ) pairs currently reserved.
   [[nodiscard]] double wavelength_utilization() const noexcept;

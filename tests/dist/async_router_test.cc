@@ -50,10 +50,24 @@ TEST(AsyncNetworkTest, DelaysWithinBounds) {
 TEST(AsyncNetworkTest, InvalidParamsRejected) {
   Digraph g(2);
   g.add_link(NodeId{0}, NodeId{1}, 1.0);
-  EXPECT_THROW((AsyncNetwork<int>(g, Rng(1), 0.0, 1.0)), Error);
+  EXPECT_THROW((AsyncNetwork<int>(g, Rng(1), -0.1, 1.0)), Error);
   EXPECT_THROW((AsyncNetwork<int>(g, Rng(1), 2.0, 1.0)), Error);
   AsyncNetwork<int> net(g, Rng(1));
   EXPECT_THROW(net.send(LinkId{7}, 0), Error);
+}
+
+TEST(AsyncNetworkTest, ZeroMinDelayIsALegalSchedule) {
+  // Regression: min_delay == 0 used to be rejected, but zero-latency
+  // deliveries are just a harsher (slack-free) schedule.
+  Digraph g(2);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  AsyncNetwork<int> net(g, Rng(3), 0.0, 1.0);
+  for (int i = 0; i < 20; ++i) net.send(LinkId{0}, i);
+  while (auto d = net.next()) {
+    EXPECT_GE(d->time, 0.0);
+    EXPECT_LT(d->time, 1.0);
+  }
+  EXPECT_EQ(net.total_messages(), 20u);
 }
 
 TEST(AsyncRouterTest, MatchesCentralizedOnPaperExample) {

@@ -1,0 +1,131 @@
+// Hardened asynchronous router: healed fault plans must converge to the
+// exact fault-free optimum on every delay schedule, and — because the
+// protocol is a chaotic iteration of one monotone fixpoint operator — the
+// converged label vector is identical (bitwise) across schedules, which
+// the ~50-seed sweep checks with exact equality.
+#include "dist/async_router.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/liang_shen.h"
+#include "graph/dijkstra.h"  // kInfiniteCost
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+TEST(FaultAsyncRouterTest, ZeroMinDelayScheduleMatchesCentralized) {
+  // Satellite regression: the harsher min_delay == 0 schedule (zero-latency
+  // deliveries allowed) is legal end to end, not just at the simulator.
+  const auto net = testing::paper_example_network();
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{6});
+  const auto async = async_route_semilightpath(net, NodeId{0}, NodeId{6},
+                                               /*seed=*/5, 0.0, 1.0);
+  ASSERT_EQ(async.found, central.found);
+  EXPECT_NEAR(async.cost, central.cost, 1e-9);
+  EXPECT_TRUE(async.converged);
+  EXPECT_EQ(async.retransmit_sweeps, 0u);  // fault-free path: no sweeps
+}
+
+TEST(FaultAsyncRouterTest, NodeCostsAreThePerNodeOptima) {
+  const auto net = testing::paper_example_network();
+  const auto async =
+      async_route_semilightpath(net, NodeId{0}, NodeId{6}, /*seed=*/3);
+  ASSERT_EQ(async.node_costs.size(), net.num_nodes());
+  EXPECT_DOUBLE_EQ(async.node_costs[0], 0.0);
+  for (std::uint32_t v = 1; v < net.num_nodes(); ++v) {
+    const auto central = route_semilightpath(net, NodeId{0}, NodeId{v});
+    if (central.found) {
+      EXPECT_NEAR(async.node_costs[v], central.cost, 1e-9) << "v=" << v;
+    } else {
+      EXPECT_EQ(async.node_costs[v], kInfiniteCost) << "v=" << v;
+    }
+  }
+}
+
+TEST(FaultAsyncRouterTest, HealedPlanConvergesToOptimum) {
+  const auto net = testing::paper_example_network();
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{6});
+  FaultPlan plan(17);
+  plan.drop_messages(0.4, 6.0).duplicate_messages(0.2).delay_spikes(0.25,
+                                                                    2.0);
+  AsyncOptions options;
+  options.faults = &plan;
+  const auto result =
+      async_route_semilightpath(net, NodeId{0}, NodeId{6}, /*seed=*/9, options);
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.found, central.found);
+  EXPECT_NEAR(result.cost, central.cost, 1e-9);
+  EXPECT_TRUE(result.path.is_valid(net));
+  EXPECT_GE(result.retransmit_sweeps, 1u);
+  EXPECT_GT(plan.stats().total_dropped(), 0u);
+}
+
+TEST(FaultAsyncRouterTest, CustomRetransmitTimeoutStillConverges) {
+  const auto net = testing::paper_example_network();
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{6});
+  FaultPlan plan(18);
+  plan.drop_messages(0.5, 4.0);
+  AsyncOptions options;
+  options.faults = &plan;
+  options.retransmit_timeout = 0.25;  // aggressive timer
+  const auto result =
+      async_route_semilightpath(net, NodeId{0}, NodeId{6}, /*seed=*/2, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, central.cost, 1e-9);
+}
+
+TEST(FaultAsyncRouterTest, NeverHealingPlanTerminatesBestEffort) {
+  const auto net = testing::paper_example_network();
+  FaultPlan plan(19);
+  plan.drop_messages(1.0, 1e18);
+  AsyncOptions options;
+  options.faults = &plan;
+  options.max_sweeps = 6;
+  const auto result =
+      async_route_semilightpath(net, NodeId{0}, NodeId{6}, /*seed=*/4, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.retransmit_sweeps, 6u);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(FaultAsyncRouterTest, ScheduleIndependenceUnderFaultsAcross50Seeds) {
+  // ~50 delay schedules, each under its own replay of the same fault
+  // rules: the converged per-node label vector must be IDENTICAL every
+  // time.  Equality is exact (EXPECT_EQ, not NEAR): every schedule sums
+  // the same link/conversion costs along the same optimal paths, so even
+  // the floating-point bits agree.
+  Rng rng(63);
+  const auto net = random_network(14, 28, 4, 2, ConvKind::kUniform, rng);
+
+  AsyncOptions baseline_options;  // fault-free reference labels
+  const auto baseline = async_route_semilightpath(net, NodeId{0}, NodeId{7},
+                                                  /*seed=*/0, baseline_options);
+  ASSERT_TRUE(baseline.converged);
+
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultPlan plan(777);  // same rules each run; interleaving differs
+    plan.drop_messages(0.3, 5.0)
+        .duplicate_messages(0.15)
+        .delay_spikes(0.2, 1.5)
+        .node_crash(NodeId{3}, 0.0, 3.0);
+    AsyncOptions options;
+    options.min_delay = 0.0;  // include the harshest schedule family
+    options.max_delay = 2.0;
+    options.faults = &plan;
+    const auto run =
+        async_route_semilightpath(net, NodeId{0}, NodeId{7}, seed, options);
+    ASSERT_TRUE(run.converged) << "seed " << seed;
+    EXPECT_EQ(run.node_costs, baseline.node_costs) << "seed " << seed;
+    EXPECT_EQ(run.found, baseline.found) << "seed " << seed;
+    EXPECT_EQ(run.cost, baseline.cost) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lumen

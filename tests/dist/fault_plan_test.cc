@@ -1,0 +1,231 @@
+// FaultPlan unit coverage: every rule kind in isolation, deterministic
+// replay from the seed, heal-horizon accounting, and the replay helpers
+// (describe, span_timeline, random_plan) the fuzz suites depend on.
+#include "dist/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/error.h"
+
+namespace lumen {
+namespace {
+
+/// A 4-node directed cycle used by the rule tests.
+Digraph cycle4() {
+  Digraph g(4);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 1.0);
+  g.add_link(NodeId{2}, NodeId{3}, 1.0);
+  g.add_link(NodeId{3}, NodeId{0}, 1.0);
+  return g;
+}
+
+TEST(FaultPlanTest, EmptyPlanIsTransparent) {
+  FaultPlan plan(1);
+  for (double t = 0.0; t < 10.0; t += 1.0) {
+    const auto d = plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, t);
+    EXPECT_FALSE(d.drop);
+    EXPECT_EQ(d.copies, 1u);
+    EXPECT_DOUBLE_EQ(d.extra_delay, 0.0);
+    EXPECT_TRUE(plan.deliverable(NodeId{1}, t + 1.0));
+  }
+  EXPECT_DOUBLE_EQ(plan.healed_after(), 0.0);
+  EXPECT_EQ(plan.stats().sends, 10u);
+  EXPECT_EQ(plan.stats().total_dropped(), 0u);
+}
+
+TEST(FaultPlanTest, SameSeedSameRulesReplaysBitForBit) {
+  const auto run = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.drop_messages(0.3, 50.0).duplicate_messages(0.25).delay_spikes(0.2,
+                                                                        2.0);
+    std::vector<FaultDecision> decisions;
+    for (int i = 0; i < 200; ++i) {
+      decisions.push_back(plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0},
+                                           static_cast<double>(i % 40)));
+    }
+    return decisions;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal_to_c = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].drop, b[i].drop) << i;
+    EXPECT_EQ(a[i].copies, b[i].copies) << i;
+    EXPECT_DOUBLE_EQ(a[i].extra_delay, b[i].extra_delay) << i;
+    all_equal_to_c &= a[i].drop == c[i].drop && a[i].copies == c[i].copies;
+  }
+  EXPECT_FALSE(all_equal_to_c);  // a different seed rolls different dice
+}
+
+TEST(FaultPlanTest, DropWindowRespected) {
+  FaultPlan plan(2);
+  plan.drop_messages(1.0, 5.0);
+  for (double t = 0.0; t < 5.0; t += 1.0)
+    EXPECT_TRUE(plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, t).drop);
+  for (double t = 5.0; t < 10.0; t += 1.0)
+    EXPECT_FALSE(plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, t).drop);
+  EXPECT_EQ(plan.stats().dropped_random, 5u);
+  EXPECT_DOUBLE_EQ(plan.healed_after(), 5.0);
+}
+
+TEST(FaultPlanTest, DuplicationAndSpikes) {
+  FaultPlan plan(3);
+  plan.duplicate_messages(1.0).delay_spikes(1.0, 3.0);
+  const auto d = plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, 0.0);
+  EXPECT_FALSE(d.drop);
+  EXPECT_EQ(d.copies, 2u);
+  EXPECT_DOUBLE_EQ(d.extra_delay, 3.0);
+  EXPECT_EQ(plan.stats().duplicated, 1u);
+  EXPECT_EQ(plan.stats().delayed, 1u);
+  // Neither rule can lose a message: the plan is healed from the start.
+  EXPECT_DOUBLE_EQ(plan.healed_after(), 0.0);
+}
+
+TEST(FaultPlanTest, LinkDownWindow) {
+  FaultPlan plan(4);
+  plan.link_down(LinkId{1}, 2.0, 4.0);
+  EXPECT_FALSE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 1.0).drop);
+  EXPECT_TRUE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 2.0).drop);
+  EXPECT_TRUE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 3.5).drop);
+  EXPECT_FALSE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 4.0).drop);
+  // Other links are unaffected inside the window.
+  EXPECT_FALSE(plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, 3.0).drop);
+  EXPECT_EQ(plan.stats().dropped_link_down, 2u);
+  EXPECT_DOUBLE_EQ(plan.healed_after(), 4.0);
+}
+
+TEST(FaultPlanTest, SpanDownKillsBothDirections) {
+  FaultPlan plan(5);
+  plan.span_down(NodeId{1}, NodeId{2}, 0.0, 3.0);
+  EXPECT_TRUE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 1.0).drop);
+  EXPECT_TRUE(plan.decide_send(NodeId{2}, NodeId{1}, LinkId{9}, 1.0).drop);
+  EXPECT_FALSE(plan.decide_send(NodeId{2}, NodeId{3}, LinkId{2}, 1.0).drop);
+  EXPECT_FALSE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 3.0).drop);
+}
+
+TEST(FaultPlanTest, NodeCrashIsDeafAndMute) {
+  FaultPlan plan(6);
+  plan.node_crash(NodeId{2}, 1.0, 4.0);
+  // Mute: sends from the crashed node are lost inside the window.
+  EXPECT_TRUE(plan.decide_send(NodeId{2}, NodeId{3}, LinkId{2}, 2.0).drop);
+  EXPECT_FALSE(plan.decide_send(NodeId{2}, NodeId{3}, LinkId{2}, 4.0).drop);
+  // Deaf: deliveries to the crashed node are refused inside the window.
+  EXPECT_FALSE(plan.deliverable(NodeId{2}, 2.0));
+  EXPECT_TRUE(plan.deliverable(NodeId{2}, 4.5));
+  EXPECT_TRUE(plan.deliverable(NodeId{1}, 2.0));
+  EXPECT_EQ(plan.stats().dropped_crash, 2u);
+}
+
+TEST(FaultPlanTest, PartitionDropsOnlyCrossCutTraffic) {
+  FaultPlan plan(7);
+  plan.partition({NodeId{0}, NodeId{1}}, 5.0);
+  // Cross-cut, before heal: lost (both directions).
+  EXPECT_TRUE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 0.0).drop);
+  EXPECT_TRUE(plan.decide_send(NodeId{3}, NodeId{0}, LinkId{3}, 4.9).drop);
+  // Same side: unaffected.
+  EXPECT_FALSE(plan.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, 0.0).drop);
+  EXPECT_FALSE(plan.decide_send(NodeId{2}, NodeId{3}, LinkId{2}, 0.0).drop);
+  // Healed.
+  EXPECT_FALSE(plan.decide_send(NodeId{1}, NodeId{2}, LinkId{1}, 5.0).drop);
+  EXPECT_EQ(plan.stats().dropped_partition, 2u);
+  EXPECT_DOUBLE_EQ(plan.healed_after(), 5.0);
+}
+
+TEST(FaultPlanTest, HealHorizonIsTheLatestDropCapableRule) {
+  FaultPlan plan(8);
+  plan.drop_messages(0.5, 5.0)
+      .duplicate_messages(1.0)  // never needs to heal
+      .span_down(NodeId{0}, NodeId{1}, 2.0, 7.0)
+      .node_crash(NodeId{3}, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(plan.healed_after(), 7.0);
+}
+
+TEST(FaultPlanTest, RuleValidation) {
+  FaultPlan plan(9);
+  EXPECT_THROW(plan.drop_messages(1.5, 10.0), Error);
+  EXPECT_THROW(plan.drop_messages(-0.1, 10.0), Error);
+  EXPECT_THROW(plan.delay_spikes(0.5, -1.0), Error);
+  EXPECT_THROW(plan.link_down(LinkId{0}, 5.0, 2.0), Error);
+  EXPECT_THROW(plan.span_down(NodeId{1}, NodeId{1}, 0.0, 2.0), Error);
+  EXPECT_THROW(plan.node_crash(NodeId{0}, -1.0, 2.0), Error);
+}
+
+TEST(FaultPlanTest, DescribeNamesEveryRule) {
+  FaultPlan plan(42);
+  plan.drop_messages(0.2, 8.0)
+      .duplicate_messages(0.1)
+      .delay_spikes(0.3, 2.0)
+      .link_down(LinkId{5}, 1.0, 2.0)
+      .span_down(NodeId{1}, NodeId{2}, 0.0, 4.0)
+      .node_crash(NodeId{3}, 2.0, 6.0)
+      .partition({NodeId{0}, NodeId{1}, NodeId{2}}, 8.0);
+  const std::string s = plan.describe();
+  EXPECT_NE(s.find("seed=42"), std::string::npos) << s;
+  EXPECT_NE(s.find("drop(0.2,<8)"), std::string::npos) << s;
+  EXPECT_NE(s.find("dup(0.1)"), std::string::npos) << s;
+  EXPECT_NE(s.find("spike(0.3,+2)"), std::string::npos) << s;
+  EXPECT_NE(s.find("link_down(e5"), std::string::npos) << s;
+  EXPECT_NE(s.find("span(1-2"), std::string::npos) << s;
+  EXPECT_NE(s.find("crash(n3"), std::string::npos) << s;
+  EXPECT_NE(s.find("partition(|side|=3,<8)"), std::string::npos) << s;
+}
+
+TEST(FaultPlanTest, SpanTimelineSortedDownsBeforeUps) {
+  FaultPlan plan(10);
+  plan.span_down(NodeId{0}, NodeId{1}, 2.0, 6.0)
+      .span_down(NodeId{2}, NodeId{3}, 0.0, 2.0);  // its up ties a down
+  const auto events = plan.span_timeline();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].time, 0.0);
+  EXPECT_TRUE(events[0].down);
+  // At t = 2 the 0-1 cut (down) sorts before the 2-3 repair (up).
+  EXPECT_DOUBLE_EQ(events[1].time, 2.0);
+  EXPECT_TRUE(events[1].down);
+  EXPECT_EQ(events[1].a, NodeId{0});
+  EXPECT_DOUBLE_EQ(events[2].time, 2.0);
+  EXPECT_FALSE(events[2].down);
+  EXPECT_EQ(events[2].a, NodeId{2});
+  EXPECT_DOUBLE_EQ(events[3].time, 6.0);
+  EXPECT_FALSE(events[3].down);
+}
+
+TEST(FaultPlanTest, RandomPlanIsReproducibleAndHealed) {
+  const Digraph g = cycle4();
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    FaultPlan a = FaultPlan::random_plan(seed, g, 6.0);
+    FaultPlan b = FaultPlan::random_plan(seed, g, 6.0);
+    EXPECT_EQ(a.describe(), b.describe()) << seed;
+    // Decision streams replay identically too.
+    for (int i = 0; i < 64; ++i) {
+      const double t = static_cast<double>(i % 10);
+      const auto da = a.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, t);
+      const auto db = b.decide_send(NodeId{0}, NodeId{1}, LinkId{0}, t);
+      EXPECT_EQ(da.drop, db.drop) << seed << " @" << i;
+      EXPECT_EQ(da.copies, db.copies) << seed << " @" << i;
+      EXPECT_DOUBLE_EQ(da.extra_delay, db.extra_delay) << seed << " @" << i;
+    }
+    // Every generated plan heals by the requested horizon, so the
+    // hardened routers are guaranteed to converge under it.
+    EXPECT_LE(a.healed_after(), 6.0) << a.describe();
+  }
+}
+
+TEST(FaultPlanTest, RandomPlansDifferAcrossSeeds) {
+  const Digraph g = cycle4();
+  int distinct = 0;
+  const std::string base = FaultPlan::random_plan(0, g, 6.0).describe();
+  for (std::uint64_t seed = 1; seed < 16; ++seed) {
+    distinct += FaultPlan::random_plan(seed, g, 6.0).describe() != base;
+  }
+  EXPECT_GE(distinct, 12);  // the generator actually varies its rules
+}
+
+}  // namespace
+}  // namespace lumen

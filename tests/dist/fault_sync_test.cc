@@ -1,0 +1,195 @@
+// SyncNetwork fault mechanics and the hardened synchronous router: under
+// any healed FaultPlan the retransmission sweeps must recover every lost
+// offer and the protocol must converge to the exact fault-free optimum,
+// with the loss-correct quiescence check (a clean post-heal sweep)
+// certifying termination.
+#include <gtest/gtest.h>
+
+#include "core/liang_shen.h"
+#include "dist/dist_router.h"
+#include "dist/fault_plan.h"
+#include "dist/sync_network.h"
+#include "tests/test_util.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+Digraph line3() {
+  Digraph g(3);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 1.0);
+  return g;
+}
+
+TEST(FaultSyncNetworkTest, DropAllLeavesNothingInFlight) {
+  const Digraph g = line3();
+  SyncNetwork<int> net(g);
+  FaultPlan plan(1);
+  plan.drop_messages(1.0, 100.0);
+  net.set_fault_plan(&plan);
+  net.send(LinkId{0}, 7);
+  net.send(LinkId{1}, 8);
+  EXPECT_FALSE(net.advance());  // everything was lost at send time
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_EQ(plan.stats().dropped_random, 2u);
+}
+
+TEST(FaultSyncNetworkTest, DelaySpikePushesDeliveryWholeRounds) {
+  const Digraph g = line3();
+  SyncNetwork<int> net(g);
+  FaultPlan plan(2);
+  plan.delay_spikes(1.0, 2.0);
+  net.set_fault_plan(&plan);
+  net.send(LinkId{0}, 42);  // sent in round 0, due in round 3
+  ASSERT_TRUE(net.advance());  // round 1: in flight, nothing delivered
+  EXPECT_TRUE(net.inbox(NodeId{1}).empty());
+  ASSERT_TRUE(net.advance());  // round 2: still in flight
+  EXPECT_TRUE(net.inbox(NodeId{1}).empty());
+  ASSERT_TRUE(net.advance());  // round 3: delivered
+  ASSERT_EQ(net.inbox(NodeId{1}).size(), 1u);
+  EXPECT_EQ(net.inbox(NodeId{1})[0].payload, 42);
+  EXPECT_EQ(net.total_messages(), 1u);
+  EXPECT_FALSE(net.advance());  // quiescent again
+}
+
+TEST(FaultSyncNetworkTest, DuplicationDeliversBothCopies) {
+  const Digraph g = line3();
+  SyncNetwork<int> net(g);
+  FaultPlan plan(3);
+  plan.duplicate_messages(1.0);
+  net.set_fault_plan(&plan);
+  net.send(LinkId{0}, 5);
+  ASSERT_TRUE(net.advance());
+  EXPECT_EQ(net.inbox(NodeId{1}).size(), 2u);
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(FaultSyncNetworkTest, CrashedReceiverNeverGetsTheMessage) {
+  const Digraph g = line3();
+  SyncNetwork<int> net(g);
+  FaultPlan plan(4);
+  plan.node_crash(NodeId{1}, 0.0, 5.0);  // delivery at round 1 is inside
+  net.set_fault_plan(&plan);
+  net.send(LinkId{0}, 9);
+  EXPECT_FALSE(net.advance());  // refused at delivery evaluation
+  EXPECT_EQ(plan.stats().dropped_crash, 1u);
+}
+
+TEST(FaultSyncNetworkTest, TickAdvancesTimeWhileQuiescent) {
+  const Digraph g = line3();
+  SyncNetwork<int> net(g);
+  EXPECT_EQ(net.rounds(), 0u);
+  net.tick();
+  net.tick();
+  EXPECT_EQ(net.rounds(), 2u);
+  EXPECT_EQ(net.total_messages(), 0u);
+  // tick() is only legal on an idle network.
+  net.send(LinkId{0}, 1);
+  EXPECT_THROW(net.tick(), Error);
+}
+
+// --- hardened synchronous router -----------------------------------------
+
+TEST(FaultSyncRouterTest, FaultFreePlanMatchesPlainProtocol) {
+  const auto net = testing::paper_example_network();
+  const auto plain = distributed_route_semilightpath(net, NodeId{0}, NodeId{6});
+  FaultPlan plan(1);  // no rules: transparent
+  const auto hardened =
+      distributed_route_semilightpath(net, NodeId{0}, NodeId{6}, plan);
+  ASSERT_TRUE(hardened.converged);
+  ASSERT_EQ(hardened.found, plain.found);
+  EXPECT_NEAR(hardened.cost, plain.cost, 1e-12);
+  // Termination still needs one clean certifying sweep.
+  EXPECT_GE(hardened.retransmit_sweeps, 1u);
+}
+
+TEST(FaultSyncRouterTest, HealedRandomDropsConvergeToOptimum) {
+  const auto net = testing::paper_example_network();
+  for (std::uint32_t t = 1; t < 7; ++t) {
+    const auto central = route_semilightpath(net, NodeId{0}, NodeId{t});
+    FaultPlan plan(100 + t);
+    plan.drop_messages(0.4, 8.0).duplicate_messages(0.2).delay_spikes(0.3,
+                                                                      2.0);
+    const auto result =
+        distributed_route_semilightpath(net, NodeId{0}, NodeId{t}, plan);
+    ASSERT_TRUE(result.converged) << "t=" << t;
+    ASSERT_EQ(result.found, central.found) << "t=" << t;
+    if (central.found) {
+      EXPECT_NEAR(result.cost, central.cost, 1e-9) << "t=" << t;
+      EXPECT_TRUE(result.path.is_valid(net)) << "t=" << t;
+      EXPECT_NEAR(result.path.cost(net), result.cost, 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(FaultSyncRouterTest, SpanOutageHealsAndConverges) {
+  const auto net = testing::paper_example_network();
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{6});
+  FaultPlan plan(11);
+  plan.span_down(NodeId{0}, NodeId{3}, 0.0, 5.0)
+      .span_down(NodeId{1}, NodeId{6}, 2.0, 6.0);
+  const auto result =
+      distributed_route_semilightpath(net, NodeId{0}, NodeId{6}, plan);
+  ASSERT_TRUE(result.converged);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.cost, central.cost, 1e-9);
+  EXPECT_GT(plan.stats().dropped_link_down, 0u);
+}
+
+TEST(FaultSyncRouterTest, CrashWindowHealsAndConverges) {
+  const auto net = testing::paper_example_network();
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{6});
+  FaultPlan plan(12);
+  plan.node_crash(NodeId{1}, 0.0, 6.0);  // paper node 2, on cheap routes
+  const auto result =
+      distributed_route_semilightpath(net, NodeId{0}, NodeId{6}, plan);
+  ASSERT_TRUE(result.converged);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.cost, central.cost, 1e-9);
+}
+
+TEST(FaultSyncRouterTest, PartitionHealsAndConverges) {
+  const auto net = testing::paper_example_network();
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{6});
+  FaultPlan plan(13);
+  plan.partition({NodeId{0}, NodeId{3}}, 7.0);  // source side cut off
+  const auto result =
+      distributed_route_semilightpath(net, NodeId{0}, NodeId{6}, plan);
+  ASSERT_TRUE(result.converged);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.cost, central.cost, 1e-9);
+  EXPECT_GT(plan.stats().dropped_partition, 0u);
+}
+
+TEST(FaultSyncRouterTest, NeverHealingPlanTerminatesBestEffort) {
+  const auto net = testing::paper_example_network();
+  FaultPlan plan(14);
+  plan.drop_messages(1.0, 1e18);  // nothing ever gets through
+  const auto result = distributed_route_semilightpath(net, NodeId{0}, NodeId{6},
+                                                      plan, /*max_sweeps=*/8);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.retransmit_sweeps, 8u);
+  EXPECT_FALSE(result.found);  // no offer ever crossed a wire
+}
+
+TEST(FaultSyncRouterTest, RandomNetworksUnderHealedPlans) {
+  Rng rng(91);
+  const auto net = random_network(16, 32, 4, 3, ConvKind::kUniform, rng);
+  const auto central = route_semilightpath(net, NodeId{0}, NodeId{9});
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    FaultPlan plan = FaultPlan::random_plan(seed, net.topology(), 6.0);
+    const auto result =
+        distributed_route_semilightpath(net, NodeId{0}, NodeId{9}, plan);
+    ASSERT_TRUE(result.converged) << plan.describe();
+    ASSERT_EQ(result.found, central.found) << plan.describe();
+    if (central.found) {
+      EXPECT_NEAR(result.cost, central.cost, 1e-9) << plan.describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,8 +1,17 @@
-// Failure injection: span cuts, restoration, repair.
+// Failure injection: span cuts, restoration, repair — including the
+// engine-backed policies, whose in-place patched weights are checked
+// against a rebuilt-from-scratch RouteEngine oracle through whole
+// fail → reroute → repair cycles, and the FaultPlan span-timeline replay
+// that drives the same path from simulator-level fault windows.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
+#include "core/route_engine.h"
+#include "dist/fault_plan.h"
 #include "rwa/session_manager.h"
 #include "tests/test_util.h"
 #include "topo/topologies.h"
@@ -156,6 +165,174 @@ TEST(FailureTest, MultiFailureCascade) {
   (void)manager.fail_span(NodeId{4}, NodeId{5});   // kills counterclockwise
   EXPECT_FALSE(manager.find(*id)->active);
   EXPECT_EQ(manager.stats().dropped, 1u);
+}
+
+// --- engine-backed policies through fail/reroute/repair cycles ----------
+
+/// The manager's live engine must carry exactly the weights a fresh
+/// engine built from the current residual network would: reserved and
+/// failed slots +inf, free slots at their base cost.
+void expect_engine_matches_rebuilt(const SessionManager& manager,
+                                   const char* where) {
+  const RouteEngine* live = manager.engine();
+  ASSERT_NE(live, nullptr) << where;
+  RouteEngine rebuilt(manager.residual());
+  const WdmNetwork& net = manager.residual();
+  for (std::uint32_t e = 0; e < net.num_links(); ++e) {
+    for (std::uint32_t l = 0; l < net.num_wavelengths(); ++l) {
+      EXPECT_EQ(live->weight(LinkId{e}, Wavelength{l}),
+                rebuilt.weight(LinkId{e}, Wavelength{l}))
+          << where << ": link " << e << " lambda " << l;
+    }
+  }
+}
+
+class EnginePolicyFailureTest
+    : public ::testing::TestWithParam<RoutingPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(EnginePolicies, EnginePolicyFailureTest,
+                         ::testing::Values(RoutingPolicy::kSemilightpathEngine,
+                                           RoutingPolicy::kLightpathEngine),
+                         [](const auto& info) {
+                           return info.param ==
+                                          RoutingPolicy::kSemilightpathEngine
+                                      ? "SemilightpathEngine"
+                                      : "LightpathEngine";
+                         });
+
+TEST_P(EnginePolicyFailureTest, WeightsMatchRebuiltOracleThroughCycle) {
+  auto manager = ring_manager(GetParam());
+  expect_engine_matches_rebuilt(manager, "pristine");
+
+  const auto a = manager.open(NodeId{0}, NodeId{2});
+  const auto b = manager.open(NodeId{3}, NodeId{5});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  expect_engine_matches_rebuilt(manager, "after opens");
+
+  const auto report = manager.fail_span(NodeId{1}, NodeId{2});
+  EXPECT_EQ(report.links_failed, 2u);
+  EXPECT_EQ(report.affected, 1u);
+  EXPECT_EQ(report.rerouted, 1u);
+  EXPECT_TRUE(manager.find(*a)->active);
+  EXPECT_EQ(manager.find(*a)->path.length(), 4u);  // the long way round
+  expect_engine_matches_rebuilt(manager, "after fail+reroute");
+
+  manager.repair_span(NodeId{1}, NodeId{2});
+  expect_engine_matches_rebuilt(manager, "after repair");
+
+  // The repaired span is routable again at the pre-cut optimum.
+  const auto c = manager.open(NodeId{1}, NodeId{2});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(manager.find(*c)->path.length(), 1u);
+  expect_engine_matches_rebuilt(manager, "after reopen");
+
+  EXPECT_TRUE(manager.close(*a));
+  EXPECT_TRUE(manager.close(*b));
+  EXPECT_TRUE(manager.close(*c));
+  expect_engine_matches_rebuilt(manager, "after closes");
+  EXPECT_DOUBLE_EQ(manager.wavelength_utilization(), 0.0);
+}
+
+TEST_P(EnginePolicyFailureTest, DropOnLineMatchesRebuiltOracle) {
+  Rng rng(21);
+  const Topology topo = line_topology(4);
+  const Availability avail = full_availability(topo, 2, CostSpec::unit(), rng);
+  SessionManager manager(
+      assemble_network(topo, 2, avail, std::make_shared<NoConversion>()),
+      GetParam());
+  const auto id = manager.open(NodeId{0}, NodeId{3});
+  ASSERT_TRUE(id.has_value());
+  const auto report = manager.fail_span(NodeId{1}, NodeId{2});
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_FALSE(manager.find(*id)->active);
+  expect_engine_matches_rebuilt(manager, "after drop");
+  // Healthy-half resources of the dropped session are back in the pool.
+  EXPECT_DOUBLE_EQ(manager.wavelength_utilization(), 0.0);
+  manager.repair_span(NodeId{1}, NodeId{2});
+  expect_engine_matches_rebuilt(manager, "after repair");
+  EXPECT_TRUE(manager.open(NodeId{0}, NodeId{3}).has_value());
+}
+
+TEST_P(EnginePolicyFailureTest, MatchesNonEngineTwinThroughCycle) {
+  // The engine policy must make the same accept/reroute/drop decisions at
+  // the same costs as its per-request twin on an identical op sequence.
+  const RoutingPolicy twin_policy =
+      GetParam() == RoutingPolicy::kSemilightpathEngine
+          ? RoutingPolicy::kSemilightpath
+          : RoutingPolicy::kLightpathBestCost;
+  auto engine_manager = ring_manager(GetParam());
+  auto twin_manager = ring_manager(twin_policy);
+
+  // Every pair below has a unique shortest route around the ring, so the
+  // twins cannot legitimately diverge by tie-breaking.
+  const std::pair<std::uint32_t, std::uint32_t> opens[] = {
+      {0, 2}, {3, 5}, {1, 5}, {2, 4}};
+  std::vector<std::optional<SessionId>> engine_ids, twin_ids;
+  for (const auto& [s, t] : opens) {
+    engine_ids.push_back(engine_manager.open(NodeId{s}, NodeId{t}));
+    twin_ids.push_back(twin_manager.open(NodeId{s}, NodeId{t}));
+    ASSERT_EQ(engine_ids.back().has_value(), twin_ids.back().has_value())
+        << s << "->" << t;
+    if (engine_ids.back().has_value()) {
+      EXPECT_NEAR(engine_manager.find(*engine_ids.back())->cost,
+                  twin_manager.find(*twin_ids.back())->cost, 1e-9)
+          << s << "->" << t;
+    }
+  }
+
+  const auto engine_report = engine_manager.fail_span(NodeId{1}, NodeId{2});
+  const auto twin_report = twin_manager.fail_span(NodeId{1}, NodeId{2});
+  EXPECT_EQ(engine_report.affected, twin_report.affected);
+  EXPECT_EQ(engine_report.rerouted, twin_report.rerouted);
+  EXPECT_EQ(engine_report.dropped, twin_report.dropped);
+
+  engine_manager.repair_span(NodeId{1}, NodeId{2});
+  twin_manager.repair_span(NodeId{1}, NodeId{2});
+  EXPECT_EQ(engine_manager.active_sessions(), twin_manager.active_sessions());
+  EXPECT_NEAR(engine_manager.wavelength_utilization(),
+              twin_manager.wavelength_utilization(), 1e-12);
+  expect_engine_matches_rebuilt(engine_manager, "after twin cycle");
+}
+
+// --- FaultPlan span-timeline replay --------------------------------------
+
+TEST(FaultTimelineTest, SpanTimelineReplayDrivesFailAndRepair) {
+  // Simulator-level span-down windows replayed through apply_span_state
+  // exercise the exact fail/repair + engine weight-sync path.
+  FaultPlan plan(11);
+  plan.span_down(NodeId{1}, NodeId{2}, 1.0, 3.0)
+      .span_down(NodeId{4}, NodeId{5}, 4.0, 5.0);
+  const auto timeline = plan.span_timeline();
+  ASSERT_EQ(timeline.size(), 4u);
+  // Sorted by time: down@1, up@3, down@4, up@5.
+  EXPECT_TRUE(timeline[0].down);
+  EXPECT_FALSE(timeline[1].down);
+  EXPECT_TRUE(timeline[2].down);
+  EXPECT_FALSE(timeline[3].down);
+  EXPECT_LE(timeline[0].time, timeline[1].time);
+
+  auto manager = ring_manager(RoutingPolicy::kSemilightpathEngine);
+  const auto id = manager.open(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(id.has_value());
+  ASSERT_EQ(manager.find(*id)->path.length(), 2u);
+
+  std::uint32_t reroutes = 0;
+  for (const SpanEvent& event : timeline) {
+    const auto report =
+        manager.apply_span_state(event.a, event.b, event.down);
+    reroutes += report.rerouted;
+    expect_engine_matches_rebuilt(manager, "after span event");
+  }
+  // Cutting 1-2 forced the session the long way; after that span healed,
+  // cutting 4-5 forced it back onto the (repaired) short route — the
+  // session survives because the windows never overlap.
+  EXPECT_EQ(reroutes, 2u);
+  EXPECT_TRUE(manager.find(*id)->active);
+  // All spans healed: full capacity is back.
+  for (std::uint32_t e = 0; e < manager.residual().num_links(); ++e)
+    EXPECT_FALSE(manager.is_failed(LinkId{e}));
+  EXPECT_TRUE(manager.open(NodeId{1}, NodeId{2}).has_value());
 }
 
 }  // namespace

@@ -104,4 +104,34 @@ enum class ConvKind {
   return assemble_network(topo, k, avail, make_conversion(kind, n, k, rng));
 }
 
+/// A random network with aggressively varied shape parameters, including
+/// degenerate ones (k = 1, n = 2, empty links, zero-cost wavelengths).
+/// Shared by the integration fuzz sweep and the fault-injection fuzz
+/// sweep so both explore the same instance space.
+[[nodiscard]] inline WdmNetwork fuzz_network(Rng& rng) {
+  const auto n = static_cast<std::uint32_t>(rng.next_in(2, 18));
+  const auto k = static_cast<std::uint32_t>(rng.next_in(1, 6));
+  const auto kinds = {ConvKind::kNone, ConvKind::kUniform, ConvKind::kRange,
+                      ConvKind::kSparse, ConvKind::kRandomMatrix};
+  const auto kind = *(kinds.begin() + rng.next_below(kinds.size()));
+  WdmNetwork net(n, k, make_conversion(kind, n, k, rng));
+
+  const auto num_links = static_cast<std::uint32_t>(
+      rng.next_in(0, static_cast<std::int64_t>(3 * n)));
+  for (std::uint32_t i = 0; i < num_links; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (u == v) continue;
+    const LinkId e = net.add_link(NodeId{u}, NodeId{v});
+    // Possibly zero wavelengths; possibly zero-cost ones.
+    const auto count = static_cast<std::uint32_t>(rng.next_in(0, k));
+    for (const std::uint32_t l : rng.sample_without_replacement(k, count)) {
+      const double cost =
+          rng.next_bool(0.15) ? 0.0 : rng.next_double_in(0.1, 5.0);
+      net.set_wavelength(e, Wavelength{l}, cost);
+    }
+  }
+  return net;
+}
+
 }  // namespace lumen::testing
