@@ -1,0 +1,139 @@
+// E16 — observability overhead: what the v2 causal-tracing stack costs.
+//
+// Every row is meant to be run twice — once in the default build and once
+// with -DLUMEN_OBS_DISABLED=ON (the obs-off preset) — and compared:
+//   engine_query        — the routing hot path (ambient CausalSpan + the
+//                         registry instruments around each query) on the
+//                         E16 workload: 100 nodes, 16 wavelengths
+//   session_open_close  — the RWA request path: rwa.open root span, route
+//                         spans, flight-recorder event mirror
+//   dist_route          — a full sync protocol run with per-round spans
+//   causal_span         — one span lifecycle (TLS install + seqlock emit)
+//   span_emit           — the lock-free SpanBuffer ring alone
+//   pump_tick           — one MetricsPump snapshot + watchdog evaluation
+// The acceptance budget is <3% overhead on engine_query; the span
+// micro-rows explain where the rest of the time goes.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/route_engine.h"
+#include "dist/dist_router.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/slo.h"
+#include "obs/span_buffer.h"
+#include "obs/trace_context.h"
+#include "rwa/session_manager.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 20260806;
+constexpr std::uint32_t kNodes = 100;
+constexpr std::uint32_t kWavelengths = 16;
+constexpr std::uint32_t kMaxPerLink = 8;
+
+WdmNetwork e16_network() {
+  return bench::distributed_network(kNodes, kWavelengths, kMaxPerLink, kSeed);
+}
+
+void BM_EngineQuery_HotPath(benchmark::State& state) {
+  const WdmNetwork net = e16_network();
+  RouteEngine engine(net);
+  Rng rng(kSeed);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.next_below(kNodes));
+    auto t = static_cast<std::uint32_t>(rng.next_below(kNodes));
+    if (s == t) t = (t + 1) % kNodes;
+    pairs.emplace_back(NodeId{s}, NodeId{t});
+  }
+  std::size_t i = 0;
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ % pairs.size()];
+    const RouteResult r = engine.route_semilightpath(s, t);
+    found += r.found ? 1 : 0;
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["found"] = static_cast<double>(found);
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_EngineQuery_HotPath)->Unit(benchmark::kMicrosecond);
+
+void BM_SessionOpenClose(benchmark::State& state) {
+  const WdmNetwork net = e16_network();
+  SessionManager manager(net, RoutingPolicy::kSemilightpathEngine);
+  Rng rng(kSeed ^ 0xbeefULL);
+  for (auto _ : state) {
+    const auto s = static_cast<std::uint32_t>(rng.next_below(kNodes));
+    auto t = static_cast<std::uint32_t>(rng.next_below(kNodes));
+    if (s == t) t = (t + 1) % kNodes;
+    if (const auto id = manager.open(NodeId{s}, NodeId{t}))
+      (void)manager.close(*id);
+  }
+  state.counters["blocked"] = static_cast<double>(manager.stats().blocked);
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_SessionOpenClose)->Unit(benchmark::kMicrosecond);
+
+void BM_DistRoute_SpanPerRound(benchmark::State& state) {
+  const WdmNetwork net = e16_network();
+  for (auto _ : state) {
+    const auto r =
+        distributed_route_semilightpath(net, NodeId{0}, NodeId{kNodes / 2});
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_DistRoute_SpanPerRound)->Unit(benchmark::kMillisecond);
+
+void BM_CausalSpanLifecycle(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::CausalSpan span("bench.span");
+    span.set_node(1);
+    span.set_attributes(2, 3);
+    benchmark::DoNotOptimize(span.trace_id());
+  }
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_CausalSpanLifecycle);
+
+void BM_SpanEmit(benchmark::State& state) {
+  obs::SpanBuffer buffer;
+  obs::CausalSpanRecord record{};
+  record.trace_id = 7;
+  record.span_id = 9;
+  for (auto _ : state) {
+    buffer.emit(record);
+    benchmark::DoNotOptimize(buffer.total_emitted());
+  }
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_SpanEmit);
+
+void BM_PumpTick(benchmark::State& state) {
+  obs::SloWatchdog watchdog;
+  watchdog.add_rule(obs::SloRule::ratio("blocking", "lumen.rwa.blocked",
+                                        "lumen.rwa.offered", 0.5));
+  watchdog.add_rule(obs::SloRule::percentile(
+      "open-p99", "lumen.rwa.open_latency_ns", 0.99, 1e9));
+  obs::PumpOptions options;
+  options.watchdog = &watchdog;
+  obs::MetricsPump pump(obs::Registry::global(), options);
+  for (auto _ : state) {
+    const auto snapshot = pump.tick();
+    benchmark::DoNotOptimize(snapshot.tick);
+  }
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_PumpTick);
+
+}  // namespace
+
+LUMEN_BENCH_MAIN();

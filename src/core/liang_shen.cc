@@ -5,6 +5,7 @@
 #include "graph/pairing_heap.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/stopwatch.h"
 
 namespace lumen {
@@ -106,6 +107,8 @@ RouteResult route_semilightpath(const WdmNetwork& net, NodeId s, NodeId t,
   LUMEN_REQUIRE(t.value() < net.num_nodes());
   if (s == t) return trivial_self_route();
   obs::TraceSpan route_span("route.semilightpath");
+  obs::CausalSpan causal_span("route.semilightpath");
+  causal_span.set_node(s.value());
   obs::TraceSpan build_span("route.aux_build");
   const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
   build_span.close();
@@ -120,6 +123,8 @@ RouteResult route_lightpath(const WdmNetwork& net, NodeId s, NodeId t) {
   RouteInstruments& instruments = RouteInstruments::get();
   instruments.requests.add();
   obs::TraceSpan route_span("route.lightpath");
+  obs::CausalSpan causal_span("route.lightpath");
+  causal_span.set_node(s.value());
 
   RouteResult best;
   best.found = false;

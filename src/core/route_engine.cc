@@ -6,6 +6,7 @@
 #include "core/aux_graph.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -124,6 +125,10 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
     return trivial_self_route();
   }
   obs::TraceSpan query_span("route.engine.query");
+  // Ambient causal span: an engine query launched inside a traced request
+  // (SessionManager::open) becomes a child of that request's span tree.
+  obs::CausalSpan causal_span("engine.semilightpath");
+  causal_span.set_node(s.value());
 
   RouteResult result;
   result.stats.aux_nodes = core_->num_nodes();
@@ -202,6 +207,8 @@ RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t,
     return result;
   }
   obs::TraceSpan query_span("route.engine.query");
+  obs::CausalSpan causal_span("engine.lightpath");
+  causal_span.set_node(s.value());
 
   RouteResult best;
   best.found = false;

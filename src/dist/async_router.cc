@@ -7,6 +7,7 @@
 #include "dist/protocol_state.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
 #include "obs/registry.h"
+#include "obs/trace_context.h"
 
 namespace lumen {
 
@@ -49,14 +50,21 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
   const ConversionModel& conv = net.conversion();
   std::uint32_t epoch = 0;
 
-  auto broadcast_y = [&](NodeId v, std::uint32_t y_index) {
+  // Root span of the execution (ambient: nests under a caller's span if
+  // one is installed).  Offers carry causal contexts descending from it.
+  obs::CausalSpan run_span("dist.async.run");
+  run_span.set_node(s.value());
+  result.trace_id = run_span.trace_id();
+
+  auto broadcast_y = [&](NodeId v, std::uint32_t y_index,
+                         const obs::TraceContext& ctx) {
     const GadgetState& gadget = gadgets[v.value()];
     const Wavelength lambda = gadget.out_lambdas[y_index];
     const double dy = gadget.dist_y[y_index];
     for (const LinkId e : net.out_links(v)) {
       const double w = net.link_cost(e, lambda);
       if (w == kInfiniteCost) continue;
-      sim.send(e, Offer{lambda, dy + w, epoch});
+      sim.send(e, Offer{lambda, dy + w, epoch, ctx});
     }
   };
 
@@ -66,7 +74,7 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
     for (std::uint32_t y = 0; y < source_gadget.out_lambdas.size(); ++y) {
       source_gadget.dist_y[y] = 0.0;
       source_gadget.parent_y[y] = kSourceParent;
-      broadcast_y(s, y);
+      broadcast_y(s, y, run_span.context());
     }
   }
 
@@ -100,6 +108,13 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
       gadget.dist_x[x] = offer.dist;
       gadget.parent_x[x] = delivery->link;
 
+      // An improving delivery is one causal event: a point span at the
+      // delivery's virtual time, child of whatever span sent the offer.
+      obs::CausalSpan event_span("dist.node_event", offer.ctx);
+      event_span.set_node(v.value());
+      event_span.set_virtual_interval(sim.now(), sim.now());
+      event_span.set_attributes(offer.lambda.value(), offer.epoch);
+
       const Wavelength from = gadget.in_lambdas[x];
       for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
         const double c = conv.cost(v, from, gadget.out_lambdas[y]);
@@ -107,7 +122,7 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
         if (offer.dist + c < gadget.dist_y[y]) {
           gadget.dist_y[y] = offer.dist + c;
           gadget.parent_y[y] = x;
-          broadcast_y(v, y);
+          broadcast_y(v, y, event_span.context());
         }
       }
     }
@@ -133,13 +148,19 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
       const double sent_at = sim.now();
       ++epoch;
       ++result.retransmit_sweeps;
+      // Timeout-driven, so causally a child of the run root, not of any
+      // message; deliveries it wakes parent under it via the offer stamps.
+      obs::CausalSpan sweep_span("dist.sweep", run_span.context());
+      sweep_span.set_attributes(result.retransmit_sweeps, epoch);
       for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
         const GadgetState& gadget = gadgets[vi];
         for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
-          if (gadget.dist_y[y] < kInfiniteCost) broadcast_y(NodeId{vi}, y);
+          if (gadget.dist_y[y] < kInfiniteCost)
+            broadcast_y(NodeId{vi}, y, sweep_span.context());
         }
       }
       const bool sweep_improved = drain();
+      sweep_span.set_virtual_interval(sent_at, sim.now());
       if (!sweep_improved && sent_at >= heal) break;
     }
 
@@ -151,11 +172,17 @@ AsyncRouteResult async_route_semilightpath(const WdmNetwork& net, NodeId s,
     if (result.converged && heal > 0.0 && std::isfinite(heal)) {
       // Virtual time units recorded as histogram "seconds".
       recovery.record_seconds(std::max(0.0, sim.now() - heal));
+      obs::CausalSpan rec_span("dist.recovery", run_span.context());
+      rec_span.set_virtual_interval(heal, sim.now());
+      rec_span.set_attributes(faults->seed(), result.retransmit_sweeps);
     }
   }
 
   result.messages = sim.total_messages();
   result.virtual_time = sim.now();
+  run_span.set_virtual_interval(0.0, sim.now());
+  run_span.set_attributes(result.retransmit_sweeps,
+                          result.converged ? 1 : 0);
 
   static obs::Counter& runs =
       obs::Registry::global().counter("lumen.dist.async.runs");

@@ -40,6 +40,9 @@ struct AsyncRouteResult {
   std::uint32_t retransmit_sweeps = 0;
   /// False only when a never-healing FaultPlan exhausted the sweep budget.
   bool converged = true;
+  /// Causal trace id of the execution's span tree; 0 when tracing is
+  /// compiled out with LUMEN_OBS_DISABLED.
+  std::uint64_t trace_id = 0;
 };
 
 /// Tuning knobs of one asynchronous execution.

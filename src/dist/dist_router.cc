@@ -7,6 +7,7 @@
 #include "dist/sync_network.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
 #include "obs/registry.h"
+#include "obs/trace_context.h"
 
 namespace lumen {
 
@@ -24,6 +25,8 @@ struct ProtocolRun {
   std::uint64_t rounds = 0;
   std::uint32_t sweeps = 0;
   bool converged = true;
+  /// Causal trace of this execution (0 when tracing is compiled out).
+  std::uint64_t trace_id = 0;
 };
 
 /// Executes the synchronous protocol from source s until quiescence.
@@ -40,16 +43,28 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
   const ConversionModel& conv = net.conversion();
   std::uint32_t epoch = 0;
 
+  // Root span of the whole execution.  Ambient, so a run launched from
+  // inside SessionManager::open lands under that request's rwa.open span;
+  // standalone runs start a fresh trace.  Every message carries a context
+  // descending from this root, which is what makes the offline assembler
+  // able to rebuild the run as one causal tree.
+  obs::CausalSpan run_span("dist.sync.run");
+  run_span.set_node(s.value());
+  run.trace_id = run_span.trace_id();
+
   // Broadcasts the improved departure label y_v(λ') over every out-link
-  // carrying λ'.  One message per (link, λ') — the E_org embedding.
-  auto broadcast_y = [&](NodeId v, std::uint32_t y_index) {
+  // carrying λ'.  One message per (link, λ') — the E_org embedding.  The
+  // offer is stamped with the causal context of whatever span caused the
+  // improvement (seeding, a node round, or a retransmission sweep).
+  auto broadcast_y = [&](NodeId v, std::uint32_t y_index,
+                         const obs::TraceContext& ctx) {
     const GadgetState& gadget = run.gadgets[v.value()];
     const Wavelength lambda = gadget.out_lambdas[y_index];
     const double dy = gadget.dist_y[y_index];
     for (const LinkId e : net.out_links(v)) {
       const double w = net.link_cost(e, lambda);
       if (w == kInfiniteCost) continue;
-      sim.send(e, Offer{lambda, dy + w, epoch});
+      sim.send(e, Offer{lambda, dy + w, epoch, ctx});
     }
   };
 
@@ -59,7 +74,7 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
     for (std::uint32_t y = 0; y < source_gadget.out_lambdas.size(); ++y) {
       source_gadget.dist_y[y] = 0.0;
       source_gadget.parent_y[y] = kSourceParent;
-      broadcast_y(s, y);
+      broadcast_y(s, y, run_span.context());
     }
   }
 
@@ -85,7 +100,10 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
         GadgetState& gadget = run.gadgets[vi];
 
         // 1. Fold all offers of this round into the arrival labels X_v.
+        //    The first improving offer's context becomes the causal parent
+        //    of this node-round: that is the message that woke the node.
         dirty_x.clear();
+        obs::TraceContext cause;
         for (const auto& delivery : inbox) {
           const Offer& offer = delivery.payload;
           const std::uint32_t x =
@@ -95,6 +113,7 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
             if (std::find(dirty_x.begin(), dirty_x.end(), x) ==
                 dirty_x.end())
               dirty_x.push_back(x);
+            if (!cause.valid()) cause = offer.ctx;
             gadget.dist_x[x] = offer.dist;
             gadget.parent_x[x] = delivery.link;
             improved = true;
@@ -106,9 +125,16 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
             if (offer.epoch > 0) redundant_retransmits.add();
           }
         }
+        if (dirty_x.empty()) continue;
 
         // 2. Local gadget relaxation X_v -> Y_v (free computation), then
-        //    broadcast each improved departure label once.
+        //    broadcast each improved departure label once, under a span
+        //    for this (node, round) of useful work.
+        obs::CausalSpan node_span("dist.node_round", cause);
+        node_span.set_node(vi);
+        const double round = static_cast<double>(sim.rounds());
+        node_span.set_virtual_interval(round, round);
+        node_span.set_attributes(inbox.size(), dirty_x.size());
         for (const std::uint32_t x : dirty_x) {
           const Wavelength from = gadget.in_lambdas[x];
           const double dx = gadget.dist_x[x];
@@ -118,7 +144,7 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
             if (dx + c < gadget.dist_y[y]) {
               gadget.dist_y[y] = dx + c;
               gadget.parent_y[y] = x;
-              broadcast_y(v, y);
+              broadcast_y(v, y, node_span.context());
             }
           }
         }
@@ -146,13 +172,21 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
       const double sent_at = static_cast<double>(sim.rounds());
       ++epoch;
       ++run.sweeps;
+      // Each timeout-driven sweep is a child span of the run root (the
+      // timeout fired, nothing in the network caused it); node rounds its
+      // retransmissions wake parent under the sweep via the offer stamps.
+      obs::CausalSpan sweep_span("dist.sweep", run_span.context());
+      sweep_span.set_attributes(run.sweeps, epoch);
       for (std::uint32_t vi = 0; vi < net.num_nodes(); ++vi) {
         const GadgetState& gadget = run.gadgets[vi];
         for (std::uint32_t y = 0; y < gadget.out_lambdas.size(); ++y) {
-          if (gadget.dist_y[y] < kInfiniteCost) broadcast_y(NodeId{vi}, y);
+          if (gadget.dist_y[y] < kInfiniteCost)
+            broadcast_y(NodeId{vi}, y, sweep_span.context());
         }
       }
       const bool sweep_improved = drain();
+      sweep_span.set_virtual_interval(sent_at,
+                                      static_cast<double>(sim.rounds()));
       if (!sweep_improved && sent_at >= heal) break;
     }
 
@@ -166,11 +200,39 @@ ProtocolRun run_protocol(const WdmNetwork& net, NodeId s, FaultPlan* faults,
       recovery.record(rounds_now > heal
                           ? static_cast<std::uint64_t>(rounds_now - heal)
                           : 0);
+      // The recovery interval — heal horizon to quiescence — as a child
+      // span of the run root, linked to the plan that triggered it via
+      // the (seed, sweeps) attributes.
+      obs::CausalSpan rec_span("dist.recovery", run_span.context());
+      rec_span.set_virtual_interval(heal, rounds_now);
+      rec_span.set_attributes(faults->seed(), run.sweeps);
+    }
+
+    // Replay the plan's fiber-cut windows as spans under the root, so the
+    // assembled tree shows *why* sweeps were needed next to the sweeps
+    // themselves.  Down events pair with the next up of the same span.
+    const std::vector<SpanEvent> timeline = faults->span_timeline();
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      if (!timeline[i].down) continue;
+      double up_at = heal;
+      for (std::size_t j = i + 1; j < timeline.size(); ++j) {
+        if (!timeline[j].down && timeline[j].a == timeline[i].a &&
+            timeline[j].b == timeline[i].b) {
+          up_at = timeline[j].time;
+          break;
+        }
+      }
+      obs::CausalSpan cut_span("fault.span_down", run_span.context());
+      cut_span.set_node(timeline[i].a.value());
+      cut_span.set_virtual_interval(timeline[i].time, up_at);
+      cut_span.set_attributes(timeline[i].a.value(), timeline[i].b.value());
     }
   }
 
   run.messages = sim.total_messages();
   run.rounds = sim.rounds();
+  run_span.set_virtual_interval(0.0, static_cast<double>(run.rounds));
+  run_span.set_attributes(run.sweeps, run.converged ? 1 : 0);
 
   static obs::Counter& runs = obs::Registry::global().counter("lumen.dist.runs");
   static obs::Counter& messages =
@@ -190,6 +252,7 @@ DistRouteResult readout(const WdmNetwork& net, const ProtocolRun& run,
   result.rounds = run.rounds;
   result.retransmit_sweeps = run.sweeps;
   result.converged = run.converged;
+  result.trace_id = run.trace_id;
 
   const GadgetState& sink = run.gadgets[t.value()];
   const std::uint32_t best_x = dist_detail::best_arrival(sink);

@@ -45,6 +45,10 @@ struct DistRouteResult {
   /// (only possible with a never-healing FaultPlan); labels are then
   /// best-effort.  Always true for fault-free and healed-plan runs.
   bool converged = true;
+  /// Causal trace id of the execution's span tree (obs/trace_assembler.h
+  /// rebuilds it from a SpanBuffer snapshot); 0 when tracing is compiled
+  /// out with LUMEN_OBS_DISABLED.
+  std::uint64_t trace_id = 0;
 };
 
 /// Distributed optimal semilightpath from s to t.  Produces the same

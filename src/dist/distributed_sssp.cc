@@ -3,8 +3,20 @@
 #include "dist/sync_network.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
 #include "obs/registry.h"
+#include "obs/trace_context.h"
 
 namespace lumen {
+
+namespace {
+
+/// Wire payload: the offered distance plus the causal context of the span
+/// that sent it (zero-sized semantics when tracing is compiled out).
+struct SsspOffer {
+  double dist;
+  obs::TraceContext ctx;
+};
+
+}  // namespace
 
 DistributedSsspResult distributed_sssp(const Digraph& g, NodeId source) {
   LUMEN_REQUIRE(source.value() < g.num_nodes());
@@ -13,22 +25,26 @@ DistributedSsspResult distributed_sssp(const Digraph& g, NodeId source) {
   result.parent_link.assign(g.num_nodes(), LinkId::invalid());
   result.dist[source.value()] = 0.0;
 
-  SyncNetwork<double> net(g);
+  SyncNetwork<SsspOffer> net(g);
+
+  obs::CausalSpan run_span("dist.sssp.run");
+  run_span.set_node(source.value());
+  result.trace_id = run_span.trace_id();
 
   // A node whose distance improved broadcasts dist + w(e) on out-links.
-  auto broadcast = [&](NodeId u) {
+  auto broadcast = [&](NodeId u, const obs::TraceContext& ctx) {
     const double du = result.dist[u.value()];
     for (const LinkId e : g.out_links(u)) {
       const double w = g.weight(e);
       if (w == kInfiniteCost) continue;
-      net.send(e, du + w);
+      net.send(e, SsspOffer{du + w, ctx});
     }
   };
 
   static obs::LatencyHistogram& queue_depth =
       obs::Registry::global().histogram("lumen.dist.queue_depth");
 
-  broadcast(source);
+  broadcast(source, run_span.context());
   while (net.advance()) {
     for (std::uint32_t vi = 0; vi < g.num_nodes(); ++vi) {
       const NodeId v{vi};
@@ -36,18 +52,29 @@ DistributedSsspResult distributed_sssp(const Digraph& g, NodeId source) {
       if (inbox.empty()) continue;
       queue_depth.record(inbox.size());
       // Local computation: fold all offers of this round, then broadcast
-      // at most once (message economy; does not change correctness).
+      // at most once (message economy; does not change correctness).  The
+      // first improving offer is the causal parent of this node-round.
       bool improved = false;
+      obs::TraceContext cause;
       for (const auto& delivery : inbox) {
-        if (delivery.payload < result.dist[vi]) {
-          result.dist[vi] = delivery.payload;
+        if (delivery.payload.dist < result.dist[vi]) {
+          if (!improved) cause = delivery.payload.ctx;
+          result.dist[vi] = delivery.payload.dist;
           result.parent_link[vi] = delivery.link;
           improved = true;
         }
       }
-      if (improved) broadcast(v);
+      if (improved) {
+        obs::CausalSpan node_span("dist.node_round", cause);
+        node_span.set_node(vi);
+        const double round = static_cast<double>(net.rounds());
+        node_span.set_virtual_interval(round, round);
+        node_span.set_attributes(inbox.size(), 1);
+        broadcast(v, node_span.context());
+      }
     }
   }
+  run_span.set_virtual_interval(0.0, static_cast<double>(net.rounds()));
   result.messages = net.total_messages();
   result.rounds = net.rounds();
 

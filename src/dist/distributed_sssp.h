@@ -29,6 +29,9 @@ struct DistributedSsspResult {
   std::uint64_t messages = 0;
   /// Rounds until quiescence (time complexity).
   std::uint64_t rounds = 0;
+  /// Causal trace id of the execution's span tree; 0 when tracing is
+  /// compiled out with LUMEN_OBS_DISABLED.
+  std::uint64_t trace_id = 0;
 };
 
 /// Runs the distributed SSSP from `source` on `g` (non-negative weights;

@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "wdm/network.h"
 #include "wdm/semilightpath.h"
 
@@ -29,6 +30,12 @@ struct Offer {
   Wavelength lambda;
   double dist;
   std::uint32_t epoch = 0;
+  /// Causal trace context of the span that sent the offer (the run root,
+  /// a node-round span, or a retransmission sweep).  Receivers that
+  /// improve a label parent their own span on it, which is what stitches
+  /// the per-run span tree together.  Zero-initialized (and ignored) when
+  /// the obs library is built with LUMEN_OBS_DISABLED.
+  obs::TraceContext ctx;
 };
 
 inline constexpr std::uint32_t kNoParent =

@@ -1,48 +1,18 @@
 #include "obs/export.h"
 
 #include <cctype>
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <istream>
 #include <ostream>
 
-#include "util/error.h"
+#include "obs/flat_json.h"
 
 namespace lumen::obs {
 
 namespace {
 
-/// Escapes a string for JSON and CSV-in-quotes contexts.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Shortest representation that round-trips a double exactly.
-std::string fmt_double_exact(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+using detail::FlatJsonParser;
+using detail::fmt_double_exact;
+using detail::json_escape;
 
 std::string csv_quote(const std::string& s) {
   std::string out = "\"";
@@ -53,107 +23,6 @@ std::string csv_quote(const std::string& s) {
   out += '"';
   return out;
 }
-
-/// Minimal parser for the flat JSON objects this module writes.
-class FlatJsonParser {
- public:
-  explicit FlatJsonParser(const std::string& line, std::size_t line_no)
-      : line_(line), line_no_(line_no) {}
-
-  /// Parses `{ "key": value, ... }`, invoking on_field(key, raw_string,
-  /// number, is_string) per pair.
-  template <class Callback>
-  void parse(Callback&& on_field) {
-    skip_ws();
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      skip_ws();
-      const std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      skip_ws();
-      if (peek() == '"') {
-        on_field(key, parse_string(), 0.0, true);
-      } else {
-        on_field(key, std::string{}, parse_number(), false);
-      }
-      skip_ws();
-      const char c = next();
-      if (c == '}') break;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) const {
-    throw Error("JSONL parse error at line " + std::to_string(line_no_) +
-                " col " + std::to_string(pos_ + 1) + ": " + what);
-  }
-  [[nodiscard]] char peek() const {
-    return pos_ < line_.size() ? line_[pos_] : '\0';
-  }
-  char next() {
-    if (pos_ >= line_.size()) fail("unexpected end of line");
-    return line_[pos_++];
-  }
-  void expect(char c) {
-    if (next() != c) fail("unexpected character");
-  }
-  void skip_ws() {
-    while (pos_ < line_.size() &&
-           std::isspace(static_cast<unsigned char>(line_[pos_])))
-      ++pos_;
-  }
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = next();
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      const char esc = next();
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          // Only ASCII \u00xx escapes are ever written by this module.
-          if (pos_ + 4 > line_.size()) fail("truncated \\u escape");
-          const std::string hex = line_.substr(pos_, 4);
-          pos_ += 4;
-          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-  double parse_number() {
-    const char* begin = line_.c_str() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    if (end == begin) fail("expected a number");
-    pos_ += static_cast<std::size_t>(end - begin);
-    return v;
-  }
-
-  const std::string& line_;
-  std::size_t line_no_;
-  std::size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -188,6 +57,9 @@ std::string route_event_to_json(const RouteEvent& e) {
   num("heap_pops", std::to_string(e.heap_pops));
   num("build_seconds", fmt_double_exact(e.build_seconds));
   num("search_seconds", fmt_double_exact(e.search_seconds));
+  // trace_id rides at the end of the schema (appended in v2, so pre-v2
+  // consumers keyed on field order stay valid).
+  num("trace_id", std::to_string(e.trace_id));
   out.back() = '}';
   return out;
 }
@@ -228,6 +100,7 @@ std::vector<RouteEvent> read_route_events_jsonl(std::istream& in) {
       else if (key == "heap_pops") e.heap_pops = static_cast<std::uint64_t>(n);
       else if (key == "build_seconds") e.build_seconds = n;
       else if (key == "search_seconds") e.search_seconds = n;
+      else if (key == "trace_id") e.trace_id = static_cast<std::uint64_t>(n);
     });
     events.push_back(std::move(e));
   }
@@ -238,7 +111,7 @@ void write_route_events_csv(std::ostream& out,
                             std::span<const RouteEvent> events) {
   out << "sequence,source,target,policy,heap,outcome,cost,hops,conversions,"
          "aux_nodes,aux_links,relaxations,heap_pops,build_seconds,"
-         "search_seconds\n";
+         "search_seconds,trace_id\n";
   for (const RouteEvent& e : events) {
     out << e.sequence << ',' << e.source << ',' << e.target << ','
         << csv_quote(e.policy) << ',' << csv_quote(e.heap) << ','
@@ -246,7 +119,7 @@ void write_route_events_csv(std::ostream& out,
         << e.hops << ',' << e.conversions << ',' << e.aux_nodes << ','
         << e.aux_links << ',' << e.relaxations << ',' << e.heap_pops << ','
         << fmt_double_exact(e.build_seconds) << ','
-        << fmt_double_exact(e.search_seconds) << '\n';
+        << fmt_double_exact(e.search_seconds) << ',' << e.trace_id << '\n';
   }
 }
 
@@ -264,9 +137,44 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+void append_native_histogram(std::string& out, const std::string& metric,
+                             const LatencyHistogram& histogram) {
+  out += "# TYPE " + metric + " histogram\n";
+  std::uint64_t cumulative = 0;
+  int highest = -1;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    if (histogram.bucket_count(b) != 0) highest = b;
+  }
+  for (int b = 0; b <= highest; ++b) {
+    cumulative += histogram.bucket_count(b);
+    out += metric + "_bucket{le=\"" +
+           std::to_string(LatencyHistogram::bucket_upper_bound(b)) + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+  out += metric + "_sum " + std::to_string(histogram.sum()) + "\n";
+  out += metric + "_count " + std::to_string(cumulative) + "\n";
+}
+
+void append_summary_gauges(std::string& out, const std::string& metric,
+                           const LatencyHistogram& histogram) {
+  const std::string name = metric + "_summary";
+  const HistogramSummary summary = histogram.summary();
+  out += "# TYPE " + name + " summary\n";
+  out += name + "{quantile=\"0.5\"} " +
+         detail::fmt_double_exact(summary.p50) + "\n";
+  out += name + "{quantile=\"0.9\"} " +
+         detail::fmt_double_exact(summary.p90) + "\n";
+  out += name + "{quantile=\"0.99\"} " +
+         detail::fmt_double_exact(summary.p99) + "\n";
+  out += name + "_sum " + std::to_string(histogram.sum()) + "\n";
+  out += name + "_count " + std::to_string(summary.count) + "\n";
+}
+
 }  // namespace
 
-std::string prometheus_text(const Registry& registry) {
+std::string prometheus_text(const Registry& registry,
+                            const PrometheusOptions& options) {
   std::string out;
   for (const auto& [name, counter] : registry.counter_entries()) {
     const std::string metric = prometheus_name(name);
@@ -275,22 +183,10 @@ std::string prometheus_text(const Registry& registry) {
   }
   for (const auto& [name, histogram] : registry.histogram_entries()) {
     const std::string metric = prometheus_name(name);
-    out += "# TYPE " + metric + " histogram\n";
-    std::uint64_t cumulative = 0;
-    int highest = -1;
-    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
-      if (histogram->bucket_count(b) != 0) highest = b;
-    }
-    for (int b = 0; b <= highest; ++b) {
-      cumulative += histogram->bucket_count(b);
-      out += metric + "_bucket{le=\"" +
-             std::to_string(LatencyHistogram::bucket_upper_bound(b)) + "\"} " +
-             std::to_string(cumulative) + "\n";
-    }
-    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
-           "\n";
-    out += metric + "_sum " + std::to_string(histogram->sum()) + "\n";
-    out += metric + "_count " + std::to_string(cumulative) + "\n";
+    if (options.native_histograms)
+      append_native_histogram(out, metric, *histogram);
+    if (options.summary_gauges)
+      append_summary_gauges(out, metric, *histogram);
   }
   return out;
 }

@@ -1,0 +1,150 @@
+// Minimal flat-JSON helpers shared by the obs exporters, the MetricsPump
+// snapshot stream, the flight-recorder dump, and the lumen_top CLI.
+//
+// The grammar is exactly what this subsystem writes: one flat JSON object
+// per line, string or numeric values, no nesting.  Not a general JSON
+// parser on purpose — keeping the surface tiny is what lets every obs
+// stream round-trip without external dependencies.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+namespace lumen::obs::detail {
+
+/// Escapes a string for JSON string contexts.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest representation that round-trips a double exactly.
+inline std::string fmt_double_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Minimal parser for the flat JSON objects this subsystem writes.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  /// Parses `{ "key": value, ... }`, invoking on_field(key, raw_string,
+  /// number, is_string) per pair.
+  template <class Callback>
+  void parse(Callback&& on_field) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '"') {
+        on_field(key, parse_string(), 0.0, true);
+      } else {
+        on_field(key, std::string{}, parse_number(), false);
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw Error("JSONL parse error at line " + std::to_string(line_no_) +
+                " col " + std::to_string(pos_ + 1) + ": " + what);
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+  char next() {
+    if (pos_ >= line_.size()) fail("unexpected end of line");
+    return line_[pos_++];
+  }
+  void expect(char c) {
+    if (next() != c) fail("unexpected character");
+  }
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t' || line_[pos_] == '\r'))
+      ++pos_;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // Only ASCII \u00xx escapes are ever written by this module.
+          if (pos_ + 4 > line_.size()) fail("truncated \\u escape");
+          const std::string hex = line_.substr(pos_, 4);
+          pos_ += 4;
+          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+  double parse_number() {
+    const char* begin = line_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  const std::string& line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lumen::obs::detail

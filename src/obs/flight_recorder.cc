@@ -1,0 +1,113 @@
+#include "obs/flight_recorder.h"
+
+#if LUMEN_OBS_ENABLED
+
+#include <fstream>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/trace_assembler.h"
+
+namespace lumen::obs {
+inline namespace enabled {
+
+FlightRecorder::FlightRecorder(std::size_t event_capacity, SpanBuffer* spans)
+    : capacity_(event_capacity == 0 ? kDefaultEventCapacity : event_capacity),
+      spans_(spans) {
+  ring_.reserve(capacity_);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder instance;
+  return instance;
+}
+
+void FlightRecorder::record_event(const RouteEvent& event) {
+  bool overwrote = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++emitted_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_] = event;
+      next_ = (next_ + 1) % capacity_;
+      overwrote = true;
+    }
+  }
+  if (overwrote) {
+    static Counter& events_dropped_counter =
+        Registry::global().counter("lumen.obs.events_dropped");
+    events_dropped_counter.add();
+  }
+}
+
+std::vector<RouteEvent> FlightRecorder::events() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<RouteEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_).
+  for (std::size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::uint64_t FlightRecorder::events_dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return emitted_ > ring_.size() ? emitted_ - ring_.size() : 0;
+}
+
+std::string FlightRecorder::dump_string() const {
+  std::string out;
+  for (const CausalSpanRecord& span : spans_->snapshot()) {
+    out += "{\"type\":\"span\",";
+    out += causal_span_to_json(span).substr(1);  // drop the leading '{'
+    out += '\n';
+  }
+  for (const RouteEvent& event : events()) {
+    out += "{\"type\":\"route_event\",";
+    out += route_event_to_json(event).substr(1);
+    out += '\n';
+  }
+  return out;
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << dump_string();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::string FlightRecorder::trigger_dump(const std::string& dir,
+                                         const std::string& tag) const {
+  std::string safe;
+  safe.reserve(tag.size());
+  for (const char c : tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    safe += ok ? c : '_';
+  }
+  if (safe.empty()) safe = "dump";
+  std::string path = dir.empty() ? safe : dir + "/" + safe;
+  path += ".jsonl";
+  if (!dump(path)) return {};
+  static Counter& dumps_counter =
+      Registry::global().counter("lumen.obs.flight_dumps");
+  dumps_counter.add();
+  return path;
+}
+
+void FlightRecorder::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  emitted_ = 0;
+}
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

@@ -1,0 +1,128 @@
+// Flight recorder: a bounded in-memory ring of recent RouteEvents plus
+// the causal span buffer, dumpable on demand or on an SLO trigger.
+//
+// The idea is the aircraft one: keep the last N interesting things in
+// memory at negligible cost, and when something trips (an SLO breach, an
+// operator request) write them all out — every open/block/fail/reroute
+// with its trace id, and every causal span, so the breaching request's
+// full event chain can be reconstructed offline (trace_assembler.h).
+//
+//   obs::FlightRecorder::global().dump("flight.jsonl");
+//
+// writes one flat JSON object per line: {"type":"span",…} lines for the
+// span buffer followed by {"type":"route_event",…} lines for the event
+// ring.  SessionManager mirrors every RouteEvent it produces into the
+// global recorder; MetricsPump calls trigger_dump() on SLO breaches.
+// With LUMEN_OBS_DISABLED recording and dumping are no-ops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/route_event.h"
+#include "obs/span_buffer.h"
+
+#if LUMEN_OBS_ENABLED
+
+#include <mutex>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultEventCapacity = 1024;
+
+  /// `spans` must outlive the recorder (defaults to the process-wide
+  /// buffer all CausalSpans land in).
+  explicit FlightRecorder(std::size_t event_capacity = kDefaultEventCapacity,
+                          SpanBuffer* spans = &SpanBuffer::global());
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder SessionManager mirrors into.
+  static FlightRecorder& global();
+
+  /// Appends one event (thread-safe; overwrites the oldest once full,
+  /// counted in events_dropped() and `lumen.obs.events_dropped`).
+  void record_event(const RouteEvent& event);
+
+  /// The retained events, oldest first.
+  [[nodiscard]] std::vector<RouteEvent> events() const;
+  [[nodiscard]] std::size_t event_capacity() const noexcept {
+    return capacity_;
+  }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t events_dropped() const;
+
+  /// The span ring this recorder dumps alongside its events.
+  [[nodiscard]] SpanBuffer& spans() noexcept { return *spans_; }
+  [[nodiscard]] const SpanBuffer& spans() const noexcept { return *spans_; }
+
+  /// The dump as a string: one {"type":"span",…} line per retained span,
+  /// then one {"type":"route_event",…} line per retained event.
+  [[nodiscard]] std::string dump_string() const;
+
+  /// Writes dump_string() to `path`.  False on I/O failure.
+  bool dump(const std::string& path) const;
+
+  /// Dumps to `<dir>/<tag>.jsonl` (tag sanitized to [A-Za-z0-9._-]).
+  /// Returns the path written, or "" on failure.
+  std::string trigger_dump(const std::string& dir,
+                           const std::string& tag) const;
+
+  /// Drops retained events (the span buffer is left alone).  For tests.
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  SpanBuffer* spans_;
+  mutable std::mutex mutex_;
+  std::vector<RouteEvent> ring_;
+  std::size_t next_ = 0;       // ring write cursor once full
+  std::uint64_t emitted_ = 0;  // lifetime total
+};
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#else  // LUMEN_OBS_ENABLED
+
+namespace lumen::obs {
+inline namespace disabled {
+
+/// No-op stand-in: records nothing, dumps nothing.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultEventCapacity = 1024;
+  explicit FlightRecorder(std::size_t = kDefaultEventCapacity,
+                          SpanBuffer* = &SpanBuffer::global()) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  static FlightRecorder& global() {
+    static FlightRecorder instance;
+    return instance;
+  }
+  void record_event(const RouteEvent&) {}
+  [[nodiscard]] std::vector<RouteEvent> events() const { return {}; }
+  [[nodiscard]] std::size_t event_capacity() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t events_dropped() const { return 0; }
+  [[nodiscard]] SpanBuffer& spans() noexcept { return SpanBuffer::global(); }
+  [[nodiscard]] const SpanBuffer& spans() const noexcept {
+    return SpanBuffer::global();
+  }
+  [[nodiscard]] std::string dump_string() const { return {}; }
+  bool dump(const std::string&) const { return false; }
+  std::string trigger_dump(const std::string&, const std::string&) const {
+    return {};
+  }
+  void clear() {}
+};
+
+}  // inline namespace disabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

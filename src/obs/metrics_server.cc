@@ -1,0 +1,104 @@
+#include "obs/metrics_server.h"
+
+#if LUMEN_OBS_ENABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+MetricsServer::MetricsServer(std::uint16_t port, const Registry& registry,
+                             PrometheusOptions options)
+    : registry_(registry), options_(options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return;
+  }
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  if (!stopping_.exchange(true)) {
+    // shutdown() wakes the blocked accept(); the loop then exits on the
+    // stopping_ flag.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    // Read (and ignore) whatever request arrived; every path serves the
+    // same scrape.
+    char buf[2048];
+    (void)::recv(conn, buf, sizeof buf, 0);
+
+    const std::string body = prometheus_text(registry_, options_);
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n = ::send(conn, response.data() + sent,
+                               response.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+std::unique_ptr<MetricsServer> serve_metrics(std::uint16_t port,
+                                             const Registry& registry,
+                                             PrometheusOptions options) {
+  auto server =
+      std::make_unique<MetricsServer>(port, registry, std::move(options));
+  if (!server->ok()) return nullptr;
+  return server;
+}
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

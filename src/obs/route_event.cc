@@ -1,0 +1,15 @@
+#include "obs/route_event.h"
+
+#include "obs/registry.h"
+
+namespace lumen::obs {
+
+void note_route_events_dropped(std::uint64_t n) {
+  // No-op when the library is built with LUMEN_OBS_DISABLED (the dummy
+  // counter swallows the add).
+  static Counter& events_dropped =
+      Registry::global().counter("lumen.obs.events_dropped");
+  events_dropped.add(n);
+}
+
+}  // namespace lumen::obs

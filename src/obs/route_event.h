@@ -23,6 +23,12 @@
 
 namespace lumen::obs {
 
+/// Bumps the `lumen.obs.events_dropped` registry counter by `n`.  Defined
+/// out of line (route_event.cc) so this passive header never pulls in the
+/// registry; a no-op when the obs library was built with
+/// LUMEN_OBS_DISABLED.
+void note_route_events_dropped(std::uint64_t n);
+
 /// One routing request, machine-readable.
 struct RouteEvent {
   /// Monotone per-producer sequence number.
@@ -49,6 +55,10 @@ struct RouteEvent {
   /// Stage timings.
   double build_seconds = 0.0;
   double search_seconds = 0.0;
+  /// Causal trace the request belongs to (obs/trace_context.h); 0 when
+  /// tracing is off or the producer predates it.  Appended to the end of
+  /// the JSONL/CSV schema.
+  std::uint64_t trace_id = 0;
 
   friend bool operator==(const RouteEvent&, const RouteEvent&) = default;
 };
@@ -63,16 +73,20 @@ class RouteEventLog {
   RouteEventLog& operator=(const RouteEventLog&) = delete;
 
   void append(RouteEvent event) {
-    const std::scoped_lock lock(mutex_);
-    events_.push_back(std::move(event));
-    if (capacity_ != 0 && events_.size() > capacity_) {
-      events_.erase(events_.begin(),
-                    events_.begin() +
-                        static_cast<std::ptrdiff_t>(events_.size() -
-                                                    capacity_));
-      // Erase in bulk (appends outpace the cap by at most 1, but bulk
-      // keeps the invariant obvious).
+    std::size_t erased = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      events_.push_back(std::move(event));
+      if (capacity_ != 0 && events_.size() > capacity_) {
+        erased = events_.size() - capacity_;
+        events_.erase(events_.begin(),
+                      events_.begin() + static_cast<std::ptrdiff_t>(erased));
+        // Erase in bulk (appends outpace the cap by at most 1, but bulk
+        // keeps the invariant obvious).
+        dropped_ += erased;
+      }
     }
+    if (erased != 0) note_route_events_dropped(erased);
   }
 
   [[nodiscard]] std::vector<RouteEvent> snapshot() const {
@@ -85,6 +99,14 @@ class RouteEventLog {
     return events_.size();
   }
 
+  /// Events discarded by the capacity bound over the log's lifetime (also
+  /// counted in the `lumen.obs.events_dropped` registry counter, so silent
+  /// truncation is visible in exports).
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::scoped_lock lock(mutex_);
+    return dropped_;
+  }
+
   void clear() {
     const std::scoped_lock lock(mutex_);
     events_.clear();
@@ -94,6 +116,7 @@ class RouteEventLog {
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::vector<RouteEvent> events_;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace lumen::obs

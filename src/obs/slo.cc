@@ -1,0 +1,269 @@
+#include "obs/slo.h"
+
+#if LUMEN_OBS_ENABLED
+
+#include <algorithm>
+#include <fstream>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+namespace {
+
+const Counter* find_counter(
+    const std::vector<std::pair<std::string, const Counter*>>& entries,
+    const std::string& name) {
+  for (const auto& [n, c] : entries)
+    if (n == name) return c;
+  return nullptr;
+}
+
+const LatencyHistogram* find_histogram(
+    const std::vector<std::pair<std::string, const LatencyHistogram*>>&
+        entries,
+    const std::string& name) {
+  for (const auto& [n, h] : entries)
+    if (n == name) return h;
+  return nullptr;
+}
+
+}  // namespace
+
+void SloWatchdog::add_rule(SloRule rule) {
+  const std::scoped_lock lock(mutex_);
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.push_back(std::move(state));
+}
+
+std::size_t SloWatchdog::num_rules() const {
+  const std::scoped_lock lock(mutex_);
+  return rules_.size();
+}
+
+std::vector<AlertEvent> SloWatchdog::evaluate(const Registry& registry) {
+  const auto counters = registry.counter_entries();
+  const auto histograms = registry.histogram_entries();
+
+  const std::scoped_lock lock(mutex_);
+  std::vector<AlertEvent> alerts;
+  for (RuleState& state : rules_) {
+    const SloRule& rule = state.rule;
+    double value = 0.0;
+    bool have_value = true;
+
+    switch (rule.kind) {
+      case SloRule::Kind::kCounterValue: {
+        const Counter* c = find_counter(counters, rule.metric);
+        const std::uint64_t now = c != nullptr ? c->value() : 0;
+        if (rule.windowed) {
+          const std::uint64_t delta =
+              now >= state.prev_metric ? now - state.prev_metric : 0;
+          state.prev_metric = now;
+          if (!state.primed) {
+            // The first window has no baseline; observe only.
+            state.primed = true;
+            have_value = false;
+          }
+          value = static_cast<double>(delta);
+        } else {
+          value = static_cast<double>(now);
+        }
+        break;
+      }
+      case SloRule::Kind::kCounterRatio: {
+        const Counter* num = find_counter(counters, rule.metric);
+        const Counter* den = find_counter(counters, rule.denominator);
+        const std::uint64_t num_now = num != nullptr ? num->value() : 0;
+        const std::uint64_t den_now = den != nullptr ? den->value() : 0;
+        std::uint64_t dn = num_now, dd = den_now;
+        if (rule.windowed) {
+          dn = num_now >= state.prev_metric ? num_now - state.prev_metric : 0;
+          dd = den_now >= state.prev_denominator
+                   ? den_now - state.prev_denominator
+                   : 0;
+          state.prev_metric = num_now;
+          state.prev_denominator = den_now;
+          if (!state.primed) {
+            state.primed = true;
+            have_value = false;
+          }
+        }
+        // An empty window holds no evidence either way.
+        if (dd == 0) have_value = false;
+        value = dd == 0 ? 0.0
+                        : static_cast<double>(dn) / static_cast<double>(dd);
+        break;
+      }
+      case SloRule::Kind::kHistogramPercentile: {
+        const LatencyHistogram* h = find_histogram(histograms, rule.metric);
+        if (h == nullptr || h->count() == 0) have_value = false;
+        value = h != nullptr ? h->percentile(rule.quantile) : 0.0;
+        break;
+      }
+    }
+
+    const bool breach =
+        have_value && (rule.cmp == SloRule::Cmp::kGreater
+                           ? value > rule.threshold
+                           : value < rule.threshold);
+    if (breach == state.breaching) continue;
+    // Edge: resolve only on a tick with evidence; a window with no data
+    // leaves the rule in its previous state.
+    if (!breach && !have_value) continue;
+    state.breaching = breach;
+    AlertEvent alert;
+    alert.rule = rule.name;
+    alert.metric = rule.metric;
+    alert.value = value;
+    alert.threshold = rule.threshold;
+    alert.resolved = !breach;
+    alerts.push_back(std::move(alert));
+  }
+  return alerts;
+}
+
+bool SloWatchdog::breaching(const std::string& rule) const {
+  const std::scoped_lock lock(mutex_);
+  for (const RuleState& state : rules_)
+    if (state.rule.name == rule) return state.breaching;
+  return false;
+}
+
+std::string pump_snapshot_to_json(const PumpSnapshot& snapshot) {
+  std::string out = "{\"tick\":" + std::to_string(snapshot.tick);
+  out += ",\"uptime_seconds\":" +
+         detail::fmt_double_exact(snapshot.uptime_seconds);
+  for (const auto& [name, value] : snapshot.counters) {
+    out += ",\"c:";
+    out += detail::json_escape(name);
+    out += "\":" + std::to_string(value);
+  }
+  for (const auto& [name, delta] : snapshot.counter_deltas) {
+    out += ",\"d:";
+    out += detail::json_escape(name);
+    out += "\":" + std::to_string(delta);
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    const std::string key = detail::json_escape(name);
+    out += ",\"h:" + key + ":count\":" + std::to_string(summary.count);
+    out += ",\"h:" + key + ":mean\":" + detail::fmt_double_exact(summary.mean);
+    out += ",\"h:" + key + ":p50\":" + detail::fmt_double_exact(summary.p50);
+    out += ",\"h:" + key + ":p90\":" + detail::fmt_double_exact(summary.p90);
+    out += ",\"h:" + key + ":p99\":" + detail::fmt_double_exact(summary.p99);
+    out += ",\"h:" + key + ":max\":" + detail::fmt_double_exact(summary.max);
+  }
+  out += ",\"alerts\":" + std::to_string(snapshot.alerts.size());
+  out += '}';
+  return out;
+}
+
+MetricsPump::MetricsPump(Registry& registry, PumpOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      born_(std::chrono::steady_clock::now()) {}
+
+MetricsPump::~MetricsPump() { stop(); }
+
+PumpSnapshot MetricsPump::tick() {
+  const std::scoped_lock lock(tick_mutex_);
+  PumpSnapshot snapshot;
+  snapshot.tick = ++tick_count_;
+  snapshot.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - born_)
+          .count();
+
+  for (const auto& [name, counter] : registry_.counter_entries())
+    snapshot.counters.emplace_back(name, counter->value());
+  snapshot.counter_deltas.reserve(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    std::uint64_t prev = 0;
+    const auto it = std::lower_bound(
+        prev_counters_.begin(), prev_counters_.end(), name,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it != prev_counters_.end() && it->first == name) prev = it->second;
+    snapshot.counter_deltas.emplace_back(name,
+                                         value >= prev ? value - prev : 0);
+  }
+  prev_counters_ = snapshot.counters;  // sorted (registry order)
+
+  for (const auto& [name, histogram] : registry_.histogram_entries())
+    snapshot.histograms.emplace_back(name, histogram->summary());
+
+  if (options_.watchdog != nullptr) {
+    snapshot.alerts = options_.watchdog->evaluate(registry_);
+    for (AlertEvent& alert : snapshot.alerts) {
+      alert.tick = snapshot.tick;
+      if (!alert.resolved && options_.recorder != nullptr) {
+        alert.dump_path = options_.recorder->trigger_dump(
+            options_.dump_dir,
+            "slo-" + alert.rule + "-tick" + std::to_string(snapshot.tick));
+      }
+    }
+    if (!snapshot.alerts.empty()) {
+      static Counter& alerts_counter =
+          Registry::global().counter("lumen.obs.alerts");
+      alerts_counter.add(snapshot.alerts.size());
+    }
+  }
+
+  if (!options_.snapshot_path.empty()) {
+    std::ofstream out(options_.snapshot_path, std::ios::app);
+    if (out) {
+      out << pump_snapshot_to_json(snapshot) << '\n';
+      for (const AlertEvent& alert : snapshot.alerts)
+        out << alert_to_json(alert) << '\n';
+    }
+  }
+
+  if (options_.on_snapshot) options_.on_snapshot(snapshot);
+  return snapshot;
+}
+
+void MetricsPump::start() {
+  const std::scoped_lock lock(state_mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void MetricsPump::stop() {
+  std::thread to_join;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    stop_requested_ = true;
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+bool MetricsPump::running() const {
+  const std::scoped_lock lock(state_mutex_);
+  return thread_.joinable();
+}
+
+std::uint64_t MetricsPump::ticks() const {
+  const std::scoped_lock lock(tick_mutex_);
+  return tick_count_;
+}
+
+void MetricsPump::thread_main() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds > 0.0 ? options_.interval_seconds : 1.0);
+  std::unique_lock lock(state_mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; }))
+      break;
+    lock.unlock();
+    (void)tick();
+    lock.lock();
+  }
+}
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

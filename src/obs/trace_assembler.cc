@@ -1,0 +1,198 @@
+#include "obs/trace_assembler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/flat_json.h"
+
+namespace lumen::obs {
+
+namespace {
+
+/// Builds the subtree rooted at record `index` from the grouped children
+/// map (indices into `records`).
+TraceNode build_node(
+    std::span<const CausalSpanRecord> records, std::size_t index,
+    const std::unordered_map<std::uint64_t, std::vector<std::size_t>>&
+        children_of) {
+  TraceNode node;
+  node.span = records[index];
+  const auto it = children_of.find(node.span.span_id);
+  if (it != children_of.end()) {
+    node.children.reserve(it->second.size());
+    for (const std::size_t child : it->second)
+      node.children.push_back(build_node(records, child, children_of));
+  }
+  return node;
+}
+
+void append_json_fields(std::string& out, const CausalSpanRecord& s) {
+  out += "\"trace_id\":" + std::to_string(s.trace_id);
+  out += ",\"span_id\":" + std::to_string(s.span_id);
+  out += ",\"parent_span_id\":" + std::to_string(s.parent_span_id);
+  out += ",\"name\":\"";
+  out += detail::json_escape(s.name != nullptr ? s.name : "");
+  out += '"';
+  if (s.node != kSpanNoNode) out += ",\"node\":" + std::to_string(s.node);
+  out += ",\"start_ns\":" + std::to_string(s.start_ns);
+  out += ",\"duration_ns\":" + std::to_string(s.duration_ns);
+  if (s.vt_begin >= 0.0) {
+    out += ",\"vt_begin\":" + detail::fmt_double_exact(s.vt_begin);
+    out += ",\"vt_end\":" + detail::fmt_double_exact(s.vt_end);
+  }
+  out += ",\"attr0\":" + std::to_string(s.attr0);
+  out += ",\"attr1\":" + std::to_string(s.attr1);
+}
+
+void append_node_json(std::string& out, const TraceNode& node) {
+  out += '{';
+  append_json_fields(out, node.span);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) out += ',';
+    append_node_json(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+void append_node_text(std::string& out, const TraceNode& node,
+                      const std::string& prefix, bool last) {
+  out += prefix;
+  out += last ? "└─ " : "├─ ";
+  out += node.span.name != nullptr ? node.span.name : "<null>";
+  if (node.span.node != kSpanNoNode)
+    out += " node=" + std::to_string(node.span.node);
+  if (node.span.vt_begin >= 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " vt=[%g,%g]", node.span.vt_begin,
+                  node.span.vt_end);
+    out += buf;
+  }
+  if (node.span.attr0 != 0 || node.span.attr1 != 0) {
+    out += " attrs=(" + std::to_string(node.span.attr0) + "," +
+           std::to_string(node.span.attr1) + ")";
+  }
+  {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, " %.3fms",
+                  static_cast<double>(node.span.duration_ns) / 1e6);
+    out += buf;
+  }
+  out += '\n';
+  const std::string child_prefix = prefix + (last ? "   " : "│  ");
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    append_node_text(out, node.children[i], child_prefix,
+                     i + 1 == node.children.size());
+  }
+}
+
+void collect_named(const TraceNode& node, std::string_view name,
+                   std::vector<const TraceNode*>& out) {
+  if (node.span.name != nullptr && name == node.span.name)
+    out.push_back(&node);
+  for (const TraceNode& child : node.children)
+    collect_named(child, name, out);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> trace_ids(
+    std::span<const CausalSpanRecord> spans) {
+  std::vector<std::uint64_t> ids;
+  for (const CausalSpanRecord& s : spans)
+    if (s.trace_id != 0) ids.push_back(s.trace_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+TraceTree assemble_trace(std::span<const CausalSpanRecord> spans,
+                         std::uint64_t trace_id) {
+  TraceTree tree;
+  tree.trace_id = trace_id;
+
+  // Indices of this trace's records, in span-id (= creation) order.
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (spans[i].trace_id == trace_id) members.push_back(i);
+  std::sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+    return spans[a].span_id < spans[b].span_id;
+  });
+  tree.total_spans = members.size();
+  if (members.empty()) return tree;
+
+  std::unordered_map<std::uint64_t, std::size_t> by_span_id;
+  by_span_id.reserve(members.size());
+  for (const std::size_t i : members) by_span_id.emplace(spans[i].span_id, i);
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> children_of;
+  std::vector<std::size_t> roots;
+  for (const std::size_t i : members) {
+    const std::uint64_t parent = spans[i].parent_span_id;
+    if (parent != 0 && by_span_id.contains(parent)) {
+      children_of[parent].push_back(i);
+    } else {
+      roots.push_back(i);
+      if (parent != 0) ++tree.orphans;
+    }
+  }
+
+  tree.roots.reserve(roots.size());
+  for (const std::size_t i : roots)
+    tree.roots.push_back(build_node(spans, i, children_of));
+  return tree;
+}
+
+std::vector<TraceTree> assemble_traces(
+    std::span<const CausalSpanRecord> spans) {
+  std::vector<TraceTree> trees;
+  for (const std::uint64_t id : trace_ids(spans))
+    trees.push_back(assemble_trace(spans, id));
+  return trees;
+}
+
+const TraceNode* find_span(const TraceTree& tree, std::string_view name) {
+  const std::vector<const TraceNode*> all = find_spans(tree, name);
+  return all.empty() ? nullptr : all.front();
+}
+
+std::vector<const TraceNode*> find_spans(const TraceTree& tree,
+                                         std::string_view name) {
+  std::vector<const TraceNode*> out;
+  for (const TraceNode& root : tree.roots) collect_named(root, name, out);
+  return out;
+}
+
+std::string causal_span_to_json(const CausalSpanRecord& span) {
+  std::string out = "{";
+  append_json_fields(out, span);
+  out += '}';
+  return out;
+}
+
+std::string trace_tree_to_json(const TraceTree& tree) {
+  std::string out = "{\"trace_id\":" + std::to_string(tree.trace_id);
+  out += ",\"total_spans\":" + std::to_string(tree.total_spans);
+  out += ",\"orphans\":" + std::to_string(tree.orphans);
+  out += ",\"roots\":[";
+  for (std::size_t i = 0; i < tree.roots.size(); ++i) {
+    if (i != 0) out += ',';
+    append_node_json(out, tree.roots[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_trace_tree(const TraceTree& tree) {
+  std::string out = "trace " + std::to_string(tree.trace_id) + " (" +
+                    std::to_string(tree.total_spans) + " spans";
+  if (tree.orphans != 0)
+    out += ", " + std::to_string(tree.orphans) + " orphaned";
+  out += ")\n";
+  for (std::size_t i = 0; i < tree.roots.size(); ++i)
+    append_node_text(out, tree.roots[i], "", i + 1 == tree.roots.size());
+  return out;
+}
+
+}  // namespace lumen::obs

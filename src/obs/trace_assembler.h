@@ -1,0 +1,80 @@
+// Offline reconstruction of causal trace trees from span records.
+//
+// The distributed routers stamp a TraceContext on every protocol message
+// and emit CausalSpanRecords into a SpanBuffer; this module turns a
+// snapshot of those records back into per-trace trees (span_id /
+// parent_span_id linkage) and renders them as nested JSON or a
+// human-readable indented tree.
+//
+// Everything here is passive data processing — it is always compiled,
+// independent of LUMEN_OBS_DISABLED (a disabled build just never has
+// records to assemble).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span_buffer.h"
+
+namespace lumen::obs {
+
+/// One span with its causal children, ordered by span_id (= creation
+/// order, since span ids are allocated from a process-wide counter).
+struct TraceNode {
+  CausalSpanRecord span;
+  std::vector<TraceNode> children;
+};
+
+/// One reconstructed trace.
+struct TraceTree {
+  std::uint64_t trace_id = 0;
+  /// Top-level spans: parent_span_id 0, or an orphan whose parent is not
+  /// in the snapshot (e.g. evicted by ring wraparound).
+  std::vector<TraceNode> roots;
+  /// Spans in the tree (all records of the trace).
+  std::size_t total_spans = 0;
+  /// Roots whose parent_span_id != 0 (parent record missing).
+  std::size_t orphans = 0;
+};
+
+/// Distinct trace ids present in `spans`, ascending.
+[[nodiscard]] std::vector<std::uint64_t> trace_ids(
+    std::span<const CausalSpanRecord> spans);
+
+/// Reconstructs the tree of one trace (records with other trace ids are
+/// ignored).  Returns an empty tree when the id is absent.
+[[nodiscard]] TraceTree assemble_trace(std::span<const CausalSpanRecord> spans,
+                                       std::uint64_t trace_id);
+
+/// Reconstructs every trace present in `spans`, ordered by trace id.
+[[nodiscard]] std::vector<TraceTree> assemble_traces(
+    std::span<const CausalSpanRecord> spans);
+
+/// Depth-first search for the first node whose span name equals `name`;
+/// nullptr when absent.  Traversal order: roots then children, each in
+/// span-id order.
+[[nodiscard]] const TraceNode* find_span(const TraceTree& tree,
+                                         std::string_view name);
+
+/// All nodes (at any depth) whose span name equals `name`.
+[[nodiscard]] std::vector<const TraceNode*> find_spans(const TraceTree& tree,
+                                                       std::string_view name);
+
+/// One span as a single-line flat JSON object (no newline) — the shape
+/// the flight recorder dumps use.
+[[nodiscard]] std::string causal_span_to_json(const CausalSpanRecord& span);
+
+/// The whole tree as nested JSON: {"trace_id":…,"total_spans":…,
+/// "orphans":…,"roots":[{…,"children":[…]}]}.
+[[nodiscard]] std::string trace_tree_to_json(const TraceTree& tree);
+
+/// Human-readable indented rendering, one span per line:
+///   trace 7 (12 spans)
+///   └─ dist.sync.run node=0 vt=[0,9] 1.2ms
+///      ├─ dist.node_round node=1 vt=[1,1] …
+[[nodiscard]] std::string render_trace_tree(const TraceTree& tree);
+
+}  // namespace lumen::obs

@@ -5,8 +5,10 @@
 
 #include "core/liang_shen.h"
 #include "graph/dijkstra.h"  // kInfiniteCost
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace lumen {
 
@@ -131,6 +133,14 @@ std::optional<SessionId> SessionManager::open(NodeId source, NodeId target) {
       obs::Registry::global().histogram("lumen.rwa.open_latency_ns");
   offered_counter.add();
   obs::TraceSpan open_span("rwa.open");
+  // Ambient causal root of the request: the engine query (and, for
+  // distributed policies, the whole protocol run) nests under it, and the
+  // trace id is stamped onto the request's RouteEvents so the flight
+  // recorder can correlate events with spans end-to-end.
+  obs::CausalSpan causal_span("rwa.open");
+  causal_span.set_node(source.value());
+  causal_span.set_attributes(source.value(), target.value());
+  current_trace_id_ = causal_span.trace_id();
 
   const RouteResult route = route_request(source, target);
   if (!route.found) {
@@ -171,7 +181,6 @@ void SessionManager::set_telemetry(obs::RouteEventLog* events,
 void SessionManager::record_event(NodeId source, NodeId target,
                                   const RouteResult& route,
                                   const char* outcome) {
-  if (event_log_ == nullptr) return;
   obs::RouteEvent event;
   event.sequence = event_sequence_++;
   event.source = source.value();
@@ -190,7 +199,12 @@ void SessionManager::record_event(NodeId source, NodeId target,
   event.heap_pops = route.stats.search_pops;
   event.build_seconds = route.stats.build_seconds;
   event.search_seconds = route.stats.search_seconds;
-  event_log_->append(std::move(event));
+  event.trace_id = current_trace_id_;
+  // Every event is mirrored into the global flight recorder (a bounded
+  // ring, a no-op ring under LUMEN_OBS_DISABLED) so a triggered dump
+  // always holds the recent history even without an attached log.
+  obs::FlightRecorder::global().record_event(event);
+  if (event_log_ != nullptr) event_log_->append(std::move(event));
 }
 
 void SessionManager::maybe_snapshot_metrics() {
@@ -261,6 +275,14 @@ SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
   LUMEN_REQUIRE(b.value() < net_.num_nodes());
   FailureReport report;
 
+  // Causal root of the repair storm: every reroute attempt (and its
+  // engine queries) nests under it, and the rerouted/dropped events carry
+  // its trace id.
+  obs::CausalSpan fail_span_span("rwa.fail_span");
+  fail_span_span.set_node(a.value());
+  fail_span_span.set_attributes(a.value(), b.value());
+  current_trace_id_ = fail_span_span.trace_id();
+
   // 1. Take the span's links down (both directions).
   std::vector<char> failing(net_.num_links(), 0);
   for (std::uint32_t ei = 0; ei < net_.num_links(); ++ei) {
@@ -290,6 +312,9 @@ SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
     if (!hit) continue;
     ++report.affected;
     release_resources(record);
+    obs::CausalSpan reroute_span("rwa.reroute");
+    reroute_span.set_node(record.source.value());
+    reroute_span.set_attributes(id.value(), 0);
     const RouteResult reroute = route_request(record.source, record.target);
     if (reroute.found) {
       reserve(record, reroute);

@@ -239,6 +239,9 @@ class SessionManager {
   std::uint32_t metrics_every_ = 0;
   std::uint64_t event_sequence_ = 0;
   std::vector<MetricsSnapshot> metrics_series_;
+  /// Causal trace of the request currently being served (open/fail_span);
+  /// stamped onto its RouteEvents.  0 when tracing is compiled out.
+  std::uint64_t current_trace_id_ = 0;
 };
 
 }  // namespace lumen

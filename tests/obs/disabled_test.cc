@@ -9,9 +9,14 @@
 #include <sstream>
 
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_server.h"
 #include "obs/obs.h"
 #include "obs/registry.h"
+#include "obs/slo.h"
+#include "obs/span_buffer.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 static_assert(LUMEN_OBS_ENABLED == 0,
               "LUMEN_OBS_DISABLED must switch the gate off");
@@ -65,6 +70,78 @@ TEST(DisabledObsTest, SpansAndCollectorAreInert) {
 
 TEST(DisabledObsTest, PrometheusExportIsEmpty) {
   EXPECT_EQ(prometheus_text(Registry::global()), "");
+}
+
+TEST(DisabledObsTest, CausalSpansAndContextAreInert) {
+  EXPECT_FALSE(current_trace_context().valid());
+  CausalSpan ambient("outer");
+  EXPECT_EQ(ambient.trace_id(), 0u);
+  EXPECT_EQ(ambient.span_id(), 0u);
+  EXPECT_FALSE(ambient.context().valid());
+  ambient.set_node(3);
+  ambient.set_virtual_interval(1.0, 2.0);
+  ambient.set_attributes(4, 5);
+  ambient.close();
+
+  TraceContext parent;
+  parent.trace_id = 99;
+  parent.parent_span_id = 7;
+  CausalSpan child("inner", parent);
+  EXPECT_EQ(child.trace_id(), 0u);
+  ScopedTraceContext adopt(parent);
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST(DisabledObsTest, SpanBufferStoresNothing) {
+  SpanBuffer& buffer = SpanBuffer::global();
+  buffer.emit(CausalSpanRecord{});
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 0u);
+  EXPECT_EQ(buffer.total_emitted(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_TRUE(buffer.snapshot().empty());
+  buffer.clear();
+}
+
+TEST(DisabledObsTest, FlightRecorderRecordsAndDumpsNothing) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  RouteEvent e;
+  e.sequence = 1;
+  recorder.record_event(e);
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.event_capacity(), 0u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  EXPECT_EQ(recorder.dump_string(), "");
+  EXPECT_FALSE(recorder.dump("/nonexistent/dir/file.jsonl"));
+  EXPECT_EQ(recorder.trigger_dump(".", "tag"), "");
+}
+
+TEST(DisabledObsTest, WatchdogNeverBreachesAndPumpTicksEmpty) {
+  SloWatchdog dog;
+  dog.add_rule(SloRule::counter_value("r", "m", 0.0));
+  EXPECT_EQ(dog.num_rules(), 1u);
+  EXPECT_TRUE(dog.evaluate().empty());
+  EXPECT_FALSE(dog.breaching("r"));
+
+  MetricsPump pump;
+  const PumpSnapshot snapshot = pump.tick();
+  EXPECT_EQ(snapshot.tick, 1u);
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.alerts.empty());
+  pump.start();
+  EXPECT_FALSE(pump.running());
+  pump.stop();
+  EXPECT_EQ(pump.ticks(), 1u);
+  EXPECT_NE(pump_snapshot_to_json(snapshot).find("\"tick\":1"),
+            std::string::npos);
+}
+
+TEST(DisabledObsTest, MetricsServerNeverBinds) {
+  EXPECT_EQ(serve_metrics(0), nullptr);
+  MetricsServer server(0);
+  EXPECT_FALSE(server.ok());
+  EXPECT_EQ(server.port(), 0);
+  server.stop();
 }
 
 TEST(DisabledObsTest, RouteEventLogStillWorks) {

@@ -28,6 +28,7 @@ RouteEvent sample_event(std::uint64_t sequence) {
   e.heap_pops = 64;
   e.build_seconds = 0.00125;
   e.search_seconds = 0.0005;
+  e.trace_id = 0xabcdef01;
   return e;
 }
 
@@ -120,6 +121,77 @@ TEST(ExportTest, PrometheusCountersAndHistograms) {
 TEST(ExportTest, PrometheusEmptyRegistryIsEmpty) {
   Registry registry;
   EXPECT_EQ(prometheus_text(registry), "");
+}
+
+TEST(ExportTest, TraceIdRidesAtTheEndOfBothSchemas) {
+  const RouteEvent e = sample_event(9);
+  const std::string json = route_event_to_json(e);
+  // Appended last so pre-v2 consumers keyed on field order stay valid.
+  EXPECT_NE(json.find("\"trace_id\":2882400001}"), std::string::npos);
+
+  std::stringstream csv;
+  write_route_events_csv(csv, std::vector<RouteEvent>{e});
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(csv, header));
+  ASSERT_TRUE(std::getline(csv, row));
+  EXPECT_EQ(header.substr(header.size() - 9), ",trace_id");
+  EXPECT_EQ(row.substr(row.size() - 11), ",2882400001");
+}
+
+TEST(ExportTest, PrometheusSummaryGaugesBehindFlag) {
+  Registry registry;
+  LatencyHistogram& h = registry.histogram("lumen.test.latency_ns");
+  for (int i = 0; i < 100; ++i) h.record(64);
+
+  // Default: native histogram only, no summary rendering.
+  const std::string native = prometheus_text(registry);
+  EXPECT_NE(native.find("# TYPE lumen_test_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_EQ(native.find("summary"), std::string::npos);
+
+  PrometheusOptions options;
+  options.summary_gauges = true;
+  const std::string both = prometheus_text(registry, options);
+  // The legacy rendering appears under a suffixed name so the two typed
+  // metrics never collide.
+  EXPECT_NE(both.find("# TYPE lumen_test_latency_ns_summary summary"),
+            std::string::npos);
+  EXPECT_NE(both.find("lumen_test_latency_ns_summary{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(both.find("lumen_test_latency_ns_summary_count 100"),
+            std::string::npos);
+  EXPECT_NE(both.find("lumen_test_latency_ns_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+
+  options.native_histograms = false;
+  const std::string summary_only = prometheus_text(registry, options);
+  EXPECT_EQ(summary_only.find("_bucket{"), std::string::npos);
+  EXPECT_NE(summary_only.find("_summary{quantile=\"0.5\"} "),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusRendersFaultInstruments) {
+  Registry registry;
+  registry.counter("lumen.dist.faults.retransmit_sweeps").add(7);
+  registry.counter("lumen.dist.faults.stale_offers").add(19);
+  registry.counter("lumen.dist.faults.redundant_retransmits").add(4);
+  registry.histogram("lumen.dist.faults.recovery_rounds").record(12);
+
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("# TYPE lumen_dist_faults_retransmit_sweeps counter\n"
+                      "lumen_dist_faults_retransmit_sweeps 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lumen_dist_faults_stale_offers 19"), std::string::npos);
+  EXPECT_NE(text.find("lumen_dist_faults_redundant_retransmits 4"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE lumen_dist_faults_recovery_rounds histogram"),
+      std::string::npos);
+  EXPECT_NE(text.find("lumen_dist_faults_recovery_rounds_bucket{le=\"15\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lumen_dist_faults_recovery_rounds_sum 12"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,285 @@
+// lumen_top — live terminal view of the obs MetricsPump snapshot stream.
+//
+//   $ ./lumen_top <snapshot.jsonl> [--interval S] [--once]
+//   $ ./lumen_top --demo [--once] [--serve PORT]
+//
+// Tail mode follows a JSONL sink written by obs::MetricsPump (see
+// PumpOptions::snapshot_path): every refresh it re-reads the file, picks
+// the newest snapshot line, and renders counters, window deltas, latency
+// summaries, and any alert lines as a refreshing terminal table.  The
+// parser is the same flat-JSON reader the exporters use, so lumen_top
+// needs no dependencies beyond the lumen libraries themselves.
+//
+//   --interval S   refresh period in seconds (default 1.0)
+//   --once         render the newest snapshot once and exit (no clearing)
+//
+// Demo mode is a self-contained traffic generator: it drives an online
+// RWA workload on the ARPANET backbone, ticks a local MetricsPump with a
+// blocking-ratio SLO watchdog attached, and renders each tick's snapshot
+// directly — a one-command way to see the whole v2 pipeline (instruments
+// → pump → watchdog → flight-recorder dump) without wiring up a real
+// deployment.  With --serve PORT it also exposes the live registry as a
+// Prometheus text endpoint on 127.0.0.1:PORT.
+//
+// Under LUMEN_OBS_DISABLED everything still compiles and links; the demo
+// then renders empty snapshots (the instruments are no-ops) and --serve
+// reports that the endpoint is compiled out.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/flat_json.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_server.h"
+#include "obs/registry.h"
+#include "obs/slo.h"
+#include "rwa/session_manager.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace lumen;
+
+namespace {
+
+struct Options {
+  std::string snapshot_path;
+  double interval_seconds = 1.0;
+  bool once = false;
+  bool demo = false;
+  int serve_port = -1;  // < 0: no endpoint
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lumen_top <snapshot.jsonl> [--interval S] [--once]\n"
+               "       lumen_top --demo [--once] [--serve PORT]\n");
+}
+
+/// Renders one pump snapshot (plus any trailing alert lines) as tables.
+void render(const obs::PumpSnapshot& snapshot,
+            const std::vector<std::string>& alert_lines, bool clear_screen) {
+  std::string out;
+  if (clear_screen) out += "\x1b[2J\x1b[H";
+  out += "lumen_top — tick " + std::to_string(snapshot.tick) + ", uptime " +
+         fmt_double(snapshot.uptime_seconds, 1) + "s, alerts " +
+         std::to_string(snapshot.alerts.size()) + "\n\n";
+
+  if (!snapshot.counters.empty()) {
+    Table counters({"counter", "total", "delta"});
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+      const std::uint64_t delta = i < snapshot.counter_deltas.size()
+                                      ? snapshot.counter_deltas[i].second
+                                      : 0;
+      counters.add_row({snapshot.counters[i].first,
+                        fmt_int(static_cast<std::int64_t>(
+                            snapshot.counters[i].second)),
+                        "+" + std::to_string(delta)});
+    }
+    out += counters.to_markdown() + "\n";
+  }
+
+  if (!snapshot.histograms.empty()) {
+    Table latencies({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& [name, summary] : snapshot.histograms)
+      latencies.add_row({name,
+                         fmt_int(static_cast<std::int64_t>(summary.count)),
+                         fmt_sci(summary.mean), fmt_sci(summary.p50),
+                         fmt_sci(summary.p90), fmt_sci(summary.p99)});
+    out += latencies.to_markdown() + "\n";
+  }
+
+  for (const obs::AlertEvent& alert : snapshot.alerts) {
+    out += (alert.resolved ? "RESOLVED " : "ALERT    ") + alert.rule + ": " +
+           alert.metric + " = " + fmt_double(alert.value, 4) +
+           " (threshold " + fmt_double(alert.threshold, 4) + ")";
+    if (!alert.dump_path.empty()) out += " — dump: " + alert.dump_path;
+    out += '\n';
+  }
+  for (const std::string& line : alert_lines) out += line + '\n';
+  if (snapshot.counters.empty() && snapshot.histograms.empty())
+    out += "(no instruments in this snapshot)\n";
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+/// Parses one pump_snapshot_to_json line back into a PumpSnapshot.
+/// Key scheme: "tick", "uptime_seconds", "c:<name>", "d:<name>",
+/// "h:<name>:<field>", "alerts".
+obs::PumpSnapshot parse_snapshot_line(const std::string& line,
+                                      std::size_t line_no) {
+  obs::PumpSnapshot snapshot;
+  std::vector<std::pair<std::string, obs::HistogramSummary>>& hists =
+      snapshot.histograms;
+  obs::detail::FlatJsonParser parser(line, line_no);
+  parser.parse([&](const std::string& key, const std::string&, double number,
+                   bool is_string) {
+    if (is_string) return;
+    if (key == "tick") {
+      snapshot.tick = static_cast<std::uint64_t>(number);
+    } else if (key == "uptime_seconds") {
+      snapshot.uptime_seconds = number;
+    } else if (key.rfind("c:", 0) == 0) {
+      snapshot.counters.emplace_back(key.substr(2),
+                                     static_cast<std::uint64_t>(number));
+    } else if (key.rfind("d:", 0) == 0) {
+      snapshot.counter_deltas.emplace_back(key.substr(2),
+                                           static_cast<std::uint64_t>(number));
+    } else if (key.rfind("h:", 0) == 0) {
+      const std::size_t colon = key.rfind(':');
+      const std::string name = key.substr(2, colon - 2);
+      const std::string field = key.substr(colon + 1);
+      if (hists.empty() || hists.back().first != name)
+        hists.emplace_back(name, obs::HistogramSummary{});
+      obs::HistogramSummary& summary = hists.back().second;
+      if (field == "count") summary.count = static_cast<std::uint64_t>(number);
+      else if (field == "mean") summary.mean = number;
+      else if (field == "p50") summary.p50 = number;
+      else if (field == "p90") summary.p90 = number;
+      else if (field == "p99") summary.p99 = number;
+      else if (field == "max") summary.max = number;
+    }
+  });
+  return snapshot;
+}
+
+/// Tail mode: newest snapshot line + any alert lines after it.
+int run_tail(const Options& options) {
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::uint64_t last_rendered = 0;
+  while (true) {
+    std::ifstream in(options.snapshot_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "lumen_top: cannot read %s\n",
+                   options.snapshot_path.c_str());
+      return 1;
+    }
+    std::string newest;
+    std::size_t newest_line_no = 0;
+    std::vector<std::string> alerts_after;
+    std::size_t line_no = 0;
+    for (std::string line; std::getline(in, line);) {
+      ++line_no;
+      if (line.empty()) continue;
+      if (line.find("\"tick\":") != std::string::npos &&
+          line.find("\"alert\":") == std::string::npos) {
+        newest = line;
+        newest_line_no = line_no;
+        alerts_after.clear();
+      } else if (line.find("\"alert\":") != std::string::npos) {
+        alerts_after.push_back(line);
+      }
+    }
+    if (newest.empty()) {
+      std::fprintf(stderr, "lumen_top: no snapshots in %s yet\n",
+                   options.snapshot_path.c_str());
+      if (options.once) return 1;
+    } else {
+      const obs::PumpSnapshot snapshot =
+          parse_snapshot_line(newest, newest_line_no);
+      if (options.once || snapshot.tick != last_rendered) {
+        render(snapshot, alerts_after, tty && !options.once);
+        last_rendered = snapshot.tick;
+      }
+    }
+    if (options.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.interval_seconds));
+  }
+}
+
+/// Demo mode: online ARPANET workload + local pump with an SLO watchdog.
+int run_demo(const Options& options) {
+  constexpr std::uint32_t kWavelengths = 4;
+  Rng rng(0x70901ULL);
+  const Topology topo = arpanet_topology();
+  const Availability avail =
+      full_availability(topo, kWavelengths, CostSpec::distance(10.0), rng);
+  SessionManager manager(
+      assemble_network(topo, kWavelengths, avail,
+                       std::make_shared<UniformConversion>(0.5)),
+      RoutingPolicy::kSemilightpath);
+  const std::uint32_t n = manager.residual().num_nodes();
+
+  obs::SloWatchdog watchdog;
+  watchdog.add_rule(obs::SloRule::ratio("blocking", "lumen.rwa.blocked",
+                                        "lumen.rwa.offered", 0.2));
+  obs::PumpOptions pump_options;
+  pump_options.watchdog = &watchdog;
+  pump_options.recorder = &obs::FlightRecorder::global();
+  obs::MetricsPump pump(obs::Registry::global(), pump_options);
+
+  std::unique_ptr<obs::MetricsServer> server;
+  if (options.serve_port >= 0) {
+    server = obs::serve_metrics(static_cast<std::uint16_t>(options.serve_port));
+    if (server)
+      std::fprintf(stderr, "serving http://127.0.0.1:%u/metrics\n",
+                   static_cast<unsigned>(server->port()));
+    else
+      std::fprintf(stderr, "metrics endpoint unavailable "
+                           "(compiled out or bind failed)\n");
+  }
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::vector<SessionId> active;
+  while (true) {
+    // One round of churn: a burst of arrivals, then random departures.
+    for (int i = 0; i < 32; ++i) {
+      const NodeId s{static_cast<std::uint32_t>(rng.next_below(n))};
+      NodeId t{static_cast<std::uint32_t>(rng.next_below(n))};
+      while (t == s) t = NodeId{static_cast<std::uint32_t>(rng.next_below(n))};
+      if (const auto id = manager.open(s, t)) active.push_back(*id);
+    }
+    while (active.size() > 64) {
+      const std::size_t victim = rng.next_below(active.size());
+      (void)manager.close(active[victim]);
+      active[victim] = active.back();
+      active.pop_back();
+    }
+    render(pump.tick(), {}, tty && !options.once);
+    if (options.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.interval_seconds));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--once") == 0) {
+      options.once = true;
+    } else if (std::strcmp(arg, "--demo") == 0) {
+      options.demo = true;
+    } else if (std::strcmp(arg, "--interval") == 0 && i + 1 < argc) {
+      options.interval_seconds = std::atof(argv[++i]);
+      if (options.interval_seconds <= 0.0) options.interval_seconds = 1.0;
+    } else if (std::strcmp(arg, "--serve") == 0 && i + 1 < argc) {
+      options.serve_port = std::atoi(argv[++i]);
+    } else if (arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      options.snapshot_path = arg;
+    }
+  }
+  if (options.demo) return run_demo(options);
+  if (options.snapshot_path.empty()) {
+    usage();
+    return 2;
+  }
+  return run_tail(options);
+}
