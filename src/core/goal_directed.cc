@@ -4,30 +4,66 @@
 
 #include "core/aux_graph.h"
 #include "graph/dijkstra.h"
+#include "obs/registry.h"
 #include "util/stopwatch.h"
 
 namespace lumen {
 
 namespace {
 
-/// Lower bound on the cost of reaching t from every physical node:
-/// reverse Dijkstra on the physical topology with each link weighted by
-/// its cheapest available wavelength.
-std::vector<double> physical_lower_bounds(const WdmNetwork& net, NodeId t) {
-  // Build the reverse physical graph once.
-  Digraph reversed(net.num_nodes());
-  reversed.reserve_links(net.num_links());
-  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
-    const LinkId e{ei};
-    reversed.add_link(net.head(e), net.tail(e), net.min_link_cost(e));
+/// Same lumen.core.search.* family the RouteEngine emits, so dashboards
+/// see one coherent search-effort stream across every goal-directed path.
+struct SearchInstruments {
+  obs::Counter& pops =
+      obs::Registry::global().counter("lumen.core.search.pops");
+  obs::Counter& settled =
+      obs::Registry::global().counter("lumen.core.search.settled");
+  obs::Counter& pruned =
+      obs::Registry::global().counter("lumen.core.search.pruned");
+
+  static SearchInstruments& get() {
+    static SearchInstruments instruments;
+    return instruments;
   }
-  return dijkstra(reversed, t).dist;
-}
+};
 
 }  // namespace
 
+const double* AstarPotentialCache::bounds_for(const WdmNetwork& net, NodeId t) {
+  if (rev_phys_ == nullptr || owner_ != &net) {
+    // (Re)build the reversed cheapest-wavelength snapshot.  CsrDigraph::
+    // reversed packs in-links per node, so a forward-built Digraph with
+    // each physical link at its min cost is all we need.
+    Digraph base(net.num_nodes());
+    base.reserve_links(net.num_links());
+    for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+      const LinkId e{ei};
+      base.add_link(net.tail(e), net.head(e), net.min_link_cost(e));
+    }
+    rev_phys_ = std::make_unique<CsrDigraph>(CsrDigraph::reversed(base));
+    owner_ = &net;
+    target_ = kNoTarget;
+  }
+  if (target_ != t.value()) {
+    scratch_.begin(rev_phys_->num_nodes());
+    const NodeId sources[1] = {t};
+    (void)dijkstra_csr_run(*rev_phys_, sources, scratch_);
+    dist_.resize(net.num_nodes());
+    for (std::uint32_t v = 0; v < net.num_nodes(); ++v)
+      dist_[v] = scratch_.dist(NodeId{v});
+    target_ = t.value();
+  }
+  return dist_.data();
+}
+
 RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
                                       NodeId t) {
+  AstarPotentialCache cache;
+  return route_semilightpath_astar(net, s, t, cache);
+}
+
+RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s, NodeId t,
+                                      AstarPotentialCache& cache) {
   LUMEN_REQUIRE(s.value() < net.num_nodes());
   LUMEN_REQUIRE(t.value() < net.num_nodes());
   RouteResult result;
@@ -39,7 +75,7 @@ RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
 
   Stopwatch build_clock;
   const AuxiliaryGraph aux = AuxiliaryGraph::build_single_pair(net, s, t);
-  const std::vector<double> lb = physical_lower_bounds(net, t);
+  const double* lb = cache.bounds_for(net, t);
   result.stats.build_seconds = build_clock.seconds();
   result.stats.aux_nodes = aux.stats().total_nodes();
   result.stats.aux_links = aux.stats().total_links();
@@ -86,12 +122,15 @@ RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
   if (h0 < kInfiniteCost) {
     handle[source.value()] = heap.push(h0, source.value());
     in_heap[source.value()] = 1;
+  } else {
+    ++result.stats.search_pruned;
   }
 
   while (!heap.empty()) {
     const auto [f, u_raw] = heap.pop_min();
     (void)f;
     ++result.stats.search_pops;
+    ++result.stats.search_settled;
     in_heap[u_raw] = 0;
     settled[u_raw] = 1;
     const NodeId u{u_raw};
@@ -102,24 +141,30 @@ RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
       if (w == kInfiniteCost) continue;
       const NodeId v = g.head(e);
       if (settled[v.value()]) continue;  // consistent h: safe to skip
-      const double hv = potential(v);
-      if (hv == kInfiniteCost) continue;  // cannot reach t physically
       const double candidate = du + w;
-      if (candidate < dist[v.value()]) {
-        dist[v.value()] = candidate;
-        parent[v.value()] = e;
-        ++result.stats.search_relaxations;
-        const double fv = candidate + hv;
-        if (in_heap[v.value()]) {
-          heap.decrease_key(handle[v.value()], fv);
-        } else {
-          handle[v.value()] = heap.push(fv, v.value());
-          in_heap[v.value()] = 1;
-        }
+      if (candidate >= dist[v.value()]) continue;
+      const double hv = potential(v);
+      if (hv == kInfiniteCost) {  // cannot reach t physically
+        ++result.stats.search_pruned;
+        continue;
+      }
+      dist[v.value()] = candidate;
+      parent[v.value()] = e;
+      ++result.stats.search_relaxations;
+      const double fv = candidate + hv;
+      if (in_heap[v.value()]) {
+        heap.decrease_key(handle[v.value()], fv);
+      } else {
+        handle[v.value()] = heap.push(fv, v.value());
+        in_heap[v.value()] = 1;
       }
     }
   }
   result.stats.search_seconds = search_clock.seconds();
+  SearchInstruments& instruments = SearchInstruments::get();
+  instruments.pops.add(result.stats.search_pops);
+  instruments.settled.add(result.stats.search_settled);
+  instruments.pruned.add(result.stats.search_pruned);
 
   if (dist[sink.value()] == kInfiniteCost) {
     result.found = false;

@@ -10,17 +10,79 @@
 // each physical link it crosses).  A* with this potential returns the same
 // optimum with strictly fewer heap pops — the `bench_goal_directed`
 // ablation quantifies the savings.
+//
+// The potential is reusable: AstarPotentialCache keeps the reversed
+// physical snapshot and the last target's distance row across calls, so a
+// query stream (especially one with repeated targets) pays the reverse
+// Dijkstra once instead of per call.  For amortizing the *auxiliary graph*
+// as well, use RouteEngine with QueryOptions{.goal_directed = true}.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "core/route_types.h"
+#include "graph/csr.h"
 #include "wdm/network.h"
 
 namespace lumen {
 
+/// Caller-owned potential state for route_semilightpath_astar: the
+/// reversed cheapest-wavelength physical snapshot plus the most recent
+/// target's distance-to-t row.  One cache serves one network and one
+/// thread at a time.
+///
+/// Invalidation is the caller's job.  The cached bounds were computed on
+/// the wavelength costs current at fill time; they stay *admissible*
+/// (and the search stays optimal) as long as no cost drops below that
+/// snapshot — reserving wavelengths or failing links only raises costs
+/// and merely makes the bounds prune less.  After any change that can
+/// LOWER a cost (release, repair, re-pricing) call invalidate(), or the
+/// next query may return a suboptimal route.
+class AstarPotentialCache {
+ public:
+  /// Drops the snapshot and the cached target row; the next query
+  /// rebuilds both from the network's current costs.
+  void invalidate() noexcept {
+    rev_phys_.reset();
+    owner_ = nullptr;
+    target_ = kNoTarget;
+  }
+
+  /// True when a snapshot is loaded (the next same-network query skips
+  /// the rebuild; a same-target query also skips the reverse Dijkstra).
+  [[nodiscard]] bool warm() const noexcept { return rev_phys_ != nullptr; }
+
+ private:
+  friend RouteResult route_semilightpath_astar(const WdmNetwork& net, NodeId s,
+                                               NodeId t,
+                                               AstarPotentialCache& cache);
+
+  static constexpr std::uint32_t kNoTarget = 0xffffffffu;
+
+  /// Returns the per-physical-node lower-bound row for target t, filling
+  /// snapshot and row as needed.
+  const double* bounds_for(const WdmNetwork& net, NodeId t);
+
+  std::unique_ptr<CsrDigraph> rev_phys_;  ///< reversed min-cost physical CSR
+  const WdmNetwork* owner_ = nullptr;     ///< network the snapshot mirrors
+  std::uint32_t target_ = kNoTarget;
+  std::vector<double> dist_;  ///< dist_[v] = lower bound on d(v, target_)
+  SearchScratch scratch_;
+};
+
 /// Optimal semilightpath from s to t via goal-directed A* over G_{s,t}.
 /// Result contract identical to route_semilightpath (same optimum; the
-/// stats reflect the reduced search).
+/// stats reflect the reduced search).  This overload builds its potential
+/// from scratch each call; prefer the cache overload for query streams.
 [[nodiscard]] RouteResult route_semilightpath_astar(const WdmNetwork& net,
                                                     NodeId s, NodeId t);
+
+/// Same, reusing `cache` for the potential (see AstarPotentialCache for
+/// the invalidation contract).
+[[nodiscard]] RouteResult route_semilightpath_astar(const WdmNetwork& net,
+                                                    NodeId s, NodeId t,
+                                                    AstarPotentialCache& cache);
 
 }  // namespace lumen

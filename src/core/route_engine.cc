@@ -29,17 +29,42 @@ struct EngineInstruments {
       obs::Registry::global().counter("lumen.route.engine.weight_patches");
   obs::LatencyHistogram& latency =
       obs::Registry::global().histogram("lumen.route.engine.latency_ns");
+  // Search-effort family shared by every engine search path (and the
+  // standalone A*), so lumen_top / the Prometheus endpoint can watch the
+  // pruning win live: pruned / (pruned + relax-attempts) is the fraction
+  // of frontier work goal direction removed.
+  obs::Counter& search_pops =
+      obs::Registry::global().counter("lumen.core.search.pops");
+  obs::Counter& search_settled =
+      obs::Registry::global().counter("lumen.core.search.settled");
+  obs::Counter& search_pruned =
+      obs::Registry::global().counter("lumen.core.search.pruned");
 
   static EngineInstruments& get() {
     static EngineInstruments instruments;
     return instruments;
   }
+
+  void record_search(const CsrRunStats& run) {
+    search_pops.add(run.pops);
+    search_settled.add(run.settled);
+    search_pruned.add(run.pruned);
+  }
 };
+
+/// Unique per-engine identity for scratch-resident potential caches; never
+/// zero (zero marks an empty cache slot).
+std::uint64_t next_potential_token() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 }  // namespace
 
-RouteEngine::RouteEngine(const WdmNetwork& net)
-    : n_(net.num_nodes()), k_(net.num_wavelengths()) {
+RouteEngine::RouteEngine(const WdmNetwork& net, const Options& options)
+    : n_(net.num_nodes()),
+      k_(net.num_wavelengths()),
+      potential_token_(next_potential_token()) {
   Stopwatch timer;
   obs::TraceSpan build_span("route.engine.build");
 
@@ -53,6 +78,30 @@ RouteEngine::RouteEngine(const WdmNetwork& net)
     const NodeId v{vi};
     for (const auto& [lambda, y] : aux.y_nodes(v)) sources_of_[vi].push_back(y);
     for (const auto& [lambda, x] : aux.x_nodes(v)) sinks_of_[vi].push_back(x);
+  }
+  core_phys_.resize(core_->num_nodes());
+  for (std::uint32_t a = 0; a < core_->num_nodes(); ++a)
+    core_phys_[a] = aux.node_info(NodeId{a}).node.value();
+
+  // --- goal direction: base-weight lower-bound machinery ------------------
+  // The physical topology with each link at its *base* cheapest-wavelength
+  // cost.  Every semilightpath suffix pays at least this per physical link
+  // crossed (conversions cost >= 0), and residual patches only raise
+  // weights, so distances on this snapshot lower-bound every future
+  // residual query — the zero-invalidation invariant.
+  {
+    Stopwatch landmark_timer;
+    Digraph base_min(n_);
+    for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+      const LinkId e{ei};
+      base_min.add_link(net.tail(e), net.head(e), net.min_link_cost(e));
+    }
+    rev_base_ = std::make_unique<CsrDigraph>(CsrDigraph::reversed(base_min));
+    landmarks_ =
+        select_landmarks(base_min, options.num_landmarks,
+                         options.landmark_seed);
+    stats_.landmarks = landmarks_.num_landmarks;
+    stats_.landmark_seconds = landmark_timer.seconds();
   }
 
   // --- lightpath cache: one physical CSR, one weight row per λ -----------
@@ -94,6 +143,9 @@ RouteEngine::RouteEngine(const WdmNetwork& net)
                 return a.lambda < b.lambda;
               });
   }
+  base_core_weights_.resize(core_->num_links());
+  for (std::uint32_t slot = 0; slot < core_->num_links(); ++slot)
+    base_core_weights_[slot] = core_->link(slot).weight;
 
   stats_.core_nodes = core_->num_nodes();
   stats_.core_links = core_->num_links();
@@ -115,7 +167,32 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t) {
 }
 
 RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
-                                             SearchScratch& scratch) const {
+                                             const QueryOptions& query) {
+  return route_semilightpath(s, t, scratch_, query);
+}
+
+const double* RouteEngine::target_potential(NodeId t,
+                                            SearchScratch& scratch) const {
+  SearchScratch::TargetPotential& slot = scratch.target_potential();
+  if (slot.owner != potential_token_ || slot.target != t.value()) {
+    // Miss: one reverse Dijkstra over the base-weight physical topology —
+    // O(m log n), small next to the core search it then prunes.  Hits
+    // (repeated queries / batches to the same target) cost nothing.
+    scratch.begin(rev_base_->num_nodes());
+    const NodeId sources[1] = {t};
+    (void)dijkstra_csr_run(*rev_base_, sources, scratch);
+    slot.dist.resize(n_);
+    for (std::uint32_t v = 0; v < n_; ++v)
+      slot.dist[v] = scratch.dist(NodeId{v});
+    slot.owner = potential_token_;
+    slot.target = t.value();
+  }
+  return slot.dist.data();
+}
+
+RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
+                                             SearchScratch& scratch,
+                                             const QueryOptions& query) const {
   LUMEN_REQUIRE(s.value() < n_);
   LUMEN_REQUIRE(t.value() < n_);
   EngineInstruments& instruments = EngineInstruments::get();
@@ -135,6 +212,13 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
   result.stats.aux_links = core_->num_links();
   Stopwatch timer;
 
+  // The per-target table must be resolved before scratch.begin() below:
+  // filling it on a miss runs its own search in the same scratch.
+  const bool goal = query.goal_directed;
+  const double* to_target = goal && query.use_target_potential
+                                ? target_potential(t, scratch)
+                                : nullptr;
+
   // Virtual terminals: every y_s(λ) is a distance-0 seed (≡ the zero-weight
   // s' → Y_s ties), every x_t(λ) a sink; the first settled sink is the best
   // endpoint over all arrival wavelengths (≡ the zero-weight X_t → t''
@@ -142,10 +226,33 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
   scratch.begin(core_->num_nodes());
   for (const NodeId x : sinks_of_[t.value()]) scratch.mark_sink(x);
   CsrRunStats run_stats;
-  const NodeId hit =
-      dijkstra_csr_run(*core_, sources_of_[s.value()], scratch, &run_stats);
+  NodeId hit;
+  if (goal) {
+    // π_t over core nodes = max of the active base-weight bounds for the
+    // node's physical site.  Both bounds are 0 at t itself, so every sink
+    // has potential 0 and the first settled sink is still the cheapest.
+    const bool use_alt = query.use_landmarks && !landmarks_.empty();
+    const std::uint32_t tv = t.value();
+    const auto potential = [&](std::uint32_t aux_node) {
+      const std::uint32_t p = core_phys_[aux_node];
+      double h = to_target != nullptr ? to_target[p] : 0.0;
+      if (use_alt && h < kInfiniteCost) {
+        const double alt = landmarks_.potential(p, tv);
+        if (alt > h) h = alt;
+      }
+      return h;
+    };
+    hit = astar_csr_run(*core_, sources_of_[s.value()], scratch, potential,
+                        &run_stats);
+  } else {
+    hit = dijkstra_csr_run(*core_, sources_of_[s.value()], scratch,
+                           &run_stats);
+  }
+  instruments.record_search(run_stats);
   result.stats.search_pops = run_stats.pops;
+  result.stats.search_settled = run_stats.settled;
   result.stats.search_relaxations = run_stats.relaxations;
+  result.stats.search_pruned = run_stats.pruned;
   result.stats.search_seconds = timer.seconds();
 
 #if LUMEN_OBS_ENABLED
@@ -228,7 +335,9 @@ RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t,
     const NodeId hit = dijkstra_csr_run(*phys_, sources, scratch, &run_stats,
                                         row);
     ++best.stats.wavelengths_searched;
+    instruments.record_search(run_stats);
     best.stats.search_pops += run_stats.pops;
+    best.stats.search_settled += run_stats.settled;
     best.stats.search_relaxations += run_stats.relaxations;
     if (!hit.valid() || scratch.dist(hit) >= best.cost) continue;
 
@@ -260,12 +369,12 @@ RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t,
 
 std::vector<RouteResult> RouteEngine::route_many(
     std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads,
-    QueryKind kind) const {
+    QueryKind kind, const QueryOptions& query) const {
   std::vector<RouteResult> results(pairs.size());
   const auto route_one = [&](std::size_t i, SearchScratch& scratch) {
     const auto& [s, t] = pairs[i];
     results[i] = kind == QueryKind::kSemilightpath
-                     ? route_semilightpath(s, t, scratch)
+                     ? route_semilightpath(s, t, scratch, query)
                      : route_lightpath(s, t, scratch);
   };
 
@@ -327,6 +436,9 @@ void RouteEngine::release(const ReserveHandle& handle) {
 
 void RouteEngine::set_weight(LinkId e, Wavelength lambda, double weight) {
   const auto [core_slot, weight_index] = locate(e, lambda);
+  LUMEN_REQUIRE_MSG(weight >= base_core_weights_[core_slot],
+                    "patched weight below the build-time base breaks the "
+                    "goal-direction lower bounds; build a new RouteEngine");
   core_->set_weight(core_slot, weight);
   lightpath_weights_[weight_index] = weight;
   EngineInstruments::get().weight_patches.add();

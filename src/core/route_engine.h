@@ -25,6 +25,18 @@
 //     per λ — k searches per query, zero construction.
 //   * route_many() fans a batch of queries over a ThreadPool; the
 //     flattened core is searched concurrently with per-thread scratch.
+//   * Goal direction (QueryOptions{goal_directed}): single-pair queries
+//     run multi-source A* instead of uniform Dijkstra, keyed by
+//     f = g + π_t(v) where π_t combines (max) two base-weight lower
+//     bounds — ALT landmark bounds precomputed at build time, and an
+//     exact cheapest-wavelength reverse Dijkstra to t computed lazily
+//     once per target and cached in the scratch.  Both are *base*-weight
+//     distances, which is what makes them residual-safe with zero
+//     invalidation: weight patches only ever raise a link's weight above
+//     its base value (reserve/fail → +inf, release/repair → restore
+//     base; set_weight enforces this), so the bounds stay admissible and
+//     consistent for the engine's whole lifetime.  Pruning degrades
+//     gracefully as load rises; correctness never does.
 //
 // Invalidation rules: weight-only residual changes (reserve/release of a
 // wavelength that exists in the base network, span failure/repair) are
@@ -41,6 +53,7 @@
 
 #include "core/route_types.h"
 #include "graph/csr.h"
+#include "graph/landmarks.h"
 #include "wdm/network.h"
 
 namespace lumen {
@@ -52,9 +65,34 @@ namespace lumen {
 /// (SessionManager does this for the engine-backed policies).
 class RouteEngine {
  public:
+  /// Build-time configuration.
+  struct Options {
+    /// ALT landmarks precomputed on the physical topology at build time
+    /// (farthest-point selection, base cheapest-wavelength weights).
+    /// 0 disables the tables; goal-directed queries then rely on the
+    /// per-target reverse-Dijkstra potential alone.
+    std::uint32_t num_landmarks = 8;
+    /// Seed of the deterministic farthest-point selection.
+    std::uint64_t landmark_seed = 0x1a27'5eedULL;
+  };
+
+  /// Per-query configuration.
+  struct QueryOptions {
+    /// Run the semilightpath query as goal-directed A* (same optimum,
+    /// fewer heap pops — see stats search_pops/settled/pruned).
+    bool goal_directed = false;
+    /// Include the ALT landmark term in the potential (needs tables;
+    /// no-op when the engine was built with num_landmarks = 0).
+    bool use_landmarks = true;
+    /// Include the exact per-target reverse-Dijkstra term (lazily
+    /// computed once per target, cached in the scratch).
+    bool use_target_potential = true;
+  };
+
   /// Builds the flattened core from the network's current availability
   /// (one-time O(k²n + km) cost; see stats().build_seconds).
-  explicit RouteEngine(const WdmNetwork& net);
+  explicit RouteEngine(const WdmNetwork& net) : RouteEngine(net, Options{}) {}
+  RouteEngine(const WdmNetwork& net, const Options& options);
 
   // --- queries ----------------------------------------------------------
 
@@ -66,7 +104,14 @@ class RouteEngine {
   /// thread (the engine itself is then safe to share read-only).
   [[nodiscard]] RouteResult route_semilightpath(NodeId s, NodeId t);
   [[nodiscard]] RouteResult route_semilightpath(NodeId s, NodeId t,
-                                                SearchScratch& scratch) const;
+                                                const QueryOptions& query);
+  [[nodiscard]] RouteResult route_semilightpath(NodeId s, NodeId t,
+                                                SearchScratch& scratch) const {
+    return route_semilightpath(s, t, scratch, QueryOptions{});
+  }
+  [[nodiscard]] RouteResult route_semilightpath(NodeId s, NodeId t,
+                                                SearchScratch& scratch,
+                                                const QueryOptions& query) const;
 
   /// Optimal lightpath (single wavelength end-to-end) s -> t: one early-
   /// exit Dijkstra per wavelength over the shared physical CSR.
@@ -79,10 +124,17 @@ class RouteEngine {
   /// Routes a batch of (s, t) queries concurrently over the immutable
   /// flattened core (threads = 0 → one per hardware thread; 1 → inline).
   /// results[i] answers pairs[i].  Weights must not be patched while a
-  /// batch is in flight.
+  /// batch is in flight.  `query` applies to semilightpath batches; each
+  /// worker owns a scratch, so goal-directed batches sorted by target
+  /// amortize the per-target potential within a worker.
   [[nodiscard]] std::vector<RouteResult> route_many(
       std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads = 0,
-      QueryKind kind = QueryKind::kSemilightpath) const;
+      QueryKind kind = QueryKind::kSemilightpath) const {
+    return route_many(pairs, threads, kind, QueryOptions{});
+  }
+  [[nodiscard]] std::vector<RouteResult> route_many(
+      std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads,
+      QueryKind kind, const QueryOptions& query) const;
 
   // --- in-place residual updates ------------------------------------------
 
@@ -103,7 +155,11 @@ class RouteEngine {
   void release(const ReserveHandle& handle);
 
   /// Sets w(e, λ) to `weight` (may be +inf: link down / λ unavailable).
-  /// Span failure/repair path.  Requires λ ∈ base Λ(e).
+  /// Span failure/repair path.  Requires λ ∈ base Λ(e), and `weight` must
+  /// not drop below the base w(e, λ) — the goal-direction invariant (base
+  /// distances stay admissible lower bounds) depends on weights only ever
+  /// rising above their build-time snapshot.  Discounting a link below
+  /// base is a structural change: build a new engine.
   void set_weight(LinkId e, Wavelength lambda, double weight);
 
   /// Current (patched) w(e, λ); +inf when λ ∉ base Λ(e) or patched out.
@@ -115,7 +171,9 @@ class RouteEngine {
     std::uint64_t core_nodes = 0;          ///< gadget nodes of G'
     std::uint64_t core_links = 0;          ///< gadget + transmission links
     std::uint64_t transmission_slots = 0;  ///< patchable (e, λ) slots
+    std::uint32_t landmarks = 0;           ///< ALT landmarks precomputed
     double build_seconds = 0.0;            ///< one-time flatten cost
+    double landmark_seconds = 0.0;         ///< of which: landmark tables
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -137,6 +195,10 @@ class RouteEngine {
   /// when λ was not in the base Λ(e) — a structural change needs a rebuild.
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> locate(
       LinkId e, Wavelength lambda) const;
+  /// Returns the per-physical-node base distance-to-t table, filling the
+  /// scratch's token-stamped cache slot (one reverse Dijkstra) on miss.
+  [[nodiscard]] const double* target_potential(NodeId t,
+                                               SearchScratch& scratch) const;
 
   std::uint32_t n_ = 0;  ///< physical nodes
   std::uint32_t k_ = 0;  ///< wavelength universe size
@@ -146,6 +208,18 @@ class RouteEngine {
   std::vector<SlotInfo> slot_info_;             // per core slot
   std::vector<std::vector<NodeId>> sources_of_; // Y_v (aux node ids)
   std::vector<std::vector<NodeId>> sinks_of_;   // X_v (aux node ids)
+  std::vector<std::uint32_t> core_phys_;        // core node -> physical node
+
+  // Goal direction: base-weight lower-bound machinery.  All of it is
+  // frozen at build time (see the residual-safety invariant above).
+  LandmarkTables landmarks_;
+  /// Reversed physical topology, each link weighted by its *base*
+  /// cheapest-wavelength cost (the per-target potential's search graph).
+  std::unique_ptr<CsrDigraph> rev_base_;
+  /// Base (build-time) weight per core slot; set_weight's floor.
+  std::vector<double> base_core_weights_;
+  /// Identity token stamped into scratch-resident potential caches.
+  std::uint64_t potential_token_ = 0;
 
   // Per-link sorted (λ, core transmission slot) table for O(log k0) patch
   // lookup; entries parallel a (λ, phys weight index) table.

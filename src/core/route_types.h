@@ -22,8 +22,15 @@ struct RouteStats {
   std::uint64_t wavelengths_searched = 0;
   /// Heap pops during the shortest-path search.
   std::uint64_t search_pops = 0;
+  /// Nodes settled by the search (== search_pops for the heap codes here,
+  /// which never lazy-delete; kept explicit so goal-directed and plain
+  /// searches report comparable effort).
+  std::uint64_t search_settled = 0;
   /// Successful relaxations during the search.
   std::uint64_t search_relaxations = 0;
+  /// Relaxations skipped because a goal-directed potential proved the
+  /// node cannot reach the target (0 for uninformed searches).
+  std::uint64_t search_pruned = 0;
   /// Seconds spent building the auxiliary graph.
   double build_seconds = 0.0;
   /// Seconds spent in the shortest-path search.

@@ -20,6 +20,22 @@ CsrDigraph::CsrDigraph(const Digraph& g) {
   offsets_[g.num_nodes()] = cursor;
 }
 
+CsrDigraph CsrDigraph::reversed(const Digraph& g) {
+  CsrDigraph csr;
+  csr.offsets_.resize(g.num_nodes() + 1);
+  csr.links_.reserve(g.num_links());
+  std::size_t cursor = 0;
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    csr.offsets_[v] = cursor;
+    for (const LinkId e : g.in_links(NodeId{v})) {
+      csr.links_.push_back(OutLink{g.tail(e), g.weight(e), e});
+      ++cursor;
+    }
+  }
+  csr.offsets_[g.num_nodes()] = cursor;
+  return csr;
+}
+
 NodeId CsrDigraph::tail(std::uint32_t slot) const {
   LUMEN_REQUIRE(slot < num_links());
   // offsets_ is non-decreasing with offsets_[v] <= slot < offsets_[v+1]
@@ -47,7 +63,10 @@ void SearchScratch::begin(std::uint32_t num_nodes) {
     dist_.resize(num_nodes, kInfiniteCost);
     parent_.resize(num_nodes, CsrDigraph::kInvalidSlot);
     state_.resize(num_nodes, 0);
+    key_.resize(num_nodes, kInfiniteCost);
     pos_.resize(num_nodes, 0);
+    pot_stamp_.resize(num_nodes, 0);
+    pot_.resize(num_nodes, 0.0);
   }
   ++generation_;  // O(1) invalidation of all per-node state
   heap_.clear();
@@ -58,14 +77,18 @@ void SearchScratch::mark_sink(NodeId v) {
   sink_stamp_[v.value()] = generation_;
 }
 
-void SearchScratch::heap_push(std::uint32_t v) {
+void SearchScratch::heap_push(std::uint32_t v, double key) {
+  key_[v] = key;
   heap_.push_back(v);
   pos_[v] = static_cast<std::uint32_t>(heap_.size() - 1);
   state_[v] = kInHeap;
   sift_up(heap_.size() - 1);
 }
 
-void SearchScratch::heap_decrease(std::uint32_t v) { sift_up(pos_[v]); }
+void SearchScratch::heap_decrease(std::uint32_t v, double key) {
+  key_[v] = key;
+  sift_up(pos_[v]);
+}
 
 std::uint32_t SearchScratch::heap_pop_min() {
   const std::uint32_t top = heap_.front();
@@ -81,11 +104,11 @@ std::uint32_t SearchScratch::heap_pop_min() {
 
 void SearchScratch::sift_up(std::size_t i) {
   const std::uint32_t v = heap_[i];
-  const double key = dist_[v];
+  const double key = key_[v];
   while (i > 0) {
     const std::size_t up = (i - 1) / 4;
     const std::uint32_t u = heap_[up];
-    if (dist_[u] <= key) break;
+    if (key_[u] <= key) break;
     heap_[i] = u;
     pos_[u] = static_cast<std::uint32_t>(i);
     i = up;
@@ -96,16 +119,16 @@ void SearchScratch::sift_up(std::size_t i) {
 
 void SearchScratch::sift_down(std::size_t i) {
   const std::uint32_t v = heap_[i];
-  const double key = dist_[v];
+  const double key = key_[v];
   const std::size_t size = heap_.size();
   while (true) {
     const std::size_t first_child = 4 * i + 1;
     if (first_child >= size) break;
     const std::size_t last_child = std::min(first_child + 4, size);
     std::size_t best = first_child;
-    double best_key = dist_[heap_[first_child]];
+    double best_key = key_[heap_[first_child]];
     for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      const double ck = dist_[heap_[c]];
+      const double ck = key_[heap_[c]];
       if (ck < best_key) {
         best = c;
         best_key = ck;
@@ -135,14 +158,17 @@ NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
     if (scratch.dist_[s.value()] > 0.0) {
       scratch.dist_[s.value()] = 0.0;
       scratch.parent_[s.value()] = CsrDigraph::kInvalidSlot;
-      scratch.heap_push(s.value());
+      scratch.heap_push(s.value(), 0.0);
     }
   }
 
   while (!scratch.heap_.empty()) {
     const std::uint32_t u = scratch.heap_pop_min();
     scratch.state_[u] = SearchScratch::kSettled;
-    if (stats != nullptr) ++stats->pops;
+    if (stats != nullptr) {
+      ++stats->pops;
+      ++stats->settled;
+    }
     if (scratch.sink_stamp_[u] == scratch.generation_) return NodeId{u};
     const double du = scratch.dist_[u];
 
@@ -161,9 +187,9 @@ NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
         scratch.parent_[v] = slot;
         if (stats != nullptr) ++stats->relaxations;
         if (queued) {
-          scratch.heap_decrease(v);
+          scratch.heap_decrease(v, candidate);
         } else {
-          scratch.heap_push(v);
+          scratch.heap_push(v, candidate);
         }
       }
     }

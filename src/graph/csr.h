@@ -40,6 +40,14 @@ class CsrDigraph {
   /// Snapshots `g` (O(n + m)).
   explicit CsrDigraph(const Digraph& g);
 
+  /// Snapshots the *reversed* graph: slot (v, e) holds link e of g packed
+  /// under its head v, pointing back at g.tail(e).  Searches over this
+  /// view compute distances *to* a node (the reverse-Dijkstra potentials
+  /// of goal-directed routing).  Slot order differs from the forward CSR,
+  /// so per-slot weight rows built against one view do not apply to the
+  /// other; `original` ids stay those of g.
+  [[nodiscard]] static CsrDigraph reversed(const Digraph& g);
+
   [[nodiscard]] std::uint32_t num_nodes() const noexcept {
     return static_cast<std::uint32_t>(offsets_.size() - 1);
   }
@@ -85,9 +93,22 @@ class CsrDigraph {
   [[nodiscard]] std::vector<std::uint32_t> slots_by_original() const;
 
  private:
+  CsrDigraph() = default;  // backs the reversed() factory
+
   std::vector<std::size_t> offsets_;  // n+1 entries
   std::vector<OutLink> links_;
 };
+
+class SearchScratch;
+struct CsrRunStats;
+
+/// Declared here (defaults live on this declaration) so it can be a
+/// friend of SearchScratch; definition below the class.
+template <class Potential>
+NodeId astar_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
+                     SearchScratch& scratch, Potential&& potential,
+                     CsrRunStats* stats = nullptr,
+                     std::span<const double> weights = {});
 
 /// Reusable search state for dijkstra_csr_run.  Buffers are sized to the
 /// graph once and invalidated lazily via generation stamps, so after
@@ -102,6 +123,23 @@ class SearchScratch {
   /// Opens a new query over an `num_nodes`-node graph: grows the buffers
   /// if needed and invalidates all per-node state from previous queries.
   void begin(std::uint32_t num_nodes);
+
+  /// A token-stamped per-target distance table for goal-directed searches.
+  /// The owner (a RouteEngine, identified by a unique token) fills it
+  /// lazily — one reverse Dijkstra on the first query to `target` — and
+  /// reuses it while (owner, target) match, so batches and repeated
+  /// queries to the same target amortize the potential computation.  The
+  /// tables hold *base*-weight distances, which stay admissible for the
+  /// owner's whole lifetime (weight patches only ever raise weights), so
+  /// no weight-change invalidation is ever needed.
+  struct TargetPotential {
+    std::uint64_t owner = 0;  ///< 0 = empty slot
+    std::uint32_t target = 0xffffffffu;
+    std::vector<double> dist;  ///< per-node distance-to-target
+  };
+  [[nodiscard]] TargetPotential& target_potential() noexcept {
+    return target_potential_;
+  }
 
   /// Marks v as a sink of the current query (search stops at the first
   /// settled sink).
@@ -127,8 +165,12 @@ class SearchScratch {
 
  private:
   friend NodeId dijkstra_csr_run(const CsrDigraph&, std::span<const NodeId>,
-                                 SearchScratch&, struct CsrRunStats*,
+                                 SearchScratch&, CsrRunStats*,
                                  std::span<const double>);
+  template <class Potential>
+  friend NodeId astar_csr_run(const CsrDigraph&, std::span<const NodeId>,
+                              SearchScratch&, Potential&&, CsrRunStats*,
+                              std::span<const double>);
 
   static constexpr std::uint8_t kInHeap = 1;
   static constexpr std::uint8_t kSettled = 2;
@@ -143,9 +185,10 @@ class SearchScratch {
     }
   }
 
-  // --- indexed 4-ary heap over node ids, keyed by dist_ -----------------
-  void heap_push(std::uint32_t v);
-  void heap_decrease(std::uint32_t v);
+  // --- indexed 4-ary heap over node ids, keyed by key_ ------------------
+  // (Dijkstra pushes key == dist; A* pushes key == dist + potential.)
+  void heap_push(std::uint32_t v, double key);
+  void heap_decrease(std::uint32_t v, double key);
   std::uint32_t heap_pop_min();
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
@@ -156,14 +199,24 @@ class SearchScratch {
   std::vector<double> dist_;
   std::vector<std::uint32_t> parent_;  // CSR slot
   std::vector<std::uint8_t> state_;    // kInHeap / kSettled (stamped)
-  std::vector<std::uint32_t> heap_;    // node ids, min-ordered by dist_
+  std::vector<double> key_;            // heap ordering key (f-value)
+  std::vector<std::uint32_t> heap_;    // node ids, min-ordered by key_
   std::vector<std::uint32_t> pos_;     // heap position (valid while kInHeap)
+  // Per-query memo of the A* potential (evaluating it costs O(L) per
+  // node, and a node can be relaxed many times before settling).
+  std::vector<std::uint64_t> pot_stamp_;
+  std::vector<double> pot_;
+  TargetPotential target_potential_;
 };
 
-/// Per-run effort counters of dijkstra_csr_run.
+/// Per-run effort counters of dijkstra_csr_run / astar_csr_run.
 struct CsrRunStats {
   std::uint64_t pops = 0;
+  std::uint64_t settled = 0;  ///< == pops (no lazy deletion), kept explicit
   std::uint64_t relaxations = 0;
+  /// Relaxations (or seeds) skipped because the potential proved the node
+  /// cannot reach the target; 0 for uninformed Dijkstra runs.
+  std::uint64_t pruned = 0;
 };
 
 /// Multi-source, early-exit Dijkstra over a CSR arena.
@@ -182,6 +235,88 @@ struct CsrRunStats {
 NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
                         SearchScratch& scratch, CsrRunStats* stats = nullptr,
                         std::span<const double> weights = {});
+
+/// Goal-directed (A*) variant of dijkstra_csr_run.
+///
+/// `potential(v)` must be an *admissible, consistent* lower bound on the
+/// remaining cost from node v to every marked sink (kInfiniteCost when v
+/// provably cannot reach one — such nodes are pruned outright and counted
+/// in CsrRunStats::pruned).  The heap is ordered by f = dist + potential;
+/// settled distances (scratch.dist()) are true g-costs, so results are
+/// exchangeable with dijkstra_csr_run's.  With a consistent potential the
+/// first settled sink is still the cheapest one (all sinks must have
+/// potential 0), and every settled node carries its optimal distance.
+/// The potential is evaluated at most once per touched node per query
+/// (memoized in the scratch).
+template <class Potential>
+NodeId astar_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
+                     SearchScratch& scratch, Potential&& potential,
+                     CsrRunStats* stats, std::span<const double> weights) {
+  LUMEN_REQUIRE(weights.empty() || weights.size() == g.num_links());
+  const bool overridden = !weights.empty();
+
+  const auto pot_of = [&](std::uint32_t v) -> double {
+    if (scratch.pot_stamp_[v] != scratch.generation_) {
+      scratch.pot_stamp_[v] = scratch.generation_;
+      scratch.pot_[v] = potential(v);
+    }
+    return scratch.pot_[v];
+  };
+
+  for (const NodeId s : sources) {
+    LUMEN_REQUIRE(s.value() < g.num_nodes());
+    scratch.touch(s.value());
+    if (scratch.dist_[s.value()] > 0.0) {
+      const double h = pot_of(s.value());
+      if (h == kInfiniteCost) {
+        if (stats != nullptr) ++stats->pruned;
+        continue;
+      }
+      scratch.dist_[s.value()] = 0.0;
+      scratch.parent_[s.value()] = CsrDigraph::kInvalidSlot;
+      scratch.heap_push(s.value(), h);
+    }
+  }
+
+  while (!scratch.heap_.empty()) {
+    const std::uint32_t u = scratch.heap_pop_min();
+    scratch.state_[u] = SearchScratch::kSettled;
+    if (stats != nullptr) {
+      ++stats->pops;
+      ++stats->settled;
+    }
+    if (scratch.sink_stamp_[u] == scratch.generation_) return NodeId{u};
+    const double du = scratch.dist_[u];
+
+    const auto [first, last] = g.out_slot_range(NodeId{u});
+    for (std::uint32_t slot = first; slot < last; ++slot) {
+      const CsrDigraph::OutLink& out = g.link(slot);
+      const double w = overridden ? weights[slot] : out.weight;
+      if (w == kInfiniteCost) continue;
+      const std::uint32_t v = out.head.value();
+      scratch.touch(v);
+      if (scratch.state_[v] == SearchScratch::kSettled) continue;
+      const double candidate = du + w;
+      if (candidate < scratch.dist_[v]) {
+        const double hv = pot_of(v);
+        if (hv == kInfiniteCost) {
+          if (stats != nullptr) ++stats->pruned;
+          continue;
+        }
+        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
+        scratch.dist_[v] = candidate;
+        scratch.parent_[v] = slot;
+        if (stats != nullptr) ++stats->relaxations;
+        if (queued) {
+          scratch.heap_decrease(v, candidate + hv);
+        } else {
+          scratch.heap_push(v, candidate + hv);
+        }
+      }
+    }
+  }
+  return NodeId::invalid();
+}
 
 /// Dijkstra over the CSR view (Fibonacci heap).  Semantics identical to
 /// dijkstra() on the originating Digraph — parent links are original ids.

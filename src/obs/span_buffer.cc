@@ -16,6 +16,23 @@ namespace {
 std::uint64_t d2u(double v) { return std::bit_cast<std::uint64_t>(v); }
 double u2d(std::uint64_t v) { return std::bit_cast<double>(v); }
 
+// ThreadSanitizer does not model std::atomic_thread_fence (GCC rejects it
+// outright under -Werror=tsan), so under tsan the seqlock's fence+relaxed
+// word accesses become ordered per-word accesses: release stores keep the
+// odd marker ahead of the payload, acquire loads keep the payload ahead of
+// the seq re-check.  Plain builds keep the cheaper fence form.
+#if defined(__SANITIZE_THREAD__)
+constexpr std::memory_order kWordStore = std::memory_order_release;
+constexpr std::memory_order kWordLoad = std::memory_order_acquire;
+void release_fence() {}
+void acquire_fence() {}
+#else
+constexpr std::memory_order kWordStore = std::memory_order_relaxed;
+constexpr std::memory_order kWordLoad = std::memory_order_relaxed;
+void release_fence() { std::atomic_thread_fence(std::memory_order_release); }
+void acquire_fence() { std::atomic_thread_fence(std::memory_order_acquire); }
+#endif
+
 }  // namespace
 
 SpanBuffer::SpanBuffer(std::size_t capacity) {
@@ -37,7 +54,7 @@ void SpanBuffer::emit(const CausalSpanRecord& r) {
   // racing readers discard inconsistent copies by the seq check), even
   // marker with release so a reader seeing it also sees the words.
   slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
+  release_fence();
   const std::uint64_t words[kWords] = {
       r.trace_id,
       r.span_id,
@@ -52,7 +69,7 @@ void SpanBuffer::emit(const CausalSpanRecord& r) {
       r.attr1,
   };
   for (std::size_t i = 0; i < kWords; ++i)
-    slot.words[i].store(words[i], std::memory_order_relaxed);
+    slot.words[i].store(words[i], kWordStore);
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
 
   if (ticket >= capacity_) {
@@ -76,8 +93,8 @@ std::vector<CausalSpanRecord> SpanBuffer::snapshot() const {
       if (seq1 & 1) continue;     // write in progress — retry
       std::uint64_t words[kWords];
       for (std::size_t i = 0; i < kWords; ++i)
-        words[i] = slot.words[i].load(std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_acquire);
+        words[i] = slot.words[i].load(kWordLoad);
+      acquire_fence();
       const std::uint64_t seq2 = slot.seq.load(std::memory_order_relaxed);
       if (seq1 != seq2) continue;  // torn read — retry
       CausalSpanRecord r;

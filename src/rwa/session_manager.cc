@@ -21,6 +21,7 @@ const char* policy_name(RoutingPolicy policy) {
     case RoutingPolicy::kSemilightpath: return "semilightpath";
     case RoutingPolicy::kSemilightpathEngine: return "semilightpath_engine";
     case RoutingPolicy::kLightpathEngine: return "lightpath_engine";
+    case RoutingPolicy::kGoalDirectedEngine: return "goal_directed_engine";
   }
   return "unknown";
 }
@@ -113,6 +114,9 @@ RouteResult SessionManager::route_request(NodeId source, NodeId target) const {
       return engine_->route_semilightpath(source, target);
     case RoutingPolicy::kLightpathEngine:
       return engine_->route_lightpath(source, target);
+    case RoutingPolicy::kGoalDirectedEngine:
+      return engine_->route_semilightpath(
+          source, target, RouteEngine::QueryOptions{.goal_directed = true});
   }
   LUMEN_ASSERT(false);
 }

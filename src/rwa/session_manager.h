@@ -24,6 +24,9 @@
 //   kSemilightpathEngine — kSemilightpath served by the build-once engine.
 //   kLightpathEngine     — kLightpathBestCost served by the engine's
 //                          per-wavelength subnetwork cache.
+//   kGoalDirectedEngine  — kSemilightpathEngine with goal-directed A*
+//                          (ALT landmarks + per-target potential): same
+//                          routes and costs, fewer heap pops per request.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +56,7 @@ enum class RoutingPolicy {
   kSemilightpath,
   kSemilightpathEngine,
   kLightpathEngine,
+  kGoalDirectedEngine,
 };
 
 /// One carried connection.
@@ -215,7 +219,8 @@ class SessionManager {
   /// True for the build-once engine-backed policies.
   [[nodiscard]] bool uses_engine() const noexcept {
     return policy_ == RoutingPolicy::kSemilightpathEngine ||
-           policy_ == RoutingPolicy::kLightpathEngine;
+           policy_ == RoutingPolicy::kLightpathEngine ||
+           policy_ == RoutingPolicy::kGoalDirectedEngine;
   }
 
   WdmNetwork net_;  // residual availability (mutated)

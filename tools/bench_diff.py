@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag hot-path regressions.
+
+The repo's checked-in BENCH_N.json files wrap google-benchmark output:
+a top-level dict with "experiment"/"description" plus nested sections,
+any of which may hold a google-benchmark result ({"context": ...,
+"benchmarks": [...]}) or scalar summary numbers.  This tool flattens
+every benchmark entry it can find in both files — keyed by the JSON path
+to its section plus the benchmark name — and compares real_time for the
+entries present in both.
+
+Exit status 1 when any shared benchmark regressed by more than the
+threshold (default 10%), 0 otherwise.  Benchmarks present in only one
+file are reported but never fail the run (series come and go across
+PRs); aggregate rows other than the base run_type=="iteration" entries
+(mean/median/stddev) are skipped so repetition sweeps do not double
+count.
+
+Usage:
+  bench_diff.py BASELINE.json CANDIDATE.json [--threshold-pct 10]
+  bench_diff.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten_benchmarks(node, path=""):
+    """Yields (key, entry) for every google-benchmark result dict found
+    anywhere under `node`.  The key is "<section path>/<name>"."""
+    if isinstance(node, dict):
+        benchmarks = node.get("benchmarks")
+        if isinstance(benchmarks, list):
+            for entry in benchmarks:
+                if not isinstance(entry, dict) or "name" not in entry:
+                    continue
+                if entry.get("run_type", "iteration") != "iteration":
+                    continue  # skip mean/median/stddev aggregate rows
+                yield f"{path}/{entry['name']}", entry
+        for key, value in node.items():
+            if key == "benchmarks":
+                continue
+            yield from flatten_benchmarks(value, f"{path}/{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten_benchmarks(value, f"{path}[{i}]")
+
+
+def load(path):
+    with open(path) as f:
+        return dict(flatten_benchmarks(json.load(f)))
+
+
+def rekey_by_name(flat):
+    """Drops the section path from keys, keeping the benchmark name only.
+    Names that appear in more than one section are ambiguous and removed."""
+    by_name = {}
+    dupes = set()
+    for key, entry in flat.items():
+        name = entry.get("name", key)
+        if name in by_name:
+            dupes.add(name)
+        by_name[name] = entry
+    return {k: v for k, v in by_name.items() if k not in dupes}
+
+
+def compare(baseline, candidate, threshold_pct):
+    """Returns (regressions, report_lines) comparing real_time maps."""
+    regressions = []
+    lines = []
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared and baseline and candidate:
+        # Typical when a raw `bench --json` capture is compared against a
+        # checked-in wrapper (whose runs sit under a "runs" section): the
+        # path-qualified keys are disjoint, so fall back to benchmark
+        # names, dropping any name that is ambiguous within one file.
+        base_names = rekey_by_name(baseline)
+        cand_names = rekey_by_name(candidate)
+        if set(base_names) & set(cand_names):
+            lines.append("note: no shared section paths; comparing by "
+                         "benchmark name")
+            baseline, candidate = base_names, cand_names
+            shared = sorted(set(baseline) & set(candidate))
+    for key in shared:
+        base = baseline[key].get("real_time")
+        cand = candidate[key].get("real_time")
+        if not isinstance(base, (int, float)) or not isinstance(
+                cand, (int, float)) or base <= 0:
+            continue
+        delta_pct = 100.0 * (cand - base) / base
+        marker = " "
+        if delta_pct > threshold_pct:
+            marker = "!"
+            regressions.append((key, delta_pct))
+        unit = baseline[key].get("time_unit", "ns")
+        lines.append(f"{marker} {key}: {base:.3f} -> {cand:.3f} {unit} "
+                     f"({delta_pct:+.1f}%)")
+    for key in sorted(set(baseline) - set(candidate)):
+        lines.append(f"- {key}: only in baseline")
+    for key in sorted(set(candidate) - set(baseline)):
+        lines.append(f"+ {key}: only in candidate")
+    if not shared:
+        lines.append("warning: no shared benchmarks between the two files")
+    return regressions, lines
+
+
+def self_test():
+    """Exercises flattening and comparison on synthetic documents."""
+    baseline = {
+        "experiment": "E0",
+        "runs": {
+            "context": {},
+            "benchmarks": [
+                {"name": "BM_Fast/64", "real_time": 100.0,
+                 "time_unit": "us"},
+                {"name": "BM_Fast/64_mean", "run_type": "aggregate",
+                 "real_time": 101.0},
+                {"name": "BM_Gone/1", "real_time": 5.0},
+            ],
+        },
+    }
+    improved = {
+        "runs": {"benchmarks": [
+            {"name": "BM_Fast/64", "real_time": 95.0, "time_unit": "us"},
+            {"name": "BM_New/1", "real_time": 1.0},
+        ]}
+    }
+    regressed = {
+        "runs": {"benchmarks": [
+            {"name": "BM_Fast/64", "real_time": 150.0, "time_unit": "us"},
+        ]}
+    }
+    base = dict(flatten_benchmarks(baseline))
+    assert set(base) == {"/runs/BM_Fast/64", "/runs/BM_Gone/1"}, base
+
+    ok, _ = compare(base, dict(flatten_benchmarks(improved)), 10.0)
+    assert ok == [], ok
+    bad, _ = compare(base, dict(flatten_benchmarks(regressed)), 10.0)
+    assert len(bad) == 1 and bad[0][0] == "/runs/BM_Fast/64", bad
+    # A 50% regression passes a 60% threshold.
+    ok, _ = compare(base, dict(flatten_benchmarks(regressed)), 60.0)
+    assert ok == [], ok
+
+    # A raw google-benchmark capture (no wrapper section) against the
+    # wrapped baseline: disjoint paths, matched by name instead.
+    raw = {"context": {}, "benchmarks": [
+        {"name": "BM_Fast/64", "real_time": 150.0, "time_unit": "us"},
+    ]}
+    bad, lines = compare(base, dict(flatten_benchmarks(raw)), 10.0)
+    assert len(bad) == 1 and bad[0][0] == "BM_Fast/64", bad
+    assert any("comparing by benchmark name" in l for l in lines), lines
+    print("bench_diff self-test passed")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag real_time regressions between two BENCH_*.json")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--threshold-pct", type=float, default=10.0,
+                        help="max allowed real_time increase (default 10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in synthetic check and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    regressions, lines = compare(load(args.baseline), load(args.candidate),
+                                 args.threshold_pct)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold_pct:.0f}%:")
+        for key, delta in regressions:
+            print(f"  {key}: {delta:+.1f}%")
+        return 1
+    print(f"\nno regressions above {args.threshold_pct:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
