@@ -15,7 +15,9 @@
 // micro-rows explain where the rest of the time goes.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -27,6 +29,9 @@
 #include "obs/slo.h"
 #include "obs/span_buffer.h"
 #include "obs/trace_context.h"
+#include "obs/wire/wire_decoder.h"
+#include "obs/wire/wire_encoder.h"
+#include "obs/wire/wire_transport.h"
 #include "rwa/session_manager.h"
 
 namespace {
@@ -133,6 +138,101 @@ void BM_PumpTick(benchmark::State& state) {
   state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
 }
 BENCHMARK(BM_PumpTick);
+
+// --- wire telemetry codec (obs/wire) -----------------------------------
+// Encode/decode throughput of the binary export path; unlike the rows
+// above these run identical code in both build modes (the codec has no
+// disabled stub), so obs-off numbers should match the default build.
+
+obs::PumpSnapshot wire_bench_snapshot() {
+  obs::PumpSnapshot snapshot;
+  snapshot.tick = 100;
+  snapshot.uptime_seconds = 100.0;
+  for (int i = 0; i < 32; ++i) {
+    const std::string name = "lumen.bench.counter_" + std::to_string(i);
+    snapshot.counters.emplace_back(name, static_cast<std::uint64_t>(i) * 997);
+    snapshot.counter_deltas.emplace_back(name, static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 8; ++i)
+    snapshot.gauges.emplace_back("lumen.bench.gauge_" + std::to_string(i),
+                                 0.125 * i);
+  obs::HistogramSummary summary;
+  summary.count = 4096;
+  summary.mean = 2.5e-6;
+  summary.min = 1e-7;
+  summary.max = 9e-6;
+  summary.p50 = 2e-6;
+  summary.p90 = 7e-6;
+  summary.p99 = 8.5e-6;
+  for (int i = 0; i < 4; ++i)
+    snapshot.histograms.emplace_back("lumen.bench.hist_" + std::to_string(i),
+                                     summary);
+  return snapshot;
+}
+
+void BM_WireEncodeSnapshot(benchmark::State& state) {
+  obs::wire::LoopbackTransport transport;
+  obs::wire::WireExporter exporter(transport);
+  const obs::PumpSnapshot snapshot = wire_bench_snapshot();
+  for (auto _ : state) {
+    exporter.export_snapshot(snapshot);
+    transport.clear();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(exporter.stats().bytes_sent));
+  state.counters["records_per_snapshot"] =
+      static_cast<double>(exporter.stats().records_sent) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_WireEncodeSnapshot)->Unit(benchmark::kMicrosecond);
+
+void BM_WireDecodeSnapshot(benchmark::State& state) {
+  obs::wire::LoopbackTransport transport;
+  obs::wire::WireExporter exporter(transport);
+  exporter.export_snapshot(wire_bench_snapshot());
+  std::int64_t bytes = 0;
+  obs::wire::WireDecoder decoder;
+  for (auto _ : state) {
+    for (const auto& frame : transport.frames()) {
+      benchmark::DoNotOptimize(decoder.decode_frame(frame));
+      bytes += static_cast<std::int64_t>(frame.size());
+    }
+    benchmark::DoNotOptimize(decoder.take_snapshots());
+  }
+  state.SetBytesProcessed(bytes);
+  state.counters["rejected"] =
+      static_cast<double>(decoder.stats().frames_rejected);
+}
+BENCHMARK(BM_WireDecodeSnapshot)->Unit(benchmark::kMicrosecond);
+
+void BM_WireDecodeMalformed(benchmark::State& state) {
+  // Worst-case collector input: frames that fail validation at random
+  // depths.  Rejection must stay cheap — a hostile sender may not cost
+  // the collector more than a well-behaved one.
+  obs::wire::LoopbackTransport transport;
+  obs::wire::WireExporter exporter(transport);
+  exporter.export_snapshot(wire_bench_snapshot());
+  Rng rng(kSeed);
+  std::vector<std::vector<std::byte>> mutated;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::byte> frame = transport.frames()[0];
+    for (int flip = 0; flip < 4; ++flip)
+      frame[rng.next_below(frame.size())] =
+          static_cast<std::byte>(rng.next_below(256));
+    mutated.push_back(std::move(frame));
+  }
+  obs::wire::WireDecoder decoder;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& frame : mutated) {
+      benchmark::DoNotOptimize(decoder.decode_frame(frame));
+      bytes += static_cast<std::int64_t>(frame.size());
+    }
+    benchmark::DoNotOptimize(decoder.take_snapshots());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_WireDecodeMalformed)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -123,11 +123,7 @@ void write_route_events_csv(std::ostream& out,
   }
 }
 
-#if LUMEN_OBS_ENABLED
-
-namespace {
-
-/// Registry names use dots; Prometheus wants [a-zA-Z0-9_:].
+// Registry names use dots; Prometheus wants [a-zA-Z0-9_:].
 std::string prometheus_name(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
@@ -136,6 +132,10 @@ std::string prometheus_name(const std::string& name) {
   }
   return out;
 }
+
+#if LUMEN_OBS_ENABLED
+
+namespace {
 
 void append_native_histogram(std::string& out, const std::string& metric,
                              const LatencyHistogram& histogram) {
@@ -180,6 +180,11 @@ std::string prometheus_text(const Registry& registry,
     const std::string metric = prometheus_name(name);
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauge_entries()) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + detail::fmt_double_exact(gauge->value()) + "\n";
   }
   for (const auto& [name, histogram] : registry.histogram_entries()) {
     const std::string metric = prometheus_name(name);

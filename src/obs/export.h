@@ -43,6 +43,12 @@ void write_route_events_jsonl(std::ostream& out,
 void write_route_events_csv(std::ostream& out,
                             std::span<const RouteEvent> events);
 
+/// A registry instrument name as a Prometheus metric name: every
+/// character outside [a-zA-Z0-9_:] becomes '_'.  Shared by the registry
+/// renderer below and by consumers re-exporting decoded wire telemetry
+/// (tools/lumen_collect), so it lives outside the #if.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
 /// Prometheus rendering switches.
 struct PrometheusOptions {
   /// Emit native histogram lines: cumulative `*_bucket{le="…"}` rows over

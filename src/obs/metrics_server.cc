@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -64,10 +65,23 @@ void MetricsServer::accept_loop() {
       if (stopping_.load(std::memory_order_relaxed)) break;
       continue;
     }
-    // Read (and ignore) whatever request arrived; every path serves the
-    // same scrape.
+    // Read (and ignore) the request; every path serves the same scrape.
+    // A slow client may dribble the request line across several short
+    // reads, so keep reading until a line terminator arrives — bounded
+    // by the buffer and a receive timeout so a silent client cannot
+    // wedge the accept loop, and retrying interrupted reads (EINTR).
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
     char buf[2048];
-    (void)::recv(conn, buf, sizeof buf, 0);
+    std::size_t got = 0;
+    while (got < sizeof buf) {
+      const ssize_t n = ::recv(conn, buf + got, sizeof buf - got, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF, timeout, or hard error: serve anyway
+      got += static_cast<std::size_t>(n);
+      if (std::memchr(buf, '\n', got) != nullptr) break;  // line complete
+    }
 
     const std::string body = prometheus_text(registry_, options_);
     std::string response =
@@ -82,6 +96,7 @@ void MetricsServer::accept_loop() {
     while (sent < response.size()) {
       const ssize_t n = ::send(conn, response.data() + sent,
                                response.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       sent += static_cast<std::size_t>(n);
     }

@@ -93,6 +93,14 @@ Counter& Registry::counter(std::string_view name) {
               .first->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
 LatencyHistogram& Registry::histogram(std::string_view name) {
   const std::scoped_lock lock(mutex_);
   const auto it = histograms_.find(name);
@@ -112,6 +120,16 @@ std::vector<std::pair<std::string, const Counter*>> Registry::counter_entries()
   return entries;
 }
 
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauge_entries()
+    const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> entries;
+  entries.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    entries.emplace_back(name, gauge.get());
+  return entries;
+}
+
 std::vector<std::pair<std::string, const LatencyHistogram*>>
 Registry::histogram_entries() const {
   const std::scoped_lock lock(mutex_);
@@ -125,6 +143,7 @@ Registry::histogram_entries() const {
 void Registry::reset() {
   const std::scoped_lock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 

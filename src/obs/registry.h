@@ -20,6 +20,26 @@
 
 #include "obs/obs.h"
 
+namespace lumen::obs {
+
+/// RunningStats-compatible condensation of a histogram.  Passive data,
+/// shared by both build modes (the wire codec and exporters move these
+/// across the enabled/disabled boundary).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  friend bool operator==(const HistogramSummary&,
+                         const HistogramSummary&) = default;
+};
+
+}  // namespace lumen::obs
+
 #if LUMEN_OBS_ENABLED
 
 #include <atomic>
@@ -46,15 +66,22 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// RunningStats-compatible condensation of a histogram.
-struct HistogramSummary {
-  std::uint64_t count = 0;
-  double mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  double p50 = 0.0;
-  double p90 = 0.0;
-  double p99 = 0.0;
+/// Last-write-wins level instrument (utilization ratios, queue depths at
+/// sample time).  Unlike a Counter it can move both ways; the pump
+/// snapshots its current value, no delta semantics.  Lock-free: the
+/// double travels as its bit pattern through one relaxed atomic.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // 0 is the bit pattern of 0.0
 };
 
 /// Fixed-bucket base-2 log-scale histogram over unsigned ticks.
@@ -144,14 +171,17 @@ class Registry {
 
   static Registry& global();
 
-  /// The counter/histogram registered under `name`, creating it on first
-  /// use.  Thread-safe.
+  /// The counter/gauge/histogram registered under `name`, creating it on
+  /// first use.  Thread-safe.
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   LatencyHistogram& histogram(std::string_view name);
 
   /// Sorted (name, instrument) views for exporters.
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
   counter_entries() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>>
+  gauge_entries() const;
   [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
   histogram_entries() const;
 
@@ -161,6 +191,7 @@ class Registry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       histograms_;
 };
@@ -181,14 +212,12 @@ class Counter {
   void reset() noexcept {}
 };
 
-struct HistogramSummary {
-  std::uint64_t count = 0;
-  double mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  double p50 = 0.0;
-  double p90 = 0.0;
-  double p99 = 0.0;
+/// No-op stand-in: see the enabled definition for semantics.
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
 };
 
 /// No-op stand-in: see the enabled definition for semantics.
@@ -230,12 +259,20 @@ class Registry {
     static Counter dummy;
     return dummy;
   }
+  Gauge& gauge(std::string_view) {
+    static Gauge dummy;
+    return dummy;
+  }
   LatencyHistogram& histogram(std::string_view) {
     static LatencyHistogram dummy;
     return dummy;
   }
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
   counter_entries() const {
+    return {};
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>>
+  gauge_entries() const {
     return {};
   }
   [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>

@@ -1,5 +1,47 @@
 #include "obs/slo.h"
 
+#include "obs/wire/wire_encoder.h"
+
+namespace lumen::obs {
+
+// Compiled in both build modes: the snapshot struct is passive data, and
+// obs-off binaries (lumen_top, lumen_collect) still serialize decoded
+// snapshots received over the wire.
+std::string pump_snapshot_to_json(const PumpSnapshot& snapshot) {
+  std::string out = "{\"tick\":" + std::to_string(snapshot.tick);
+  out += ",\"uptime_seconds\":" +
+         detail::fmt_double_exact(snapshot.uptime_seconds);
+  for (const auto& [name, value] : snapshot.counters) {
+    out += ",\"c:";
+    out += detail::json_escape(name);
+    out += "\":" + std::to_string(value);
+  }
+  for (const auto& [name, delta] : snapshot.counter_deltas) {
+    out += ",\"d:";
+    out += detail::json_escape(name);
+    out += "\":" + std::to_string(delta);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += ",\"g:";
+    out += detail::json_escape(name);
+    out += "\":" + detail::fmt_double_exact(value);
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    const std::string key = detail::json_escape(name);
+    out += ",\"h:" + key + ":count\":" + std::to_string(summary.count);
+    out += ",\"h:" + key + ":mean\":" + detail::fmt_double_exact(summary.mean);
+    out += ",\"h:" + key + ":p50\":" + detail::fmt_double_exact(summary.p50);
+    out += ",\"h:" + key + ":p90\":" + detail::fmt_double_exact(summary.p90);
+    out += ",\"h:" + key + ":p99\":" + detail::fmt_double_exact(summary.p99);
+    out += ",\"h:" + key + ":max\":" + detail::fmt_double_exact(summary.max);
+  }
+  out += ",\"alerts\":" + std::to_string(snapshot.alerts.size());
+  out += '}';
+  return out;
+}
+
+}  // namespace lumen::obs
+
 #if LUMEN_OBS_ENABLED
 
 #include <algorithm>
@@ -130,34 +172,6 @@ bool SloWatchdog::breaching(const std::string& rule) const {
   return false;
 }
 
-std::string pump_snapshot_to_json(const PumpSnapshot& snapshot) {
-  std::string out = "{\"tick\":" + std::to_string(snapshot.tick);
-  out += ",\"uptime_seconds\":" +
-         detail::fmt_double_exact(snapshot.uptime_seconds);
-  for (const auto& [name, value] : snapshot.counters) {
-    out += ",\"c:";
-    out += detail::json_escape(name);
-    out += "\":" + std::to_string(value);
-  }
-  for (const auto& [name, delta] : snapshot.counter_deltas) {
-    out += ",\"d:";
-    out += detail::json_escape(name);
-    out += "\":" + std::to_string(delta);
-  }
-  for (const auto& [name, summary] : snapshot.histograms) {
-    const std::string key = detail::json_escape(name);
-    out += ",\"h:" + key + ":count\":" + std::to_string(summary.count);
-    out += ",\"h:" + key + ":mean\":" + detail::fmt_double_exact(summary.mean);
-    out += ",\"h:" + key + ":p50\":" + detail::fmt_double_exact(summary.p50);
-    out += ",\"h:" + key + ":p90\":" + detail::fmt_double_exact(summary.p90);
-    out += ",\"h:" + key + ":p99\":" + detail::fmt_double_exact(summary.p99);
-    out += ",\"h:" + key + ":max\":" + detail::fmt_double_exact(summary.max);
-  }
-  out += ",\"alerts\":" + std::to_string(snapshot.alerts.size());
-  out += '}';
-  return out;
-}
-
 MetricsPump::MetricsPump(Registry& registry, PumpOptions options)
     : registry_(registry),
       options_(std::move(options)),
@@ -189,6 +203,9 @@ PumpSnapshot MetricsPump::tick() {
   }
   prev_counters_ = snapshot.counters;  // sorted (registry order)
 
+  for (const auto& [name, gauge] : registry_.gauge_entries())
+    snapshot.gauges.emplace_back(name, gauge->value());
+
   for (const auto& [name, histogram] : registry_.histogram_entries())
     snapshot.histograms.emplace_back(name, histogram->summary());
 
@@ -217,6 +234,8 @@ PumpSnapshot MetricsPump::tick() {
         out << alert_to_json(alert) << '\n';
     }
   }
+
+  if (options_.wire != nullptr) options_.wire->export_snapshot(snapshot);
 
   if (options_.on_snapshot) options_.on_snapshot(snapshot);
   return snapshot;

@@ -130,6 +130,38 @@ struct AlertEvent {
   return out;
 }
 
+/// One periodic sample of every registry instrument.  Passive data,
+/// shared by both build modes: the wire codec (obs/wire) moves these
+/// across process boundaries, so the struct must not depend on whether
+/// the producing or consuming binary compiled the instruments in.
+struct PumpSnapshot {
+  std::uint64_t tick = 0;
+  double uptime_seconds = 0.0;
+  /// (name, lifetime value), sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// (name, delta since previous tick), parallel to `counters`.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  /// (name, current level), sorted by name.
+  std::vector<std::pair<std::string, double>> gauges;
+  /// (name, summary), sorted by name.
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+  /// Watchdog transitions observed on this tick.
+  std::vector<AlertEvent> alerts;
+};
+
+/// One snapshot as a single-line flat JSON object (no newline): keys are
+/// "tick", "uptime_seconds", "c:<counter>" (value), "d:<counter>"
+/// (delta), "g:<gauge>" (level), and
+/// "h:<histogram>:{count,mean,p50,p90,p99,max}".  Alerts are NOT
+/// inlined — the pump writes them as separate alert_to_json lines.
+[[nodiscard]] std::string pump_snapshot_to_json(const PumpSnapshot& snapshot);
+
+namespace wire {
+/// Binary wire egress for snapshots (obs/wire/wire_encoder.h); referenced
+/// by PumpOptions in both build modes.
+class WireExporter;
+}  // namespace wire
+
 }  // namespace lumen::obs
 
 #if LUMEN_OBS_ENABLED
@@ -176,26 +208,6 @@ class SloWatchdog {
   std::vector<RuleState> rules_;
 };
 
-/// One periodic sample of every registry instrument.
-struct PumpSnapshot {
-  std::uint64_t tick = 0;
-  double uptime_seconds = 0.0;
-  /// (name, lifetime value), sorted by name.
-  std::vector<std::pair<std::string, std::uint64_t>> counters;
-  /// (name, delta since previous tick), parallel to `counters`.
-  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
-  /// (name, summary), sorted by name.
-  std::vector<std::pair<std::string, HistogramSummary>> histograms;
-  /// Watchdog transitions observed on this tick.
-  std::vector<AlertEvent> alerts;
-};
-
-/// One snapshot as a single-line flat JSON object (no newline): keys are
-/// "tick", "uptime_seconds", "c:<counter>" (value), "d:<counter>"
-/// (delta), and "h:<histogram>:{count,mean,p50,p90,p99,max}".  Alerts are
-/// NOT inlined — the pump writes them as separate alert_to_json lines.
-[[nodiscard]] std::string pump_snapshot_to_json(const PumpSnapshot& snapshot);
-
 class MetricsPump;
 
 /// MetricsPump configuration.  Referenced objects must outlive the pump.
@@ -212,6 +224,10 @@ struct PumpOptions {
   FlightRecorder* recorder = nullptr;
   /// Directory trigger_dump() writes to ("." by default).
   std::string dump_dir = ".";
+  /// Binary wire egress: every tick's snapshot (and its alerts) is
+  /// encoded and sent through this exporter (nullptr = no wire path).
+  /// See obs/wire/wire_encoder.h; must outlive the pump.
+  wire::WireExporter* wire = nullptr;
   /// Called after each tick with the finished snapshot.
   std::function<void(const PumpSnapshot&)> on_snapshot;
 };
@@ -283,28 +299,13 @@ class SloWatchdog {
   std::vector<SloRule> rules_;
 };
 
-struct PumpSnapshot {
-  std::uint64_t tick = 0;
-  double uptime_seconds = 0.0;
-  std::vector<std::pair<std::string, std::uint64_t>> counters;
-  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
-  std::vector<std::pair<std::string, HistogramSummary>> histograms;
-  std::vector<AlertEvent> alerts;
-};
-
-[[nodiscard]] inline std::string pump_snapshot_to_json(
-    const PumpSnapshot& snapshot) {
-  return "{\"tick\":" + std::to_string(snapshot.tick) +
-         ",\"uptime_seconds\":" +
-         detail::fmt_double_exact(snapshot.uptime_seconds) + "}";
-}
-
 struct PumpOptions {
   double interval_seconds = 1.0;
   std::string snapshot_path;
   SloWatchdog* watchdog = nullptr;
   FlightRecorder* recorder = nullptr;
   std::string dump_dir = ".";
+  wire::WireExporter* wire = nullptr;
   /// No std::function here: the disabled pump never ticks a snapshot.
   void* on_snapshot = nullptr;
 };

@@ -1,0 +1,216 @@
+#include "obs/wire/wire_encoder.h"
+
+#include <algorithm>
+
+#include "util/byteorder.h"
+
+namespace lumen::obs::wire {
+
+namespace {
+
+/// Offset of the u16 frame-length field inside the message header.
+constexpr std::size_t kFrameLengthOffset = 2;
+/// Frame split floor/ceiling.  The floor keeps a pathological transport
+/// from forcing one record per frame below any useful size; the ceiling
+/// stays under the u16 length field with headroom for one oversized
+/// record's set header.
+constexpr std::size_t kMinFrameBytes = 128;
+constexpr std::size_t kMaxFrameBytes = 60000;
+
+void append_one_template(ByteWriter& writer, std::uint16_t template_id,
+                         std::span<const FieldSpec> fields) {
+  writer.u16(template_id);
+  writer.u16(static_cast<std::uint16_t>(fields.size()));
+  for (const FieldSpec& field : fields) {
+    writer.u16(field.id);
+    writer.u16(field.length);
+  }
+}
+
+}  // namespace
+
+WireExporter::WireExporter(WireTransport& transport,
+                           WireExporterOptions options)
+    : transport_(transport), options_(options) {}
+
+void WireExporter::begin_frame() {
+  frame_.clear();
+  open_set_offset_ = 0;
+  open_set_id_ = 0;
+  frame_has_data_ = false;
+  ByteWriter writer(frame_);
+  writer.u16(kWireVersion);
+  writer.u16(0);  // total length, patched in finish_frame
+  writer.u32(sequence_);
+  writer.u32(export_tick_);
+  writer.u32(options_.domain);
+  if (templates_due_) {
+    append_template_set();
+    templates_due_ = false;
+  }
+}
+
+void WireExporter::close_open_set() {
+  if (open_set_offset_ == 0) return;  // sets never start at the header
+  ByteWriter writer(frame_);
+  writer.patch_u16(
+      open_set_offset_ + 2,
+      static_cast<std::uint16_t>(frame_.size() - open_set_offset_));
+  open_set_offset_ = 0;
+  open_set_id_ = 0;
+}
+
+void WireExporter::finish_frame() {
+  if (frame_.empty()) return;
+  close_open_set();
+  ByteWriter writer(frame_);
+  writer.patch_u16(kFrameLengthOffset,
+                   static_cast<std::uint16_t>(frame_.size()));
+  ++sequence_;  // counts every frame, sent or lost: a sender-side drop
+                // surfaces as a collector-side gap like any other loss
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame_.size();
+  if (!transport_.send(frame_)) ++stats_.frames_lost;
+  frame_.clear();
+}
+
+void WireExporter::append_template_set() {
+  close_open_set();
+  const std::size_t set_offset = frame_.size();
+  ByteWriter writer(frame_);
+  writer.u16(kTemplateSetId);
+  writer.u16(0);  // set length, patched below
+  append_one_template(writer, kCounterTemplate, kCounterFields);
+  append_one_template(writer, kGaugeTemplate, kGaugeFields);
+  append_one_template(writer, kHistogramTemplate, kHistogramFields);
+  append_one_template(writer, kSnapshotTemplate, kSnapshotFields);
+  append_one_template(writer, kAlertTemplate, kAlertFields);
+  append_one_template(writer, kRouteEventTemplate, kRouteEventFields);
+  writer.patch_u16(set_offset + 2,
+                   static_cast<std::uint16_t>(frame_.size() - set_offset));
+  ++stats_.template_sets;
+}
+
+void WireExporter::append_record(std::uint16_t template_id,
+                                 std::span<const std::byte> record) {
+  // A record that cannot fit even an otherwise-empty frame can never be
+  // carried (the set length field would overflow): count it, drop it.
+  if (record.size() + kHeaderBytes + kSetHeaderBytes > kMaxFrameBytes) {
+    ++stats_.records_dropped;
+    return;
+  }
+  const std::size_t limit = std::clamp(transport_.max_frame_bytes(),
+                                       kMinFrameBytes, kMaxFrameBytes);
+  if (frame_.empty()) begin_frame();
+  const std::size_t need =
+      record.size() + (open_set_id_ == template_id ? 0 : kSetHeaderBytes);
+  // Split to a fresh frame when full — but only if this frame already
+  // carries a record; a fresh frame ships oversized rather than looping.
+  if (frame_has_data_ && frame_.size() + need > limit) {
+    finish_frame();
+    begin_frame();
+  }
+  if (open_set_id_ != template_id) {
+    close_open_set();
+    open_set_offset_ = frame_.size();
+    open_set_id_ = template_id;
+    ByteWriter writer(frame_);
+    writer.u16(template_id);
+    writer.u16(0);  // set length, patched at close
+  }
+  ByteWriter writer(frame_);
+  writer.bytes(record);
+  frame_has_data_ = true;
+  ++stats_.records_sent;
+}
+
+void WireExporter::export_snapshot(const PumpSnapshot& snapshot) {
+  if (options_.template_interval != 0 &&
+      stats_.snapshots % options_.template_interval == 0)
+    templates_due_ = true;  // periodic re-announce (lossy-path recovery)
+  ++stats_.snapshots;
+  export_tick_ = static_cast<std::uint32_t>(snapshot.tick);
+
+  // Snapshot boundary first: the collector opens a new snapshot on this
+  // record, so everything that follows lands in the right tick.
+  scratch_.clear();
+  {
+    ByteWriter writer(scratch_);
+    writer.u64(snapshot.tick);
+    writer.f64(snapshot.uptime_seconds);
+  }
+  append_record(kSnapshotTemplate, scratch_);
+
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    const std::uint64_t delta = i < snapshot.counter_deltas.size()
+                                    ? snapshot.counter_deltas[i].second
+                                    : 0;
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(name);
+    writer.u64(value);
+    writer.u64(delta);
+    append_record(kCounterTemplate, scratch_);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(name);
+    writer.f64(value);
+    append_record(kGaugeTemplate, scratch_);
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(name);
+    writer.u64(summary.count);
+    writer.f64(summary.mean);
+    writer.f64(summary.min);
+    writer.f64(summary.max);
+    writer.f64(summary.p50);
+    writer.f64(summary.p90);
+    writer.f64(summary.p99);
+    append_record(kHistogramTemplate, scratch_);
+  }
+  for (const AlertEvent& alert : snapshot.alerts) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(alert.rule);
+    writer.str(alert.metric);
+    writer.f64(alert.value);
+    writer.f64(alert.threshold);
+    writer.u8(alert.resolved ? 1 : 0);
+    writer.u64(alert.tick);
+    writer.str(alert.dump_path);
+    append_record(kAlertTemplate, scratch_);
+  }
+  finish_frame();  // a snapshot never sits half-exported
+}
+
+void WireExporter::export_route_events(std::span<const RouteEvent> events) {
+  for (const RouteEvent& event : events) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.u64(event.sequence);
+    writer.u32(event.source);
+    writer.u32(event.target);
+    writer.str(event.policy);
+    writer.str(event.heap);
+    writer.str(event.outcome);
+    writer.f64(event.cost);
+    writer.u32(event.hops);
+    writer.u32(event.conversions);
+    writer.u64(event.aux_nodes);
+    writer.u64(event.aux_links);
+    writer.u64(event.relaxations);
+    writer.u64(event.heap_pops);
+    writer.f64(event.build_seconds);
+    writer.f64(event.search_seconds);
+    writer.u64(event.trace_id);
+    append_record(kRouteEventTemplate, scratch_);
+  }
+  finish_frame();
+}
+
+}  // namespace lumen::obs::wire

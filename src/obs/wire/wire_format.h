@@ -1,0 +1,136 @@
+// lumen wire telemetry: the frame format (version 1).
+//
+// An IPFIX-shaped, template-based binary export protocol.  A frame is
+// one UDP datagram (or one loopback buffer):
+//
+//   message header (16 bytes, all integers big-endian)
+//     u16 version      kWireVersion (1)
+//     u16 length       total frame bytes, header included
+//     u32 sequence     per-exporter frame counter (gap detection)
+//     u32 export_tick  pump tick at export time (diagnostic)
+//     u32 domain       observation-domain id (one per exporting process)
+//   followed by sets until `length` is exhausted:
+//     u16 set_id       kTemplateSetId announces layouts; >= kMinDataSetId
+//                      carries data records shaped by that template id
+//     u16 set_length   set bytes, set header included
+//
+// A template record inside a template set:
+//     u16 template_id, u16 field_count,
+//     field_count x (u16 field_id, u16 field_length)
+// where field_length kVarLen (0xFFFF) means a u16-length-prefixed string
+// and 1/2/4/8 mean a big-endian unsigned integer of that width (fields
+// carrying doubles use width 8 and travel as IEEE-754 bit patterns).
+//
+// Data records follow their template's field list back to back; a set
+// holds as many records as fit its length.  Templates describe layouts
+// once (and are re-announced periodically, UDP being lossy); data
+// records reference them by set id — the collector buffers data sets
+// that arrive before their template and replays them once it shows up.
+//
+// The templates below are the protocol's builtin vocabulary: counter /
+// gauge / histogram-summary samples and snapshot boundaries (the
+// MetricsPump feed), SLO alerts, and flight-recorder route events.  A
+// decoder skips unknown field ids inside a known template, so appending
+// fields to a template is a compatible change; new record kinds take a
+// fresh template id.
+//
+// Everything in this header is passive data — compiled identically with
+// and without LUMEN_OBS_DISABLED, so an obs-off collector still decodes
+// frames produced by an instrumented peer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lumen::obs::wire {
+
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kSetHeaderBytes = 4;
+
+/// Set id announcing template records (IPFIX uses 2 as well).
+inline constexpr std::uint16_t kTemplateSetId = 2;
+/// Smallest set id that names a template (= smallest template id).
+inline constexpr std::uint16_t kMinDataSetId = 256;
+
+/// Variable-length marker in a template field spec.
+inline constexpr std::uint16_t kVarLen = 0xFFFF;
+
+/// Builtin template ids.
+enum TemplateId : std::uint16_t {
+  kCounterTemplate = 256,     ///< one registry counter sample
+  kGaugeTemplate = 257,       ///< one registry gauge sample
+  kHistogramTemplate = 258,   ///< one histogram summary sample
+  kSnapshotTemplate = 259,    ///< snapshot boundary (tick, uptime)
+  kAlertTemplate = 260,       ///< one SLO alert transition
+  kRouteEventTemplate = 261,  ///< one flight-recorder route event
+};
+
+/// Field ids (the protocol's information elements).
+enum FieldId : std::uint16_t {
+  kFName = 1,      ///< instrument name (var)
+  kFValueU64 = 2,  ///< counter lifetime value (u64)
+  kFDeltaU64 = 3,  ///< counter delta since previous tick (u64)
+  kFValueF64 = 4,  ///< gauge level / alert value (f64)
+  kFCount = 5,     ///< histogram count (u64)
+  kFMean = 6,      ///< f64
+  kFMin = 7,       ///< f64
+  kFMax = 8,       ///< f64
+  kFP50 = 9,       ///< f64
+  kFP90 = 10,      ///< f64
+  kFP99 = 11,      ///< f64
+
+  kFTick = 20,       ///< pump tick (u64)
+  kFUptime = 21,     ///< uptime seconds (f64)
+  kFRule = 22,       ///< alert rule name (var)
+  kFMetric = 23,     ///< alert metric name (var)
+  kFThreshold = 24,  ///< f64
+  kFResolved = 25,   ///< u8 (0 breach, 1 resolve)
+  kFDumpPath = 26,   ///< flight-recorder dump path (var)
+
+  kFSequence = 30,       ///< route-event sequence (u64)
+  kFSource = 31,         ///< u32
+  kFTarget = 32,         ///< u32
+  kFPolicy = 33,         ///< var
+  kFHeap = 34,           ///< var
+  kFOutcome = 35,        ///< var
+  kFCost = 36,           ///< f64
+  kFHops = 37,           ///< u32
+  kFConversions = 38,    ///< u32
+  kFAuxNodes = 39,       ///< u64
+  kFAuxLinks = 40,       ///< u64
+  kFRelaxations = 41,    ///< u64
+  kFHeapPops = 42,       ///< u64
+  kFBuildSeconds = 43,   ///< f64
+  kFSearchSeconds = 44,  ///< f64
+  kFTraceId = 45,        ///< u64
+};
+
+/// One field spec of a template: (field id, encoded length).
+struct FieldSpec {
+  std::uint16_t id;
+  std::uint16_t length;  // 1/2/4/8, or kVarLen
+};
+
+/// The builtin template layouts, exactly as the exporter announces them.
+inline constexpr FieldSpec kCounterFields[] = {
+    {kFName, kVarLen}, {kFValueU64, 8}, {kFDeltaU64, 8}};
+inline constexpr FieldSpec kGaugeFields[] = {{kFName, kVarLen},
+                                             {kFValueF64, 8}};
+inline constexpr FieldSpec kHistogramFields[] = {
+    {kFName, kVarLen}, {kFCount, 8}, {kFMean, 8}, {kFMin, 8},
+    {kFMax, 8},        {kFP50, 8},   {kFP90, 8},  {kFP99, 8}};
+inline constexpr FieldSpec kSnapshotFields[] = {{kFTick, 8}, {kFUptime, 8}};
+inline constexpr FieldSpec kAlertFields[] = {
+    {kFRule, kVarLen},  {kFMetric, kVarLen}, {kFValueF64, 8},
+    {kFThreshold, 8},   {kFResolved, 1},     {kFTick, 8},
+    {kFDumpPath, kVarLen}};
+inline constexpr FieldSpec kRouteEventFields[] = {
+    {kFSequence, 8},       {kFSource, 4},          {kFTarget, 4},
+    {kFPolicy, kVarLen},   {kFHeap, kVarLen},      {kFOutcome, kVarLen},
+    {kFCost, 8},           {kFHops, 4},            {kFConversions, 4},
+    {kFAuxNodes, 8},       {kFAuxLinks, 8},        {kFRelaxations, 8},
+    {kFHeapPops, 8},       {kFBuildSeconds, 8},    {kFSearchSeconds, 8},
+    {kFTraceId, 8}};
+
+}  // namespace lumen::obs::wire

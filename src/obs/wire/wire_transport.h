@@ -1,0 +1,84 @@
+// Frame egress for the wire telemetry exporter.
+//
+// WireTransport is the seam between "what bytes to send" (wire_encoder)
+// and "how they leave the process".  Two implementations:
+//
+//   LoopbackTransport — an in-memory frame queue.  Deterministic, used
+//     by every round-trip test and by in-process consumers (lumen_top's
+//     demo could tail itself through one).
+//   UdpWireTransport  — the real thing: one frame per UDP datagram to
+//     127.0.0.1:<port>, where `lumen_collect` (or lumen_top --collect)
+//     listens.  Telemetry loss is acceptable by design (the protocol is
+//     sequence-numbered so the collector can count it); send failures
+//     never throw, they are counted and dropped.
+//
+// Compiled in both build modes — the transports carry bytes, not
+// instruments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/udp.h"
+
+namespace lumen::obs::wire {
+
+/// Where encoded frames go.  Implementations must tolerate any frame
+/// size up to 65535 bytes (the u16 length field's ceiling).
+class WireTransport {
+ public:
+  virtual ~WireTransport() = default;
+
+  /// Ships one frame.  False = the frame was lost (counted by the
+  /// exporter; never fatal).
+  virtual bool send(std::span<const std::byte> frame) = 0;
+
+  /// Preferred frame payload ceiling for this transport; the encoder
+  /// splits snapshots across frames at this size.
+  [[nodiscard]] virtual std::size_t max_frame_bytes() const { return 1400; }
+};
+
+/// In-memory transport: frames accumulate in arrival order.
+class LoopbackTransport final : public WireTransport {
+ public:
+  bool send(std::span<const std::byte> frame) override {
+    frames_.emplace_back(frame.begin(), frame.end());
+    return true;
+  }
+  /// Loopback has no datagram limit; keep frames large to exercise the
+  /// single-frame path unless a test overrides via set_max_frame_bytes.
+  [[nodiscard]] std::size_t max_frame_bytes() const override {
+    return max_frame_bytes_;
+  }
+  void set_max_frame_bytes(std::size_t bytes) { max_frame_bytes_ = bytes; }
+
+  [[nodiscard]] const std::vector<std::vector<std::byte>>& frames() const {
+    return frames_;
+  }
+  void clear() { frames_.clear(); }
+
+ private:
+  std::vector<std::vector<std::byte>> frames_;
+  std::size_t max_frame_bytes_ = 60000;
+};
+
+/// Real-socket transport: one frame per datagram to 127.0.0.1:`port`.
+class UdpWireTransport final : public WireTransport {
+ public:
+  explicit UdpWireTransport(std::uint16_t port) : port_(port) {}
+
+  bool send(std::span<const std::byte> frame) override {
+    return socket_.ok() && socket_.send_to(port_, frame);
+  }
+
+  [[nodiscard]] bool ok() const { return socket_.ok(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  lumen::UdpSocket socket_;  // unbound, send-only
+  std::uint16_t port_;
+};
+
+}  // namespace lumen::obs::wire

@@ -211,8 +211,61 @@ void SessionManager::record_event(NodeId source, NodeId target,
   if (event_log_ != nullptr) event_log_->append(std::move(event));
 }
 
+void SessionManager::update_utilization_gauges() const {
+#if LUMEN_OBS_ENABLED
+  static obs::Gauge& spans_busy_gauge =
+      obs::Registry::global().gauge("lumen.rwa.util.spans_busy");
+  static obs::Gauge& busy_ratio_gauge =
+      obs::Registry::global().gauge("lumen.rwa.util.busy_ratio");
+  static obs::Gauge& fragmentation_gauge =
+      obs::Registry::global().gauge("lumen.rwa.util.fragmentation");
+
+  std::uint64_t busy_links = 0;
+  double ratio_sum = 0.0;
+  std::uint32_t ratio_links = 0;
+  double frag_sum = 0.0;
+  std::uint32_t frag_links = 0;
+  for (std::uint32_t ei = 0; ei < net_.num_links(); ++ei) {
+    const LinkId e{ei};
+    if (link_failed_[ei]) continue;  // a cut span is down, not busy
+    const auto base = static_cast<std::uint32_t>(base_availability_[ei].size());
+    if (base == 0) continue;
+    const std::uint32_t free = net_.num_available(e);
+    const std::uint32_t busy = base > free ? base - free : 0;
+    if (busy > 0) ++busy_links;
+    ratio_sum += static_cast<double>(busy) / static_cast<double>(base);
+    ++ratio_links;
+    if (free > 0) {
+      // Fragmentation of this link's free spectrum: 0 when the free
+      // wavelengths form one contiguous block, approaching 1 as they
+      // shatter into single slots (long contiguous runs are what
+      // wavelength-continuous lightpaths need).
+      std::uint32_t longest = 0;
+      std::uint32_t run = 0;
+      for (std::uint32_t l = 0; l < net_.num_wavelengths(); ++l) {
+        if (net_.is_available(e, Wavelength{l})) {
+          ++run;
+          longest = std::max(longest, run);
+        } else {
+          run = 0;
+        }
+      }
+      frag_sum +=
+          1.0 - static_cast<double>(longest) / static_cast<double>(free);
+      ++frag_links;
+    }
+  }
+  spans_busy_gauge.set(static_cast<double>(busy_links));
+  busy_ratio_gauge.set(
+      ratio_links == 0 ? 0.0 : ratio_sum / static_cast<double>(ratio_links));
+  fragmentation_gauge.set(
+      frag_links == 0 ? 0.0 : frag_sum / static_cast<double>(frag_links));
+#endif  // LUMEN_OBS_ENABLED
+}
+
 void SessionManager::maybe_snapshot_metrics() {
   if (metrics_every_ == 0 || stats_.offered % metrics_every_ != 0) return;
+  update_utilization_gauges();
   MetricsSnapshot snapshot;
   snapshot.offered = stats_.offered;
   snapshot.active = active_;

@@ -184,6 +184,16 @@ class SessionManager {
   /// Fraction of the base network's (link, λ) pairs currently reserved.
   [[nodiscard]] double wavelength_utilization() const noexcept;
 
+  /// Recomputes the residual-occupancy gauges in the global registry:
+  ///   lumen.rwa.util.spans_busy     — links carrying >= 1 reservation
+  ///   lumen.rwa.util.busy_ratio     — mean per-link busy-λ fraction
+  ///   lumen.rwa.util.fragmentation  — mean 1 - longest_free_run/free
+  /// (failed links are excluded; 0 when nothing qualifies).  O(E·k), so
+  /// it runs at snapshot cadence (maybe_snapshot_metrics), never per
+  /// open/close; call it directly to refresh before a pump tick.  A
+  /// no-op under LUMEN_OBS_DISABLED.
+  void update_utilization_gauges() const;
+
   /// Attaches per-request event logging and (when metrics_every > 0) a
   /// NetworkMetrics snapshot of the residual state every `metrics_every`
   /// offered requests.  `events` may be null (snapshots only) and must

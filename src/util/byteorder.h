@@ -1,0 +1,124 @@
+// Explicit big-endian (network order) serialization primitives.
+//
+// The obs wire protocol (src/obs/wire) and any future binary frame
+// format write multi-byte integers in network byte order regardless of
+// host endianness.  These helpers are the single place that conversion
+// happens: ByteWriter appends to a caller-owned buffer, ByteReader
+// consumes a read-only view and *never* reads past the end — every
+// accessor reports failure through ok() instead of crashing, which is
+// what makes the wire decoder safe against truncated or malicious
+// frames.  Doubles travel as the big-endian bytes of their IEEE-754
+// bit pattern (std::bit_cast, lossless round-trip).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lumen {
+
+/// Appends big-endian scalars to a byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { be(v); }
+  void u32(std::uint32_t v) { be(v); }
+  void u64(std::uint64_t v) { be(v); }
+  void f64(double v) { be(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(std::span<const std::byte> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed string: u16 byte count then the raw bytes.  Strings
+  /// longer than 65535 bytes are truncated (wire names never approach it).
+  void str(std::string_view s) {
+    const std::size_t n = s.size() > 0xFFFF ? 0xFFFF : s.size();
+    u16(static_cast<std::uint16_t>(n));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  /// Current size of the underlying buffer (for patching length fields).
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  /// Overwrites a previously written u16 at `offset` (length back-patch).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::byte>(v >> 8);
+    out_[offset + 1] = static_cast<std::byte>(v & 0xFF);
+  }
+
+ private:
+  template <class T>
+  void be(T v) {
+    for (int shift = (sizeof(T) - 1) * 8; shift >= 0; shift -= 8)
+      out_.push_back(static_cast<std::byte>((v >> shift) & 0xFF));
+  }
+
+  std::vector<std::byte>& out_;
+};
+
+/// Consumes big-endian scalars from a byte view; sticky-fails instead of
+/// reading out of bounds.  After any failed read, ok() is false and every
+/// subsequent accessor returns 0/empty.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(be(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(be(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(be(4)); }
+  std::uint64_t u64() { return be(8); }
+  double f64() { return std::bit_cast<double>(be(8)); }
+
+  /// Reads a u16-length-prefixed string (see ByteWriter::str).
+  std::string str() {
+    const std::uint16_t n = u16();
+    if (!take(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_ - n), n);
+    return out;
+  }
+
+  /// A sub-view of the next `n` bytes (empty + !ok() when short).
+  std::span<const std::byte> bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return data_.subspan(pos_ - n, n);
+  }
+
+  /// Skips `n` bytes.
+  void skip(std::size_t n) { (void)take(n); }
+
+ private:
+  /// Advances past `n` bytes when available; sticky-fails otherwise.
+  bool take(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  std::uint64_t be(std::size_t n) {
+    if (!take(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = pos_ - n; i < pos_; ++i)
+      v = (v << 8) | static_cast<std::uint64_t>(data_[i]);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace lumen

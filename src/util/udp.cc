@@ -1,0 +1,103 @@
+#include "util/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <utility>
+
+namespace lumen {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket() { fd_ = ::socket(AF_INET, SOCK_DGRAM, 0); }
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+bool UdpSocket::send_to(std::uint16_t port,
+                        std::span<const std::byte> datagram) {
+  if (fd_ < 0) return false;
+  const sockaddr_in addr = loopback_addr(port);
+  while (true) {
+    const ssize_t n =
+        ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (n >= 0) return static_cast<std::size_t>(n) == datagram.size();
+    if (errno != EINTR) return false;
+  }
+}
+
+long UdpSocket::recv(std::span<std::byte> buf, double timeout_seconds) {
+  if (fd_ < 0) return -1;
+  const int timeout_ms =
+      timeout_seconds <= 0.0
+          ? 0
+          : static_cast<int>(std::ceil(timeout_seconds * 1000.0));
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return 0;  // timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno != EINTR) return -1;
+  }
+}
+
+}  // namespace lumen

@@ -1,0 +1,52 @@
+// Minimal loopback UDP datagram socket (POSIX, no dependencies).
+//
+// The first real-socket egress path in the repo: the obs wire exporter
+// sends telemetry frames through it and `lumen_collect` receives them.
+// Deliberately loopback-only (127.0.0.1), mirroring the Prometheus
+// endpoint's stance — this is telemetry hand-off to a local agent, not a
+// public listener.  Construction never throws: a failed socket()/bind()
+// leaves the object !ok() and every operation a harmless no-op, so the
+// telemetry path degrades instead of taking the process down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lumen {
+
+class UdpSocket {
+ public:
+  /// An unbound send-only socket (the exporter side).
+  UdpSocket();
+  /// Binds 127.0.0.1:`port` for receiving (0 = kernel-assigned ephemeral
+  /// port; read it back with port()).
+  explicit UdpSocket(std::uint16_t port);
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+  /// The bound port (0 for unbound/send-only sockets).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Sends one datagram to 127.0.0.1:`port`.  Retries on EINTR; false on
+  /// any other error (including !ok()).
+  bool send_to(std::uint16_t port, std::span<const std::byte> datagram);
+
+  /// Receives one datagram into `buf`, waiting up to `timeout_seconds`
+  /// (<= 0 polls without blocking).  Returns the datagram size, 0 on
+  /// timeout, -1 on error.  A datagram larger than `buf` is truncated to
+  /// buf.size() (the caller sees the size it got, as recv() reports).
+  long recv(std::span<std::byte> buf, double timeout_seconds);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace lumen

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/liang_shen.h"
 #include "obs/export.h"
@@ -126,6 +129,69 @@ TEST(SessionTelemetryTest, FailSpanRecordsRerouteOrDropEvents) {
   EXPECT_EQ(events[1].outcome, "rerouted");
   // Sequence numbers stay strictly increasing across open/fail_span.
   EXPECT_GT(events[1].sequence, events[0].sequence);
+}
+
+TEST(SessionTelemetryTest, UtilizationGaugesTrackOccupancyAndFragmentation) {
+  // One link, three wavelengths: open/close sessions and pin the
+  // wavelength-occupancy gauges at every step.
+  WdmNetwork net(2, 3, std::make_shared<UniformConversion>(0.25));
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  for (std::uint32_t l = 0; l < 3; ++l)
+    net.set_wavelength(e, Wavelength{l}, 1.0);
+  SessionManager manager(std::move(net), RoutingPolicy::kSemilightpath);
+
+  const auto gauge = [](const char* name) {
+    return obs::Registry::global().gauge(name).value();
+  };
+
+  manager.update_utilization_gauges();
+#if LUMEN_OBS_ENABLED
+  EXPECT_EQ(gauge("lumen.rwa.util.spans_busy"), 0.0);
+  EXPECT_EQ(gauge("lumen.rwa.util.busy_ratio"), 0.0);
+  EXPECT_EQ(gauge("lumen.rwa.util.fragmentation"), 0.0);
+#endif
+
+  // Fill the link: three sessions claim all three wavelengths, one
+  // each.  The assignment order is a routing-policy detail, so map each
+  // session to its wavelength by diffing the residual across the open.
+  std::vector<std::pair<SessionId, std::uint32_t>> opened;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<bool> before;
+    for (std::uint32_t l = 0; l < 3; ++l)
+      before.push_back(
+          manager.residual().is_available(LinkId{0}, Wavelength{l}));
+    const auto id = manager.open(NodeId{0}, NodeId{1});
+    ASSERT_TRUE(id.has_value());
+    std::uint32_t claimed = 3;
+    for (std::uint32_t l = 0; l < 3; ++l)
+      if (before[l] &&
+          !manager.residual().is_available(LinkId{0}, Wavelength{l}))
+        claimed = l;
+    ASSERT_LT(claimed, 3u) << "session did not claim a wavelength";
+    opened.emplace_back(*id, claimed);
+  }
+  manager.update_utilization_gauges();
+#if LUMEN_OBS_ENABLED
+  EXPECT_EQ(gauge("lumen.rwa.util.spans_busy"), 1.0);
+  EXPECT_NEAR(gauge("lumen.rwa.util.busy_ratio"), 1.0, 1e-12);
+  // No free spectrum at all: fragmentation is defined as 0.
+  EXPECT_EQ(gauge("lumen.rwa.util.fragmentation"), 0.0);
+#endif
+
+  // Close the sessions on the outer wavelengths, keeping wavelength 1
+  // busy: free wavelengths {0, 2} are two runs of length one out of two
+  // free slots = fragmentation 0.5.
+  for (const auto& [id, wavelength] : opened)
+    if (wavelength != 1) ASSERT_TRUE(manager.close(id));
+  manager.update_utilization_gauges();
+#if LUMEN_OBS_ENABLED
+  EXPECT_EQ(gauge("lumen.rwa.util.spans_busy"), 1.0);
+  EXPECT_NEAR(gauge("lumen.rwa.util.busy_ratio"), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(gauge("lumen.rwa.util.fragmentation"), 0.5, 1e-12);
+#else
+  // Disabled build: the gauges are inert stubs pinned at zero.
+  EXPECT_EQ(gauge("lumen.rwa.util.fragmentation"), 0.0);
+#endif
 }
 
 TEST(SessionTelemetryTest, RouteResultCarriesStageTelemetry) {

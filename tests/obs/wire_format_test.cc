@@ -1,0 +1,148 @@
+// Wire-format primitives: big-endian serialization (util/byteorder.h)
+// and the frame/set layout the encoder emits (obs/wire).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/wire/wire_encoder.h"
+#include "obs/wire/wire_format.h"
+#include "obs/wire/wire_transport.h"
+#include "util/byteorder.h"
+
+namespace lumen::obs::wire {
+namespace {
+
+TEST(ByteOrderTest, ScalarRoundTrip) {
+  std::vector<std::byte> buffer;
+  ByteWriter writer(buffer);
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFULL);
+  writer.f64(-1.0 / 3.0);
+  writer.str("hello");
+  writer.str("");
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.f64(), -1.0 / 3.0);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteOrderTest, IntegersAreBigEndian) {
+  std::vector<std::byte> buffer;
+  ByteWriter writer(buffer);
+  writer.u32(0x01020304);
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(buffer[0]), 0x01);
+  EXPECT_EQ(std::to_integer<int>(buffer[3]), 0x04);
+}
+
+TEST(ByteOrderTest, PatchOverwritesInPlace) {
+  std::vector<std::byte> buffer;
+  ByteWriter writer(buffer);
+  writer.u16(0);
+  writer.u8(9);
+  writer.patch_u16(0, 0x1234);
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.u16(), 0x1234);
+}
+
+TEST(ByteOrderTest, TruncatedReadStickyFails) {
+  std::vector<std::byte> buffer;
+  ByteWriter writer(buffer);
+  writer.u16(7);
+  ByteReader reader(buffer);
+  (void)reader.u32();  // 4 bytes wanted, 2 available
+  EXPECT_FALSE(reader.ok());
+  // Sticky: everything after the failure is 0/empty, never out of bounds.
+  EXPECT_EQ(reader.u64(), 0u);
+  EXPECT_EQ(reader.str(), "");
+}
+
+TEST(ByteOrderTest, StringPrefixBeyondBufferFails) {
+  std::vector<std::byte> buffer;
+  ByteWriter writer(buffer);
+  writer.u16(1000);  // claims 1000 bytes; none follow
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteOrderTest, OverlongStringTruncatesAt16Bits) {
+  std::vector<std::byte> buffer;
+  ByteWriter writer(buffer);
+  writer.str(std::string(70000, 'x'));
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.str().size(), 0xFFFFu);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(WireFormatTest, FrameHeaderLayout) {
+  LoopbackTransport transport;
+  WireExporterOptions options;
+  options.domain = 42;
+  WireExporter exporter(transport, options);
+  PumpSnapshot snapshot;
+  snapshot.tick = 3;
+  exporter.export_snapshot(snapshot);
+
+  ASSERT_EQ(transport.frames().size(), 1u);
+  const auto& frame = transport.frames()[0];
+  ByteReader reader(frame);
+  EXPECT_EQ(reader.u16(), kWireVersion);
+  EXPECT_EQ(reader.u16(), frame.size());  // length covers the whole frame
+  EXPECT_EQ(reader.u32(), 0u);            // first frame: sequence 0
+  EXPECT_EQ(reader.u32(), 3u);            // export tick
+  EXPECT_EQ(reader.u32(), 42u);           // domain
+  // The first set of the first frame is the template announcement.
+  EXPECT_EQ(reader.u16(), kTemplateSetId);
+}
+
+TEST(WireFormatTest, SequenceIncrementsPerFrame) {
+  LoopbackTransport transport;
+  WireExporter exporter(transport);
+  PumpSnapshot snapshot;
+  exporter.export_snapshot(snapshot);
+  exporter.export_snapshot(snapshot);
+  ASSERT_EQ(transport.frames().size(), 2u);
+  ByteReader second(transport.frames()[1]);
+  second.skip(4);
+  EXPECT_EQ(second.u32(), 1u);
+  EXPECT_EQ(exporter.next_sequence(), 2u);
+  EXPECT_EQ(exporter.stats().frames_sent, 2u);
+}
+
+TEST(WireFormatTest, TemplatesAnnouncedOnceWhenIntervalZero) {
+  LoopbackTransport transport;
+  WireExporterOptions options;
+  options.template_interval = 0;
+  WireExporter exporter(transport, options);
+  PumpSnapshot snapshot;
+  for (int i = 0; i < 4; ++i) exporter.export_snapshot(snapshot);
+  EXPECT_EQ(exporter.stats().template_sets, 1u);
+}
+
+TEST(WireFormatTest, OversizedRecordIsDroppedNotSent) {
+  LoopbackTransport transport;
+  WireExporter exporter(transport);
+  // A ~60KB policy string blows past the frame ceiling; the record can
+  // never be framed, so it must be counted and dropped.
+  RouteEvent event;
+  event.policy = std::string(60001, 'p');
+  exporter.export_route_events(std::span<const RouteEvent>(&event, 1));
+  EXPECT_EQ(exporter.stats().records_dropped, 1u);
+}
+
+}  // namespace
+}  // namespace lumen::obs::wire

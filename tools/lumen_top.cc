@@ -1,6 +1,7 @@
 // lumen_top — live terminal view of the obs MetricsPump snapshot stream.
 //
 //   $ ./lumen_top <snapshot.jsonl> [--interval S] [--once]
+//   $ ./lumen_top --collect PORT [--interval S] [--once]
 //   $ ./lumen_top --demo [--once] [--serve PORT]
 //
 // Tail mode follows a JSONL sink written by obs::MetricsPump (see
@@ -21,18 +22,27 @@
 // deployment.  With --serve PORT it also exposes the live registry as a
 // Prometheus text endpoint on 127.0.0.1:PORT.
 //
+// Collect mode is the UDP twin of tail mode: it binds 127.0.0.1:PORT,
+// decodes wire-telemetry frames (src/obs/wire) as a WireExporter on any
+// process sends them, and renders each completed snapshot live — no
+// shared filesystem required.  A recv quiet period flushes the
+// in-progress snapshot so the view never stalls on a lost boundary.
+//
 // Under LUMEN_OBS_DISABLED everything still compiles and links; the demo
 // then renders empty snapshots (the instruments are no-ops) and --serve
-// reports that the endpoint is compiled out.
+// reports that the endpoint is compiled out.  Collect mode keeps
+// working — the wire decoder is compiled in both modes.
 #include <unistd.h>
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -43,11 +53,13 @@
 #include "obs/metrics_server.h"
 #include "obs/registry.h"
 #include "obs/slo.h"
+#include "obs/wire/wire_decoder.h"
 #include "rwa/session_manager.h"
 #include "topo/topologies.h"
 #include "topo/wavelengths.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/udp.h"
 
 using namespace lumen;
 
@@ -58,12 +70,14 @@ struct Options {
   double interval_seconds = 1.0;
   bool once = false;
   bool demo = false;
-  int serve_port = -1;  // < 0: no endpoint
+  int serve_port = -1;    // < 0: no endpoint
+  int collect_port = -1;  // < 0: not collecting
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: lumen_top <snapshot.jsonl> [--interval S] [--once]\n"
+               "       lumen_top --collect PORT [--interval S] [--once]\n"
                "       lumen_top --demo [--once] [--serve PORT]\n");
 }
 
@@ -88,6 +102,13 @@ void render(const obs::PumpSnapshot& snapshot,
                         "+" + std::to_string(delta)});
     }
     out += counters.to_markdown() + "\n";
+  }
+
+  if (!snapshot.gauges.empty()) {
+    Table gauges({"gauge", "value"});
+    for (const auto& [name, value] : snapshot.gauges)
+      gauges.add_row({name, fmt_double(value, 4)});
+    out += gauges.to_markdown() + "\n";
   }
 
   if (!snapshot.histograms.empty()) {
@@ -116,7 +137,7 @@ void render(const obs::PumpSnapshot& snapshot,
 
 /// Parses one pump_snapshot_to_json line back into a PumpSnapshot.
 /// Key scheme: "tick", "uptime_seconds", "c:<name>", "d:<name>",
-/// "h:<name>:<field>", "alerts".
+/// "g:<name>", "h:<name>:<field>", "alerts".
 obs::PumpSnapshot parse_snapshot_line(const std::string& line,
                                       std::size_t line_no) {
   obs::PumpSnapshot snapshot;
@@ -136,6 +157,8 @@ obs::PumpSnapshot parse_snapshot_line(const std::string& line,
     } else if (key.rfind("d:", 0) == 0) {
       snapshot.counter_deltas.emplace_back(key.substr(2),
                                            static_cast<std::uint64_t>(number));
+    } else if (key.rfind("g:", 0) == 0) {
+      snapshot.gauges.emplace_back(key.substr(2), number);
     } else if (key.rfind("h:", 0) == 0) {
       const std::size_t colon = key.rfind(':');
       const std::string name = key.substr(2, colon - 2);
@@ -196,6 +219,41 @@ int run_tail(const Options& options) {
     if (options.once) return 0;
     std::this_thread::sleep_for(
         std::chrono::duration<double>(options.interval_seconds));
+  }
+}
+
+/// Collect mode: live UDP tail of a WireExporter's frame stream.
+int run_collect(const Options& options) {
+  UdpSocket socket(static_cast<std::uint16_t>(options.collect_port));
+  if (!socket.ok()) {
+    std::fprintf(stderr, "lumen_top: cannot bind UDP 127.0.0.1:%d\n",
+                 options.collect_port);
+    return 1;
+  }
+  std::fprintf(stderr, "lumen_top: collecting on 127.0.0.1:%u\n",
+               static_cast<unsigned>(socket.port()));
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  obs::wire::WireDecoder decoder;
+  std::vector<std::byte> buffer(65536);
+  while (true) {
+    const long n = socket.recv(buffer, options.interval_seconds);
+    if (n < 0) {
+      std::fprintf(stderr, "lumen_top: socket error\n");
+      return 1;
+    }
+    if (n > 0) {
+      (void)decoder.decode_frame(std::span<const std::byte>(
+          buffer.data(), static_cast<std::size_t>(n)));
+    } else {
+      // Quiet period: surface the in-progress snapshot rather than wait
+      // for the next boundary record (which a lost frame may never bring).
+      decoder.flush();
+    }
+    const std::vector<obs::PumpSnapshot> snapshots = decoder.take_snapshots();
+    if (!snapshots.empty()) {
+      render(snapshots.back(), {}, tty && !options.once);
+      if (options.once) return 0;
+    }
   }
 }
 
@@ -269,6 +327,8 @@ int main(int argc, char** argv) {
       if (options.interval_seconds <= 0.0) options.interval_seconds = 1.0;
     } else if (std::strcmp(arg, "--serve") == 0 && i + 1 < argc) {
       options.serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--collect") == 0 && i + 1 < argc) {
+      options.collect_port = std::atoi(argv[++i]);
     } else if (arg[0] == '-') {
       usage();
       return 2;
@@ -277,6 +337,8 @@ int main(int argc, char** argv) {
     }
   }
   if (options.demo) return run_demo(options);
+  if (options.collect_port >= 0 && options.collect_port <= 65535)
+    return run_collect(options);
   if (options.snapshot_path.empty()) {
     usage();
     return 2;
