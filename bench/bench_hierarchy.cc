@@ -1,0 +1,359 @@
+// E19 (extension) — contraction-hierarchy ablations, plus the E8 heap
+// micro-bench it absorbed.
+//
+// The engine's partial contraction hierarchy answers a semilightpath
+// query with a bidirectional *upward* search over the elimination order:
+// a backward sweep over H_b from the sink seeds, then a forward ascent
+// over H_f that stops as soon as the frontier key reaches the best meet.
+// The ablation grid crosses four query modes — plain engine Dijkstra,
+// ALT (goal-directed A*), CH (hierarchy), CH+ALT (hierarchy with the
+// same residual-safe potential pruning the ascent) — with two residual
+// states: low load (pristine) and high load (~30% of the (link, λ)
+// pairs reserved, after re-customization; beyond that the degree-2
+// access rings disconnect and almost nothing routes).
+//
+// The instance is the metro/backbone WAN (hierarchical_topology): access
+// rings hanging off a chorded hub ring, the shape WDM networks are
+// actually deployed in.  Elimination contracts the rings completely and
+// leaves a ~hub-sized core, which is where the hierarchy's advantage
+// comes from — and why E19 does NOT use the random sparse
+// comparison_network: expander-like graphs have no small separators, the
+// core stays large, and ALT keeps winning there (see docs/PERFORMANCE.md).
+// Queries are a fixed mix of scattered random pairs, the regime of an
+// online session workload: every query sees a cold target, so ALT pays
+// its per-target reverse Dijkstra while CH needs no potential at all.
+// Every series verifies in-bench that its costs are bit-identical to the
+// plain engine search over the whole mix.
+//
+// BM_HierarchyCustomize isolates the incremental maintenance cost: one
+// span fail + repair, re-customizing only the patched spans' support
+// cones (the touched-arcs counter is exported next to the timing).
+//
+// BM_HeapMixedOps (from the retired bench_heaps) keeps the raw heap
+// ablation: a Dijkstra-shaped push/decrease/pop mix over all four
+// in-tree heaps — the 4-ary array heap's batched (SIMD min-of-4) child
+// scan is the one the SearchScratch hot path uses.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/aux_graph.h"
+#include "core/route_engine.h"
+#include "graph/binary_heap.h"
+#include "graph/dijkstra.h"
+#include "graph/pairing_heap.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 24680;
+constexpr double kHighLoad = 0.3;
+constexpr std::size_t kMixSize = 40;
+
+constexpr RouteEngine::Options kBuildHierarchy{.build_hierarchy = true};
+constexpr RouteEngine::QueryOptions kAlt{.goal_directed = true};
+constexpr RouteEngine::QueryOptions kCh{.use_hierarchy = true};
+constexpr RouteEngine::QueryOptions kChAlt{.goal_directed = true,
+                                           .use_hierarchy = true};
+
+/// Metro/backbone WAN at the comparison_network wavelength regime:
+/// sqrt(n) hubs on a chorded ring, each serving a (sqrt(n)-1)-node
+/// access ring; k = ceil(log2 n), k0 <= 4, uniform conversion.
+WdmNetwork hierarchy_network(std::uint32_t n, std::uint64_t seed) {
+  const auto side = static_cast<std::uint32_t>(
+      std::round(std::sqrt(static_cast<double>(n))));
+  const auto k = static_cast<std::uint32_t>(
+      std::ceil(std::log2(static_cast<double>(n))));
+  Rng rng(seed + n);
+  const Topology topo = hierarchical_topology(side, side - 1, side / 2, rng);
+  const Availability avail = uniform_availability(
+      topo, k, 1, std::min(k, 4u), CostSpec::uniform(1.0, 3.0), rng);
+  return assemble_network(topo, k, avail,
+                          std::make_shared<UniformConversion>(0.3));
+}
+
+/// The scattered-pair query mix every series routes (deterministic).
+std::vector<std::pair<NodeId, NodeId>> query_mix(std::uint32_t n) {
+  Rng rng(kSeed ^ 0x4a11ULL);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(kMixSize);
+  for (std::size_t i = 0; i < kMixSize; ++i) {
+    pairs.emplace_back(
+        NodeId{static_cast<std::uint32_t>(rng.next_below(n))},
+        NodeId{static_cast<std::uint32_t>(rng.next_below(n))});
+  }
+  return pairs;
+}
+
+/// Reserves ~`fraction` of the engine's (link, λ) slots, mirroring a
+/// loaded residual network.  Deterministic in `seed`.
+void load_engine(RouteEngine& engine, const WdmNetwork& net, double fraction,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::uint32_t ei = 0; ei < net.num_links(); ++ei) {
+    const LinkId e{ei};
+    for (const auto& lw : net.available(e)) {
+      if (rng.next_bool(fraction)) (void)engine.reserve(e, lw.lambda);
+    }
+  }
+}
+
+/// Shared ablation body: routes the query mix under `query` on a
+/// hierarchy-equipped engine at `load` reserved fraction (one query per
+/// benchmark iteration, cycling through the mix), verifying every
+/// mix pair against the engine's own uninformed search and exporting
+/// the pop counters the E19 acceptance gate reads.
+void hierarchy_series(benchmark::State& state,
+                      const RouteEngine::QueryOptions& query, double load) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = hierarchy_network(n, kSeed);
+  RouteEngine engine(net, kBuildHierarchy);
+  if (load > 0.0) {
+    load_engine(engine, net, load, kSeed ^ 0x10adULL);
+    (void)engine.customize_hierarchy();  // queries below use const scratch
+  }
+
+  const auto pairs = query_mix(n);
+  SearchScratch scratch;
+  double mode_pops = 0.0;
+  double alt_pops = 0.0;
+  double routable = 0.0;
+  for (const auto& [s, t] : pairs) {
+    const RouteResult plain = engine.route_semilightpath(s, t, scratch);
+    const RouteResult alt = engine.route_semilightpath(s, t, scratch, kAlt);
+    const RouteResult modal = engine.route_semilightpath(s, t, scratch, query);
+    if (plain.found != modal.found ||
+        (plain.found && plain.cost != modal.cost)) {
+      state.SkipWithError("query-mode optimum disagrees with engine Dijkstra");
+      return;
+    }
+    mode_pops += static_cast<double>(modal.stats.search_pops);
+    alt_pops += static_cast<double>(alt.stats.search_pops);
+    if (plain.found) routable += 1.0;
+  }
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[next];
+    next = (next + 1) % pairs.size();
+    const RouteResult r = engine.route_semilightpath(s, t, scratch, query);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.counters["mean_pops"] = mode_pops / static_cast<double>(pairs.size());
+  state.counters["pop_reduction_vs_alt"] =
+      mode_pops == 0.0 ? 0.0 : alt_pops / mode_pops;
+  state.counters["routable"] = routable;
+  state.counters["shortcuts"] =
+      static_cast<double>(engine.stats().hierarchy_shortcuts);
+  state.counters["core_nodes"] =
+      static_cast<double>(engine.stats().hierarchy_core_nodes);
+}
+
+void BM_EngineDijkstra(benchmark::State& state) {
+  hierarchy_series(state, RouteEngine::QueryOptions{}, 0.0);
+}
+BENCHMARK(BM_EngineDijkstra)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineAlt(benchmark::State& state) {
+  hierarchy_series(state, kAlt, 0.0);
+}
+BENCHMARK(BM_EngineAlt)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineCh(benchmark::State& state) { hierarchy_series(state, kCh, 0.0); }
+BENCHMARK(BM_EngineCh)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineChAlt(benchmark::State& state) {
+  hierarchy_series(state, kChAlt, 0.0);
+}
+BENCHMARK(BM_EngineChAlt)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineDijkstraHighLoad(benchmark::State& state) {
+  hierarchy_series(state, RouteEngine::QueryOptions{}, kHighLoad);
+}
+BENCHMARK(BM_EngineDijkstraHighLoad)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineAltHighLoad(benchmark::State& state) {
+  hierarchy_series(state, kAlt, kHighLoad);
+}
+BENCHMARK(BM_EngineAltHighLoad)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineChHighLoad(benchmark::State& state) {
+  hierarchy_series(state, kCh, kHighLoad);
+}
+BENCHMARK(BM_EngineChHighLoad)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EngineChAltHighLoad(benchmark::State& state) {
+  hierarchy_series(state, kChAlt, kHighLoad);
+}
+BENCHMARK(BM_EngineChAltHighLoad)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  // One-time ordering + first customization, the cost build_hierarchy
+  // adds to engine construction (amortized over the query stream).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = hierarchy_network(n, kSeed);
+  std::uint32_t shortcuts = 0;
+  for (auto _ : state) {
+    RouteEngine engine(net, kBuildHierarchy);
+    shortcuts = engine.stats().hierarchy_shortcuts;
+    benchmark::DoNotOptimize(shortcuts);
+  }
+  state.counters["shortcuts"] = static_cast<double>(shortcuts);
+}
+BENCHMARK(BM_HierarchyBuild)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HierarchyCustomize(benchmark::State& state) {
+  // Incremental maintenance: one (link, λ) fail + repair per iteration,
+  // each followed by a customize() that may only touch the patched
+  // slot's support cone.  touched_arcs counts re-evaluated arcs per
+  // customize; total_arcs is the flat re-customization cost it avoids.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = hierarchy_network(n, kSeed);
+  RouteEngine engine(net, kBuildHierarchy);
+  Rng rng(kSeed ^ 0xcc5ULL);
+  std::uint64_t touched = 0;
+  std::uint64_t customizations = 0;
+  for (auto _ : state) {
+    const LinkId e{static_cast<std::uint32_t>(rng.next_below(net.num_links()))};
+    if (net.num_available(e) == 0) continue;
+    const LinkWavelength lw = net.available(e)[0];
+    engine.set_weight(e, lw.lambda, kInfiniteCost);
+    touched += engine.customize_hierarchy();
+    engine.set_weight(e, lw.lambda, lw.cost);
+    touched += engine.customize_hierarchy();
+    customizations += 2;
+  }
+  state.counters["touched_arcs"] =
+      customizations == 0 ? 0.0
+                          : static_cast<double>(touched) /
+                                static_cast<double>(customizations);
+  state.counters["total_arcs"] =
+      static_cast<double>(engine.stats().core_links +
+                          engine.stats().hierarchy_shortcuts);
+}
+BENCHMARK(BM_HierarchyCustomize)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+/// E8 heap ablation (absorbed from the retired bench_heaps): Dijkstra
+/// over the single-pair auxiliary graph with each in-tree heap plugged
+/// in, showing Theorem 1's asymptotic Fibonacci-heap choice versus
+/// practical constants.  Uses bench_heaps' original seed and expander
+/// instance so the E8 table stays comparable across captures.
+template <class Heap>
+void BM_DijkstraOnAux(benchmark::State& state) {
+  constexpr std::uint64_t kE8Seed = 5150;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = bench::comparison_network(n, kE8Seed);
+  const auto aux =
+      AuxiliaryGraph::build_single_pair(net, NodeId{0}, NodeId{n / 2});
+  for (auto _ : state) {
+    const auto tree = dijkstra_with<Heap>(aux.graph(), aux.source_terminal());
+    benchmark::DoNotOptimize(tree.dist.back());
+  }
+  state.counters["aux_nodes"] = static_cast<double>(aux.graph().num_nodes());
+  state.counters["aux_links"] = static_cast<double>(aux.graph().num_links());
+}
+BENCHMARK(BM_DijkstraOnAux<FibHeap>)
+    ->Name("BM_DijkstraOnAux/Fibonacci")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DijkstraOnAux<BinaryHeap>)
+    ->Name("BM_DijkstraOnAux/Binary")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DijkstraOnAux<QuaternaryHeap>)
+    ->Name("BM_DijkstraOnAux/Quaternary")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DijkstraOnAux<PairingHeap>)
+    ->Name("BM_DijkstraOnAux/Pairing")
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw heap micro-bench (absorbed from the retired bench_heaps): a
+/// Dijkstra-shaped push/decrease/pop mix.
+template <class Heap>
+void BM_HeapMixedOps(benchmark::State& state) {
+  const auto ops = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Heap heap;
+    Rng rng(kSeed);
+    std::vector<typename Heap::Handle> handles;
+    std::vector<double> keys;
+    handles.reserve(ops);
+    for (std::uint32_t i = 0; i < ops; ++i) {
+      const double key = rng.next_double_in(0, 1e6);
+      handles.push_back(heap.push(key, i));
+      keys.push_back(key);
+      if (i % 3 == 0 && i > 0) {
+        const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+        // decrease_key on a possibly-stale handle is guarded by key check.
+        if (keys[j] > 0) {
+          heap.decrease_key(handles[j], keys[j] * 0.5);
+          keys[j] *= 0.5;
+        }
+      }
+      if (i % 4 == 0 && !heap.empty()) {
+        const auto [key_popped, item] = heap.pop_min();
+        keys[item] = -1;  // mark dead
+        benchmark::DoNotOptimize(key_popped);
+      }
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * ops);
+}
+BENCHMARK(BM_HeapMixedOps<FibHeap>)
+    ->Name("BM_HeapMixedOps/Fibonacci")
+    ->Arg(100000);
+BENCHMARK(BM_HeapMixedOps<BinaryHeap>)
+    ->Name("BM_HeapMixedOps/Binary")
+    ->Arg(100000);
+BENCHMARK(BM_HeapMixedOps<QuaternaryHeap>)
+    ->Name("BM_HeapMixedOps/Quaternary")
+    ->Arg(100000);
+BENCHMARK(BM_HeapMixedOps<PairingHeap>)
+    ->Name("BM_HeapMixedOps/Pairing")
+    ->Arg(100000);
+
+}  // namespace
+
+LUMEN_BENCH_MAIN();

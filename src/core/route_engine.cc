@@ -39,6 +39,23 @@ struct EngineInstruments {
       obs::Registry::global().counter("lumen.core.search.settled");
   obs::Counter& search_pruned =
       obs::Registry::global().counter("lumen.core.search.pruned");
+  // Hierarchy family: build size, query effort, and the customization
+  // work the residual churn actually costs (recustomized_arcs per
+  // customize_runs is the touched-cone size the sublinearity tests gate).
+  obs::Counter& hierarchy_shortcuts =
+      obs::Registry::global().counter("lumen.core.hierarchy.shortcuts");
+  obs::Counter& hierarchy_queries =
+      obs::Registry::global().counter("lumen.core.hierarchy.queries");
+  obs::Counter& hierarchy_fallbacks =
+      obs::Registry::global().counter("lumen.core.hierarchy.fallbacks");
+  obs::Counter& hierarchy_upward_pops =
+      obs::Registry::global().counter("lumen.core.hierarchy.upward_pops");
+  obs::Counter& hierarchy_customize_runs =
+      obs::Registry::global().counter("lumen.core.hierarchy.customize_runs");
+  obs::Counter& hierarchy_recustomized_arcs = obs::Registry::global().counter(
+      "lumen.core.hierarchy.recustomized_arcs");
+  obs::LatencyHistogram& hierarchy_customize =
+      obs::Registry::global().histogram("lumen.core.hierarchy.customize_ns");
 
   static EngineInstruments& get() {
     static EngineInstruments instruments;
@@ -147,10 +164,36 @@ RouteEngine::RouteEngine(const WdmNetwork& net, const Options& options)
   for (std::uint32_t slot = 0; slot < core_->num_links(); ++slot)
     base_core_weights_[slot] = core_->link(slot).weight;
 
+  // --- optional contraction hierarchy over the flattened core ------------
+  hierarchy_auto_customize_ = options.hierarchy_auto_customize;
+  if (options.build_hierarchy) {
+    Stopwatch hierarchy_timer;
+    ContractionHierarchy::Options ch;
+    ch.degree_cap = options.hierarchy_degree_cap;
+    ch.fill_cap = options.hierarchy_fill_cap;
+    hierarchy_ = std::make_unique<ContractionHierarchy>(*core_, ch);
+    stats_.hierarchy_seconds = hierarchy_timer.seconds();
+    stats_.hierarchy_shortcuts = hierarchy_->num_shortcuts();
+    stats_.hierarchy_core_nodes = hierarchy_->build_stats().core_nodes;
+    EngineInstruments::get().hierarchy_shortcuts.add(
+        stats_.hierarchy_shortcuts);
+  }
+
   stats_.core_nodes = core_->num_nodes();
   stats_.core_links = core_->num_links();
   stats_.build_seconds = timer.seconds();
   EngineInstruments::get().core_builds.add();
+}
+
+std::uint32_t RouteEngine::customize_hierarchy() {
+  if (hierarchy_ == nullptr || !hierarchy_->stale()) return 0;
+  EngineInstruments& instruments = EngineInstruments::get();
+  Stopwatch timer;
+  const std::uint32_t touched = hierarchy_->customize();
+  instruments.hierarchy_customize_runs.add();
+  instruments.hierarchy_recustomized_arcs.add(touched);
+  instruments.hierarchy_customize.record_seconds(timer.seconds());
+  return touched;
 }
 
 RouteResult RouteEngine::trivial_self_route() const {
@@ -168,6 +211,11 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t) {
 
 RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
                                              const QueryOptions& query) {
+  // The scratch-less overload may mutate the engine, so a stale hierarchy
+  // can self-heal here; the const overloads below must fall back instead.
+  if (query.use_hierarchy && hierarchy_auto_customize_) {
+    (void)customize_hierarchy();
+  }
   return route_semilightpath(s, t, scratch_, query);
 }
 
@@ -219,6 +267,75 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
                                 ? target_potential(t, scratch)
                                 : nullptr;
 
+  // π_t over core nodes = max of the active base-weight bounds for the
+  // node's physical site.  Both bounds are 0 at t itself, so every sink
+  // has potential 0 and the first settled sink is still the cheapest.
+  const bool use_alt = goal && query.use_landmarks && !landmarks_.empty();
+  const std::uint32_t tv = t.value();
+  const auto potential = [&](std::uint32_t aux_node) {
+    const std::uint32_t p = core_phys_[aux_node];
+    double h = to_target != nullptr ? to_target[p] : 0.0;
+    if (use_alt && h < kInfiniteCost) {
+      const double alt = landmarks_.potential(p, tv);
+      if (alt > h) h = alt;
+    }
+    return h;
+  };
+
+  // Hierarchy path: bidirectional upward query over the customized
+  // shortcuts.  Requires a fresh customization — a stale (or absent)
+  // hierarchy silently degrades to the flat search below.
+  const bool hier =
+      query.use_hierarchy && hierarchy_ != nullptr && !hierarchy_->stale();
+  if (query.use_hierarchy && !hier) instruments.hierarchy_fallbacks.add();
+  if (hier) {
+    instruments.hierarchy_queries.add();
+    CsrRunStats run_stats;
+    std::vector<std::uint32_t> slots;
+    const bool route_found =
+        goal ? hierarchy_->query(sources_of_[s.value()], sinks_of_[t.value()],
+                                 scratch, potential, slots, &run_stats)
+             : hierarchy_->query(sources_of_[s.value()], sinks_of_[t.value()],
+                                 scratch, NoPotential{}, slots, &run_stats);
+    instruments.record_search(run_stats);
+    instruments.hierarchy_upward_pops.add(run_stats.pops);
+    result.stats.search_pops = run_stats.pops;
+    result.stats.search_settled = run_stats.settled;
+    result.stats.search_relaxations = run_stats.relaxations;
+    result.stats.search_pruned = run_stats.pruned;
+    result.stats.search_seconds = timer.seconds();
+#if LUMEN_OBS_ENABLED
+    result.telemetry.emplace();
+    result.telemetry->dijkstra_seconds = result.stats.search_seconds;
+#endif
+    if (!route_found) {
+      result.found = false;
+      result.cost = kInfiniteCost;
+      instruments.not_found.add();
+      instruments.latency.record_seconds(result.stats.total_seconds());
+      return result;
+    }
+    result.found = true;
+    // Re-accumulate the cost left-to-right over the unpacked slots: the
+    // same addition order the flat Dijkstra uses along this path, so the
+    // modes agree bit-for-bit instead of up to tree-sum rounding.
+    double cost = 0.0;
+    for (const std::uint32_t slot : slots) {
+      cost += core_->weight(slot);
+      const SlotInfo& info = slot_info_[slot];
+      if (info.phys.valid()) {
+        result.path.append(Hop{info.phys, info.from});
+      } else if (info.from != info.to) {
+        result.switches.push_back(
+            SwitchSetting{info.node, info.from, info.to});
+      }
+    }
+    result.cost = cost;
+    instruments.found.add();
+    instruments.latency.record_seconds(result.stats.total_seconds());
+    return result;
+  }
+
   // Virtual terminals: every y_s(λ) is a distance-0 seed (≡ the zero-weight
   // s' → Y_s ties), every x_t(λ) a sink; the first settled sink is the best
   // endpoint over all arrival wavelengths (≡ the zero-weight X_t → t''
@@ -228,20 +345,6 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
   CsrRunStats run_stats;
   NodeId hit;
   if (goal) {
-    // π_t over core nodes = max of the active base-weight bounds for the
-    // node's physical site.  Both bounds are 0 at t itself, so every sink
-    // has potential 0 and the first settled sink is still the cheapest.
-    const bool use_alt = query.use_landmarks && !landmarks_.empty();
-    const std::uint32_t tv = t.value();
-    const auto potential = [&](std::uint32_t aux_node) {
-      const std::uint32_t p = core_phys_[aux_node];
-      double h = to_target != nullptr ? to_target[p] : 0.0;
-      if (use_alt && h < kInfiniteCost) {
-        const double alt = landmarks_.potential(p, tv);
-        if (alt > h) h = alt;
-      }
-      return h;
-    };
     hit = astar_csr_run(*core_, sources_of_[s.value()], scratch, potential,
                         &run_stats);
   } else {
@@ -339,6 +442,7 @@ RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t,
     best.stats.search_pops += run_stats.pops;
     best.stats.search_settled += run_stats.settled;
     best.stats.search_relaxations += run_stats.relaxations;
+    best.stats.search_pruned += run_stats.pruned;
     if (!hit.valid() || scratch.dist(hit) >= best.cost) continue;
 
     best.found = true;
@@ -423,6 +527,9 @@ RouteEngine::ReserveHandle RouteEngine::reserve(LinkId e, Wavelength lambda) {
   ReserveHandle handle{core_slot, weight_index, core_->link(core_slot).weight};
   core_->set_weight(core_slot, kInfiniteCost);
   lightpath_weights_[weight_index] = kInfiniteCost;
+  if (hierarchy_ != nullptr) {
+    hierarchy_->update_slot(core_slot, kInfiniteCost);
+  }
   EngineInstruments::get().weight_patches.add();
   return handle;
 }
@@ -431,6 +538,9 @@ void RouteEngine::release(const ReserveHandle& handle) {
   LUMEN_REQUIRE(handle.core_slot != CsrDigraph::kInvalidSlot);
   core_->set_weight(handle.core_slot, handle.cost);
   lightpath_weights_[handle.phys_weight_index] = handle.cost;
+  if (hierarchy_ != nullptr) {
+    hierarchy_->update_slot(handle.core_slot, handle.cost);
+  }
   EngineInstruments::get().weight_patches.add();
 }
 
@@ -441,6 +551,9 @@ void RouteEngine::set_weight(LinkId e, Wavelength lambda, double weight) {
                     "goal-direction lower bounds; build a new RouteEngine");
   core_->set_weight(core_slot, weight);
   lightpath_weights_[weight_index] = weight;
+  if (hierarchy_ != nullptr) {
+    hierarchy_->update_slot(core_slot, weight);
+  }
   EngineInstruments::get().weight_patches.add();
 }
 

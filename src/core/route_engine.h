@@ -53,6 +53,7 @@
 
 #include "core/route_types.h"
 #include "graph/csr.h"
+#include "graph/hierarchy.h"
 #include "graph/landmarks.h"
 #include "wdm/network.h"
 
@@ -74,6 +75,22 @@ class RouteEngine {
     std::uint32_t num_landmarks = 8;
     /// Seed of the deterministic farthest-point selection.
     std::uint64_t landmark_seed = 0x1a27'5eedULL;
+    /// Build a partial contraction hierarchy over the flattened core
+    /// (QueryOptions{use_hierarchy} then answers semilightpath queries
+    /// with a bidirectional upward search).  Off by default: the
+    /// elimination ordering costs noticeably more than the flatten
+    /// itself, so only engines that expect many queries opt in.
+    bool build_hierarchy = false;
+    /// Elimination caps (see ContractionHierarchy::Options): nodes with
+    /// more live neighbors, or whose elimination would add more shortcut
+    /// arcs, stay in the never-contracted core.
+    std::uint32_t hierarchy_degree_cap = 32;
+    std::uint32_t hierarchy_fill_cap = 160;
+    /// Scratch-less (non-const) hierarchy queries re-customize a stale
+    /// hierarchy inline before searching.  Const/concurrent queries never
+    /// customize — they fall back to the flat search while stale.
+    /// Disable to control customization timing via customize_hierarchy().
+    bool hierarchy_auto_customize = true;
   };
 
   /// Per-query configuration.
@@ -87,6 +104,15 @@ class RouteEngine {
     /// Include the exact per-target reverse-Dijkstra term (lazily
     /// computed once per target, cached in the scratch).
     bool use_target_potential = true;
+    /// Answer semilightpath queries with the bidirectional hierarchy
+    /// search when the engine built one (Options{build_hierarchy}) and
+    /// its customization is fresh; otherwise the query silently falls
+    /// back to the flat (ALT/plain) search and bumps
+    /// lumen.core.hierarchy.fallbacks.  Combine with goal_directed for
+    /// the CH+ALT mode: the forward ascent is additionally pruned by the
+    /// same residual-safe potential (admissible on shortcuts because a
+    /// shortcut's value is at least the real distance it spans).
+    bool use_hierarchy = false;
   };
 
   /// Builds the flattened core from the network's current availability
@@ -165,6 +191,25 @@ class RouteEngine {
   /// Current (patched) w(e, λ); +inf when λ ∉ base Λ(e) or patched out.
   [[nodiscard]] double weight(LinkId e, Wavelength lambda) const;
 
+  // --- hierarchy maintenance ----------------------------------------------
+
+  /// Re-evaluates the hierarchy arcs invalidated by weight patches since
+  /// the last customization — only the support cone above the patched
+  /// spans, not the whole shortcut set.  Returns the number of arcs
+  /// re-evaluated (0 when no hierarchy was built or nothing is stale).
+  /// Not thread-safe against in-flight queries.
+  std::uint32_t customize_hierarchy();
+  [[nodiscard]] bool has_hierarchy() const noexcept {
+    return hierarchy_ != nullptr;
+  }
+  /// True when patches are pending customization; hierarchy queries fall
+  /// back to the flat search until customize_hierarchy() runs (the
+  /// scratch-less overloads do it automatically under
+  /// Options{hierarchy_auto_customize}).
+  [[nodiscard]] bool hierarchy_stale() const noexcept {
+    return hierarchy_ != nullptr && hierarchy_->stale();
+  }
+
   // --- introspection --------------------------------------------------------
 
   struct Stats {
@@ -172,8 +217,11 @@ class RouteEngine {
     std::uint64_t core_links = 0;          ///< gadget + transmission links
     std::uint64_t transmission_slots = 0;  ///< patchable (e, λ) slots
     std::uint32_t landmarks = 0;           ///< ALT landmarks precomputed
+    std::uint32_t hierarchy_shortcuts = 0; ///< shortcut arcs added
+    std::uint32_t hierarchy_core_nodes = 0;///< never-eliminated core nodes
     double build_seconds = 0.0;            ///< one-time flatten cost
     double landmark_seconds = 0.0;         ///< of which: landmark tables
+    double hierarchy_seconds = 0.0;        ///< ordering + first customize
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -234,6 +282,11 @@ class RouteEngine {
   // wavelengths; weight rows lw_[λ * phys_links + slot].
   std::unique_ptr<CsrDigraph> phys_;
   std::vector<double> lightpath_weights_;
+
+  // Optional partial contraction hierarchy over the core; weight patches
+  // are mirrored into it (update_slot) and re-customized lazily.
+  std::unique_ptr<ContractionHierarchy> hierarchy_;
+  bool hierarchy_auto_customize_ = true;
 
   Stats stats_;
   SearchScratch scratch_;  // backs the scratch-less query overloads

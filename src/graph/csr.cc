@@ -3,17 +3,22 @@
 #include <algorithm>
 
 #include "graph/fib_heap.h"
+#include "graph/simd_min.h"
 
 namespace lumen {
 
 CsrDigraph::CsrDigraph(const Digraph& g) {
   offsets_.resize(g.num_nodes() + 1);
-  links_.reserve(g.num_links());
-  std::size_t cursor = 0;
+  heads_.reserve(g.num_links());
+  weights_.reserve(g.num_links());
+  originals_.reserve(g.num_links());
+  std::uint32_t cursor = 0;
   for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
     offsets_[v] = cursor;
     for (const LinkId e : g.out_links(NodeId{v})) {
-      links_.push_back(OutLink{g.head(e), g.weight(e), e});
+      heads_.push_back(g.head(e).value());
+      weights_.push_back(g.weight(e));
+      originals_.push_back(e);
       ++cursor;
     }
   }
@@ -23,12 +28,16 @@ CsrDigraph::CsrDigraph(const Digraph& g) {
 CsrDigraph CsrDigraph::reversed(const Digraph& g) {
   CsrDigraph csr;
   csr.offsets_.resize(g.num_nodes() + 1);
-  csr.links_.reserve(g.num_links());
-  std::size_t cursor = 0;
+  csr.heads_.reserve(g.num_links());
+  csr.weights_.reserve(g.num_links());
+  csr.originals_.reserve(g.num_links());
+  std::uint32_t cursor = 0;
   for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
     csr.offsets_[v] = cursor;
     for (const LinkId e : g.in_links(NodeId{v})) {
-      csr.links_.push_back(OutLink{g.tail(e), g.weight(e), e});
+      csr.heads_.push_back(g.tail(e).value());
+      csr.weights_.push_back(g.weight(e));
+      csr.originals_.push_back(e);
       ++cursor;
     }
   }
@@ -47,7 +56,7 @@ NodeId CsrDigraph::tail(std::uint32_t slot) const {
 std::vector<std::uint32_t> CsrDigraph::slots_by_original() const {
   std::vector<std::uint32_t> slots(num_links(), kInvalidSlot);
   for (std::uint32_t slot = 0; slot < num_links(); ++slot) {
-    const std::uint32_t original = links_[slot].original.value();
+    const std::uint32_t original = originals_[slot].value();
     LUMEN_ASSERT(original < slots.size());
     slots[original] = slot;
   }
@@ -63,13 +72,14 @@ void SearchScratch::begin(std::uint32_t num_nodes) {
     dist_.resize(num_nodes, kInfiniteCost);
     parent_.resize(num_nodes, CsrDigraph::kInvalidSlot);
     state_.resize(num_nodes, 0);
-    key_.resize(num_nodes, kInfiniteCost);
     pos_.resize(num_nodes, 0);
-    pot_stamp_.resize(num_nodes, 0);
-    pot_.resize(num_nodes, 0.0);
+    // The A* potential memo and the hierarchy backward-side arrays are
+    // sized lazily by their modes (ensure_potentials / begin_backward),
+    // so plain-Dijkstra scratches carry only this set.
   }
   ++generation_;  // O(1) invalidation of all per-node state
   heap_.clear();
+  hkey_.clear();
 }
 
 void SearchScratch::mark_sink(NodeId v) {
@@ -78,24 +88,28 @@ void SearchScratch::mark_sink(NodeId v) {
 }
 
 void SearchScratch::heap_push(std::uint32_t v, double key) {
-  key_[v] = key;
   heap_.push_back(v);
+  hkey_.push_back(key);
   pos_[v] = static_cast<std::uint32_t>(heap_.size() - 1);
   state_[v] = kInHeap;
   sift_up(heap_.size() - 1);
 }
 
 void SearchScratch::heap_decrease(std::uint32_t v, double key) {
-  key_[v] = key;
-  sift_up(pos_[v]);
+  const std::uint32_t i = pos_[v];
+  hkey_[i] = key;
+  sift_up(i);
 }
 
 std::uint32_t SearchScratch::heap_pop_min() {
   const std::uint32_t top = heap_.front();
   const std::uint32_t last = heap_.back();
+  const double last_key = hkey_.back();
   heap_.pop_back();
+  hkey_.pop_back();
   if (!heap_.empty()) {
     heap_[0] = last;
+    hkey_[0] = last_key;
     pos_[last] = 0;
     sift_down(0);
   }
@@ -104,43 +118,64 @@ std::uint32_t SearchScratch::heap_pop_min() {
 
 void SearchScratch::sift_up(std::size_t i) {
   const std::uint32_t v = heap_[i];
-  const double key = key_[v];
+  const double key = hkey_[i];
   while (i > 0) {
     const std::size_t up = (i - 1) / 4;
-    const std::uint32_t u = heap_[up];
-    if (key_[u] <= key) break;
-    heap_[i] = u;
-    pos_[u] = static_cast<std::uint32_t>(i);
+    if (hkey_[up] <= key) break;
+    heap_[i] = heap_[up];
+    hkey_[i] = hkey_[up];
+    pos_[heap_[i]] = static_cast<std::uint32_t>(i);
     i = up;
   }
   heap_[i] = v;
+  hkey_[i] = key;
   pos_[v] = static_cast<std::uint32_t>(i);
 }
 
 void SearchScratch::sift_down(std::size_t i) {
   const std::uint32_t v = heap_[i];
-  const double key = key_[v];
+  const double key = hkey_[i];
   const std::size_t size = heap_.size();
   while (true) {
     const std::size_t first_child = 4 * i + 1;
     if (first_child >= size) break;
-    const std::size_t last_child = std::min(first_child + 4, size);
-    std::size_t best = first_child;
-    double best_key = key_[heap_[first_child]];
-    for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      const double ck = key_[heap_[c]];
-      if (ck < best_key) {
-        best = c;
-        best_key = ck;
+    const std::size_t count = std::min<std::size_t>(4, size - first_child);
+    std::size_t best;
+    double best_key;
+#if defined(LUMEN_SIMD_HEAP)
+    if (count == 4) {
+      // Full fan-out: the four child keys sit contiguously in hkey_
+      // (position-parallel layout), so the comparison tree runs as packed
+      // mins over one straight 32-byte load — no per-child gather through
+      // heap_ (see simd_min.h).  Ties pick the first index, matching the
+      // scalar scan below bit-for-bit.  Opt-in: on the reference container
+      // the compare/movemask/ctz index extraction sits on the sift's
+      // critical path and loses to three predicted scalar compares (see
+      // the sift-down ablation in docs/PERFORMANCE.md).
+      const unsigned arg = argmin4(&hkey_[first_child]);
+      best = first_child + arg;
+      best_key = hkey_[best];
+    } else
+#endif
+    {
+      best = first_child;
+      best_key = hkey_[first_child];
+      for (std::size_t c = first_child + 1; c < first_child + count; ++c) {
+        const double ck = hkey_[c];
+        if (ck < best_key) {
+          best = c;
+          best_key = ck;
+        }
       }
     }
     if (best_key >= key) break;
-    const std::uint32_t child = heap_[best];
-    heap_[i] = child;
-    pos_[child] = static_cast<std::uint32_t>(i);
+    heap_[i] = heap_[best];
+    hkey_[i] = best_key;
+    pos_[heap_[i]] = static_cast<std::uint32_t>(i);
     i = best;
   }
   heap_[i] = v;
+  hkey_[i] = key;
   pos_[v] = static_cast<std::uint32_t>(i);
 }
 
@@ -149,52 +184,7 @@ void SearchScratch::sift_down(std::size_t i) {
 NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
                         SearchScratch& scratch, CsrRunStats* stats,
                         std::span<const double> weights) {
-  LUMEN_REQUIRE(weights.empty() || weights.size() == g.num_links());
-  const bool overridden = !weights.empty();
-
-  for (const NodeId s : sources) {
-    LUMEN_REQUIRE(s.value() < g.num_nodes());
-    scratch.touch(s.value());
-    if (scratch.dist_[s.value()] > 0.0) {
-      scratch.dist_[s.value()] = 0.0;
-      scratch.parent_[s.value()] = CsrDigraph::kInvalidSlot;
-      scratch.heap_push(s.value(), 0.0);
-    }
-  }
-
-  while (!scratch.heap_.empty()) {
-    const std::uint32_t u = scratch.heap_pop_min();
-    scratch.state_[u] = SearchScratch::kSettled;
-    if (stats != nullptr) {
-      ++stats->pops;
-      ++stats->settled;
-    }
-    if (scratch.sink_stamp_[u] == scratch.generation_) return NodeId{u};
-    const double du = scratch.dist_[u];
-
-    const auto [first, last] = g.out_slot_range(NodeId{u});
-    for (std::uint32_t slot = first; slot < last; ++slot) {
-      const CsrDigraph::OutLink& out = g.link(slot);
-      const double w = overridden ? weights[slot] : out.weight;
-      if (w == kInfiniteCost) continue;
-      const std::uint32_t v = out.head.value();
-      scratch.touch(v);
-      if (scratch.state_[v] == SearchScratch::kSettled) continue;
-      const double candidate = du + w;
-      if (candidate < scratch.dist_[v]) {
-        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
-        scratch.dist_[v] = candidate;
-        scratch.parent_[v] = slot;
-        if (stats != nullptr) ++stats->relaxations;
-        if (queued) {
-          scratch.heap_decrease(v, candidate);
-        } else {
-          scratch.heap_push(v, candidate);
-        }
-      }
-    }
-  }
-  return NodeId::invalid();
+  return csr_search_run(g, sources, scratch, NoPotential{}, stats, weights);
 }
 
 ShortestPathTree dijkstra_csr(const CsrDigraph& g, NodeId source,
@@ -216,6 +206,8 @@ ShortestPathTree dijkstra_csr(const CsrDigraph& g, NodeId source,
   handle[source.value()] = heap.push(0.0, source.value());
   in_heap[source.value()] = 1;
 
+  const std::uint32_t* heads = g.heads_data();
+  const double* w = g.weights_data();
   while (!heap.empty()) {
     const auto [d, u_raw] = heap.pop_min();
     ++tree.pops;
@@ -224,14 +216,15 @@ ShortestPathTree dijkstra_csr(const CsrDigraph& g, NodeId source,
     if (target && NodeId{u_raw} == *target) break;
     if (d == kInfiniteCost) break;
 
-    for (const CsrDigraph::OutLink& link : g.out(NodeId{u_raw})) {
-      if (link.weight == kInfiniteCost) continue;
-      const std::uint32_t v = link.head.value();
+    const auto [first, last] = g.out_slot_range(NodeId{u_raw});
+    for (std::uint32_t slot = first; slot < last; ++slot) {
+      if (w[slot] == kInfiniteCost) continue;
+      const std::uint32_t v = heads[slot];
       if (settled[v]) continue;
-      const double candidate = d + link.weight;
+      const double candidate = d + w[slot];
       if (candidate < tree.dist[v]) {
         tree.dist[v] = candidate;
-        tree.parent_link[v] = link.original;
+        tree.parent_link[v] = g.original(slot);
         ++tree.relaxations;
         if (in_heap[v]) {
           heap.decrease_key(handle[v], candidate);

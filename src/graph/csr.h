@@ -2,11 +2,18 @@
 //
 // The mutable Digraph stores per-node link vectors — convenient while
 // building, but each adjacency list is its own heap allocation.  CSR packs
-// all out-links into one contiguous array for cache-friendly traversal;
-// the Dijkstra inner loop on large auxiliary graphs is memory-bound, so
-// this is the representation ablation bench_csr measures.  Link identity
-// is preserved: every CSR out-link carries the original LinkId so results
-// (parent links, extracted paths) remain expressed in Digraph terms.
+// all out-links into contiguous arrays for cache-friendly traversal; the
+// Dijkstra inner loop on large auxiliary graphs is memory-bound, so this
+// is the representation ablation bench_csr measures.  Link identity is
+// preserved: every slot carries the original LinkId so results (parent
+// links, extracted paths) remain expressed in Digraph terms.
+//
+// Layout is structure-of-arrays: heads, weights, and original ids live in
+// separate cache-line-aligned arrays keyed by slot.  The search kernel
+// streams exactly two of them (heads + weights) per relaxation, so SoA
+// halves the touched bytes versus the old array-of-structs packing — and
+// a per-wavelength weight override becomes a plain row-pointer swap
+// instead of a per-link branch.
 //
 // The structure (offsets, heads) is immutable after construction, but
 // weights may be patched in place via slot indices (set_weight): this is
@@ -17,9 +24,11 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/dijkstra.h"  // ShortestPathTree, kInfiniteCost
+#include "util/mem.h"
 
 namespace lumen {
 
@@ -27,7 +36,7 @@ namespace lumen {
 /// weights are patchable by slot.
 class CsrDigraph {
  public:
-  /// One packed out-link.  Its index in the packed array is its "slot".
+  /// One packed out-link, materialized by value from the SoA rows.
   struct OutLink {
     NodeId head;
     double weight;
@@ -52,28 +61,43 @@ class CsrDigraph {
     return static_cast<std::uint32_t>(offsets_.size() - 1);
   }
   [[nodiscard]] std::uint32_t num_links() const noexcept {
-    return static_cast<std::uint32_t>(links_.size());
+    return static_cast<std::uint32_t>(heads_.size());
   }
 
-  /// Out-links of v, contiguous.
-  [[nodiscard]] std::span<const OutLink> out(NodeId v) const {
-    LUMEN_REQUIRE(v.value() < num_nodes());
-    return {links_.data() + offsets_[v.value()],
-            offsets_[v.value() + 1] - offsets_[v.value()]};
-  }
-
-  /// Slot range [first, last) of v's out-links in the packed array.
+  /// Slot range [first, last) of v's out-links in the packed arrays.
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> out_slot_range(
       NodeId v) const {
     LUMEN_REQUIRE(v.value() < num_nodes());
-    return {static_cast<std::uint32_t>(offsets_[v.value()]),
-            static_cast<std::uint32_t>(offsets_[v.value() + 1])};
+    return {offsets_[v.value()], offsets_[v.value() + 1]};
   }
 
-  /// The packed out-link stored in `slot`.
-  [[nodiscard]] const OutLink& link(std::uint32_t slot) const {
+  [[nodiscard]] NodeId head(std::uint32_t slot) const {
     LUMEN_REQUIRE(slot < num_links());
-    return links_[slot];
+    return NodeId{heads_[slot]};
+  }
+  [[nodiscard]] double weight(std::uint32_t slot) const {
+    LUMEN_REQUIRE(slot < num_links());
+    return weights_[slot];
+  }
+  [[nodiscard]] LinkId original(std::uint32_t slot) const {
+    LUMEN_REQUIRE(slot < num_links());
+    return originals_[slot];
+  }
+
+  /// The packed out-link stored in `slot`, materialized by value.
+  [[nodiscard]] OutLink link(std::uint32_t slot) const {
+    LUMEN_REQUIRE(slot < num_links());
+    return {NodeId{heads_[slot]}, weights_[slot], originals_[slot]};
+  }
+
+  /// Raw SoA rows for the search kernels (indexed by slot, num_links
+  /// entries).  weights_data() doubles as the default weight row a
+  /// per-wavelength override replaces wholesale.
+  [[nodiscard]] const std::uint32_t* heads_data() const noexcept {
+    return heads_.data();
+  }
+  [[nodiscard]] const double* weights_data() const noexcept {
+    return weights_.data();
   }
 
   /// Tail node of the link stored in `slot` (O(log n) over the offsets).
@@ -85,7 +109,7 @@ class CsrDigraph {
   void set_weight(std::uint32_t slot, double weight) {
     LUMEN_REQUIRE(slot < num_links());
     LUMEN_REQUIRE_MSG(weight >= 0.0, "link weights must be non-negative");
-    links_[slot].weight = weight;
+    weights_[slot] = weight;
   }
 
   /// Reverse index: result[original link id] = slot holding its snapshot.
@@ -95,12 +119,35 @@ class CsrDigraph {
  private:
   CsrDigraph() = default;  // backs the reversed() factory
 
-  std::vector<std::size_t> offsets_;  // n+1 entries
-  std::vector<OutLink> links_;
+  AlignedVector<std::uint32_t> offsets_;  // n+1 entries
+  AlignedVector<std::uint32_t> heads_;    // per slot
+  AlignedVector<double> weights_;         // per slot (patchable)
+  std::vector<LinkId> originals_;         // per slot (cold: path extraction)
 };
 
 class SearchScratch;
+class ContractionHierarchy;
 struct CsrRunStats;
+
+/// Tag potential for the shared kernel: compiles the uninformed Dijkstra
+/// (no potential memo, no pruning branch) out of csr_search_run.
+struct NoPotential {};
+
+/// Below this node count the scratch rows (dist/stamp/state) fit
+/// comfortably in L2 and the software-prefetch bookkeeping is pure
+/// overhead (~10 ns/pop measured on the n = 64 engine bench), so
+/// csr_search_run dispatches to the prefetch-free instantiation.
+inline constexpr std::uint32_t kPrefetchMinNodes = 1u << 15;
+
+template <bool kPrefetch, class Potential>
+NodeId csr_search_run_impl(const CsrDigraph& g, std::span<const NodeId> sources,
+                           SearchScratch& scratch, Potential&& potential,
+                           CsrRunStats* stats, std::span<const double> weights);
+
+template <class Potential>
+NodeId csr_search_run(const CsrDigraph& g, std::span<const NodeId> sources,
+                      SearchScratch& scratch, Potential&& potential,
+                      CsrRunStats* stats, std::span<const double> weights);
 
 /// Declared here (defaults live on this declaration) so it can be a
 /// friend of SearchScratch; definition below the class.
@@ -110,14 +157,20 @@ NodeId astar_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
                      CsrRunStats* stats = nullptr,
                      std::span<const double> weights = {});
 
-/// Reusable search state for dijkstra_csr_run.  Buffers are sized to the
-/// graph once and invalidated lazily via generation stamps, so after
+/// Reusable search state for the CSR search kernels.  Buffers are sized to
+/// the graph once and invalidated lazily via generation stamps, so after
 /// warm-up a query allocates nothing and "clearing" is O(1).
 ///
 /// Protocol per query: begin(n), mark_sink(v) for each early-exit target
 /// (optional), run, then read dist()/parent_slot() for settled nodes.
 /// One scratch serves one thread; concurrent searches need one scratch
 /// each (the graph itself is safe to share read-only).
+///
+/// Footprint is mode-aware: begin() sizes only the arrays every search
+/// touches.  The A* potential memo, the hierarchy query's backward-side
+/// arrays, and the per-target reverse-potential cache are each sized
+/// lazily on the first query of their mode, so a scratch that only ever
+/// runs plain Dijkstra never allocates the other two sets.
 class SearchScratch {
  public:
   /// Opens a new query over an `num_nodes`-node graph: grows the buffers
@@ -167,10 +220,14 @@ class SearchScratch {
   friend NodeId dijkstra_csr_run(const CsrDigraph&, std::span<const NodeId>,
                                  SearchScratch&, CsrRunStats*,
                                  std::span<const double>);
-  template <class Potential>
-  friend NodeId astar_csr_run(const CsrDigraph&, std::span<const NodeId>,
-                              SearchScratch&, Potential&&, CsrRunStats*,
-                              std::span<const double>);
+  template <bool kPrefetch, class Potential>
+  friend NodeId csr_search_run_impl(const CsrDigraph&, std::span<const NodeId>,
+                                    SearchScratch&, Potential&&, CsrRunStats*,
+                                    std::span<const double>);
+  /// The hierarchy query drives both sides of its bidirectional search
+  /// through this scratch (forward pass on the primary arrays, backward
+  /// pass results parked in the b* set).
+  friend class ContractionHierarchy;
 
   static constexpr std::uint8_t kInHeap = 1;
   static constexpr std::uint8_t kSettled = 2;
@@ -185,7 +242,25 @@ class SearchScratch {
     }
   }
 
-  // --- indexed 4-ary heap over node ids, keyed by key_ ------------------
+  /// Lazily sizes the A* potential memo (goal-directed queries only).
+  void ensure_potentials() {
+    if (pot_stamp_.size() < stamp_.size()) {
+      pot_stamp_.resize(stamp_.size(), 0);
+      pot_.resize(stamp_.size(), 0.0);
+    }
+  }
+  /// Lazily sizes the hierarchy backward-side arrays (hierarchy queries
+  /// only) and opens a fresh backward generation.
+  void begin_backward() {
+    if (bstamp_.size() < stamp_.size()) {
+      bstamp_.resize(stamp_.size(), 0);
+      bdist_.resize(stamp_.size(), kInfiniteCost);
+      bparent_.resize(stamp_.size(), CsrDigraph::kInvalidSlot);
+    }
+    ++bgeneration_;
+  }
+
+  // --- indexed 4-ary heap over node ids, keyed by hkey_ -----------------
   // (Dijkstra pushes key == dist; A* pushes key == dist + potential.)
   void heap_push(std::uint32_t v, double key);
   void heap_decrease(std::uint32_t v, double key);
@@ -194,22 +269,34 @@ class SearchScratch {
   void sift_down(std::size_t i);
 
   std::uint64_t generation_ = 0;
-  std::vector<std::uint64_t> stamp_;       // per node: generation when touched
-  std::vector<std::uint64_t> sink_stamp_;  // per node: generation when marked
-  std::vector<double> dist_;
-  std::vector<std::uint32_t> parent_;  // CSR slot
-  std::vector<std::uint8_t> state_;    // kInHeap / kSettled (stamped)
-  std::vector<double> key_;            // heap ordering key (f-value)
-  std::vector<std::uint32_t> heap_;    // node ids, min-ordered by key_
-  std::vector<std::uint32_t> pos_;     // heap position (valid while kInHeap)
+  AlignedVector<std::uint64_t> stamp_;  // per node: generation when touched
+  AlignedVector<std::uint64_t> sink_stamp_;  // generation when marked
+  AlignedVector<double> dist_;
+  AlignedVector<std::uint32_t> parent_;  // CSR slot
+  AlignedVector<std::uint8_t> state_;    // kInHeap / kSettled (stamped)
+  AlignedVector<std::uint32_t> heap_;  // node ids, min-ordered by hkey_
+  // Heap keys (f-values) stored position-parallel to heap_, NOT per node:
+  // sift-down's four child keys then sit in one contiguous 32-byte run, so
+  // the min scan is a straight load (SIMD-friendly) instead of a gather
+  // through heap_ into a node-indexed array.
+  AlignedVector<double> hkey_;
+  AlignedVector<std::uint32_t> pos_;  // heap position (valid while kInHeap)
   // Per-query memo of the A* potential (evaluating it costs O(L) per
-  // node, and a node can be relaxed many times before settling).
-  std::vector<std::uint64_t> pot_stamp_;
-  std::vector<double> pot_;
+  // node, and a node can be relaxed many times before settling); sized
+  // lazily by ensure_potentials().
+  AlignedVector<std::uint64_t> pot_stamp_;
+  AlignedVector<double> pot_;
+  // Backward side of the hierarchy's bidirectional query, stamped by its
+  // own generation so one begin() can host both passes; sized lazily by
+  // begin_backward().
+  std::uint64_t bgeneration_ = 0;
+  AlignedVector<std::uint64_t> bstamp_;
+  AlignedVector<double> bdist_;
+  AlignedVector<std::uint32_t> bparent_;  // hierarchy arc id
   TargetPotential target_potential_;
 };
 
-/// Per-run effort counters of dijkstra_csr_run / astar_csr_run.
+/// Per-run effort counters of the CSR search kernels.
 struct CsrRunStats {
   std::uint64_t pops = 0;
   std::uint64_t settled = 0;  ///< == pops (no lazy deletion), kept explicit
@@ -236,6 +323,124 @@ NodeId dijkstra_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
                         SearchScratch& scratch, CsrRunStats* stats = nullptr,
                         std::span<const double> weights = {});
 
+/// The shared relaxation kernel behind dijkstra_csr_run and astar_csr_run
+/// (both weight-override variants included): one loop, instantiated with
+/// NoPotential for the uninformed search so the goal-directed branches
+/// compile out, and with kPrefetch = false for graphs whose scratch rows
+/// fit in cache (see kPrefetchMinNodes).  See astar_csr_run for the
+/// potential contract.
+template <bool kPrefetch, class Potential>
+NodeId csr_search_run_impl(const CsrDigraph& g, std::span<const NodeId> sources,
+                           SearchScratch& scratch, Potential&& potential,
+                           CsrRunStats* stats, std::span<const double> weights) {
+  constexpr bool kGoal = !std::is_same_v<std::decay_t<Potential>, NoPotential>;
+  // How far ahead of the relaxation cursor the scratch rows of upcoming
+  // heads are prefetched; far enough to cover an L2 miss, near enough to
+  // stay within typical out-degrees.
+  [[maybe_unused]] constexpr std::uint32_t kLookahead = 4;
+  LUMEN_REQUIRE(weights.empty() || weights.size() == g.num_links());
+  // SoA: an override is a wholesale row swap, not a per-link branch.
+  const double* w = weights.empty() ? g.weights_data() : weights.data();
+  const std::uint32_t* heads = g.heads_data();
+  if constexpr (kGoal) scratch.ensure_potentials();
+
+  const auto pot_of = [&](std::uint32_t v) -> double {
+    if (scratch.pot_stamp_[v] != scratch.generation_) {
+      scratch.pot_stamp_[v] = scratch.generation_;
+      if constexpr (kGoal) scratch.pot_[v] = potential(v);
+    }
+    return scratch.pot_[v];
+  };
+
+  for (const NodeId s : sources) {
+    LUMEN_REQUIRE(s.value() < g.num_nodes());
+    scratch.touch(s.value());
+    if (scratch.dist_[s.value()] > 0.0) {
+      double h = 0.0;
+      if constexpr (kGoal) {
+        h = pot_of(s.value());
+        if (h == kInfiniteCost) {
+          if (stats != nullptr) ++stats->pruned;
+          continue;
+        }
+      }
+      scratch.dist_[s.value()] = 0.0;
+      scratch.parent_[s.value()] = CsrDigraph::kInvalidSlot;
+      scratch.heap_push(s.value(), h);
+    }
+  }
+
+  while (!scratch.heap_.empty()) {
+    const std::uint32_t u = scratch.heap_pop_min();
+    scratch.state_[u] = SearchScratch::kSettled;
+    // Issue the prefetch of u's packed head/weight rows before the
+    // bookkeeping below so the lines arrive by the relaxation loop.
+    const auto [first, last] = g.out_slot_range(NodeId{u});
+    if constexpr (kPrefetch) {
+      prefetch_read(heads + first);
+      prefetch_read(w + first);
+    }
+    if (stats != nullptr) {
+      ++stats->pops;
+      ++stats->settled;
+    }
+    if (scratch.sink_stamp_[u] == scratch.generation_) return NodeId{u};
+    const double du = scratch.dist_[u];
+
+    for (std::uint32_t slot = first; slot < last; ++slot) {
+      if constexpr (kPrefetch) {
+        if (slot + kLookahead < last) {
+          // The head -> scratch-row load is data-dependent; hint it early.
+          const std::uint32_t ahead = heads[slot + kLookahead];
+          prefetch_read(scratch.stamp_.data() + ahead);
+          prefetch_read(scratch.dist_.data() + ahead);
+        }
+      }
+      const double wt = w[slot];
+      if (wt == kInfiniteCost) continue;
+      const std::uint32_t v = heads[slot];
+      scratch.touch(v);
+      if (scratch.state_[v] == SearchScratch::kSettled) continue;
+      const double candidate = du + wt;
+      if (candidate < scratch.dist_[v]) {
+        double key = candidate;
+        if constexpr (kGoal) {
+          const double hv = pot_of(v);
+          if (hv == kInfiniteCost) {
+            if (stats != nullptr) ++stats->pruned;
+            continue;
+          }
+          key = candidate + hv;
+        }
+        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
+        scratch.dist_[v] = candidate;
+        scratch.parent_[v] = slot;
+        if (stats != nullptr) ++stats->relaxations;
+        if (queued) {
+          scratch.heap_decrease(v, key);
+        } else {
+          scratch.heap_push(v, key);
+        }
+      }
+    }
+  }
+  return NodeId::invalid();
+}
+
+template <class Potential>
+NodeId csr_search_run(const CsrDigraph& g, std::span<const NodeId> sources,
+                      SearchScratch& scratch, Potential&& potential,
+                      CsrRunStats* stats, std::span<const double> weights) {
+  if (g.num_nodes() >= kPrefetchMinNodes) {
+    return csr_search_run_impl<true>(g, sources, scratch,
+                                     std::forward<Potential>(potential), stats,
+                                     weights);
+  }
+  return csr_search_run_impl<false>(g, sources, scratch,
+                                    std::forward<Potential>(potential), stats,
+                                    weights);
+}
+
 /// Goal-directed (A*) variant of dijkstra_csr_run.
 ///
 /// `potential(v)` must be an *admissible, consistent* lower bound on the
@@ -252,70 +457,8 @@ template <class Potential>
 NodeId astar_csr_run(const CsrDigraph& g, std::span<const NodeId> sources,
                      SearchScratch& scratch, Potential&& potential,
                      CsrRunStats* stats, std::span<const double> weights) {
-  LUMEN_REQUIRE(weights.empty() || weights.size() == g.num_links());
-  const bool overridden = !weights.empty();
-
-  const auto pot_of = [&](std::uint32_t v) -> double {
-    if (scratch.pot_stamp_[v] != scratch.generation_) {
-      scratch.pot_stamp_[v] = scratch.generation_;
-      scratch.pot_[v] = potential(v);
-    }
-    return scratch.pot_[v];
-  };
-
-  for (const NodeId s : sources) {
-    LUMEN_REQUIRE(s.value() < g.num_nodes());
-    scratch.touch(s.value());
-    if (scratch.dist_[s.value()] > 0.0) {
-      const double h = pot_of(s.value());
-      if (h == kInfiniteCost) {
-        if (stats != nullptr) ++stats->pruned;
-        continue;
-      }
-      scratch.dist_[s.value()] = 0.0;
-      scratch.parent_[s.value()] = CsrDigraph::kInvalidSlot;
-      scratch.heap_push(s.value(), h);
-    }
-  }
-
-  while (!scratch.heap_.empty()) {
-    const std::uint32_t u = scratch.heap_pop_min();
-    scratch.state_[u] = SearchScratch::kSettled;
-    if (stats != nullptr) {
-      ++stats->pops;
-      ++stats->settled;
-    }
-    if (scratch.sink_stamp_[u] == scratch.generation_) return NodeId{u};
-    const double du = scratch.dist_[u];
-
-    const auto [first, last] = g.out_slot_range(NodeId{u});
-    for (std::uint32_t slot = first; slot < last; ++slot) {
-      const CsrDigraph::OutLink& out = g.link(slot);
-      const double w = overridden ? weights[slot] : out.weight;
-      if (w == kInfiniteCost) continue;
-      const std::uint32_t v = out.head.value();
-      scratch.touch(v);
-      if (scratch.state_[v] == SearchScratch::kSettled) continue;
-      const double candidate = du + w;
-      if (candidate < scratch.dist_[v]) {
-        const double hv = pot_of(v);
-        if (hv == kInfiniteCost) {
-          if (stats != nullptr) ++stats->pruned;
-          continue;
-        }
-        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
-        scratch.dist_[v] = candidate;
-        scratch.parent_[v] = slot;
-        if (stats != nullptr) ++stats->relaxations;
-        if (queued) {
-          scratch.heap_decrease(v, candidate + hv);
-        } else {
-          scratch.heap_push(v, candidate + hv);
-        }
-      }
-    }
-  }
-  return NodeId::invalid();
+  return csr_search_run(g, sources, scratch,
+                        std::forward<Potential>(potential), stats, weights);
 }
 
 /// Dijkstra over the CSR view (Fibonacci heap).  Semantics identical to

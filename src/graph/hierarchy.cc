@@ -1,0 +1,335 @@
+#include "graph/hierarchy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <queue>
+#include <tuple>
+
+namespace lumen {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(const CsrDigraph& g,
+                                           const Options& options) {
+  const std::uint32_t n = g.num_nodes();
+  const std::uint32_t m = g.num_links();
+  build_stats_.nodes = n;
+  const auto order_start = Clock::now();
+
+  // Live adjacency during elimination: distinct-neighbor -> arc id, kept
+  // in ordered maps so the elimination (and therefore the whole
+  // hierarchy) is deterministic.
+  std::vector<std::map<std::uint32_t, std::uint32_t>> out_nbr(n);
+  std::vector<std::map<std::uint32_t, std::uint32_t>> in_nbr(n);
+  std::vector<std::vector<std::uint32_t>> inputs;        // per arc
+  std::vector<std::vector<std::uint32_t>> supports_a;    // per arc
+  std::vector<std::vector<std::uint32_t>> supports_b;    // per arc
+
+  const auto add_arc = [&](std::uint32_t u, std::uint32_t w) {
+    const auto id = static_cast<std::uint32_t>(arc_tail_.size());
+    arc_tail_.push_back(u);
+    arc_head_.push_back(w);
+    inputs.emplace_back();
+    supports_a.emplace_back();
+    supports_b.emplace_back();
+    out_nbr[u].emplace(w, id);
+    in_nbr[w].emplace(u, id);
+    return id;
+  };
+
+  // Initial arcs: parallel CSR slots u->w min-merge into one arc.
+  slot_arc_.assign(m, kInvalidArc);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const auto [first, last] = g.out_slot_range(NodeId{u});
+    for (std::uint32_t slot = first; slot < last; ++slot) {
+      const std::uint32_t w = g.head(slot).value();
+      if (u == w) continue;  // self-loops never lie on a cheapest route
+      const auto it = out_nbr[u].find(w);
+      const std::uint32_t id = it != out_nbr[u].end() ? it->second
+                                                      : add_arc(u, w);
+      inputs[id].push_back(slot);
+      slot_arc_[slot] = id;
+    }
+  }
+  build_stats_.input_arcs = static_cast<std::uint32_t>(arc_tail_.size());
+
+  // Elimination ordering: lazy priority queue over (priority, node,
+  // version).  Deferred nodes (over the caps) re-enter only when a
+  // neighbor's elimination changes their neighborhood.
+  rank_.assign(n, kCoreRank);
+  std::vector<std::uint32_t> level(n, 0);
+  std::vector<std::uint32_t> version(n, 0);
+  std::vector<std::uint8_t> eliminated(n, 0);
+
+  const auto degree_estimate = [&](std::uint32_t x) {
+    const auto in = static_cast<std::int64_t>(in_nbr[x].size());
+    const auto out = static_cast<std::int64_t>(out_nbr[x].size());
+    return 2 * (in * out - in - out) + static_cast<std::int64_t>(level[x]);
+  };
+  // Exact fill-in: pairs (u, v) of in/out neighbors not yet connected.
+  const auto fill_of = [&](std::uint32_t x) {
+    std::uint32_t fill = 0;
+    for (const auto& [u, a1] : in_nbr[x]) {
+      for (const auto& [v, a2] : out_nbr[x]) {
+        if (u == v) continue;
+        if (out_nbr[u].find(v) == out_nbr[u].end()) ++fill;
+      }
+    }
+    return fill;
+  };
+
+  using Entry = std::tuple<std::int64_t, std::uint32_t, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (std::uint32_t x = 0; x < n; ++x) {
+    queue.emplace(degree_estimate(x), x, 0);
+  }
+
+  std::uint32_t next_rank = 0;
+  while (!queue.empty()) {
+    const auto [popped_priority, x, ver] = queue.top();
+    queue.pop();
+    if (eliminated[x]) continue;
+    if (ver != version[x]) continue;  // superseded entry
+    const auto in = static_cast<std::uint32_t>(in_nbr[x].size());
+    const auto out = static_cast<std::uint32_t>(out_nbr[x].size());
+    if (in > options.degree_cap || out > options.degree_cap) continue;
+    const std::uint32_t fill = fill_of(x);
+    if (fill > options.fill_cap) continue;
+    const std::int64_t exact_priority =
+        2 * (static_cast<std::int64_t>(fill) -
+             static_cast<std::int64_t>(in + out)) +
+        static_cast<std::int64_t>(level[x]);
+    if (exact_priority > popped_priority) {
+      queue.emplace(exact_priority, x, ver);  // try again at true priority
+      continue;
+    }
+
+    // Eliminate x: bypass it with a (possibly merged) shortcut per
+    // surviving neighbor pair, supported by the two arcs it replaces.
+    rank_[x] = next_rank++;
+    eliminated[x] = 1;
+    for (const auto& [u, a1] : in_nbr[x]) {
+      for (const auto& [v, a2] : out_nbr[x]) {
+        if (u == v) continue;
+        const auto it = out_nbr[u].find(v);
+        std::uint32_t id;
+        if (it != out_nbr[u].end()) {
+          id = it->second;
+        } else {
+          id = add_arc(u, v);
+          ++build_stats_.shortcut_arcs;
+        }
+        supports_a[id].push_back(a1);
+        supports_b[id].push_back(a2);
+      }
+    }
+    const auto bump = [&](std::uint32_t u) {
+      level[u] = std::max(level[u], level[x] + 1);
+      ++version[u];
+      queue.emplace(degree_estimate(u), u, version[u]);
+    };
+    for (const auto& [u, a1] : in_nbr[x]) {
+      out_nbr[u].erase(x);
+      bump(u);
+    }
+    for (const auto& [v, a2] : out_nbr[x]) {
+      in_nbr[v].erase(x);
+      bump(v);
+    }
+  }
+  build_stats_.core_nodes = n - next_rank;
+  build_stats_.order_seconds = seconds_since(order_start);
+
+  // --- freeze the transient per-arc vectors into flat CSR-style arrays.
+  const auto num_arcs = static_cast<std::uint32_t>(arc_tail_.size());
+  arc_value_.assign(num_arcs, kInfiniteCost);
+  arc_bucket_.resize(num_arcs);
+  for (std::uint32_t a = 0; a < num_arcs; ++a) {
+    const std::uint32_t rt = rank_[arc_tail_[a]];
+    const std::uint32_t rh = rank_[arc_head_[a]];
+    const std::uint32_t key = std::min(rt, rh);
+    arc_bucket_[a] = key == kCoreRank ? next_rank : key;
+  }
+
+  input_offset_.assign(num_arcs + 1, 0);
+  support_offset_.assign(num_arcs + 1, 0);
+  parent_offset_.assign(num_arcs + 1, 0);
+  for (std::uint32_t a = 0; a < num_arcs; ++a) {
+    input_offset_[a + 1] =
+        input_offset_[a] + static_cast<std::uint32_t>(inputs[a].size());
+    support_offset_[a + 1] =
+        support_offset_[a] + static_cast<std::uint32_t>(supports_a[a].size());
+  }
+  input_slots_.reserve(input_offset_[num_arcs]);
+  support_a_.reserve(support_offset_[num_arcs]);
+  support_b_.reserve(support_offset_[num_arcs]);
+  for (std::uint32_t a = 0; a < num_arcs; ++a) {
+    input_slots_.insert(input_slots_.end(), inputs[a].begin(),
+                        inputs[a].end());
+    support_a_.insert(support_a_.end(), supports_a[a].begin(),
+                      supports_a[a].end());
+    support_b_.insert(support_b_.end(), supports_b[a].begin(),
+                      supports_b[a].end());
+    for (const std::uint32_t s : supports_a[a]) ++parent_offset_[s + 1];
+    for (const std::uint32_t s : supports_b[a]) ++parent_offset_[s + 1];
+  }
+  for (std::uint32_t a = 0; a < num_arcs; ++a) {
+    parent_offset_[a + 1] += parent_offset_[a];
+  }
+  parent_arcs_.resize(parent_offset_[num_arcs]);
+  {
+    std::vector<std::uint32_t> cursor(parent_offset_.begin(),
+                                      parent_offset_.end() - 1);
+    for (std::uint32_t a = 0; a < num_arcs; ++a) {
+      for (std::uint32_t i = support_offset_[a]; i < support_offset_[a + 1];
+           ++i) {
+        parent_arcs_[cursor[support_a_[i]]++] = a;
+        parent_arcs_[cursor[support_b_[i]]++] = a;
+      }
+    }
+  }
+
+  // Query adjacency.  Each arc lands in exactly one side: rising rank or
+  // core-core -> forward (relaxed tail->head), strictly falling rank ->
+  // backward (relaxed head->tail from the sinks).
+  fwd_offset_.assign(n + 1, 0);
+  bwd_offset_.assign(n + 1, 0);
+  for (std::uint32_t a = 0; a < num_arcs; ++a) {
+    const std::uint32_t rt = rank_[arc_tail_[a]];
+    const std::uint32_t rh = rank_[arc_head_[a]];
+    if (rt < rh || (rt == kCoreRank && rh == kCoreRank)) {
+      ++fwd_offset_[arc_tail_[a] + 1];
+    } else {
+      ++bwd_offset_[arc_head_[a] + 1];
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    fwd_offset_[v + 1] += fwd_offset_[v];
+    bwd_offset_[v + 1] += bwd_offset_[v];
+  }
+  fwd_arcs_.resize(fwd_offset_[n]);
+  bwd_arcs_.resize(bwd_offset_[n]);
+  {
+    std::vector<std::uint32_t> fcur(fwd_offset_.begin(),
+                                    fwd_offset_.end() - 1);
+    std::vector<std::uint32_t> bcur(bwd_offset_.begin(),
+                                    bwd_offset_.end() - 1);
+    for (std::uint32_t a = 0; a < num_arcs; ++a) {
+      const std::uint32_t rt = rank_[arc_tail_[a]];
+      const std::uint32_t rh = rank_[arc_head_[a]];
+      if (rt < rh || (rt == kCoreRank && rh == kCoreRank)) {
+        fwd_arcs_[fcur[arc_tail_[a]]++] = a;
+      } else {
+        bwd_arcs_[bcur[arc_head_[a]]++] = a;
+      }
+    }
+  }
+
+  // First full customization on the arena's current weights.
+  const auto customize_start = Clock::now();
+  slot_weight_.assign(g.weights_data(), g.weights_data() + m);
+  dirty_buckets_.resize(static_cast<std::size_t>(next_rank) + 1);
+  arc_dirty_.assign(num_arcs, 0);
+  for (std::uint32_t a = 0; a < num_arcs; ++a) mark_dirty(a);
+  (void)customize();
+  build_stats_.customize_seconds = seconds_since(customize_start);
+}
+
+double ContractionHierarchy::evaluate(std::uint32_t arc) const {
+  double value = kInfiniteCost;
+  for (std::uint32_t i = input_offset_[arc]; i < input_offset_[arc + 1];
+       ++i) {
+    value = std::min(value, slot_weight_[input_slots_[i]]);
+  }
+  for (std::uint32_t i = support_offset_[arc]; i < support_offset_[arc + 1];
+       ++i) {
+    value = std::min(value, arc_value_[support_a_[i]] +
+                                arc_value_[support_b_[i]]);
+  }
+  return value;
+}
+
+void ContractionHierarchy::mark_dirty(std::uint32_t arc) {
+  if (arc_dirty_[arc] != 0) return;
+  arc_dirty_[arc] = 1;
+  dirty_buckets_[arc_bucket_[arc]].push_back(arc);
+  ++dirty_count_;
+}
+
+void ContractionHierarchy::update_slot(std::uint32_t slot, double weight) {
+  LUMEN_REQUIRE(slot < slot_weight_.size());
+  if (slot_weight_[slot] == weight) return;
+  slot_weight_[slot] = weight;
+  if (slot_arc_[slot] != kInvalidArc) mark_dirty(slot_arc_[slot]);
+}
+
+std::uint32_t ContractionHierarchy::customize() {
+  std::uint32_t touched = 0;
+  // Ascending freeze-rank sweep; an arc's supports live in strictly lower
+  // buckets, so each arc settles in one visit.  Value changes propagate
+  // only upward through the explicit dependent lists (index loop: the
+  // current bucket never grows while being drained).
+  for (auto& bucket : dirty_buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t arc = bucket[i];
+      arc_dirty_[arc] = 0;
+      ++touched;
+      const double value = evaluate(arc);
+      if (value == arc_value_[arc]) continue;
+      arc_value_[arc] = value;
+      for (std::uint32_t p = parent_offset_[arc]; p < parent_offset_[arc + 1];
+           ++p) {
+        mark_dirty(parent_arcs_[p]);
+      }
+    }
+    bucket.clear();
+  }
+  dirty_count_ = 0;
+  return touched;
+}
+
+void ContractionHierarchy::unpack(std::uint32_t arc,
+                                  std::vector<std::uint32_t>& slots_out)
+    const {
+  // Depth-first expansion with an explicit stack; pushing the right
+  // support before the left keeps emission in path order.  Matches are
+  // exact: an arc's value is bit-for-bit one of its candidates.
+  std::vector<std::uint32_t> stack;
+  stack.push_back(arc);
+  while (!stack.empty()) {
+    const std::uint32_t cur = stack.back();
+    stack.pop_back();
+    const double value = arc_value_[cur];
+    LUMEN_ASSERT(value != kInfiniteCost);
+    bool matched = false;
+    for (std::uint32_t i = input_offset_[cur]; i < input_offset_[cur + 1];
+         ++i) {
+      if (slot_weight_[input_slots_[i]] == value) {
+        slots_out.push_back(input_slots_[i]);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (std::uint32_t i = support_offset_[cur]; i < support_offset_[cur + 1];
+         ++i) {
+      if (arc_value_[support_a_[i]] + arc_value_[support_b_[i]] == value) {
+        stack.push_back(support_b_[i]);
+        stack.push_back(support_a_[i]);
+        matched = true;
+        break;
+      }
+    }
+    LUMEN_ASSERT(matched);  // value is always one of its candidates
+  }
+}
+
+}  // namespace lumen

@@ -1,0 +1,343 @@
+// Two-phase partial contraction hierarchy over a CSR arena.
+//
+// Phase 1 (per RouteEngine::build, metric-guided only through the base
+// weights' topology): a directed elimination ordering contracts low-degree
+// nodes one at a time, recording for every surviving pair of neighbors a
+// *shortcut arc* whose supports are the two arcs it bypasses.  Nodes whose
+// degree (or fill-in) exceeds the caps are never eliminated and form the
+// top-rank "core" — on expander-like cores full contraction would drown in
+// fill, so the hierarchy degrades gracefully: a smaller core just means
+// fewer nodes the query has to scan flat.
+//
+// Phase 2 (customization, cheap, repeatable): every arc's value is
+// min(weight of its input slots, min over supports of the two support
+// values).  Supports always sit at strictly lower freeze rank (their
+// middle node was eliminated while both endpoints were live), so one
+// ascending sweep over rank buckets re-evaluates each arc at most once.
+// Point updates (reserve/fail/release/repair patch one slot) dirty only
+// the owning arc and propagate upward through explicit dependent lists:
+// re-customization touches only the cone above the patched spans, not the
+// whole shortcut set.
+//
+// Queries run bidirectionally: a backward pass ascends strictly
+// descending arcs from the sinks (a small cone), then a forward pass
+// ascends from the sources through rising-rank and core-core arcs,
+// pruned by the best meeting so far and, optionally, by an ALT potential
+// (admissible on shortcuts because a shortcut's value is at least the
+// real distance between its endpoints).  Residual safety is inherited
+// from the engine invariant: weight patches never drop below the
+// build-time base, so the ordering never needs to be redone — only the
+// O(changed-cone) customization.
+//
+// Exactness sketch: every shortest path in the patched graph can be
+// rewritten valley-by-valley (each valley's interior minimum is an
+// eliminated node, whose elimination added/merged exactly the bypassing
+// shortcut with value <= the valley's cost) into an up-then-down walk
+// whose rising half, including any plateau inside the core, lies in the
+// forward search space and whose strictly falling half lies in the
+// backward space; the apex is settled by both sides with true distances.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace lumen {
+
+/// Partial elimination hierarchy with support-based re-customization and
+/// bidirectional upward queries.  Structure is fixed at construction;
+/// update_slot()/customize() track the arena's patched weights.  query()
+/// is const and safe to run concurrently (one SearchScratch per thread)
+/// as long as no customization runs at the same time.
+class ContractionHierarchy {
+ public:
+  struct Options {
+    /// A node is eliminated only while its in- and out-degree (distinct
+    /// live neighbors) are both at most this.  The defaults are tuned on
+    /// metro/backbone WDM gadget graphs (hierarchical_topology), where
+    /// they contract the access rings completely and leave only a small
+    /// hub core; on expander-like random topologies contraction stalls
+    /// early regardless (no small separators), so raising the caps
+    /// mostly buys shortcut bloat.
+    std::uint32_t degree_cap = 32;
+    /// ...and eliminating it would create at most this many new arcs.
+    std::uint32_t fill_cap = 160;
+  };
+
+  /// Rank of never-eliminated (core) nodes; eliminated nodes get ranks
+  /// 0..eliminated-1 in elimination order.
+  static constexpr std::uint32_t kCoreRank = 0xffffffffu;
+  static constexpr std::uint32_t kInvalidArc = 0xffffffffu;
+
+  struct BuildStats {
+    std::uint32_t nodes = 0;
+    std::uint32_t core_nodes = 0;      ///< never eliminated
+    std::uint32_t input_arcs = 0;      ///< parallel slots min-merged
+    std::uint32_t shortcut_arcs = 0;   ///< added by elimination
+    double order_seconds = 0.0;
+    double customize_seconds = 0.0;
+  };
+
+  /// Builds ordering + shortcuts on g's *current* weights and runs the
+  /// first full customization.  g must outlive nothing — the hierarchy
+  /// copies everything it needs (slot weights included).
+  ContractionHierarchy(const CsrDigraph& g, const Options& options);
+
+  [[nodiscard]] const BuildStats& build_stats() const noexcept {
+    return build_stats_;
+  }
+  [[nodiscard]] std::uint32_t num_arcs() const noexcept {
+    return static_cast<std::uint32_t>(arc_value_.size());
+  }
+  [[nodiscard]] std::uint32_t num_shortcuts() const noexcept {
+    return build_stats_.shortcut_arcs;
+  }
+  [[nodiscard]] std::uint32_t rank(NodeId v) const {
+    LUMEN_REQUIRE(v.value() < rank_.size());
+    return rank_[v.value()];
+  }
+
+  /// Mirrors a weight patch on CSR `slot` (same slot ids as the arena the
+  /// hierarchy was built from).  O(1): records the new weight and dirties
+  /// the owning arc; values are stale until customize() runs.
+  void update_slot(std::uint32_t slot, double weight);
+
+  /// Re-evaluates dirty arcs and the cone of arcs supported by them, in
+  /// ascending freeze-rank order (each arc at most once).  Returns the
+  /// number of arcs touched — the sublinearity measure: after a single
+  /// span patch this is the size of that span's support cone, not
+  /// num_arcs().
+  std::uint32_t customize();
+
+  /// True when update_slot() patches have not been customized yet;
+  /// query() results would be wrong (callers fall back to flat search).
+  [[nodiscard]] bool stale() const noexcept { return dirty_count_ > 0; }
+
+  /// Bidirectional upward query: cheapest route from any source to any
+  /// sink under the customized weights.  On success fills `slots_out`
+  /// with the CSR slot sequence of the route (source->sink order; empty
+  /// when a source node is itself a sink) and returns true.
+  ///
+  /// `potential(v)` must be an admissible, consistent lower bound on the
+  /// remaining flat-graph cost from v to every sink (kInfiniteCost prunes
+  /// v), exactly as for astar_csr_run; pass NoPotential{} for the plain
+  /// CH query.  `stats` counts both passes' pops plus potential/bound
+  /// prunes.
+  template <class Potential>
+  bool query(std::span<const NodeId> sources, std::span<const NodeId> sinks,
+             SearchScratch& scratch, Potential&& potential,
+             std::vector<std::uint32_t>& slots_out,
+             CsrRunStats* stats = nullptr) const;
+
+ private:
+  /// min over input slot weights and support value sums.
+  [[nodiscard]] double evaluate(std::uint32_t arc) const;
+  void mark_dirty(std::uint32_t arc);
+  void unpack(std::uint32_t arc, std::vector<std::uint32_t>& slots_out) const;
+
+  // --- arcs (SoA, indexed by arc id; initial arcs first, shortcuts after)
+  std::vector<std::uint32_t> arc_tail_;
+  std::vector<std::uint32_t> arc_head_;
+  AlignedVector<double> arc_value_;       // customized cost
+  std::vector<std::uint32_t> arc_bucket_; // freeze rank (customization order)
+  // input slots per arc: CSR slots connecting tail->head directly
+  std::vector<std::uint32_t> input_offset_;  // num_arcs+1
+  std::vector<std::uint32_t> input_slots_;
+  // support pairs per arc: value may be min over value(a)+value(b)
+  std::vector<std::uint32_t> support_offset_;  // num_arcs+1
+  std::vector<std::uint32_t> support_a_;
+  std::vector<std::uint32_t> support_b_;
+  // dependents: arcs listing this arc in one of their support pairs
+  std::vector<std::uint32_t> parent_offset_;  // num_arcs+1
+  std::vector<std::uint32_t> parent_arcs_;
+
+  // --- query adjacency (arc ids)
+  // forward: arcs with tail v rising in rank, plus core->core arcs
+  std::vector<std::uint32_t> fwd_offset_;  // num_nodes+1
+  std::vector<std::uint32_t> fwd_arcs_;
+  // backward: arcs with head v whose tail has strictly higher rank
+  std::vector<std::uint32_t> bwd_offset_;  // num_nodes+1
+  std::vector<std::uint32_t> bwd_arcs_;
+
+  std::vector<std::uint32_t> rank_;       // per node; kCoreRank = core
+  std::vector<std::uint32_t> slot_arc_;   // CSR slot -> owning arc
+  AlignedVector<double> slot_weight_;     // mirror of the arena's weights
+
+  // --- customization worklist: one bucket per freeze rank (+1 for core)
+  std::vector<std::vector<std::uint32_t>> dirty_buckets_;
+  std::vector<std::uint8_t> arc_dirty_;
+  std::uint32_t dirty_count_ = 0;
+
+  BuildStats build_stats_;
+};
+
+template <class Potential>
+bool ContractionHierarchy::query(std::span<const NodeId> sources,
+                                 std::span<const NodeId> sinks,
+                                 SearchScratch& scratch,
+                                 Potential&& potential,
+                                 std::vector<std::uint32_t>& slots_out,
+                                 CsrRunStats* stats) const {
+  constexpr bool kGoal = !std::is_same_v<std::decay_t<Potential>, NoPotential>;
+  LUMEN_REQUIRE_MSG(!stale(), "hierarchy queried before customize()");
+  slots_out.clear();
+  const auto n = static_cast<std::uint32_t>(rank_.size());
+
+  // --- backward pass: ascend strictly descending arcs from the sinks.
+  // Runs on the scratch's primary arrays; settled labels are parked in
+  // the backward set (bstamp_/bdist_/bparent_) at pop time so the
+  // forward pass can reuse the primary arrays under a new generation.
+  scratch.begin(n);
+  scratch.begin_backward();
+  for (const NodeId t : sinks) {
+    LUMEN_REQUIRE(t.value() < n);
+    scratch.touch(t.value());
+    if (scratch.dist_[t.value()] > 0.0) {
+      scratch.dist_[t.value()] = 0.0;
+      scratch.parent_[t.value()] = kInvalidArc;
+      scratch.heap_push(t.value(), 0.0);
+    }
+  }
+  while (!scratch.heap_.empty()) {
+    const std::uint32_t u = scratch.heap_pop_min();
+    scratch.state_[u] = SearchScratch::kSettled;
+    scratch.bstamp_[u] = scratch.bgeneration_;
+    scratch.bdist_[u] = scratch.dist_[u];
+    scratch.bparent_[u] = scratch.parent_[u];
+    if (stats != nullptr) {
+      ++stats->pops;
+      ++stats->settled;
+    }
+    const double du = scratch.dist_[u];
+    for (std::uint32_t i = bwd_offset_[u]; i < bwd_offset_[u + 1]; ++i) {
+      const std::uint32_t a = bwd_arcs_[i];
+      const double w = arc_value_[a];
+      if (w == kInfiniteCost) continue;
+      const std::uint32_t v = arc_tail_[a];
+      scratch.touch(v);
+      if (scratch.state_[v] == SearchScratch::kSettled) continue;
+      const double candidate = du + w;
+      if (candidate < scratch.dist_[v]) {
+        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
+        scratch.dist_[v] = candidate;
+        scratch.parent_[v] = a;
+        if (stats != nullptr) ++stats->relaxations;
+        if (queued) {
+          scratch.heap_decrease(v, candidate);
+        } else {
+          scratch.heap_push(v, candidate);
+        }
+      }
+    }
+  }
+
+  // --- forward pass: ascend rising-rank and core-core arcs from the
+  // sources, meeting the backward labels.  Keys carry the potential (A*
+  // style); pruning against best_meet is safe because best_meet only
+  // tightens.
+  scratch.begin(n);
+  if constexpr (kGoal) scratch.ensure_potentials();
+  const auto pot_of = [&](std::uint32_t v) -> double {
+    if (scratch.pot_stamp_[v] != scratch.generation_) {
+      scratch.pot_stamp_[v] = scratch.generation_;
+      if constexpr (kGoal) scratch.pot_[v] = potential(v);
+    }
+    return scratch.pot_[v];
+  };
+
+  double best_meet = kInfiniteCost;
+  std::uint32_t meet = 0xffffffffu;
+  for (const NodeId s : sources) {
+    LUMEN_REQUIRE(s.value() < n);
+    scratch.touch(s.value());
+    if (scratch.dist_[s.value()] > 0.0) {
+      double h = 0.0;
+      if constexpr (kGoal) {
+        h = pot_of(s.value());
+        if (h == kInfiniteCost) {
+          if (stats != nullptr) ++stats->pruned;
+          continue;
+        }
+      }
+      scratch.dist_[s.value()] = 0.0;
+      scratch.parent_[s.value()] = kInvalidArc;
+      scratch.heap_push(s.value(), h);
+    }
+  }
+  while (!scratch.heap_.empty()) {
+    // The root keys the whole queue from below; no meeting can beat the
+    // best one found.
+    if (scratch.hkey_[0] >= best_meet) break;
+    const std::uint32_t u = scratch.heap_pop_min();
+    scratch.state_[u] = SearchScratch::kSettled;
+    if (stats != nullptr) {
+      ++stats->pops;
+      ++stats->settled;
+    }
+    const double du = scratch.dist_[u];
+    if (scratch.bstamp_[u] == scratch.bgeneration_ &&
+        du + scratch.bdist_[u] < best_meet) {
+      best_meet = du + scratch.bdist_[u];
+      meet = u;
+    }
+    for (std::uint32_t i = fwd_offset_[u]; i < fwd_offset_[u + 1]; ++i) {
+      const std::uint32_t a = fwd_arcs_[i];
+      const double w = arc_value_[a];
+      if (w == kInfiniteCost) continue;
+      const std::uint32_t v = arc_head_[a];
+      scratch.touch(v);
+      if (scratch.state_[v] == SearchScratch::kSettled) continue;
+      const double candidate = du + w;
+      if (candidate < scratch.dist_[v]) {
+        double key = candidate;
+        if constexpr (kGoal) {
+          const double hv = pot_of(v);
+          if (hv == kInfiniteCost) {
+            if (stats != nullptr) ++stats->pruned;
+            continue;
+          }
+          key = candidate + hv;
+        }
+        if (key >= best_meet) {
+          // Any completion through this label costs at least key.
+          if (stats != nullptr) ++stats->pruned;
+          continue;
+        }
+        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
+        scratch.dist_[v] = candidate;
+        scratch.parent_[v] = a;
+        if (stats != nullptr) ++stats->relaxations;
+        if (queued) {
+          scratch.heap_decrease(v, key);
+        } else {
+          scratch.heap_push(v, key);
+        }
+      }
+    }
+  }
+  if (best_meet == kInfiniteCost) return false;
+
+  // --- unpack: forward arc chain (seed->meet, walked in reverse), then
+  // backward chain (already meet->sink order), each expanded support-by-
+  // support down to CSR slots.  Matches are exact double equality: every
+  // value is literally one of the candidates it was min'd from.
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t v = meet; scratch.parent_[v] != kInvalidArc;) {
+    const std::uint32_t a = scratch.parent_[v];
+    chain.push_back(a);
+    v = arc_tail_[a];
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    unpack(*it, slots_out);
+  }
+  for (std::uint32_t v = meet; scratch.bparent_[v] != kInvalidArc;) {
+    const std::uint32_t a = scratch.bparent_[v];
+    unpack(a, slots_out);
+    v = arc_head_[a];
+  }
+  return true;
+}
+
+}  // namespace lumen

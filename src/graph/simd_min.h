@@ -1,0 +1,66 @@
+// Branch-light argmin over a batch of four heap keys.
+//
+// The 4-ary heap's sift-down spends most of its time finding the smallest
+// of four child keys.  With SearchScratch's position-parallel hkey_
+// layout those keys sit in one contiguous 32-byte run, so the comparison
+// tree vectorizes: two packed min lanes plus one cross-lane min produce
+// the minimum value, and a packed compare-against-broadcast yields the
+// index — no data-dependent branches.  SSE2 and NEON paths sit behind a
+// portable fallback with identical semantics: the *first* index attaining
+// the minimum wins ties, matching the scalar left-to-right scan it
+// replaces (heap shape, and therefore search determinism, is preserved
+// bit-for-bit).
+//
+// The sift-down hook is opt-in (-DLUMEN_SIMD_HEAP): on the reference
+// container the index-extraction chain loses to three predicted scalar
+// compares over the same contiguous run — see the sift-down ablation in
+// docs/PERFORMANCE.md before enabling it on a new target.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace lumen {
+
+/// Index in [0, 4) of the smallest of k[0..3]; first index on ties.
+/// NaNs are not expected (search keys are finite or +infinity).
+inline unsigned argmin4(const double k[4]) noexcept {
+#if defined(__SSE2__)
+  const __m128d lo = _mm_loadu_pd(k);      // k0 k1
+  const __m128d hi = _mm_loadu_pd(k + 2);  // k2 k3
+  __m128d m = _mm_min_pd(lo, hi);          // min(k0,k2) min(k1,k3)
+  m = _mm_min_pd(m, _mm_unpackhi_pd(m, m));
+  const __m128d best = _mm_unpacklo_pd(m, m);  // broadcast the minimum
+  const unsigned eq = static_cast<unsigned>(_mm_movemask_pd(
+                          _mm_cmpeq_pd(lo, best)) |
+                      (_mm_movemask_pd(_mm_cmpeq_pd(hi, best)) << 2));
+  // eq is nonzero by construction; lowest set bit = first minimal index.
+  return static_cast<unsigned>(__builtin_ctz(eq));
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  const float64x2_t lo = vld1q_f64(k);
+  const float64x2_t hi = vld1q_f64(k + 2);
+  const double best = vminvq_f64(vminq_f64(lo, hi));
+  const float64x2_t bestv = vdupq_n_f64(best);
+  const uint64x2_t eq_lo = vceqq_f64(lo, bestv);
+  const uint64x2_t eq_hi = vceqq_f64(hi, bestv);
+  const unsigned eq =
+      static_cast<unsigned>((vgetq_lane_u64(eq_lo, 0) & 1u) |
+                            ((vgetq_lane_u64(eq_lo, 1) & 1u) << 1) |
+                            ((vgetq_lane_u64(eq_hi, 0) & 1u) << 2) |
+                            ((vgetq_lane_u64(eq_hi, 1) & 1u) << 3));
+  return static_cast<unsigned>(__builtin_ctz(eq));
+#else
+  unsigned best = 0;
+  for (unsigned i = 1; i < 4; ++i) {
+    if (k[i] < k[best]) best = i;
+  }
+  return best;
+#endif
+}
+
+}  // namespace lumen

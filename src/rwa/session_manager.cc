@@ -22,6 +22,7 @@ const char* policy_name(RoutingPolicy policy) {
     case RoutingPolicy::kSemilightpathEngine: return "semilightpath_engine";
     case RoutingPolicy::kLightpathEngine: return "lightpath_engine";
     case RoutingPolicy::kGoalDirectedEngine: return "goal_directed_engine";
+    case RoutingPolicy::kHierarchyEngine: return "hierarchy_engine";
   }
   return "unknown";
 }
@@ -41,7 +42,11 @@ SessionManager::SessionManager(WdmNetwork network, RoutingPolicy policy)
   // Engine policies pay the flatten cost once here; afterwards every net_
   // availability change below is mirrored into the engine as an O(1)
   // weight patch, so the two views of the residual state stay equal.
-  if (uses_engine()) engine_ = std::make_unique<RouteEngine>(net_);
+  if (uses_engine()) {
+    RouteEngine::Options options;
+    options.build_hierarchy = policy_ == RoutingPolicy::kHierarchyEngine;
+    engine_ = std::make_unique<RouteEngine>(net_, options);
+  }
 }
 
 RouteResult SessionManager::first_fit_route(NodeId source,
@@ -117,6 +122,13 @@ RouteResult SessionManager::route_request(NodeId source, NodeId target) const {
     case RoutingPolicy::kGoalDirectedEngine:
       return engine_->route_semilightpath(
           source, target, RouteEngine::QueryOptions{.goal_directed = true});
+    case RoutingPolicy::kHierarchyEngine:
+      // Auto-customization inside the scratch-less overload re-evaluates
+      // the patched cone before the search, so this never falls back.
+      return engine_->route_semilightpath(
+          source, target,
+          RouteEngine::QueryOptions{.goal_directed = true,
+                                    .use_hierarchy = true});
   }
   LUMEN_ASSERT(false);
 }

@@ -27,6 +27,11 @@
 //   kGoalDirectedEngine  — kSemilightpathEngine with goal-directed A*
 //                          (ALT landmarks + per-target potential): same
 //                          routes and costs, fewer heap pops per request.
+//   kHierarchyEngine     — kGoalDirectedEngine over the engine's partial
+//                          contraction hierarchy (bidirectional upward
+//                          search, re-customized incrementally as the
+//                          residual churns): same routes and costs again,
+//                          fewer pops still.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +62,7 @@ enum class RoutingPolicy {
   kSemilightpathEngine,
   kLightpathEngine,
   kGoalDirectedEngine,
+  kHierarchyEngine,
 };
 
 /// One carried connection.
@@ -230,7 +236,8 @@ class SessionManager {
   [[nodiscard]] bool uses_engine() const noexcept {
     return policy_ == RoutingPolicy::kSemilightpathEngine ||
            policy_ == RoutingPolicy::kLightpathEngine ||
-           policy_ == RoutingPolicy::kGoalDirectedEngine;
+           policy_ == RoutingPolicy::kGoalDirectedEngine ||
+           policy_ == RoutingPolicy::kHierarchyEngine;
   }
 
   WdmNetwork net_;  // residual availability (mutated)

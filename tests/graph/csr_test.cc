@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/bellman_ford.h"
+#include "graph/simd_min.h"
 #include "util/rng.h"
 
 namespace lumen {
@@ -16,15 +17,19 @@ TEST(CsrTest, PreservesStructure) {
   const CsrDigraph csr(g);
   EXPECT_EQ(csr.num_nodes(), 3u);
   EXPECT_EQ(csr.num_links(), 3u);
-  const auto out0 = csr.out(NodeId{0});
-  ASSERT_EQ(out0.size(), 2u);
-  EXPECT_EQ(out0[0].head, NodeId{1});
-  EXPECT_DOUBLE_EQ(out0[0].weight, 1.5);
-  EXPECT_EQ(out0[0].original, a);
-  EXPECT_EQ(out0[1].original, b);
-  EXPECT_TRUE(csr.out(NodeId{1}).empty());
-  ASSERT_EQ(csr.out(NodeId{2}).size(), 1u);
-  EXPECT_EQ(csr.out(NodeId{2})[0].original, c);
+  const auto [first0, last0] = csr.out_slot_range(NodeId{0});
+  ASSERT_EQ(last0 - first0, 2u);
+  EXPECT_EQ(csr.head(first0), NodeId{1});
+  EXPECT_DOUBLE_EQ(csr.weight(first0), 1.5);
+  EXPECT_EQ(csr.original(first0), a);
+  EXPECT_EQ(csr.original(first0 + 1), b);
+  EXPECT_EQ(csr.link(first0).head, NodeId{1});
+  EXPECT_DOUBLE_EQ(csr.link(first0).weight, 1.5);
+  const auto [first1, last1] = csr.out_slot_range(NodeId{1});
+  EXPECT_EQ(first1, last1);
+  const auto [first2, last2] = csr.out_slot_range(NodeId{2});
+  ASSERT_EQ(last2 - first2, 1u);
+  EXPECT_EQ(csr.original(first2), c);
 }
 
 TEST(CsrTest, EmptyGraph) {
@@ -84,11 +89,45 @@ TEST(CsrTest, InfiniteWeightsSkipped) {
   EXPECT_DOUBLE_EQ(tree.dist[1], 2.0);
 }
 
+// The heap's vectorized child scan must match the scalar left-to-right
+// scan exactly, including first-index-wins tie-breaking and +inf keys —
+// otherwise heap shape (and search determinism) silently drifts between
+// SIMD and portable builds.
+TEST(SimdMinTest, Argmin4MatchesScalarScan) {
+  const auto scalar = [](const double k[4]) {
+    unsigned best = 0;
+    for (unsigned i = 1; i < 4; ++i) {
+      if (k[i] < k[best]) best = i;
+    }
+    return best;
+  };
+  const double pool[] = {0.0, 1.0, 1.5, 2.0, 7.25, kInfiniteCost};
+  double k[4];
+  for (const double a : pool) {
+    for (const double b : pool) {
+      for (const double c : pool) {
+        for (const double d : pool) {
+          k[0] = a, k[1] = b, k[2] = c, k[3] = d;
+          EXPECT_EQ(argmin4(k), scalar(k))
+              << a << " " << b << " " << c << " " << d;
+        }
+      }
+    }
+  }
+  Rng rng(99);
+  for (int trial = 0; trial < 1000; ++trial) {
+    for (double& key : k) key = rng.next_double_in(0.0, 10.0);
+    EXPECT_EQ(argmin4(k), scalar(k));
+  }
+}
+
 TEST(CsrTest, Preconditions) {
   Digraph g(2);
   g.add_link(NodeId{0}, NodeId{1}, 1.0);
   const CsrDigraph csr(g);
-  EXPECT_THROW((void)csr.out(NodeId{5}), Error);
+  EXPECT_THROW((void)csr.out_slot_range(NodeId{5}), Error);
+  EXPECT_THROW((void)csr.head(9), Error);
+  EXPECT_THROW((void)csr.weight(9), Error);
   EXPECT_THROW((void)dijkstra_csr(csr, NodeId{5}), Error);
 }
 
