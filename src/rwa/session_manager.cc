@@ -372,13 +372,21 @@ SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
   }
   if (report.links_failed == 0) return report;
 
-  // 2. Restore or drop the sessions that crossed it.
-  for (auto& [id, record] : sessions_) {
+  // 2. Restore or drop the sessions that crossed it, in ascending id
+  // order.  Restoration order matters (earlier sessions grab contested
+  // residual capacity first); id order makes it deterministic instead of
+  // an accident of the session table's hash layout.
+  std::vector<SessionId> hit_ids;
+  for (const auto& [id, record] : sessions_) {
     if (!record.active) continue;
     const bool hit = std::any_of(
         record.path.hops().begin(), record.path.hops().end(),
         [&](const Hop& hop) { return failing[hop.link.value()] != 0; });
-    if (!hit) continue;
+    if (hit) hit_ids.push_back(id);
+  }
+  std::sort(hit_ids.begin(), hit_ids.end());
+  for (const SessionId id : hit_ids) {
+    SessionRecord& record = sessions_.find(id)->second;
     ++report.affected;
     release_resources(record);
     obs::CausalSpan reroute_span("rwa.reroute");
@@ -401,32 +409,48 @@ SessionManager::FailureReport SessionManager::fail_span(NodeId a, NodeId b) {
   return report;
 }
 
-void SessionManager::repair_span(NodeId a, NodeId b) {
+std::uint32_t SessionManager::repair_span(NodeId a, NodeId b) {
   LUMEN_REQUIRE(a.value() < net_.num_nodes());
   LUMEN_REQUIRE(b.value() < net_.num_nodes());
 
-  // Wavelengths still reserved by active sessions must stay unavailable.
-  std::vector<std::unordered_map<std::uint32_t, bool>> reserved(
-      net_.num_links());
-  for (const auto& [id, record] : sessions_) {
-    if (!record.active) continue;
-    for (const Hop& hop : record.path.hops())
-      reserved[hop.link.value()][hop.wavelength.value()] = true;
-  }
-
+  // Early-out before any per-session work: a healthy span (or a
+  // nonexistent one) must cost neither the session scan below nor a
+  // single engine weight patch — span timelines replayed through
+  // apply_span_state are full of such no-op transitions.
+  std::vector<std::uint32_t> repairing;
   for (std::uint32_t ei = 0; ei < net_.num_links(); ++ei) {
     const LinkId e{ei};
     const bool on_span = (net_.tail(e) == a && net_.head(e) == b) ||
                          (net_.tail(e) == b && net_.head(e) == a);
-    if (!on_span || !link_failed_[ei]) continue;
+    if (on_span && link_failed_[ei]) repairing.push_back(ei);
+  }
+  if (repairing.empty()) return 0;
+
+  // Wavelengths still reserved by active sessions must stay unavailable.
+  FlatMap<std::uint32_t, WavelengthSet> reserved;
+  reserved.reserve(repairing.size());
+  for (const std::uint32_t ei : repairing)
+    reserved.emplace(ei, WavelengthSet(net_.num_wavelengths()));
+  for (const auto& [id, record] : sessions_) {
+    if (!record.active) continue;
+    for (const Hop& hop : record.path.hops()) {
+      const auto it = reserved.find(hop.link.value());
+      if (it != reserved.end()) it->second.insert(hop.wavelength);
+    }
+  }
+
+  for (const std::uint32_t ei : repairing) {
+    const LinkId e{ei};
     link_failed_[ei] = 0;
+    const WavelengthSet& keep_out = reserved.find(ei)->second;
     for (const LinkWavelength& lw : base_availability_[ei]) {
-      if (!reserved[ei].contains(lw.lambda.value())) {
+      if (!keep_out.contains(lw.lambda)) {
         net_.set_wavelength(e, lw.lambda, lw.cost);
         if (engine_) engine_->set_weight(e, lw.lambda, lw.cost);
       }
     }
   }
+  return static_cast<std::uint32_t>(repairing.size());
 }
 
 SessionManager::FailureReport SessionManager::apply_span_state(NodeId a,
@@ -434,9 +458,15 @@ SessionManager::FailureReport SessionManager::apply_span_state(NodeId a,
                                                                bool down) {
   static obs::Counter& span_events =
       obs::Registry::global().counter("lumen.rwa.span_events");
+  static obs::Counter& span_noops =
+      obs::Registry::global().counter("lumen.rwa.span_noops");
   span_events.add();
-  if (down) return fail_span(a, b);
-  repair_span(a, b);
+  if (down) {
+    const FailureReport report = fail_span(a, b);
+    if (report.links_failed == 0) span_noops.add();
+    return report;
+  }
+  if (repair_span(a, b) == 0) span_noops.add();
   return FailureReport{};
 }
 
@@ -485,6 +515,7 @@ std::vector<SessionId> SessionManager::active_session_ids() const {
   for (const auto& [id, record] : sessions_) {
     if (record.active) ids.push_back(id);
   }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

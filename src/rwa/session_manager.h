@@ -37,12 +37,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/route_engine.h"
 #include "core/route_types.h"
 #include "obs/route_event.h"
+#include "util/flat_map.h"
 #include "util/strong_id.h"
 #include "wdm/metrics.h"
 #include "wdm/network.h"
@@ -144,8 +144,10 @@ class SessionManager {
 
   /// Repairs the span: its links regain every base wavelength not
   /// currently reserved by an active session.  Sessions dropped earlier
-  /// are NOT resurrected.  No-op for a healthy span.
-  void repair_span(NodeId a, NodeId b);
+  /// are NOT resurrected.  No-op for a healthy span (detected before any
+  /// per-session work or engine weight traffic).  Returns the number of
+  /// directed links brought back up (0 for the no-op).
+  std::uint32_t repair_span(NodeId a, NodeId b);
 
   /// Applies one span-state transition: down → fail_span (restoring or
   /// dropping crossing sessions), up → repair_span.  This is the replay
@@ -153,7 +155,10 @@ class SessionManager {
   /// src/dist emits events in exactly this shape), so simulator-level
   /// link-down windows drive the same fail/repair + engine weight-sync
   /// path as operator-initiated cuts.  Returns the failure report (empty
-  /// for repairs).
+  /// for repairs).  Replaying a transition the span is already in (down
+  /// while down, up while up) is a counted no-op: it bumps
+  /// `lumen.rwa.span_noops` and performs no per-session scan and no
+  /// engine weight re-sync (tests assert this via the counter).
   FailureReport apply_span_state(NodeId a, NodeId b, bool down);
 
   /// True when the directed link is currently failed.
@@ -166,7 +171,9 @@ class SessionManager {
   /// session moved.  False (no-op) for unknown/closed ids.
   bool reoptimize(SessionId id);
 
-  /// Ids of all currently active sessions (unspecified order).
+  /// Ids of all currently active sessions, sorted ascending (the session
+  /// table itself iterates in hash order; callers get a deterministic
+  /// view regardless of table history).
   [[nodiscard]] std::vector<SessionId> active_session_ids() const;
 
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
@@ -248,7 +255,11 @@ class SessionManager {
   /// not part of the observable state.
   std::unique_ptr<RouteEngine> engine_;
   SessionStats stats_;
-  std::unordered_map<SessionId, SessionRecord> sessions_;
+  /// Hot table: looked up on every close/reoptimize and scanned on every
+  /// span failure; flat storage keeps the scan contiguous.  FlatMap moves
+  /// entries on insert/erase, so never hold a SessionRecord reference
+  /// across a table mutation.
+  FlatMap<SessionId, SessionRecord> sessions_;
   std::uint64_t next_id_ = 0;
   std::uint64_t active_ = 0;
   std::uint64_t base_pairs_;  // Σ|Λ(e)| of the pristine network

@@ -1,0 +1,133 @@
+// The sharded multi-tenant routing service front-end.
+//
+// RoutingService is the concurrent counterpart of SessionManager: many
+// threads call open()/close() at once, sessions land on shards
+// round-robin, each shard routes on its own RouteEngine replica, and
+// every commit is arbitrated by the global atomic SlotTable (slot
+// ownership can never be double-booked — see slot_table.h).  Multi-
+// tenancy is an admission-control layer in front of the shards: each
+// tenant has an active-session quota enforced with an optimistic
+// fetch_add (in-flight admissions count against the quota, so a tenant
+// can never exceed it even transiently), plus fairness counters.
+//
+// Observability: `lumen.svc.*` counters for every admission outcome,
+// an active-session gauge, and admit/close latency histograms, with
+// default_slo_rules() providing the p99-admit-latency and abort-rate
+// watchdog thresholds.  All accounting is mirrored in plain atomics so
+// stats() stays exact under LUMEN_OBS_DISABLED.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/route_engine.h"
+#include "obs/slo.h"
+#include "svc/shard.h"
+#include "svc/slot_table.h"
+#include "svc/types.h"
+#include "wdm/network.h"
+
+namespace lumen::svc {
+
+struct ServiceOptions {
+  /// Session-space partitions (each owns a full RouteEngine replica).
+  std::uint32_t num_shards = 4;
+  /// Tenants known to the service (TenantId 0 .. num_tenants-1).
+  std::uint32_t num_tenants = 1;
+  /// Default per-tenant active-session quota (UINT64_MAX = unlimited;
+  /// override per tenant with set_quota).
+  std::uint64_t default_quota = UINT64_MAX;
+  /// Commit attempts per admission before kAborted.
+  std::uint32_t max_commit_retries = 4;
+  /// Replica build configuration (CH + ALT flags live here).
+  RouteEngine::Options engine{};
+  /// Per-query configuration for every admission route.
+  RouteEngine::QueryOptions query{.goal_directed = true};
+  /// Record every commit/release in the CommitLog (the linearizability
+  /// harness turns this on; costs one fetch_add + locked append per op).
+  bool record_commit_log = false;
+};
+
+/// See file comment.
+class RoutingService {
+ public:
+  /// Builds num_shards replicas of `net` (the dominant construction
+  /// cost) and the slot table.  The network itself is not retained.
+  RoutingService(const WdmNetwork& net, const ServiceOptions& options);
+
+  /// Routes and commits one session for `tenant`.  Thread-safe.
+  [[nodiscard]] AdmitTicket open(TenantId tenant, NodeId source,
+                                 NodeId target);
+
+  /// Releases an admitted session.  False when the id is unknown or
+  /// already closed.  Thread-safe.
+  bool close(SvcSessionId id);
+
+  /// Sets a tenant's active-session quota (takes effect for future
+  /// admissions; sessions already active are never evicted).
+  void set_quota(TenantId tenant, std::uint64_t max_active);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] TenantStats tenant_stats(TenantId tenant) const;
+  [[nodiscard]] std::uint64_t active_sessions() const {
+    return stats_active_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const SlotTable& slot_table() const noexcept { return table_; }
+  [[nodiscard]] CommitLog& commit_log() noexcept { return log_; }
+
+  /// Applies every pending cross-shard re-sync note now (tests quiesce
+  /// with this before asserting on replica-visible state).
+  void drain_all();
+
+  /// (owner bits, claimed slots) of every live session across all
+  /// shards — the double-booking audit surface.  Quiesce for exactness.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t,
+                                      std::vector<std::uint32_t>>>
+  active_reservations() const;
+
+  /// Watchdog rules for the service instruments: p99 admit latency over
+  /// `p99_admit_ns` nanoseconds, and per-window abort and quota-denial
+  /// pressure.  Feed to an obs::SloWatchdog.
+  [[nodiscard]] static std::vector<obs::SloRule> default_slo_rules(
+      double p99_admit_ns = 5e6);
+
+ private:
+  struct TenantState {
+    std::atomic<std::uint64_t> quota{UINT64_MAX};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> blocked{0};
+    std::atomic<std::uint64_t> quota_denied{0};
+    std::atomic<std::uint64_t> released{0};
+  };
+
+  /// Broadcasts freshly (un)claimed slots to every shard except `from`.
+  void broadcast(std::uint32_t from,
+                 std::span<const std::uint32_t> slots);
+
+  ServiceOptions options_;
+  SlotTable table_;
+  CommitLog log_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TenantState[]> tenants_;
+  std::atomic<std::uint32_t> round_robin_{0};
+
+  // Exact accounting (obs counters mirror these when compiled in).
+  std::atomic<std::uint64_t> stats_offered_{0};
+  std::atomic<std::uint64_t> stats_admitted_{0};
+  std::atomic<std::uint64_t> stats_blocked_{0};
+  std::atomic<std::uint64_t> stats_quota_denied_{0};
+  std::atomic<std::uint64_t> stats_aborted_{0};
+  std::atomic<std::uint64_t> stats_released_{0};
+  std::atomic<std::uint64_t> stats_conflicts_{0};
+  std::atomic<std::uint64_t> stats_patches_{0};
+  std::atomic<std::uint64_t> stats_active_{0};
+};
+
+}  // namespace lumen::svc

@@ -1,0 +1,124 @@
+// One shard of the routing service: a RouteEngine replica plus the slice
+// of the session table whose ids it minted.
+//
+// Concurrency model (striped mutex): every shard has one mutex guarding
+// its engine replica and session table.  Service threads are routed to a
+// shard per request, so with N shards up to N admissions proceed in
+// parallel — each routing on its own replica, then committing against
+// the global SlotTable with lock-free CAS.  Shards never take each
+// other's mutexes; cross-shard effects travel as *slot re-sync notes*
+// dropped into a peer's inbox (a plain vector behind its own tiny lock)
+// and are applied at the peer's next convenience.
+//
+// Replica views are therefore eventually consistent, and deliberately
+// self-correcting rather than carefully ordered: a re-sync note carries
+// only a slot index, and applying it means reading the SlotTable truth
+// *now* and setting the replica weight accordingly (owned → +inf, free →
+// base cost).  Out-of-order delivery, duplicated notes, or a note raced
+// by a concurrent commit all converge to the truth at the next touch.
+// The table, never the replica, decides admission — a stale replica can
+// only cause a commit conflict (retried after patching the conflicting
+// slot) or a transiently pessimistic route.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/route_engine.h"
+#include "svc/slot_table.h"
+#include "svc/types.h"
+#include "util/flat_map.h"
+
+namespace lumen::svc {
+
+/// See file comment.  Shards are created and wired by RoutingService;
+/// the public methods are its internal API (exposed for the fuzz
+/// harness, which drives shards through the service anyway).
+class Shard {
+ public:
+  struct Options {
+    RouteEngine::Options engine;
+    RouteEngine::QueryOptions query;
+    /// Commit attempts per admission before giving up (kAborted).  Each
+    /// retry re-routes after patching the lost slot to +inf locally.
+    std::uint32_t max_commit_retries = 4;
+  };
+
+  Shard(std::uint32_t index, const WdmNetwork& net, SlotTable* table,
+        CommitLog* log, const Options& options);
+
+  struct AdmitOutcome {
+    AdmitTicket ticket;
+    /// Slots claimed on success — the service broadcasts these to peer
+    /// shards as re-sync notes.
+    std::vector<std::uint32_t> slots;
+  };
+
+  /// Routes on the replica, two-phase-commits against the table.
+  [[nodiscard]] AdmitOutcome admit(TenantId tenant, NodeId source,
+                                   NodeId target);
+
+  struct CloseOutcome {
+    bool ok = false;
+    TenantId tenant;
+    std::vector<std::uint32_t> slots;  ///< freed (broadcast as re-sync)
+  };
+
+  /// Releases the session minted as local sequence `seq`.
+  [[nodiscard]] CloseOutcome close(std::uint64_t seq);
+
+  /// Drops slot re-sync notes into the inbox (called by peers' service
+  /// threads; never takes the shard mutex).
+  void push_resync(std::span<const std::uint32_t> slots);
+
+  /// Applies pending inbox notes and suspect re-verification now.
+  /// admit() does this implicitly; tests and idle sweeps call it
+  /// directly.
+  void drain();
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t active() const;
+
+  /// (owner bits, claimed slots) of every live session — the fuzz
+  /// harness's double-booking audit.  Quiesce for exact answers.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t,
+                                      std::vector<std::uint32_t>>>
+  session_slots() const;
+
+ private:
+  struct Session {
+    TenantId tenant;
+    double cost = 0.0;
+    std::vector<std::uint32_t> slots;
+  };
+
+  /// Sets the replica weight of `slot` from the SlotTable truth.
+  void resync_slot_locked(std::uint32_t slot);
+  void drain_inbox_locked();
+  /// Re-reads slots patched +inf on past conflicts; restores the ones
+  /// whose owner rolled back without ever committing (no re-sync note is
+  /// broadcast for an aborted two-phase claim, so this sweep is what
+  /// keeps such slots from leaking out of the replica forever).
+  void reverify_suspects_locked();
+
+  const std::uint32_t index_;
+  SlotTable* const table_;
+  CommitLog* const log_;
+  const Options options_;
+
+  mutable std::mutex mutex_;  // guards engine_, sessions_, next_seq_, suspects_
+  RouteEngine engine_;
+  FlatMap<std::uint64_t, Session> sessions_;  // keyed by local seq
+  std::uint64_t next_seq_ = 1;                // ids start at 1 (0 = free)
+  std::vector<std::uint32_t> suspects_;
+
+  std::mutex inbox_mutex_;
+  std::vector<std::uint32_t> inbox_;
+  /// Cheap empty-check so admits skip the inbox lock when idle.
+  std::atomic<bool> inbox_nonempty_{false};
+};
+
+}  // namespace lumen::svc

@@ -1,0 +1,112 @@
+#include "svc/slot_table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace lumen::svc {
+
+SlotTable::SlotTable(const WdmNetwork& net) {
+  const std::uint32_t num_links = net.num_links();
+  link_first_.resize(num_links + 1, 0);
+  entries_.reserve(net.total_link_wavelengths());
+  for (std::uint32_t e = 0; e < num_links; ++e) {
+    link_first_[e] = static_cast<std::uint32_t>(entries_.size());
+    for (const LinkWavelength& lw : net.available(LinkId(e))) {
+      entries_.push_back(Entry{LinkId(e), lw.lambda, lw.cost});
+    }
+  }
+  link_first_[num_links] = static_cast<std::uint32_t>(entries_.size());
+  owners_ = std::make_unique<std::atomic<std::uint64_t>[]>(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    owners_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t SlotTable::slot_of(LinkId e, Wavelength lambda) const {
+  LUMEN_REQUIRE(e.value() + 1 < link_first_.size());
+  const std::uint32_t first = link_first_[e.value()];
+  const std::uint32_t last = link_first_[e.value() + 1];
+  // Λ(e) snapshots sorted by wavelength (WdmNetwork::available contract).
+  const auto begin = entries_.begin() + first;
+  const auto end = entries_.begin() + last;
+  const auto it = std::lower_bound(
+      begin, end, lambda,
+      [](const Entry& entry, Wavelength l) { return entry.lambda < l; });
+  if (it == end || it->lambda != lambda) return kInvalidSlot;
+  return static_cast<std::uint32_t>(it - entries_.begin());
+}
+
+bool SlotTable::try_claim(std::uint32_t slot, std::uint64_t owner_bits) {
+  LUMEN_REQUIRE(slot < num_slots() && owner_bits != 0);
+  std::uint64_t expected = 0;
+  return owners_[slot].compare_exchange_strong(
+      expected, owner_bits, std::memory_order_acq_rel,
+      std::memory_order_acquire);
+}
+
+bool SlotTable::release(std::uint32_t slot, std::uint64_t owner_bits) {
+  LUMEN_REQUIRE(slot < num_slots() && owner_bits != 0);
+  std::uint64_t expected = owner_bits;
+  return owners_[slot].compare_exchange_strong(
+      expected, 0, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+bool SlotTable::claim_all(std::span<const std::uint32_t> slots,
+                          std::uint64_t owner_bits,
+                          std::uint32_t* conflict_pos) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (try_claim(slots[i], owner_bits)) continue;
+    // Phase two: undo, leaving the table exactly as before the attempt.
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool freed = release(slots[j], owner_bits);
+      LUMEN_REQUIRE_MSG(freed, "rollback lost a slot it had claimed");
+    }
+    if (conflict_pos != nullptr) {
+      *conflict_pos = static_cast<std::uint32_t>(i);
+    }
+    return false;
+  }
+  return true;
+}
+
+void SlotTable::release_all(std::span<const std::uint32_t> slots,
+                            std::uint64_t owner_bits) {
+  for (const std::uint32_t slot : slots) {
+    const bool freed = release(slot, owner_bits);
+    LUMEN_REQUIRE_MSG(freed, "released a slot the session did not hold");
+  }
+}
+
+std::uint64_t SlotTable::occupied() const {
+  std::uint64_t count = 0;
+  for (std::uint32_t slot = 0; slot < num_slots(); ++slot) {
+    if (owner(slot) != 0) ++count;
+  }
+  return count;
+}
+
+void CommitLog::append(CommitRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<CommitRecord> CommitLog::snapshot() const {
+  std::vector<CommitRecord> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CommitRecord& a, const CommitRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void CommitLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+}  // namespace lumen::svc

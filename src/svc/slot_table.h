@@ -1,0 +1,143 @@
+// The global reservation authority of the sharded routing service.
+//
+// Shard replicas route on *views* of the residual availability that may
+// lag; this table is the single source of truth.  Each (link, λ) pair of
+// the base network gets one dense slot index and one atomic owner word:
+// 0 = free, otherwise the SvcSessionId bits of the holder.  Admission
+// commits by CAS-claiming every slot of the candidate route (two-phase:
+// any lost CAS rolls back the slots already taken), so a wavelength can
+// never be double-booked no matter how stale the routing view was — the
+// worst a stale view costs is a retry.
+//
+// The attached CommitLog gives the fuzz harness its linearizability
+// witness.  Sequence discipline (the whole argument):
+//   * a COMMIT draws its seq AFTER the last of its slots is claimed;
+//   * a RELEASE draws its seq BEFORE the first of its slots is freed.
+// Seqs come from one atomic fetch_add, so they are totally ordered with
+// the claims/frees themselves.  If commit C claims a slot freed by
+// release R, the claim succeeded only after R's free, which happened
+// only after R drew its seq — so seq(R) < seq(C).  Hence replaying the
+// log serially in seq order into a fresh table can never conflict; if it
+// does, the concurrent history had no linearization and the test fails.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "svc/types.h"
+#include "util/strong_id.h"
+#include "wdm/network.h"
+
+namespace lumen::svc {
+
+/// Dense atomic owner table over the base network's (link, λ) pairs.
+class SlotTable {
+ public:
+  static constexpr std::uint32_t kInvalidSlot = UINT32_MAX;
+
+  /// Snapshots the network's base availability (λ lists and costs).
+  /// Structural changes to the network afterwards are not seen.
+  explicit SlotTable(const WdmNetwork& net);
+
+  [[nodiscard]] std::uint32_t num_slots() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+
+  /// Dense slot of (e, λ); kInvalidSlot when λ ∉ base Λ(e).
+  [[nodiscard]] std::uint32_t slot_of(LinkId e, Wavelength lambda) const;
+
+  [[nodiscard]] LinkId link_of(std::uint32_t slot) const {
+    return entries_[slot].link;
+  }
+  [[nodiscard]] Wavelength lambda_of(std::uint32_t slot) const {
+    return entries_[slot].lambda;
+  }
+  /// Base traversal cost w(e, λ) — the weight a replica restores when the
+  /// slot is observed free.
+  [[nodiscard]] double base_cost(std::uint32_t slot) const {
+    return entries_[slot].cost;
+  }
+
+  /// Current owner bits (0 = free).  A racing read, by design: replicas
+  /// use it to re-sync their weight views toward the truth.
+  [[nodiscard]] std::uint64_t owner(std::uint32_t slot) const {
+    return owners_[slot].load(std::memory_order_acquire);
+  }
+
+  /// CAS free → owner.  False when the slot is held.
+  bool try_claim(std::uint32_t slot, std::uint64_t owner_bits);
+
+  /// CAS owner → free.  False (and no change) when `owner_bits` does not
+  /// hold the slot — a protocol bug upstream, asserted by callers.
+  bool release(std::uint32_t slot, std::uint64_t owner_bits);
+
+  /// Two-phase claim of a route's slots, in the given order.  On the
+  /// first lost CAS every slot already taken is rolled back and the index
+  /// *into `slots`* of the conflict is written to `conflict_pos`.
+  bool claim_all(std::span<const std::uint32_t> slots,
+                 std::uint64_t owner_bits, std::uint32_t* conflict_pos);
+
+  /// Frees all of a session's slots (each must be held by `owner_bits`).
+  void release_all(std::span<const std::uint32_t> slots,
+                   std::uint64_t owner_bits);
+
+  /// Slots currently owned (test/ops scan; racy against live traffic —
+  /// quiesce first for exact answers).
+  [[nodiscard]] std::uint64_t occupied() const;
+
+ private:
+  struct Entry {
+    LinkId link;
+    Wavelength lambda;
+    double cost;
+  };
+
+  std::vector<Entry> entries_;             // grouped by link, λ ascending
+  std::vector<std::uint32_t> link_first_;  // per link: first slot index
+  std::unique_ptr<std::atomic<std::uint64_t>[]> owners_;
+};
+
+/// One committed admission or release, for serial replay.
+struct CommitRecord {
+  std::uint64_t seq = 0;
+  bool is_release = false;
+  std::uint64_t owner = 0;                ///< SvcSessionId bits
+  std::vector<std::uint32_t> slots;
+};
+
+/// Totally ordered commit/release log (see the file comment for the
+/// sequence discipline that makes serial replay a linearizability
+/// witness).  Disabled by default — the hot path then skips both the
+/// fetch_add and the append.
+class CommitLog {
+ public:
+  void enable() { enabled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Draws the next sequence number (callers obey the claim/free
+  /// ordering discipline).
+  [[nodiscard]] std::uint64_t next_seq() {
+    return seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void append(CommitRecord record);
+
+  /// All records so far, sorted by seq.
+  [[nodiscard]] std::vector<CommitRecord> snapshot() const;
+
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{1};
+  mutable std::mutex mutex_;
+  std::vector<CommitRecord> records_;
+};
+
+}  // namespace lumen::svc

@@ -1,0 +1,382 @@
+// Open-addressing hash map for the hot session/reservation tables.
+//
+// std::unordered_map pays one allocation per node and a pointer chase per
+// probe; the tables on the service hot path (per-shard session tables,
+// reservation bookkeeping) are small-keyed, high-churn, and looked up on
+// every admit/close, where that indirection dominates.  FlatHashMap keeps
+// entries in one contiguous slot array with robin-hood probing (insertions
+// displace richer entries, keeping probe sequences short and variance low)
+// and backward-shift deletion (no tombstones, so lookup cost never degrades
+// as the table churns).
+//
+// The public surface mirrors the std::unordered_map subset the codebase
+// uses — find/emplace/try_emplace/erase/operator[]/contains/iteration — so
+// swapping a table is a type-alias change:
+//
+//   lumen::FlatMap<SessionId, SessionRecord> sessions_;
+//
+// Differences from std::unordered_map, by design:
+//   * References and iterators are invalidated by EVERY insert and erase
+//     (entries move during displacement and backward shift), not just by
+//     rehash.  Don't hold them across mutations.
+//   * value_type is std::pair<Key, T> (non-const Key) so entries can be
+//     relocated; treat the key of a live entry as immutable.
+//   * Iteration order is the slot order — unspecified, like the standard
+//     containers, and additionally changes on rehash.
+//
+// The user-supplied hash is post-mixed (splitmix64 finalizer), so identity
+// hashes over dense integer ids — the common case here — do not cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lumen {
+
+namespace detail {
+
+/// splitmix64 finalizer: spreads dense/low-entropy hashes over the word.
+[[nodiscard]] constexpr std::uint64_t mix_hash(std::uint64_t h) noexcept {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace detail
+
+/// Robin-hood flat hash map (see file comment).  Key and T must be
+/// movable; the map never copies entries except in its own copy
+/// operations.
+template <class Key, class T, class Hash = std::hash<Key>,
+          class KeyEqual = std::equal_to<Key>>
+class FlatHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using value_type = std::pair<Key, T>;
+  using size_type = std::size_t;
+
+  /// Load factor ceiling in percent (the minicore-style alias fixes 80).
+  static constexpr std::size_t kMaxLoadPercent = 80;
+
+  template <bool Const>
+  class basic_iterator {
+   public:
+    using map_type = std::conditional_t<Const, const FlatHashMap, FlatHashMap>;
+    using value_type = FlatHashMap::value_type;
+    using reference =
+        std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    basic_iterator() = default;
+    /// const_iterator from iterator.
+    template <bool C = Const, class = std::enable_if_t<C>>
+    basic_iterator(const basic_iterator<false>& other) noexcept
+        : map_(other.map_), index_(other.index_) {}
+
+    reference operator*() const { return map_->slot(index_); }
+    pointer operator->() const { return &map_->slot(index_); }
+
+    basic_iterator& operator++() {
+      index_ = map_->next_occupied(index_ + 1);
+      return *this;
+    }
+    basic_iterator operator++(int) {
+      basic_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    friend bool operator==(const basic_iterator& a,
+                           const basic_iterator& b) = default;
+
+   private:
+    friend class FlatHashMap;
+    template <bool>
+    friend class basic_iterator;
+    basic_iterator(map_type* map, std::size_t index) noexcept
+        : map_(map), index_(index) {}
+
+    map_type* map_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = basic_iterator<false>;
+  using const_iterator = basic_iterator<true>;
+
+  FlatHashMap() = default;
+  explicit FlatHashMap(size_type expected) { reserve(expected); }
+
+  FlatHashMap(const FlatHashMap& other) { *this = other; }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size());
+    for (const value_type& entry : other) emplace(entry.first, entry.second);
+    return *this;
+  }
+
+  FlatHashMap(FlatHashMap&& other) noexcept { swap(other); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~FlatHashMap() { destroy_all(); }
+
+  void swap(FlatHashMap& other) noexcept {
+    std::swap(storage_, other.storage_);
+    std::swap(probe_, other.probe_);
+    std::swap(capacity_, other.capacity_);
+    std::swap(size_, other.size_);
+  }
+
+  [[nodiscard]] size_type size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Current slot-array capacity (size() can grow to 80% of this before
+  /// the next rehash).
+  [[nodiscard]] size_type capacity() const noexcept { return capacity_; }
+
+  /// Destroys every entry; keeps the slot array.
+  void clear() noexcept {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (probe_[i] != 0) {
+        slot(i).~value_type();
+        probe_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Grows the slot array so `expected` entries fit without rehashing.
+  void reserve(size_type expected) {
+    size_type needed = kMinCapacity;
+    while (needed * kMaxLoadPercent / 100 < expected) needed *= 2;
+    if (needed > capacity_) rehash(needed);
+  }
+
+  [[nodiscard]] iterator begin() noexcept {
+    return iterator(this, next_occupied(0));
+  }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, next_occupied(0));
+  }
+  [[nodiscard]] iterator end() noexcept { return iterator(this, capacity_); }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, capacity_);
+  }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    return iterator(this, find_index(key));
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    return const_iterator(this, find_index(key));
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find_index(key) != capacity_;
+  }
+  [[nodiscard]] size_type count(const Key& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  T& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  /// std::unordered_map::try_emplace: constructs T from `args` only when
+  /// the key is absent.
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    const std::size_t found = find_index(key);
+    if (found != capacity_) return {iterator(this, found), false};
+    const std::size_t index =
+        insert_new(Key(key), T(std::forward<Args>(args)...));
+    return {iterator(this, index), true};
+  }
+
+  /// std::unordered_map::emplace for the (key, mapped) argument shape the
+  /// codebase uses.  No-op (returns false) when the key exists.
+  template <class K, class V>
+  std::pair<iterator, bool> emplace(K&& key, V&& value) {
+    Key k(std::forward<K>(key));
+    const std::size_t found = find_index(k);
+    if (found != capacity_) return {iterator(this, found), false};
+    const std::size_t index =
+        insert_new(std::move(k), T(std::forward<V>(value)));
+    return {iterator(this, index), true};
+  }
+
+  std::pair<iterator, bool> insert(value_type entry) {
+    return emplace(std::move(entry.first), std::move(entry.second));
+  }
+
+  /// Erases the entry at `pos`; returns the iterator to the next entry in
+  /// iteration order.  (Backward shift may move an entry INTO the erased
+  /// slot; that entry has not been visited yet, so re-examining the same
+  /// index is the correct continuation.)
+  iterator erase(const_iterator pos) {
+    LUMEN_REQUIRE(pos.map_ == this && pos.index_ < capacity_ &&
+                  probe_[pos.index_] != 0);
+    erase_index(pos.index_);
+    const std::size_t next =
+        probe_[pos.index_] != 0 ? pos.index_ : next_occupied(pos.index_ + 1);
+    return iterator(this, next);
+  }
+
+  size_type erase(const Key& key) {
+    const std::size_t index = find_index(key);
+    if (index == capacity_) return 0;
+    erase_index(index);
+    return 1;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+  /// Probe distances are stored +1 in a uint16.  Robin-hood bounds the
+  /// distance by the longest run of colliding (post-mix) hashes, so
+  /// hitting this cap needs ~65k keys with IDENTICAL hash values — a
+  /// degenerate hash function, rejected rather than looped on.
+  static constexpr std::uint32_t kMaxProbe = 65530;
+
+  [[nodiscard]] value_type& slot(std::size_t i) const {
+    return reinterpret_cast<value_type*>(storage_.get())[i];
+  }
+
+  [[nodiscard]] std::size_t home_of(const Key& key) const {
+    return static_cast<std::size_t>(detail::mix_hash(Hash{}(key))) &
+           (capacity_ - 1);
+  }
+
+  [[nodiscard]] std::size_t next_occupied(std::size_t i) const noexcept {
+    while (i < capacity_ && probe_[i] == 0) ++i;
+    return i;
+  }
+
+  /// Index of `key`, or capacity_ when absent.
+  [[nodiscard]] std::size_t find_index(const Key& key) const {
+    if (size_ == 0) return capacity_;
+    std::size_t index = home_of(key);
+    std::uint32_t distance = 1;
+    while (true) {
+      const std::uint32_t have = probe_[index];
+      // Empty slot, or an entry closer to its home than we would be: a
+      // stored copy of `key` would have displaced it, so `key` is absent.
+      if (have < distance) return capacity_;
+      // Equal keys share a home, hence sit at equal probe distance.
+      if (have == distance && KeyEqual{}(slot(index).first, key)) return index;
+      index = (index + 1) & (capacity_ - 1);
+      ++distance;
+    }
+  }
+
+  /// Inserts a key known to be absent.  Returns its final slot index.
+  std::size_t insert_new(Key key, T value) {
+    if (capacity_ == 0 || (size_ + 1) * 100 > capacity_ * kMaxLoadPercent) {
+      rehash(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+    }
+    return place(std::move(key), std::move(value));
+  }
+
+  /// Robin-hood placement of a key not present in the table.  Returns the
+  /// slot where the ORIGINAL key landed (a displaced resident may travel
+  /// further; once a slot is written it only moves on erase/rehash).
+  std::size_t place(Key key, T value) {
+    std::size_t index = home_of(key);
+    std::uint32_t distance = 1;
+    std::size_t landed = capacity_;
+    value_type pending(std::move(key), std::move(value));
+    while (true) {
+      if (probe_[index] == 0) {
+        new (&slot(index)) value_type(std::move(pending));
+        probe_[index] = static_cast<std::uint16_t>(distance);
+        ++size_;
+        return landed == capacity_ ? index : landed;
+      }
+      if (probe_[index] < distance) {
+        // The resident is richer (closer to home): displace it, keep
+        // probing on its behalf.
+        std::swap(pending, slot(index));
+        const std::uint32_t resident = probe_[index];
+        probe_[index] = static_cast<std::uint16_t>(distance);
+        distance = resident;
+        if (landed == capacity_) landed = index;
+      }
+      index = (index + 1) & (capacity_ - 1);
+      ++distance;
+      LUMEN_REQUIRE_MSG(distance < kMaxProbe,
+                        "degenerate hash: probe chain exceeded 65k");
+    }
+  }
+
+  void erase_index(std::size_t index) {
+    slot(index).~value_type();
+    probe_[index] = 0;
+    --size_;
+    // Backward shift: pull every displaced successor one slot closer to
+    // its home until the chain ends (empty slot or an entry at home).
+    std::size_t hole = index;
+    std::size_t next = (hole + 1) & (capacity_ - 1);
+    while (probe_[next] > 1) {
+      new (&slot(hole)) value_type(std::move(slot(next)));
+      slot(next).~value_type();
+      probe_[hole] = static_cast<std::uint16_t>(probe_[next] - 1);
+      probe_[next] = 0;
+      hole = next;
+      next = (next + 1) & (capacity_ - 1);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    LUMEN_ASSERT((new_capacity & (new_capacity - 1)) == 0);
+    std::unique_ptr<std::byte[]> old_storage = std::move(storage_);
+    std::vector<std::uint16_t> old_probe = std::move(probe_);
+    const std::size_t old_capacity = capacity_;
+
+    storage_ =
+        std::make_unique<std::byte[]>(new_capacity * sizeof(value_type));
+    probe_.assign(new_capacity, 0);
+    capacity_ = new_capacity;
+    size_ = 0;
+
+    value_type* old_slots = reinterpret_cast<value_type*>(old_storage.get());
+    for (std::size_t i = 0; i < old_capacity; ++i) {
+      if (old_probe[i] == 0) continue;
+      place(std::move(old_slots[i].first), std::move(old_slots[i].second));
+      old_slots[i].~value_type();
+    }
+  }
+
+  void destroy_all() noexcept {
+    clear();
+    storage_.reset();
+    probe_.clear();
+    capacity_ = 0;
+  }
+
+  std::unique_ptr<std::byte[]> storage_;
+  std::vector<std::uint16_t> probe_;  // 0 = empty, else probe distance + 1
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// The hot-table alias (the minicore idiom: name the implementation once,
+/// swap it behind the alias if a better map lands).
+template <class Key, class T, class Hash = std::hash<Key>,
+          class KeyEqual = std::equal_to<Key>>
+using FlatMap = FlatHashMap<Key, T, Hash, KeyEqual>;
+
+}  // namespace lumen

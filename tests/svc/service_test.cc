@@ -1,0 +1,260 @@
+// Unit coverage for the svc building blocks: session-id packing, the
+// atomic SlotTable (two-phase claim/rollback), the commit log, and the
+// RoutingService front-end (admission outcomes, quotas, tenant/service
+// accounting, SLO rule wiring) on the paper's example network.
+#include "svc/service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/slot_table.h"
+#include "svc/types.h"
+#include "tests/test_util.h"
+
+namespace lumen::svc {
+namespace {
+
+using lumen::testing::paper_example_network;
+
+TEST(SvcSessionIdTest, PacksShardAndSequence) {
+  EXPECT_FALSE(SvcSessionId{}.valid());
+  EXPECT_EQ(SvcSessionId{}.bits(), 0u);
+
+  const SvcSessionId id = SvcSessionId::make(3, 41);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.shard(), 3u);
+  EXPECT_EQ(id.seq(), 41u);
+  EXPECT_EQ(SvcSessionId::from_bits(id.bits()), id);
+
+  // Max shard, large seq: fields stay separable.
+  const SvcSessionId big = SvcSessionId::make(0xffff, (1ULL << 48) - 1);
+  EXPECT_EQ(big.shard(), 0xffffu);
+  EXPECT_EQ(big.seq(), (1ULL << 48) - 1);
+}
+
+TEST(SvcSessionIdTest, StatusNames) {
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kAdmitted), "admitted");
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kBlocked), "blocked");
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kQuotaDenied), "quota_denied");
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kAborted), "aborted");
+}
+
+TEST(SlotTableTest, MapsEveryBasePairDensely) {
+  const WdmNetwork net = paper_example_network();
+  const SlotTable table(net);
+  EXPECT_EQ(table.num_slots(), net.total_link_wavelengths());
+  EXPECT_EQ(table.occupied(), 0u);
+
+  std::uint64_t mapped = 0;
+  for (std::uint32_t e = 0; e < net.num_links(); ++e) {
+    for (const LinkWavelength& lw : net.available(LinkId{e})) {
+      const std::uint32_t slot = table.slot_of(LinkId{e}, lw.lambda);
+      ASSERT_NE(slot, SlotTable::kInvalidSlot);
+      EXPECT_EQ(table.link_of(slot), LinkId{e});
+      EXPECT_EQ(table.lambda_of(slot), lw.lambda);
+      EXPECT_DOUBLE_EQ(table.base_cost(slot), lw.cost);
+      ++mapped;
+    }
+    // A wavelength outside the base Λ(e) has no slot.
+    for (std::uint32_t l = 0; l < net.num_wavelengths(); ++l) {
+      if (!net.is_available(LinkId{e}, Wavelength{l})) {
+        EXPECT_EQ(table.slot_of(LinkId{e}, Wavelength{l}),
+                  SlotTable::kInvalidSlot);
+      }
+    }
+  }
+  EXPECT_EQ(mapped, table.num_slots());
+}
+
+TEST(SlotTableTest, ClaimReleaseLifecycle) {
+  const WdmNetwork net = paper_example_network();
+  SlotTable table(net);
+  const std::uint64_t alice = SvcSessionId::make(0, 1).bits();
+  const std::uint64_t bob = SvcSessionId::make(1, 1).bits();
+
+  EXPECT_TRUE(table.try_claim(0, alice));
+  EXPECT_EQ(table.owner(0), alice);
+  EXPECT_FALSE(table.try_claim(0, bob));    // held
+  EXPECT_FALSE(table.release(0, bob));      // not the owner
+  EXPECT_EQ(table.owner(0), alice);
+  EXPECT_TRUE(table.release(0, alice));
+  EXPECT_EQ(table.owner(0), 0u);
+  EXPECT_TRUE(table.try_claim(0, bob));     // free again
+  EXPECT_EQ(table.occupied(), 1u);
+}
+
+TEST(SlotTableTest, ClaimAllRollsBackOnConflict) {
+  const WdmNetwork net = paper_example_network();
+  SlotTable table(net);
+  const std::uint64_t alice = SvcSessionId::make(0, 1).bits();
+  const std::uint64_t bob = SvcSessionId::make(1, 1).bits();
+
+  ASSERT_TRUE(table.try_claim(2, bob));  // pre-claim the middle slot
+
+  const std::vector<std::uint32_t> want = {0, 1, 2, 3};
+  std::uint32_t conflict_pos = 99;
+  EXPECT_FALSE(table.claim_all(want, alice, &conflict_pos));
+  EXPECT_EQ(conflict_pos, 2u);
+  // Two-phase abort: slots 0 and 1 were rolled back.
+  EXPECT_EQ(table.owner(0), 0u);
+  EXPECT_EQ(table.owner(1), 0u);
+  EXPECT_EQ(table.owner(2), bob);
+  EXPECT_EQ(table.owner(3), 0u);
+  EXPECT_EQ(table.occupied(), 1u);
+
+  ASSERT_TRUE(table.release(2, bob));
+  EXPECT_TRUE(table.claim_all(want, alice, &conflict_pos));
+  EXPECT_EQ(table.occupied(), 4u);
+  table.release_all(want, alice);
+  EXPECT_EQ(table.occupied(), 0u);
+}
+
+TEST(CommitLogTest, DisabledByDefaultSnapshotSorted) {
+  CommitLog log;
+  EXPECT_FALSE(log.enabled());
+  log.enable();
+  ASSERT_TRUE(log.enabled());
+  const std::uint64_t a = log.next_seq();
+  const std::uint64_t b = log.next_seq();
+  EXPECT_LT(a, b);
+  log.append(CommitRecord{b, true, 7, {1}});
+  log.append(CommitRecord{a, false, 7, {1}});
+  const std::vector<CommitRecord> sorted = log.snapshot();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].seq, a);
+  EXPECT_FALSE(sorted[0].is_release);
+  EXPECT_EQ(sorted[1].seq, b);
+  log.clear();
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(RoutingServiceTest, AdmitsRoutesAndReleases) {
+  const WdmNetwork net = paper_example_network();
+  ServiceOptions options;
+  options.num_shards = 2;
+  RoutingService service(net, options);
+
+  const AdmitTicket ticket =
+      service.open(TenantId{0}, NodeId{0}, NodeId{6});
+  ASSERT_EQ(ticket.status, AdmitStatus::kAdmitted);
+  EXPECT_TRUE(ticket.id.valid());
+  EXPECT_GT(ticket.hops, 0u);
+  EXPECT_GT(ticket.cost, 0.0);
+  EXPECT_EQ(service.active_sessions(), 1u);
+  EXPECT_EQ(service.slot_table().occupied(), ticket.hops);
+
+  EXPECT_TRUE(service.close(ticket.id));
+  EXPECT_EQ(service.active_sessions(), 0u);
+  EXPECT_EQ(service.slot_table().occupied(), 0u);
+  // Double close and unknown ids are clean no-ops.
+  EXPECT_FALSE(service.close(ticket.id));
+  EXPECT_FALSE(service.close(SvcSessionId{}));
+  EXPECT_FALSE(service.close(SvcSessionId::make(99, 1)));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.offered, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.released, 1u);
+  EXPECT_EQ(stats.active, 0u);
+}
+
+TEST(RoutingServiceTest, AdmissionCostMatchesTicket) {
+  // The admitted cost is the optimal semilightpath cost on the residual —
+  // for the first admission, the pristine-network optimum.
+  const WdmNetwork net = paper_example_network();
+  ServiceOptions options;
+  options.num_shards = 1;
+  RoutingService service(net, options);
+  RouteEngine reference(net);
+  const RouteResult expected = reference.route_semilightpath(
+      NodeId{0}, NodeId{6});
+  ASSERT_TRUE(expected.found);
+
+  const AdmitTicket ticket =
+      service.open(TenantId{0}, NodeId{0}, NodeId{6});
+  ASSERT_EQ(ticket.status, AdmitStatus::kAdmitted);
+  EXPECT_NEAR(ticket.cost, expected.cost, 1e-12);
+}
+
+TEST(RoutingServiceTest, ExhaustionBlocks) {
+  // One wavelength on a single link: the second session through it must
+  // block, and a release must reopen it.
+  WdmNetwork net(2, 1, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 1.0);
+
+  RoutingService service(net, ServiceOptions{.num_shards = 2});
+  const AdmitTicket first = service.open(TenantId{0}, NodeId{0}, NodeId{1});
+  ASSERT_EQ(first.status, AdmitStatus::kAdmitted);
+  const AdmitTicket second = service.open(TenantId{0}, NodeId{0}, NodeId{1});
+  EXPECT_EQ(second.status, AdmitStatus::kBlocked);
+
+  ASSERT_TRUE(service.close(first.id));
+  const AdmitTicket third = service.open(TenantId{0}, NodeId{0}, NodeId{1});
+  EXPECT_EQ(third.status, AdmitStatus::kAdmitted);
+}
+
+TEST(RoutingServiceTest, QuotaDeniesAndRefunds) {
+  const WdmNetwork net = paper_example_network();
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.num_tenants = 2;
+  RoutingService service(net, options);
+  service.set_quota(TenantId{1}, 1);
+
+  const AdmitTicket first = service.open(TenantId{1}, NodeId{0}, NodeId{6});
+  ASSERT_EQ(first.status, AdmitStatus::kAdmitted);
+  const AdmitTicket denied = service.open(TenantId{1}, NodeId{0}, NodeId{4});
+  EXPECT_EQ(denied.status, AdmitStatus::kQuotaDenied);
+  // Tenant 0 is unaffected by tenant 1's quota.
+  const AdmitTicket other = service.open(TenantId{0}, NodeId{0}, NodeId{4});
+  EXPECT_EQ(other.status, AdmitStatus::kAdmitted);
+
+  const TenantStats starved = service.tenant_stats(TenantId{1});
+  EXPECT_EQ(starved.quota, 1u);
+  EXPECT_EQ(starved.active, 1u);
+  EXPECT_EQ(starved.admitted, 1u);
+  EXPECT_EQ(starved.quota_denied, 1u);
+
+  // Closing refunds the quota.
+  ASSERT_TRUE(service.close(first.id));
+  const AdmitTicket again = service.open(TenantId{1}, NodeId{0}, NodeId{6});
+  EXPECT_EQ(again.status, AdmitStatus::kAdmitted);
+}
+
+TEST(RoutingServiceTest, CrossShardResyncPropagates) {
+  // Shard 0 admits; after a drain, shard 1's replica must see the claimed
+  // slots as unroutable — a single-wavelength link makes this observable:
+  // the second admission (round-robin lands on shard 1) must block
+  // without a single commit conflict, proving it routed on the re-synced
+  // view rather than discovering the claim at commit time.
+  WdmNetwork net(2, 1, std::make_shared<NoConversion>());
+  const LinkId e = net.add_link(NodeId{0}, NodeId{1});
+  net.set_wavelength(e, Wavelength{0}, 1.0);
+
+  RoutingService service(net, ServiceOptions{.num_shards = 2});
+  const AdmitTicket first = service.open(TenantId{0}, NodeId{0}, NodeId{1});
+  ASSERT_EQ(first.status, AdmitStatus::kAdmitted);
+  service.drain_all();
+  const AdmitTicket second = service.open(TenantId{0}, NodeId{0}, NodeId{1});
+  EXPECT_EQ(second.status, AdmitStatus::kBlocked);
+  EXPECT_EQ(second.conflicts, 0u);
+  EXPECT_GT(service.stats().cross_shard_patches, 0u);
+}
+
+TEST(RoutingServiceTest, DefaultSloRulesCoverTheServiceInstruments) {
+  const std::vector<obs::SloRule> rules =
+      RoutingService::default_slo_rules(2.5e6);
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].name, "svc-admit-p99");
+  EXPECT_EQ(rules[0].metric, "lumen.svc.admit_latency_ns");
+  EXPECT_DOUBLE_EQ(rules[0].threshold, 2.5e6);
+  EXPECT_EQ(rules[1].name, "svc-abort-rate");
+  EXPECT_EQ(rules[1].denominator, "lumen.svc.offered");
+  EXPECT_EQ(rules[2].name, "svc-quota-pressure");
+}
+
+}  // namespace
+}  // namespace lumen::svc

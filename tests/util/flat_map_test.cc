@@ -1,0 +1,278 @@
+// Drop-in parity for util/flat_map.h against std::unordered_map: the
+// FlatMap alias replaces the standard map on hot tables, so every
+// operation the codebase uses must agree with the reference semantics —
+// including under churn heavy enough to exercise displacement, backward
+// shift, and several rehash generations.
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/strong_id.h"
+
+namespace lumen {
+namespace {
+
+TEST(FlatMapTest, StartsEmpty) {
+  FlatMap<int, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.begin(), map.end());
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_EQ(map.find(7), map.end());
+  EXPECT_EQ(map.erase(7), 0u);
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<int, std::string> map;
+  auto [it, inserted] = map.try_emplace(1, "one");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->first, 1);
+  EXPECT_EQ(it->second, "one");
+
+  auto [again, fresh] = map.try_emplace(1, "uno");
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(again->second, "one");  // try_emplace never overwrites
+
+  map[2] = "two";
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.find(2)->second, "two");
+  EXPECT_EQ(map.count(2), 1u);
+
+  EXPECT_EQ(map.erase(1), 1u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_TRUE(map.contains(2));
+}
+
+TEST(FlatMapTest, EmplaceAndInsertMatchStdSemantics) {
+  FlatMap<int, int> map;
+  EXPECT_TRUE(map.emplace(5, 50).second);
+  EXPECT_FALSE(map.emplace(5, 99).second);
+  EXPECT_EQ(map.find(5)->second, 50);
+
+  EXPECT_TRUE(map.insert({6, 60}).second);
+  EXPECT_FALSE(map.insert({6, 61}).second);
+  EXPECT_EQ(map.find(6)->second, 60);
+}
+
+TEST(FlatMapTest, OperatorIndexDefaultConstructs) {
+  FlatMap<int, int> map;
+  EXPECT_EQ(map[3], 0);
+  map[3] += 7;
+  EXPECT_EQ(map[3], 7);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, StrongIdKeys) {
+  struct Tag {};
+  using Id = StrongId<Tag>;
+  FlatMap<Id, int> map;
+  for (std::uint32_t i = 0; i < 100; ++i) map.try_emplace(Id(i), int(i) * 3);
+  ASSERT_EQ(map.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(map.contains(Id(i)));
+    EXPECT_EQ(map.find(Id(i))->second, int(i) * 3);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<int, int> map;
+  map.reserve(1000);
+  const std::size_t capacity = map.capacity();
+  for (int i = 0; i < 1000; ++i) map.try_emplace(i, i);
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMapTest, IterationVisitsEveryEntryExactlyOnce) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 500; ++i) map.try_emplace(i * 7, i);
+  std::vector<int> seen;
+  for (const auto& [key, value] : map) {
+    seen.push_back(key);
+    EXPECT_EQ(key, value * 7);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(seen[i], i * 7);
+}
+
+TEST(FlatMapTest, ConstIterationAndConversion) {
+  FlatMap<int, int> map;
+  map.try_emplace(1, 10);
+  map.try_emplace(2, 20);
+  const FlatMap<int, int>& view = map;
+  int sum = 0;
+  for (const auto& [key, value] : view) sum += value;
+  EXPECT_EQ(sum, 30);
+  FlatMap<int, int>::const_iterator converted = map.find(1);
+  EXPECT_EQ(converted->second, 10);
+}
+
+TEST(FlatMapTest, EraseByIteratorReturnsContinuation) {
+  // Erasing through an iterator must visit every remaining entry exactly
+  // once even though backward shift moves entries into the erased slot.
+  FlatMap<int, int> map;
+  for (int i = 0; i < 200; ++i) map.try_emplace(i, i);
+  std::vector<int> kept;
+  for (auto it = map.begin(); it != map.end();) {
+    if (it->first % 3 == 0) {
+      it = map.erase(it);
+    } else {
+      kept.push_back(it->first);
+      ++it;
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  std::vector<int> expected;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(kept, expected);
+  EXPECT_EQ(map.size(), expected.size());
+  for (const int key : expected) EXPECT_TRUE(map.contains(key));
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndReusability) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 100; ++i) map.try_emplace(i, i);
+  const std::size_t capacity = map.capacity();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), capacity);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(map.contains(i));
+  map.try_emplace(42, 1);
+  EXPECT_TRUE(map.contains(42));
+}
+
+TEST(FlatMapTest, CopyAndMove) {
+  FlatMap<int, std::string> map;
+  for (int i = 0; i < 50; ++i) map.try_emplace(i, std::to_string(i));
+
+  FlatMap<int, std::string> copy(map);
+  EXPECT_EQ(copy.size(), 50u);
+  copy.try_emplace(99, "ninety-nine");
+  EXPECT_FALSE(map.contains(99));  // deep copy
+
+  FlatMap<int, std::string> moved(std::move(copy));
+  EXPECT_EQ(moved.size(), 51u);
+  EXPECT_EQ(moved.find(7)->second, "7");
+
+  FlatMap<int, std::string> assigned;
+  assigned = moved;
+  EXPECT_EQ(assigned.size(), moved.size());
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 51u);
+}
+
+// A deliberately terrible hash: everything collides into a handful of
+// homes, forcing long displacement chains and deep backward shifts.
+struct ColliderHash {
+  std::size_t operator()(int key) const noexcept {
+    return static_cast<std::size_t>(key % 3);
+  }
+};
+
+TEST(FlatMapTest, SurvivesPathologicalCollisions) {
+  FlatHashMap<int, int, ColliderHash> map;
+  std::unordered_map<int, int> reference;
+  for (int i = 0; i < 300; ++i) {
+    map.try_emplace(i, i * 2);
+    reference.emplace(i, i * 2);
+  }
+  for (int i = 0; i < 300; i += 2) {
+    EXPECT_EQ(map.erase(i), reference.erase(i));
+  }
+  ASSERT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(map.contains(key)) << "missing key " << key;
+    EXPECT_EQ(map.find(key)->second, value);
+  }
+}
+
+// The core parity check: a long random op tape applied to both maps must
+// leave them element-for-element identical, across every rehash the churn
+// triggers.  Three seeds keep the sweep deterministic.
+TEST(FlatMapTest, RandomOpTapeMatchesUnorderedMap) {
+  for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+    std::mt19937_64 rng(seed);
+    FlatMap<std::uint32_t, std::uint64_t> map;
+    std::unordered_map<std::uint32_t, std::uint64_t> reference;
+    for (int op = 0; op < 20000; ++op) {
+      const std::uint32_t key =
+          static_cast<std::uint32_t>(rng() % 4096);  // force collisions
+      switch (rng() % 4) {
+        case 0: {  // try_emplace
+          const std::uint64_t value = rng();
+          const bool a = map.try_emplace(key, value).second;
+          const bool b = reference.try_emplace(key, value).second;
+          ASSERT_EQ(a, b) << "seed=" << seed << " op=" << op;
+          break;
+        }
+        case 1: {  // operator[] overwrite
+          const std::uint64_t value = rng();
+          map[key] = value;
+          reference[key] = value;
+          break;
+        }
+        case 2: {  // erase
+          ASSERT_EQ(map.erase(key), reference.erase(key))
+              << "seed=" << seed << " op=" << op;
+          break;
+        }
+        default: {  // lookup
+          const auto it = map.find(key);
+          const auto ref = reference.find(key);
+          ASSERT_EQ(it != map.end(), ref != reference.end())
+              << "seed=" << seed << " op=" << op;
+          if (ref != reference.end()) {
+            ASSERT_EQ(it->second, ref->second)
+                << "seed=" << seed << " op=" << op;
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(map.size(), reference.size())
+          << "seed=" << seed << " op=" << op;
+    }
+    // Full-table sweep both directions.
+    for (const auto& [key, value] : reference) {
+      ASSERT_TRUE(map.contains(key)) << "seed=" << seed;
+      ASSERT_EQ(map.find(key)->second, value) << "seed=" << seed;
+    }
+    std::size_t visited = 0;
+    for (const auto& [key, value] : map) {
+      const auto ref = reference.find(key);
+      ASSERT_NE(ref, reference.end()) << "seed=" << seed;
+      ASSERT_EQ(ref->second, value) << "seed=" << seed;
+      ++visited;
+    }
+    ASSERT_EQ(visited, reference.size()) << "seed=" << seed;
+  }
+}
+
+// Iteration across a rehash must still visit exactly the live entries
+// (order may change; the set may not).
+TEST(FlatMapTest, RehashPreservesEntrySet) {
+  FlatMap<int, int> map;
+  std::vector<std::pair<int, int>> before;
+  for (int i = 0; i < 64; ++i) map.try_emplace(i * 31, i);
+  for (const auto& entry : map) before.push_back(entry);
+  map.reserve(10000);  // force an explicit rehash
+  std::vector<std::pair<int, int>> after;
+  for (const auto& entry : map) after.push_back(entry);
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace lumen
