@@ -13,6 +13,11 @@
 //   pump_tick           — one MetricsPump snapshot + watchdog evaluation
 // The acceptance budget is <3% overhead on engine_query; the span
 // micro-rows explain where the rest of the time goes.
+//
+// The v3 rows (BENCH_9) add the dimensional and profiler costs:
+// counter_increment vs labeled_counter_increment (the labeled probe must
+// stay within 2x of a plain add), profiler_sample (the per-span-close
+// cooperative sampling cost), and profiler_snapshot (the read side).
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -25,6 +30,7 @@
 #include "core/route_engine.h"
 #include "dist/dist_router.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/slo.h"
 #include "obs/span_buffer.h"
@@ -121,6 +127,66 @@ void BM_SpanEmit(benchmark::State& state) {
   state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
 }
 BENCHMARK(BM_SpanEmit);
+
+// --- dimensional instruments (obs v3) ----------------------------------
+// The BENCH_9 gate: a labeled child increment (lock-free family probe +
+// atomic add) must stay within 2x of the unlabeled counter add.
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::Registry::global().counter("lumen.bench.plain_counter");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(&counter);
+  }
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_LabeledCounterIncrement(benchmark::State& state) {
+  obs::LabeledFamily<obs::Counter>& family =
+      obs::Registry::global().labeled_counter("lumen.bench.labeled_counter");
+  const obs::TagSet tags = obs::TagSet{}.tenant(3).shard(1);
+  for (auto _ : state) {
+    family.at(tags).add();
+    benchmark::DoNotOptimize(&family);
+  }
+  state.counters["children"] = static_cast<double>(family.size());
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_LabeledCounterIncrement);
+
+// --- always-on profiler -------------------------------------------------
+// One cooperative sample boundary (TLS stack push/pop + every period-th
+// close writing a seqlock slot); this is the incremental cost the
+// profiler adds to every ambient CausalSpan close.
+
+void BM_ProfilerSample(benchmark::State& state) {
+  obs::Profiler profiler;
+  for (auto _ : state) {
+    profiler.on_span_open("bench.stage");
+    profiler.on_span_close(1000);
+  }
+  state.counters["samples"] = static_cast<double>(profiler.total_samples());
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_ProfilerSample);
+
+void BM_ProfilerSnapshot(benchmark::State& state) {
+  obs::Profiler profiler(1024, 1);
+  for (int i = 0; i < 1024; ++i) {
+    profiler.on_span_open("bench.outer");
+    profiler.on_span_open(i % 2 == 0 ? "bench.a" : "bench.b");
+    profiler.on_span_close(500);
+    profiler.on_span_close(1200);
+  }
+  for (auto _ : state) {
+    const obs::ProfileSnapshot snapshot = profiler.snapshot();
+    benchmark::DoNotOptimize(snapshot.entries.size());
+  }
+  state.counters["obs_enabled"] = LUMEN_OBS_ENABLED;
+}
+BENCHMARK(BM_ProfilerSnapshot);
 
 void BM_PumpTick(benchmark::State& state) {
   obs::SloWatchdog watchdog;

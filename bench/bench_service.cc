@@ -17,6 +17,11 @@
 // single-threaded configurations.
 //
 // Reproduce: ./build/bench/bench_service --json out.json
+//
+// --tenants N (default 2) sets the tenant population; arrivals then
+// draw their tenant from a Zipf(s=1) distribution over the N ids, so
+// tenant 0 dominates the offered load — the skew that makes the
+// per-tenant dimensional telemetry (obs v3) worth watching.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
@@ -25,6 +30,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -38,6 +45,32 @@ namespace {
 using namespace lumen;
 
 constexpr std::uint64_t kSeed = 8808;
+/// Tenant population (--tenants N); arrivals sample tenants Zipf(s=1).
+std::uint32_t g_num_tenants = 2;
+
+/// Zipf(s=1) sampler over tenant ids 0..n-1: P(k) ∝ 1/(k+1), sampled by
+/// CDF inversion so one next_double() per arrival picks the tenant.
+struct ZipfTenants {
+  std::vector<double> cdf;
+  explicit ZipfTenants(std::uint32_t n) {
+    cdf.resize(n);
+    double total = 0.0;
+    for (std::uint32_t k = 0; k < n; ++k) total += 1.0 / (k + 1);
+    double acc = 0.0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      acc += 1.0 / ((k + 1) * total);
+      cdf[k] = acc;
+    }
+    cdf.back() = 1.0;  // guard CDF rounding at the tail
+  }
+  [[nodiscard]] svc::TenantId sample(Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return svc::TenantId{static_cast<std::uint32_t>(
+        std::min<std::size_t>(
+            static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1))};
+  }
+};
 // Per-worker offered load: arrival rate x mean holding time ~ 24
 // concurrent sessions in steady state, enough to keep slot contention
 // and occasional blocking in the mix without collapsing the network.
@@ -71,7 +104,7 @@ double exponential(Rng& rng, double mean) {
 /// time.  Every arrival is a full route+reserve attempt, timed
 /// wall-clock around svc::RoutingService::open.
 void churn_events(svc::RoutingService& service, Worker& worker,
-                  svc::TenantId tenant, std::uint32_t num_nodes,
+                  const ZipfTenants& tenants, std::uint32_t num_nodes,
                   std::uint32_t events) {
   for (std::uint32_t i = 0; i < events; ++i) {
     if (!worker.departures.empty() &&
@@ -90,6 +123,7 @@ void churn_events(svc::RoutingService& service, Worker& worker,
         static_cast<std::uint32_t>(worker.rng.next_below(num_nodes))};
     if (s == t) t = NodeId{(t.value() + 1) % num_nodes};
 
+    const svc::TenantId tenant = tenants.sample(worker.rng);
     const auto begin = std::chrono::steady_clock::now();
     const svc::AdmitTicket ticket = service.open(tenant, s, t);
     const auto end = std::chrono::steady_clock::now();
@@ -117,7 +151,7 @@ void run_churn(benchmark::State& state, std::uint32_t threads,
 
   svc::ServiceOptions options;
   options.num_shards = shards;
-  options.num_tenants = 2;
+  options.num_tenants = g_num_tenants;
   options.engine.build_hierarchy = true;
   options.query.goal_directed = true;
   options.query.use_hierarchy = true;
@@ -130,19 +164,20 @@ void run_churn(benchmark::State& state, std::uint32_t threads,
         exponential(workers[w].rng, 1.0 / kArrivalRate);
   }
 
+  const ZipfTenants tenants(g_num_tenants);
   double busy_seconds = 0.0;
   for (auto _ : state) {
     const auto begin = std::chrono::steady_clock::now();
     if (threads == 1) {
-      churn_events(service, workers[0], svc::TenantId{0}, net.num_nodes(),
+      churn_events(service, workers[0], tenants, net.num_nodes(),
                    events_per_thread);
     } else {
       std::vector<std::thread> pool;
       pool.reserve(threads);
       for (std::uint32_t w = 0; w < threads; ++w) {
         pool.emplace_back([&, w] {
-          churn_events(service, workers[w], svc::TenantId{w % 2},
-                       net.num_nodes(), events_per_thread);
+          churn_events(service, workers[w], tenants, net.num_nodes(),
+                       events_per_thread);
         });
       }
       for (std::thread& thread : pool) thread.join();
@@ -214,4 +249,25 @@ BENCHMARK(BM_ServiceChurnSmoke)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-LUMEN_BENCH_MAIN();
+// LUMEN_BENCH_MAIN() with a --tenants N front-end: the flag is consumed
+// here (google benchmark would reject it) before the usual --json
+// rewrite and benchmark::Initialize.
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n >= 1) g_num_tenants = static_cast<std::uint32_t>(n);
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  char** lumen_argv = lumen::bench::apply_json_flag(kept_argc, kept.data());
+  benchmark::Initialize(&kept_argc, lumen_argv);
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, lumen_argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

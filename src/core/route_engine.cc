@@ -56,6 +56,18 @@ struct EngineInstruments {
       "lumen.core.hierarchy.recustomized_arcs");
   obs::LatencyHistogram& hierarchy_customize =
       obs::Registry::global().histogram("lumen.core.hierarchy.customize_ns");
+  // Per-stage search split: labeled children keyed stage=hierarchy /
+  // astar / dijkstra / lightpath.  The tag sets are interned once here,
+  // so the per-query cost is a lock-free family probe.
+  obs::LabeledFamily<obs::Counter>& stage_queries =
+      obs::Registry::global().labeled_counter(
+          "lumen.route.engine.stage_queries");
+  obs::LabeledFamily<obs::Counter>& stage_pops =
+      obs::Registry::global().labeled_counter("lumen.route.engine.stage_pops");
+  const obs::TagSet hierarchy_stage = obs::TagSet{}.stage("hierarchy");
+  const obs::TagSet astar_stage = obs::TagSet{}.stage("astar");
+  const obs::TagSet dijkstra_stage = obs::TagSet{}.stage("dijkstra");
+  const obs::TagSet lightpath_stage = obs::TagSet{}.stage("lightpath");
 
   static EngineInstruments& get() {
     static EngineInstruments instruments;
@@ -66,6 +78,12 @@ struct EngineInstruments {
     search_pops.add(run.pops);
     search_settled.add(run.settled);
     search_pruned.add(run.pruned);
+  }
+
+  /// One search executed under `stage`, with its frontier-pop effort.
+  void record_stage(const obs::TagSet& stage, const CsrRunStats& run) {
+    stage_queries.at(stage).add();
+    stage_pops.at(stage).add(run.pops);
   }
 };
 
@@ -298,6 +316,7 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
              : hierarchy_->query(sources_of_[s.value()], sinks_of_[t.value()],
                                  scratch, NoPotential{}, slots, &run_stats);
     instruments.record_search(run_stats);
+    instruments.record_stage(instruments.hierarchy_stage, run_stats);
     instruments.hierarchy_upward_pops.add(run_stats.pops);
     result.stats.search_pops = run_stats.pops;
     result.stats.search_settled = run_stats.settled;
@@ -352,6 +371,8 @@ RouteResult RouteEngine::route_semilightpath(NodeId s, NodeId t,
                            &run_stats);
   }
   instruments.record_search(run_stats);
+  instruments.record_stage(
+      goal ? instruments.astar_stage : instruments.dijkstra_stage, run_stats);
   result.stats.search_pops = run_stats.pops;
   result.stats.search_settled = run_stats.settled;
   result.stats.search_relaxations = run_stats.relaxations;
@@ -439,6 +460,7 @@ RouteResult RouteEngine::route_lightpath(NodeId s, NodeId t,
                                         row);
     ++best.stats.wavelengths_searched;
     instruments.record_search(run_stats);
+    instruments.record_stage(instruments.lightpath_stage, run_stats);
     best.stats.search_pops += run_stats.pops;
     best.stats.search_settled += run_stats.settled;
     best.stats.search_relaxations += run_stats.relaxations;

@@ -4,7 +4,10 @@
 #include <istream>
 #include <ostream>
 
+#include <map>
+
 #include "obs/flat_json.h"
+#include "obs/tagset.h"
 
 namespace lumen::obs {
 
@@ -133,13 +136,65 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+std::string prometheus_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// The inner label list without braces ("tenant=\"3\",shard=\"1\"") —
+/// the histogram renderer merges this with its own `le` label.
+std::string prometheus_labels_inner(const std::string& canonical) {
+  std::string out;
+  for (const auto& [key, value] : labels_parse(canonical)) {
+    if (!out.empty()) out += ',';
+    out += prometheus_name(key) + "=\"" + prometheus_label_value(value) + '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_labels(const std::string& canonical) {
+  if (canonical.empty()) return {};
+  std::string out = "{";
+  out += prometheus_labels_inner(canonical);
+  out += '}';
+  return out;
+}
+
 #if LUMEN_OBS_ENABLED
 
 namespace {
 
+// `labels` is the inner label list ("tenant=\"3\"", or "" for the plain
+// instrument); it merges with the `le`/`quantile` labels below.  TYPE
+// lines are the caller's job — labeled children share their metric's.
 void append_native_histogram(std::string& out, const std::string& metric,
+                             const std::string& labels,
                              const LatencyHistogram& histogram) {
-  out += "# TYPE " + metric + " histogram\n";
+  std::string le_prefix = "_bucket{";
+  if (!labels.empty()) {
+    le_prefix += labels;
+    le_prefix += ',';
+  }
+  le_prefix += "le=\"";
+  std::string suffix;
+  if (!labels.empty()) {
+    suffix += '{';
+    suffix += labels;
+    suffix += '}';
+  }
   std::uint64_t cumulative = 0;
   int highest = -1;
   for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
@@ -147,28 +202,43 @@ void append_native_histogram(std::string& out, const std::string& metric,
   }
   for (int b = 0; b <= highest; ++b) {
     cumulative += histogram.bucket_count(b);
-    out += metric + "_bucket{le=\"" +
+    out += metric + le_prefix +
            std::to_string(LatencyHistogram::bucket_upper_bound(b)) + "\"} " +
            std::to_string(cumulative) + "\n";
   }
-  out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
-  out += metric + "_sum " + std::to_string(histogram.sum()) + "\n";
-  out += metric + "_count " + std::to_string(cumulative) + "\n";
+  out += metric + le_prefix + "+Inf\"} " + std::to_string(cumulative) + "\n";
+  out += metric + "_sum" + suffix + " " + std::to_string(histogram.sum()) +
+         "\n";
+  out += metric + "_count" + suffix + " " + std::to_string(cumulative) + "\n";
 }
 
 void append_summary_gauges(std::string& out, const std::string& metric,
+                           const std::string& labels,
                            const LatencyHistogram& histogram) {
   const std::string name = metric + "_summary";
+  std::string q_prefix = "{";
+  if (!labels.empty()) {
+    q_prefix += labels;
+    q_prefix += ',';
+  }
+  q_prefix += "quantile=\"";
+  std::string suffix;
+  if (!labels.empty()) {
+    suffix += '{';
+    suffix += labels;
+    suffix += '}';
+  }
   const HistogramSummary summary = histogram.summary();
-  out += "# TYPE " + name + " summary\n";
-  out += name + "{quantile=\"0.5\"} " +
-         detail::fmt_double_exact(summary.p50) + "\n";
-  out += name + "{quantile=\"0.9\"} " +
-         detail::fmt_double_exact(summary.p90) + "\n";
-  out += name + "{quantile=\"0.99\"} " +
+  out += name + q_prefix + "0.5\"} " + detail::fmt_double_exact(summary.p50) +
+         "\n";
+  out += name + q_prefix + "0.9\"} " + detail::fmt_double_exact(summary.p90) +
+         "\n";
+  out += name + q_prefix + "0.99\"} " +
          detail::fmt_double_exact(summary.p99) + "\n";
-  out += name + "_sum " + std::to_string(histogram.sum()) + "\n";
-  out += name + "_count " + std::to_string(summary.count) + "\n";
+  out += name + "_sum" + suffix + " " + std::to_string(histogram.sum()) +
+         "\n";
+  out += name + "_count" + suffix + " " + std::to_string(summary.count) +
+         "\n";
 }
 
 }  // namespace
@@ -176,23 +246,96 @@ void append_summary_gauges(std::string& out, const std::string& metric,
 std::string prometheus_text(const Registry& registry,
                             const PrometheusOptions& options) {
   std::string out;
+
+  // Plain sample first, then that name's labeled children under the same
+  // TYPE block; families with no plain namesake get their own block.
+  std::map<std::string, const LabeledFamily<Counter>*> labeled_counters;
+  for (const auto& [name, family] : registry.labeled_counter_entries())
+    labeled_counters.emplace(name, family);
+  const auto counter_children =
+      [&out](const std::string& metric, const LabeledFamily<Counter>& family) {
+        for (const auto& [labels, child] : family.entries())
+          out += metric + prometheus_labels(labels) + " " +
+                 std::to_string(child->value()) + "\n";
+      };
   for (const auto& [name, counter] : registry.counter_entries()) {
     const std::string metric = prometheus_name(name);
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(counter->value()) + "\n";
+    const auto it = labeled_counters.find(name);
+    if (it != labeled_counters.end()) {
+      counter_children(metric, *it->second);
+      labeled_counters.erase(it);
+    }
   }
+  for (const auto& [name, family] : labeled_counters) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    counter_children(metric, *family);
+  }
+
+  std::map<std::string, const LabeledFamily<Gauge>*> labeled_gauges;
+  for (const auto& [name, family] : registry.labeled_gauge_entries())
+    labeled_gauges.emplace(name, family);
+  const auto gauge_children =
+      [&out](const std::string& metric, const LabeledFamily<Gauge>& family) {
+        for (const auto& [labels, child] : family.entries())
+          out += metric + prometheus_labels(labels) + " " +
+                 detail::fmt_double_exact(child->value()) + "\n";
+      };
   for (const auto& [name, gauge] : registry.gauge_entries()) {
     const std::string metric = prometheus_name(name);
     out += "# TYPE " + metric + " gauge\n";
     out += metric + " " + detail::fmt_double_exact(gauge->value()) + "\n";
+    const auto it = labeled_gauges.find(name);
+    if (it != labeled_gauges.end()) {
+      gauge_children(metric, *it->second);
+      labeled_gauges.erase(it);
+    }
   }
+  for (const auto& [name, family] : labeled_gauges) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    gauge_children(metric, *family);
+  }
+
+  std::map<std::string, const LabeledFamily<LatencyHistogram>*>
+      labeled_histograms;
+  for (const auto& [name, family] : registry.labeled_histogram_entries())
+    labeled_histograms.emplace(name, family);
+  const auto histogram_block = [&](const std::string& metric,
+                                   const LatencyHistogram* plain,
+                                   const LabeledFamily<LatencyHistogram>*
+                                       family) {
+    if (options.native_histograms) {
+      out += "# TYPE " + metric + " histogram\n";
+      if (plain != nullptr)
+        append_native_histogram(out, metric, "", *plain);
+      if (family != nullptr)
+        for (const auto& [labels, child] : family->entries())
+          append_native_histogram(out, metric, prometheus_labels_inner(labels),
+                                  *child);
+    }
+    if (options.summary_gauges) {
+      out += "# TYPE " + metric + "_summary summary\n";
+      if (plain != nullptr) append_summary_gauges(out, metric, "", *plain);
+      if (family != nullptr)
+        for (const auto& [labels, child] : family->entries())
+          append_summary_gauges(out, metric, prometheus_labels_inner(labels),
+                                *child);
+    }
+  };
   for (const auto& [name, histogram] : registry.histogram_entries()) {
     const std::string metric = prometheus_name(name);
-    if (options.native_histograms)
-      append_native_histogram(out, metric, *histogram);
-    if (options.summary_gauges)
-      append_summary_gauges(out, metric, *histogram);
+    const auto it = labeled_histograms.find(name);
+    const LabeledFamily<LatencyHistogram>* family =
+        it != labeled_histograms.end() ? it->second : nullptr;
+    histogram_block(metric, histogram, family);
+    if (it != labeled_histograms.end()) labeled_histograms.erase(it);
   }
+  for (const auto& [name, family] : labeled_histograms)
+    histogram_block(prometheus_name(name), nullptr, family);
+
   return out;
 }
 

@@ -8,7 +8,10 @@
 //   - Prometheus text exposition: every Registry counter becomes a
 //     `counter` metric, every LatencyHistogram a `histogram` metric with
 //     power-of-two `le` buckets, `_sum`, and `_count`.  Metric names are
-//     the registry names with [.-] mapped to '_'.
+//     the registry names with [.-] mapped to '_'.  Labeled families
+//     render as extra series under the same metric name, one
+//     `name{tenant="3",...}` sample per child, with exposition-escaped
+//     label values.
 //
 // Field order of the JSONL/CSV schema is documented in
 // docs/OBSERVABILITY.md; tests/obs/export_test.cc pins it.
@@ -48,6 +51,17 @@ void write_route_events_csv(std::ostream& out,
 /// renderer below and by consumers re-exporting decoded wire telemetry
 /// (tools/lumen_collect), so it lives outside the #if.
 [[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// A label value with Prometheus text-exposition escaping: backslash,
+/// double quote, and newline become `\\`, `\"`, and `\n`.
+[[nodiscard]] std::string prometheus_label_value(const std::string& value);
+
+/// A canonical TagSet labels string ("tenant=3,shard=1") rendered as a
+/// Prometheus label set: `{tenant="3",shard="1"}`.  Keys are mangled
+/// through prometheus_name, values escaped through
+/// prometheus_label_value.  Empty input renders as "".  Lives outside
+/// the #if so obs-off collectors can re-render decoded wire labels.
+[[nodiscard]] std::string prometheus_labels(const std::string& canonical);
 
 /// Prometheus rendering switches.
 struct PrometheusOptions {

@@ -80,8 +80,9 @@ bool FlightRecorder::dump(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-std::string FlightRecorder::trigger_dump(const std::string& dir,
-                                         const std::string& tag) const {
+std::string FlightRecorder::trigger_dump(
+    const std::string& dir, const std::string& tag,
+    const std::vector<std::string>& extra_lines) const {
   std::string safe;
   safe.reserve(tag.size());
   for (const char c : tag) {
@@ -93,7 +94,19 @@ std::string FlightRecorder::trigger_dump(const std::string& dir,
   if (safe.empty()) safe = "dump";
   std::string path = dir.empty() ? safe : dir + "/" + safe;
   path += ".jsonl";
-  if (!dump(path)) return {};
+  std::string contents;
+  for (const std::string& line : extra_lines) {
+    contents += line;
+    contents += '\n';
+  }
+  contents += dump_string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return {};
+    out << contents;
+    out.flush();
+    if (!out) return {};
+  }
   static Counter& dumps_counter =
       Registry::global().counter("lumen.obs.flight_dumps");
   dumps_counter.add();

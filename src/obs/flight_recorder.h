@@ -70,9 +70,12 @@ class FlightRecorder {
   bool dump(const std::string& path) const;
 
   /// Dumps to `<dir>/<tag>.jsonl` (tag sanitized to [A-Za-z0-9._-]).
-  /// Returns the path written, or "" on failure.
-  std::string trigger_dump(const std::string& dir,
-                           const std::string& tag) const;
+  /// `extra_lines` are prepended to the dump verbatim, one line each —
+  /// the pump passes breach/profile context lines here so a dump opens
+  /// with *why* it was taken.  Returns the path written, "" on failure.
+  std::string trigger_dump(const std::string& dir, const std::string& tag,
+                           const std::vector<std::string>& extra_lines = {})
+      const;
 
   /// Drops retained events (the span buffer is left alone).  For tests.
   void clear();
@@ -116,7 +119,8 @@ class FlightRecorder {
   }
   [[nodiscard]] std::string dump_string() const { return {}; }
   bool dump(const std::string&) const { return false; }
-  std::string trigger_dump(const std::string&, const std::string&) const {
+  std::string trigger_dump(const std::string&, const std::string&,
+                           const std::vector<std::string>& = {}) const {
     return {};
   }
   void clear() {}

@@ -1,0 +1,184 @@
+// Always-on cooperative sampling profiler over the CausalSpan stack.
+//
+// Every *ambient* CausalSpan (the scoped, thread-stacked kind — engine
+// queries, svc admission, protocol rounds) doubles as a profiler frame:
+// span open pushes its name onto a per-thread stage stack, span close
+// pops it and, one close in every `sample_period`, publishes a weighted
+// sample {stage stack, duration, weight = period} into a lock-free
+// seqlock ring (the SpanBuffer idiom).  No signals, no timer thread, no
+// unwinding: the instrumentation the code already carries *is* the
+// profile, and the steady-state cost on unsampled closes is a TLS
+// decrement.
+//
+// snapshot() folds the ring into per-stack entries with weighted
+// total time and self time (total minus direct children, clamped at
+// zero — sampling noise can make children momentarily exceed their
+// parent).  ProfileSnapshot::folded() renders classic folded-stack
+// lines ("svc.admit;svc.route;engine.semilightpath 123456") ready for
+// flamegraph tooling; profile_entry_to_json() renders the JSONL form
+// used by breach dumps and the wire exporter (template 264).
+//
+// With LUMEN_OBS_DISABLED the profiler compiles to no-ops; the passive
+// snapshot types stay available to collectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace lumen::obs {
+
+/// One aggregated stage stack.  Passive data, shared by both build
+/// modes (rides PumpSnapshot and the wire protocol).
+struct ProfileEntry {
+  /// ';'-joined span names, root first ("svc.admit;svc.route").
+  std::string stack;
+  /// Estimated number of span closes this entry stands for (sum of
+  /// sample weights).
+  std::uint64_t samples = 0;
+  /// Weighted nanoseconds attributed to this exact stack, excluding
+  /// time in sampled child stacks.
+  std::uint64_t self_ns = 0;
+  /// Weighted nanoseconds including child stacks.
+  std::uint64_t total_ns = 0;
+
+  friend bool operator==(const ProfileEntry&, const ProfileEntry&) = default;
+};
+
+/// An aggregated profile: entries sorted by stack, plus ring accounting.
+struct ProfileSnapshot {
+  /// Raw ring samples this snapshot aggregated.
+  std::uint64_t samples = 0;
+  /// Samples lost to ring wraparound over the profiler's lifetime.
+  std::uint64_t dropped = 0;
+  std::vector<ProfileEntry> entries;
+
+  /// Folded-stack text: one "stack self_ns" line per entry.
+  [[nodiscard]] std::string folded() const;
+
+  friend bool operator==(const ProfileSnapshot&,
+                         const ProfileSnapshot&) = default;
+};
+
+/// {"type":"profile","stack":"...","samples":N,"self_ns":N,"total_ns":N}
+[[nodiscard]] std::string profile_entry_to_json(const ProfileEntry& entry);
+
+}  // namespace lumen::obs
+
+#if LUMEN_OBS_ENABLED
+
+#include <atomic>
+#include <memory>
+#include <span>
+
+namespace lumen::obs {
+inline namespace enabled {
+
+class Profiler {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::uint32_t kDefaultSamplePeriod = 8;
+  /// Frames retained per sample; deeper stacks fold into their 8th
+  /// ancestor (the ambient nesting in this codebase is 3-4 deep).
+  static constexpr std::size_t kMaxDepth = 8;
+
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit Profiler(std::size_t capacity = kDefaultCapacity,
+                    std::uint32_t sample_period = kDefaultSamplePeriod);
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The process-wide profiler every ambient CausalSpan reports to.
+  static Profiler& global();
+
+  /// CausalSpan hooks (ambient spans only; see trace_context.cc).
+  /// `name` must outlive the profiler — string literals in practice.
+  void on_span_open(const char* name) noexcept;
+  void on_span_close(std::uint64_t duration_ns);
+
+  /// Publishes one weighted sample directly (tests, bench, and replay
+  /// tooling; the hook path derives stack/weight itself).
+  void record(std::span<const char* const> stack, std::uint64_t duration_ns,
+              std::uint64_t weight);
+
+  /// Aggregates the ring into per-stack self/total profiles.
+  [[nodiscard]] ProfileSnapshot snapshot() const;
+
+  /// 1-in-N close sampling (per thread).  1 = sample every close.
+  void set_sample_period(std::uint32_t period) noexcept {
+    period_.store(period == 0 ? 1 : period, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t sample_period() const noexcept {
+    return period_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Samples published over the profiler's lifetime.
+  [[nodiscard]] std::uint64_t total_samples() const noexcept;
+  /// Samples lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Resets the ring to empty.  NOT safe concurrently with record();
+  /// intended for test isolation only.
+  void clear();
+
+ private:
+  /// Packed sample: word0 = depth | weight<<8, word1 = duration_ns,
+  /// words 2.. = frame name pointers (root first).
+  static constexpr std::size_t kWords = 2 + kMaxDepth;
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kWords] = {};
+  };
+
+  std::size_t capacity_;  // power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};  // ticket counter = lifetime total
+  std::atomic<std::uint32_t> period_{kDefaultSamplePeriod};
+};
+
+}  // inline namespace enabled
+}  // namespace lumen::obs
+
+#else  // LUMEN_OBS_ENABLED
+
+#include <span>
+
+namespace lumen::obs {
+inline namespace disabled {
+
+/// No-op stand-in: see the enabled definition for semantics.
+class Profiler {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::uint32_t kDefaultSamplePeriod = 8;
+  static constexpr std::size_t kMaxDepth = 8;
+  explicit Profiler(std::size_t = kDefaultCapacity,
+                    std::uint32_t = kDefaultSamplePeriod) {}
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+  static Profiler& global() {
+    static Profiler instance;
+    return instance;
+  }
+  void on_span_open(const char*) noexcept {}
+  void on_span_close(std::uint64_t) {}
+  void record(std::span<const char* const>, std::uint64_t, std::uint64_t) {}
+  [[nodiscard]] ProfileSnapshot snapshot() const { return {}; }
+  void set_sample_period(std::uint32_t) noexcept {}
+  [[nodiscard]] std::uint32_t sample_period() const noexcept { return 1; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t total_samples() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return 0; }
+  void clear() {}
+};
+
+}  // inline namespace disabled
+}  // namespace lumen::obs
+
+#endif  // LUMEN_OBS_ENABLED

@@ -140,12 +140,83 @@ Registry::histogram_entries() const {
   return entries;
 }
 
+namespace {
+
+template <class T, class Map>
+T& family_at(std::mutex& mutex, Map& families, std::string_view name) {
+  const std::scoped_lock lock(mutex);
+  const auto it = families.find(name);
+  if (it != families.end()) return *it->second;
+  return *families
+              .emplace(std::string(name), std::make_unique<T>(std::string(name)))
+              .first->second;
+}
+
+template <class Map>
+auto family_entries(std::mutex& mutex, const Map& families) {
+  const std::scoped_lock lock(mutex);
+  std::vector<std::pair<std::string, const typename Map::mapped_type::element_type*>>
+      entries;
+  entries.reserve(families.size());
+  for (const auto& [name, family] : families)
+    entries.emplace_back(name, family.get());
+  return entries;
+}
+
+}  // namespace
+
+LabeledFamily<Counter>& Registry::labeled_counter(std::string_view name) {
+  return family_at<LabeledFamily<Counter>>(mutex_, labeled_counters_, name);
+}
+
+LabeledFamily<Gauge>& Registry::labeled_gauge(std::string_view name) {
+  return family_at<LabeledFamily<Gauge>>(mutex_, labeled_gauges_, name);
+}
+
+LabeledFamily<LatencyHistogram>& Registry::labeled_histogram(
+    std::string_view name) {
+  return family_at<LabeledFamily<LatencyHistogram>>(mutex_,
+                                                    labeled_histograms_, name);
+}
+
+std::vector<std::pair<std::string, const LabeledFamily<Counter>*>>
+Registry::labeled_counter_entries() const {
+  return family_entries(mutex_, labeled_counters_);
+}
+
+std::vector<std::pair<std::string, const LabeledFamily<Gauge>*>>
+Registry::labeled_gauge_entries() const {
+  return family_entries(mutex_, labeled_gauges_);
+}
+
+std::vector<std::pair<std::string, const LabeledFamily<LatencyHistogram>*>>
+Registry::labeled_histogram_entries() const {
+  return family_entries(mutex_, labeled_histograms_);
+}
+
 void Registry::reset() {
   const std::scoped_lock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
+  for (auto& [name, family] : labeled_counters_) family->reset();
+  for (auto& [name, family] : labeled_gauges_) family->reset();
+  for (auto& [name, family] : labeled_histograms_) family->reset();
 }
+
+}  // inline namespace enabled
+
+namespace detail {
+
+void note_labels_dropped() {
+  static Counter& dropped =
+      Registry::global().counter("lumen.obs.labels_dropped");
+  dropped.add();
+}
+
+}  // namespace detail
+
+inline namespace enabled {
 
 }  // inline namespace enabled
 }  // namespace lumen::obs

@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/tagset.h"
 
 namespace lumen::obs {
 
@@ -42,6 +44,7 @@ struct HistogramSummary {
 
 #if LUMEN_OBS_ENABLED
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <map>
@@ -103,10 +106,19 @@ class LatencyHistogram {
     update_extreme(min_, ticks, /*want_less=*/true);
     update_extreme(max_, ticks, /*want_less=*/false);
   }
+  /// Same, also retaining `trace_id` as the covering bucket's exemplar
+  /// (last writer wins; 0 means "no trace" and leaves the slot alone).
+  void record(std::uint64_t ticks, std::uint64_t trace_id) noexcept {
+    record(ticks);
+    if (trace_id != 0)
+      exemplars_[bucket_of(ticks)].store(trace_id, std::memory_order_relaxed);
+  }
   /// Records a duration in seconds as nanosecond ticks (negative -> 0).
   void record_seconds(double seconds) noexcept {
-    record(seconds <= 0.0 ? 0
-                          : static_cast<std::uint64_t>(seconds * 1e9 + 0.5));
+    record(seconds_to_ticks(seconds));
+  }
+  void record_seconds(double seconds, std::uint64_t trace_id) noexcept {
+    record(seconds_to_ticks(seconds), trace_id);
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept;
@@ -134,6 +146,19 @@ class LatencyHistogram {
   [[nodiscard]] std::uint64_t bucket_count(int b) const noexcept {
     return buckets_[b].load(std::memory_order_relaxed);
   }
+  /// The last trace_id recorded into bucket b (0 when none).
+  [[nodiscard]] std::uint64_t exemplar(int b) const noexcept {
+    return exemplars_[b].load(std::memory_order_relaxed);
+  }
+  /// The exemplar of the highest bucket holding one: the last trace that
+  /// went through the worst latency band this histogram has seen.
+  [[nodiscard]] std::uint64_t worst_exemplar() const noexcept {
+    for (int b = kBuckets - 1; b >= 0; --b) {
+      const std::uint64_t id = exemplar(b);
+      if (id != 0) return id;
+    }
+    return 0;
+  }
   /// Inclusive upper bound of bucket b: 0 for b == 0, else 2^b - 1.
   [[nodiscard]] static std::uint64_t bucket_upper_bound(int b) noexcept {
     if (b == 0) return 0;
@@ -145,6 +170,10 @@ class LatencyHistogram {
   }
 
  private:
+  [[nodiscard]] static std::uint64_t seconds_to_ticks(double seconds) noexcept {
+    return seconds <= 0.0 ? 0
+                          : static_cast<std::uint64_t>(seconds * 1e9 + 0.5);
+  }
   static void update_extreme(std::atomic<std::uint64_t>& slot,
                              std::uint64_t ticks, bool want_less) noexcept {
     std::uint64_t seen = slot.load(std::memory_order_relaxed);
@@ -155,9 +184,157 @@ class LatencyHistogram {
   }
 
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> exemplars_[kBuckets] = {};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
   std::atomic<std::uint64_t> max_{0};
+};
+
+}  // inline namespace enabled
+
+namespace detail {
+
+/// Bumps lumen.obs.labels_dropped (out of line so this header need not
+/// name the global registry from template code).
+void note_labels_dropped();
+
+/// splitmix64 finalizer: spreads packed TagSet bits across the table.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+inline namespace enabled {
+
+/// One instrument per TagSet under a shared name ("lumen.svc.admitted"
+/// keyed by {tenant=N}).  The hot path is a lock-free open-addressed
+/// probe over packed TagSet keys -- one hash, one acquire load, then the
+/// child's own relaxed atomics; only the first sighting of a label set
+/// takes the family mutex.  Growth is capped: past `max_children`
+/// distinct label sets, new ones collapse into the shared overflow()
+/// child and lumen.obs.labels_dropped counts the loss, so a tag leak
+/// (e.g. unbounded tenant ids) degrades to an aggregate instead of
+/// eating memory.
+template <class T>
+class LabeledFamily {
+ public:
+  static constexpr std::size_t kDefaultMaxChildren = 256;
+
+  explicit LabeledFamily(std::string name,
+                         std::size_t max_children = kDefaultMaxChildren)
+      : name_(std::move(name)),
+        max_children_(std::max<std::size_t>(1, max_children)),
+        mask_(std::bit_ceil(max_children_ * 2) - 1),
+        slots_(mask_ + 1) {}
+  LabeledFamily(const LabeledFamily&) = delete;
+  LabeledFamily& operator=(const LabeledFamily&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The child instrument for `tags`, created on first sight.  An empty
+  /// set, or any new set past the cardinality cap, lands in overflow().
+  T& at(TagSet tags) {
+    const std::uint64_t key = tags.key();
+    if (key == 0) return overflow_;
+    std::size_t i = detail::mix64(key) & mask_;
+    for (;;) {
+      const std::uint64_t seen = slots_[i].key.load(std::memory_order_acquire);
+      if (seen == key) return *slots_[i].child.load(std::memory_order_acquire);
+      if (seen == 0) {
+        T* child = insert(tags);
+        if (child != nullptr) return *child;
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        detail::note_labels_dropped();
+        return overflow_;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Shared sink for empty tag sets and post-cap overflow.
+  [[nodiscard]] T& overflow() noexcept { return overflow_; }
+  [[nodiscard]] const T& overflow() const noexcept { return overflow_; }
+
+  /// Distinct label sets materialized so far.
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return children_.size();
+  }
+  /// Increments routed to overflow() because the cap was hit.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_children() const noexcept {
+    return max_children_;
+  }
+
+  /// (canonical labels, child) pairs sorted by labels, for exporters.
+  [[nodiscard]] std::vector<std::pair<std::string, const T*>> entries() const {
+    std::vector<std::pair<std::string, const T*>> out;
+    {
+      const std::scoped_lock lock(mutex_);
+      out.reserve(children_.size());
+      for (const auto& child : children_)
+        out.emplace_back(child->tags.canonical(), &child->instrument);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Zeroes every child (label registrations survive).  For tests.
+  void reset() {
+    const std::scoped_lock lock(mutex_);
+    for (auto& child : children_) child->instrument.reset();
+    overflow_.reset();
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Child {
+    TagSet tags;
+    T instrument;
+  };
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<T*> child{nullptr};
+  };
+
+  /// Slow path: re-probe and publish under the mutex.  Returns nullptr
+  /// when the family is at its cardinality cap.
+  T* insert(TagSet tags) {
+    const std::uint64_t key = tags.key();
+    const std::scoped_lock lock(mutex_);
+    std::size_t i = detail::mix64(key) & mask_;
+    for (;;) {
+      const std::uint64_t seen =
+          slots_[i].key.load(std::memory_order_relaxed);
+      if (seen == key) return slots_[i].child.load(std::memory_order_relaxed);
+      if (seen == 0) break;
+      i = (i + 1) & mask_;
+    }
+    if (children_.size() >= max_children_) return nullptr;
+    children_.push_back(std::make_unique<Child>());
+    Child* child = children_.back().get();
+    child->tags = tags;
+    // Child before key: a reader that acquires the key must see the
+    // pointer (and the zero-initialized instrument behind it).
+    slots_[i].child.store(&child->instrument, std::memory_order_release);
+    slots_[i].key.store(key, std::memory_order_release);
+    return &child->instrument;
+  }
+
+  std::string name_;
+  std::size_t max_children_;
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  T overflow_;
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Child>> children_;
 };
 
 /// Name -> instrument map.  Lookup takes a mutex (cache the reference at
@@ -177,6 +354,14 @@ class Registry {
   Gauge& gauge(std::string_view name);
   LatencyHistogram& histogram(std::string_view name);
 
+  /// The labeled family registered under `name`, creating it on first
+  /// use.  A family may share its name with a plain instrument; the
+  /// exporters then render the labeled children as extra series of that
+  /// metric (e.g. lumen.svc.admitted plus lumen.svc.admitted{tenant=3}).
+  LabeledFamily<Counter>& labeled_counter(std::string_view name);
+  LabeledFamily<Gauge>& labeled_gauge(std::string_view name);
+  LabeledFamily<LatencyHistogram>& labeled_histogram(std::string_view name);
+
   /// Sorted (name, instrument) views for exporters.
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
   counter_entries() const;
@@ -184,6 +369,14 @@ class Registry {
   gauge_entries() const;
   [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
   histogram_entries() const;
+  [[nodiscard]] std::vector<
+      std::pair<std::string, const LabeledFamily<Counter>*>>
+  labeled_counter_entries() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const LabeledFamily<Gauge>*>>
+  labeled_gauge_entries() const;
+  [[nodiscard]] std::vector<
+      std::pair<std::string, const LabeledFamily<LatencyHistogram>*>>
+  labeled_histogram_entries() const;
 
   /// Zeroes every instrument (registrations survive).  For tests.
   void reset();
@@ -194,6 +387,13 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       histograms_;
+  std::map<std::string, std::unique_ptr<LabeledFamily<Counter>>, std::less<>>
+      labeled_counters_;
+  std::map<std::string, std::unique_ptr<LabeledFamily<Gauge>>, std::less<>>
+      labeled_gauges_;
+  std::map<std::string, std::unique_ptr<LabeledFamily<LatencyHistogram>>,
+           std::less<>>
+      labeled_histograms_;
 };
 
 }  // inline namespace enabled
@@ -225,7 +425,9 @@ class LatencyHistogram {
  public:
   static constexpr int kBuckets = 65;
   void record(std::uint64_t) noexcept {}
+  void record(std::uint64_t, std::uint64_t) noexcept {}
   void record_seconds(double) noexcept {}
+  void record_seconds(double, std::uint64_t) noexcept {}
   [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
   [[nodiscard]] double mean() const noexcept { return 0.0; }
@@ -238,10 +440,36 @@ class LatencyHistogram {
   [[nodiscard]] HistogramSummary summary() const noexcept { return {}; }
   void reset() noexcept {}
   [[nodiscard]] std::uint64_t bucket_count(int) const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t exemplar(int) const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t worst_exemplar() const noexcept { return 0; }
   [[nodiscard]] static std::uint64_t bucket_upper_bound(int) noexcept {
     return 0;
   }
   [[nodiscard]] static int bucket_of(std::uint64_t) noexcept { return 0; }
+};
+
+/// No-op stand-in: every TagSet lands on one shared dummy child.
+template <class T>
+class LabeledFamily {
+ public:
+  static constexpr std::size_t kDefaultMaxChildren = 256;
+  T& at(TagSet) noexcept { return dummy_; }
+  [[nodiscard]] T& overflow() noexcept { return dummy_; }
+  [[nodiscard]] const T& overflow() const noexcept { return dummy_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    static const std::string empty;
+    return empty;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return 0; }
+  [[nodiscard]] std::size_t max_children() const noexcept { return 0; }
+  [[nodiscard]] std::vector<std::pair<std::string, const T*>> entries() const {
+    return {};
+  }
+  void reset() noexcept {}
+
+ private:
+  T dummy_;
 };
 
 /// No-op stand-in: hands out shared dummy instruments.
@@ -267,6 +495,18 @@ class Registry {
     static LatencyHistogram dummy;
     return dummy;
   }
+  LabeledFamily<Counter>& labeled_counter(std::string_view) {
+    static LabeledFamily<Counter> dummy;
+    return dummy;
+  }
+  LabeledFamily<Gauge>& labeled_gauge(std::string_view) {
+    static LabeledFamily<Gauge> dummy;
+    return dummy;
+  }
+  LabeledFamily<LatencyHistogram>& labeled_histogram(std::string_view) {
+    static LabeledFamily<LatencyHistogram> dummy;
+    return dummy;
+  }
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
   counter_entries() const {
     return {};
@@ -277,6 +517,20 @@ class Registry {
   }
   [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
   histogram_entries() const {
+    return {};
+  }
+  [[nodiscard]] std::vector<
+      std::pair<std::string, const LabeledFamily<Counter>*>>
+  labeled_counter_entries() const {
+    return {};
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, const LabeledFamily<Gauge>*>>
+  labeled_gauge_entries() const {
+    return {};
+  }
+  [[nodiscard]] std::vector<
+      std::pair<std::string, const LabeledFamily<LatencyHistogram>*>>
+  labeled_histogram_entries() const {
     return {};
   }
   void reset() {}

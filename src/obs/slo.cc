@@ -35,6 +35,35 @@ std::string pump_snapshot_to_json(const PumpSnapshot& snapshot) {
     out += ",\"h:" + key + ":p99\":" + detail::fmt_double_exact(summary.p99);
     out += ",\"h:" + key + ":max\":" + detail::fmt_double_exact(summary.max);
   }
+  for (const auto& sample : snapshot.labeled_counters) {
+    const std::string key =
+        detail::json_escape(sample.name + '{' + sample.labels + '}');
+    out += ",\"c:" + key + "\":" + std::to_string(sample.value);
+    out += ",\"d:" + key + "\":" + std::to_string(sample.delta);
+  }
+  for (const auto& sample : snapshot.labeled_gauges) {
+    out += ",\"g:";
+    out += detail::json_escape(sample.name + '{' + sample.labels + '}');
+    out += "\":" + detail::fmt_double_exact(sample.value);
+  }
+  for (const auto& sample : snapshot.labeled_histograms) {
+    const std::string key =
+        detail::json_escape(sample.name + '{' + sample.labels + '}');
+    const HistogramSummary& summary = sample.summary;
+    out += ",\"h:" + key + ":count\":" + std::to_string(summary.count);
+    out += ",\"h:" + key + ":mean\":" + detail::fmt_double_exact(summary.mean);
+    out += ",\"h:" + key + ":p50\":" + detail::fmt_double_exact(summary.p50);
+    out += ",\"h:" + key + ":p90\":" + detail::fmt_double_exact(summary.p90);
+    out += ",\"h:" + key + ":p99\":" + detail::fmt_double_exact(summary.p99);
+    out += ",\"h:" + key + ":max\":" + detail::fmt_double_exact(summary.max);
+    out += ",\"h:" + key + ":exemplar\":" + std::to_string(sample.exemplar);
+  }
+  for (const auto& entry : snapshot.profile) {
+    const std::string key = detail::json_escape(entry.stack);
+    out += ",\"p:" + key + ":n\":" + std::to_string(entry.samples);
+    out += ",\"p:" + key + ":self\":" + std::to_string(entry.self_ns);
+    out += ",\"p:" + key + ":total\":" + std::to_string(entry.total_ns);
+  }
   out += ",\"alerts\":" + std::to_string(snapshot.alerts.size());
   out += '}';
   return out;
@@ -67,6 +96,64 @@ const LatencyHistogram* find_histogram(
   for (const auto& [n, h] : entries)
     if (n == name) return h;
   return nullptr;
+}
+
+/// Extra JSONL lines attached to a fresh breach dump: one "breach" line
+/// naming the worst labeled child of the breached metric (highest p99 —
+/// the offending tenant/shard) with the exemplar trace ids retained in
+/// its tail latency buckets, then one "profile" line per sampled stage
+/// stack, so the dump answers both "who" and "where the time went".
+std::vector<std::string> breach_context_lines(Registry& registry,
+                                              const PumpSnapshot& snapshot,
+                                              const AlertEvent& alert) {
+  std::string labels;
+  const LatencyHistogram* offender = nullptr;
+  double worst_p99 = -1.0;
+  for (const auto& [name, family] : registry.labeled_histogram_entries()) {
+    if (name != alert.metric) continue;
+    for (const auto& [child_labels, child] : family->entries()) {
+      const double p99 = child->percentile(0.99);
+      if (child->count() > 0 && p99 > worst_p99) {
+        worst_p99 = p99;
+        labels = child_labels;
+        offender = child;
+      }
+    }
+  }
+  if (offender == nullptr)
+    offender = find_histogram(registry.histogram_entries(), alert.metric);
+
+  // Exemplars from the buckets at/above the offender's p99 (the traces
+  // that lived through the breach), falling back to its worst retained
+  // exemplar so a breach line is never trace-less when one exists.
+  std::string exemplars;
+  if (offender != nullptr) {
+    const int from = LatencyHistogram::bucket_of(
+        static_cast<std::uint64_t>(offender->percentile(0.99)));
+    for (int b = from; b < LatencyHistogram::kBuckets; ++b) {
+      const std::uint64_t id = offender->exemplar(b);
+      if (id == 0) continue;
+      if (!exemplars.empty()) exemplars.push_back(',');
+      exemplars += std::to_string(id);
+    }
+    if (exemplars.empty() && offender->worst_exemplar() != 0)
+      exemplars = std::to_string(offender->worst_exemplar());
+  }
+
+  std::vector<std::string> lines;
+  std::string line = "{\"type\":\"breach\",\"rule\":\"";
+  line += detail::json_escape(alert.rule);
+  line += "\",\"metric\":\"";
+  line += detail::json_escape(alert.metric);
+  line += "\",\"labels\":\"";
+  line += detail::json_escape(labels);
+  line += "\",\"value\":" + detail::fmt_double_exact(alert.value);
+  line += ",\"threshold\":" + detail::fmt_double_exact(alert.threshold);
+  line += ",\"exemplars\":\"" + exemplars + "\"}";
+  lines.push_back(std::move(line));
+  for (const ProfileEntry& entry : snapshot.profile)
+    lines.push_back(profile_entry_to_json(entry));
+  return lines;
 }
 
 }  // namespace
@@ -209,6 +296,43 @@ PumpSnapshot MetricsPump::tick() {
   for (const auto& [name, histogram] : registry_.histogram_entries())
     snapshot.histograms.emplace_back(name, histogram->summary());
 
+  for (const auto& [name, family] : registry_.labeled_counter_entries()) {
+    for (const auto& [labels, child] : family->entries()) {
+      LabeledCounterSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.value = child->value();
+      const std::string key = name + '{' + labels + '}';
+      const auto it = prev_labeled_.find(key);
+      const std::uint64_t prev = it != prev_labeled_.end() ? it->second : 0;
+      sample.delta = sample.value >= prev ? sample.value - prev : 0;
+      prev_labeled_[key] = sample.value;
+      snapshot.labeled_counters.push_back(std::move(sample));
+    }
+  }
+  for (const auto& [name, family] : registry_.labeled_gauge_entries()) {
+    for (const auto& [labels, child] : family->entries()) {
+      LabeledGaugeSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.value = child->value();
+      snapshot.labeled_gauges.push_back(std::move(sample));
+    }
+  }
+  for (const auto& [name, family] : registry_.labeled_histogram_entries()) {
+    for (const auto& [labels, child] : family->entries()) {
+      LabeledHistogramSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.summary = child->summary();
+      sample.exemplar = child->worst_exemplar();
+      snapshot.labeled_histograms.push_back(std::move(sample));
+    }
+  }
+
+  if (options_.profiler != nullptr)
+    snapshot.profile = options_.profiler->snapshot().entries;
+
   if (options_.watchdog != nullptr) {
     snapshot.alerts = options_.watchdog->evaluate(registry_);
     for (AlertEvent& alert : snapshot.alerts) {
@@ -216,7 +340,8 @@ PumpSnapshot MetricsPump::tick() {
       if (!alert.resolved && options_.recorder != nullptr) {
         alert.dump_path = options_.recorder->trigger_dump(
             options_.dump_dir,
-            "slo-" + alert.rule + "-tick" + std::to_string(snapshot.tick));
+            "slo-" + alert.rule + "-tick" + std::to_string(snapshot.tick),
+            breach_context_lines(registry_, snapshot, alert));
       }
     }
     if (!snapshot.alerts.empty()) {

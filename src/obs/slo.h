@@ -35,6 +35,7 @@
 #include "obs/flat_json.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 
 namespace lumen::obs {
@@ -130,6 +131,41 @@ struct AlertEvent {
   return out;
 }
 
+/// One labeled counter child at sample time.  `labels` uses the
+/// canonical TagSet rendering ("tenant=3,shard=1" — see obs/tagset.h).
+/// Passive data, shared by both build modes.
+struct LabeledCounterSample {
+  std::string name;
+  std::string labels;
+  std::uint64_t value = 0;
+  std::uint64_t delta = 0;
+
+  friend bool operator==(const LabeledCounterSample&,
+                         const LabeledCounterSample&) = default;
+};
+
+/// One labeled gauge child at sample time.  Passive data.
+struct LabeledGaugeSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+
+  friend bool operator==(const LabeledGaugeSample&,
+                         const LabeledGaugeSample&) = default;
+};
+
+/// One labeled histogram child at sample time, plus the exemplar
+/// trace_id of its worst populated latency bucket (0 = none).  Passive.
+struct LabeledHistogramSample {
+  std::string name;
+  std::string labels;
+  HistogramSummary summary;
+  std::uint64_t exemplar = 0;
+
+  friend bool operator==(const LabeledHistogramSample&,
+                         const LabeledHistogramSample&) = default;
+};
+
 /// One periodic sample of every registry instrument.  Passive data,
 /// shared by both build modes: the wire codec (obs/wire) moves these
 /// across process boundaries, so the struct must not depend on whether
@@ -145,6 +181,13 @@ struct PumpSnapshot {
   std::vector<std::pair<std::string, double>> gauges;
   /// (name, summary), sorted by name.
   std::vector<std::pair<std::string, HistogramSummary>> histograms;
+  /// Labeled children (per-tenant/per-shard/per-stage series), sorted
+  /// by (name, labels).
+  std::vector<LabeledCounterSample> labeled_counters;
+  std::vector<LabeledGaugeSample> labeled_gauges;
+  std::vector<LabeledHistogramSample> labeled_histograms;
+  /// Stage profile at this tick (empty without a pump profiler).
+  std::vector<ProfileEntry> profile;
   /// Watchdog transitions observed on this tick.
   std::vector<AlertEvent> alerts;
 };
@@ -152,8 +195,12 @@ struct PumpSnapshot {
 /// One snapshot as a single-line flat JSON object (no newline): keys are
 /// "tick", "uptime_seconds", "c:<counter>" (value), "d:<counter>"
 /// (delta), "g:<gauge>" (level), and
-/// "h:<histogram>:{count,mean,p50,p90,p99,max}".  Alerts are NOT
-/// inlined — the pump writes them as separate alert_to_json lines.
+/// "h:<histogram>:{count,mean,p50,p90,p99,max}".  Labeled children use
+/// the same prefixes with the labels appended in braces —
+/// "c:<name>{tenant=3}", "h:<name>{tenant=3}:p99", plus ":exemplar" for
+/// labeled histograms — and profile entries render as
+/// "p:<stack>:{n,self,total}".  Alerts are NOT inlined — the pump
+/// writes them as separate alert_to_json lines.
 [[nodiscard]] std::string pump_snapshot_to_json(const PumpSnapshot& snapshot);
 
 namespace wire {
@@ -169,6 +216,7 @@ class WireExporter;
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -228,6 +276,10 @@ struct PumpOptions {
   /// encoded and sent through this exporter (nullptr = no wire path).
   /// See obs/wire/wire_encoder.h; must outlive the pump.
   wire::WireExporter* wire = nullptr;
+  /// Stage profiler sampled into every snapshot and attached (as
+  /// profile lines) to breach dumps.  nullptr = no profile;
+  /// &Profiler::global() wires up the ambient-span profiler.
+  Profiler* profiler = nullptr;
   /// Called after each tick with the finished snapshot.
   std::function<void(const PumpSnapshot&)> on_snapshot;
 };
@@ -266,6 +318,8 @@ class MetricsPump {
   mutable std::mutex tick_mutex_;  // serializes tick()
   std::uint64_t tick_count_ = 0;
   std::vector<std::pair<std::string, std::uint64_t>> prev_counters_;
+  /// Previous labeled-counter values keyed "name{labels}".
+  std::map<std::string, std::uint64_t> prev_labeled_;
 
   mutable std::mutex state_mutex_;  // guards the thread lifecycle
   std::condition_variable cv_;
@@ -306,6 +360,7 @@ struct PumpOptions {
   FlightRecorder* recorder = nullptr;
   std::string dump_dir = ".";
   wire::WireExporter* wire = nullptr;
+  Profiler* profiler = nullptr;
   /// No std::function here: the disabled pump never ticks a snapshot.
   void* on_snapshot = nullptr;
 };

@@ -4,6 +4,8 @@
 
 #include <atomic>
 
+#include "obs/profiler.h"
+
 namespace lumen::obs {
 inline namespace enabled {
 
@@ -45,6 +47,9 @@ CausalSpan::CausalSpan(const char* name, SpanBuffer* buffer)
   ambient_ = true;
   previous_ = t_ambient;
   t_ambient = context();
+  // Ambient spans double as profiler frames (see obs/profiler.h); the
+  // matching close hook fires in close().
+  Profiler::global().on_span_open(name);
 }
 
 CausalSpan::~CausalSpan() { close(); }
@@ -72,6 +77,7 @@ void CausalSpan::close() {
   record.attr0 = attr0_;
   record.attr1 = attr1_;
   buffer_->emit(record);
+  if (ambient_) Profiler::global().on_span_close(record.duration_ns);
 }
 
 ScopedTraceContext::ScopedTraceContext(TraceContext ctx) noexcept

@@ -247,6 +247,85 @@ bool WireDecoder::decode_record(DomainState& domain, lumen::ByteReader& reader,
         domain.current.alerts.push_back(std::move(alert));
       break;
     }
+    case kLabeledSeriesTemplate: {
+      std::string name, labels;
+      std::uint64_t kind = 0, value = 0, delta = 0;
+      double fvalue = 0.0;
+      for (const FieldSpec& spec : fields) {
+        FieldValue v;
+        if (!read_field(reader, spec, v)) return false;
+        switch (spec.id) {
+          case kFName: name = std::move(v.s); break;
+          case kFLabels: labels = std::move(v.s); break;
+          case kFKind: kind = v.u; break;
+          case kFValueU64: value = v.u; break;
+          case kFDeltaU64: delta = v.u; break;
+          case kFValueF64: fvalue = as_f64(v); break;
+          default: break;
+        }
+      }
+      if (!domain.in_snapshot) {
+        ++stats_.records_orphaned;
+      } else if (kind == 0) {
+        LabeledCounterSample sample;
+        sample.name = std::move(name);
+        sample.labels = std::move(labels);
+        sample.value = value;
+        sample.delta = delta;
+        domain.current.labeled_counters.push_back(std::move(sample));
+      } else {
+        LabeledGaugeSample sample;
+        sample.name = std::move(name);
+        sample.labels = std::move(labels);
+        sample.value = fvalue;
+        domain.current.labeled_gauges.push_back(std::move(sample));
+      }
+      break;
+    }
+    case kLabeledHistogramTemplate: {
+      LabeledHistogramSample sample;
+      for (const FieldSpec& spec : fields) {
+        FieldValue v;
+        if (!read_field(reader, spec, v)) return false;
+        switch (spec.id) {
+          case kFName: sample.name = std::move(v.s); break;
+          case kFLabels: sample.labels = std::move(v.s); break;
+          case kFCount: sample.summary.count = v.u; break;
+          case kFMean: sample.summary.mean = as_f64(v); break;
+          case kFMin: sample.summary.min = as_f64(v); break;
+          case kFMax: sample.summary.max = as_f64(v); break;
+          case kFP50: sample.summary.p50 = as_f64(v); break;
+          case kFP90: sample.summary.p90 = as_f64(v); break;
+          case kFP99: sample.summary.p99 = as_f64(v); break;
+          case kFExemplar: sample.exemplar = v.u; break;
+          default: break;
+        }
+      }
+      if (!domain.in_snapshot)
+        ++stats_.records_orphaned;
+      else
+        domain.current.labeled_histograms.push_back(std::move(sample));
+      break;
+    }
+    case kProfileTemplate: {
+      ProfileEntry entry;
+      for (const FieldSpec& spec : fields) {
+        FieldValue v;
+        if (!read_field(reader, spec, v)) return false;
+        switch (spec.id) {
+          case kFStack: entry.stack = std::move(v.s); break;
+          case kFSamples: entry.samples = v.u; break;
+          case kFSelfNs: entry.self_ns = v.u; break;
+          case kFTotalNs: entry.total_ns = v.u; break;
+          default: break;
+        }
+      }
+      if (!domain.in_snapshot)
+        ++stats_.records_orphaned;
+      else
+        domain.current.profile.push_back(std::move(entry));
+      break;
+    }
     case kRouteEventTemplate: {
       RouteEvent event;
       for (const FieldSpec& spec : fields) {

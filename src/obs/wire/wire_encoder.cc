@@ -86,6 +86,10 @@ void WireExporter::append_template_set() {
   append_one_template(writer, kSnapshotTemplate, kSnapshotFields);
   append_one_template(writer, kAlertTemplate, kAlertFields);
   append_one_template(writer, kRouteEventTemplate, kRouteEventFields);
+  append_one_template(writer, kLabeledSeriesTemplate, kLabeledSeriesFields);
+  append_one_template(writer, kLabeledHistogramTemplate,
+                      kLabeledHistogramFields);
+  append_one_template(writer, kProfileTemplate, kProfileFields);
   writer.patch_u16(set_offset + 2,
                    static_cast<std::uint16_t>(frame_.size() - set_offset));
   ++stats_.template_sets;
@@ -172,6 +176,52 @@ void WireExporter::export_snapshot(const PumpSnapshot& snapshot) {
     writer.f64(summary.p90);
     writer.f64(summary.p99);
     append_record(kHistogramTemplate, scratch_);
+  }
+  for (const LabeledCounterSample& sample : snapshot.labeled_counters) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(sample.name);
+    writer.str(sample.labels);
+    writer.u8(0);  // kind: counter
+    writer.u64(sample.value);
+    writer.u64(sample.delta);
+    writer.f64(0.0);
+    append_record(kLabeledSeriesTemplate, scratch_);
+  }
+  for (const LabeledGaugeSample& sample : snapshot.labeled_gauges) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(sample.name);
+    writer.str(sample.labels);
+    writer.u8(1);  // kind: gauge
+    writer.u64(0);
+    writer.u64(0);
+    writer.f64(sample.value);
+    append_record(kLabeledSeriesTemplate, scratch_);
+  }
+  for (const LabeledHistogramSample& sample : snapshot.labeled_histograms) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(sample.name);
+    writer.str(sample.labels);
+    writer.u64(sample.summary.count);
+    writer.f64(sample.summary.mean);
+    writer.f64(sample.summary.min);
+    writer.f64(sample.summary.max);
+    writer.f64(sample.summary.p50);
+    writer.f64(sample.summary.p90);
+    writer.f64(sample.summary.p99);
+    writer.u64(sample.exemplar);
+    append_record(kLabeledHistogramTemplate, scratch_);
+  }
+  for (const ProfileEntry& entry : snapshot.profile) {
+    scratch_.clear();
+    ByteWriter writer(scratch_);
+    writer.str(entry.stack);
+    writer.u64(entry.samples);
+    writer.u64(entry.self_ns);
+    writer.u64(entry.total_ns);
+    append_record(kProfileTemplate, scratch_);
   }
   for (const AlertEvent& alert : snapshot.alerts) {
     scratch_.clear();

@@ -64,6 +64,12 @@ enum TemplateId : std::uint16_t {
   kSnapshotTemplate = 259,    ///< snapshot boundary (tick, uptime)
   kAlertTemplate = 260,       ///< one SLO alert transition
   kRouteEventTemplate = 261,  ///< one flight-recorder route event
+  /// One labeled counter/gauge child (kFKind discriminates).
+  kLabeledSeriesTemplate = 262,
+  /// One labeled histogram child + its worst-bucket exemplar trace id.
+  kLabeledHistogramTemplate = 263,
+  /// One aggregated profiler stage stack.
+  kProfileTemplate = 264,
 };
 
 /// Field ids (the protocol's information elements).
@@ -104,6 +110,14 @@ enum FieldId : std::uint16_t {
   kFBuildSeconds = 43,   ///< f64
   kFSearchSeconds = 44,  ///< f64
   kFTraceId = 45,        ///< u64
+
+  kFKind = 46,      ///< u8: labeled series kind (0 counter, 1 gauge)
+  kFLabels = 47,    ///< canonical TagSet labels "k=v,k=v" (var)
+  kFStack = 48,     ///< ';'-joined profile stage stack (var)
+  kFSamples = 49,   ///< profile weighted sample count (u64)
+  kFSelfNs = 50,    ///< profile weighted self nanoseconds (u64)
+  kFTotalNs = 51,   ///< profile weighted total nanoseconds (u64)
+  kFExemplar = 52,  ///< histogram worst-bucket exemplar trace id (u64)
 };
 
 /// One field spec of a template: (field id, encoded length).
@@ -132,5 +146,15 @@ inline constexpr FieldSpec kRouteEventFields[] = {
     {kFAuxNodes, 8},       {kFAuxLinks, 8},        {kFRelaxations, 8},
     {kFHeapPops, 8},       {kFBuildSeconds, 8},    {kFSearchSeconds, 8},
     {kFTraceId, 8}};
+inline constexpr FieldSpec kLabeledSeriesFields[] = {
+    {kFName, kVarLen}, {kFLabels, kVarLen}, {kFKind, 1},
+    {kFValueU64, 8},   {kFDeltaU64, 8},     {kFValueF64, 8}};
+inline constexpr FieldSpec kLabeledHistogramFields[] = {
+    {kFName, kVarLen}, {kFLabels, kVarLen}, {kFCount, 8},
+    {kFMean, 8},       {kFMin, 8},          {kFMax, 8},
+    {kFP50, 8},        {kFP90, 8},          {kFP99, 8},
+    {kFExemplar, 8}};
+inline constexpr FieldSpec kProfileFields[] = {
+    {kFStack, kVarLen}, {kFSamples, 8}, {kFSelfNs, 8}, {kFTotalNs, 8}};
 
 }  // namespace lumen::obs::wire

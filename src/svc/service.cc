@@ -4,12 +4,16 @@
 #include <iterator>
 
 #include "obs/registry.h"
+#include "obs/trace_context.h"
 #include "util/error.h"
 
 namespace lumen::svc {
 namespace {
 
-/// Call-site instrument cache (one registry lookup per process).
+/// Call-site instrument cache (one registry lookup per process).  The
+/// labeled families carry the per-tenant admission split (dimensional
+/// children of the same-named plain instruments) and the per-shard
+/// contention split; children are created lazily on first touch.
 struct Instruments {
   obs::Counter& offered;
   obs::Counter& admitted;
@@ -22,6 +26,12 @@ struct Instruments {
   obs::Gauge& active;
   obs::LatencyHistogram& admit_latency;
   obs::LatencyHistogram& close_latency;
+  obs::LabeledFamily<obs::Counter>& admitted_by_tenant;
+  obs::LabeledFamily<obs::Counter>& blocked_by_tenant;
+  obs::LabeledFamily<obs::Counter>& quota_denied_by_tenant;
+  obs::LabeledFamily<obs::LatencyHistogram>& admit_latency_by_tenant;
+  obs::LabeledFamily<obs::Counter>& conflicts_by_shard;
+  obs::LabeledFamily<obs::Counter>& patches_by_shard;
 
   static Instruments& get() {
     static Instruments instance{
@@ -36,6 +46,13 @@ struct Instruments {
         obs::Registry::global().gauge("lumen.svc.active_sessions"),
         obs::Registry::global().histogram("lumen.svc.admit_latency_ns"),
         obs::Registry::global().histogram("lumen.svc.close_latency_ns"),
+        obs::Registry::global().labeled_counter("lumen.svc.admitted"),
+        obs::Registry::global().labeled_counter("lumen.svc.blocked"),
+        obs::Registry::global().labeled_counter("lumen.svc.quota_denied"),
+        obs::Registry::global().labeled_histogram(
+            "lumen.svc.admit_latency_ns"),
+        obs::Registry::global().labeled_counter("lumen.svc.commit_conflicts"),
+        obs::Registry::global().labeled_counter("lumen.svc.resync_patches"),
     };
     return instance;
   }
@@ -84,13 +101,20 @@ void RoutingService::broadcast(std::uint32_t from,
   const std::uint64_t notes =
       slots.size() * (shards_.size() - 1);
   stats_patches_.fetch_add(notes, std::memory_order_relaxed);
-  Instruments::get().resync_patches.add(notes);
+  Instruments& ins = Instruments::get();
+  ins.resync_patches.add(notes);
+  ins.patches_by_shard.at(obs::TagSet{}.shard(from)).add(notes);
 }
 
 AdmitTicket RoutingService::open(TenantId tenant, NodeId source,
                                  NodeId target) {
   LUMEN_REQUIRE(tenant.value() < options_.num_tenants);
   Instruments& ins = Instruments::get();
+  // The ambient admit span: every sub-span (svc.route, svc.commit) and
+  // the latency exemplar recorded below share its trace id, so a breach
+  // dump can resolve the exemplar back to the full admit chain.
+  obs::CausalSpan span("svc.admit");
+  const obs::TagSet tenant_tags = obs::TagSet{}.tenant(tenant.value());
   const auto start = std::chrono::steady_clock::now();
   stats_offered_.fetch_add(1, std::memory_order_relaxed);
   ins.offered.add();
@@ -105,7 +129,11 @@ AdmitTicket RoutingService::open(TenantId tenant, NodeId source,
     state.quota_denied.fetch_add(1, std::memory_order_relaxed);
     stats_quota_denied_.fetch_add(1, std::memory_order_relaxed);
     ins.quota_denied.add();
-    ins.admit_latency.record_seconds(seconds_since(start));
+    ins.quota_denied_by_tenant.at(tenant_tags).add();
+    const double secs = seconds_since(start);
+    ins.admit_latency.record_seconds(secs, span.trace_id());
+    ins.admit_latency_by_tenant.at(tenant_tags)
+        .record_seconds(secs, span.trace_id());
     AdmitTicket ticket;
     ticket.status = AdmitStatus::kQuotaDenied;
     return ticket;
@@ -120,6 +148,8 @@ AdmitTicket RoutingService::open(TenantId tenant, NodeId source,
     stats_conflicts_.fetch_add(outcome.ticket.conflicts,
                                std::memory_order_relaxed);
     ins.conflicts.add(outcome.ticket.conflicts);
+    ins.conflicts_by_shard.at(obs::TagSet{}.shard(shard_index))
+        .add(outcome.ticket.conflicts);
   }
 
   if (outcome.ticket.status == AdmitStatus::kAdmitted) {
@@ -129,6 +159,7 @@ AdmitTicket RoutingService::open(TenantId tenant, NodeId source,
     const std::uint64_t active =
         stats_active_.fetch_add(1, std::memory_order_acq_rel) + 1;
     ins.admitted.add();
+    ins.admitted_by_tenant.at(tenant_tags).add();
     ins.active.set(static_cast<double>(active));
   } else {
     state.active.fetch_sub(1, std::memory_order_acq_rel);
@@ -136,12 +167,16 @@ AdmitTicket RoutingService::open(TenantId tenant, NodeId source,
       state.blocked.fetch_add(1, std::memory_order_relaxed);
       stats_blocked_.fetch_add(1, std::memory_order_relaxed);
       ins.blocked.add();
+      ins.blocked_by_tenant.at(tenant_tags).add();
     } else {
       stats_aborted_.fetch_add(1, std::memory_order_relaxed);
       ins.aborted.add();
     }
   }
-  ins.admit_latency.record_seconds(seconds_since(start));
+  const double secs = seconds_since(start);
+  ins.admit_latency.record_seconds(secs, span.trace_id());
+  ins.admit_latency_by_tenant.at(tenant_tags)
+      .record_seconds(secs, span.trace_id());
   return outcome.ticket;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/dijkstra.h"  // kInfiniteCost
+#include "obs/trace_context.h"
 #include "util/error.h"
 
 namespace lumen::svc {
@@ -55,8 +56,13 @@ Shard::AdmitOutcome Shard::admit(TenantId tenant, NodeId source,
   out.ticket.status = AdmitStatus::kBlocked;
   for (std::uint32_t attempt = 0; attempt < options_.max_commit_retries;
        ++attempt) {
-    const RouteResult route =
-        engine_.route_semilightpath(source, target, options_.query);
+    RouteResult route;
+    {
+      // Sub-span of the ambient svc.admit span: attributes route time to
+      // its own profiler stage and trace node.
+      obs::CausalSpan route_span("svc.route");
+      route = engine_.route_semilightpath(source, target, options_.query);
+    }
     if (!route.found) {
       out.ticket.status = AdmitStatus::kBlocked;
       return out;
@@ -79,6 +85,9 @@ Shard::AdmitOutcome Shard::admit(TenantId tenant, NodeId source,
 
     const SvcSessionId id = SvcSessionId::make(index_, next_seq_);
     std::uint32_t conflict_pos = 0;
+    // Covers the slot claims, commit-log append, and replica resyncs —
+    // both the win and the conflict-retry path.
+    obs::CausalSpan commit_span("svc.commit");
     if (!table_->claim_all(slots, id.bits(), &conflict_pos)) {
       // Lost a slot race to a concurrent commit.  Patch the replica with
       // the table truth for the contested slot, remember it as a suspect

@@ -12,9 +12,11 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics_server.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/slo.h"
 #include "obs/span_buffer.h"
+#include "obs/tagset.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 
@@ -142,6 +144,41 @@ TEST(DisabledObsTest, MetricsServerNeverBinds) {
   EXPECT_FALSE(server.ok());
   EXPECT_EQ(server.port(), 0);
   server.stop();
+}
+
+TEST(DisabledObsTest, LabeledFamiliesHandOutOneInertDummy) {
+  Registry& registry = Registry::global();
+  auto& family = registry.labeled_counter("lumen.disabled.labeled");
+  family.at(TagSet{}.tenant(3)).add(7);
+  family.at(TagSet{}.tenant(4)).add(9);
+  EXPECT_EQ(family.at(TagSet{}.tenant(3)).value(), 0u);
+  EXPECT_EQ(family.size(), 0u);
+  EXPECT_EQ(family.dropped(), 0u);
+  EXPECT_TRUE(family.entries().empty());
+  EXPECT_TRUE(registry.labeled_counter_entries().empty());
+  EXPECT_TRUE(registry.labeled_gauge_entries().empty());
+  EXPECT_TRUE(registry.labeled_histogram_entries().empty());
+  // TagSet arithmetic itself still works: numeric ids never touch the
+  // interner, so labels stay meaningful for the passive codecs.  (The
+  // interned dimensions are exercised by tagset_test in both builds —
+  // the interner is out-of-line, so this TU's stubs don't replace it.)
+  EXPECT_EQ(TagSet{}.tenant(3).shard(1).canonical(), "tenant=3,shard=1");
+}
+
+TEST(DisabledObsTest, ProfilerIsInert) {
+  Profiler& profiler = Profiler::global();
+  profiler.on_span_open("stage");
+  profiler.on_span_close(100);
+  EXPECT_EQ(profiler.total_samples(), 0u);
+  EXPECT_EQ(profiler.dropped(), 0u);
+  EXPECT_EQ(profiler.capacity(), 0u);
+  EXPECT_TRUE(profiler.snapshot().entries.empty());
+  // The passive renderings stay functional for collectors.
+  ProfileSnapshot snap;
+  snap.entries = {{"a;b", 1, 2, 3}};
+  EXPECT_EQ(snap.folded(), "a;b 2\n");
+  EXPECT_NE(profile_entry_to_json(snap.entries[0]).find("\"total_ns\":3"),
+            std::string::npos);
 }
 
 TEST(DisabledObsTest, RouteEventLogStillWorks) {

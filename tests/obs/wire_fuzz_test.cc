@@ -41,6 +41,13 @@ PumpSnapshot seed_snapshot(std::uint64_t tick) {
   alert.rule = "blocking";
   alert.metric = "lumen.rwa.blocked";
   snapshot.alerts = {alert};
+  // Labeled series + profile put templates 262/263/264 in the corpus so
+  // the mutation sweep exercises their decode paths too.
+  snapshot.labeled_counters = {{"lumen.svc.admitted", "tenant=3", tick, 1}};
+  snapshot.labeled_gauges = {{"lumen.svc.tenant_share", "tenant=3", 0.5}};
+  snapshot.labeled_histograms = {
+      {"lumen.svc.admit_latency_ns", "tenant=3", summary, 0xbeef}};
+  snapshot.profile = {{"svc.admit;svc.route", 8, 100, 200}};
   return snapshot;
 }
 

@@ -248,5 +248,68 @@ TEST(WireRoundTripTest, TwoDomainsDoNotInterfere) {
   EXPECT_EQ(decoder.take_snapshots().size(), 3u);
 }
 
+PumpSnapshot labeled_snapshot(std::uint64_t tick) {
+  PumpSnapshot snapshot = sample_snapshot(tick);
+  snapshot.labeled_counters = {
+      {"lumen.svc.admitted", "tenant=3", 17 + tick, 4},
+      {"lumen.svc.admitted", "tenant=4", 2, 2},
+      {"lumen.svc.blocked", "shard=1,policy=a\\,b\\=c", 1, 0}};
+  snapshot.labeled_gauges = {{"lumen.svc.tenant_share", "tenant=3", 0.625}};
+  HistogramSummary summary;
+  summary.count = 5;
+  summary.mean = 2.5e3;
+  summary.min = 1e3;
+  summary.max = 9e3;
+  summary.p50 = 2e3;
+  summary.p90 = 7e3;
+  summary.p99 = 8.5e3;
+  snapshot.labeled_histograms = {
+      {"lumen.svc.admit_latency_ns", "tenant=3", summary, 0xfeedbeef},
+      {"lumen.svc.admit_latency_ns", "tenant=4", summary, 0}};
+  snapshot.profile = {{"svc.admit", 24, 9000, 21000},
+                      {"svc.admit;svc.route", 24, 12000, 12000}};
+  return snapshot;
+}
+
+TEST(WireRoundTripTest, LabeledSeriesAndProfileSurviveExactly) {
+  LoopbackTransport transport;
+  WireExporter exporter(transport);
+  const PumpSnapshot sent = labeled_snapshot(3);
+  exporter.export_snapshot(sent);
+
+  WireDecoder decoder;
+  feed_all(transport, decoder);
+  decoder.flush();
+  const auto snapshots = decoder.take_snapshots();
+  ASSERT_EQ(snapshots.size(), 1u);
+  const PumpSnapshot& got = snapshots[0];
+  expect_equal(got, sent);
+  // Templates 262/263/264 carry every field bit-exactly, including the
+  // escaped label text, zero vs nonzero exemplars, and profile weights.
+  EXPECT_EQ(got.labeled_counters, sent.labeled_counters);
+  EXPECT_EQ(got.labeled_gauges, sent.labeled_gauges);
+  EXPECT_EQ(got.labeled_histograms, sent.labeled_histograms);
+  EXPECT_EQ(got.profile, sent.profile);
+  EXPECT_EQ(decoder.stats().frames_rejected, 0u);
+}
+
+TEST(WireRoundTripTest, LabeledRecordsSplitAcrossTinyFrames) {
+  LoopbackTransport transport;
+  transport.set_max_frame_bytes(160);
+  WireExporter exporter(transport);
+  const PumpSnapshot sent = labeled_snapshot(5);
+  exporter.export_snapshot(sent);
+  ASSERT_GT(transport.frames().size(), 2u);
+
+  WireDecoder decoder;
+  feed_all(transport, decoder);
+  decoder.flush();
+  const auto snapshots = decoder.take_snapshots();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].labeled_counters, sent.labeled_counters);
+  EXPECT_EQ(snapshots[0].labeled_histograms, sent.labeled_histograms);
+  EXPECT_EQ(snapshots[0].profile, sent.profile);
+}
+
 }  // namespace
 }  // namespace lumen::obs::wire

@@ -38,6 +38,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -74,23 +75,40 @@ void usage() {
 /// One decoded snapshot (plus collector health) in Prometheus text
 /// exposition format.  Histogram summaries re-export as a `_count`
 /// counter plus mean/percentile gauges — the wire carries condensed
-/// summaries, not buckets.
+/// summaries, not buckets.  Labeled series (templates 262/263) render
+/// as extra `name{tenant="3",...}` samples with exposition-escaped
+/// label values; a metric's TYPE line is emitted once even when plain
+/// and labeled samples share the name.  Profile stacks (template 264)
+/// become `lumen.obs.profile.*{stack="..."}` gauges.
 std::string snapshot_prometheus_text(
     const obs::PumpSnapshot& snapshot,
     const obs::wire::WireDecoderStats& stats) {
   std::string out;
-  const auto counter = [&out](const std::string& name, std::uint64_t value) {
-    const std::string metric = obs::prometheus_name(name);
-    out += "# TYPE " + metric + " counter\n";
-    out += metric + " " + std::to_string(value) + "\n";
+  std::set<std::string> typed;
+  const auto type_line = [&](const std::string& metric, const char* kind) {
+    if (typed.insert(metric).second)
+      out += "# TYPE " + metric + " " + kind + "\n";
   };
-  const auto gauge = [&out](const std::string& name, double value) {
+  const auto counter = [&](const std::string& name, std::uint64_t value,
+                           const std::string& labels = {}) {
     const std::string metric = obs::prometheus_name(name);
-    out += "# TYPE " + metric + " gauge\n";
-    out += metric + " " + obs::detail::fmt_double_exact(value) + "\n";
+    type_line(metric, "counter");
+    out += metric + obs::prometheus_labels(labels) + " " +
+           std::to_string(value) + "\n";
+  };
+  const auto gauge = [&](const std::string& name, double value,
+                         const std::string& labels = {}) {
+    const std::string metric = obs::prometheus_name(name);
+    type_line(metric, "gauge");
+    out += metric + obs::prometheus_labels(labels) + " " +
+           obs::detail::fmt_double_exact(value) + "\n";
   };
   for (const auto& [name, value] : snapshot.counters) counter(name, value);
+  for (const obs::LabeledCounterSample& s : snapshot.labeled_counters)
+    counter(s.name, s.value, s.labels);
   for (const auto& [name, value] : snapshot.gauges) gauge(name, value);
+  for (const obs::LabeledGaugeSample& s : snapshot.labeled_gauges)
+    gauge(s.name, s.value, s.labels);
   for (const auto& [name, summary] : snapshot.histograms) {
     counter(name + "_count", summary.count);
     gauge(name + "_mean", summary.mean);
@@ -98,6 +116,24 @@ std::string snapshot_prometheus_text(
     gauge(name + "_p90", summary.p90);
     gauge(name + "_p99", summary.p99);
     gauge(name + "_max", summary.max);
+  }
+  for (const obs::LabeledHistogramSample& s : snapshot.labeled_histograms) {
+    counter(s.name + "_count", s.summary.count, s.labels);
+    gauge(s.name + "_mean", s.summary.mean, s.labels);
+    gauge(s.name + "_p50", s.summary.p50, s.labels);
+    gauge(s.name + "_p90", s.summary.p90, s.labels);
+    gauge(s.name + "_p99", s.summary.p99, s.labels);
+    gauge(s.name + "_max", s.summary.max, s.labels);
+    if (s.exemplar != 0)
+      counter(s.name + "_exemplar", s.exemplar, s.labels);
+  }
+  for (const obs::ProfileEntry& entry : snapshot.profile) {
+    const std::string labels = obs::labels_canonical({{"stack", entry.stack}});
+    counter("lumen.obs.profile.samples", entry.samples, labels);
+    gauge("lumen.obs.profile.self_ns",
+          static_cast<double>(entry.self_ns), labels);
+    gauge("lumen.obs.profile.total_ns",
+          static_cast<double>(entry.total_ns), labels);
   }
   counter("lumen.obs.wire.frames_received", stats.frames_received);
   counter("lumen.obs.wire.frames_accepted", stats.frames_accepted);
@@ -236,6 +272,31 @@ int run_selfcheck() {
   summary.p90 = 7e-6;
   summary.p99 = 8.5e-6;
   sent.histograms = {{"lumen.rwa.open_latency_ns", summary}};
+  // Labeled children + profile stacks (templates 262-264); the label
+  // value exercises the canonical escaping (backslash, comma, equals).
+  obs::LabeledCounterSample labeled_counter;
+  labeled_counter.name = "lumen.svc.admitted";
+  labeled_counter.labels = "tenant=3";
+  labeled_counter.value = 17;
+  labeled_counter.delta = 4;
+  sent.labeled_counters = {labeled_counter};
+  obs::LabeledGaugeSample labeled_gauge;
+  labeled_gauge.name = "lumen.svc.tenant_share";
+  labeled_gauge.labels = "policy=a\\,b\\=c,tenant=3";
+  labeled_gauge.value = 0.625;
+  sent.labeled_gauges = {labeled_gauge};
+  obs::LabeledHistogramSample labeled_histogram;
+  labeled_histogram.name = "lumen.svc.admit_latency_ns";
+  labeled_histogram.labels = "tenant=3";
+  labeled_histogram.summary = summary;
+  labeled_histogram.exemplar = 0xfeedbeef;
+  sent.labeled_histograms = {labeled_histogram};
+  obs::ProfileEntry profile_entry;
+  profile_entry.stack = "svc.admit;svc.route";
+  profile_entry.samples = 24;
+  profile_entry.self_ns = 9000;
+  profile_entry.total_ns = 12000;
+  sent.profile = {profile_entry};
   obs::AlertEvent alert;
   alert.rule = "blocking";
   alert.metric = "lumen.rwa.blocked";

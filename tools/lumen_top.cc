@@ -34,6 +34,7 @@
 // working — the wire decoder is compiled in both modes.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -42,6 +43,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <span>
 #include <string>
 #include <thread>
@@ -121,6 +123,98 @@ void render(const obs::PumpSnapshot& snapshot,
     out += latencies.to_markdown() + "\n";
   }
 
+  // Per-tenant admission split, pivoted from the labeled svc children.
+  struct TenantRow {
+    std::uint64_t admitted = 0, blocked = 0, quota_denied = 0;
+    double p99 = 0.0;
+    std::uint64_t exemplar = 0;
+  };
+  std::map<std::string, TenantRow> tenants;
+  struct ShardRow {
+    std::uint64_t conflicts = 0, patches = 0;
+  };
+  std::map<std::string, ShardRow> shards;
+  const auto label_value = [](const std::string& labels,
+                              const std::string& key) -> std::string {
+    for (const auto& [k, v] : obs::labels_parse(labels))
+      if (k == key) return v;
+    return {};
+  };
+  for (const obs::LabeledCounterSample& s : snapshot.labeled_counters) {
+    const std::string tenant = label_value(s.labels, "tenant");
+    if (!tenant.empty()) {
+      TenantRow& row = tenants[tenant];
+      if (s.name.ends_with(".admitted")) row.admitted += s.value;
+      else if (s.name.ends_with(".blocked")) row.blocked += s.value;
+      else if (s.name.ends_with(".quota_denied")) row.quota_denied += s.value;
+    }
+    const std::string shard = label_value(s.labels, "shard");
+    if (!shard.empty()) {
+      ShardRow& row = shards[shard];
+      if (s.name.ends_with(".commit_conflicts")) row.conflicts += s.value;
+      else if (s.name.ends_with(".resync_patches")) row.patches += s.value;
+    }
+  }
+  for (const obs::LabeledHistogramSample& s : snapshot.labeled_histograms) {
+    const std::string tenant = label_value(s.labels, "tenant");
+    if (tenant.empty() || s.name.find("admit_latency") == std::string::npos)
+      continue;
+    TenantRow& row = tenants[tenant];
+    row.p99 = s.summary.p99;
+    if (s.exemplar != 0) row.exemplar = s.exemplar;
+  }
+  if (!tenants.empty()) {
+    Table table({"tenant", "admitted", "blocked", "quota", "admit p99",
+                 "exemplar"});
+    for (const auto& [tenant, row] : tenants) {
+      char trace[32] = "-";
+      if (row.exemplar != 0)
+        std::snprintf(trace, sizeof trace, "%016llx",
+                      static_cast<unsigned long long>(row.exemplar));
+      table.add_row({tenant, fmt_int(static_cast<std::int64_t>(row.admitted)),
+                     fmt_int(static_cast<std::int64_t>(row.blocked)),
+                     fmt_int(static_cast<std::int64_t>(row.quota_denied)),
+                     fmt_sci(row.p99), trace});
+    }
+    out += table.to_markdown() + "\n";
+  }
+  if (!shards.empty()) {
+    Table table({"shard", "conflicts", "resync patches"});
+    for (const auto& [shard, row] : shards)
+      table.add_row({shard, fmt_int(static_cast<std::int64_t>(row.conflicts)),
+                     fmt_int(static_cast<std::int64_t>(row.patches))});
+    out += table.to_markdown() + "\n";
+  }
+
+  // Remaining labeled series that the pivots above did not claim.
+  if (!snapshot.labeled_gauges.empty()) {
+    Table table({"labeled gauge", "labels", "value"});
+    for (const obs::LabeledGaugeSample& s : snapshot.labeled_gauges)
+      table.add_row({s.name, s.labels, fmt_double(s.value, 4)});
+    out += table.to_markdown() + "\n";
+  }
+
+  // Top profiler stages by weighted self time.
+  if (!snapshot.profile.empty()) {
+    std::vector<const obs::ProfileEntry*> by_self;
+    by_self.reserve(snapshot.profile.size());
+    for (const obs::ProfileEntry& entry : snapshot.profile)
+      by_self.push_back(&entry);
+    std::sort(by_self.begin(), by_self.end(),
+              [](const obs::ProfileEntry* a, const obs::ProfileEntry* b) {
+                return a->self_ns > b->self_ns;
+              });
+    constexpr std::size_t kTopStages = 12;
+    Table table({"profile stack (top by self time)", "samples", "self ns",
+                 "total ns"});
+    for (std::size_t i = 0; i < by_self.size() && i < kTopStages; ++i)
+      table.add_row({by_self[i]->stack,
+                     fmt_int(static_cast<std::int64_t>(by_self[i]->samples)),
+                     fmt_int(static_cast<std::int64_t>(by_self[i]->self_ns)),
+                     fmt_int(static_cast<std::int64_t>(by_self[i]->total_ns))});
+    out += table.to_markdown() + "\n";
+  }
+
   for (const obs::AlertEvent& alert : snapshot.alerts) {
     out += (alert.resolved ? "RESOLVED " : "ALERT    ") + alert.rule + ": " +
            alert.metric + " = " + fmt_double(alert.value, 4) +
@@ -135,9 +229,26 @@ void render(const obs::PumpSnapshot& snapshot,
   std::fflush(stdout);
 }
 
+/// Splits "name{labels}" into its parts; labels stays "" when the key
+/// carries no brace section (a plain instrument).
+void split_labeled(const std::string& key, std::string& name,
+                   std::string& labels) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos || key.back() != '}') {
+    name = key;
+    labels.clear();
+    return;
+  }
+  name = key.substr(0, brace);
+  labels = key.substr(brace + 1, key.size() - brace - 2);
+}
+
 /// Parses one pump_snapshot_to_json line back into a PumpSnapshot.
 /// Key scheme: "tick", "uptime_seconds", "c:<name>", "d:<name>",
-/// "g:<name>", "h:<name>:<field>", "alerts".
+/// "g:<name>", "h:<name>:<field>", "alerts"; labeled children embed
+/// their labels in braces ("c:<name>{tenant=3}"), labeled histograms
+/// add an ":exemplar" field, and profiler stacks ride as
+/// "p:<stack>:{n,self,total}".
 obs::PumpSnapshot parse_snapshot_line(const std::string& line,
                                       std::size_t line_no) {
   obs::PumpSnapshot snapshot;
@@ -152,26 +263,94 @@ obs::PumpSnapshot parse_snapshot_line(const std::string& line,
     } else if (key == "uptime_seconds") {
       snapshot.uptime_seconds = number;
     } else if (key.rfind("c:", 0) == 0) {
-      snapshot.counters.emplace_back(key.substr(2),
-                                     static_cast<std::uint64_t>(number));
+      const std::string body = key.substr(2);
+      if (body.find('{') == std::string::npos) {
+        snapshot.counters.emplace_back(body,
+                                       static_cast<std::uint64_t>(number));
+      } else {
+        obs::LabeledCounterSample sample;
+        split_labeled(body, sample.name, sample.labels);
+        sample.value = static_cast<std::uint64_t>(number);
+        snapshot.labeled_counters.push_back(std::move(sample));
+      }
     } else if (key.rfind("d:", 0) == 0) {
-      snapshot.counter_deltas.emplace_back(key.substr(2),
-                                           static_cast<std::uint64_t>(number));
+      const std::string body = key.substr(2);
+      if (body.find('{') == std::string::npos) {
+        snapshot.counter_deltas.emplace_back(
+            body, static_cast<std::uint64_t>(number));
+      } else {
+        // The delta key follows its value key, so it lands on the
+        // labeled counter just pushed (or starts one after a lost pair).
+        std::string name, labels;
+        split_labeled(body, name, labels);
+        auto& labeled = snapshot.labeled_counters;
+        if (labeled.empty() || labeled.back().name != name ||
+            labeled.back().labels != labels) {
+          obs::LabeledCounterSample sample;
+          sample.name = std::move(name);
+          sample.labels = std::move(labels);
+          labeled.push_back(std::move(sample));
+        }
+        labeled.back().delta = static_cast<std::uint64_t>(number);
+      }
     } else if (key.rfind("g:", 0) == 0) {
-      snapshot.gauges.emplace_back(key.substr(2), number);
+      const std::string body = key.substr(2);
+      if (body.find('{') == std::string::npos) {
+        snapshot.gauges.emplace_back(body, number);
+      } else {
+        obs::LabeledGaugeSample sample;
+        split_labeled(body, sample.name, sample.labels);
+        sample.value = number;
+        snapshot.labeled_gauges.push_back(std::move(sample));
+      }
     } else if (key.rfind("h:", 0) == 0) {
       const std::size_t colon = key.rfind(':');
-      const std::string name = key.substr(2, colon - 2);
+      const std::string body = key.substr(2, colon - 2);
       const std::string field = key.substr(colon + 1);
-      if (hists.empty() || hists.back().first != name)
-        hists.emplace_back(name, obs::HistogramSummary{});
-      obs::HistogramSummary& summary = hists.back().second;
-      if (field == "count") summary.count = static_cast<std::uint64_t>(number);
-      else if (field == "mean") summary.mean = number;
-      else if (field == "p50") summary.p50 = number;
-      else if (field == "p90") summary.p90 = number;
-      else if (field == "p99") summary.p99 = number;
-      else if (field == "max") summary.max = number;
+      obs::HistogramSummary* summary = nullptr;
+      std::uint64_t* exemplar = nullptr;
+      if (body.find('{') == std::string::npos) {
+        if (hists.empty() || hists.back().first != body)
+          hists.emplace_back(body, obs::HistogramSummary{});
+        summary = &hists.back().second;
+      } else {
+        std::string name, labels;
+        split_labeled(body, name, labels);
+        auto& labeled = snapshot.labeled_histograms;
+        if (labeled.empty() || labeled.back().name != name ||
+            labeled.back().labels != labels) {
+          obs::LabeledHistogramSample sample;
+          sample.name = std::move(name);
+          sample.labels = std::move(labels);
+          labeled.push_back(std::move(sample));
+        }
+        summary = &labeled.back().summary;
+        exemplar = &labeled.back().exemplar;
+      }
+      if (field == "count") summary->count = static_cast<std::uint64_t>(number);
+      else if (field == "mean") summary->mean = number;
+      else if (field == "p50") summary->p50 = number;
+      else if (field == "p90") summary->p90 = number;
+      else if (field == "p99") summary->p99 = number;
+      else if (field == "max") summary->max = number;
+      else if (field == "exemplar" && exemplar != nullptr)
+        *exemplar = static_cast<std::uint64_t>(number);
+    } else if (key.rfind("p:", 0) == 0) {
+      const std::size_t colon = key.rfind(':');
+      const std::string stack = key.substr(2, colon - 2);
+      const std::string field = key.substr(colon + 1);
+      auto& profile = snapshot.profile;
+      if (profile.empty() || profile.back().stack != stack) {
+        obs::ProfileEntry entry;
+        entry.stack = stack;
+        profile.push_back(std::move(entry));
+      }
+      if (field == "n")
+        profile.back().samples = static_cast<std::uint64_t>(number);
+      else if (field == "self")
+        profile.back().self_ns = static_cast<std::uint64_t>(number);
+      else if (field == "total")
+        profile.back().total_ns = static_cast<std::uint64_t>(number);
     }
   });
   return snapshot;
@@ -276,6 +455,7 @@ int run_demo(const Options& options) {
   obs::PumpOptions pump_options;
   pump_options.watchdog = &watchdog;
   pump_options.recorder = &obs::FlightRecorder::global();
+  pump_options.profiler = &obs::Profiler::global();
   obs::MetricsPump pump(obs::Registry::global(), pump_options);
 
   std::unique_ptr<obs::MetricsServer> server;
