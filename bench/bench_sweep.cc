@@ -1,0 +1,223 @@
+// E22 — PHAST-style batched one-to-all sweeps over the contraction
+// hierarchy.
+//
+// A one-to-all query used to mean n point queries (or one flat full
+// Dijkstra); the sweep engine answers it with one upward search plus one
+// linear descending-rank scan over the level-ordered reversed downward
+// CSR, and many_to_all packs up to kMaxLanes sources through that scan
+// SIMD-style.  The series here capture the three claims BENCH_10.json
+// gates:
+//
+//   * BM_SweepOneToAll vs BM_RepeatedChQueries — one bulk_costs row
+//     versus n repeated CH point queries from the same source (the
+//     workload Corollary 1 consumers actually issue).  Gate: >= 5x at
+//     n = 4096.
+//   * BM_SweepLanes — lane-width ablation (1/4/8 sources per sweep);
+//     the per-source counter shows the marginal cost of an extra lane
+//     riding an already-paid scan.
+//   * BM_CostMatrixTrees vs BM_CostMatrixSweeps — AllPairsRouter's full
+//     n x n matrix end-to-end (construction included): per-source
+//     shortest-path trees on the auxiliary graph versus the lane-packed
+//     sweep path behind cost_matrix(threads).
+//
+// The instance is the E19 metro/backbone WAN (hierarchical_topology) at
+// the comparison_network wavelength regime — rings contract away and
+// leave a hub-sized core, the regime the hierarchy exists for.  Every
+// series verifies in-bench that sampled sweep rows are bit-identical to
+// the engine's own flat point queries.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/all_pairs.h"
+#include "core/route_engine.h"
+#include "graph/hierarchy.h"
+
+namespace {
+
+using namespace lumen;
+
+constexpr std::uint64_t kSeed = 24680;
+
+constexpr RouteEngine::Options kSweepEngine{.num_landmarks = 0,
+                                            .build_hierarchy = true};
+constexpr RouteEngine::QueryOptions kCh{.use_hierarchy = true};
+
+/// Metro/backbone WAN at the comparison_network wavelength regime (the
+/// E19 instance): sqrt(n) hubs on a chorded ring, each serving a
+/// (sqrt(n)-1)-node access ring; k = ceil(log2 n), k0 <= 4.
+WdmNetwork sweep_network(std::uint32_t n, std::uint64_t seed) {
+  const auto side = static_cast<std::uint32_t>(
+      std::round(std::sqrt(static_cast<double>(n))));
+  const auto k = static_cast<std::uint32_t>(
+      std::ceil(std::log2(static_cast<double>(n))));
+  Rng rng(seed + n);
+  const Topology topo = hierarchical_topology(side, side - 1, side / 2, rng);
+  const Availability avail = uniform_availability(
+      topo, k, 1, std::min(k, 4u), CostSpec::uniform(1.0, 3.0), rng);
+  return assemble_network(topo, k, avail,
+                          std::make_shared<UniformConversion>(0.3));
+}
+
+/// Bit-identity spot check: 16 scattered targets of `row` against the
+/// engine's flat point queries.  SkipWithError on any mismatch.
+bool verify_row(benchmark::State& state, const RouteEngine& engine,
+                NodeId source, const std::vector<double>& row) {
+  SearchScratch scratch;
+  Rng rng(kSeed ^ 0x5afeULL);
+  for (int probe = 0; probe < 16; ++probe) {
+    const NodeId t{
+        static_cast<std::uint32_t>(rng.next_below(engine.num_nodes()))};
+    if (t == source) continue;
+    const RouteResult point = engine.route_semilightpath(source, t, scratch);
+    const double expected = point.found ? point.cost : kInfiniteCost;
+    if (row[t.value()] != expected) {
+      state.SkipWithError("sweep row disagrees with flat point query");
+      return false;
+    }
+  }
+  return true;
+}
+
+void BM_SweepOneToAll(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = sweep_network(n, kSeed);
+  RouteEngine engine(net, kSweepEngine);
+  const std::vector<NodeId> source{NodeId{n / 2}};
+  if (!verify_row(state, engine, source[0],
+                  engine.bulk_costs(source, 1)[0])) {
+    return;
+  }
+  for (auto _ : state) {
+    const auto rows = engine.bulk_costs(source, 1);
+    benchmark::DoNotOptimize(rows[0][n - 1]);
+  }
+  state.counters["targets"] = static_cast<double>(net.num_nodes());
+}
+BENCHMARK(BM_SweepOneToAll)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RepeatedChQueries(benchmark::State& state) {
+  // The pre-sweep way to fill one source row: n CH point queries.  One
+  // benchmark iteration covers the same work as one BM_SweepOneToAll
+  // iteration, so real_time ratios read directly as speedups.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = sweep_network(n, kSeed);
+  RouteEngine engine(net, kSweepEngine);
+  const NodeId source{n / 2};
+  SearchScratch scratch;
+  for (auto _ : state) {
+    double last = 0.0;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      const RouteResult r =
+          engine.route_semilightpath(source, NodeId{t}, scratch, kCh);
+      last = r.cost;
+    }
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["targets"] = static_cast<double>(net.num_nodes());
+}
+BENCHMARK(BM_RepeatedChQueries)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SweepLanes(benchmark::State& state) {
+  // Lane-width ablation at fixed n: one many_to_all sweep carrying
+  // `lanes` sources.  per_source_us is the number the consumers feel.
+  const auto lanes = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint32_t kNodes = 1024;
+  const WdmNetwork net = sweep_network(kNodes, kSeed);
+  RouteEngine engine(net, kSweepEngine);
+  std::vector<NodeId> sources;
+  Rng rng(kSeed ^ 0x1a2eULL);
+  while (sources.size() < lanes) {
+    const NodeId s{static_cast<std::uint32_t>(rng.next_below(kNodes))};
+    bool seen = false;
+    for (const NodeId prior : sources) seen = seen || prior == s;
+    if (!seen) sources.push_back(s);
+  }
+  {
+    const auto rows = engine.bulk_costs(sources, 1);
+    for (std::size_t l = 0; l < sources.size(); ++l) {
+      if (!verify_row(state, engine, sources[l], rows[l])) return;
+    }
+  }
+  for (auto _ : state) {
+    const auto rows = engine.bulk_costs(sources, 1);
+    benchmark::DoNotOptimize(rows[lanes - 1][kNodes - 1]);
+  }
+  state.counters["per_source_us"] = benchmark::Counter(
+      static_cast<double>(lanes),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SweepLanes)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CostMatrixTrees(benchmark::State& state) {
+  // End-to-end n x n matrix the pre-sweep way: fresh router, one
+  // shortest-path tree per source on the all-pairs auxiliary graph.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const WdmNetwork net = sweep_network(n, kSeed);
+  for (auto _ : state) {
+    AllPairsRouter router(net);
+    const auto matrix = router.cost_matrix();
+    benchmark::DoNotOptimize(matrix[0][n - 1]);
+  }
+}
+BENCHMARK(BM_CostMatrixTrees)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CostMatrixSweeps(benchmark::State& state) {
+  // Same matrix via cost_matrix(threads): fresh router, lazily-built
+  // sweep engine (hierarchy construction included), lane-packed sweeps
+  // drained by `threads` workers.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const WdmNetwork net = sweep_network(n, kSeed);
+  {
+    // Parity check once per shape: sweeps vs trees, sampled entries.
+    AllPairsRouter trees(net);
+    AllPairsRouter sweeps(net);
+    const auto expected = trees.cost_matrix();
+    const auto got = sweeps.cost_matrix(threads);
+    Rng rng(kSeed ^ 0x3a7cULL);
+    for (int probe = 0; probe < 32; ++probe) {
+      const auto s = static_cast<std::uint32_t>(rng.next_below(n));
+      const auto t = static_cast<std::uint32_t>(rng.next_below(n));
+      const double want = expected[s][t];
+      const bool match = want == kInfiniteCost
+                             ? got[s][t] == kInfiniteCost
+                             : std::abs(got[s][t] - want) <= 1e-9;
+      if (!match) {
+        state.SkipWithError("sweep matrix disagrees with tree matrix");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    AllPairsRouter router(net);
+    const auto matrix = router.cost_matrix(threads);
+    benchmark::DoNotOptimize(matrix[0][n - 1]);
+  }
+}
+BENCHMARK(BM_CostMatrixSweeps)
+    ->ArgsProduct({{64, 256, 1024}, {2, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LUMEN_BENCH_MAIN();

@@ -1,6 +1,6 @@
 #include "core/all_pairs.h"
 
-#include "util/thread_pool.h"
+#include "core/route_engine.h"
 
 namespace lumen {
 
@@ -8,6 +8,8 @@ AllPairsRouter::AllPairsRouter(const WdmNetwork& net)
     : net_(&net),
       aux_(AuxiliaryGraph::build_all_pairs(net)),
       trees_(net.num_nodes()) {}
+
+AllPairsRouter::~AllPairsRouter() = default;
 
 const ShortestPathTree& AllPairsRouter::tree_for(NodeId s) {
   LUMEN_REQUIRE(s.value() < net_->num_nodes());
@@ -64,26 +66,29 @@ std::vector<std::vector<double>> AllPairsRouter::cost_matrix() {
   return matrix;
 }
 
+RouteEngine& AllPairsRouter::matrix_engine() {
+  if (engine_ == nullptr) {
+    RouteEngine::Options options;
+    options.num_landmarks = 0;      // bulk sweeps are not goal-directed
+    options.build_hierarchy = true; // the sweeps' substrate
+    engine_ = std::make_unique<RouteEngine>(*net_, options);
+  }
+  return *engine_;
+}
+
 std::vector<std::vector<double>> AllPairsRouter::cost_matrix(
     unsigned threads) {
+  if (threads == 1) return cost_matrix();
+  // Lane-packed sweeps over the flattened core: every worker drains
+  // chunks of up to kMaxLanes sources, one scratch and one one-to-all
+  // sweep per chunk, instead of the old per-source tree Dijkstras (which
+  // re-allocated their whole search state every call).  Isolated sources
+  // return their +inf row without any search at all.
   const std::uint32_t n = net_->num_nodes();
-  // Fill the tree cache in parallel: each worker writes only trees_[s]
-  // for the indices it claims, and G_all is read-only, so no locking is
-  // needed.  The bookkeeping counter is reconciled afterwards.
-  if (threads != 1) {
-    ThreadPool pool(threads);
-    pool.parallel_for(n, [&](std::size_t s) {
-      auto& slot = trees_[s];
-      if (!slot.has_value())
-        slot = dijkstra(aux_.graph(), aux_.source_terminal(NodeId{
-                                          static_cast<std::uint32_t>(s)}));
-    });
-    std::uint32_t computed = 0;
-    for (const auto& slot : trees_)
-      if (slot.has_value()) ++computed;
-    trees_computed_ = computed;
-  }
-  return cost_matrix();
+  std::vector<NodeId> sources;
+  sources.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) sources.push_back(NodeId{v});
+  return matrix_engine().bulk_costs(sources, threads);
 }
 
 }  // namespace lumen

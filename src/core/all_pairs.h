@@ -9,6 +9,7 @@
 // when q' = n.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -19,11 +20,14 @@
 
 namespace lumen {
 
+class RouteEngine;
+
 /// Answers repeated optimal-semilightpath queries over one network.
 /// The network must outlive the router and must not be mutated meanwhile.
 class AllPairsRouter {
  public:
   explicit AllPairsRouter(const WdmNetwork& net);
+  ~AllPairsRouter();
 
   /// Cost of the optimal semilightpath s -> t (kInfiniteCost when none,
   /// 0 when s == t).
@@ -35,10 +39,15 @@ class AllPairsRouter {
   /// The n×n matrix of optimal costs (row = source); forces all n trees.
   [[nodiscard]] std::vector<std::vector<double>> cost_matrix();
 
-  /// Same matrix, but the not-yet-cached trees are computed concurrently
-  /// on `threads` workers (0 = one per hardware thread).  G_all is shared
-  /// read-only; every tree lands in its own cache slot, so the result is
-  /// identical to the serial overload.
+  /// Same matrix, served by lane-packed PHAST sweeps: a hierarchy-backed
+  /// RouteEngine (built lazily on first call, cached) partitions the
+  /// sources across `threads` workers (0 = one per hardware thread), each
+  /// sweeping up to ContractionHierarchy::kMaxLanes sources per one-to-all
+  /// pass.  Sweep distances re-accumulate in the flat search's addition
+  /// order, so the matrix matches the serial overload (which still builds
+  /// per-source trees — route() needs them for path extraction); trees
+  /// are neither built nor consumed here, so trees_computed() does not
+  /// advance.  threads = 1 falls through to the serial overload.
   [[nodiscard]] std::vector<std::vector<double>> cost_matrix(unsigned threads);
 
   /// Structural stats of G_all (Corollary 1 size checks).
@@ -53,11 +62,16 @@ class AllPairsRouter {
 
  private:
   const ShortestPathTree& tree_for(NodeId s);
+  /// The sweep engine behind cost_matrix(threads), built on first use
+  /// (no landmarks — bulk sweeps are not goal-directed — but with the
+  /// contraction hierarchy the sweeps run on).
+  RouteEngine& matrix_engine();
 
   const WdmNetwork* net_;
   AuxiliaryGraph aux_;
   std::vector<std::optional<ShortestPathTree>> trees_;  // per source node
   std::uint32_t trees_computed_ = 0;
+  std::unique_ptr<RouteEngine> engine_;  // lazy; see matrix_engine()
 };
 
 }  // namespace lumen

@@ -1,6 +1,7 @@
 #include "core/route_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 
 #include "core/aux_graph.h"
@@ -56,6 +57,21 @@ struct EngineInstruments {
       "lumen.core.hierarchy.recustomized_arcs");
   obs::LatencyHistogram& hierarchy_customize =
       obs::Registry::global().histogram("lumen.core.hierarchy.customize_ns");
+  // Batched-sweep family: one `run` per many_to_all/one_to_all invocation
+  // (lanes counts the sources it carried, so lanes/runs is the achieved
+  // packing), arcs_scanned the downward arc·lane relaxations, fallbacks
+  // the bulk_costs source rows served by the flat Dijkstra instead (no or
+  // stale hierarchy), ns the wall time inside the sweep kernels.
+  obs::Counter& sweep_runs =
+      obs::Registry::global().counter("lumen.core.sweep.runs");
+  obs::Counter& sweep_lanes =
+      obs::Registry::global().counter("lumen.core.sweep.lanes");
+  obs::Counter& sweep_arcs_scanned =
+      obs::Registry::global().counter("lumen.core.sweep.arcs_scanned");
+  obs::Counter& sweep_fallbacks =
+      obs::Registry::global().counter("lumen.core.sweep.fallbacks");
+  obs::Counter& sweep_ns =
+      obs::Registry::global().counter("lumen.core.sweep.ns");
   // Per-stage search split: labeled children keyed stage=hierarchy /
   // astar / dijkstra / lightpath.  The tag sets are interned once here,
   // so the per-query cost is a lock-free family probe.
@@ -68,6 +84,7 @@ struct EngineInstruments {
   const obs::TagSet astar_stage = obs::TagSet{}.stage("astar");
   const obs::TagSet dijkstra_stage = obs::TagSet{}.stage("dijkstra");
   const obs::TagSet lightpath_stage = obs::TagSet{}.stage("lightpath");
+  const obs::TagSet sweep_stage = obs::TagSet{}.stage("sweep");
 
   static EngineInstruments& get() {
     static EngineInstruments instruments;
@@ -84,6 +101,18 @@ struct EngineInstruments {
   void record_stage(const obs::TagSet& stage, const CsrRunStats& run) {
     stage_queries.at(stage).add();
     stage_pops.at(stage).add(run.pops);
+  }
+
+  /// One sweep kernel invocation carrying `lanes` sources.
+  void record_sweep(std::uint32_t lanes,
+                    const ContractionHierarchy::SweepStats& sweep,
+                    double seconds) {
+    sweep_runs.add();
+    sweep_lanes.add(lanes);
+    sweep_arcs_scanned.add(sweep.arcs_scanned);
+    sweep_ns.add(static_cast<std::uint64_t>(seconds * 1e9));
+    stage_queries.at(sweep_stage).add();
+    stage_pops.at(sweep_stage).add(sweep.upward_pops);
   }
 };
 
@@ -132,9 +161,24 @@ RouteEngine::RouteEngine(const WdmNetwork& net, const Options& options)
       base_min.add_link(net.tail(e), net.head(e), net.min_link_cost(e));
     }
     rev_base_ = std::make_unique<CsrDigraph>(CsrDigraph::reversed(base_min));
-    landmarks_ =
-        select_landmarks(base_min, options.num_landmarks,
-                         options.landmark_seed);
+    if (options.build_hierarchy) {
+      // Hierarchy-backed engines also contract the (much smaller) base
+      // topology both ways: landmark selection then runs off one-to-all
+      // sweeps instead of 2·count flat Dijkstras, and rev_base_ch_ keeps
+      // warming per-target reverse potentials for the engine's lifetime.
+      // Sweep distances are bit-identical to the flat search, so the
+      // tables (and every potential built from them) are unchanged.
+      const CsrDigraph fwd_base(base_min);
+      const ContractionHierarchy fwd_base_ch(fwd_base, {});
+      rev_base_ch_ = std::make_unique<ContractionHierarchy>(
+          *rev_base_, ContractionHierarchy::Options{});
+      landmarks_ = select_landmarks(base_min, options.num_landmarks,
+                                    options.landmark_seed, fwd_base_ch,
+                                    *rev_base_ch_);
+    } else {
+      landmarks_ = select_landmarks(base_min, options.num_landmarks,
+                                    options.landmark_seed);
+    }
     stats_.landmarks = landmarks_.num_landmarks;
     stats_.landmark_seconds = landmark_timer.seconds();
   }
@@ -241,15 +285,24 @@ const double* RouteEngine::target_potential(NodeId t,
                                             SearchScratch& scratch) const {
   SearchScratch::TargetPotential& slot = scratch.target_potential();
   if (slot.owner != potential_token_ || slot.target != t.value()) {
-    // Miss: one reverse Dijkstra over the base-weight physical topology —
-    // O(m log n), small next to the core search it then prunes.  Hits
-    // (repeated queries / batches to the same target) cost nothing.
-    scratch.begin(rev_base_->num_nodes());
-    const NodeId sources[1] = {t};
-    (void)dijkstra_csr_run(*rev_base_, sources, scratch);
+    // Miss: one reverse one-to-all over the base-weight physical topology
+    // — a PHAST sweep when the engine contracted the base graph (never
+    // stale: base weights are frozen), a flat Dijkstra otherwise; both
+    // produce the same bits.  Hits (repeated queries / batches to the
+    // same target) cost nothing.
     slot.dist.resize(n_);
-    for (std::uint32_t v = 0; v < n_; ++v)
-      slot.dist[v] = scratch.dist(NodeId{v});
+    const NodeId sources[1] = {t};
+    if (rev_base_ch_ != nullptr) {
+      ContractionHierarchy::SweepStats sweep;
+      Stopwatch sweep_timer;
+      rev_base_ch_->one_to_all(sources, scratch, slot.dist.data(), &sweep);
+      EngineInstruments::get().record_sweep(1, sweep, sweep_timer.seconds());
+    } else {
+      scratch.begin(rev_base_->num_nodes());
+      (void)dijkstra_csr_run(*rev_base_, sources, scratch);
+      for (std::uint32_t v = 0; v < n_; ++v)
+        slot.dist[v] = scratch.dist(NodeId{v});
+    }
     slot.owner = potential_token_;
     slot.target = t.value();
   }
@@ -529,6 +582,140 @@ std::vector<RouteResult> RouteEngine::route_many(
   }
   pool.wait();
   return results;
+}
+
+std::vector<std::vector<double>> RouteEngine::bulk_costs(
+    std::span<const NodeId> sources, unsigned threads) {
+  QueryOptions query;
+  query.use_hierarchy = true;
+  return bulk_costs(sources, threads, query);
+}
+
+std::vector<std::vector<double>> RouteEngine::bulk_costs(
+    std::span<const NodeId> sources, unsigned threads,
+    const QueryOptions& query) {
+  if (query.use_hierarchy && hierarchy_auto_customize_) {
+    (void)customize_hierarchy();
+  }
+  return static_cast<const RouteEngine&>(*this).bulk_costs(sources, threads,
+                                                           query);
+}
+
+std::vector<std::vector<double>> RouteEngine::bulk_costs(
+    std::span<const NodeId> sources, unsigned threads,
+    const QueryOptions& query) const {
+  EngineInstruments& instruments = EngineInstruments::get();
+  std::vector<std::vector<double>> rows(sources.size());
+
+  // Diagonal-0 rows up front; isolated sources (no usable wavelength at
+  // all) are complete already and never occupy a sweep lane.
+  std::vector<std::size_t> active;
+  active.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    LUMEN_REQUIRE(s.value() < n_);
+    rows[i].assign(n_, kInfiniteCost);
+    rows[i][s.value()] = 0.0;
+    if (!sources_of_[s.value()].empty()) active.push_back(i);
+  }
+  if (active.empty()) return rows;
+
+  const bool sweep =
+      query.use_hierarchy && hierarchy_ != nullptr && !hierarchy_->stale();
+  if (query.use_hierarchy && !sweep) {
+    instruments.sweep_fallbacks.add(active.size());
+  }
+
+  // row[t] = min over the sinks X_t of the core distance — the same
+  // reduction the point query's first-settled-sink rule computes, applied
+  // to every target at once.  The diagonal stays 0 (trivial self-route).
+  const auto reduce = [&](NodeId s, const auto& core_dist,
+                          std::vector<double>& out) {
+    for (std::uint32_t t = 0; t < n_; ++t) {
+      if (t == s.value()) continue;
+      double best = kInfiniteCost;
+      for (const NodeId x : sinks_of_[t]) {
+        const double d = core_dist(x.value());
+        if (d < best) best = d;
+      }
+      out[t] = best;
+    }
+  };
+
+  const std::uint32_t lane_width = ContractionHierarchy::kMaxLanes;
+  // Lane-chunked work list: chunk c covers active[c*W, min((c+1)*W, ...)).
+  const std::size_t num_chunks =
+      sweep ? (active.size() + lane_width - 1) / lane_width : active.size();
+
+  const auto run_chunk = [&](std::size_t c, SearchScratch& scratch,
+                             std::vector<double>& lane_buf) {
+    if (!sweep) {
+      // Fallback: one flat full Dijkstra per source over the core.
+      const std::size_t i = active[c];
+      const NodeId s = sources[i];
+      scratch.begin(core_->num_nodes());
+      CsrRunStats run_stats;
+      (void)dijkstra_csr_run(*core_, sources_of_[s.value()], scratch,
+                             &run_stats);
+      instruments.record_search(run_stats);
+      instruments.record_stage(instruments.dijkstra_stage, run_stats);
+      reduce(s, [&](std::uint32_t x) { return scratch.dist(NodeId{x}); },
+             rows[i]);
+      return;
+    }
+    const std::size_t begin = c * lane_width;
+    const std::size_t end = std::min(begin + lane_width, active.size());
+    const auto lanes = static_cast<std::uint32_t>(end - begin);
+    const std::uint32_t nc = core_->num_nodes();
+    lane_buf.resize(static_cast<std::size_t>(lanes) * nc);
+    std::array<std::span<const NodeId>, ContractionHierarchy::kMaxLanes>
+        seed_sets;
+    std::array<double*, ContractionHierarchy::kMaxLanes> row_ptrs{};
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      const NodeId s = sources[active[begin + l]];
+      seed_sets[l] = sources_of_[s.value()];
+      row_ptrs[l] = lane_buf.data() + static_cast<std::size_t>(l) * nc;
+    }
+    ContractionHierarchy::SweepStats sweep_stats;
+    Stopwatch sweep_timer;
+    hierarchy_->many_to_all({seed_sets.data(), lanes}, scratch,
+                            {row_ptrs.data(), lanes}, &sweep_stats);
+    instruments.record_sweep(lanes, sweep_stats, sweep_timer.seconds());
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      const std::size_t i = active[begin + l];
+      const double* core_row = row_ptrs[l];
+      reduce(sources[i], [&](std::uint32_t x) { return core_row[x]; },
+             rows[i]);
+    }
+  };
+
+  if (threads == 1 || num_chunks <= 1) {
+    SearchScratch scratch;
+    std::vector<double> lane_buf;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      run_chunk(c, scratch, lane_buf);
+    }
+    return rows;
+  }
+
+  // route_many's drainer pattern: one scratch + lane buffer per worker,
+  // a shared cursor balancing chunks of unequal sweep cost.
+  ThreadPool pool(threads);
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t drainers = std::min<std::size_t>(pool.size(), num_chunks);
+  for (std::size_t w = 0; w < drainers; ++w) {
+    pool.submit([&] {
+      SearchScratch scratch;
+      std::vector<double> lane_buf;
+      for (;;) {
+        const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) return;
+        run_chunk(c, scratch, lane_buf);
+      }
+    });
+  }
+  pool.wait();
+  return rows;
 }
 
 std::pair<std::uint32_t, std::uint32_t> RouteEngine::locate(

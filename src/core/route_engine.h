@@ -162,6 +162,30 @@ class RouteEngine {
       std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads,
       QueryKind kind, const QueryOptions& query) const;
 
+  // --- batched one-to-all costs (PHAST sweeps) ----------------------------
+
+  /// Full semilightpath cost rows: result[i][t] = cheapest cost
+  /// sources[i] → t for every physical node t (+inf when unreachable,
+  /// always 0 on the diagonal).  When `query.use_hierarchy` is set and
+  /// the engine's hierarchy is fresh, each worker serves up to
+  /// ContractionHierarchy::kMaxLanes sources per lane-packed one-to-all
+  /// sweep; otherwise every source falls back to one flat full Dijkstra
+  /// over the core — never wrong, counted per source in
+  /// lumen.core.sweep.fallbacks.  Either path yields bit-identical rows
+  /// (the sweep re-accumulates in the flat search's addition order).
+  /// threads = 0 → one per hardware thread, 1 → inline; weights must not
+  /// be patched while a call is in flight.  The convenience overload
+  /// enables use_hierarchy (and, non-const, self-heals a stale hierarchy
+  /// under Options{hierarchy_auto_customize} first).
+  [[nodiscard]] std::vector<std::vector<double>> bulk_costs(
+      std::span<const NodeId> sources, unsigned threads = 0);
+  [[nodiscard]] std::vector<std::vector<double>> bulk_costs(
+      std::span<const NodeId> sources, unsigned threads,
+      const QueryOptions& query);
+  [[nodiscard]] std::vector<std::vector<double>> bulk_costs(
+      std::span<const NodeId> sources, unsigned threads,
+      const QueryOptions& query) const;
+
   // --- in-place residual updates ------------------------------------------
 
   /// Receipt of a reserve(): releases in O(1), carrying the pre-reserve
@@ -264,6 +288,11 @@ class RouteEngine {
   /// Reversed physical topology, each link weighted by its *base*
   /// cheapest-wavelength cost (the per-target potential's search graph).
   std::unique_ptr<CsrDigraph> rev_base_;
+  /// Hierarchy over rev_base_ (built with Options{build_hierarchy}): the
+  /// per-target reverse potential then warms from one one-to-all sweep
+  /// instead of a flat Dijkstra.  Base weights are frozen, so this
+  /// hierarchy is never stale.
+  std::unique_ptr<ContractionHierarchy> rev_base_ch_;
   /// Base (build-time) weight per core slot; set_weight's floor.
   std::vector<double> base_core_weights_;
   /// Identity token stamped into scratch-resident potential caches.

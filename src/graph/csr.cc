@@ -25,18 +25,19 @@ CsrDigraph::CsrDigraph(const Digraph& g) {
   offsets_[g.num_nodes()] = cursor;
 }
 
-CsrDigraph CsrDigraph::reversed(const Digraph& g) {
+CsrDigraph CsrDigraph::reversed(const Digraph& g, ReversalMode mode) {
+  const bool copy_weights = mode == ReversalMode::kCopyWeights;
   CsrDigraph csr;
   csr.offsets_.resize(g.num_nodes() + 1);
   csr.heads_.reserve(g.num_links());
-  csr.weights_.reserve(g.num_links());
+  if (copy_weights) csr.weights_.reserve(g.num_links());
   csr.originals_.reserve(g.num_links());
   std::uint32_t cursor = 0;
   for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
     csr.offsets_[v] = cursor;
     for (const LinkId e : g.in_links(NodeId{v})) {
       csr.heads_.push_back(g.tail(e).value());
-      csr.weights_.push_back(g.weight(e));
+      if (copy_weights) csr.weights_.push_back(g.weight(e));
       csr.originals_.push_back(e);
       ++cursor;
     }

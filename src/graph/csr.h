@@ -49,13 +49,31 @@ class CsrDigraph {
   /// Snapshots `g` (O(n + m)).
   explicit CsrDigraph(const Digraph& g);
 
+  /// What reversed() copies besides the structure.
+  enum class ReversalMode {
+    kCopyWeights,    ///< snapshot g's weights per slot (default)
+    kStructureOnly,  ///< offsets/heads/originals only; no weight row
+  };
+
   /// Snapshots the *reversed* graph: slot (v, e) holds link e of g packed
   /// under its head v, pointing back at g.tail(e).  Searches over this
   /// view compute distances *to* a node (the reverse-Dijkstra potentials
   /// of goal-directed routing).  Slot order differs from the forward CSR,
   /// so per-slot weight rows built against one view do not apply to the
   /// other; `original` ids stay those of g.
-  [[nodiscard]] static CsrDigraph reversed(const Digraph& g);
+  ///
+  /// kStructureOnly skips the weight row entirely (has_weights() is then
+  /// false): callers that keep their own separately-customized weight row
+  /// — the hierarchy's downward-sweep CSR — would otherwise double-store
+  /// every weight.  Such a view must always be searched with an explicit
+  /// weight override; weight()/set_weight() on it are errors.
+  [[nodiscard]] static CsrDigraph reversed(
+      const Digraph& g, ReversalMode mode = ReversalMode::kCopyWeights);
+
+  /// False only for ReversalMode::kStructureOnly views.
+  [[nodiscard]] bool has_weights() const noexcept {
+    return weights_.size() == heads_.size();
+  }
 
   [[nodiscard]] std::uint32_t num_nodes() const noexcept {
     return static_cast<std::uint32_t>(offsets_.size() - 1);
@@ -77,6 +95,7 @@ class CsrDigraph {
   }
   [[nodiscard]] double weight(std::uint32_t slot) const {
     LUMEN_REQUIRE(slot < num_links());
+    LUMEN_REQUIRE_MSG(has_weights(), "structure-only view stores no weights");
     return weights_[slot];
   }
   [[nodiscard]] LinkId original(std::uint32_t slot) const {
@@ -87,6 +106,7 @@ class CsrDigraph {
   /// The packed out-link stored in `slot`, materialized by value.
   [[nodiscard]] OutLink link(std::uint32_t slot) const {
     LUMEN_REQUIRE(slot < num_links());
+    LUMEN_REQUIRE_MSG(has_weights(), "structure-only view stores no weights");
     return {NodeId{heads_[slot]}, weights_[slot], originals_[slot]};
   }
 
@@ -108,6 +128,7 @@ class CsrDigraph {
   /// structure is untouched, so views/spans stay valid.
   void set_weight(std::uint32_t slot, double weight) {
     LUMEN_REQUIRE(slot < num_links());
+    LUMEN_REQUIRE_MSG(has_weights(), "structure-only view stores no weights");
     LUMEN_REQUIRE_MSG(weight >= 0.0, "link weights must be non-negative");
     weights_[slot] = weight;
   }
@@ -249,6 +270,18 @@ class SearchScratch {
       pot_.resize(stamp_.size(), 0.0);
     }
   }
+  /// Lazily sizes the batched-sweep lane arrays (one_to_all/many_to_all
+  /// only): `entries` = positions × lanes.  The sweep kernels fill and
+  /// consume these wholesale each call, so no generation stamping is
+  /// needed — only capacity survives between calls.
+  void ensure_sweep(std::size_t entries) {
+    if (sweep_dist_.size() < entries) {
+      sweep_dist_.resize(entries);
+      sweep_parent_.resize(entries);
+      sweep_done_.resize(entries);
+    }
+  }
+
   /// Lazily sizes the hierarchy backward-side arrays (hierarchy queries
   /// only) and opens a fresh backward generation.
   void begin_backward() {
@@ -293,6 +326,14 @@ class SearchScratch {
   AlignedVector<std::uint64_t> bstamp_;
   AlignedVector<double> bdist_;
   AlignedVector<std::uint32_t> bparent_;  // hierarchy arc id
+  // Batched-sweep lane state (position-major, lane-minor: entry p·L + l),
+  // sized lazily by ensure_sweep(); plus the exact-fix work buffers, kept
+  // here so one worker's sweeps reuse one allocation.
+  AlignedVector<double> sweep_dist_;
+  AlignedVector<std::uint32_t> sweep_parent_;  // hierarchy arc id
+  AlignedVector<std::uint8_t> sweep_done_;     // exact-fix memo byte
+  std::vector<std::uint32_t> sweep_stack_;     // exact-fix recursion stack
+  std::vector<std::uint32_t> sweep_slots_;     // unpack scratch
   TargetPotential target_potential_;
 };
 
@@ -339,6 +380,8 @@ NodeId csr_search_run_impl(const CsrDigraph& g, std::span<const NodeId> sources,
   // stay within typical out-degrees.
   [[maybe_unused]] constexpr std::uint32_t kLookahead = 4;
   LUMEN_REQUIRE(weights.empty() || weights.size() == g.num_links());
+  LUMEN_REQUIRE_MSG(!weights.empty() || g.has_weights(),
+                    "structure-only view needs an explicit weight override");
   // SoA: an override is a wholesale row swap, not a per-link branch.
   const double* w = weights.empty() ? g.weights_data() : weights.data();
   const std::uint32_t* heads = g.heads_data();

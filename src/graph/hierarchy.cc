@@ -6,6 +6,12 @@
 #include <queue>
 #include <tuple>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
 namespace lumen {
 namespace {
 
@@ -13,6 +19,55 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Relaxes one downward arc across all lanes: dst[l] = min(dst[l],
+// src[l] + w), recording `arc` as the parent of every improved lane.
+// +inf propagates through the IEEE add, so unreachable lanes never win a
+// comparison.  kLanes == 0 selects the runtime-width scalar tail; the
+// fixed even widths (4/8) run two lanes per packed op under SSE2/NEON,
+// following the simd_min.h convention (guarded intrinsics, exact parity
+// with the scalar loop — strict < keeps first-writer ties identical).
+template <std::uint32_t kLanes>
+inline void relax_lanes(const double* src, double* dst, std::uint32_t* par,
+                        double w, std::uint32_t arc, std::uint32_t lanes) {
+#if defined(__SSE2__)
+  if constexpr (kLanes >= 2) {
+    const __m128d ww = _mm_set1_pd(w);
+    for (std::uint32_t l = 0; l < kLanes; l += 2) {
+      const __m128d cand = _mm_add_pd(_mm_loadu_pd(src + l), ww);
+      const __m128d cur = _mm_loadu_pd(dst + l);
+      const int mask = _mm_movemask_pd(_mm_cmplt_pd(cand, cur));
+      if (mask == 0) continue;
+      _mm_storeu_pd(dst + l, _mm_min_pd(cand, cur));
+      if ((mask & 1) != 0) par[l] = arc;
+      if ((mask & 2) != 0) par[l + 1] = arc;
+    }
+    return;
+  }
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  if constexpr (kLanes >= 2) {
+    const float64x2_t ww = vdupq_n_f64(w);
+    for (std::uint32_t l = 0; l < kLanes; l += 2) {
+      const float64x2_t cand = vaddq_f64(vld1q_f64(src + l), ww);
+      const float64x2_t cur = vld1q_f64(dst + l);
+      const uint64x2_t lt = vcltq_f64(cand, cur);
+      if (vgetq_lane_u64(lt, 0) == 0 && vgetq_lane_u64(lt, 1) == 0) continue;
+      vst1q_f64(dst + l, vminq_f64(cand, cur));
+      if (vgetq_lane_u64(lt, 0) != 0) par[l] = arc;
+      if (vgetq_lane_u64(lt, 1) != 0) par[l + 1] = arc;
+    }
+    return;
+  }
+#endif
+  const std::uint32_t width = kLanes == 0 ? lanes : kLanes;
+  for (std::uint32_t l = 0; l < width; ++l) {
+    const double cand = src[l] + w;
+    if (cand < dst[l]) {
+      dst[l] = cand;
+      par[l] = arc;
+    }
+  }
 }
 
 }  // namespace
@@ -233,6 +288,59 @@ ContractionHierarchy::ContractionHierarchy(const CsrDigraph& g,
     }
   }
 
+  // Downward-sweep CSR for the batched one-to-all sweeps.  Sweep
+  // *positions* are a level order: core nodes first (id order — they are
+  // finalized by the upward Dijkstra), then eliminated nodes by strictly
+  // descending rank.  Every backward arc's tail has strictly higher rank
+  // than its head, so scanning positions ascending relaxes each arc after
+  // its tail is final — one pass, no heap.
+  node_pos_.assign(n, 0);
+  pos_node_.assign(n, 0);
+  {
+    std::uint32_t pos = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (rank_[v] != kCoreRank) continue;
+      node_pos_[v] = pos;
+      pos_node_[pos] = v;
+      ++pos;
+    }
+    first_down_pos_ = pos;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (rank_[v] == kCoreRank) continue;
+      const std::uint32_t p = first_down_pos_ + (next_rank - 1 - rank_[v]);
+      node_pos_[v] = p;
+      pos_node_[p] = v;
+    }
+  }
+  {
+    // The backward arcs re-expressed on positions; the structure-only
+    // reversed view then packs, per head position, its incoming arcs.
+    // No weight row is copied — down_value_ (customized alongside
+    // arc_value_) is the only store.
+    Digraph down(n);
+    std::vector<std::uint32_t> down_arc_of_link;
+    for (std::uint32_t a = 0; a < num_arcs; ++a) {
+      const std::uint32_t rt = rank_[arc_tail_[a]];
+      const std::uint32_t rh = rank_[arc_head_[a]];
+      if (rt < rh || (rt == kCoreRank && rh == kCoreRank)) continue;  // fwd
+      down.add_link(NodeId{node_pos_[arc_tail_[a]]},
+                    NodeId{node_pos_[arc_head_[a]]}, 0.0);
+      down_arc_of_link.push_back(a);
+    }
+    down_csr_ = std::make_unique<CsrDigraph>(CsrDigraph::reversed(
+        down, CsrDigraph::ReversalMode::kStructureOnly));
+    const std::uint32_t dm = down_csr_->num_links();
+    down_value_.assign(dm, kInfiniteCost);
+    down_slot_arc_.resize(dm);
+    arc_down_slot_.assign(num_arcs, kInvalidArc);
+    for (std::uint32_t slot = 0; slot < dm; ++slot) {
+      const std::uint32_t a = down_arc_of_link[down_csr_->original(slot)
+                                                   .value()];
+      down_slot_arc_[slot] = a;
+      arc_down_slot_[a] = slot;
+    }
+  }
+
   // First full customization on the arena's current weights.
   const auto customize_start = Clock::now();
   slot_weight_.assign(g.weights_data(), g.weights_data() + m);
@@ -285,6 +393,11 @@ std::uint32_t ContractionHierarchy::customize() {
       const double value = evaluate(arc);
       if (value == arc_value_[arc]) continue;
       arc_value_[arc] = value;
+      // Mirror downward-arc values into the sweep's slot-ordered row so the
+      // linear down scan never chases arc ids (structure-only CSR).
+      if (const std::uint32_t ds = arc_down_slot_[arc]; ds != kInvalidArc) {
+        down_value_[ds] = value;
+      }
       for (std::uint32_t p = parent_offset_[arc]; p < parent_offset_[arc + 1];
            ++p) {
         mark_dirty(parent_arcs_[p]);
@@ -330,6 +443,187 @@ void ContractionHierarchy::unpack(std::uint32_t arc,
     }
     LUMEN_ASSERT(matched);  // value is always one of its candidates
   }
+}
+
+// --- batched one-to-all sweeps (PHAST-style) -------------------------------
+
+void ContractionHierarchy::sweep_upward(std::span<const NodeId> seeds,
+                                        std::uint32_t lane,
+                                        std::uint32_t lanes,
+                                        SearchScratch& scratch,
+                                        SweepStats* stats) const {
+  const auto n = static_cast<std::uint32_t>(rank_.size());
+  scratch.begin(n);
+  for (const NodeId s : seeds) {
+    LUMEN_REQUIRE(s.value() < n);
+    scratch.touch(s.value());
+    if (scratch.dist_[s.value()] > 0.0) {
+      scratch.dist_[s.value()] = 0.0;
+      scratch.parent_[s.value()] = kInvalidArc;
+      scratch.heap_push(s.value(), 0.0);
+    }
+  }
+  while (!scratch.heap_.empty()) {
+    const std::uint32_t u = scratch.heap_pop_min();
+    scratch.state_[u] = SearchScratch::kSettled;
+    if (stats != nullptr) ++stats->upward_pops;
+    const double du = scratch.dist_[u];
+    // Scatter the settled label into the position-major lane arrays; the
+    // down sweep and exact-fix pass work entirely in position space.
+    const std::size_t entry =
+        static_cast<std::size_t>(node_pos_[u]) * lanes + lane;
+    scratch.sweep_dist_[entry] = du;
+    scratch.sweep_parent_[entry] = scratch.parent_[u];
+    for (std::uint32_t i = fwd_offset_[u]; i < fwd_offset_[u + 1]; ++i) {
+      const std::uint32_t a = fwd_arcs_[i];
+      const double w = arc_value_[a];
+      if (w == kInfiniteCost) continue;
+      const std::uint32_t v = arc_head_[a];
+      scratch.touch(v);
+      if (scratch.state_[v] == SearchScratch::kSettled) continue;
+      const double candidate = du + w;
+      if (candidate < scratch.dist_[v]) {
+        const bool queued = scratch.state_[v] == SearchScratch::kInHeap;
+        scratch.dist_[v] = candidate;
+        scratch.parent_[v] = a;
+        if (queued) {
+          scratch.heap_decrease(v, candidate);
+        } else {
+          scratch.heap_push(v, candidate);
+        }
+      }
+    }
+  }
+}
+
+template <std::uint32_t kLanes>
+void ContractionHierarchy::down_sweep_fixed(std::uint32_t lanes,
+                                            SearchScratch& scratch,
+                                            SweepStats* stats) const {
+  const std::uint32_t width = kLanes == 0 ? lanes : kLanes;
+  const auto n = static_cast<std::uint32_t>(rank_.size());
+  const std::uint32_t* tails = down_csr_->heads_data();  // tail positions
+  const double* values = down_value_.data();
+  double* dist = scratch.sweep_dist_.data();
+  std::uint32_t* parent = scratch.sweep_parent_.data();
+  std::uint64_t scanned = 0;
+  for (std::uint32_t p = first_down_pos_; p < n; ++p) {
+    const auto [first, last] = down_csr_->out_slot_range(NodeId{p});
+    if (first == last) continue;
+    double* dst = dist + static_cast<std::size_t>(p) * width;
+    std::uint32_t* par = parent + static_cast<std::size_t>(p) * width;
+    for (std::uint32_t slot = first; slot < last; ++slot) {
+      const double w = values[slot];
+      if (w == kInfiniteCost) continue;
+      const double* src =
+          dist + static_cast<std::size_t>(tails[slot]) * width;
+      relax_lanes<kLanes>(src, dst, par, w, down_slot_arc_[slot], width);
+    }
+    scanned += last - first;
+  }
+  if (stats != nullptr) stats->arcs_scanned += scanned * width;
+}
+
+void ContractionHierarchy::sweep_exact_fix(std::uint32_t lanes,
+                                           SearchScratch& scratch) const {
+  const auto n = static_cast<std::uint32_t>(rank_.size());
+  const std::size_t entries = static_cast<std::size_t>(n) * lanes;
+  double* dist = scratch.sweep_dist_.data();
+  const std::uint32_t* parent = scratch.sweep_parent_.data();
+  std::uint8_t* done = scratch.sweep_done_.data();
+  std::fill_n(done, entries, std::uint8_t{0});
+  auto& stack = scratch.sweep_stack_;
+  auto& slots = scratch.sweep_slots_;
+  // Memoized iterative recursion along the final parent forest: an
+  // entry's exact value is exact(tail of parent arc) folded left-to-right
+  // over the parent arc's unpacked slot weights — exactly the addition
+  // order a flat Dijkstra would have used on the same path.  Seeds (0)
+  // and unreached lanes (+inf) have no parent and are already exact.
+  for (std::size_t e0 = 0; e0 < entries; ++e0) {
+    if (done[e0] != 0) continue;
+    stack.clear();
+    stack.push_back(static_cast<std::uint32_t>(e0));
+    while (!stack.empty()) {
+      const std::uint32_t e = stack.back();
+      if (done[e] == 1) {
+        stack.pop_back();
+        continue;
+      }
+      const std::uint32_t a = parent[e];
+      if (a == kInvalidArc) {
+        done[e] = 1;
+        stack.pop_back();
+        continue;
+      }
+      const std::uint32_t lane = e % lanes;
+      const std::uint32_t te =
+          node_pos_[arc_tail_[a]] * lanes + lane;
+      if (done[te] != 1) {
+        if (done[te] == 2) {
+          // Parent chains are acyclic whenever differently-rounded path
+          // sums differ (the generic case); a razor-thin float tie could
+          // in principle close a loop, so keep the min-plus value (equal
+          // within one rounding) instead of spinning.
+          done[e] = 1;
+          stack.pop_back();
+          continue;
+        }
+        done[e] = 2;
+        stack.push_back(te);
+        continue;
+      }
+      double acc = dist[te];
+      slots.clear();
+      unpack(a, slots);
+      for (const std::uint32_t s : slots) acc += slot_weight_[s];
+      dist[e] = acc;
+      done[e] = 1;
+      stack.pop_back();
+    }
+  }
+}
+
+void ContractionHierarchy::many_to_all(
+    std::span<const std::span<const NodeId>> seed_sets,
+    SearchScratch& scratch, std::span<double* const> dist_rows,
+    SweepStats* stats) const {
+  LUMEN_REQUIRE_MSG(!stale(), "hierarchy swept before customize()");
+  const auto lanes = static_cast<std::uint32_t>(seed_sets.size());
+  LUMEN_REQUIRE(lanes >= 1 && lanes <= kMaxLanes);
+  LUMEN_REQUIRE(dist_rows.size() == seed_sets.size());
+  const auto n = static_cast<std::uint32_t>(rank_.size());
+  const std::size_t entries = static_cast<std::size_t>(n) * lanes;
+  scratch.ensure_sweep(entries);
+  std::fill_n(scratch.sweep_dist_.data(), entries, kInfiniteCost);
+  std::fill_n(scratch.sweep_parent_.data(), entries, kInvalidArc);
+  for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+    sweep_upward(seed_sets[lane], lane, lanes, scratch, stats);
+  }
+  switch (lanes) {
+    case 1: down_sweep_fixed<1>(lanes, scratch, stats); break;
+    case 4: down_sweep_fixed<4>(lanes, scratch, stats); break;
+    case 8: down_sweep_fixed<8>(lanes, scratch, stats); break;
+    default: down_sweep_fixed<0>(lanes, scratch, stats); break;
+  }
+  sweep_exact_fix(lanes, scratch);
+  // Gather the position-major lane rows back out node-indexed.
+  const double* dist = scratch.sweep_dist_.data();
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const std::uint32_t v = pos_node_[p];
+    const double* row = dist + static_cast<std::size_t>(p) * lanes;
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+      dist_rows[lane][v] = row[lane];
+    }
+  }
+}
+
+void ContractionHierarchy::one_to_all(std::span<const NodeId> seeds,
+                                      SearchScratch& scratch,
+                                      double* dist_out,
+                                      SweepStats* stats) const {
+  const std::span<const NodeId> sets[1] = {seeds};
+  double* const rows[1] = {dist_out};
+  many_to_all(sets, scratch, rows, stats);
 }
 
 }  // namespace lumen

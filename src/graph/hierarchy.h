@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,6 +71,8 @@ class ContractionHierarchy {
   /// 0..eliminated-1 in elimination order.
   static constexpr std::uint32_t kCoreRank = 0xffffffffu;
   static constexpr std::uint32_t kInvalidArc = 0xffffffffu;
+  /// Upper bound on many_to_all lane count (sources per sweep).
+  static constexpr std::uint32_t kMaxLanes = 8;
 
   struct BuildStats {
     std::uint32_t nodes = 0;
@@ -131,7 +134,50 @@ class ContractionHierarchy {
              std::vector<std::uint32_t>& slots_out,
              CsrRunStats* stats = nullptr) const;
 
+  // --- batched one-to-all sweeps (PHAST-style) ---------------------------
+
+  /// Per-sweep effort counters (all lanes pooled).
+  struct SweepStats {
+    std::uint64_t upward_pops = 0;   ///< upward-Dijkstra settles
+    std::uint64_t arcs_scanned = 0;  ///< downward arc·lane relaxations
+  };
+
+  /// Full one-to-all distances from the multi-seed source set: a small
+  /// upward Dijkstra over rising/core arcs, then one linear scan of the
+  /// downward arcs in descending rank order (each arc read exactly once,
+  /// contiguously — no heap).  `dist_out[v]` (size num_nodes) receives
+  /// the cheapest cost from any seed to v, +inf when unreachable, and is
+  /// re-accumulated slot-by-slot along the winning up-down path so the
+  /// values match a flat full dijkstra_csr_run from the same seeds
+  /// bit-for-bit (same left-to-right addition order; see the cost
+  /// re-accumulation note on query()).  Requires !stale().
+  void one_to_all(std::span<const NodeId> seeds, SearchScratch& scratch,
+                  double* dist_out, SweepStats* stats = nullptr) const;
+
+  /// Lane-parallel variant: lane l sweeps from `seed_sets[l]` into
+  /// `dist_rows[l]` (each a num_nodes row).  All lanes share one pass
+  /// over the downward arcs — each arc's value and tail row are loaded
+  /// once and relaxed against every lane, so the sweep's memory traffic
+  /// is amortized across sources.  At most kMaxLanes lanes (callers
+  /// chunk larger batches); fixed-width kernels cover 1/4/8 lanes with a
+  /// generic scalar fallback for the rest.
+  void many_to_all(std::span<const std::span<const NodeId>> seed_sets,
+                   SearchScratch& scratch, std::span<double* const> dist_rows,
+                   SweepStats* stats = nullptr) const;
+
  private:
+  template <std::uint32_t kLanes>
+  void down_sweep_fixed(std::uint32_t lanes, SearchScratch& scratch,
+                        SweepStats* stats) const;
+  /// Upward phase of lane `lane`: full Dijkstra over fwd/core arcs,
+  /// scattering settled labels into the position-major lane arrays.
+  void sweep_upward(std::span<const NodeId> seeds, std::uint32_t lane,
+                    std::uint32_t lanes, SearchScratch& scratch,
+                    SweepStats* stats) const;
+  /// Exact-fix pass: re-accumulates every reached entry left-to-right
+  /// along its final parent chain (memoized), replacing tree-order
+  /// shortcut sums with the flat Dijkstra's slot-order sums.
+  void sweep_exact_fix(std::uint32_t lanes, SearchScratch& scratch) const;
   /// min over input slot weights and support value sums.
   [[nodiscard]] double evaluate(std::uint32_t arc) const;
   void mark_dirty(std::uint32_t arc);
@@ -164,6 +210,22 @@ class ContractionHierarchy {
   std::vector<std::uint32_t> rank_;       // per node; kCoreRank = core
   std::vector<std::uint32_t> slot_arc_;   // CSR slot -> owning arc
   AlignedVector<double> slot_weight_;     // mirror of the arena's weights
+
+  // --- downward-sweep CSR (one_to_all/many_to_all) ----------------------
+  // Level order by *position*: 0..core-1 are the core nodes (id order),
+  // core..n-1 the eliminated nodes in descending rank.  down_csr_ packs,
+  // per position, the backward arcs INTO that node keyed by the tail's
+  // position (structure-only: values live in down_value_, kept current by
+  // customize() alongside arc_value_).  Scanning positions ascending
+  // therefore relaxes every arc after its tail is final — the one-pass
+  // correctness invariant.
+  std::unique_ptr<CsrDigraph> down_csr_;
+  AlignedVector<double> down_value_;        // per down slot (customized)
+  AlignedVector<std::uint32_t> down_slot_arc_;  // down slot -> arc id
+  std::vector<std::uint32_t> arc_down_slot_;    // arc id -> down slot
+  std::vector<std::uint32_t> node_pos_;     // node id -> sweep position
+  std::vector<std::uint32_t> pos_node_;     // sweep position -> node id
+  std::uint32_t first_down_pos_ = 0;        // == core count
 
   // --- customization worklist: one bucket per freeze rank (+1 for core)
   std::vector<std::vector<std::uint32_t>> dirty_buckets_;

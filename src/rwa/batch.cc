@@ -46,15 +46,34 @@ BatchResult provision_batch(
     case DemandOrder::kCheapestFirst:
     case DemandOrder::kCostliestFirst: {
       // Rank by optimal semilightpath cost on the pre-batch residual
-      // state.  One engine is built for the whole demand set and queried
-      // as a parallel batch; unroutable demands (cost +inf) sort last
-      // either way, so feasible work is never starved by hopeless demands.
-      RouteEngine engine(manager.residual());
-      const std::vector<RouteResult> routes =
-          engine.route_many(demands, route_threads);
+      // state.  One hierarchy-backed engine pre-costs the whole demand
+      // set from lane-packed one-to-all sweeps — one sweep lane per
+      // *distinct source*, each row answering every demand out of that
+      // source at once, instead of one point query per demand.  Sweep
+      // costs match the point queries bit-for-bit, so the ordering is
+      // the one route_many would have produced.  Unroutable demands
+      // (cost +inf) sort last either way, so feasible work is never
+      // starved by hopeless demands.
+      RouteEngine::Options engine_options;
+      engine_options.num_landmarks = 0;  // bulk sweeps: no goal direction
+      engine_options.build_hierarchy = true;
+      RouteEngine engine(manager.residual(), engine_options);
+      constexpr std::uint32_t kUnseen = 0xffffffffu;
+      std::vector<std::uint32_t> src_row(engine.num_nodes(), kUnseen);
+      std::vector<NodeId> src_nodes;  // distinct sources, first-seen order
+      for (const auto& [s, t] : ordered) {
+        (void)t;
+        if (src_row[s.value()] == kUnseen) {
+          src_row[s.value()] = static_cast<std::uint32_t>(src_nodes.size());
+          src_nodes.push_back(s);
+        }
+      }
+      const std::vector<std::vector<double>> rows =
+          engine.bulk_costs(src_nodes, route_threads);
       std::vector<double> cost(ordered.size());
       for (std::size_t i = 0; i < ordered.size(); ++i)
-        cost[i] = routes[i].found ? routes[i].cost : kInfiniteCost;
+        cost[i] = rows[src_row[ordered[i].first.value()]]
+                      [ordered[i].second.value()];
       std::vector<std::size_t> index(ordered.size());
       for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
       std::stable_sort(index.begin(), index.end(),

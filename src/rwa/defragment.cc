@@ -1,17 +1,68 @@
 #include "rwa/defragment.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/route_engine.h"
 
 namespace lumen {
 
-DefragReport defragment(SessionManager& manager) {
+DefragReport defragment(SessionManager& manager, DefragOrder order,
+                        unsigned route_threads) {
   DefragReport report;
   std::vector<SessionId> ids = manager.active_session_ids();
-  // Most-expensive-first: those have the most to gain, and moving them
-  // frees contiguous resources for the rest of the pass.
-  std::sort(ids.begin(), ids.end(), [&](SessionId a, SessionId b) {
-    return manager.find(a)->cost > manager.find(b)->cost;
-  });
+  switch (order) {
+    case DefragOrder::kCostliestFirst:
+      // Most-expensive-first: those have the most to gain, and moving
+      // them frees contiguous resources for the rest of the pass.
+      std::sort(ids.begin(), ids.end(), [&](SessionId a, SessionId b) {
+        return manager.find(a)->cost > manager.find(b)->cost;
+      });
+      break;
+    case DefragOrder::kMatrixGain: {
+      // Price every session's best route on the current residual state
+      // with one bulk sweep batch (one lane per distinct source), then
+      // sort by estimated saving.  The estimate is conservative (it does
+      // not credit the session's own released resources), so the actual
+      // re-route can only do better.
+      RouteEngine::Options engine_options;
+      engine_options.num_landmarks = 0;  // bulk sweeps: no goal direction
+      engine_options.build_hierarchy = true;
+      RouteEngine engine(manager.residual(), engine_options);
+      constexpr std::uint32_t kUnseen = 0xffffffffu;
+      std::vector<std::uint32_t> src_row(engine.num_nodes(), kUnseen);
+      std::vector<NodeId> src_nodes;  // distinct sources, first-seen order
+      for (const SessionId id : ids) {
+        const NodeId s = manager.find(id)->source;
+        if (src_row[s.value()] == kUnseen) {
+          src_row[s.value()] = static_cast<std::uint32_t>(src_nodes.size());
+          src_nodes.push_back(s);
+        }
+      }
+      const std::vector<std::vector<double>> rows =
+          engine.bulk_costs(src_nodes, route_threads);
+      std::vector<double> gain(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const SessionRecord* session = manager.find(ids[i]);
+        const double priced =
+            rows[src_row[session->source.value()]][session->target.value()];
+        gain[i] = priced == kInfiniteCost ? -kInfiniteCost
+                                          : session->cost - priced;
+      }
+      std::vector<std::size_t> index(ids.size());
+      for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+      std::stable_sort(index.begin(), index.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return gain[a] > gain[b];
+                       });
+      std::vector<SessionId> sorted;
+      sorted.reserve(ids.size());
+      for (const std::size_t i : index) sorted.push_back(ids[i]);
+      ids = std::move(sorted);
+      break;
+    }
+  }
   for (const SessionId id : ids) {
     const double before = manager.find(id)->cost;
     ++report.considered;

@@ -23,8 +23,28 @@ struct DefragReport {
   double cost_saved = 0.0;
 };
 
+/// How a defragmentation pass orders the active sessions.
+enum class DefragOrder : std::uint8_t {
+  /// Most-expensive-first (the default): the sessions with the most to
+  /// gain move first, freeing contiguous resources for the rest.
+  kCostliestFirst,
+  /// Estimated-gain-first: a hierarchy-backed bulk cost matrix over the
+  /// *current* residual state (lane-packed one-to-all sweeps, one lane
+  /// per distinct session source) prices every session's best route if
+  /// re-provisioned as-is; sessions sort by (current cost - matrix
+  /// cost), largest estimated saving first.  The estimate ignores the
+  /// resources the session itself would release, so it is conservative —
+  /// but it puts provably-improvable sessions ahead of merely expensive
+  /// ones.  Sessions the matrix prices at +inf sort last.
+  kMatrixGain,
+};
+
 /// One pass over all active sessions of `manager`.  Guarantees no session
-/// is dropped and no session's cost increases.
-[[nodiscard]] DefragReport defragment(SessionManager& manager);
+/// is dropped and no session's cost increases.  `route_threads` is used
+/// only by kMatrixGain's bulk pre-costing (0 = one worker per hardware
+/// thread); the per-session re-routes themselves stay serial either way.
+[[nodiscard]] DefragReport defragment(
+    SessionManager& manager, DefragOrder order = DefragOrder::kCostliestFirst,
+    unsigned route_threads = 0);
 
 }  // namespace lumen

@@ -20,6 +20,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/route_engine.h"
@@ -60,6 +62,20 @@ class RoutingService {
   /// Routes and commits one session for `tenant`.  Thread-safe.
   [[nodiscard]] AdmitTicket open(TenantId tenant, NodeId source,
                                  NodeId target);
+
+  /// Admits a whole demand batch for `tenant` in one shard visit: quota
+  /// is claimed per demand up front (over-quota demands get
+  /// kQuotaDenied), the survivors go to one round-robin-chosen shard
+  /// whose admit_batch bulk pre-costs them with lane-packed sweeps,
+  /// blocks the unroutable ones without individual searches, and offers
+  /// the rest cheapest-first under a single mutex acquisition; all
+  /// admitted slots are broadcast to peer shards as one re-sync note
+  /// batch.  Tickets are returned in input order.  Thread-safe, and the
+  /// per-demand accounting (offered/admitted/blocked/aborted, tenant
+  /// splits) matches what the same demands would record through open();
+  /// admit latency is recorded once per demand as the batch mean.
+  [[nodiscard]] std::vector<AdmitTicket> open_batch(
+      TenantId tenant, std::span<const std::pair<NodeId, NodeId>> demands);
 
   /// Releases an admitted session.  False when the id is unknown or
   /// already closed.  Thread-safe.

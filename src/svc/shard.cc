@@ -1,6 +1,7 @@
 #include "svc/shard.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "graph/dijkstra.h"  // kInfiniteCost
@@ -51,7 +52,64 @@ Shard::AdmitOutcome Shard::admit(TenantId tenant, NodeId source,
   const std::lock_guard<std::mutex> lock(mutex_);
   drain_inbox_locked();
   reverify_suspects_locked();
+  return admit_locked(tenant, source, target);
+}
 
+std::vector<Shard::AdmitOutcome> Shard::admit_batch(
+    TenantId tenant, std::span<const std::pair<NodeId, NodeId>> demands) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AdmitOutcome> out(demands.size());
+  if (demands.empty()) return out;
+  drain_inbox_locked();
+  reverify_suspects_locked();
+
+  // Bulk pre-cost on the replica's current view: one lane per distinct
+  // source instead of one point query per demand.  The costs decide only
+  // the offer order and the +inf short-circuit; each surviving demand
+  // still routes and commits through the ordinary retry loop (the
+  // residual shifts as earlier demands in the batch claim slots).
+  constexpr std::uint32_t kUnseen = 0xffffffffu;
+  std::vector<std::uint32_t> src_row(engine_.num_nodes(), kUnseen);
+  std::vector<NodeId> src_nodes;  // distinct sources, first-seen order
+  for (const auto& [s, t] : demands) {
+    (void)t;
+    if (src_row[s.value()] == kUnseen) {
+      src_row[s.value()] = static_cast<std::uint32_t>(src_nodes.size());
+      src_nodes.push_back(s);
+    }
+  }
+  const std::vector<std::vector<double>> rows =
+      engine_.bulk_costs(src_nodes, /*threads=*/1, options_.query);
+
+  std::vector<double> cost(demands.size());
+  std::vector<std::size_t> offer;  // demands worth routing, by index
+  offer.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    cost[i] = rows[src_row[demands[i].first.value()]]
+                  [demands[i].second.value()];
+    if (cost[i] == kInfiniteCost) {
+      // Unroutable on the replica right now — admit_locked would run a
+      // full search only to conclude the same kBlocked.  Claims by the
+      // rest of the batch can only raise costs, so this cannot flip.
+      out[i].ticket.status = AdmitStatus::kBlocked;
+    } else {
+      offer.push_back(i);
+    }
+  }
+  // Cheapest-first (stable on ties): under contention the short, cheap
+  // demands commit before expensive ones fragment the slot space.
+  std::stable_sort(offer.begin(), offer.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a] < cost[b];
+                   });
+  for (const std::size_t i : offer) {
+    out[i] = admit_locked(tenant, demands[i].first, demands[i].second);
+  }
+  return out;
+}
+
+Shard::AdmitOutcome Shard::admit_locked(TenantId tenant, NodeId source,
+                                        NodeId target) {
   AdmitOutcome out;
   out.ticket.status = AdmitStatus::kBlocked;
   for (std::uint32_t attempt = 0; attempt < options_.max_commit_retries;

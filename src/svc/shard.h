@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/route_engine.h"
@@ -61,6 +62,17 @@ class Shard {
   [[nodiscard]] AdmitOutcome admit(TenantId tenant, NodeId source,
                                    NodeId target);
 
+  /// Admits a whole demand batch under ONE mutex acquisition.  The batch
+  /// is first bulk pre-costed on the replica (RouteEngine::bulk_costs —
+  /// lane-packed one-to-all sweeps when the replica carries a hierarchy,
+  /// one flat run per distinct source otherwise): demands the replica
+  /// prices at +inf are blocked without any further search (exactly what
+  /// a per-demand admit would conclude), and the rest are offered
+  /// cheapest-first, so under contention the resources go to the demands
+  /// that use them best.  Outcomes are returned in input order.
+  [[nodiscard]] std::vector<AdmitOutcome> admit_batch(
+      TenantId tenant, std::span<const std::pair<NodeId, NodeId>> demands);
+
   struct CloseOutcome {
     bool ok = false;
     TenantId tenant;
@@ -95,6 +107,10 @@ class Shard {
     std::vector<std::uint32_t> slots;
   };
 
+  /// The route/claim/commit retry loop behind admit() and admit_batch()
+  /// (mutex held, inbox drained, suspects re-verified by the caller).
+  [[nodiscard]] AdmitOutcome admit_locked(TenantId tenant, NodeId source,
+                                          NodeId target);
   /// Sets the replica weight of `slot` from the SlotTable truth.
   void resync_slot_locked(std::uint32_t slot);
   void drain_inbox_locked();

@@ -1,0 +1,312 @@
+// Engine-level coverage for the batched sweep surface: bulk_costs rows
+// must match the engine's own point queries exactly (the sweeps
+// re-accumulate distances in the flat search's addition order), the
+// stale-hierarchy path must fall back per source — counted on
+// lumen.core.sweep.fallbacks — and never answer wrong, and the consumers
+// rewired onto the sweeps (landmark selection, defragment's kMatrixGain
+// ordering, the svc batch admission) must keep their contracts.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/route_engine.h"
+#include "graph/hierarchy.h"
+#include "graph/landmarks.h"
+#include "obs/registry.h"
+#include "rwa/defragment.h"
+#include "rwa/dynamic_workload.h"
+#include "svc/service.h"
+#include "tests/test_util.h"
+#include "topo/topologies.h"
+#include "topo/wavelengths.h"
+
+namespace lumen {
+namespace {
+
+using testing::ConvKind;
+using testing::random_network;
+
+constexpr RouteEngine::Options kSweepEngine{.num_landmarks = 0,
+                                            .build_hierarchy = true};
+
+/// Every bulk row must equal the engine's own (flat, exact) point
+/// queries as doubles — diagonal 0, +inf where no route exists.
+void expect_rows_match_point_queries(const RouteEngine& engine,
+                                     const std::vector<std::vector<double>>&
+                                         rows,
+                                     const char* what) {
+  SearchScratch scratch;
+  const std::uint32_t n = engine.num_nodes();
+  ASSERT_EQ(rows.size(), n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    ASSERT_EQ(rows[s].size(), n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      if (s == t) {
+        EXPECT_EQ(rows[s][t], 0.0) << what << " diagonal " << s;
+        continue;
+      }
+      const RouteResult point =
+          engine.route_semilightpath(NodeId{s}, NodeId{t}, scratch);
+      if (!point.found) {
+        EXPECT_EQ(rows[s][t], kInfiniteCost)
+            << what << " " << s << "->" << t;
+      } else {
+        EXPECT_EQ(rows[s][t], point.cost) << what << " " << s << "->" << t;
+      }
+    }
+  }
+}
+
+std::vector<NodeId> all_nodes(std::uint32_t n) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) nodes.push_back(NodeId{v});
+  return nodes;
+}
+
+TEST(BulkCostsTest, SweepRowsMatchPointQueriesBitwise) {
+  for (const std::uint64_t seed : {71ULL, 72ULL, 73ULL}) {
+    Rng rng(seed);
+    const WdmNetwork net =
+        random_network(12, 14, 4, 2, ConvKind::kUniform, rng);
+    RouteEngine engine(net, kSweepEngine);
+    ASSERT_TRUE(engine.has_hierarchy());
+    const auto rows = engine.bulk_costs(all_nodes(net.num_nodes()));
+    expect_rows_match_point_queries(engine, rows, "sweep");
+  }
+}
+
+TEST(BulkCostsTest, SweepAndFlatFallbackAgreeBitwise) {
+  Rng rng(0xb01cULL);
+  const WdmNetwork net = random_network(14, 16, 3, 2, ConvKind::kSparse, rng);
+  RouteEngine engine(net, kSweepEngine);
+  const auto sources = all_nodes(net.num_nodes());
+  const RouteEngine& frozen = engine;
+  RouteEngine::QueryOptions sweep_query{.use_hierarchy = true};
+  RouteEngine::QueryOptions flat_query{.use_hierarchy = false};
+  const auto swept = frozen.bulk_costs(sources, 1, sweep_query);
+  const auto flat = frozen.bulk_costs(sources, 1, flat_query);
+  ASSERT_EQ(swept.size(), flat.size());
+  for (std::size_t s = 0; s < swept.size(); ++s) {
+    for (std::size_t t = 0; t < swept[s].size(); ++t) {
+      EXPECT_EQ(swept[s][t], flat[s][t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(BulkCostsTest, ThreadedMatchesSerial) {
+  Rng rng(0xb01dULL);
+  const WdmNetwork net = random_network(16, 18, 3, 2, ConvKind::kRange, rng);
+  RouteEngine engine(net, kSweepEngine);
+  const auto sources = all_nodes(net.num_nodes());
+  const auto serial = engine.bulk_costs(sources, 1);
+  const auto threaded = engine.bulk_costs(sources, 4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    for (std::size_t t = 0; t < serial[s].size(); ++t) {
+      EXPECT_EQ(serial[s][t], threaded[s][t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(BulkCostsTest, StaleHierarchyFallsBackPerSourceAndStaysExact) {
+  Rng rng(0x57a1e2ULL);
+  const WdmNetwork net = random_network(12, 14, 4, 2, ConvKind::kUniform, rng);
+  RouteEngine::Options options = kSweepEngine;
+  options.hierarchy_auto_customize = false;
+  RouteEngine engine(net, options);
+  ASSERT_TRUE(engine.has_hierarchy());
+
+  const LinkId e{0};
+  const Wavelength lambda = net.available(e)[0].lambda;
+  const auto handle = engine.reserve(e, lambda);
+  ASSERT_TRUE(engine.hierarchy_stale());
+
+  obs::Counter& fallbacks =
+      obs::Registry::global().counter("lumen.core.sweep.fallbacks");
+  obs::Counter& runs =
+      obs::Registry::global().counter("lumen.core.sweep.runs");
+  const std::uint64_t fallbacks_before = fallbacks.value();
+  const std::uint64_t runs_before = runs.value();
+
+  // Const call on a stale hierarchy: every source must be served by the
+  // flat fallback (never a wrong sweep), and each one is counted.
+  const auto sources = all_nodes(net.num_nodes());
+  const RouteEngine& frozen = engine;
+  RouteEngine::QueryOptions query{.use_hierarchy = true};
+  const auto rows = frozen.bulk_costs(sources, 1, query);
+  expect_rows_match_point_queries(engine, rows, "stale-fallback");
+#if LUMEN_OBS_ENABLED
+  EXPECT_EQ(runs.value(), runs_before);  // no sweep ran
+  const std::uint64_t fell_back = fallbacks.value() - fallbacks_before;
+  EXPECT_GE(fell_back, 1u);
+  EXPECT_LE(fell_back, sources.size());
+#endif
+
+  // Customize and the same call sweeps again, still exact.
+  EXPECT_GT(engine.customize_hierarchy(), 0u);
+  const auto fresh = frozen.bulk_costs(sources, 1, query);
+  expect_rows_match_point_queries(engine, fresh, "recustomized");
+#if LUMEN_OBS_ENABLED
+  EXPECT_GT(runs.value(), runs_before);
+#endif
+  engine.release(handle);
+}
+
+TEST(BulkCostsTest, LandmarkSelectionSweepParity) {
+  Rng rng(0x1a27ULL);
+  Digraph g(60);
+  for (std::uint32_t i = 0; i < 240; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(60));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(60));
+    if (u == v) continue;
+    g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(0.1, 4.0));
+  }
+  const CsrDigraph fwd_csr(g);
+  const CsrDigraph rev_csr = CsrDigraph::reversed(g);
+  const ContractionHierarchy fwd_ch(fwd_csr, {});
+  const ContractionHierarchy rev_ch(rev_csr, {});
+
+  const LandmarkTables flat = select_landmarks(g, 4, 0xabcdULL);
+  const LandmarkTables swept =
+      select_landmarks(g, 4, 0xabcdULL, fwd_ch, rev_ch);
+  ASSERT_EQ(flat.num_landmarks, swept.num_landmarks);
+  ASSERT_EQ(flat.landmarks.size(), swept.landmarks.size());
+  for (std::size_t l = 0; l < flat.landmarks.size(); ++l) {
+    EXPECT_EQ(flat.landmarks[l], swept.landmarks[l]) << "landmark " << l;
+  }
+  ASSERT_EQ(flat.from_landmark.size(), swept.from_landmark.size());
+  for (std::size_t i = 0; i < flat.from_landmark.size(); ++i) {
+    ASSERT_EQ(flat.from_landmark[i], swept.from_landmark[i]) << "fwd " << i;
+    ASSERT_EQ(flat.to_landmark[i], swept.to_landmark[i]) << "rev " << i;
+  }
+}
+
+TEST(BulkCostsTest, DefragMatrixGainKeepsTheContract) {
+  Rng rng(67);
+  const Topology topo = grid_topology(4, 4);
+  const Availability avail =
+      full_availability(topo, 3, CostSpec::unit(), rng);
+  SessionManager manager(
+      assemble_network(topo, 3, avail,
+                       std::make_shared<UniformConversion>(0.1)),
+      RoutingPolicy::kSemilightpath);
+  DynamicWorkloadConfig config;
+  config.arrival_rate = 20.0;
+  config.mean_holding_time = 1.0;
+  config.num_arrivals = 150;
+  config.seed = 68;
+  (void)run_dynamic_workload(manager, config);
+  Rng demand_rng(69);
+  std::vector<std::pair<SessionId, double>> before;
+  for (const auto& [s, t] : random_demands(16, 12, demand_rng)) {
+    const auto id = manager.open(s, t);
+    if (id.has_value()) before.emplace_back(*id, manager.find(*id)->cost);
+  }
+  const std::uint64_t active_before = manager.active_sessions();
+
+  const auto report = defragment(manager, DefragOrder::kMatrixGain, 2);
+  // Same guarantees as the default ordering: nothing dropped, nothing
+  // worse, savings non-negative.
+  EXPECT_EQ(manager.active_sessions(), active_before);
+  EXPECT_EQ(report.considered, active_before);
+  EXPECT_GE(report.cost_saved, 0.0);
+  for (const auto& [id, old_cost] : before) {
+    const SessionRecord* record = manager.find(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_TRUE(record->active);
+    EXPECT_LE(record->cost, old_cost + 1e-9);
+  }
+}
+
+TEST(BulkCostsTest, SvcOpenBatchAdmitsAndAccounts) {
+  Rng rng(0x5c'0001ULL);
+  const WdmNetwork net = random_network(12, 14, 4, 3, ConvKind::kUniform, rng);
+  svc::ServiceOptions options;
+  options.num_shards = 2;
+  options.num_tenants = 1;
+  options.engine.num_landmarks = 0;
+  options.engine.build_hierarchy = true;
+  options.query = {.use_hierarchy = true};
+  svc::RoutingService service(net, options);
+
+  std::vector<std::pair<NodeId, NodeId>> demands;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    const NodeId s{static_cast<std::uint32_t>(rng.next_below(12))};
+    const NodeId t{static_cast<std::uint32_t>(rng.next_below(12))};
+    if (s == t) continue;
+    demands.emplace_back(s, t);
+  }
+  const auto tickets = service.open_batch(svc::TenantId{0}, demands);
+  ASSERT_EQ(tickets.size(), demands.size());
+
+  std::uint64_t admitted = 0;
+  for (const auto& ticket : tickets) {
+    ASSERT_TRUE(ticket.status == svc::AdmitStatus::kAdmitted ||
+                ticket.status == svc::AdmitStatus::kBlocked);
+    if (ticket.status == svc::AdmitStatus::kAdmitted) {
+      ++admitted;
+      EXPECT_TRUE(ticket.id.valid());
+      EXPECT_GT(ticket.hops, 0u);
+    }
+  }
+  EXPECT_GT(admitted, 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.offered, demands.size());
+  EXPECT_EQ(stats.admitted, admitted);
+  EXPECT_EQ(stats.blocked, demands.size() - admitted);
+  EXPECT_EQ(service.active_sessions(), admitted);
+
+  // The batch must be double-booking clean, exactly like serial opens.
+  service.drain_all();
+  std::vector<bool> owned(service.slot_table().num_slots(), false);
+  for (const auto& [bits, slots] : service.active_reservations()) {
+    for (const std::uint32_t slot : slots) {
+      EXPECT_FALSE(owned[slot]) << "slot " << slot << " double-booked";
+      owned[slot] = true;
+    }
+  }
+
+  // Every admitted ticket closes exactly once.
+  for (const auto& ticket : tickets) {
+    if (ticket.status == svc::AdmitStatus::kAdmitted) {
+      EXPECT_TRUE(service.close(ticket.id));
+      EXPECT_FALSE(service.close(ticket.id));
+    }
+  }
+  EXPECT_EQ(service.active_sessions(), 0u);
+}
+
+TEST(BulkCostsTest, SvcOpenBatchHonorsQuotaInInputOrder) {
+  Rng rng(0x5c'0002ULL);
+  const WdmNetwork net = random_network(10, 12, 4, 3, ConvKind::kUniform, rng);
+  svc::ServiceOptions options;
+  options.num_shards = 1;
+  options.num_tenants = 1;
+  svc::RoutingService service(net, options);
+  service.set_quota(svc::TenantId{0}, 2);
+
+  std::vector<std::pair<NodeId, NodeId>> demands;
+  for (std::uint32_t i = 0; i + 1 < 10; i += 2) {
+    demands.emplace_back(NodeId{i}, NodeId{i + 1});
+  }
+  const auto tickets = service.open_batch(svc::TenantId{0}, demands);
+  ASSERT_EQ(tickets.size(), 5u);
+  // Quota claims run in input order before any routing: demands past the
+  // quota are denied regardless of how cheap they would have been.
+  std::uint64_t denied = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    if (tickets[i].status == svc::AdmitStatus::kQuotaDenied) {
+      ++denied;
+      EXPECT_GE(i, 2u) << "denied inside the quota prefix";
+    }
+  }
+  EXPECT_EQ(denied, 3u);
+  EXPECT_LE(service.active_sessions(), 2u);
+}
+
+}  // namespace
+}  // namespace lumen

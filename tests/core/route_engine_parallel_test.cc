@@ -104,7 +104,9 @@ TEST(RouteEngineParallelTest, ParallelCostMatrixMatchesSerial) {
 
   AllPairsRouter parallel(net);
   const auto got = parallel.cost_matrix(4);
-  EXPECT_EQ(parallel.trees_computed(), net.num_nodes());
+  // The parallel overload is served by hierarchy sweeps, not per-source
+  // trees: the tree cache stays untouched.
+  EXPECT_EQ(parallel.trees_computed(), 0u);
 
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t s = 0; s < expected.size(); ++s) {
@@ -118,15 +120,18 @@ TEST(RouteEngineParallelTest, ParallelCostMatrixMatchesSerial) {
   }
 }
 
-TEST(RouteEngineParallelTest, ParallelCostMatrixReusesCachedTrees) {
+TEST(RouteEngineParallelTest, ParallelCostMatrixLeavesTreeCacheAlone) {
   Rng rng(0x5eed2026'0806b005ULL);
   const WdmNetwork net = random_network(8, 10, 3, 2, ConvKind::kUniform, rng);
   AllPairsRouter router(net);
   (void)router.cost(NodeId{0}, NodeId{1});  // warm one tree serially
   EXPECT_EQ(router.trees_computed(), 1u);
+  // The sweep-served matrix neither consumes nor extends the tree cache;
+  // its rows still agree with the tree-backed point queries.
   const auto matrix = router.cost_matrix(3);
-  EXPECT_EQ(router.trees_computed(), net.num_nodes());
-  EXPECT_EQ(matrix.size(), net.num_nodes());
+  EXPECT_EQ(router.trees_computed(), 1u);
+  ASSERT_EQ(matrix.size(), net.num_nodes());
+  EXPECT_NEAR(matrix[0][1], router.cost(NodeId{0}, NodeId{1}), 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,295 @@
+// Fuzz equivalence for the PHAST-style batched sweeps: one_to_all and
+// many_to_all must reproduce a flat full dijkstra_csr_run from the same
+// seeds bit-for-bit — every node, every lane, +inf for unreachable —
+// across residual churn (fail/raise/repair + re-customize), because the
+// exact-fix pass re-accumulates winning paths in the flat search's
+// left-to-right slot order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <vector>
+
+#include "graph/hierarchy.h"
+#include "util/rng.h"
+
+namespace lumen {
+namespace {
+
+Digraph random_digraph(Rng& rng, std::uint32_t n, std::uint32_t m) {
+  Digraph g(n);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (u == v) continue;
+    g.add_link(NodeId{u}, NodeId{v}, rng.next_double_in(0.1, 4.0));
+  }
+  return g;
+}
+
+/// Flat full one-to-all reference: no sinks marked, so the run settles
+/// everything reachable; untouched nodes read back +inf.
+std::vector<double> flat_sssp(const CsrDigraph& csr,
+                              std::span<const NodeId> sources,
+                              SearchScratch& scratch) {
+  scratch.begin(csr.num_nodes());
+  (void)dijkstra_csr_run(csr, sources, scratch);
+  std::vector<double> dist(csr.num_nodes());
+  for (std::uint32_t v = 0; v < csr.num_nodes(); ++v) {
+    dist[v] = scratch.dist(NodeId{v});
+  }
+  return dist;
+}
+
+void expect_bitwise_equal(std::span<const double> expected,
+                          std::span<const double> actual, const char* what,
+                          std::uint64_t seed) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    // Exact double equality: distances are non-negative, so value
+    // equality is bit equality; +inf lanes must stay +inf.
+    ASSERT_EQ(expected[v], actual[v])
+        << what << " seed " << seed << " node " << v;
+  }
+}
+
+TEST(SweepTest, OneToAllMatchesFlatDijkstraBitwise) {
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL, 24ULL, 25ULL}) {
+    Rng rng(seed);
+    const Digraph g = random_digraph(rng, 80, 320);
+    const CsrDigraph csr(g);
+    const ContractionHierarchy hierarchy(csr, {});
+    SearchScratch scratch;
+    std::vector<double> swept(csr.num_nodes());
+    for (int trial = 0; trial < 10; ++trial) {
+      const NodeId sources[1] = {
+          NodeId{static_cast<std::uint32_t>(rng.next_below(80))}};
+      const std::vector<double> expected = flat_sssp(csr, sources, scratch);
+      ContractionHierarchy::SweepStats stats;
+      hierarchy.one_to_all(sources, scratch, swept.data(), &stats);
+      expect_bitwise_equal(expected, swept, "one_to_all", seed);
+      EXPECT_GT(stats.upward_pops, 0u);
+    }
+  }
+}
+
+TEST(SweepTest, ManyToAllEveryLaneWidthMatchesFlat) {
+  Rng rng(404);
+  const Digraph g = random_digraph(rng, 90, 360);
+  const CsrDigraph csr(g);
+  const ContractionHierarchy hierarchy(csr, {});
+  SearchScratch scratch;
+  // 1/4/8 hit the fixed-width kernels; the rest the generic tail.
+  for (std::uint32_t lanes = 1; lanes <= ContractionHierarchy::kMaxLanes;
+       ++lanes) {
+    std::vector<NodeId> seeds(lanes);
+    std::vector<std::span<const NodeId>> seed_sets(lanes);
+    std::vector<double> rows(static_cast<std::size_t>(lanes) *
+                             csr.num_nodes());
+    std::vector<double*> row_ptrs(lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      seeds[l] = NodeId{static_cast<std::uint32_t>(rng.next_below(90))};
+      seed_sets[l] = std::span<const NodeId>(&seeds[l], 1);
+      row_ptrs[l] = rows.data() + static_cast<std::size_t>(l) *
+                    csr.num_nodes();
+    }
+    ContractionHierarchy::SweepStats stats;
+    hierarchy.many_to_all(seed_sets, scratch, row_ptrs, &stats);
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      const std::vector<double> expected =
+          flat_sssp(csr, seed_sets[l], scratch);
+      expect_bitwise_equal(
+          expected,
+          std::span<const double>(row_ptrs[l], csr.num_nodes()),
+          "many_to_all", lanes * 100 + l);
+    }
+    EXPECT_GT(stats.arcs_scanned, 0u);
+  }
+}
+
+TEST(SweepTest, MultiSeedLanesMatchMultiSourceFlat) {
+  Rng rng(777);
+  const Digraph g = random_digraph(rng, 70, 280);
+  const CsrDigraph csr(g);
+  const ContractionHierarchy hierarchy(csr, {});
+  SearchScratch scratch;
+  constexpr std::uint32_t kLanes = 4;
+  std::array<std::array<NodeId, 3>, kLanes> seeds{};
+  std::array<std::span<const NodeId>, kLanes> seed_sets;
+  std::vector<double> rows(kLanes * static_cast<std::size_t>(70));
+  std::array<double*, kLanes> row_ptrs{};
+  for (std::uint32_t l = 0; l < kLanes; ++l) {
+    for (auto& s : seeds[l]) {
+      s = NodeId{static_cast<std::uint32_t>(rng.next_below(70))};
+    }
+    seed_sets[l] = seeds[l];
+    row_ptrs[l] = rows.data() + static_cast<std::size_t>(l) * 70;
+  }
+  hierarchy.many_to_all(seed_sets, scratch, row_ptrs, nullptr);
+  for (std::uint32_t l = 0; l < kLanes; ++l) {
+    const std::vector<double> expected = flat_sssp(csr, seed_sets[l], scratch);
+    expect_bitwise_equal(expected,
+                         std::span<const double>(row_ptrs[l], 70),
+                         "multi-seed", l);
+  }
+}
+
+TEST(SweepTest, FuzzChurnBitIdentityFiftyNets) {
+  // 50 seeded nets x residual churn: fail (+inf), raise (base + delta),
+  // repair (base) — the base-floor discipline RouteEngine maintains — with
+  // a re-customize between mutation and sweep.  Every step checks a fresh
+  // one-to-all against the flat reference on the patched weights; every
+  // third step additionally checks a 4-lane many_to_all.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 9176 + 3);
+    const std::uint32_t n = 40 + static_cast<std::uint32_t>(seed % 5) * 10;
+    Digraph g = random_digraph(rng, n, n * 4);
+    CsrDigraph csr(g);
+    ContractionHierarchy hierarchy(csr, {});
+    std::vector<double> base(csr.num_links());
+    for (std::uint32_t s = 0; s < csr.num_links(); ++s) {
+      base[s] = csr.weight(s);
+    }
+    SearchScratch scratch;
+    std::vector<double> swept(csr.num_nodes());
+    for (int step = 0; step < 9; ++step) {
+      if (csr.num_links() > 0) {
+        const auto slot =
+            static_cast<std::uint32_t>(rng.next_below(csr.num_links()));
+        const int action = step % 3;
+        const double w = action == 0 ? kInfiniteCost
+                         : action == 1
+                             ? base[slot] + rng.next_double_in(0.0, 2.0)
+                             : base[slot];
+        csr.set_weight(slot, w);
+        hierarchy.update_slot(slot, w);
+        (void)hierarchy.customize();
+      }
+      ASSERT_FALSE(hierarchy.stale());
+      const NodeId sources[1] = {
+          NodeId{static_cast<std::uint32_t>(rng.next_below(n))}};
+      const std::vector<double> expected = flat_sssp(csr, sources, scratch);
+      hierarchy.one_to_all(sources, scratch, swept.data());
+      expect_bitwise_equal(expected, swept, "churn one_to_all", seed);
+      if (step % 3 == 2) {
+        constexpr std::uint32_t kLanes = 4;
+        std::array<NodeId, kLanes> lane_seeds{};
+        std::array<std::span<const NodeId>, kLanes> seed_sets;
+        std::vector<double> rows(kLanes * static_cast<std::size_t>(n));
+        std::array<double*, kLanes> row_ptrs{};
+        for (std::uint32_t l = 0; l < kLanes; ++l) {
+          lane_seeds[l] =
+              NodeId{static_cast<std::uint32_t>(rng.next_below(n))};
+          seed_sets[l] = std::span<const NodeId>(&lane_seeds[l], 1);
+          row_ptrs[l] = rows.data() + static_cast<std::size_t>(l) * n;
+        }
+        hierarchy.many_to_all(seed_sets, scratch, row_ptrs, nullptr);
+        for (std::uint32_t l = 0; l < kLanes; ++l) {
+          const std::vector<double> lane_expected =
+              flat_sssp(csr, seed_sets[l], scratch);
+          expect_bitwise_equal(
+              lane_expected, std::span<const double>(row_ptrs[l], n),
+              "churn many_to_all", seed);
+        }
+      }
+    }
+  }
+}
+
+TEST(SweepTest, UnreachableNodesStayInfiniteAcrossLanes) {
+  // Two components: seeds in one must read +inf across the other, in
+  // every lane, matching the flat search's untouched-node semantics.
+  Digraph g(6);
+  g.add_link(NodeId{0}, NodeId{1}, 1.0);
+  g.add_link(NodeId{1}, NodeId{2}, 2.0);
+  g.add_link(NodeId{3}, NodeId{4}, 1.5);
+  g.add_link(NodeId{4}, NodeId{5}, 0.5);
+  const CsrDigraph csr(g);
+  const ContractionHierarchy hierarchy(csr, {});
+  SearchScratch scratch;
+  const NodeId left[1] = {NodeId{0}};
+  const NodeId right[1] = {NodeId{3}};
+  const std::span<const NodeId> seed_sets[2] = {left, right};
+  std::vector<double> rows(2 * 6);
+  double* const row_ptrs[2] = {rows.data(), rows.data() + 6};
+  hierarchy.many_to_all(seed_sets, scratch, row_ptrs, nullptr);
+  EXPECT_EQ(rows[0], 0.0);
+  EXPECT_EQ(rows[2], 3.0);
+  for (std::uint32_t v = 3; v < 6; ++v) EXPECT_EQ(rows[v], kInfiniteCost);
+  for (std::uint32_t v = 0; v < 3; ++v) EXPECT_EQ(rows[6 + v], kInfiniteCost);
+  EXPECT_EQ(rows[6 + 3], 0.0);
+  EXPECT_EQ(rows[6 + 5], 2.0);
+}
+
+TEST(SweepTest, StaleSweepIsRejected) {
+  Rng rng(9);
+  const Digraph g = random_digraph(rng, 20, 60);
+  const CsrDigraph csr(g);
+  ContractionHierarchy hierarchy(csr, {});
+  hierarchy.update_slot(0, kInfiniteCost);
+  ASSERT_TRUE(hierarchy.stale());
+  SearchScratch scratch;
+  std::vector<double> dist(csr.num_nodes());
+  const NodeId sources[1] = {NodeId{0}};
+  EXPECT_THROW(hierarchy.one_to_all(sources, scratch, dist.data()), Error);
+}
+
+TEST(SweepTest, CoreOnlyHierarchySweepsFlat) {
+  // degree_cap = 0 keeps every connected node in the core: the sweep
+  // degenerates to the upward (= flat forward) Dijkstra with an empty
+  // down pass — and must still match exactly.
+  Rng rng(31);
+  const Digraph g = random_digraph(rng, 30, 120);
+  const CsrDigraph csr(g);
+  ContractionHierarchy::Options options;
+  options.degree_cap = 0;
+  const ContractionHierarchy hierarchy(csr, options);
+  SearchScratch scratch;
+  std::vector<double> swept(csr.num_nodes());
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId sources[1] = {
+        NodeId{static_cast<std::uint32_t>(rng.next_below(30))}};
+    const std::vector<double> expected = flat_sssp(csr, sources, scratch);
+    ContractionHierarchy::SweepStats stats;
+    hierarchy.one_to_all(sources, scratch, swept.data(), &stats);
+    expect_bitwise_equal(expected, swept, "core-only", 31);
+  }
+}
+
+TEST(SweepTest, StructureOnlyReversalStoresNoWeights) {
+  // Satellite: the downward-sweep builder's reversal mode must carry no
+  // weight row (no double-store) and still search correctly under an
+  // explicit override matching the weighted reversal slot-for-slot.
+  Rng rng(55);
+  const Digraph g = random_digraph(rng, 25, 100);
+  const CsrDigraph weighted = CsrDigraph::reversed(g);
+  const CsrDigraph bare =
+      CsrDigraph::reversed(g, CsrDigraph::ReversalMode::kStructureOnly);
+  ASSERT_TRUE(weighted.has_weights());
+  ASSERT_FALSE(bare.has_weights());
+  ASSERT_EQ(bare.num_links(), weighted.num_links());
+  EXPECT_THROW((void)bare.weight(0), Error);
+  // Slot order is identical, so the weighted view's row doubles as the
+  // override; both searches must agree bit-for-bit.
+  for (std::uint32_t s = 0; s < bare.num_links(); ++s) {
+    ASSERT_EQ(bare.original(s), weighted.original(s));
+    ASSERT_EQ(bare.head(s), weighted.head(s));
+  }
+  std::span<const double> override_row(weighted.weights_data(),
+                                       weighted.num_links());
+  SearchScratch scratch;
+  const NodeId sources[1] = {NodeId{3}};
+  const std::vector<double> expected = flat_sssp(weighted, sources, scratch);
+  scratch.begin(bare.num_nodes());
+  (void)dijkstra_csr_run(bare, sources, scratch, nullptr, override_row);
+  for (std::uint32_t v = 0; v < bare.num_nodes(); ++v) {
+    EXPECT_EQ(scratch.dist(NodeId{v}), expected[v]);
+  }
+  // An un-overridden search on a bare view is a contract violation.
+  scratch.begin(bare.num_nodes());
+  EXPECT_THROW((void)dijkstra_csr_run(bare, sources, scratch), Error);
+}
+
+}  // namespace
+}  // namespace lumen
